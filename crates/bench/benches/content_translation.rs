@@ -1,0 +1,62 @@
+//! B-CONTENT and B-STYLE: content-narrative cost versus database size, and
+//! the compact vs. procedural style ablation (§2.2 claims the compact style
+//! "is more complex" to create).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datastore::sample::{movie_database, scaled_movie_database, ScaleConfig};
+use nlg::Style;
+use std::time::Duration;
+use talkback::{ContentConfig, ContentTranslator, Talkback};
+use talkback_bench::CONTENT_SCALES;
+
+fn bench_database_summary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("content_database_summary");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for &movies in CONTENT_SCALES {
+        let db = scaled_movie_database(ScaleConfig {
+            movies,
+            ..ScaleConfig::default()
+        });
+        let system = Talkback::new(db);
+        let config = ContentConfig {
+            max_tuples_per_relation: 2,
+            ..ContentConfig::standard()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(movies),
+            &movies,
+            |b, _| b.iter(|| system.describe_database(&config, None).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_style_ablation(c: &mut Criterion) {
+    let db = movie_database();
+    let translator = ContentTranslator::movie_domain();
+    let mut group = c.benchmark_group("content_style_ablation");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for (label, style) in [("compact", Style::Compact), ("procedural", Style::Procedural)] {
+        let config = ContentConfig {
+            forced_style: Some(style),
+            ..ContentConfig::standard()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                translator
+                    .describe_entity(&db, "DIRECTOR", "Woody Allen", &config)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_database_summary, bench_style_ablation);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! B-GRAPH: schema-graph construction/traversal versus schema size, and
+//! query-graph construction + classification for the paper's queries
+//! (the structures behind Figures 1–7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datastore::sample::movie_database;
+use datastore::{ColumnDef, DataType, Database, ForeignKey, TableSchema};
+use schemagraph::{classify, dfs_traversal, QueryGraph, SchemaGraph, TraversalConfig};
+use sqlparse::parse_query;
+use std::time::Duration;
+use talkback_bench::{PAPER_QUERIES, SCHEMA_SCALES};
+
+/// A synthetic star-shaped catalog with `n` relations (one hub, n-1 spokes).
+fn synthetic_catalog(n: usize) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "HUB",
+            vec![
+                ColumnDef::new("id", DataType::Integer),
+                ColumnDef::new("name", DataType::Text),
+            ],
+        )
+        .with_primary_key(&["id"]),
+    )
+    .unwrap();
+    for i in 1..n {
+        let name = format!("SPOKE{i}");
+        db.create_table(
+            TableSchema::new(
+                name.clone(),
+                vec![
+                    ColumnDef::new("id", DataType::Integer),
+                    ColumnDef::new("hub_id", DataType::Integer),
+                    ColumnDef::new("label", DataType::Text),
+                ],
+            )
+            .with_primary_key(&["id"]),
+        )
+        .unwrap();
+        db.add_foreign_key(ForeignKey::simple(name, "hub_id", "HUB", "id"))
+            .unwrap();
+    }
+    db
+}
+
+fn bench_schema_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schema_graph");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for &n in SCHEMA_SCALES {
+        let db = synthetic_catalog(n);
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| SchemaGraph::from_catalog(db.catalog()))
+        });
+        let graph = SchemaGraph::from_catalog(db.catalog());
+        group.bench_with_input(BenchmarkId::new("dfs", n), &n, |b, _| {
+            b.iter(|| dfs_traversal(&graph, None, TraversalConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_graph(c: &mut Criterion) {
+    let db = movie_database();
+    let mut group = c.benchmark_group("query_graph_and_classify");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for (id, sql) in PAPER_QUERIES {
+        let query = parse_query(sql).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(id), &query, |b, query| {
+            b.iter(|| {
+                let graph = QueryGraph::from_query(db.catalog(), query).unwrap();
+                classify(query, &graph)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schema_graph, bench_query_graph);
+criterion_main!(benches);

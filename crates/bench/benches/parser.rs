@@ -1,0 +1,29 @@
+//! B-PARSE: SQL parse and bind throughput over the paper's queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datastore::sample::movie_database;
+use sqlparse::{bind_query, parse_query};
+use std::time::Duration;
+use talkback_bench::PAPER_QUERIES;
+
+fn bench_parse_and_bind(c: &mut Criterion) {
+    let db = movie_database();
+    let mut group = c.benchmark_group("parse_and_bind");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for (id, sql) in PAPER_QUERIES {
+        group.bench_with_input(BenchmarkId::new("parse", id), sql, |b, sql| {
+            b.iter(|| parse_query(sql).unwrap())
+        });
+        let parsed = parse_query(sql).unwrap();
+        group.bench_with_input(BenchmarkId::new("bind", id), &parsed, |b, parsed| {
+            b.iter(|| bind_query(db.catalog(), parsed).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse_and_bind);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! B-E2E: the end-to-end loop — parse, plan, execute, explain the result and
+//! narrate — on databases of increasing size, plus the empty-result
+//! explainer (which re-executes the query once per predicate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datastore::sample::{scaled_movie_database, ScaleConfig};
+use std::time::Duration;
+use talkback::{SpeechRecognizer, Talkback, TextToSpeech};
+
+const Q1: &str = "select m.title from MOVIES m, CAST c, ACTOR a \
+                  where m.id = c.mid and c.aid = a.id and a.name = 'Alex Smith #1'";
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for &movies in &[50usize, 200] {
+        let system = Talkback::new(scaled_movie_database(ScaleConfig {
+            movies,
+            actors: movies / 2,
+            ..ScaleConfig::default()
+        }));
+        let recognizer = SpeechRecognizer::perfect();
+        let tts = TextToSpeech::default();
+        group.bench_with_input(BenchmarkId::new("voice_answer", movies), &movies, |b, _| {
+            b.iter(|| {
+                system
+                    .voice_answer("find movies with that actor", Q1, &recognizer, &tts)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("explain_result", movies),
+            &movies,
+            |b, _| b.iter(|| system.explain_result(Q1).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

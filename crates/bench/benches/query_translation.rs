@@ -1,0 +1,38 @@
+//! B-QCAT: per-category translation latency for the paper's nine queries
+//! (the cost ladder §3.3 describes qualitatively), plus coverage metrics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datastore::sample::movie_database;
+use std::time::Duration;
+use talkback::{narrative_metrics, Talkback};
+use talkback_bench::PAPER_QUERIES;
+
+fn bench_query_translation(c: &mut Criterion) {
+    let system = Talkback::new(movie_database());
+    let mut group = c.benchmark_group("query_translation");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for (id, sql) in PAPER_QUERIES {
+        // Report the coverage/length metrics once per query so the harness
+        // output doubles as the EXPERIMENTS.md data source.
+        let translation = system.explain_query(sql).expect("paper query translates");
+        let query = sqlparse::parse_query(sql).expect("paper query parses");
+        let metrics = narrative_metrics(&query, &translation.best);
+        println!(
+            "[metrics] {id}: category={} coverage={:.2} words={} repetition={:.2}",
+            translation.classification.category.name(),
+            metrics.element_coverage,
+            metrics.words,
+            metrics.repetition
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(id), sql, |b, sql| {
+            b.iter(|| system.explain_query(sql).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_translation);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! B-TEMPLATE: template parsing, instantiation, loop instantiation and
+//! common-expression merging cost as the number of clauses grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use templates::{
+    instantiate, instantiate_loop, merge_clauses, parse_loop_definition, parse_template, Bindings,
+};
+
+const BORN_TEMPLATE: &str = "DNAME + \" was born in \" + BLOCATION + \" on \" + BDATE";
+const MOVIE_LIST: &str = "DEFINE MOVIE_LIST as\n\
+    [i < arityOf(TITLE)] { TITLE[i] + \" (\" + YEAR[i] + \"), \" }\n\
+    [i = arityOf(TITLE)] \" and \" + { TITLE[i] + \" (\" + YEAR[i] + \").\" }";
+
+fn bindings() -> Bindings {
+    let mut b = Bindings::new();
+    b.set("DNAME", "Woody Allen")
+        .set("BLOCATION", "Brooklyn, New York, USA")
+        .set("BDATE", "December 1, 1935");
+    b
+}
+
+fn bench_templates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("templates");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    group.bench_function("parse_concat", |b| {
+        b.iter(|| parse_template(BORN_TEMPLATE).unwrap())
+    });
+    group.bench_function("parse_loop_definition", |b| {
+        b.iter(|| parse_loop_definition(MOVIE_LIST).unwrap())
+    });
+
+    let template = parse_template(BORN_TEMPLATE).unwrap();
+    let binding = bindings();
+    group.bench_function("instantiate", |b| {
+        b.iter(|| instantiate(&template, &binding).unwrap())
+    });
+
+    let loop_template = parse_loop_definition(MOVIE_LIST).unwrap();
+    for &n in &[2usize, 8, 32] {
+        let elements: Vec<Bindings> = (0..n)
+            .map(|i| {
+                let mut b = Bindings::new();
+                b.set("TITLE", format!("Movie {i}")).set("YEAR", (1990 + i).to_string());
+                b
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("instantiate_loop", n), &elements, |b, e| {
+            b.iter(|| instantiate_loop(&loop_template, e).unwrap())
+        });
+    }
+
+    for &n in &[2usize, 8, 32, 64] {
+        let clauses: Vec<String> = (0..n)
+            .map(|i| format!("Woody Allen was born fact{i} detail{i}"))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("merge_clauses", n), &clauses, |b, c| {
+            b.iter(|| merge_clauses(c, 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_templates);
+criterion_main!(benches);

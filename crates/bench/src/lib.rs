@@ -1,0 +1,76 @@
+//! Shared fixtures for the benchmark harness: the paper's nine queries and
+//! database-size sweeps used by every bench target (see EXPERIMENTS.md for
+//! the experiment ↔ bench mapping).
+
+/// The paper's example queries Q1–Q9, as (id, SQL) pairs.
+pub const PAPER_QUERIES: &[(&str, &str)] = &[
+    (
+        "Q1-path",
+        "select m.title from MOVIES m, CAST c, ACTOR a \
+         where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
+    ),
+    (
+        "Q2-subgraph",
+        "select a.name, m.title from MOVIES m, CAST c, ACTOR a, DIRECTED r, DIRECTOR d, GENRE g \
+         where m.id = c.mid and c.aid = a.id and m.id = r.mid and r.did = d.id \
+           and m.id = g.mid and d.name = 'G. Loucas' and g.genre = 'action'",
+    ),
+    (
+        "Q3-graph-multi",
+        "select a1.name, a2.name from MOVIES m, CAST c1, ACTOR a1, CAST c2, ACTOR a2 \
+         where m.id = c1.mid and c1.aid = a1.id and m.id = c2.mid and c2.aid = a2.id \
+           and a1.id > a2.id",
+    ),
+    (
+        "Q4-graph-cyclic",
+        "select m.title from MOVIES m, CAST c where m.id = c.mid and c.role = m.title",
+    ),
+    (
+        "Q5-nested-flat",
+        "select m.title from MOVIES m where m.id in ( \
+            select c.mid from CAST c where c.aid in ( \
+                select a.id from ACTOR a where a.name = 'Brad Pitt'))",
+    ),
+    (
+        "Q6-nested-division",
+        "select m.title from MOVIES m where not exists ( \
+            select * from GENRE g1 where not exists ( \
+                select * from GENRE g2 where g2.mid = m.id and g2.genre = g1.genre))",
+    ),
+    (
+        "Q7-aggregate",
+        "select m.id, m.title, count(*) from MOVIES m, CAST c where m.id = c.mid \
+         group by m.id, m.title having 1 < (select count(*) from GENRE g where g.mid = m.id)",
+    ),
+    (
+        "Q8-impossible-allsame",
+        "select a.id, a.name from MOVIES m, CAST c, ACTOR a \
+         where m.id = c.mid and c.aid = a.id \
+         group by a.id, a.name having count(distinct m.year) = 1",
+    ),
+    (
+        "Q9-impossible-superlative",
+        "select a.name from MOVIES m, CAST c, ACTOR a where m.id = c.mid and c.aid = a.id \
+         and m.year <= all (select m1.year from MOVIES m1, MOVIES m2 \
+         where m1.title = m.title and m2.title = m.title and m1.id <> m2.id)",
+    ),
+];
+
+/// Database sizes (number of movies) swept by the content benches.
+pub const CONTENT_SCALES: &[usize] = &[10, 100, 1000];
+
+/// Schema sizes (number of relations) swept by the graph benches.
+pub const SCHEMA_SCALES: &[usize] = &[6, 24, 96];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paper_queries_parse() {
+        for (id, sql) in PAPER_QUERIES {
+            assert!(sqlparse::parse_query(sql).is_ok(), "{id} should parse");
+        }
+        assert_eq!(PAPER_QUERIES.len(), 9);
+    }
+}

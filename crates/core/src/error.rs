@@ -1,0 +1,74 @@
+//! Unified error type for the `talkback` facade.
+
+use std::fmt;
+
+/// Errors surfaced by the translation pipelines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TalkbackError {
+    /// SQL could not be parsed.
+    Parse(sqlparse::ParseError),
+    /// The query does not resolve against the catalog.
+    Bind(sqlparse::BindError),
+    /// Storage or execution failure.
+    Store(datastore::StoreError),
+    /// A template could not be instantiated.
+    Template(String),
+    /// The requested operation is not supported for this input.
+    Unsupported(String),
+}
+
+impl fmt::Display for TalkbackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TalkbackError::Parse(e) => write!(f, "{e}"),
+            TalkbackError::Bind(e) => write!(f, "{e}"),
+            TalkbackError::Store(e) => write!(f, "{e}"),
+            TalkbackError::Template(m) => write!(f, "template error: {m}"),
+            TalkbackError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TalkbackError {}
+
+impl From<sqlparse::ParseError> for TalkbackError {
+    fn from(e: sqlparse::ParseError) -> Self {
+        TalkbackError::Parse(e)
+    }
+}
+
+impl From<sqlparse::BindError> for TalkbackError {
+    fn from(e: sqlparse::BindError) -> Self {
+        TalkbackError::Bind(e)
+    }
+}
+
+impl From<datastore::StoreError> for TalkbackError {
+    fn from(e: datastore::StoreError) -> Self {
+        TalkbackError::Store(e)
+    }
+}
+
+impl From<templates::InstantiateError> for TalkbackError {
+    fn from(e: templates::InstantiateError) -> Self {
+        TalkbackError::Template(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: TalkbackError = sqlparse::ParseError::new("boom", 3).into();
+        assert!(e.to_string().contains("boom"));
+        let e: TalkbackError = datastore::StoreError::UnknownTable {
+            table: "X".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("X"));
+        let e = TalkbackError::Unsupported("nested DML".into());
+        assert!(e.to_string().contains("nested DML"));
+    }
+}

@@ -1,0 +1,180 @@
+//! The accessibility loop of §2.1, simulated end to end.
+//!
+//! The paper motivates text generation with users "with visual impairments
+//! or reading disabilities": a speech recognizer turns a spoken question
+//! into a query, the DBMS answers, the answer is narrated, and a
+//! text-to-speech system reads it back. Real ASR/TTS engines are outside
+//! the scope of a reproduction, so this module simulates both ends — a
+//! word-error-injecting recognizer and a duration-estimating synthesizer —
+//! which exercises exactly the same code path the paper describes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Output of the simulated speech recognizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recognition {
+    /// The recognized text (possibly with substituted words).
+    pub text: String,
+    /// Simulated per-utterance confidence in `[0, 1]`.
+    pub confidence: f64,
+    /// Number of words that were corrupted.
+    pub corrupted_words: usize,
+}
+
+/// A simulated automatic speech recognizer with a configurable word error
+/// rate. Deterministic for a given seed.
+#[derive(Debug, Clone)]
+pub struct SpeechRecognizer {
+    word_error_rate: f64,
+    seed: u64,
+}
+
+impl SpeechRecognizer {
+    /// Recognizer with the given word error rate (0.0 = perfect).
+    pub fn new(word_error_rate: f64, seed: u64) -> SpeechRecognizer {
+        SpeechRecognizer {
+            word_error_rate: word_error_rate.clamp(0.0, 1.0),
+            seed,
+        }
+    }
+
+    /// A perfect recognizer.
+    pub fn perfect() -> SpeechRecognizer {
+        SpeechRecognizer::new(0.0, 0)
+    }
+
+    /// "Recognize" an utterance: each word is independently corrupted with
+    /// probability equal to the word error rate.
+    pub fn recognize(&self, utterance: &str) -> Recognition {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ utterance.len() as u64);
+        let mut corrupted = 0usize;
+        let words: Vec<String> = utterance
+            .split_whitespace()
+            .map(|w| {
+                if self.word_error_rate > 0.0 && rng.gen_bool(self.word_error_rate) {
+                    corrupted += 1;
+                    format!("{w}~")
+                } else {
+                    w.to_string()
+                }
+            })
+            .collect();
+        let total = words.len().max(1);
+        Recognition {
+            text: words.join(" "),
+            confidence: 1.0 - corrupted as f64 / total as f64,
+            corrupted_words: corrupted,
+        }
+    }
+}
+
+/// One synthesized chunk of speech.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpokenChunk {
+    /// The text of the chunk (one sentence).
+    pub text: String,
+    /// Estimated duration in milliseconds at the configured speaking rate.
+    pub duration_ms: u64,
+}
+
+/// A simulated text-to-speech engine: splits text into sentences and
+/// estimates speaking time from word count.
+#[derive(Debug, Clone)]
+pub struct TextToSpeech {
+    /// Speaking rate in words per minute.
+    pub words_per_minute: u64,
+}
+
+impl Default for TextToSpeech {
+    fn default() -> Self {
+        TextToSpeech {
+            words_per_minute: 160,
+        }
+    }
+}
+
+impl TextToSpeech {
+    /// Synthesize a narrative into per-sentence chunks with durations.
+    pub fn synthesize(&self, narrative: &str) -> Vec<SpokenChunk> {
+        split_sentences(narrative)
+            .into_iter()
+            .map(|sentence| {
+                let words = sentence.split_whitespace().count() as u64;
+                let duration_ms = words * 60_000 / self.words_per_minute.max(1);
+                SpokenChunk {
+                    text: sentence,
+                    duration_ms,
+                }
+            })
+            .collect()
+    }
+
+    /// Total estimated duration of a narrative in milliseconds.
+    pub fn total_duration_ms(&self, narrative: &str) -> u64 {
+        self.synthesize(narrative).iter().map(|c| c.duration_ms).sum()
+    }
+}
+
+/// Split a paragraph into sentences on terminal punctuation.
+pub fn split_sentences(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        current.push(c);
+        if matches!(c, '.' | '!' | '?') {
+            let s = current.trim().to_string();
+            if !s.is_empty() {
+                out.push(s);
+            }
+            current.clear();
+        }
+    }
+    let tail = current.trim().to_string();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_recognizer_passes_text_through() {
+        let r = SpeechRecognizer::perfect().recognize("find movies with brad pitt");
+        assert_eq!(r.text, "find movies with brad pitt");
+        assert_eq!(r.confidence, 1.0);
+        assert_eq!(r.corrupted_words, 0);
+    }
+
+    #[test]
+    fn noisy_recognizer_corrupts_words_and_reports_confidence() {
+        let r = SpeechRecognizer::new(0.5, 42).recognize("find movies with brad pitt playing");
+        assert!(r.corrupted_words > 0);
+        assert!(r.confidence < 1.0);
+        // Deterministic for a given seed.
+        let again = SpeechRecognizer::new(0.5, 42).recognize("find movies with brad pitt playing");
+        assert_eq!(r, again);
+    }
+
+    #[test]
+    fn tts_estimates_durations_per_sentence() {
+        let tts = TextToSpeech::default();
+        let chunks =
+            tts.synthesize("Woody Allen was born in Brooklyn. He directed Match Point.");
+        assert_eq!(chunks.len(), 2);
+        assert!(chunks.iter().all(|c| c.duration_ms > 0));
+        assert_eq!(
+            tts.total_duration_ms("Woody Allen was born in Brooklyn. He directed Match Point."),
+            chunks.iter().map(|c| c.duration_ms).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn sentence_splitting_handles_missing_final_period() {
+        assert_eq!(split_sentences("One. Two? Three"), vec!["One.", "Two?", "Three"]);
+        assert!(split_sentences("").is_empty());
+    }
+}

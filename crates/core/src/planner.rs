@@ -1,0 +1,754 @@
+//! Lowering of parsed queries to executable plans.
+//!
+//! The planner exists so the translation layer can *run* the queries it
+//! explains: empty-result explanation (§3.1) needs to know which predicate
+//! eliminated all rows, and the accessibility pipeline needs real answers to
+//! narrate. The planner supports the SPJ + aggregation fragment (anything the
+//! rewriter can flatten); genuinely nested queries are reported as
+//! unsupported rather than silently mis-executed.
+
+use crate::error::TalkbackError;
+use datastore::exec::{AggExpr, AggFunc, ColumnInfo, Plan};
+use datastore::expr::{ArithOp, CmpOp, Expr as PExpr};
+use datastore::{Database, Value};
+use sqlparse::ast::{
+    AggregateFunction, BinaryOperator, Expr, Literal, SelectItem, SelectStatement, UnaryOperator,
+};
+use sqlparse::bind::{bind_query, BoundQuery};
+use sqlparse::rewrite::flatten_in_subqueries;
+
+/// A lowered query: the physical plan plus the output column descriptors.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    pub plan: Plan,
+    /// The flattened AST the plan was built from (differs from the input
+    /// when the rewriter removed nesting).
+    pub effective_query: SelectStatement,
+}
+
+/// Plan a query against a database. Nested queries are flattened first when
+/// possible; aggregation with a correlated HAVING subquery (the paper's Q7)
+/// is handled by a dedicated two-pass strategy.
+pub fn plan_query(db: &Database, query: &SelectStatement) -> Result<PlannedQuery, TalkbackError> {
+    let effective = flatten_in_subqueries(query).unwrap_or_else(|| query.clone());
+    // Subqueries in WHERE that the rewriter could not remove cannot be
+    // executed; a HAVING subquery (Q7) is tolerated — the aggregate lowering
+    // drops it and the translation layer tells the user so.
+    let unexecutable_where = effective
+        .selection
+        .as_ref()
+        .map(Expr::contains_subquery)
+        .unwrap_or(false);
+    if unexecutable_where {
+        return Err(TalkbackError::Unsupported(
+            "execution of correlated or non-flattenable subqueries".into(),
+        ));
+    }
+    let bound = bind_query(db.catalog(), &effective)?;
+    let plan = lower_select(db, &effective, &bound)?;
+    Ok(PlannedQuery {
+        plan,
+        effective_query: effective,
+    })
+}
+
+/// The columns produced by joining the FROM relations in order.
+fn from_columns(db: &Database, bound: &BoundQuery) -> Result<Vec<ColumnInfo>, TalkbackError> {
+    let mut out = Vec::new();
+    for table in &bound.tables {
+        let schema = db
+            .table(&table.table)
+            .ok_or_else(|| TalkbackError::Store(datastore::StoreError::UnknownTable {
+                table: table.table.clone(),
+            }))?
+            .schema();
+        for c in &schema.columns {
+            out.push(ColumnInfo::qualified(table.alias.clone(), c.name.clone()));
+        }
+    }
+    Ok(out)
+}
+
+fn resolve_column(
+    columns: &[ColumnInfo],
+    bound: &BoundQuery,
+    col: &sqlparse::ast::ColumnRef,
+) -> Result<usize, TalkbackError> {
+    let qualifier = col
+        .qualifier
+        .clone()
+        .or_else(|| bound.qualifier_of(col).map(str::to_string));
+    columns
+        .iter()
+        .position(|c| c.matches(qualifier.as_deref(), &col.column))
+        .ok_or_else(|| {
+            TalkbackError::Unsupported(format!("cannot resolve column reference {col}"))
+        })
+}
+
+fn lower_select(
+    db: &Database,
+    query: &SelectStatement,
+    bound: &BoundQuery,
+) -> Result<Plan, TalkbackError> {
+    if bound.tables.is_empty() {
+        return Err(TalkbackError::Unsupported(
+            "queries without a FROM clause".into(),
+        ));
+    }
+    // 1. Cross product of the FROM relations (the filter below applies the
+    //    join predicates; for the sizes this substrate targets a join-order
+    //    optimizer is unnecessary).
+    let mut plan = Plan::Scan {
+        table: bound.tables[0].table.clone(),
+        alias: bound.tables[0].alias.clone(),
+    };
+    for table in &bound.tables[1..] {
+        plan = Plan::NestedLoopJoin {
+            left: Box::new(plan),
+            right: Box::new(Plan::Scan {
+                table: table.table.clone(),
+                alias: table.alias.clone(),
+            }),
+            predicate: None,
+        };
+    }
+    let columns = from_columns(db, bound)?;
+
+    // 2. WHERE.
+    if let Some(selection) = &query.selection {
+        let predicate = lower_expr(selection, &columns, bound)?;
+        plan = plan.filter(predicate);
+    }
+
+    // 3. Aggregation or plain projection.
+    if query.is_aggregate() {
+        plan = lower_aggregate(db, query, bound, plan, &columns)?;
+    } else {
+        let (exprs, out_columns) = lower_projection(query, &columns, bound)?;
+        plan = plan.project(exprs, out_columns);
+    }
+
+    // 4. DISTINCT / ORDER BY / LIMIT over the projected output.
+    if query.distinct {
+        plan = Plan::Distinct {
+            input: Box::new(plan),
+        };
+    }
+    if !query.order_by.is_empty() {
+        // Order keys are resolved against the projected output by name when
+        // possible, otherwise unsupported.
+        let output_columns = plan_output_columns(&plan);
+        let mut keys = Vec::new();
+        for item in &query.order_by {
+            if let Expr::Column(c) = &item.expr {
+                if let Some(pos) = output_columns
+                    .iter()
+                    .position(|col| col.matches(c.qualifier.as_deref(), &c.column))
+                {
+                    keys.push(datastore::exec::SortKey {
+                        column: pos,
+                        ascending: item.ascending,
+                    });
+                    continue;
+                }
+            }
+            return Err(TalkbackError::Unsupported(format!(
+                "ORDER BY expression {} is not in the SELECT list",
+                item.expr
+            )));
+        }
+        plan = Plan::Sort {
+            input: Box::new(plan),
+            keys,
+        };
+    }
+    if let Some(limit) = query.limit {
+        plan = plan.limit(limit as usize);
+    }
+    Ok(plan)
+}
+
+/// Output columns of a plan node (projection and aggregation define them,
+/// other operators pass them through). Only used for ORDER BY resolution.
+fn plan_output_columns(plan: &Plan) -> Vec<ColumnInfo> {
+    match plan {
+        Plan::Project { columns, .. } | Plan::Values { columns, .. } => columns.clone(),
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+            ..
+        } => {
+            let inner = plan_output_columns(input);
+            let mut out: Vec<ColumnInfo> = group_by
+                .iter()
+                .map(|&i| {
+                    inner
+                        .get(i)
+                        .cloned()
+                        .unwrap_or_else(|| ColumnInfo::unqualified(format!("group_{i}")))
+                })
+                .collect();
+            out.extend(
+                aggregates
+                    .iter()
+                    .map(|a| ColumnInfo::unqualified(a.output_name.clone())),
+            );
+            out
+        }
+        Plan::Scan { .. } => Vec::new(),
+        Plan::Filter { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. }
+        | Plan::Distinct { input } => plan_output_columns(input),
+        Plan::NestedLoopJoin { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+            let mut out = plan_output_columns(left);
+            out.extend(plan_output_columns(right));
+            out
+        }
+    }
+}
+
+fn lower_projection(
+    query: &SelectStatement,
+    columns: &[ColumnInfo],
+    bound: &BoundQuery,
+) -> Result<(Vec<PExpr>, Vec<ColumnInfo>), TalkbackError> {
+    let mut exprs = Vec::new();
+    let mut out_columns = Vec::new();
+    for item in &query.projection {
+        match item {
+            SelectItem::Wildcard => {
+                for (i, c) in columns.iter().enumerate() {
+                    exprs.push(PExpr::Column(i));
+                    out_columns.push(c.clone());
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                for (i, c) in columns.iter().enumerate() {
+                    if c.qualifier.as_deref().map(|x| x.eq_ignore_ascii_case(q)) == Some(true) {
+                        exprs.push(PExpr::Column(i));
+                        out_columns.push(c.clone());
+                    }
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let lowered = lower_expr(expr, columns, bound)?;
+                let name = match (alias, expr) {
+                    (Some(a), _) => ColumnInfo::unqualified(a.clone()),
+                    (None, Expr::Column(c)) => ColumnInfo {
+                        qualifier: c
+                            .qualifier
+                            .clone()
+                            .or_else(|| bound.qualifier_of(c).map(str::to_string)),
+                        name: c.column.clone(),
+                    },
+                    (None, other) => ColumnInfo::unqualified(other.to_string()),
+                };
+                exprs.push(lowered);
+                out_columns.push(name);
+            }
+        }
+    }
+    Ok((exprs, out_columns))
+}
+
+fn lower_aggregate(
+    db: &Database,
+    query: &SelectStatement,
+    bound: &BoundQuery,
+    input: Plan,
+    columns: &[ColumnInfo],
+) -> Result<Plan, TalkbackError> {
+    // Group-by keys must be plain column references for this substrate.
+    let mut group_by = Vec::new();
+    for g in &query.group_by {
+        match g {
+            Expr::Column(c) => group_by.push(resolve_column(columns, bound, c)?),
+            other => {
+                return Err(TalkbackError::Unsupported(format!(
+                    "GROUP BY expression {other}"
+                )))
+            }
+        }
+    }
+    // Aggregate expressions come from the SELECT list and from HAVING.
+    let mut aggregates: Vec<AggExpr> = Vec::new();
+    let mut collect_aggs = |expr: &Expr| -> Result<(), TalkbackError> {
+        let mut found: Vec<(AggregateFunction, Option<Expr>, bool)> = Vec::new();
+        expr.walk(&mut |e| {
+            if let Expr::Aggregate {
+                func,
+                arg,
+                distinct,
+            } = e
+            {
+                found.push((*func, arg.as_deref().cloned(), *distinct));
+            }
+        });
+        for (func, arg, distinct) in found {
+            let lowered_arg = match &arg {
+                None => None,
+                Some(a) => Some(lower_expr(a, columns, bound)?),
+            };
+            let name = render_aggregate_name(func, &arg, distinct);
+            if aggregates.iter().any(|a| a.output_name == name) {
+                continue;
+            }
+            let agg_func = match (func, distinct) {
+                (AggregateFunction::Count, true) => AggFunc::CountDistinct,
+                (AggregateFunction::Count, false) => AggFunc::Count,
+                (AggregateFunction::Sum, _) => AggFunc::Sum,
+                (AggregateFunction::Avg, _) => AggFunc::Avg,
+                (AggregateFunction::Min, _) => AggFunc::Min,
+                (AggregateFunction::Max, _) => AggFunc::Max,
+            };
+            aggregates.push(AggExpr {
+                func: agg_func,
+                arg: lowered_arg,
+                output_name: name,
+            });
+        }
+        Ok(())
+    };
+    for item in &query.projection {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_aggs(expr)?;
+        }
+    }
+    let mut having_supported = true;
+    if let Some(h) = &query.having {
+        if h.contains_subquery() {
+            // Correlated HAVING subqueries (Q7) are translated but not
+            // executed by this substrate; the plan simply omits the HAVING
+            // filter and the caller is told so.
+            having_supported = false;
+        } else {
+            collect_aggs(h)?;
+        }
+    }
+
+    // The aggregate's output row is [group_by columns..., aggregates...];
+    // HAVING is evaluated over that row.
+    let having = match (&query.having, having_supported) {
+        (Some(h), true) => Some(lower_having(h, &group_by, &aggregates, columns, bound)?),
+        _ => None,
+    };
+    let _ = db;
+    Ok(Plan::Aggregate {
+        input: Box::new(input),
+        group_by,
+        aggregates,
+        having,
+    })
+}
+
+fn render_aggregate_name(func: AggregateFunction, arg: &Option<Expr>, distinct: bool) -> String {
+    let inner = match arg {
+        None => "*".to_string(),
+        Some(e) => e.to_string(),
+    };
+    if distinct {
+        format!("{}(DISTINCT {})", func.sql(), inner)
+    } else {
+        format!("{}({})", func.sql(), inner)
+    }
+}
+
+/// Lower a HAVING predicate over the aggregate output row.
+fn lower_having(
+    having: &Expr,
+    group_by: &[usize],
+    aggregates: &[AggExpr],
+    columns: &[ColumnInfo],
+    bound: &BoundQuery,
+) -> Result<PExpr, TalkbackError> {
+    match having {
+        Expr::BinaryOp { left, op, right } if *op == BinaryOperator::And => Ok(PExpr::And(
+            Box::new(lower_having(left, group_by, aggregates, columns, bound)?),
+            Box::new(lower_having(right, group_by, aggregates, columns, bound)?),
+        )),
+        Expr::BinaryOp { left, op, right } if op.is_comparison() => {
+            let l = lower_having_operand(left, group_by, aggregates, columns, bound)?;
+            let r = lower_having_operand(right, group_by, aggregates, columns, bound)?;
+            Ok(PExpr::Compare {
+                op: comparison_op(*op),
+                left: Box::new(l),
+                right: Box::new(r),
+            })
+        }
+        other => Err(TalkbackError::Unsupported(format!(
+            "HAVING predicate {other}"
+        ))),
+    }
+}
+
+fn lower_having_operand(
+    expr: &Expr,
+    group_by: &[usize],
+    aggregates: &[AggExpr],
+    columns: &[ColumnInfo],
+    bound: &BoundQuery,
+) -> Result<PExpr, TalkbackError> {
+    match expr {
+        Expr::Literal(l) => Ok(PExpr::Literal(literal_value(l))),
+        Expr::Aggregate {
+            func,
+            arg,
+            distinct,
+        } => {
+            let name = render_aggregate_name(*func, &arg.as_deref().cloned(), *distinct);
+            let pos = aggregates
+                .iter()
+                .position(|a| a.output_name == name)
+                .ok_or_else(|| {
+                    TalkbackError::Unsupported(format!("HAVING references unknown aggregate {name}"))
+                })?;
+            Ok(PExpr::Column(group_by.len() + pos))
+        }
+        Expr::Column(c) => {
+            let source = resolve_column(columns, bound, c)?;
+            let pos = group_by
+                .iter()
+                .position(|&g| g == source)
+                .ok_or_else(|| {
+                    TalkbackError::Unsupported(format!(
+                        "HAVING references non-grouped column {c}"
+                    ))
+                })?;
+            Ok(PExpr::Column(pos))
+        }
+        other => Err(TalkbackError::Unsupported(format!(
+            "HAVING operand {other}"
+        ))),
+    }
+}
+
+fn comparison_op(op: BinaryOperator) -> CmpOp {
+    match op {
+        BinaryOperator::Eq => CmpOp::Eq,
+        BinaryOperator::NotEq => CmpOp::NotEq,
+        BinaryOperator::Lt => CmpOp::Lt,
+        BinaryOperator::LtEq => CmpOp::LtEq,
+        BinaryOperator::Gt => CmpOp::Gt,
+        BinaryOperator::GtEq => CmpOp::GtEq,
+        _ => CmpOp::Eq,
+    }
+}
+
+fn literal_value(l: &Literal) -> Value {
+    match l {
+        Literal::Integer(i) => Value::Integer(*i),
+        Literal::Float(f) => Value::Float(*f),
+        Literal::String(s) => Value::Text(s.clone()),
+        Literal::Boolean(b) => Value::Boolean(*b),
+        Literal::Null => Value::Null,
+    }
+}
+
+/// Lower a scalar/boolean expression over the joined FROM row.
+pub fn lower_expr(
+    expr: &Expr,
+    columns: &[ColumnInfo],
+    bound: &BoundQuery,
+) -> Result<PExpr, TalkbackError> {
+    match expr {
+        Expr::Column(c) => Ok(PExpr::Column(resolve_column(columns, bound, c)?)),
+        Expr::Literal(l) => Ok(PExpr::Literal(literal_value(l))),
+        Expr::BinaryOp { left, op, right } => {
+            let l = lower_expr(left, columns, bound)?;
+            let r = lower_expr(right, columns, bound)?;
+            Ok(match op {
+                BinaryOperator::And => PExpr::And(Box::new(l), Box::new(r)),
+                BinaryOperator::Or => PExpr::Or(Box::new(l), Box::new(r)),
+                BinaryOperator::Plus => PExpr::Arith {
+                    op: ArithOp::Add,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                },
+                BinaryOperator::Minus => PExpr::Arith {
+                    op: ArithOp::Sub,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                },
+                BinaryOperator::Multiply => PExpr::Arith {
+                    op: ArithOp::Mul,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                },
+                BinaryOperator::Divide => PExpr::Arith {
+                    op: ArithOp::Div,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                },
+                cmp => PExpr::Compare {
+                    op: comparison_op(*cmp),
+                    left: Box::new(l),
+                    right: Box::new(r),
+                },
+            })
+        }
+        Expr::UnaryOp { op, expr } => {
+            let inner = lower_expr(expr, columns, bound)?;
+            match op {
+                UnaryOperator::Not => Ok(PExpr::Not(Box::new(inner))),
+                UnaryOperator::Minus => Ok(PExpr::Arith {
+                    op: ArithOp::Sub,
+                    left: Box::new(PExpr::Literal(Value::Integer(0))),
+                    right: Box::new(inner),
+                }),
+                UnaryOperator::Plus => Ok(inner),
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let inner = PExpr::IsNull(Box::new(lower_expr(expr, columns, bound)?));
+            Ok(if *negated {
+                PExpr::Not(Box::new(inner))
+            } else {
+                inner
+            })
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let inner = lower_expr(expr, columns, bound)?;
+            let mut values = Vec::new();
+            for item in list {
+                match item {
+                    Expr::Literal(l) => values.push(literal_value(l)),
+                    other => {
+                        return Err(TalkbackError::Unsupported(format!(
+                            "non-literal IN list element {other}"
+                        )))
+                    }
+                }
+            }
+            let in_list = PExpr::InList {
+                expr: Box::new(inner),
+                list: values,
+            };
+            Ok(if *negated {
+                PExpr::Not(Box::new(in_list))
+            } else {
+                in_list
+            })
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let e = lower_expr(expr, columns, bound)?;
+            let lo = lower_expr(low, columns, bound)?;
+            let hi = lower_expr(high, columns, bound)?;
+            let between = PExpr::And(
+                Box::new(PExpr::Compare {
+                    op: CmpOp::GtEq,
+                    left: Box::new(e.clone()),
+                    right: Box::new(lo),
+                }),
+                Box::new(PExpr::Compare {
+                    op: CmpOp::LtEq,
+                    left: Box::new(e),
+                    right: Box::new(hi),
+                }),
+            );
+            Ok(if *negated {
+                PExpr::Not(Box::new(between))
+            } else {
+                between
+            })
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let e = lower_expr(expr, columns, bound)?;
+            let pattern = match pattern.as_ref() {
+                Expr::Literal(Literal::String(s)) => s.clone(),
+                other => {
+                    return Err(TalkbackError::Unsupported(format!(
+                        "non-literal LIKE pattern {other}"
+                    )))
+                }
+            };
+            let like = PExpr::Like {
+                expr: Box::new(e),
+                pattern,
+            };
+            Ok(if *negated {
+                PExpr::Not(Box::new(like))
+            } else {
+                like
+            })
+        }
+        Expr::Aggregate { .. } => Err(TalkbackError::Unsupported(
+            "aggregate outside of an aggregate context".into(),
+        )),
+        Expr::InSubquery { .. }
+        | Expr::Exists { .. }
+        | Expr::QuantifiedComparison { .. }
+        | Expr::ScalarSubquery(_) => Err(TalkbackError::Unsupported(
+            "subquery execution in this position".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datastore::exec::execute;
+    use datastore::sample::{employee_database, movie_database};
+    use sqlparse::parse_query;
+
+    fn run(db: &Database, sql: &str) -> datastore::exec::ResultSet {
+        let q = parse_query(sql).unwrap();
+        let planned = plan_query(db, &q).unwrap();
+        execute(db, &planned.plan).unwrap()
+    }
+
+    #[test]
+    fn q1_returns_brad_pitt_movies() {
+        let db = movie_database();
+        let rs = run(
+            &db,
+            "select m.title from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
+        );
+        let titles: Vec<String> = rs.rows.iter().map(|r| r.get(0).unwrap().to_string()).collect();
+        assert_eq!(rs.len(), 2);
+        assert!(titles.contains(&"Troy".to_string()));
+        assert!(titles.contains(&"Seven".to_string()));
+    }
+
+    #[test]
+    fn q5_flattens_and_matches_q1() {
+        let db = movie_database();
+        let nested = run(
+            &db,
+            "select m.title from MOVIES m where m.id in ( \
+                select c.mid from CAST c where c.aid in ( \
+                    select a.id from ACTOR a where a.name = 'Brad Pitt'))",
+        );
+        assert_eq!(nested.len(), 2);
+    }
+
+    #[test]
+    fn q3_pairs_of_actors_in_same_movie() {
+        let db = movie_database();
+        let rs = run(
+            &db,
+            "select a1.name, a2.name from MOVIES m, CAST c1, ACTOR a1, CAST c2, ACTOR a2 \
+             where m.id = c1.mid and c1.aid = a1.id and m.id = c2.mid and c2.aid = a2.id \
+               and a1.id > a2.id",
+        );
+        // Fixtures: Match Point (13,14), Star Quest (11,12), Troy (10,12),
+        // The Return 2006 (13,15).
+        assert_eq!(rs.len(), 4);
+    }
+
+    #[test]
+    fn q4_title_equals_role() {
+        let db = movie_database();
+        let rs = run(
+            &db,
+            "select m.title from MOVIES m, CAST c where m.id = c.mid and c.role = m.title",
+        );
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0].get(0).unwrap().to_string(), "The Masquerade");
+    }
+
+    #[test]
+    fn emp_query_finds_employees_paid_more_than_their_manager() {
+        let db = employee_database();
+        let rs = run(
+            &db,
+            "select e1.name from EMP e1, EMP e2, DEPT d \
+             where e1.did = d.did and d.mgr = e2.eid and e1.sal > e2.sal",
+        );
+        let names: Vec<String> = rs.rows.iter().map(|r| r.get(0).unwrap().to_string()).collect();
+        assert_eq!(names, vec!["Carol", "Erin"]);
+    }
+
+    #[test]
+    fn aggregates_with_group_by_and_having_execute() {
+        let db = movie_database();
+        let rs = run(
+            &db,
+            "select m.year, count(*) from MOVIES m group by m.year having count(*) > 1",
+        );
+        // 2004 and 2005 appear... 2004: Melinda and Melinda + Troy; 2005: only
+        // Match Point, so exactly one group qualifies.
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0].get(0).unwrap().to_string(), "2004");
+    }
+
+    #[test]
+    fn order_by_limit_distinct_work() {
+        let db = movie_database();
+        let rs = run(
+            &db,
+            "select distinct m.year from MOVIES m order by m.year desc limit 3",
+        );
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.rows[0].get(0).unwrap().to_string(), "2006");
+    }
+
+    #[test]
+    fn unsupported_shapes_are_reported() {
+        let db = movie_database();
+        let q = parse_query(
+            "select m.title from MOVIES m where not exists ( \
+                select * from GENRE g where g.mid = m.id)",
+        )
+        .unwrap();
+        assert!(matches!(
+            plan_query(&db, &q),
+            Err(TalkbackError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn q7_without_having_subquery_support_still_plans() {
+        let db = movie_database();
+        let q = parse_query(
+            "select m.id, m.title, count(*) from MOVIES m, CAST c where m.id = c.mid \
+             group by m.id, m.title having 1 < (select count(*) from GENRE g where g.mid = m.id)",
+        )
+        .unwrap();
+        // The plan is produced (HAVING subquery is dropped with a warning at
+        // the translation layer); execution succeeds.
+        let planned = plan_query(&db, &q).unwrap();
+        let rs = execute(&db, &planned.plan).unwrap();
+        assert!(rs.len() >= 1);
+    }
+
+    #[test]
+    fn wildcard_and_qualified_wildcard_projection() {
+        let db = movie_database();
+        let rs = run(&db, "select * from GENRE g where g.genre = 'action'");
+        assert_eq!(rs.columns.len(), 2);
+        assert_eq!(rs.len(), 3);
+        let rs = run(
+            &db,
+            "select m.* from MOVIES m, GENRE g where m.id = g.mid and g.genre = 'action'",
+        );
+        assert_eq!(rs.columns.len(), 3);
+    }
+
+    #[test]
+    fn between_like_and_in_list_execute() {
+        let db = movie_database();
+        let rs = run(
+            &db,
+            "select m.title from MOVIES m where m.year between 2003 and 2005 \
+             and m.title like '%e%' and m.id in (1, 2, 3, 6)",
+        );
+        assert!(rs.len() >= 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Verbalization of DML statements and view definitions (§3.1: "Insertions,
+//! deletions, and updates, especially those with complicated qualifications
+//! or nested constructs, will benefit from a translation into natural
+//! language. Likewise for view definitions and integrity constraints.").
+
+use crate::query::phrases::constraint_phrase;
+use datastore::Catalog;
+use nlg::{finish_sentence, join_with_and, quote_sql};
+use sqlparse::ast::{
+    DeleteStatement, Expr, InsertStatement, Statement, UpdateStatement,
+};
+use templates::Lexicon;
+
+/// Verbalize any non-SELECT statement. SELECTs are handled by the query
+/// translator; this function narrates INSERT/UPDATE/DELETE/CREATE VIEW.
+pub fn translate_statement(
+    catalog: &Catalog,
+    lexicon: &Lexicon,
+    statement: &Statement,
+    query_narrative: Option<&str>,
+) -> Option<String> {
+    match statement {
+        Statement::Select(_) => None,
+        Statement::Insert(i) => Some(translate_insert(catalog, lexicon, i)),
+        Statement::Update(u) => Some(translate_update(catalog, lexicon, u)),
+        Statement::Delete(d) => Some(translate_delete(catalog, lexicon, d)),
+        Statement::CreateView(v) => Some(finish_sentence(&format!(
+            "Define a view named {} containing the answer of: {}",
+            v.name,
+            query_narrative.unwrap_or("the given query")
+        ))),
+    }
+}
+
+fn concept(catalog: &Catalog, lexicon: &Lexicon, table: &str) -> String {
+    let _ = catalog;
+    lexicon.concept(table)
+}
+
+fn translate_insert(catalog: &Catalog, lexicon: &Lexicon, insert: &InsertStatement) -> String {
+    let noun = concept(catalog, lexicon, &insert.table);
+    let rows = insert.values.len();
+    let mut parts = vec![format!(
+        "Add {} new {}{} to {}",
+        nlg::count_phrase(rows),
+        noun,
+        if rows == 1 { "" } else { "s" },
+        insert.table
+    )];
+    if let Some(first) = insert.values.first() {
+        if !insert.columns.is_empty() {
+            let assignments: Vec<String> = insert
+                .columns
+                .iter()
+                .zip(first.iter())
+                .map(|(c, v)| format!("{} {}", c.to_lowercase(), render_value(v)))
+                .collect();
+            parts.push(format!("with {}", join_with_and(&assignments)));
+        }
+    }
+    finish_sentence(&parts.join(" "))
+}
+
+fn translate_update(catalog: &Catalog, lexicon: &Lexicon, update: &UpdateStatement) -> String {
+    let noun = nlg::pluralize(&concept(catalog, lexicon, &update.table));
+    let assignments: Vec<String> = update
+        .assignments
+        .iter()
+        .map(|(column, value)| format!("set {} to {}", column.to_lowercase(), render_value(value)))
+        .collect();
+    let mut text = format!("For the {noun}");
+    if let Some(selection) = &update.selection {
+        text.push_str(&format!(" where {}", selection_phrase(selection)));
+    }
+    text.push_str(&format!(", {}", join_with_and(&assignments)));
+    finish_sentence(&text)
+}
+
+fn translate_delete(catalog: &Catalog, lexicon: &Lexicon, delete: &DeleteStatement) -> String {
+    let noun = nlg::pluralize(&concept(catalog, lexicon, &delete.table));
+    match &delete.selection {
+        None => finish_sentence(&format!("Remove every one of the {noun}")),
+        Some(selection) => finish_sentence(&format!(
+            "Remove the {noun} where {}",
+            selection_phrase(selection)
+        )),
+    }
+}
+
+fn selection_phrase(selection: &Expr) -> String {
+    let phrases: Vec<String> = selection
+        .conjuncts()
+        .iter()
+        .map(|c| constraint_phrase(c).unwrap_or_else(|| quote_sql(&c.to_string())))
+        .collect();
+    phrases.join(" and ")
+}
+
+fn render_value(expr: &Expr) -> String {
+    match expr {
+        Expr::Literal(l) => crate::query::phrases::literal_phrase(l),
+        other => quote_sql(&other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datastore::sample::movie_database;
+    use sqlparse::parse_statement;
+
+    fn translate(sql: &str) -> String {
+        let db = movie_database();
+        let statement = parse_statement(sql).unwrap();
+        translate_statement(
+            db.catalog(),
+            &Lexicon::movie_domain(),
+            &statement,
+            Some("find the action movies"),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_is_narrated_with_values() {
+        let text = translate("insert into MOVIES (id, title, year) values (11, 'New Film', 2008)");
+        assert_eq!(
+            text,
+            "Add one new movie to MOVIES with id 11, title New Film, and year 2008."
+        );
+    }
+
+    #[test]
+    fn multi_row_insert_counts_rows() {
+        let text =
+            translate("insert into GENRE (mid, genre) values (1, 'noir'), (2, 'noir'), (3, 'noir')");
+        assert!(text.starts_with("Add three new genres to GENRE"));
+    }
+
+    #[test]
+    fn update_is_narrated_with_conditions() {
+        let text = translate("update EMP set sal = 100000 where did = 10");
+        assert_eq!(
+            text,
+            "For the employees where did is 10, set sal to 100000."
+        );
+    }
+
+    #[test]
+    fn delete_with_and_without_conditions() {
+        assert_eq!(
+            translate("delete from CAST where role is null"),
+            "Remove the casting credits where role is unknown."
+        );
+        assert_eq!(
+            translate("delete from GENRE"),
+            "Remove every one of the genres."
+        );
+    }
+
+    #[test]
+    fn view_definitions_embed_the_query_narrative() {
+        let text = translate(
+            "create view ACTION_MOVIES as select m.title from MOVIES m, GENRE g \
+             where m.id = g.mid and g.genre = 'action'",
+        );
+        assert!(text.starts_with("Define a view named ACTION_MOVIES"));
+        assert!(text.contains("find the action movies"));
+    }
+
+    #[test]
+    fn select_statements_are_declined() {
+        let db = movie_database();
+        let statement = parse_statement("select * from MOVIES m").unwrap();
+        assert!(translate_statement(db.catalog(), &Lexicon::movie_domain(), &statement, None)
+            .is_none());
+    }
+}

@@ -1,0 +1,232 @@
+//! Result explanation (§3.1): "when a query returns an empty answer, it is
+//! nice to know the parts of the query that are responsible for the failure.
+//! Similarly, when a query is expected to return a very large number of
+//! answers, it is useful to know the reasons."
+
+use crate::error::TalkbackError;
+use crate::planner::{lower_expr, plan_query};
+use datastore::exec::{execute, Plan};
+use datastore::Database;
+use nlg::{finish_sentence, join_sentences, quote_sql};
+use sqlparse::ast::SelectStatement;
+use sqlparse::bind::bind_query;
+use templates::Lexicon;
+
+/// The outcome of running and analysing a query's answer size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultExplanation {
+    /// Number of rows the query produced.
+    pub rows: usize,
+    /// Narrative explanation of the result size.
+    pub narrative: String,
+    /// Per-predicate selectivity notes (predicate SQL, rows surviving when
+    /// that predicate alone is dropped).
+    pub predicate_notes: Vec<(String, usize)>,
+}
+
+/// Threshold above which a result is narrated as "very large".
+pub const LARGE_RESULT_THRESHOLD: usize = 100;
+
+/// Execute the query and explain its result cardinality. Empty results are
+/// attributed to the selection predicates that caused them (by re-running
+/// the query with each predicate removed); large results are attributed to
+/// missing constraints.
+pub fn explain_result(
+    db: &Database,
+    lexicon: &Lexicon,
+    query: &SelectStatement,
+) -> Result<ResultExplanation, TalkbackError> {
+    let planned = plan_query(db, query)?;
+    let result = execute(db, &planned.plan)?;
+    let rows = result.len();
+    let effective = planned.effective_query;
+
+    if rows == 0 {
+        let notes = blame_predicates(db, &effective)?;
+        let mut sentences = vec![finish_sentence("The query returns no results")];
+        let culprits: Vec<&(String, usize)> =
+            notes.iter().filter(|(_, survivors)| *survivors > 0).collect();
+        if culprits.is_empty() {
+            sentences.push(finish_sentence(
+                "even without any single condition the join itself produces no matches, \
+                 so the combination of joins is responsible",
+            ));
+        } else {
+            for (predicate, survivors) in &culprits {
+                sentences.push(finish_sentence(&format!(
+                    "dropping the condition {} alone would yield {} result{}",
+                    quote_sql(predicate),
+                    survivors,
+                    if *survivors == 1 { "" } else { "s" }
+                )));
+            }
+        }
+        return Ok(ResultExplanation {
+            rows,
+            narrative: join_sentences(&sentences),
+            predicate_notes: notes,
+        });
+    }
+
+    let _ = lexicon;
+    if rows > LARGE_RESULT_THRESHOLD {
+        let conditions = effective.where_conjuncts().len();
+        let narrative = join_sentences(&[
+            finish_sentence(&format!(
+                "The query returns {rows} results, which is a very large answer"
+            )),
+            finish_sentence(&format!(
+                "it only applies {conditions} condition{}; adding more selective conditions \
+                 (for example on a heading attribute) would reduce the answer",
+                if conditions == 1 { "" } else { "s" }
+            )),
+        ]);
+        return Ok(ResultExplanation {
+            rows,
+            narrative,
+            predicate_notes: Vec::new(),
+        });
+    }
+
+    Ok(ResultExplanation {
+        rows,
+        narrative: finish_sentence(&format!("The query returns {rows} result{}",
+            if rows == 1 { "" } else { "s" })),
+        predicate_notes: Vec::new(),
+    })
+}
+
+/// For every non-join selection predicate, count how many rows the query
+/// would return if that predicate alone were removed. A predicate whose
+/// removal resurrects rows is (part of) the reason for the empty answer.
+fn blame_predicates(
+    db: &Database,
+    query: &SelectStatement,
+) -> Result<Vec<(String, usize)>, TalkbackError> {
+    let conjuncts: Vec<_> = query.where_conjuncts().into_iter().cloned().collect();
+    let mut notes = Vec::new();
+    for (i, conjunct) in conjuncts.iter().enumerate() {
+        if conjunct.as_join_predicate().is_some() {
+            continue;
+        }
+        let mut reduced = query.clone();
+        let remaining: Vec<_> = conjuncts
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, e)| e.clone())
+            .collect();
+        reduced.selection = sqlparse::ast::Expr::and_all(remaining);
+        let planned = plan_query(db, &reduced)?;
+        let rows = execute(db, &planned.plan)?.len();
+        notes.push((conjunct.to_string(), rows));
+    }
+    Ok(notes)
+}
+
+/// Count the rows of a relation matching a single predicate — a helper used
+/// by examples to show per-condition selectivities alongside explanations.
+pub fn predicate_selectivity(
+    db: &Database,
+    table: &str,
+    alias: &str,
+    predicate: &sqlparse::ast::Expr,
+) -> Result<usize, TalkbackError> {
+    let query = SelectStatement {
+        projection: vec![sqlparse::ast::SelectItem::Wildcard],
+        from: vec![sqlparse::ast::TableRef::aliased(table, alias)],
+        selection: Some(predicate.clone()),
+        ..SelectStatement::default()
+    };
+    let bound = bind_query(db.catalog(), &query)?;
+    let columns: Vec<_> = db
+        .table(table)
+        .map(|t| {
+            t.schema()
+                .columns
+                .iter()
+                .map(|c| datastore::exec::ColumnInfo::qualified(alias, c.name.clone()))
+                .collect()
+        })
+        .unwrap_or_default();
+    let lowered = lower_expr(predicate, &columns, &bound)?;
+    let plan = Plan::Scan {
+        table: table.to_string(),
+        alias: alias.to_string(),
+    }
+    .filter(lowered);
+    Ok(execute(db, &plan)?.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datastore::sample::{movie_database, scaled_movie_database, ScaleConfig};
+    use sqlparse::parse_query;
+
+    #[test]
+    fn empty_results_are_blamed_on_the_responsible_predicate() {
+        let db = movie_database();
+        let q = parse_query(
+            "select m.title from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id and a.name = 'Nonexistent Person'",
+        )
+        .unwrap();
+        let explanation = explain_result(&db, &Lexicon::movie_domain(), &q).unwrap();
+        assert_eq!(explanation.rows, 0);
+        assert!(explanation.narrative.contains("no results"));
+        assert!(explanation.narrative.contains("Nonexistent Person"));
+        assert!(explanation
+            .predicate_notes
+            .iter()
+            .any(|(p, survivors)| p.contains("Nonexistent") && *survivors > 0));
+    }
+
+    #[test]
+    fn small_results_are_reported_plainly() {
+        let db = movie_database();
+        let q = parse_query(
+            "select m.title from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
+        )
+        .unwrap();
+        let explanation = explain_result(&db, &Lexicon::movie_domain(), &q).unwrap();
+        assert_eq!(explanation.rows, 2);
+        assert!(explanation.narrative.contains("2 results"));
+    }
+
+    #[test]
+    fn large_results_suggest_more_conditions() {
+        let db = scaled_movie_database(ScaleConfig {
+            movies: 200,
+            ..ScaleConfig::default()
+        });
+        let q = parse_query("select m.title from MOVIES m, GENRE g where m.id = g.mid").unwrap();
+        let explanation = explain_result(&db, &Lexicon::movie_domain(), &q).unwrap();
+        assert!(explanation.rows > LARGE_RESULT_THRESHOLD);
+        assert!(explanation.narrative.contains("very large"));
+    }
+
+    #[test]
+    fn doubly_failing_queries_blame_the_join_combination() {
+        let db = movie_database();
+        // Two contradictory constraints: dropping either one alone still
+        // yields nothing.
+        let q = parse_query(
+            "select m.title from MOVIES m where m.year > 2010 and m.year < 1950",
+        )
+        .unwrap();
+        let explanation = explain_result(&db, &Lexicon::movie_domain(), &q).unwrap();
+        assert_eq!(explanation.rows, 0);
+        assert!(explanation.narrative.contains("combination"));
+    }
+
+    #[test]
+    fn predicate_selectivity_counts_matching_rows() {
+        let db = movie_database();
+        let q = parse_query("select * from MOVIES m where m.year = 2004").unwrap();
+        let predicate = q.selection.unwrap();
+        let n = predicate_selectivity(&db, "MOVIES", "m", &predicate).unwrap();
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,268 @@
+//! The catalog: the set of relation schemas plus the foreign keys between
+//! them. This is exactly the information the paper's *schema graph* is built
+//! from (relation/attribute nodes, projection edges, FK join edges).
+
+use crate::error::StoreError;
+use crate::schema::{ForeignKey, TableSchema};
+use std::collections::BTreeMap;
+
+/// The schema-level view of a database: table schemas and foreign keys.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    /// Table schemas keyed by upper-cased name (SQL identifiers are
+    /// case-insensitive in this substrate).
+    tables: BTreeMap<String, TableSchema>,
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_uppercase()
+    }
+
+    /// Register a table schema. Fails if a table with the same
+    /// (case-insensitive) name exists.
+    pub fn add_table(&mut self, schema: TableSchema) -> Result<(), StoreError> {
+        let key = Self::key(&schema.name);
+        if self.tables.contains_key(&key) {
+            return Err(StoreError::TableExists {
+                table: schema.name.clone(),
+            });
+        }
+        self.tables.insert(key, schema);
+        Ok(())
+    }
+
+    /// Register a foreign key after validating that both ends exist.
+    pub fn add_foreign_key(&mut self, fk: ForeignKey) -> Result<(), StoreError> {
+        let describe = fk.to_string();
+        let referencing = self.table(&fk.table).ok_or(StoreError::InvalidForeignKey {
+            constraint: describe.clone(),
+            reason: format!("referencing table '{}' does not exist", fk.table),
+        })?;
+        for c in &fk.columns {
+            if !referencing.has_column(c) {
+                return Err(StoreError::InvalidForeignKey {
+                    constraint: describe,
+                    reason: format!("referencing column '{}' does not exist", c),
+                });
+            }
+        }
+        let referenced = self
+            .table(&fk.ref_table)
+            .ok_or(StoreError::InvalidForeignKey {
+                constraint: describe.clone(),
+                reason: format!("referenced table '{}' does not exist", fk.ref_table),
+            })?;
+        for c in &fk.ref_columns {
+            if !referenced.has_column(c) {
+                return Err(StoreError::InvalidForeignKey {
+                    constraint: describe,
+                    reason: format!("referenced column '{}' does not exist", c),
+                });
+            }
+        }
+        if fk.columns.len() != fk.ref_columns.len() || fk.columns.is_empty() {
+            return Err(StoreError::InvalidForeignKey {
+                constraint: describe,
+                reason: "column lists must be non-empty and of equal length".into(),
+            });
+        }
+        self.foreign_keys.push(fk);
+        Ok(())
+    }
+
+    /// Look up a table schema by case-insensitive name.
+    pub fn table(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.get(&Self::key(name))
+    }
+
+    /// Mutable access to a table schema (used to adjust narrative metadata
+    /// such as the heading attribute for personalization).
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut TableSchema> {
+        self.tables.get_mut(&Self::key(name))
+    }
+
+    /// True if the table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&Self::key(name))
+    }
+
+    /// All table schemas, in name order (deterministic iteration keeps
+    /// generated narratives and DOT output stable).
+    pub fn tables(&self) -> impl Iterator<Item = &TableSchema> {
+        self.tables.values()
+    }
+
+    /// Names of all tables, in order.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.values().map(|t| t.name.clone()).collect()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when the catalog has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// All foreign keys.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// Foreign keys whose referencing table is `table`.
+    pub fn foreign_keys_from(&self, table: &str) -> Vec<&ForeignKey> {
+        self.foreign_keys
+            .iter()
+            .filter(|fk| fk.table.eq_ignore_ascii_case(table))
+            .collect()
+    }
+
+    /// Foreign keys whose referenced table is `table`.
+    pub fn foreign_keys_to(&self, table: &str) -> Vec<&ForeignKey> {
+        self.foreign_keys
+            .iter()
+            .filter(|fk| fk.ref_table.eq_ignore_ascii_case(table))
+            .collect()
+    }
+
+    /// The foreign key (if any) connecting two tables in either direction.
+    pub fn join_between(&self, a: &str, b: &str) -> Option<&ForeignKey> {
+        self.foreign_keys.iter().find(|fk| {
+            (fk.table.eq_ignore_ascii_case(a) && fk.ref_table.eq_ignore_ascii_case(b))
+                || (fk.table.eq_ignore_ascii_case(b) && fk.ref_table.eq_ignore_ascii_case(a))
+        })
+    }
+
+    /// Tables adjacent to `table` through any foreign key (either
+    /// direction); this is the neighbourhood used by schema-graph traversal.
+    pub fn neighbors(&self, table: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for fk in &self.foreign_keys {
+            if fk.table.eq_ignore_ascii_case(table) {
+                out.push(fk.ref_table.clone());
+            } else if fk.ref_table.eq_ignore_ascii_case(table) {
+                out.push(fk.table.clone());
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType;
+
+    fn mini_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableSchema::new(
+                "MOVIES",
+                vec![
+                    ColumnDef::new("id", DataType::Integer),
+                    ColumnDef::new("title", DataType::Text),
+                ],
+            )
+            .with_primary_key(&["id"]),
+        )
+        .unwrap();
+        c.add_table(
+            TableSchema::new(
+                "CAST",
+                vec![
+                    ColumnDef::new("mid", DataType::Integer),
+                    ColumnDef::new("aid", DataType::Integer),
+                ],
+            ),
+        )
+        .unwrap();
+        c.add_table(
+            TableSchema::new(
+                "ACTOR",
+                vec![
+                    ColumnDef::new("id", DataType::Integer),
+                    ColumnDef::new("name", DataType::Text),
+                ],
+            )
+            .with_primary_key(&["id"]),
+        )
+        .unwrap();
+        c.add_foreign_key(ForeignKey::simple("CAST", "mid", "MOVIES", "id"))
+            .unwrap();
+        c.add_foreign_key(ForeignKey::simple("CAST", "aid", "ACTOR", "id"))
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let c = mini_catalog();
+        assert!(c.has_table("movies"));
+        assert!(c.has_table("Movies"));
+        assert_eq!(c.table("actor").unwrap().name, "ACTOR");
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut c = mini_catalog();
+        let err = c
+            .add_table(TableSchema::new(
+                "movies",
+                vec![ColumnDef::new("x", DataType::Integer)],
+            ))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::TableExists { .. }));
+    }
+
+    #[test]
+    fn foreign_key_validation() {
+        let mut c = mini_catalog();
+        assert!(matches!(
+            c.add_foreign_key(ForeignKey::simple("CAST", "mid", "NOPE", "id"))
+                .unwrap_err(),
+            StoreError::InvalidForeignKey { .. }
+        ));
+        assert!(matches!(
+            c.add_foreign_key(ForeignKey::simple("CAST", "zzz", "MOVIES", "id"))
+                .unwrap_err(),
+            StoreError::InvalidForeignKey { .. }
+        ));
+        assert!(matches!(
+            c.add_foreign_key(ForeignKey::simple("CAST", "mid", "MOVIES", "zzz"))
+                .unwrap_err(),
+            StoreError::InvalidForeignKey { .. }
+        ));
+    }
+
+    #[test]
+    fn neighbors_and_join_between() {
+        let c = mini_catalog();
+        assert_eq!(c.neighbors("CAST"), vec!["ACTOR".to_string(), "MOVIES".to_string()]);
+        assert_eq!(c.neighbors("MOVIES"), vec!["CAST".to_string()]);
+        assert!(c.join_between("MOVIES", "CAST").is_some());
+        assert!(c.join_between("CAST", "MOVIES").is_some());
+        assert!(c.join_between("MOVIES", "ACTOR").is_none());
+    }
+
+    #[test]
+    fn fk_directional_queries() {
+        let c = mini_catalog();
+        assert_eq!(c.foreign_keys_from("CAST").len(), 2);
+        assert_eq!(c.foreign_keys_to("MOVIES").len(), 1);
+        assert!(c.foreign_keys_from("MOVIES").is_empty());
+    }
+}

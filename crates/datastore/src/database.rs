@@ -1,0 +1,379 @@
+//! A database instance: a catalog plus table contents, with foreign-key
+//! enforcement on insert.
+
+use crate::catalog::Catalog;
+use crate::error::StoreError;
+use crate::schema::{ForeignKey, TableSchema};
+use crate::table::Table;
+use crate::tuple::{NamedRow, Row};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// An in-memory database: schemas, constraints and tuples.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    catalog: Catalog,
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_uppercase()
+    }
+
+    /// Schema-level view of the database.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable schema-level view (used for personalization overrides).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Create a table from a schema.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<(), StoreError> {
+        self.catalog.add_table(schema.clone())?;
+        self.tables.insert(Self::key(&schema.name), Table::new(schema));
+        Ok(())
+    }
+
+    /// Declare a foreign key; existing rows are checked for conformance.
+    pub fn add_foreign_key(&mut self, fk: ForeignKey) -> Result<(), StoreError> {
+        self.catalog.add_foreign_key(fk.clone())?;
+        // Validate existing data against the new constraint.
+        let violations = self.check_foreign_key(&fk);
+        if let Some(v) = violations.first() {
+            return Err(StoreError::ForeignKeyViolation {
+                constraint: fk.to_string(),
+                value: v.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_foreign_key(&self, fk: &ForeignKey) -> Vec<String> {
+        let mut out = Vec::new();
+        let (Some(child), Some(parent)) = (self.table(&fk.table), self.table(&fk.ref_table))
+        else {
+            return out;
+        };
+        let child_idx: Vec<usize> = fk
+            .columns
+            .iter()
+            .filter_map(|c| child.schema().column_index(c))
+            .collect();
+        for row in child.rows() {
+            let key: Vec<Value> = child_idx
+                .iter()
+                .map(|&i| row.get(i).cloned().unwrap_or(Value::Null))
+                .collect();
+            if key.iter().any(|v| v.is_null()) {
+                continue; // NULL FK values are allowed (match nothing).
+            }
+            if !parent.contains_pk(&key) {
+                out.push(format!("{:?}", key.iter().map(Value::to_string).collect::<Vec<_>>()));
+            }
+        }
+        out
+    }
+
+    /// Access a table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&Self::key(name))
+    }
+
+    /// Mutable access to a table.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(&Self::key(name))
+    }
+
+    /// All tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+
+    /// Insert a row into a table, enforcing local constraints and all
+    /// foreign keys whose referencing table is `table`.
+    pub fn insert(&mut self, table: &str, values: Vec<Value>) -> Result<usize, StoreError> {
+        let key = Self::key(table);
+        if !self.tables.contains_key(&key) {
+            return Err(StoreError::UnknownTable {
+                table: table.to_string(),
+            });
+        }
+        let row = Row::new(values);
+        // Validate the row shape first (against the target table).
+        self.tables[&key].validate_row(&row)?;
+        // Enforce foreign keys before mutating.
+        for fk in self.catalog.foreign_keys_from(table) {
+            let child_schema = self.tables[&key].schema();
+            let idx: Vec<usize> = fk
+                .columns
+                .iter()
+                .filter_map(|c| child_schema.column_index(c))
+                .collect();
+            let fk_values: Vec<Value> = idx
+                .iter()
+                .map(|&i| row.get(i).cloned().unwrap_or(Value::Null))
+                .collect();
+            if fk_values.iter().any(|v| v.is_null()) {
+                continue;
+            }
+            let parent = self
+                .table(&fk.ref_table)
+                .ok_or_else(|| StoreError::UnknownTable {
+                    table: fk.ref_table.clone(),
+                })?;
+            if !parent.contains_pk(&fk_values) {
+                return Err(StoreError::ForeignKeyViolation {
+                    constraint: fk.to_string(),
+                    value: format!(
+                        "{:?}",
+                        fk_values.iter().map(Value::to_string).collect::<Vec<_>>()
+                    ),
+                });
+            }
+        }
+        self.tables.get_mut(&key).unwrap().insert(row)
+    }
+
+    /// Insert without foreign-key checking. Used by generators that load
+    /// parents and children in bulk and by tests that need inconsistent
+    /// states on purpose.
+    pub fn insert_unchecked(
+        &mut self,
+        table: &str,
+        values: Vec<Value>,
+    ) -> Result<usize, StoreError> {
+        let key = Self::key(table);
+        self.tables
+            .get_mut(&key)
+            .ok_or_else(|| StoreError::UnknownTable {
+                table: table.to_string(),
+            })?
+            .insert_values(values)
+    }
+
+    /// Named-row views of every tuple in a relation, in insertion order.
+    pub fn named_rows<'a>(&'a self, table: &str) -> Vec<NamedRow<'a>> {
+        match self.table(table) {
+            Some(t) => t
+                .rows()
+                .iter()
+                .map(|r| NamedRow::new(t.schema(), r))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Follow a foreign key from one tuple of `fk.table` to the matching
+    /// tuple of `fk.ref_table` (if any). This is the tuple-level counterpart
+    /// of walking a join edge during content translation.
+    pub fn follow_fk<'a>(&'a self, fk: &ForeignKey, row: &Row) -> Option<NamedRow<'a>> {
+        let child = self.table(&fk.table)?;
+        let parent = self.table(&fk.ref_table)?;
+        let idx: Vec<usize> = fk
+            .columns
+            .iter()
+            .filter_map(|c| child.schema().column_index(c))
+            .collect();
+        let key: Vec<Value> = idx
+            .iter()
+            .map(|&i| row.get(i).cloned().unwrap_or(Value::Null))
+            .collect();
+        if key.iter().any(|v| v.is_null()) {
+            return None;
+        }
+        parent
+            .find_by_pk(&key)
+            .map(|r| NamedRow::new(parent.schema(), r))
+    }
+
+    /// All tuples of `fk.table` that reference the given tuple of
+    /// `fk.ref_table` (reverse join-edge navigation).
+    pub fn referencing_rows<'a>(&'a self, fk: &ForeignKey, parent_row: &Row) -> Vec<NamedRow<'a>> {
+        let (Some(child), Some(parent)) = (self.table(&fk.table), self.table(&fk.ref_table))
+        else {
+            return Vec::new();
+        };
+        let parent_idx: Vec<usize> = fk
+            .ref_columns
+            .iter()
+            .filter_map(|c| parent.schema().column_index(c))
+            .collect();
+        let parent_key: Vec<Value> = parent_idx
+            .iter()
+            .map(|&i| parent_row.get(i).cloned().unwrap_or(Value::Null))
+            .collect();
+        let child_idx: Vec<usize> = fk
+            .columns
+            .iter()
+            .filter_map(|c| child.schema().column_index(c))
+            .collect();
+        child
+            .rows()
+            .iter()
+            .filter(|r| {
+                child_idx
+                    .iter()
+                    .zip(&parent_key)
+                    .all(|(&i, pv)| r.get(i).map(|v| v == pv).unwrap_or(false))
+            })
+            .map(|r| NamedRow::new(child.schema(), r))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType;
+
+    fn movie_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "MOVIES",
+                vec![
+                    ColumnDef::new("id", DataType::Integer),
+                    ColumnDef::new("title", DataType::Text),
+                ],
+            )
+            .with_primary_key(&["id"]),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "CAST",
+                vec![
+                    ColumnDef::new("mid", DataType::Integer),
+                    ColumnDef::new("aid", DataType::Integer),
+                ],
+            ),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "ACTOR",
+                vec![
+                    ColumnDef::new("id", DataType::Integer),
+                    ColumnDef::new("name", DataType::Text),
+                ],
+            )
+            .with_primary_key(&["id"]),
+        )
+        .unwrap();
+        db.add_foreign_key(ForeignKey::simple("CAST", "mid", "MOVIES", "id"))
+            .unwrap();
+        db.add_foreign_key(ForeignKey::simple("CAST", "aid", "ACTOR", "id"))
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_enforces_foreign_keys() {
+        let mut db = movie_db();
+        db.insert("MOVIES", vec![Value::int(1), Value::text("Troy")])
+            .unwrap();
+        db.insert("ACTOR", vec![Value::int(10), Value::text("Brad Pitt")])
+            .unwrap();
+        db.insert("CAST", vec![Value::int(1), Value::int(10)]).unwrap();
+        let err = db
+            .insert("CAST", vec![Value::int(99), Value::int(10)])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::ForeignKeyViolation { .. }));
+    }
+
+    #[test]
+    fn unknown_table_insert_fails() {
+        let mut db = movie_db();
+        assert!(matches!(
+            db.insert("NOPE", vec![]).unwrap_err(),
+            StoreError::UnknownTable { .. }
+        ));
+    }
+
+    #[test]
+    fn adding_fk_checks_existing_rows() {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new("P", vec![ColumnDef::new("id", DataType::Integer)])
+                .with_primary_key(&["id"]),
+        )
+        .unwrap();
+        db.create_table(TableSchema::new(
+            "C",
+            vec![ColumnDef::new("pid", DataType::Integer)],
+        ))
+        .unwrap();
+        db.insert("C", vec![Value::int(7)]).unwrap();
+        let err = db
+            .add_foreign_key(ForeignKey::simple("C", "pid", "P", "id"))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::ForeignKeyViolation { .. }));
+    }
+
+    #[test]
+    fn follow_fk_and_referencing_rows() {
+        let mut db = movie_db();
+        db.insert("MOVIES", vec![Value::int(1), Value::text("Troy")])
+            .unwrap();
+        db.insert("MOVIES", vec![Value::int(2), Value::text("Se7en")])
+            .unwrap();
+        db.insert("ACTOR", vec![Value::int(10), Value::text("Brad Pitt")])
+            .unwrap();
+        db.insert("CAST", vec![Value::int(1), Value::int(10)]).unwrap();
+        db.insert("CAST", vec![Value::int(2), Value::int(10)]).unwrap();
+
+        let fk_movie = ForeignKey::simple("CAST", "mid", "MOVIES", "id");
+        let cast_rows = db.table("CAST").unwrap().rows().to_vec();
+        let movie = db.follow_fk(&fk_movie, &cast_rows[0]).unwrap();
+        assert_eq!(movie.value("title"), Some(&Value::text("Troy")));
+
+        let fk_actor = ForeignKey::simple("CAST", "aid", "ACTOR", "id");
+        let actor_row = db.table("ACTOR").unwrap().rows()[0].clone();
+        let credits = db.referencing_rows(&fk_actor, &actor_row);
+        assert_eq!(credits.len(), 2);
+    }
+
+    #[test]
+    fn null_fk_values_are_allowed() {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new("P", vec![ColumnDef::new("id", DataType::Integer)])
+                .with_primary_key(&["id"]),
+        )
+        .unwrap();
+        db.create_table(TableSchema::new(
+            "C",
+            vec![ColumnDef::nullable("pid", DataType::Integer)],
+        ))
+        .unwrap();
+        db.add_foreign_key(ForeignKey::simple("C", "pid", "P", "id"))
+            .unwrap();
+        db.insert("C", vec![Value::Null]).unwrap();
+        assert_eq!(db.table("C").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn total_rows_counts_every_relation() {
+        let mut db = movie_db();
+        db.insert("MOVIES", vec![Value::int(1), Value::text("Troy")])
+            .unwrap();
+        db.insert("ACTOR", vec![Value::int(10), Value::text("Brad Pitt")])
+            .unwrap();
+        assert_eq!(db.total_rows(), 2);
+    }
+}

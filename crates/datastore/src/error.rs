@@ -1,0 +1,124 @@
+//! Error types for the storage and execution substrate.
+
+use crate::value::DataType;
+use std::fmt;
+
+/// Errors raised by the storage layer and the executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A table with the same name already exists in the catalog.
+    TableExists { table: String },
+    /// Reference to a table that is not in the catalog.
+    UnknownTable { table: String },
+    /// Reference to a column that does not exist on a relation.
+    UnknownColumn { table: String, column: String },
+    /// A row does not have the same number of fields as its schema.
+    ArityMismatch {
+        table: String,
+        expected: usize,
+        found: usize,
+    },
+    /// A value of the wrong type was supplied for a column.
+    TypeMismatch {
+        table: String,
+        column: String,
+        expected: DataType,
+        found: DataType,
+    },
+    /// NULL supplied for a NOT NULL column.
+    NullViolation { table: String, column: String },
+    /// Primary-key uniqueness violated.
+    DuplicateKey { table: String, key: String },
+    /// Foreign-key value does not exist in the referenced table.
+    ForeignKeyViolation {
+        constraint: String,
+        value: String,
+    },
+    /// A foreign key declaration references tables/columns that do not exist.
+    InvalidForeignKey { constraint: String, reason: String },
+    /// The executor was asked to evaluate something it does not support.
+    Unsupported { what: String },
+    /// Generic expression-evaluation failure (bad operand types, etc.).
+    Eval { message: String },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::TableExists { table } => write!(f, "table '{table}' already exists"),
+            StoreError::UnknownTable { table } => write!(f, "unknown table '{table}'"),
+            StoreError::UnknownColumn { table, column } => {
+                write!(f, "unknown column '{column}' on table '{table}'")
+            }
+            StoreError::ArityMismatch {
+                table,
+                expected,
+                found,
+            } => write!(
+                f,
+                "table '{table}' expects {expected} values per row, got {found}"
+            ),
+            StoreError::TypeMismatch {
+                table,
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "column '{table}.{column}' expects {expected}, got {found}"
+            ),
+            StoreError::NullViolation { table, column } => {
+                write!(f, "column '{table}.{column}' is NOT NULL but got NULL")
+            }
+            StoreError::DuplicateKey { table, key } => {
+                write!(f, "duplicate primary key {key} in table '{table}'")
+            }
+            StoreError::ForeignKeyViolation { constraint, value } => {
+                write!(f, "foreign key {constraint} violated by value {value}")
+            }
+            StoreError::InvalidForeignKey { constraint, reason } => {
+                write!(f, "invalid foreign key {constraint}: {reason}")
+            }
+            StoreError::Unsupported { what } => write!(f, "unsupported operation: {what}"),
+            StoreError::Eval { message } => write!(f, "evaluation error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StoreError::UnknownColumn {
+            table: "MOVIES".into(),
+            column: "budget".into(),
+        };
+        assert!(e.to_string().contains("MOVIES"));
+        assert!(e.to_string().contains("budget"));
+
+        let e = StoreError::TypeMismatch {
+            table: "MOVIES".into(),
+            column: "year".into(),
+            expected: DataType::Integer,
+            found: DataType::Text,
+        };
+        assert!(e.to_string().contains("integer"));
+        assert!(e.to_string().contains("text"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            StoreError::UnknownTable { table: "X".into() },
+            StoreError::UnknownTable { table: "X".into() }
+        );
+        assert_ne!(
+            StoreError::UnknownTable { table: "X".into() },
+            StoreError::UnknownTable { table: "Y".into() }
+        );
+    }
+}

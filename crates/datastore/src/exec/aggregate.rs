@@ -1,0 +1,239 @@
+//! Aggregate functions and their accumulators.
+
+use crate::expr::Expr;
+use crate::tuple::Row;
+use crate::value::{GroupKey, Value};
+use std::collections::HashSet;
+
+/// The aggregate functions the paper's queries use (COUNT, COUNT DISTINCT)
+/// plus the rest of the usual SQL set so generated workloads can vary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    CountDistinct,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    /// SQL spelling used when narrating or printing plans.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::CountDistinct => "count(distinct)",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+
+    /// The English phrase used by the query narrator ("the number of …").
+    pub fn narrative_phrase(&self) -> &'static str {
+        match self {
+            AggFunc::Count | AggFunc::CountDistinct => "the number of",
+            AggFunc::Sum => "the total",
+            AggFunc::Avg => "the average",
+            AggFunc::Min => "the smallest",
+            AggFunc::Max => "the largest",
+        }
+    }
+}
+
+/// An aggregate expression: a function applied to an argument expression
+/// (`None` means `COUNT(*)`).
+#[derive(Debug, Clone)]
+pub struct AggExpr {
+    pub func: AggFunc,
+    /// Argument over the input row; `None` encodes `*`.
+    pub arg: Option<Expr>,
+    /// Output column name.
+    pub output_name: String,
+}
+
+impl AggExpr {
+    /// `COUNT(*)` with the given output name.
+    pub fn count_star(output_name: impl Into<String>) -> AggExpr {
+        AggExpr {
+            func: AggFunc::Count,
+            arg: None,
+            output_name: output_name.into(),
+        }
+    }
+
+    /// An aggregate over an argument expression.
+    pub fn new(func: AggFunc, arg: Expr, output_name: impl Into<String>) -> AggExpr {
+        AggExpr {
+            func,
+            arg: Some(arg),
+            output_name: output_name.into(),
+        }
+    }
+}
+
+/// Running state for one aggregate within one group.
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    func: AggFunc,
+    count: u64,
+    sum: f64,
+    min: Option<Value>,
+    max: Option<Value>,
+    distinct: HashSet<GroupKey>,
+}
+
+impl Accumulator {
+    /// Fresh accumulator for the given function.
+    pub fn new(func: AggFunc) -> Accumulator {
+        Accumulator {
+            func,
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+            distinct: HashSet::new(),
+        }
+    }
+
+    /// Fold one value into the accumulator. For `COUNT(*)` the caller passes
+    /// a non-NULL placeholder; for every other function SQL semantics ignore
+    /// NULL inputs.
+    pub fn update(&mut self, value: &Value) {
+        if value.is_null() {
+            return;
+        }
+        match self.func {
+            AggFunc::Count => self.count += 1,
+            AggFunc::CountDistinct => {
+                self.distinct.insert(value.group_key());
+            }
+            AggFunc::Sum | AggFunc::Avg => {
+                if let Some(x) = value.as_f64() {
+                    self.sum += x;
+                    self.count += 1;
+                }
+            }
+            AggFunc::Min => {
+                let better = match &self.min {
+                    None => true,
+                    Some(cur) => value.total_cmp(cur).is_lt(),
+                };
+                if better {
+                    self.min = Some(value.clone());
+                }
+            }
+            AggFunc::Max => {
+                let better = match &self.max {
+                    None => true,
+                    Some(cur) => value.total_cmp(cur).is_gt(),
+                };
+                if better {
+                    self.max = Some(value.clone());
+                }
+            }
+        }
+    }
+
+    /// Final value of the aggregate for its group.
+    pub fn finish(&self) -> Value {
+        match self.func {
+            AggFunc::Count => Value::Integer(self.count as i64),
+            AggFunc::CountDistinct => Value::Integer(self.distinct.len() as i64),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.sum.fract() == 0.0 {
+                    Value::Integer(self.sum as i64)
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Evaluate the argument of an aggregate for one input row. `COUNT(*)` maps
+/// every row to a non-NULL marker so it counts all rows.
+pub fn agg_input(agg: &AggExpr, row: &Row) -> Value {
+    match &agg.arg {
+        None => Value::Integer(1),
+        Some(e) => e.eval(row).unwrap_or(Value::Null),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_ignores_nulls_count_star_does_not() {
+        let mut acc = Accumulator::new(AggFunc::Count);
+        acc.update(&Value::int(1));
+        acc.update(&Value::Null);
+        acc.update(&Value::int(3));
+        assert_eq!(acc.finish(), Value::Integer(2));
+
+        // COUNT(*) is modelled by feeding the marker value for every row.
+        let star = AggExpr::count_star("cnt");
+        let mut acc = Accumulator::new(star.func);
+        for _ in 0..5 {
+            acc.update(&agg_input(&star, &Row::empty()));
+        }
+        assert_eq!(acc.finish(), Value::Integer(5));
+    }
+
+    #[test]
+    fn count_distinct_deduplicates() {
+        let mut acc = Accumulator::new(AggFunc::CountDistinct);
+        for v in [1, 2, 2, 3, 3, 3] {
+            acc.update(&Value::int(v));
+        }
+        acc.update(&Value::Null);
+        assert_eq!(acc.finish(), Value::Integer(3));
+    }
+
+    #[test]
+    fn sum_avg_min_max() {
+        let mut sum = Accumulator::new(AggFunc::Sum);
+        let mut avg = Accumulator::new(AggFunc::Avg);
+        let mut min = Accumulator::new(AggFunc::Min);
+        let mut max = Accumulator::new(AggFunc::Max);
+        for v in [10, 20, 30] {
+            let val = Value::int(v);
+            sum.update(&val);
+            avg.update(&val);
+            min.update(&val);
+            max.update(&val);
+        }
+        assert_eq!(sum.finish(), Value::Integer(60));
+        assert_eq!(avg.finish(), Value::Float(20.0));
+        assert_eq!(min.finish(), Value::Integer(10));
+        assert_eq!(max.finish(), Value::Integer(30));
+    }
+
+    #[test]
+    fn empty_group_results() {
+        assert_eq!(Accumulator::new(AggFunc::Count).finish(), Value::Integer(0));
+        assert_eq!(Accumulator::new(AggFunc::Sum).finish(), Value::Null);
+        assert_eq!(Accumulator::new(AggFunc::Avg).finish(), Value::Null);
+        assert_eq!(Accumulator::new(AggFunc::Min).finish(), Value::Null);
+    }
+
+    #[test]
+    fn narrative_phrases() {
+        assert_eq!(AggFunc::Count.narrative_phrase(), "the number of");
+        assert_eq!(AggFunc::Max.narrative_phrase(), "the largest");
+        assert_eq!(AggFunc::CountDistinct.sql_name(), "count(distinct)");
+    }
+}

@@ -1,0 +1,507 @@
+//! Plan execution: materializing volcano-style evaluation of [`Plan`] trees.
+
+use crate::database::Database;
+use crate::error::StoreError;
+use crate::exec::aggregate::{agg_input, Accumulator};
+use crate::exec::plan::{ColumnInfo, Plan, SortKey};
+use crate::tuple::Row;
+use crate::value::{GroupKey, Value};
+use std::collections::HashMap;
+
+/// The materialized result of executing a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column descriptors.
+    pub columns: Vec<ColumnInfo>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the result is empty — the situation §3.1 of the paper wants
+    /// explained in natural language.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Position of an output column by (optionally qualified) name.
+    pub fn column_index(&self, qualifier: Option<&str>, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.matches(qualifier, name))
+    }
+
+    /// All values of one output column.
+    pub fn column_values(&self, index: usize) -> Vec<Value> {
+        self.rows
+            .iter()
+            .map(|r| r.get(index).cloned().unwrap_or(Value::Null))
+            .collect()
+    }
+
+    /// Render as a simple aligned text table (used by the examples).
+    pub fn to_text_table(&self) -> String {
+        let headers: Vec<String> = self.columns.iter().map(|c| c.to_string()).collect();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.values().iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        for (i, h) in headers.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", h, width = widths[i]));
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(cell.len());
+                out.push_str(&format!("{:<width$}  ", cell, width = w));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Execute a plan against a database, materializing the full result.
+pub fn execute(db: &Database, plan: &Plan) -> Result<ResultSet, StoreError> {
+    match plan {
+        Plan::Scan { table, alias } => {
+            let t = db.table(table).ok_or_else(|| StoreError::UnknownTable {
+                table: table.clone(),
+            })?;
+            let columns = t
+                .schema()
+                .columns
+                .iter()
+                .map(|c| ColumnInfo::qualified(alias.clone(), c.name.clone()))
+                .collect();
+            Ok(ResultSet {
+                columns,
+                rows: t.rows().to_vec(),
+            })
+        }
+        Plan::Values { columns, rows } => Ok(ResultSet {
+            columns: columns.clone(),
+            rows: rows.clone(),
+        }),
+        Plan::Filter { input, predicate } => {
+            let mut rs = execute(db, input)?;
+            let mut kept = Vec::with_capacity(rs.rows.len());
+            for row in rs.rows.drain(..) {
+                if predicate.eval_predicate(&row)? {
+                    kept.push(row);
+                }
+            }
+            rs.rows = kept;
+            Ok(rs)
+        }
+        Plan::Project {
+            input,
+            exprs,
+            columns,
+        } => {
+            let rs = execute(db, input)?;
+            let mut rows = Vec::with_capacity(rs.rows.len());
+            for row in &rs.rows {
+                let mut values = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    values.push(e.eval(row)?);
+                }
+                rows.push(Row::new(values));
+            }
+            Ok(ResultSet {
+                columns: columns.clone(),
+                rows,
+            })
+        }
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+        } => {
+            let l = execute(db, left)?;
+            let r = execute(db, right)?;
+            let mut columns = l.columns.clone();
+            columns.extend(r.columns.clone());
+            let mut rows = Vec::new();
+            for lr in &l.rows {
+                for rr in &r.rows {
+                    let joined = lr.concat(rr);
+                    let keep = match predicate {
+                        None => true,
+                        Some(p) => p.eval_predicate(&joined)?,
+                    };
+                    if keep {
+                        rows.push(joined);
+                    }
+                }
+            }
+            Ok(ResultSet { columns, rows })
+        }
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            let l = execute(db, left)?;
+            let r = execute(db, right)?;
+            let mut columns = l.columns.clone();
+            columns.extend(r.columns.clone());
+            // Build on the right side, probe with the left, preserving left
+            // row order for deterministic output.
+            let mut index: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
+            for (i, row) in r.rows.iter().enumerate() {
+                let key = row.group_key(right_keys);
+                // SQL equality never matches NULL keys.
+                if key.iter().any(|k| *k == GroupKey::Null) {
+                    continue;
+                }
+                index.entry(key).or_default().push(i);
+            }
+            let mut rows = Vec::new();
+            for lr in &l.rows {
+                let key = lr.group_key(left_keys);
+                if key.iter().any(|k| *k == GroupKey::Null) {
+                    continue;
+                }
+                if let Some(matches) = index.get(&key) {
+                    for &ri in matches {
+                        rows.push(lr.concat(&r.rows[ri]));
+                    }
+                }
+            }
+            Ok(ResultSet { columns, rows })
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+            having,
+        } => {
+            let rs = execute(db, input)?;
+            // Group rows. With no grouping columns there is exactly one
+            // group, even over empty input (per SQL semantics for scalar
+            // aggregates).
+            let mut groups: Vec<(Vec<GroupKey>, Vec<Value>, Vec<Accumulator>)> = Vec::new();
+            let mut group_index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+            if group_by.is_empty() {
+                groups.push((
+                    Vec::new(),
+                    Vec::new(),
+                    aggregates.iter().map(|a| Accumulator::new(a.func)).collect(),
+                ));
+                group_index.insert(Vec::new(), 0);
+            }
+            for row in &rs.rows {
+                let key = row.group_key(group_by);
+                let idx = match group_index.get(&key) {
+                    Some(&i) => i,
+                    None => {
+                        let values = group_by
+                            .iter()
+                            .map(|&i| row.get(i).cloned().unwrap_or(Value::Null))
+                            .collect();
+                        groups.push((
+                            key.clone(),
+                            values,
+                            aggregates.iter().map(|a| Accumulator::new(a.func)).collect(),
+                        ));
+                        group_index.insert(key, groups.len() - 1);
+                        groups.len() - 1
+                    }
+                };
+                for (agg, acc) in aggregates.iter().zip(groups[idx].2.iter_mut()) {
+                    acc.update(&agg_input(agg, row));
+                }
+            }
+            let mut columns: Vec<ColumnInfo> = group_by
+                .iter()
+                .map(|&i| rs.columns.get(i).cloned().unwrap_or_else(|| {
+                    ColumnInfo::unqualified(format!("group_{i}"))
+                }))
+                .collect();
+            columns.extend(
+                aggregates
+                    .iter()
+                    .map(|a| ColumnInfo::unqualified(a.output_name.clone())),
+            );
+            let mut rows = Vec::with_capacity(groups.len());
+            for (_, group_values, accs) in &groups {
+                let mut values = group_values.clone();
+                values.extend(accs.iter().map(Accumulator::finish));
+                let row = Row::new(values);
+                let keep = match having {
+                    None => true,
+                    Some(h) => h.eval_predicate(&row)?,
+                };
+                if keep {
+                    rows.push(row);
+                }
+            }
+            Ok(ResultSet { columns, rows })
+        }
+        Plan::Sort { input, keys } => {
+            let mut rs = execute(db, input)?;
+            sort_rows(&mut rs.rows, keys);
+            Ok(rs)
+        }
+        Plan::Limit { input, n } => {
+            let mut rs = execute(db, input)?;
+            rs.rows.truncate(*n);
+            Ok(rs)
+        }
+        Plan::Distinct { input } => {
+            let mut rs = execute(db, input)?;
+            let mut seen: HashMap<Vec<GroupKey>, ()> = HashMap::new();
+            let all: Vec<usize> = (0..rs.columns.len()).collect();
+            rs.rows.retain(|r| seen.insert(r.group_key(&all), ()).is_none());
+            Ok(rs)
+        }
+    }
+}
+
+fn sort_rows(rows: &mut [Row], keys: &[SortKey]) {
+    rows.sort_by(|a, b| {
+        for key in keys {
+            let av = a.get(key.column).cloned().unwrap_or(Value::Null);
+            let bv = b.get(key.column).cloned().unwrap_or(Value::Null);
+            let ord = av.total_cmp(&bv);
+            let ord = if key.ascending { ord } else { ord.reverse() };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::aggregate::{AggExpr, AggFunc};
+    use crate::expr::{CmpOp, Expr};
+    use crate::schema::{ColumnDef, TableSchema};
+    use crate::value::DataType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "MOVIES",
+                vec![
+                    ColumnDef::new("id", DataType::Integer),
+                    ColumnDef::new("title", DataType::Text),
+                    ColumnDef::new("year", DataType::Integer),
+                ],
+            )
+            .with_primary_key(&["id"]),
+        )
+        .unwrap();
+        db.create_table(TableSchema::new(
+            "CAST",
+            vec![
+                ColumnDef::new("mid", DataType::Integer),
+                ColumnDef::new("aid", DataType::Integer),
+            ],
+        ))
+        .unwrap();
+        let movies = [
+            (1, "Match Point", 2005),
+            (2, "Melinda and Melinda", 2004),
+            (3, "Anything Else", 2003),
+            (4, "Troy", 2004),
+        ];
+        for (id, title, year) in movies {
+            db.insert(
+                "MOVIES",
+                vec![Value::int(id), Value::text(title), Value::int(year)],
+            )
+            .unwrap();
+        }
+        for (mid, aid) in [(1, 10), (2, 10), (4, 20), (4, 21)] {
+            db.insert("CAST", vec![Value::int(mid), Value::int(aid)])
+                .unwrap();
+        }
+        db
+    }
+
+    fn scan(table: &str, alias: &str) -> Plan {
+        Plan::Scan {
+            table: table.into(),
+            alias: alias.into(),
+        }
+    }
+
+    #[test]
+    fn scan_and_filter() {
+        let db = db();
+        let plan = scan("MOVIES", "m").filter(Expr::col_cmp_value(2, CmpOp::Eq, Value::int(2004)));
+        let rs = execute(&db, &plan).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.columns[1].to_string(), "m.title");
+    }
+
+    #[test]
+    fn project_computes_expressions() {
+        let db = db();
+        let plan = scan("MOVIES", "m").project(
+            vec![Expr::Column(1), Expr::Column(2)],
+            vec![
+                ColumnInfo::qualified("m", "title"),
+                ColumnInfo::qualified("m", "year"),
+            ],
+        );
+        let rs = execute(&db, &plan).unwrap();
+        assert_eq!(rs.len(), 4);
+        assert_eq!(rs.rows[0].arity(), 2);
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop_join() {
+        let db = db();
+        let nl = Plan::NestedLoopJoin {
+            left: Box::new(scan("MOVIES", "m")),
+            right: Box::new(scan("CAST", "c")),
+            predicate: Some(Expr::col_eq(0, 3)),
+        };
+        let hj = Plan::HashJoin {
+            left: Box::new(scan("MOVIES", "m")),
+            right: Box::new(scan("CAST", "c")),
+            left_keys: vec![0],
+            right_keys: vec![0],
+        };
+        let a = execute(&db, &nl).unwrap();
+        let b = execute(&db, &hj).unwrap();
+        assert_eq!(a.len(), 4);
+        let mut ra = a.rows.clone();
+        let mut rb = b.rows.clone();
+        let keys: Vec<usize> = (0..a.columns.len()).collect();
+        ra.sort_by_key(|r| r.group_key(&keys));
+        rb.sort_by_key(|r| r.group_key(&keys));
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn aggregate_group_by_and_having() {
+        let db = db();
+        // SELECT year, count(*) FROM MOVIES GROUP BY year HAVING count(*) > 1
+        let plan = Plan::Aggregate {
+            input: Box::new(scan("MOVIES", "m")),
+            group_by: vec![2],
+            aggregates: vec![AggExpr::count_star("cnt")],
+            having: Some(Expr::col_cmp_value(1, CmpOp::Gt, Value::int(1))),
+        };
+        let rs = execute(&db, &plan).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0].get(0), Some(&Value::int(2004)));
+        assert_eq!(rs.rows[0].get(1), Some(&Value::int(2)));
+    }
+
+    #[test]
+    fn scalar_aggregate_over_empty_input_returns_one_row() {
+        let db = db();
+        let empty = scan("MOVIES", "m").filter(Expr::col_cmp_value(2, CmpOp::Eq, Value::int(1900)));
+        let plan = Plan::Aggregate {
+            input: Box::new(empty),
+            group_by: vec![],
+            aggregates: vec![AggExpr::count_star("cnt")],
+            having: None,
+        };
+        let rs = execute(&db, &plan).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0].get(0), Some(&Value::int(0)));
+    }
+
+    #[test]
+    fn sort_limit_distinct() {
+        let db = db();
+        let plan = Plan::Sort {
+            input: Box::new(scan("MOVIES", "m")),
+            keys: vec![SortKey {
+                column: 2,
+                ascending: false,
+            }],
+        }
+        .limit(2);
+        let rs = execute(&db, &plan).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rows[0].get(2), Some(&Value::int(2005)));
+
+        let years = scan("MOVIES", "m").project(
+            vec![Expr::Column(2)],
+            vec![ColumnInfo::qualified("m", "year")],
+        );
+        let distinct = Plan::Distinct {
+            input: Box::new(years),
+        };
+        let rs = execute(&db, &distinct).unwrap();
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn min_max_avg_aggregates() {
+        let db = db();
+        let plan = Plan::Aggregate {
+            input: Box::new(scan("MOVIES", "m")),
+            group_by: vec![],
+            aggregates: vec![
+                AggExpr::new(AggFunc::Min, Expr::Column(2), "min_year"),
+                AggExpr::new(AggFunc::Max, Expr::Column(2), "max_year"),
+                AggExpr::new(AggFunc::Avg, Expr::Column(2), "avg_year"),
+                AggExpr::new(AggFunc::CountDistinct, Expr::Column(2), "years"),
+            ],
+            having: None,
+        };
+        let rs = execute(&db, &plan).unwrap();
+        assert_eq!(rs.rows[0].get(0), Some(&Value::int(2003)));
+        assert_eq!(rs.rows[0].get(1), Some(&Value::int(2005)));
+        assert_eq!(rs.rows[0].get(2), Some(&Value::Float(2004.0)));
+        assert_eq!(rs.rows[0].get(3), Some(&Value::int(3)));
+    }
+
+    #[test]
+    fn unknown_table_scan_errors() {
+        let db = db();
+        let err = execute(&db, &scan("NOPE", "n")).unwrap_err();
+        assert!(matches!(err, StoreError::UnknownTable { .. }));
+    }
+
+    #[test]
+    fn result_set_helpers() {
+        let db = db();
+        let rs = execute(&db, &scan("MOVIES", "m")).unwrap();
+        assert!(!rs.is_empty());
+        assert_eq!(rs.column_index(Some("m"), "title"), Some(1));
+        assert_eq!(rs.column_index(None, "year"), Some(2));
+        assert_eq!(rs.column_values(2).len(), 4);
+        let table = rs.to_text_table();
+        assert!(table.contains("m.title"));
+        assert!(table.contains("Match Point"));
+    }
+
+    #[test]
+    fn values_plan_round_trips() {
+        let db = Database::new();
+        let plan = Plan::Values {
+            columns: vec![ColumnInfo::unqualified("x")],
+            rows: vec![Row::new(vec![Value::int(1)]), Row::new(vec![Value::int(2)])],
+        };
+        let rs = execute(&db, &plan).unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+}

@@ -1,0 +1,15 @@
+//! A small volcano-style executor over physical plans.
+//!
+//! The executor exists so the reproduction can actually *run* the paper's
+//! queries (Q1–Q9, the EMP/DEPT example) against the synthetic movie
+//! database: the query-explanation features of §3.1 (empty-result and
+//! large-result explanations) need real answer cardinalities, and the
+//! accessibility pipeline needs real answers to narrate.
+
+pub mod aggregate;
+pub mod executor;
+pub mod plan;
+
+pub use aggregate::{AggExpr, AggFunc, Accumulator};
+pub use executor::{execute, ResultSet};
+pub use plan::{ColumnInfo, Plan, SortKey};

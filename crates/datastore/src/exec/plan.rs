@@ -1,0 +1,228 @@
+//! Physical query plans.
+//!
+//! Plans are deliberately simple trees: the goal of this substrate is
+//! correctness and observability (the explainer wants to know which operator
+//! filtered everything out), not query-optimizer sophistication.
+
+use crate::exec::aggregate::AggExpr;
+use crate::expr::Expr;
+use crate::tuple::Row;
+use std::fmt;
+
+/// A named output column of a plan node, carrying the relation alias it came
+/// from so projections can be resolved by qualified name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnInfo {
+    /// Relation alias (tuple variable) the column belongs to, if any.
+    pub qualifier: Option<String>,
+    /// Column (or computed expression) name.
+    pub name: String,
+}
+
+impl ColumnInfo {
+    /// Column with a qualifier, e.g. `m.title`.
+    pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>) -> ColumnInfo {
+        ColumnInfo {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
+    }
+
+    /// Column without a qualifier (computed expressions, aggregate outputs).
+    pub fn unqualified(name: impl Into<String>) -> ColumnInfo {
+        ColumnInfo {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// True if this column matches a possibly-qualified reference.
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if !self.name.eq_ignore_ascii_case(name) {
+            return false;
+        }
+        match (qualifier, &self.qualifier) {
+            (None, _) => true,
+            (Some(q), Some(mine)) => mine.eq_ignore_ascii_case(q),
+            (Some(_), None) => false,
+        }
+    }
+}
+
+impl fmt::Display for ColumnInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{}.{}", q, self.name),
+            None => f.write_str(&self.name),
+        }
+    }
+}
+
+/// A sort key: output column position plus direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    pub column: usize,
+    pub ascending: bool,
+}
+
+/// Physical plan nodes.
+#[derive(Debug, Clone)]
+pub enum Plan {
+    /// Full scan of a stored table; output columns are the table's columns
+    /// qualified with `alias`.
+    Scan { table: String, alias: String },
+    /// Literal row set (used for uncorrelated subquery results and tests).
+    Values { columns: Vec<ColumnInfo>, rows: Vec<Row> },
+    /// Filter rows by a predicate over the input's output columns.
+    Filter { input: Box<Plan>, predicate: Expr },
+    /// Project/compute output columns.
+    Project {
+        input: Box<Plan>,
+        exprs: Vec<Expr>,
+        columns: Vec<ColumnInfo>,
+    },
+    /// Nested-loop join with an optional predicate over the concatenated row.
+    NestedLoopJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        predicate: Option<Expr>,
+    },
+    /// Equi-join on key positions (left positions index the left output,
+    /// right positions index the right output).
+    HashJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+    },
+    /// Grouped aggregation. With an empty `group_by`, produces a single row.
+    Aggregate {
+        input: Box<Plan>,
+        group_by: Vec<usize>,
+        aggregates: Vec<AggExpr>,
+        /// Optional HAVING predicate evaluated over the aggregate output row
+        /// (group-by columns first, then aggregate results).
+        having: Option<Expr>,
+    },
+    /// Sort by the given keys.
+    Sort { input: Box<Plan>, keys: Vec<SortKey> },
+    /// Keep only the first `n` rows.
+    Limit { input: Box<Plan>, n: usize },
+    /// Remove duplicate rows.
+    Distinct { input: Box<Plan> },
+}
+
+impl Plan {
+    /// Wrap in a filter.
+    pub fn filter(self, predicate: Expr) -> Plan {
+        Plan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Wrap in a projection.
+    pub fn project(self, exprs: Vec<Expr>, columns: Vec<ColumnInfo>) -> Plan {
+        Plan::Project {
+            input: Box::new(self),
+            exprs,
+            columns,
+        }
+    }
+
+    /// Wrap in a limit.
+    pub fn limit(self, n: usize) -> Plan {
+        Plan::Limit {
+            input: Box::new(self),
+            n,
+        }
+    }
+
+    /// Number of operators in the plan tree (used by benches and the
+    /// procedural narrator to describe plan shape).
+    pub fn operator_count(&self) -> usize {
+        1 + match self {
+            Plan::Scan { .. } | Plan::Values { .. } => 0,
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Aggregate { input, .. } => input.operator_count(),
+            Plan::NestedLoopJoin { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+                left.operator_count() + right.operator_count()
+            }
+        }
+    }
+
+    /// Short operator name, used in explain-style narrations of plans.
+    pub fn operator_name(&self) -> &'static str {
+        match self {
+            Plan::Scan { .. } => "scan",
+            Plan::Values { .. } => "values",
+            Plan::Filter { .. } => "filter",
+            Plan::Project { .. } => "project",
+            Plan::NestedLoopJoin { .. } => "nested-loop join",
+            Plan::HashJoin { .. } => "hash join",
+            Plan::Aggregate { .. } => "aggregate",
+            Plan::Sort { .. } => "sort",
+            Plan::Limit { .. } => "limit",
+            Plan::Distinct { .. } => "distinct",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Expr};
+    use crate::value::Value;
+
+    #[test]
+    fn column_info_matching() {
+        let c = ColumnInfo::qualified("m", "title");
+        assert!(c.matches(Some("M"), "TITLE"));
+        assert!(c.matches(None, "title"));
+        assert!(!c.matches(Some("a"), "title"));
+        assert!(!c.matches(Some("m"), "name"));
+        let u = ColumnInfo::unqualified("cnt");
+        assert!(u.matches(None, "cnt"));
+        assert!(!u.matches(Some("m"), "cnt"));
+    }
+
+    #[test]
+    fn column_info_display() {
+        assert_eq!(ColumnInfo::qualified("m", "title").to_string(), "m.title");
+        assert_eq!(ColumnInfo::unqualified("cnt").to_string(), "cnt");
+    }
+
+    #[test]
+    fn operator_count_walks_tree() {
+        let plan = Plan::Scan {
+            table: "MOVIES".into(),
+            alias: "m".into(),
+        }
+        .filter(Expr::col_cmp_value(0, CmpOp::Gt, Value::int(0)))
+        .limit(10);
+        assert_eq!(plan.operator_count(), 3);
+        assert_eq!(plan.operator_name(), "limit");
+    }
+
+    #[test]
+    fn join_operator_count_sums_both_sides() {
+        let left = Plan::Scan {
+            table: "A".into(),
+            alias: "a".into(),
+        };
+        let right = Plan::Scan {
+            table: "B".into(),
+            alias: "b".into(),
+        };
+        let join = Plan::NestedLoopJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            predicate: None,
+        };
+        assert_eq!(join.operator_count(), 3);
+    }
+}

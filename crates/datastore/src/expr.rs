@@ -1,0 +1,486 @@
+//! Runtime expression IR evaluated by the executor.
+//!
+//! The SQL front-end lives in a separate crate (`sqlparse`), so the executor
+//! works on a small, already-resolved intermediate representation: column
+//! references are positions into the operator's output row, not names. The
+//! planner that lowers parsed SQL into this IR lives in the `talkback` core
+//! crate.
+
+use crate::error::StoreError;
+use crate::tuple::Row;
+use crate::value::Value;
+use std::cmp::Ordering;
+
+/// Binary comparison operators with SQL three-valued-logic semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl CmpOp {
+    /// Evaluate the comparison on an ordering result.
+    fn holds(&self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::NotEq => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::LtEq => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::GtEq => ord != Ordering::Less,
+        }
+    }
+
+    /// SQL spelling of the operator.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::NotEq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::LtEq => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::GtEq => ">=",
+        }
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// A runtime expression over a single (possibly join-composed) row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal constant.
+    Literal(Value),
+    /// Reference to the `i`-th field of the input row.
+    Column(usize),
+    /// Comparison with three-valued logic.
+    Compare {
+        op: CmpOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// Logical AND (three-valued).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR (three-valued).
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT (three-valued).
+    Not(Box<Expr>),
+    /// Arithmetic on numeric operands.
+    Arith {
+        op: ArithOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// `expr IS NULL`.
+    IsNull(Box<Expr>),
+    /// `expr LIKE pattern` with `%` and `_` wildcards.
+    Like { expr: Box<Expr>, pattern: String },
+    /// Membership in a fixed list of constants (`IN (…)` after the planner
+    /// has evaluated any uncorrelated subquery).
+    InList { expr: Box<Expr>, list: Vec<Value> },
+}
+
+impl Expr {
+    /// Convenience constructor for an equality comparison of two columns.
+    pub fn col_eq(left: usize, right: usize) -> Expr {
+        Expr::Compare {
+            op: CmpOp::Eq,
+            left: Box::new(Expr::Column(left)),
+            right: Box::new(Expr::Column(right)),
+        }
+    }
+
+    /// Convenience constructor comparing a column to a literal.
+    pub fn col_cmp_value(col: usize, op: CmpOp, value: Value) -> Expr {
+        Expr::Compare {
+            op,
+            left: Box::new(Expr::Column(col)),
+            right: Box::new(Expr::Literal(value)),
+        }
+    }
+
+    /// Conjoin a list of predicates (`TRUE` when the list is empty).
+    pub fn conjunction(mut preds: Vec<Expr>) -> Expr {
+        match preds.len() {
+            0 => Expr::Literal(Value::Boolean(true)),
+            1 => preds.pop().unwrap(),
+            _ => {
+                let mut it = preds.into_iter();
+                let first = it.next().unwrap();
+                it.fold(first, |acc, p| Expr::And(Box::new(acc), Box::new(p)))
+            }
+        }
+    }
+
+    /// Evaluate the expression against a row, producing a value
+    /// (`Value::Null` encodes SQL UNKNOWN for boolean contexts).
+    pub fn eval(&self, row: &Row) -> Result<Value, StoreError> {
+        match self {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Column(i) => Ok(row.get(*i).cloned().unwrap_or(Value::Null)),
+            Expr::Compare { op, left, right } => {
+                let l = left.eval(row)?;
+                let r = right.eval(row)?;
+                Ok(match l.sql_cmp(&r) {
+                    None => Value::Null,
+                    Some(ord) => Value::Boolean(op.holds(ord)),
+                })
+            }
+            Expr::And(a, b) => {
+                let av = a.eval(row)?;
+                let bv = b.eval(row)?;
+                Ok(three_valued_and(&av, &bv))
+            }
+            Expr::Or(a, b) => {
+                let av = a.eval(row)?;
+                let bv = b.eval(row)?;
+                Ok(three_valued_or(&av, &bv))
+            }
+            Expr::Not(e) => {
+                let v = e.eval(row)?;
+                Ok(match v {
+                    Value::Boolean(b) => Value::Boolean(!b),
+                    Value::Null => Value::Null,
+                    other => {
+                        return Err(StoreError::Eval {
+                            message: format!("NOT applied to non-boolean {other}"),
+                        })
+                    }
+                })
+            }
+            Expr::Arith { op, left, right } => {
+                let l = left.eval(row)?;
+                let r = right.eval(row)?;
+                if l.is_null() || r.is_null() {
+                    return Ok(Value::Null);
+                }
+                eval_arith(*op, &l, &r)
+            }
+            Expr::IsNull(e) => Ok(Value::Boolean(e.eval(row)?.is_null())),
+            Expr::Like { expr, pattern } => {
+                let v = expr.eval(row)?;
+                match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Text(s) => Ok(Value::Boolean(like_match(&s, pattern))),
+                    other => Err(StoreError::Eval {
+                        message: format!("LIKE applied to non-text {other}"),
+                    }),
+                }
+            }
+            Expr::InList { expr, list } => {
+                let v = expr.eval(row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    match v.sql_eq(item) {
+                        Some(true) => return Ok(Value::Boolean(true)),
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                Ok(if saw_null {
+                    Value::Null
+                } else {
+                    Value::Boolean(false)
+                })
+            }
+        }
+    }
+
+    /// Evaluate as a filter predicate: UNKNOWN (NULL) counts as false, per
+    /// SQL WHERE semantics.
+    pub fn eval_predicate(&self, row: &Row) -> Result<bool, StoreError> {
+        Ok(matches!(self.eval(row)?, Value::Boolean(true)))
+    }
+
+    /// Shift every column reference by `offset`. Used when an expression
+    /// formulated against the right input of a join must be evaluated
+    /// against the concatenated join row.
+    pub fn shift_columns(&self, offset: usize) -> Expr {
+        match self {
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Column(i) => Expr::Column(i + offset),
+            Expr::Compare { op, left, right } => Expr::Compare {
+                op: *op,
+                left: Box::new(left.shift_columns(offset)),
+                right: Box::new(right.shift_columns(offset)),
+            },
+            Expr::And(a, b) => Expr::And(
+                Box::new(a.shift_columns(offset)),
+                Box::new(b.shift_columns(offset)),
+            ),
+            Expr::Or(a, b) => Expr::Or(
+                Box::new(a.shift_columns(offset)),
+                Box::new(b.shift_columns(offset)),
+            ),
+            Expr::Not(e) => Expr::Not(Box::new(e.shift_columns(offset))),
+            Expr::Arith { op, left, right } => Expr::Arith {
+                op: *op,
+                left: Box::new(left.shift_columns(offset)),
+                right: Box::new(right.shift_columns(offset)),
+            },
+            Expr::IsNull(e) => Expr::IsNull(Box::new(e.shift_columns(offset))),
+            Expr::Like { expr, pattern } => Expr::Like {
+                expr: Box::new(expr.shift_columns(offset)),
+                pattern: pattern.clone(),
+            },
+            Expr::InList { expr, list } => Expr::InList {
+                expr: Box::new(expr.shift_columns(offset)),
+                list: list.clone(),
+            },
+        }
+    }
+
+    /// Column indices referenced by this expression (used by the empty-result
+    /// explainer to attribute failures to predicates).
+    pub fn referenced_columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Column(i) => out.push(*i),
+            Expr::Compare { left, right, .. } | Expr::Arith { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Not(e) | Expr::IsNull(e) => e.collect_columns(out),
+            Expr::Like { expr, .. } | Expr::InList { expr, .. } => expr.collect_columns(out),
+        }
+    }
+}
+
+fn three_valued_and(a: &Value, b: &Value) -> Value {
+    match (a.as_bool(), b.as_bool(), a.is_null(), b.is_null()) {
+        (Some(false), _, _, _) | (_, Some(false), _, _) => Value::Boolean(false),
+        (Some(true), Some(true), _, _) => Value::Boolean(true),
+        _ => Value::Null,
+    }
+}
+
+fn three_valued_or(a: &Value, b: &Value) -> Value {
+    match (a.as_bool(), b.as_bool(), a.is_null(), b.is_null()) {
+        (Some(true), _, _, _) | (_, Some(true), _, _) => Value::Boolean(true),
+        (Some(false), Some(false), _, _) => Value::Boolean(false),
+        _ => Value::Null,
+    }
+}
+
+fn eval_arith(op: ArithOp, l: &Value, r: &Value) -> Result<Value, StoreError> {
+    // Integer arithmetic stays integral when both sides are integers
+    // (except division by zero, which is an error).
+    if let (Value::Integer(a), Value::Integer(b)) = (l, r) {
+        return Ok(match op {
+            ArithOp::Add => Value::Integer(a + b),
+            ArithOp::Sub => Value::Integer(a - b),
+            ArithOp::Mul => Value::Integer(a * b),
+            ArithOp::Div => {
+                if *b == 0 {
+                    return Err(StoreError::Eval {
+                        message: "division by zero".into(),
+                    });
+                }
+                Value::Integer(a / b)
+            }
+        });
+    }
+    let (a, b) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(StoreError::Eval {
+                message: format!("arithmetic on non-numeric operands {l} and {r}"),
+            })
+        }
+    };
+    Ok(match op {
+        ArithOp::Add => Value::Float(a + b),
+        ArithOp::Sub => Value::Float(a - b),
+        ArithOp::Mul => Value::Float(a * b),
+        ArithOp::Div => {
+            if b == 0.0 {
+                return Err(StoreError::Eval {
+                    message: "division by zero".into(),
+                });
+            }
+            Value::Float(a / b)
+        }
+    })
+}
+
+/// SQL LIKE pattern matching with `%` (any run) and `_` (single character),
+/// case-sensitive as in standard SQL.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.split_first() {
+            None => s.is_empty(),
+            Some(('%', rest)) => {
+                (0..=s.len()).any(|k| rec(&s[k..], rest))
+            }
+            Some(('_', rest)) => !s.is_empty() && rec(&s[1..], rest),
+            Some((c, rest)) => s.first() == Some(c) && rec(&s[1..], rest),
+        }
+    }
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&s, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        Row::new(vec![
+            Value::int(10),
+            Value::text("Brad Pitt"),
+            Value::Null,
+            Value::Float(2.5),
+        ])
+    }
+
+    #[test]
+    fn comparison_three_valued() {
+        let e = Expr::col_cmp_value(0, CmpOp::Gt, Value::int(5));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Boolean(true));
+        let e = Expr::col_cmp_value(2, CmpOp::Eq, Value::int(5));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Null);
+        assert!(!e.eval_predicate(&row()).unwrap());
+    }
+
+    #[test]
+    fn and_or_short_circuit_semantics() {
+        let t = Expr::Literal(Value::Boolean(true));
+        let f = Expr::Literal(Value::Boolean(false));
+        let n = Expr::Literal(Value::Null);
+        let r = Row::empty();
+        assert_eq!(
+            Expr::And(Box::new(f.clone()), Box::new(n.clone())).eval(&r).unwrap(),
+            Value::Boolean(false)
+        );
+        assert_eq!(
+            Expr::And(Box::new(t.clone()), Box::new(n.clone())).eval(&r).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            Expr::Or(Box::new(n.clone()), Box::new(t.clone())).eval(&r).unwrap(),
+            Value::Boolean(true)
+        );
+        assert_eq!(
+            Expr::Or(Box::new(n), Box::new(f)).eval(&r).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn arithmetic_integer_and_float() {
+        let r = Row::empty();
+        let e = Expr::Arith {
+            op: ArithOp::Add,
+            left: Box::new(Expr::Literal(Value::int(2))),
+            right: Box::new(Expr::Literal(Value::int(3))),
+        };
+        assert_eq!(e.eval(&r).unwrap(), Value::Integer(5));
+        let e = Expr::Arith {
+            op: ArithOp::Div,
+            left: Box::new(Expr::Literal(Value::Float(5.0))),
+            right: Box::new(Expr::Literal(Value::int(2))),
+        };
+        assert_eq!(e.eval(&r).unwrap(), Value::Float(2.5));
+        let e = Expr::Arith {
+            op: ArithOp::Div,
+            left: Box::new(Expr::Literal(Value::int(1))),
+            right: Box::new(Expr::Literal(Value::int(0))),
+        };
+        assert!(e.eval(&r).is_err());
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("Brad Pitt", "Brad%"));
+        assert!(like_match("Brad Pitt", "%Pitt"));
+        assert!(like_match("Brad Pitt", "%ad%"));
+        assert!(like_match("Brad Pitt", "Brad_Pitt"));
+        assert!(!like_match("Brad Pitt", "brad%"));
+        assert!(!like_match("Brad", "Brad_"));
+        assert!(like_match("", "%"));
+    }
+
+    #[test]
+    fn in_list_with_nulls() {
+        let e = Expr::InList {
+            expr: Box::new(Expr::Column(0)),
+            list: vec![Value::int(1), Value::int(10)],
+        };
+        assert_eq!(e.eval(&row()).unwrap(), Value::Boolean(true));
+        let e = Expr::InList {
+            expr: Box::new(Expr::Column(0)),
+            list: vec![Value::int(1), Value::Null],
+        };
+        assert_eq!(e.eval(&row()).unwrap(), Value::Null);
+        let e = Expr::InList {
+            expr: Box::new(Expr::Column(0)),
+            list: vec![Value::int(1), Value::int(2)],
+        };
+        assert_eq!(e.eval(&row()).unwrap(), Value::Boolean(false));
+    }
+
+    #[test]
+    fn conjunction_builder() {
+        let r = row();
+        assert_eq!(
+            Expr::conjunction(vec![]).eval(&r).unwrap(),
+            Value::Boolean(true)
+        );
+        let c = Expr::conjunction(vec![
+            Expr::col_cmp_value(0, CmpOp::Eq, Value::int(10)),
+            Expr::col_cmp_value(1, CmpOp::Eq, Value::text("Brad Pitt")),
+        ]);
+        assert!(c.eval_predicate(&r).unwrap());
+    }
+
+    #[test]
+    fn shift_columns_offsets_references() {
+        let e = Expr::col_eq(0, 1).shift_columns(3);
+        assert_eq!(e.referenced_columns(), vec![3, 4]);
+    }
+
+    #[test]
+    fn is_null_and_not() {
+        let r = row();
+        let e = Expr::IsNull(Box::new(Expr::Column(2)));
+        assert_eq!(e.eval(&r).unwrap(), Value::Boolean(true));
+        let e = Expr::Not(Box::new(Expr::IsNull(Box::new(Expr::Column(0)))));
+        assert_eq!(e.eval(&r).unwrap(), Value::Boolean(true));
+    }
+
+    #[test]
+    fn referenced_columns_deduplicated_and_sorted() {
+        let e = Expr::And(
+            Box::new(Expr::col_eq(4, 1)),
+            Box::new(Expr::col_cmp_value(1, CmpOp::Gt, Value::int(0))),
+        );
+        assert_eq!(e.referenced_columns(), vec![1, 4]);
+    }
+}

@@ -1,0 +1,598 @@
+//! Deterministic sample databases used across the reproduction.
+//!
+//! * [`movie_catalog`] / [`movie_database`] — the schema of the paper's
+//!   Figure 1 (MOVIES, DIRECTOR, DIRECTED, ACTOR, CAST, GENRE) populated with
+//!   the fixtures the paper's worked examples rely on (Woody Allen and his
+//!   three movies, Brad Pitt, G. Loucas action movies, a movie whose title is
+//!   also a role, remade movies for Q9, …).
+//! * [`employee_database`] — the EMP/DEPT schema from §3.1 ("employees who
+//!   make more than their managers").
+//! * [`scaled_movie_database`] — a synthetic generator producing arbitrarily
+//!   many tuples over the Figure 1 schema, used by the content-translation
+//!   and end-to-end benchmarks.
+
+use crate::database::Database;
+use crate::schema::{ColumnDef, ForeignKey, TableSchema};
+use crate::value::{DataType, Date, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build the catalog of Figure 1 (schemas and foreign keys, no data) inside
+/// a fresh database.
+pub fn movie_catalog() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "MOVIES",
+            vec![
+                ColumnDef::new("id", DataType::Integer),
+                ColumnDef::new("title", DataType::Text),
+                ColumnDef::new("year", DataType::Integer),
+            ],
+        )
+        .with_primary_key(&["id"])
+        .with_heading("title")
+        .with_concept("movie"),
+    )
+    .expect("fresh database");
+    db.create_table(
+        // Figure 1 lists bdate and blocation; the narrative examples of §2.2
+        // verbalize the birth location before the birth date ("was born in
+        // Brooklyn, New York, USA on December 1, 1935"), so the columns are
+        // stored in that narrative order.
+        TableSchema::new(
+            "DIRECTOR",
+            vec![
+                ColumnDef::new("id", DataType::Integer),
+                ColumnDef::new("name", DataType::Text),
+                ColumnDef::nullable("blocation", DataType::Text),
+                ColumnDef::nullable("bdate", DataType::Date),
+            ],
+        )
+        .with_primary_key(&["id"])
+        .with_heading("name")
+        .with_concept("director"),
+    )
+    .expect("fresh database");
+    db.create_table(
+        TableSchema::new(
+            "DIRECTED",
+            vec![
+                ColumnDef::new("mid", DataType::Integer),
+                ColumnDef::new("did", DataType::Integer),
+            ],
+        )
+        .with_primary_key(&["mid", "did"])
+        .with_concept("directing credit"),
+    )
+    .expect("fresh database");
+    db.create_table(
+        TableSchema::new(
+            "ACTOR",
+            vec![
+                ColumnDef::new("id", DataType::Integer),
+                ColumnDef::new("name", DataType::Text),
+                ColumnDef::nullable("nationality", DataType::Text),
+            ],
+        )
+        .with_primary_key(&["id"])
+        .with_heading("name")
+        .with_concept("actor"),
+    )
+    .expect("fresh database");
+    db.create_table(
+        TableSchema::new(
+            "CAST",
+            vec![
+                ColumnDef::new("mid", DataType::Integer),
+                ColumnDef::new("aid", DataType::Integer),
+                ColumnDef::nullable("role", DataType::Text),
+            ],
+        )
+        .with_primary_key(&["mid", "aid"])
+        .with_concept("casting credit"),
+    )
+    .expect("fresh database");
+    db.create_table(
+        TableSchema::new(
+            "GENRE",
+            vec![
+                ColumnDef::new("mid", DataType::Integer),
+                ColumnDef::new("genre", DataType::Text),
+            ],
+        )
+        .with_primary_key(&["mid", "genre"])
+        .with_heading("genre")
+        .with_concept("genre"),
+    )
+    .expect("fresh database");
+
+    for fk in movie_foreign_keys() {
+        db.add_foreign_key(fk).expect("valid foreign key");
+    }
+    db
+}
+
+/// The foreign keys of the Figure 1 schema.
+pub fn movie_foreign_keys() -> Vec<ForeignKey> {
+    vec![
+        ForeignKey::simple("DIRECTED", "mid", "MOVIES", "id"),
+        ForeignKey::simple("DIRECTED", "did", "DIRECTOR", "id"),
+        ForeignKey::simple("CAST", "mid", "MOVIES", "id"),
+        ForeignKey::simple("CAST", "aid", "ACTOR", "id"),
+        ForeignKey::simple("GENRE", "mid", "MOVIES", "id"),
+    ]
+}
+
+/// The movie database populated with the fixtures the paper's examples use.
+pub fn movie_database() -> Database {
+    let mut db = movie_catalog();
+
+    let directors: &[(i64, &str, Option<(i32, u8, u8)>, Option<&str>)] = &[
+        (1, "Woody Allen", Some((1935, 12, 1)), Some("Brooklyn, New York, USA")),
+        (2, "G. Loucas", Some((1944, 5, 14)), Some("Modesto, California, USA")),
+        (3, "Sofia Ricci", Some((1971, 5, 14)), Some("Rome, Italy")),
+        (4, "Jane Doe", None, None),
+    ];
+    for (id, name, bdate, blocation) in directors {
+        db.insert(
+            "DIRECTOR",
+            vec![
+                Value::int(*id),
+                Value::text(*name),
+                blocation.map(Value::text).unwrap_or(Value::Null),
+                bdate
+                    .and_then(|(y, m, d)| Date::new(y, m, d))
+                    .map(Value::Date)
+                    .unwrap_or(Value::Null),
+            ],
+        )
+        .expect("director fixture");
+    }
+
+    let movies: &[(i64, &str, i64)] = &[
+        (1, "Match Point", 2005),
+        (2, "Melinda and Melinda", 2004),
+        (3, "Anything Else", 2003),
+        (4, "Star Quest", 1999),
+        (5, "Star Quest II", 2002),
+        (6, "Troy", 2004),
+        (7, "Seven", 1995),
+        (8, "The Masquerade", 2001),
+        // A remake pair for Q9 ("earliest versions of movies that have been
+        // repeated"): same title, different ids/years.
+        (9, "The Return", 1980),
+        (10, "The Return", 2006),
+    ];
+    for (id, title, year) in movies {
+        db.insert(
+            "MOVIES",
+            vec![Value::int(*id), Value::text(*title), Value::int(*year)],
+        )
+        .expect("movie fixture");
+    }
+
+    let directed: &[(i64, i64)] = &[
+        (1, 1),
+        (2, 1),
+        (3, 1),
+        (4, 2),
+        (5, 2),
+        (6, 3),
+        (7, 3),
+        (8, 3),
+        (9, 4),
+        (10, 4),
+    ];
+    for (mid, did) in directed {
+        db.insert("DIRECTED", vec![Value::int(*mid), Value::int(*did)])
+            .expect("directed fixture");
+    }
+
+    let actors: &[(i64, &str, Option<&str>)] = &[
+        (10, "Brad Pitt", Some("American")),
+        (11, "Alexis Georgiou", Some("Greek")),
+        (12, "Maria Rossi", Some("Italian")),
+        (13, "John Smith", Some("American")),
+        (14, "Scarlett Johansson", Some("American")),
+        (15, "Elena Petrova", None),
+    ];
+    for (id, name, nationality) in actors {
+        db.insert(
+            "ACTOR",
+            vec![
+                Value::int(*id),
+                Value::text(*name),
+                nationality.map(Value::text).unwrap_or(Value::Null),
+            ],
+        )
+        .expect("actor fixture");
+    }
+
+    let cast: &[(i64, i64, Option<&str>)] = &[
+        (6, 10, Some("Achilles")),
+        (7, 10, Some("David Mills")),
+        (1, 14, Some("Nola Rice")),
+        (1, 13, Some("Chris Wilton")),
+        (4, 11, Some("Captain Doros")),
+        (5, 11, Some("Captain Doros")),
+        (4, 12, Some("Navigator")),
+        (6, 12, Some("Helen")),
+        // Q4 fixture: a movie whose title equals one of its roles.
+        (8, 13, Some("The Masquerade")),
+        (9, 15, Some("Anna")),
+        (10, 15, Some("Anna")),
+        (10, 13, Some("The Stranger")),
+    ];
+    for (mid, aid, role) in cast {
+        db.insert(
+            "CAST",
+            vec![
+                Value::int(*mid),
+                Value::int(*aid),
+                role.map(Value::text).unwrap_or(Value::Null),
+            ],
+        )
+        .expect("cast fixture");
+    }
+
+    let genres: &[(i64, &str)] = &[
+        (1, "drama"),
+        (1, "romance"),
+        (2, "comedy"),
+        (3, "comedy"),
+        (4, "action"),
+        (4, "sci-fi"),
+        (5, "action"),
+        (6, "action"),
+        (6, "drama"),
+        (7, "thriller"),
+        (8, "drama"),
+        (9, "drama"),
+        (10, "drama"),
+        (10, "thriller"),
+    ];
+    for (mid, genre) in genres {
+        db.insert("GENRE", vec![Value::int(*mid), Value::text(*genre)])
+            .expect("genre fixture");
+    }
+
+    db
+}
+
+/// The EMP/DEPT schema of §3.1, populated so that "employees who make more
+/// than their managers" has a non-empty answer.
+pub fn employee_database() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "EMP",
+            vec![
+                ColumnDef::new("eid", DataType::Integer),
+                ColumnDef::new("name", DataType::Text),
+                ColumnDef::new("sal", DataType::Integer),
+                ColumnDef::new("age", DataType::Integer),
+                ColumnDef::nullable("did", DataType::Integer),
+            ],
+        )
+        .with_primary_key(&["eid"])
+        .with_heading("name")
+        .with_concept("employee"),
+    )
+    .expect("fresh database");
+    db.create_table(
+        TableSchema::new(
+            "DEPT",
+            vec![
+                ColumnDef::new("did", DataType::Integer),
+                ColumnDef::new("dname", DataType::Text),
+                ColumnDef::nullable("mgr", DataType::Integer),
+            ],
+        )
+        .with_primary_key(&["did"])
+        .with_heading("dname")
+        .with_concept("department"),
+    )
+    .expect("fresh database");
+
+    let employees: &[(i64, &str, i64, i64, Option<i64>)] = &[
+        (1, "Alice", 120_000, 45, Some(10)),
+        (2, "Bob", 95_000, 38, Some(10)),
+        (3, "Carol", 130_000, 29, Some(10)),
+        (4, "Dave", 70_000, 52, Some(20)),
+        (5, "Erin", 88_000, 41, Some(20)),
+        (6, "Frank", 60_000, 33, None),
+    ];
+    for (eid, name, sal, age, did) in employees {
+        db.insert(
+            "EMP",
+            vec![
+                Value::int(*eid),
+                Value::text(*name),
+                Value::int(*sal),
+                Value::int(*age),
+                did.map(Value::int).unwrap_or(Value::Null),
+            ],
+        )
+        .expect("emp fixture");
+    }
+    let departments: &[(i64, &str, Option<i64>)] = &[
+        (10, "Research", Some(1)),
+        (20, "Operations", Some(4)),
+        (30, "Empty Shell", None),
+    ];
+    for (did, dname, mgr) in departments {
+        db.insert(
+            "DEPT",
+            vec![
+                Value::int(*did),
+                Value::text(*dname),
+                mgr.map(Value::int).unwrap_or(Value::Null),
+            ],
+        )
+        .expect("dept fixture");
+    }
+    db.add_foreign_key(ForeignKey::simple("EMP", "did", "DEPT", "did"))
+        .expect("valid fk");
+    db.add_foreign_key(ForeignKey::simple("DEPT", "mgr", "EMP", "eid"))
+        .expect("valid fk");
+    db
+}
+
+/// Size knobs for the scaled synthetic movie database.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleConfig {
+    pub movies: usize,
+    pub directors: usize,
+    pub actors: usize,
+    /// Average casting credits per movie.
+    pub cast_per_movie: usize,
+    /// Average genres per movie.
+    pub genres_per_movie: usize,
+    /// RNG seed so benchmarks are reproducible.
+    pub seed: u64,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            movies: 100,
+            directors: 20,
+            actors: 60,
+            cast_per_movie: 3,
+            genres_per_movie: 2,
+            seed: 0xC1D12009,
+        }
+    }
+}
+
+/// Generate a movie database of the requested size over the Figure 1 schema.
+/// Generation is deterministic for a given [`ScaleConfig`].
+pub fn scaled_movie_database(config: ScaleConfig) -> Database {
+    const FIRST: &[&str] = &[
+        "Alex", "Maria", "John", "Sofia", "George", "Elena", "Nikos", "Anna", "Peter", "Laura",
+    ];
+    const LAST: &[&str] = &[
+        "Papadopoulos", "Rossi", "Smith", "Garcia", "Miller", "Ioannou", "Brown", "Martin",
+        "Lopez", "Novak",
+    ];
+    const NOUN: &[&str] = &[
+        "Return", "Voyage", "Secret", "Garden", "Night", "Storm", "Promise", "Island", "Echo",
+        "Harvest",
+    ];
+    const ADJ: &[&str] = &[
+        "Last", "Silent", "Golden", "Broken", "Hidden", "Endless", "Crimson", "Distant", "Lost",
+        "Brave",
+    ];
+    const GENRES: &[&str] = &[
+        "drama", "comedy", "action", "thriller", "romance", "sci-fi", "documentary", "horror",
+    ];
+    const CITIES: &[&str] = &[
+        "Athens, Greece",
+        "Rome, Italy",
+        "Brooklyn, New York, USA",
+        "Paris, France",
+        "Madrid, Spain",
+        "London, UK",
+    ];
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut db = movie_catalog();
+
+    for i in 0..config.directors {
+        let name = format!(
+            "{} {}",
+            FIRST[rng.gen_range(0..FIRST.len())],
+            LAST[rng.gen_range(0..LAST.len())]
+        );
+        let date = Date::new(1930 + rng.gen_range(0..60) as i32, rng.gen_range(1..=12), rng.gen_range(1..=28))
+            .expect("valid generated date");
+        db.insert(
+            "DIRECTOR",
+            vec![
+                Value::int(i as i64 + 1),
+                Value::text(format!("{name} #{i}")),
+                Value::text(CITIES[rng.gen_range(0..CITIES.len())]),
+                Value::Date(date),
+            ],
+        )
+        .expect("generated director");
+    }
+
+    for i in 0..config.actors {
+        let name = format!(
+            "{} {}",
+            FIRST[rng.gen_range(0..FIRST.len())],
+            LAST[rng.gen_range(0..LAST.len())]
+        );
+        db.insert(
+            "ACTOR",
+            vec![
+                Value::int(i as i64 + 1),
+                Value::text(format!("{name} #{i}")),
+                Value::text("International"),
+            ],
+        )
+        .expect("generated actor");
+    }
+
+    for i in 0..config.movies {
+        let mid = i as i64 + 1;
+        let title = format!(
+            "The {} {} {}",
+            ADJ[rng.gen_range(0..ADJ.len())],
+            NOUN[rng.gen_range(0..NOUN.len())],
+            i
+        );
+        db.insert(
+            "MOVIES",
+            vec![
+                Value::int(mid),
+                Value::text(title),
+                Value::int(1960 + rng.gen_range(0..65) as i64),
+            ],
+        )
+        .expect("generated movie");
+        if config.directors > 0 {
+            db.insert(
+                "DIRECTED",
+                vec![
+                    Value::int(mid),
+                    Value::int(rng.gen_range(0..config.directors) as i64 + 1),
+                ],
+            )
+            .expect("generated directing credit");
+        }
+        if config.actors > 0 {
+            let mut chosen: Vec<i64> = Vec::new();
+            while chosen.len() < config.cast_per_movie.min(config.actors) {
+                let aid = rng.gen_range(0..config.actors) as i64 + 1;
+                if !chosen.contains(&aid) {
+                    chosen.push(aid);
+                }
+            }
+            for aid in chosen {
+                db.insert(
+                    "CAST",
+                    vec![
+                        Value::int(mid),
+                        Value::int(aid),
+                        Value::text(format!("Role {aid}")),
+                    ],
+                )
+                .expect("generated casting credit");
+            }
+        }
+        let mut genres: Vec<&str> = Vec::new();
+        while genres.len() < config.genres_per_movie.min(GENRES.len()) {
+            let g = GENRES[rng.gen_range(0..GENRES.len())];
+            if !genres.contains(&g) {
+                genres.push(g);
+            }
+        }
+        for g in genres {
+            db.insert("GENRE", vec![Value::int(mid), Value::text(g)])
+                .expect("generated genre");
+        }
+    }
+
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn movie_catalog_has_figure1_relations_and_fks() {
+        let db = movie_catalog();
+        for name in ["MOVIES", "DIRECTOR", "DIRECTED", "ACTOR", "CAST", "GENRE"] {
+            assert!(db.catalog().has_table(name), "missing {name}");
+        }
+        assert_eq!(db.catalog().foreign_keys().len(), 5);
+        assert_eq!(
+            db.catalog().table("MOVIES").unwrap().effective_heading(),
+            "title"
+        );
+    }
+
+    #[test]
+    fn movie_database_contains_paper_fixtures() {
+        let db = movie_database();
+        // Woody Allen with three movies (the §2.2 narrative).
+        let directors = db.table("DIRECTOR").unwrap().column_values("name");
+        assert!(directors.contains(&Value::text("Woody Allen")));
+        // Brad Pitt exists (Q1), an action movie by G. Loucas exists (Q2),
+        // and a movie whose title is one of its roles exists (Q4).
+        assert!(db
+            .table("ACTOR")
+            .unwrap()
+            .column_values("name")
+            .contains(&Value::text("Brad Pitt")));
+        assert!(db
+            .table("CAST")
+            .unwrap()
+            .column_values("role")
+            .contains(&Value::text("The Masquerade")));
+        // The remake pair for Q9.
+        let titles = db.table("MOVIES").unwrap().column_values("title");
+        assert_eq!(
+            titles.iter().filter(|t| **t == Value::text("The Return")).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn employee_database_supports_manager_comparison() {
+        let db = employee_database();
+        assert_eq!(db.table("EMP").unwrap().len(), 6);
+        assert_eq!(db.table("DEPT").unwrap().len(), 3);
+        assert!(db.catalog().join_between("EMP", "DEPT").is_some());
+    }
+
+    #[test]
+    fn scaled_database_matches_requested_sizes() {
+        let db = scaled_movie_database(ScaleConfig {
+            movies: 25,
+            directors: 5,
+            actors: 12,
+            cast_per_movie: 2,
+            genres_per_movie: 2,
+            seed: 7,
+        });
+        assert_eq!(db.table("MOVIES").unwrap().len(), 25);
+        assert_eq!(db.table("DIRECTOR").unwrap().len(), 5);
+        assert_eq!(db.table("ACTOR").unwrap().len(), 12);
+        assert_eq!(db.table("CAST").unwrap().len(), 50);
+        assert_eq!(db.table("GENRE").unwrap().len(), 50);
+    }
+
+    #[test]
+    fn scaled_database_is_deterministic_per_seed() {
+        let a = scaled_movie_database(ScaleConfig {
+            movies: 10,
+            seed: 42,
+            ..ScaleConfig::default()
+        });
+        let b = scaled_movie_database(ScaleConfig {
+            movies: 10,
+            seed: 42,
+            ..ScaleConfig::default()
+        });
+        assert_eq!(
+            a.table("MOVIES").unwrap().column_values("title"),
+            b.table("MOVIES").unwrap().column_values("title")
+        );
+    }
+
+    #[test]
+    fn fixtures_satisfy_foreign_keys() {
+        // movie_database inserts through the FK-checked path, so simply
+        // building it proves referential integrity; spot-check one edge.
+        let db = movie_database();
+        let fk = ForeignKey::simple("CAST", "aid", "ACTOR", "id");
+        for row in db.table("CAST").unwrap().rows() {
+            assert!(db.follow_fk(&fk, row).is_some());
+        }
+    }
+}

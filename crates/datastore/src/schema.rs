@@ -1,0 +1,298 @@
+//! Relational schema definitions: columns, tables, keys.
+//!
+//! A [`TableSchema`] additionally carries the metadata the paper's
+//! translation machinery needs that a plain relational catalog would not:
+//! the *heading attribute* (the attribute "most characteristic of the
+//! relation tuples", §2.2) and an optional *conceptual name* ("MOVIES"
+//! conceptually represents "movies in the real world").
+
+use crate::value::DataType;
+use std::fmt;
+
+/// A column (attribute) of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Attribute name as it appears in SQL (case-insensitive, stored as
+    /// given).
+    pub name: String,
+    /// Static type of the column.
+    pub data_type: DataType,
+    /// Whether NULLs are allowed.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// A non-nullable column.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> ColumnDef {
+        ColumnDef {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: impl Into<String>, data_type: DataType) -> ColumnDef {
+        ColumnDef {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+}
+
+/// A foreign-key relationship from one table's columns to another table's
+/// columns. These become the *join edges* of the schema graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing table.
+    pub table: String,
+    /// Referencing columns (in `table`).
+    pub columns: Vec<String>,
+    /// Referenced table.
+    pub ref_table: String,
+    /// Referenced columns (in `ref_table`), typically its primary key.
+    pub ref_columns: Vec<String>,
+}
+
+impl ForeignKey {
+    /// Single-column foreign key, the common case in the paper's schema.
+    pub fn simple(
+        table: impl Into<String>,
+        column: impl Into<String>,
+        ref_table: impl Into<String>,
+        ref_column: impl Into<String>,
+    ) -> ForeignKey {
+        ForeignKey {
+            table: table.into(),
+            columns: vec![column.into()],
+            ref_table: ref_table.into(),
+            ref_columns: vec![ref_column.into()],
+        }
+    }
+}
+
+impl fmt::Display for ForeignKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({}) -> {}({})",
+            self.table,
+            self.columns.join(", "),
+            self.ref_table,
+            self.ref_columns.join(", ")
+        )
+    }
+}
+
+/// Schema of a single relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Relation name.
+    pub name: String,
+    /// Ordered attribute definitions.
+    pub columns: Vec<ColumnDef>,
+    /// Names of the primary-key columns (may be empty for keyless tables).
+    pub primary_key: Vec<String>,
+    /// The heading attribute (§2.2): the attribute used as the subject of
+    /// sentences about this relation's tuples (e.g. `TITLE` for `MOVIES`).
+    pub heading_attribute: Option<String>,
+    /// The conceptual, real-world meaning of the relation (e.g. "movie"),
+    /// used when a narrative should say "movies" rather than "titles".
+    pub concept: Option<String>,
+}
+
+impl TableSchema {
+    /// Create a schema with the given name and columns; keys and narrative
+    /// metadata can be added with the builder-style methods.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> TableSchema {
+        TableSchema {
+            name: name.into(),
+            columns,
+            primary_key: Vec::new(),
+            heading_attribute: None,
+            concept: None,
+        }
+    }
+
+    /// Declare the primary key columns.
+    pub fn with_primary_key(mut self, cols: &[&str]) -> TableSchema {
+        self.primary_key = cols.iter().map(|c| c.to_string()).collect();
+        self
+    }
+
+    /// Declare the heading attribute.
+    pub fn with_heading(mut self, col: &str) -> TableSchema {
+        self.heading_attribute = Some(col.to_string());
+        self
+    }
+
+    /// Declare the conceptual (real-world) meaning.
+    pub fn with_concept(mut self, concept: &str) -> TableSchema {
+        self.concept = Some(concept.to_string());
+        self
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Position of a column by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Column definition by case-insensitive name.
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.column_index(name).map(|i| &self.columns[i])
+    }
+
+    /// True if `name` is one of this relation's attributes.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.column_index(name).is_some()
+    }
+
+    /// The heading attribute if declared, otherwise a heuristic fallback:
+    /// the first text column that is not a key, otherwise the first column.
+    /// This mirrors the paper's expectation that the designer declares it
+    /// once but the system can still operate without.
+    pub fn effective_heading(&self) -> &str {
+        if let Some(h) = &self.heading_attribute {
+            return h;
+        }
+        self.columns
+            .iter()
+            .find(|c| {
+                c.data_type == DataType::Text
+                    && !self
+                        .primary_key
+                        .iter()
+                        .any(|k| k.eq_ignore_ascii_case(&c.name))
+            })
+            .or_else(|| self.columns.first())
+            .map(|c| c.name.as_str())
+            .unwrap_or(&self.name)
+    }
+
+    /// The conceptual name if declared, otherwise a lower-cased,
+    /// de-pluralized version of the relation name ("MOVIES" -> "movie").
+    pub fn effective_concept(&self) -> String {
+        if let Some(c) = &self.concept {
+            return c.clone();
+        }
+        crate::schema::singularize(&self.name.to_lowercase())
+    }
+
+    /// Indices of the primary key columns.
+    pub fn primary_key_indices(&self) -> Vec<usize> {
+        self.primary_key
+            .iter()
+            .filter_map(|k| self.column_index(k))
+            .collect()
+    }
+}
+
+/// Naive English singularization used when a conceptual name has not been
+/// declared. Handles the regular cases that show up in schema names
+/// (MOVIES -> movie, ACTRESSES -> actress, DIRECTED stays as-is).
+pub fn singularize(word: &str) -> String {
+    let w = word.to_lowercase();
+    // Words whose singular ends in "-ie" cannot be distinguished from the
+    // "-y" plural rule ("companies" -> "company") by suffix alone, so keep a
+    // tiny exception list for the ones that show up in schemas.
+    const IE_WORDS: [&str; 4] = ["movies", "cookies", "calories", "zombies"];
+    if IE_WORDS.contains(&w.as_str()) {
+        return w[..w.len() - 1].to_string();
+    }
+    if let Some(stem) = w.strip_suffix("sses") {
+        return format!("{}ss", stem);
+    }
+    if let Some(stem) = w.strip_suffix("ies") {
+        if stem.len() > 1 {
+            return format!("{}y", stem);
+        }
+    }
+    if let Some(stem) = w.strip_suffix('s') {
+        if !stem.ends_with('s') && !stem.is_empty() {
+            return stem.to_string();
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn movies_schema() -> TableSchema {
+        TableSchema::new(
+            "MOVIES",
+            vec![
+                ColumnDef::new("id", DataType::Integer),
+                ColumnDef::new("title", DataType::Text),
+                ColumnDef::new("year", DataType::Integer),
+            ],
+        )
+        .with_primary_key(&["id"])
+        .with_heading("title")
+        .with_concept("movie")
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let s = movies_schema();
+        assert_eq!(s.column_index("TITLE"), Some(1));
+        assert_eq!(s.column_index("Title"), Some(1));
+        assert_eq!(s.column_index("nope"), None);
+        assert!(s.has_column("year"));
+    }
+
+    #[test]
+    fn effective_heading_prefers_declared() {
+        let s = movies_schema();
+        assert_eq!(s.effective_heading(), "title");
+    }
+
+    #[test]
+    fn effective_heading_falls_back_to_text_non_key_column() {
+        let s = TableSchema::new(
+            "ACTOR",
+            vec![
+                ColumnDef::new("id", DataType::Integer),
+                ColumnDef::new("name", DataType::Text),
+            ],
+        )
+        .with_primary_key(&["id"]);
+        assert_eq!(s.effective_heading(), "name");
+    }
+
+    #[test]
+    fn effective_concept_falls_back_to_singularized_name() {
+        let s = TableSchema::new("MOVIES", vec![ColumnDef::new("id", DataType::Integer)]);
+        assert_eq!(s.effective_concept(), "movie");
+    }
+
+    #[test]
+    fn singularize_handles_common_forms() {
+        assert_eq!(singularize("movies"), "movie");
+        assert_eq!(singularize("actresses"), "actress");
+        assert_eq!(singularize("companies"), "company");
+        assert_eq!(singularize("cast"), "cast");
+        assert_eq!(singularize("genres"), "genre");
+    }
+
+    #[test]
+    fn primary_key_indices_resolve() {
+        let s = movies_schema();
+        assert_eq!(s.primary_key_indices(), vec![0]);
+    }
+
+    #[test]
+    fn foreign_key_display() {
+        let fk = ForeignKey::simple("CAST", "mid", "MOVIES", "id");
+        assert_eq!(fk.to_string(), "CAST(mid) -> MOVIES(id)");
+    }
+}

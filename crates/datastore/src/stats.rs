@@ -1,0 +1,250 @@
+//! Derived data: samples, histograms and simple distribution summaries.
+//!
+//! Section 2.1 of the paper points out that "database samples, histograms,
+//! data distribution approximations are all, in some sense, small databases
+//! and can be summarized textually as above". This module provides those
+//! derived artifacts so the content translator can narrate them.
+
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// An equi-width histogram over a numeric column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Table and column the histogram describes.
+    pub table: String,
+    pub column: String,
+    /// Lower bound of the first bucket.
+    pub min: f64,
+    /// Upper bound of the last bucket.
+    pub max: f64,
+    /// Bucket counts, low to high.
+    pub buckets: Vec<usize>,
+    /// Number of NULL values skipped.
+    pub nulls: usize,
+}
+
+impl Histogram {
+    /// Width of one bucket.
+    pub fn bucket_width(&self) -> f64 {
+        if self.buckets.is_empty() {
+            0.0
+        } else {
+            (self.max - self.min) / self.buckets.len() as f64
+        }
+    }
+
+    /// Range `[low, high)` covered by bucket `i`.
+    pub fn bucket_range(&self, i: usize) -> (f64, f64) {
+        let w = self.bucket_width();
+        (self.min + w * i as f64, self.min + w * (i + 1) as f64)
+    }
+
+    /// Total number of non-NULL values.
+    pub fn total(&self) -> usize {
+        self.buckets.iter().sum()
+    }
+
+    /// Index of the most populated bucket.
+    pub fn modal_bucket(&self) -> Option<usize> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .map(|(i, _)| i)
+    }
+}
+
+/// Build an equi-width histogram over a numeric column.
+pub fn histogram(table: &Table, column: &str, buckets: usize) -> Option<Histogram> {
+    if buckets == 0 {
+        return None;
+    }
+    let values = table.column_values(column);
+    let numeric: Vec<f64> = values.iter().filter_map(Value::as_f64).collect();
+    let nulls = values.iter().filter(|v| v.is_null()).count();
+    if numeric.is_empty() {
+        return None;
+    }
+    let min = numeric.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = numeric.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut counts = vec![0usize; buckets];
+    let width = if max > min { (max - min) / buckets as f64 } else { 1.0 };
+    for x in &numeric {
+        let mut idx = ((x - min) / width) as usize;
+        if idx >= buckets {
+            idx = buckets - 1;
+        }
+        counts[idx] += 1;
+    }
+    Some(Histogram {
+        table: table.name().to_string(),
+        column: column.to_string(),
+        min,
+        max,
+        buckets: counts,
+        nulls,
+    })
+}
+
+/// Frequency table of the most common values of a (typically categorical)
+/// column, descending by count.
+pub fn top_values(table: &Table, column: &str, k: usize) -> Vec<(Value, usize)> {
+    let mut counts: BTreeMap<String, (Value, usize)> = BTreeMap::new();
+    for v in table.column_values(column) {
+        if v.is_null() {
+            continue;
+        }
+        let key = v.to_string();
+        counts.entry(key).or_insert_with(|| (v.clone(), 0)).1 += 1;
+    }
+    let mut out: Vec<(Value, usize)> = counts.into_values().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.total_cmp(&b.0)));
+    out.truncate(k);
+    out
+}
+
+/// A uniform sample of row indices (first `k` of a deterministic stride),
+/// deterministic so narrated samples are stable across runs.
+pub fn sample_rows(table: &Table, k: usize) -> Vec<usize> {
+    let n = table.len();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    if k >= n {
+        return (0..n).collect();
+    }
+    let stride = n as f64 / k as f64;
+    (0..k).map(|i| (i as f64 * stride) as usize).collect()
+}
+
+/// Basic numeric summary of a column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSummary {
+    pub table: String,
+    pub column: String,
+    pub non_null: usize,
+    pub nulls: usize,
+    pub distinct: usize,
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+}
+
+/// Summarize a column: counts, distinct values, min and max.
+pub fn summarize_column(table: &Table, column: &str) -> Option<ColumnSummary> {
+    if table.schema().column_index(column).is_none() {
+        return None;
+    }
+    let values = table.column_values(column);
+    let nulls = values.iter().filter(|v| v.is_null()).count();
+    let non_null: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+    let mut keys: Vec<String> = non_null.iter().map(|v| v.to_string()).collect();
+    keys.sort();
+    keys.dedup();
+    let min = non_null
+        .iter()
+        .min_by(|a, b| a.total_cmp(b))
+        .map(|v| (*v).clone());
+    let max = non_null
+        .iter()
+        .max_by(|a, b| a.total_cmp(b))
+        .map(|v| (*v).clone());
+    Some(ColumnSummary {
+        table: table.name().to_string(),
+        column: column.to_string(),
+        non_null: non_null.len(),
+        nulls,
+        distinct: keys.len(),
+        min,
+        max,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, TableSchema};
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            TableSchema::new(
+                "MOVIES",
+                vec![
+                    ColumnDef::new("id", DataType::Integer),
+                    ColumnDef::new("title", DataType::Text),
+                    ColumnDef::nullable("year", DataType::Integer),
+                ],
+            )
+            .with_primary_key(&["id"]),
+        );
+        let rows: &[(i64, &str, Option<i64>)] = &[
+            (1, "A", Some(1990)),
+            (2, "B", Some(1992)),
+            (3, "C", Some(2000)),
+            (4, "D", Some(2005)),
+            (5, "E", Some(2005)),
+            (6, "F", None),
+        ];
+        for (id, title, year) in rows {
+            t.insert_values(vec![
+                Value::int(*id),
+                Value::text(*title),
+                year.map(Value::int).unwrap_or(Value::Null),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn histogram_counts_and_ranges() {
+        let t = table();
+        let h = histogram(&t, "year", 3).unwrap();
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.nulls, 1);
+        assert_eq!(h.buckets.len(), 3);
+        assert_eq!(h.buckets.iter().sum::<usize>(), 5);
+        let (lo, _hi) = h.bucket_range(0);
+        assert_eq!(lo, 1990.0);
+        assert!(h.modal_bucket().is_some());
+    }
+
+    #[test]
+    fn histogram_rejects_degenerate_requests() {
+        let t = table();
+        assert!(histogram(&t, "year", 0).is_none());
+        assert!(histogram(&t, "title", 4).is_none());
+        assert!(histogram(&t, "missing", 4).is_none());
+    }
+
+    #[test]
+    fn top_values_orders_by_frequency() {
+        let t = table();
+        let top = top_values(&t, "year", 2);
+        assert_eq!(top[0].1, 2);
+        assert_eq!(top[0].0, Value::int(2005));
+    }
+
+    #[test]
+    fn sample_rows_is_deterministic_and_bounded() {
+        let t = table();
+        assert_eq!(sample_rows(&t, 3).len(), 3);
+        assert_eq!(sample_rows(&t, 100).len(), 6);
+        assert_eq!(sample_rows(&t, 3), sample_rows(&t, 3));
+        assert!(sample_rows(&t, 0).is_empty());
+    }
+
+    #[test]
+    fn column_summary_counts() {
+        let t = table();
+        let s = summarize_column(&t, "year").unwrap();
+        assert_eq!(s.non_null, 5);
+        assert_eq!(s.nulls, 1);
+        assert_eq!(s.distinct, 4);
+        assert_eq!(s.min, Some(Value::int(1990)));
+        assert_eq!(s.max, Some(Value::int(2005)));
+        assert!(summarize_column(&t, "missing").is_none());
+    }
+}

@@ -1,0 +1,309 @@
+//! A single in-memory table: rows plus a primary-key index and insertion
+//! time type/constraint checking.
+
+use crate::error::StoreError;
+use crate::schema::TableSchema;
+use crate::tuple::Row;
+use crate::value::{GroupKey, Value};
+use std::collections::HashMap;
+
+/// An in-memory table. Rows are stored in insertion order (which the
+/// deterministic data generators rely on for reproducible narratives) with a
+/// hash index on the primary key for FK checks and point lookups.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Row>,
+    /// Primary-key index: key values -> row position. Only maintained when
+    /// the schema declares a primary key.
+    pk_index: HashMap<Vec<GroupKey>, usize>,
+}
+
+impl Table {
+    /// Create an empty table with the given schema.
+    pub fn new(schema: TableSchema) -> Table {
+        Table {
+            schema,
+            rows: Vec::new(),
+            pk_index: HashMap::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows in insertion order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Row at a given position.
+    pub fn row(&self, i: usize) -> Option<&Row> {
+        self.rows.get(i)
+    }
+
+    /// Validate a row against the schema: arity, types, nullability.
+    pub fn validate_row(&self, row: &Row) -> Result<(), StoreError> {
+        if row.arity() != self.schema.arity() {
+            return Err(StoreError::ArityMismatch {
+                table: self.schema.name.clone(),
+                expected: self.schema.arity(),
+                found: row.arity(),
+            });
+        }
+        for (col, value) in self.schema.columns.iter().zip(row.values()) {
+            match value.data_type() {
+                None => {
+                    if !col.nullable {
+                        return Err(StoreError::NullViolation {
+                            table: self.schema.name.clone(),
+                            column: col.name.clone(),
+                        });
+                    }
+                }
+                Some(dt) => {
+                    if !col.data_type.accepts(dt) {
+                        return Err(StoreError::TypeMismatch {
+                            table: self.schema.name.clone(),
+                            column: col.name.clone(),
+                            expected: col.data_type,
+                            found: dt,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn pk_key(&self, row: &Row) -> Option<Vec<GroupKey>> {
+        let idx = self.schema.primary_key_indices();
+        if idx.is_empty() {
+            None
+        } else {
+            Some(row.group_key(&idx))
+        }
+    }
+
+    /// Insert a row, enforcing types, NOT NULL and primary-key uniqueness.
+    pub fn insert(&mut self, row: Row) -> Result<usize, StoreError> {
+        self.validate_row(&row)?;
+        if let Some(key) = self.pk_key(&row) {
+            if self.pk_index.contains_key(&key) {
+                return Err(StoreError::DuplicateKey {
+                    table: self.schema.name.clone(),
+                    key: format!("{:?}", key),
+                });
+            }
+            self.pk_index.insert(key, self.rows.len());
+        }
+        self.rows.push(row);
+        Ok(self.rows.len() - 1)
+    }
+
+    /// Insert from a vector of values.
+    pub fn insert_values(&mut self, values: Vec<Value>) -> Result<usize, StoreError> {
+        self.insert(Row::new(values))
+    }
+
+    /// Look up a row by primary-key values.
+    pub fn find_by_pk(&self, key_values: &[Value]) -> Option<&Row> {
+        let key: Vec<GroupKey> = key_values.iter().map(|v| v.group_key()).collect();
+        self.pk_index.get(&key).and_then(|&i| self.rows.get(i))
+    }
+
+    /// True if a row with the given primary-key values exists. Used for
+    /// foreign-key enforcement by [`crate::database::Database`].
+    pub fn contains_pk(&self, key_values: &[Value]) -> bool {
+        self.find_by_pk(key_values).is_some()
+    }
+
+    /// All values of one column, in row order.
+    pub fn column_values(&self, column: &str) -> Vec<Value> {
+        match self.schema.column_index(column) {
+            Some(i) => self
+                .rows
+                .iter()
+                .map(|r| r.get(i).cloned().unwrap_or(Value::Null))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Delete rows matching a predicate; returns how many were removed.
+    /// The primary-key index is rebuilt afterwards.
+    pub fn delete_where<F: Fn(&Row) -> bool>(&mut self, pred: F) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|r| !pred(r));
+        let removed = before - self.rows.len();
+        if removed > 0 {
+            self.rebuild_index();
+        }
+        removed
+    }
+
+    /// Update rows in place via a closure; returns how many rows were
+    /// visited and potentially modified.
+    pub fn update_where<P, U>(&mut self, pred: P, update: U) -> usize
+    where
+        P: Fn(&Row) -> bool,
+        U: Fn(&mut Row),
+    {
+        let mut touched = 0;
+        for row in &mut self.rows {
+            if pred(row) {
+                update(row);
+                touched += 1;
+            }
+        }
+        if touched > 0 {
+            self.rebuild_index();
+        }
+        touched
+    }
+
+    fn rebuild_index(&mut self) {
+        self.pk_index.clear();
+        let idx = self.schema.primary_key_indices();
+        if idx.is_empty() {
+            return;
+        }
+        for (pos, row) in self.rows.iter().enumerate() {
+            self.pk_index.insert(row.group_key(&idx), pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType;
+
+    fn movies() -> Table {
+        Table::new(
+            TableSchema::new(
+                "MOVIES",
+                vec![
+                    ColumnDef::new("id", DataType::Integer),
+                    ColumnDef::new("title", DataType::Text),
+                    ColumnDef::nullable("year", DataType::Integer),
+                ],
+            )
+            .with_primary_key(&["id"]),
+        )
+    }
+
+    #[test]
+    fn insert_and_lookup_by_pk() {
+        let mut t = movies();
+        t.insert_values(vec![Value::int(1), Value::text("Match Point"), Value::int(2005)])
+            .unwrap();
+        t.insert_values(vec![Value::int(2), Value::text("Anything Else"), Value::int(2003)])
+            .unwrap();
+        assert_eq!(t.len(), 2);
+        let r = t.find_by_pk(&[Value::int(2)]).unwrap();
+        assert_eq!(r.get(1), Some(&Value::text("Anything Else")));
+        assert!(t.contains_pk(&[Value::int(1)]));
+        assert!(!t.contains_pk(&[Value::int(99)]));
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = movies();
+        t.insert_values(vec![Value::int(1), Value::text("A"), Value::Null])
+            .unwrap();
+        let err = t
+            .insert_values(vec![Value::int(1), Value::text("B"), Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::DuplicateKey { .. }));
+    }
+
+    #[test]
+    fn arity_and_type_checked() {
+        let mut t = movies();
+        assert!(matches!(
+            t.insert_values(vec![Value::int(1)]).unwrap_err(),
+            StoreError::ArityMismatch { .. }
+        ));
+        assert!(matches!(
+            t.insert_values(vec![Value::text("x"), Value::text("A"), Value::Null])
+                .unwrap_err(),
+            StoreError::TypeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn null_violation_detected() {
+        let mut t = movies();
+        let err = t
+            .insert_values(vec![Value::int(1), Value::Null, Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::NullViolation { .. }));
+        // year is nullable, so NULL there is fine.
+        t.insert_values(vec![Value::int(1), Value::text("A"), Value::Null])
+            .unwrap();
+    }
+
+    #[test]
+    fn delete_and_update_rebuild_index() {
+        let mut t = movies();
+        for i in 0..5 {
+            t.insert_values(vec![Value::int(i), Value::text(format!("m{i}")), Value::int(2000 + i)])
+                .unwrap();
+        }
+        let removed = t.delete_where(|r| r.get(0) == Some(&Value::int(2)));
+        assert_eq!(removed, 1);
+        assert!(!t.contains_pk(&[Value::int(2)]));
+        assert!(t.contains_pk(&[Value::int(4)]));
+
+        let touched = t.update_where(
+            |r| r.get(0) == Some(&Value::int(3)),
+            |r| *r.get_mut(1).unwrap() = Value::text("renamed"),
+        );
+        assert_eq!(touched, 1);
+        let r = t.find_by_pk(&[Value::int(3)]).unwrap();
+        assert_eq!(r.get(1), Some(&Value::text("renamed")));
+    }
+
+    #[test]
+    fn column_values_in_row_order() {
+        let mut t = movies();
+        t.insert_values(vec![Value::int(1), Value::text("A"), Value::int(2001)])
+            .unwrap();
+        t.insert_values(vec![Value::int(2), Value::text("B"), Value::int(2002)])
+            .unwrap();
+        assert_eq!(
+            t.column_values("title"),
+            vec![Value::text("A"), Value::text("B")]
+        );
+        assert!(t.column_values("nope").is_empty());
+    }
+
+    #[test]
+    fn integer_accepted_into_float_column() {
+        let mut t = Table::new(TableSchema::new(
+            "T",
+            vec![ColumnDef::new("x", DataType::Float)],
+        ));
+        t.insert_values(vec![Value::int(3)]).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Pronoun introduction and referring-expression control.
+//!
+//! The paper's concluding section lists "introducing pronouns where
+//! appropriate" among the open problems. This module implements a
+//! conservative policy: a repeated subject is replaced by a pronoun only
+//! when the replacement cannot be ambiguous — i.e. no other entity of the
+//! same gender/number has been mentioned since the entity's last mention.
+
+/// Gender/number of a referent, mirroring `templates::Gender` but kept
+/// independent so the NLG substrate has no upward dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Referent {
+    Masculine,
+    Feminine,
+    NeuterSingular,
+    Plural,
+}
+
+impl Referent {
+    /// The subject pronoun for this referent.
+    pub fn subject_pronoun(&self) -> &'static str {
+        match self {
+            Referent::Masculine => "he",
+            Referent::Feminine => "she",
+            Referent::NeuterSingular => "it",
+            Referent::Plural => "they",
+        }
+    }
+}
+
+/// Tracks mentions across a sequence of sentences and decides when a
+/// repeated subject may be replaced by a pronoun.
+#[derive(Debug, Clone, Default)]
+pub struct PronounPlanner {
+    /// Mentions in order: (name, referent).
+    history: Vec<(String, Referent)>,
+}
+
+impl PronounPlanner {
+    /// Fresh planner.
+    pub fn new() -> PronounPlanner {
+        PronounPlanner::default()
+    }
+
+    /// Record that `name` was mentioned.
+    pub fn mention(&mut self, name: &str, referent: Referent) {
+        self.history.push((name.to_string(), referent));
+    }
+
+    /// Decide how to refer to `name` now: the pronoun if unambiguous, the
+    /// full name otherwise. Either way the mention is recorded.
+    pub fn refer_to(&mut self, name: &str, referent: Referent) -> String {
+        let use_pronoun = self.can_pronominalize(name, referent);
+        self.mention(name, referent);
+        if use_pronoun {
+            referent.subject_pronoun().to_string()
+        } else {
+            name.to_string()
+        }
+    }
+
+    /// A pronoun is safe when the most recent mention of any entity with the
+    /// same referent class is `name` itself.
+    pub fn can_pronominalize(&self, name: &str, referent: Referent) -> bool {
+        let last_same_class = self
+            .history
+            .iter()
+            .rev()
+            .find(|(_, r)| *r == referent)
+            .map(|(n, _)| n.as_str());
+        last_same_class
+            .map(|n| n.eq_ignore_ascii_case(name))
+            .unwrap_or(false)
+    }
+
+    /// Number of recorded mentions.
+    pub fn mentions(&self) -> usize {
+        self.history.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_mention_uses_the_name() {
+        let mut p = PronounPlanner::new();
+        assert_eq!(p.refer_to("Woody Allen", Referent::Masculine), "Woody Allen");
+        assert_eq!(p.mentions(), 1);
+    }
+
+    #[test]
+    fn unambiguous_repetition_becomes_a_pronoun() {
+        let mut p = PronounPlanner::new();
+        p.mention("Woody Allen", Referent::Masculine);
+        assert_eq!(p.refer_to("Woody Allen", Referent::Masculine), "he");
+    }
+
+    #[test]
+    fn interfering_mention_of_same_class_blocks_the_pronoun() {
+        let mut p = PronounPlanner::new();
+        p.mention("Woody Allen", Referent::Masculine);
+        p.mention("Brad Pitt", Referent::Masculine);
+        assert_eq!(
+            p.refer_to("Woody Allen", Referent::Masculine),
+            "Woody Allen"
+        );
+    }
+
+    #[test]
+    fn different_class_mentions_do_not_interfere() {
+        let mut p = PronounPlanner::new();
+        p.mention("Woody Allen", Referent::Masculine);
+        p.mention("Match Point", Referent::NeuterSingular);
+        // "he" is unambiguous: Match Point is not masculine.
+        assert_eq!(p.refer_to("Woody Allen", Referent::Masculine), "he");
+        // "it" is also unambiguous: the only neuter entity mentioned so far
+        // is Match Point itself.
+        assert_eq!(p.refer_to("Match Point", Referent::NeuterSingular), "it");
+        // A second neuter entity blocks the pronoun for the first one.
+        p.mention("Troy", Referent::NeuterSingular);
+        assert_eq!(
+            p.refer_to("Match Point", Referent::NeuterSingular),
+            "Match Point"
+        );
+    }
+
+    #[test]
+    fn pronoun_table() {
+        assert_eq!(Referent::Plural.subject_pronoun(), "they");
+        assert_eq!(Referent::Feminine.subject_pronoun(), "she");
+    }
+}

@@ -1,0 +1,201 @@
+//! Graph-theoretic analysis of query blocks: connectivity, cycles, path
+//! shape. These are the ingredients of the §3.3 query categorization.
+
+use crate::query_graph::QueryBlock;
+
+/// Summary of a block's join-graph structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockShape {
+    /// Number of relation classes.
+    pub classes: usize,
+    /// Number of join edges.
+    pub joins: usize,
+    /// Number of connected components of the join graph.
+    pub components: usize,
+    /// True when the join graph contains a cycle.
+    pub cyclic: bool,
+    /// True when the join graph is a simple path (includes the single-class
+    /// case).
+    pub is_path: bool,
+    /// True when some relation has more than one tuple variable.
+    pub multi_instance: bool,
+    /// True when every join edge corresponds to a declared foreign key.
+    pub fk_joins_only: bool,
+}
+
+/// Compute the shape of a query block.
+pub fn block_shape(block: &QueryBlock) -> BlockShape {
+    let n = block.classes.len();
+    let adjacency = adjacency(block);
+    let components = connected_components(&adjacency, n);
+    let cyclic = has_cycle(block, n);
+    let degrees = block.join_degrees();
+    let is_path = n > 0
+        && components == 1
+        && !cyclic
+        && degrees.iter().all(|&d| d <= 2)
+        && degrees.iter().filter(|&&d| d <= 1).count() <= 2;
+    BlockShape {
+        classes: n,
+        joins: block.joins.len(),
+        components,
+        cyclic,
+        is_path,
+        multi_instance: block.has_multiple_instances(),
+        fk_joins_only: block.all_joins_are_foreign_keys(),
+    }
+}
+
+fn adjacency(block: &QueryBlock) -> Vec<Vec<usize>> {
+    let n = block.classes.len();
+    let mut adj = vec![Vec::new(); n];
+    for j in &block.joins {
+        if j.left < n && j.right < n && j.left != j.right {
+            adj[j.left].push(j.right);
+            adj[j.right].push(j.left);
+        }
+    }
+    adj
+}
+
+/// Number of connected components of an undirected adjacency list.
+pub fn connected_components(adjacency: &[Vec<usize>], n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let mut seen = vec![false; n];
+    let mut components = 0;
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        components += 1;
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(node) = stack.pop() {
+            for &next in &adjacency[node] {
+                if !seen[next] {
+                    seen[next] = true;
+                    stack.push(next);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Cycle detection on the block's join multigraph. Parallel edges between
+/// the same pair of classes (as in the paper's Q4, where `M.id = C.mid` and
+/// `C.role = M.title` connect the same two classes) count as a cycle.
+pub fn has_cycle(block: &QueryBlock, n: usize) -> bool {
+    // Union-find: adding an edge whose endpoints are already connected
+    // closes a cycle.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for j in &block.joins {
+        if j.left >= n || j.right >= n {
+            continue;
+        }
+        if j.left == j.right {
+            return true;
+        }
+        let (a, b) = (find(&mut parent, j.left), find(&mut parent, j.right));
+        if a == b {
+            return true;
+        }
+        parent[a] = b;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_graph::QueryGraph;
+    use datastore::sample::movie_database;
+    use sqlparse::parse_query;
+
+    fn shape_of(sql: &str) -> BlockShape {
+        let db = movie_database();
+        let q = parse_query(sql).unwrap();
+        let g = QueryGraph::from_query(db.catalog(), &q).unwrap();
+        block_shape(g.root())
+    }
+
+    #[test]
+    fn q1_is_a_path() {
+        let s = shape_of(
+            "select m.title from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
+        );
+        assert!(s.is_path);
+        assert!(!s.cyclic);
+        assert!(!s.multi_instance);
+        assert!(s.fk_joins_only);
+        assert_eq!(s.components, 1);
+    }
+
+    #[test]
+    fn q2_is_connected_acyclic_but_not_a_path() {
+        let s = shape_of(
+            "select a.name, m.title from MOVIES m, CAST c, ACTOR a, DIRECTED r, DIRECTOR d, GENRE g \
+             where m.id = c.mid and c.aid = a.id and m.id = r.mid and r.did = d.id \
+               and m.id = g.mid and d.name = 'G. Loucas' and g.genre = 'action'",
+        );
+        assert!(!s.is_path);
+        assert!(!s.cyclic);
+        assert_eq!(s.components, 1);
+        assert!(s.fk_joins_only);
+        assert_eq!(s.classes, 6);
+    }
+
+    #[test]
+    fn q3_is_multi_instance() {
+        let s = shape_of(
+            "select a1.name, a2.name from MOVIES m, CAST c1, ACTOR a1, CAST c2, ACTOR a2 \
+             where m.id = c1.mid and c1.aid = a1.id and m.id = c2.mid and c2.aid = a2.id \
+               and a1.id > a2.id",
+        );
+        assert!(s.multi_instance);
+        assert!(!s.cyclic);
+        assert_eq!(s.components, 1);
+    }
+
+    #[test]
+    fn q4_parallel_edges_count_as_a_cycle() {
+        let s = shape_of(
+            "select m.title from MOVIES m, CAST c where m.id = c.mid and c.role = m.title",
+        );
+        assert!(s.cyclic);
+        assert!(!s.fk_joins_only);
+    }
+
+    #[test]
+    fn cartesian_product_has_two_components() {
+        let s = shape_of("select m.title, a.name from MOVIES m, ACTOR a");
+        assert_eq!(s.components, 2);
+        assert!(!s.is_path);
+        assert_eq!(s.joins, 0);
+    }
+
+    #[test]
+    fn single_relation_is_a_trivial_path() {
+        let s = shape_of("select m.title from MOVIES m where m.year > 2000");
+        assert!(s.is_path);
+        assert_eq!(s.classes, 1);
+        assert_eq!(s.components, 1);
+    }
+
+    #[test]
+    fn connected_components_counts_isolated_nodes() {
+        assert_eq!(connected_components(&[vec![], vec![], vec![]], 3), 3);
+        assert_eq!(connected_components(&[vec![1], vec![0], vec![]], 3), 2);
+        assert_eq!(connected_components(&[], 0), 0);
+    }
+}

@@ -1,0 +1,401 @@
+//! Query categorization following §3.3 of the paper.
+//!
+//! The paper orders queries by translation effort:
+//!
+//! 1. **Path queries** (§3.3.1) — SPJ, graph is a path on the schema graph.
+//! 2. **Subgraph queries** (§3.3.2) — SPJ, any acyclic subgraph, one
+//!    instance per relation.
+//! 3. **Graph queries** (§3.3.3) — SPJ with multiple instances and/or
+//!    cycles; need non-local templates.
+//! 4. **Non-graph queries** (§3.3.4) — nested (with or without a flat
+//!    equivalent) and aggregate queries.
+//! 5. **"Impossible" queries** (§3.3.5) — semantics hidden behind
+//!    higher-order idioms (`count(distinct …) = 1`, `<= ALL`, …).
+
+use crate::analysis::{block_shape, BlockShape};
+use crate::query_graph::QueryGraph;
+use sqlparse::ast::{
+    BinaryOperator, Expr, Literal, Quantifier, SelectStatement,
+};
+use sqlparse::rewrite::{detect_division, flatten_in_subqueries};
+
+/// The higher-order idioms of §3.3.5 this implementation recognizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HigherOrderIdiom {
+    /// `count(distinct x) = 1` in HAVING — "all … are the same".
+    AllSame { attribute: String },
+    /// `expr <= ALL (…)` / `>= ALL (…)` — superlative ("earliest",
+    /// "latest", "smallest", "largest").
+    Superlative { attribute: String, smallest: bool },
+}
+
+/// The category a query falls into, ordered by translation difficulty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryCategory {
+    /// §3.3.1: SPJ whose join graph is a path.
+    Path,
+    /// §3.3.2: SPJ whose join graph is an acyclic subgraph of the schema
+    /// graph with one instance per relation.
+    Subgraph,
+    /// §3.3.3: SPJ with multiple instances of some relation and/or cycles.
+    Graph { cyclic: bool, multi_instance: bool },
+    /// §3.3.4 (nested): has a flat SPJ equivalent obtainable by rewriting.
+    NestedFlattenable,
+    /// §3.3.4 (nested): genuinely nested (e.g. relational division).
+    Nested { division: bool },
+    /// §3.3.4 (aggregate): grouping/aggregation, possibly with HAVING
+    /// subqueries.
+    Aggregate,
+    /// §3.3.5: semantics dominated by a higher-order idiom.
+    Impossible { idiom: HigherOrderIdiom },
+}
+
+impl QueryCategory {
+    /// The paper's name for the category.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryCategory::Path => "path query",
+            QueryCategory::Subgraph => "subgraph query",
+            QueryCategory::Graph { .. } => "graph query",
+            QueryCategory::NestedFlattenable => "nested query (flattenable)",
+            QueryCategory::Nested { .. } => "nested query",
+            QueryCategory::Aggregate => "aggregate query",
+            QueryCategory::Impossible { .. } => "impossible query",
+        }
+    }
+
+    /// Relative translation difficulty (1 = easiest), mirroring the order in
+    /// which §3.3 presents the cases.
+    pub fn difficulty(&self) -> u8 {
+        match self {
+            QueryCategory::Path => 1,
+            QueryCategory::Subgraph => 2,
+            QueryCategory::Graph { .. } => 3,
+            QueryCategory::NestedFlattenable => 4,
+            QueryCategory::Nested { .. } | QueryCategory::Aggregate => 5,
+            QueryCategory::Impossible { .. } => 6,
+        }
+    }
+}
+
+/// The classification result: category plus the evidence used to decide it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classification {
+    pub category: QueryCategory,
+    /// Shape of the outer block's join graph.
+    pub shape: BlockShape,
+    /// Number of query blocks.
+    pub blocks: usize,
+    /// Detected relational division, if any.
+    pub division: Option<sqlparse::rewrite::DivisionPattern>,
+}
+
+/// Classify a query given its AST and query graph.
+pub fn classify(query: &SelectStatement, graph: &QueryGraph) -> Classification {
+    let shape = block_shape(graph.root());
+    let blocks = graph.blocks.len();
+    let division = detect_division(query);
+
+    // 1. Higher-order idioms dominate everything else (§3.3.5).
+    if let Some(idiom) = detect_idiom(query) {
+        return Classification {
+            category: QueryCategory::Impossible { idiom },
+            shape,
+            blocks,
+            division,
+        };
+    }
+
+    // 2. Aggregation (§3.3.4, Q7).
+    if query.is_aggregate() {
+        return Classification {
+            category: QueryCategory::Aggregate,
+            shape,
+            blocks,
+            division,
+        };
+    }
+
+    // 3. Nesting (§3.3.4, Q5/Q6).
+    if query.has_subquery() {
+        let category = if flatten_in_subqueries(query).is_some() {
+            QueryCategory::NestedFlattenable
+        } else {
+            QueryCategory::Nested {
+                division: division.is_some(),
+            }
+        };
+        return Classification {
+            category,
+            shape,
+            blocks,
+            division,
+        };
+    }
+
+    // 4. SPJ tiers (§3.3.1–3.3.3).
+    let category = if shape.multi_instance || shape.cyclic || !shape.fk_joins_only {
+        QueryCategory::Graph {
+            cyclic: shape.cyclic,
+            multi_instance: shape.multi_instance,
+        }
+    } else if shape.is_path {
+        QueryCategory::Path
+    } else {
+        QueryCategory::Subgraph
+    };
+    Classification {
+        category,
+        shape,
+        blocks,
+        division,
+    }
+}
+
+/// Detect the higher-order idioms of §3.3.5.
+pub fn detect_idiom(query: &SelectStatement) -> Option<HigherOrderIdiom> {
+    // Q8: HAVING count(distinct x) = 1  ->  "all x are the same".
+    if let Some(having) = &query.having {
+        let mut found: Option<HigherOrderIdiom> = None;
+        having.walk(&mut |e| {
+            if found.is_some() {
+                return;
+            }
+            if let Expr::BinaryOp { left, op, right } = e {
+                if *op != BinaryOperator::Eq {
+                    return;
+                }
+                let (agg, literal) = match (left.as_ref(), right.as_ref()) {
+                    (Expr::Aggregate { .. }, Expr::Literal(l)) => (left.as_ref(), l),
+                    (Expr::Literal(l), Expr::Aggregate { .. }) => (right.as_ref(), l),
+                    _ => return,
+                };
+                if *literal != Literal::Integer(1) {
+                    return;
+                }
+                if let Expr::Aggregate {
+                    distinct: true,
+                    arg: Some(arg),
+                    ..
+                } = agg
+                {
+                    if let Expr::Column(c) = arg.as_ref() {
+                        found = Some(HigherOrderIdiom::AllSame {
+                            attribute: c.column.clone(),
+                        });
+                    }
+                }
+            }
+        });
+        if found.is_some() {
+            return found;
+        }
+    }
+    // Q9: expr <= ALL (…) / >= ALL (…)  ->  superlative.
+    if let Some(selection) = &query.selection {
+        let mut found: Option<HigherOrderIdiom> = None;
+        selection.walk(&mut |e| {
+            if found.is_some() {
+                return;
+            }
+            if let Expr::QuantifiedComparison {
+                left,
+                op,
+                quantifier: Quantifier::All,
+                ..
+            } = e
+            {
+                let smallest = matches!(op, BinaryOperator::LtEq | BinaryOperator::Lt);
+                let largest = matches!(op, BinaryOperator::GtEq | BinaryOperator::Gt);
+                if !smallest && !largest {
+                    return;
+                }
+                let attribute = match left.as_ref() {
+                    Expr::Column(c) => c.column.clone(),
+                    other => other.to_string(),
+                };
+                found = Some(HigherOrderIdiom::Superlative {
+                    attribute,
+                    smallest,
+                });
+            }
+        });
+        if found.is_some() {
+            return found;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_graph::QueryGraph;
+    use datastore::sample::{employee_database, movie_database};
+    use sqlparse::parse_query;
+
+    fn classify_sql(sql: &str) -> Classification {
+        let db = movie_database();
+        let q = parse_query(sql).unwrap();
+        let g = QueryGraph::from_query(db.catalog(), &q).unwrap();
+        classify(&q, &g)
+    }
+
+    #[test]
+    fn q1_is_a_path_query() {
+        let c = classify_sql(
+            "select m.title from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
+        );
+        assert_eq!(c.category, QueryCategory::Path);
+        assert_eq!(c.category.difficulty(), 1);
+    }
+
+    #[test]
+    fn q2_is_a_subgraph_query() {
+        let c = classify_sql(
+            "select a.name, m.title from MOVIES m, CAST c, ACTOR a, DIRECTED r, DIRECTOR d, GENRE g \
+             where m.id = c.mid and c.aid = a.id and m.id = r.mid and r.did = d.id \
+               and m.id = g.mid and d.name = 'G. Loucas' and g.genre = 'action'",
+        );
+        assert_eq!(c.category, QueryCategory::Subgraph);
+    }
+
+    #[test]
+    fn q3_is_a_graph_query_multi_instance() {
+        let c = classify_sql(
+            "select a1.name, a2.name from MOVIES m, CAST c1, ACTOR a1, CAST c2, ACTOR a2 \
+             where m.id = c1.mid and c1.aid = a1.id and m.id = c2.mid and c2.aid = a2.id \
+               and a1.id > a2.id",
+        );
+        assert_eq!(
+            c.category,
+            QueryCategory::Graph {
+                cyclic: false,
+                multi_instance: true
+            }
+        );
+    }
+
+    #[test]
+    fn q4_is_a_graph_query_cyclic() {
+        let c = classify_sql(
+            "select m.title from MOVIES m, CAST c where m.id = c.mid and c.role = m.title",
+        );
+        assert!(matches!(
+            c.category,
+            QueryCategory::Graph { cyclic: true, .. }
+        ));
+    }
+
+    #[test]
+    fn q5_is_nested_flattenable() {
+        let c = classify_sql(
+            "select m.title from MOVIES m where m.id in ( \
+                select c.mid from CAST c where c.aid in ( \
+                    select a.id from ACTOR a where a.name = 'Brad Pitt'))",
+        );
+        assert_eq!(c.category, QueryCategory::NestedFlattenable);
+        assert_eq!(c.blocks, 3);
+    }
+
+    #[test]
+    fn q6_is_nested_division() {
+        let c = classify_sql(
+            "select m.title from MOVIES m where not exists ( \
+                select * from GENRE g1 where not exists ( \
+                    select * from GENRE g2 where g2.mid = m.id and g2.genre = g1.genre))",
+        );
+        assert_eq!(c.category, QueryCategory::Nested { division: true });
+        assert!(c.division.is_some());
+    }
+
+    #[test]
+    fn q7_is_an_aggregate_query() {
+        let c = classify_sql(
+            "select m.id, m.title, count(*) from MOVIES m, CAST c where m.id = c.mid \
+             group by m.id, m.title having 1 < (select count(*) from GENRE g where g.mid = m.id)",
+        );
+        assert_eq!(c.category, QueryCategory::Aggregate);
+        assert_eq!(c.category.difficulty(), 5);
+    }
+
+    #[test]
+    fn q8_is_impossible_all_same() {
+        let c = classify_sql(
+            "select a.id, a.name from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id \
+             group by a.id, a.name having count(distinct m.year) = 1",
+        );
+        assert_eq!(
+            c.category,
+            QueryCategory::Impossible {
+                idiom: HigherOrderIdiom::AllSame {
+                    attribute: "year".into()
+                }
+            }
+        );
+    }
+
+    #[test]
+    fn q9_is_impossible_superlative() {
+        let c = classify_sql(
+            "select a.name from MOVIES m, CAST c, ACTOR a where m.id = c.mid and c.aid = a.id \
+             and m.year <= all (select m1.year from MOVIES m1, MOVIES m2 \
+             where m1.title = m.title and m2.title = m.title and m1.id <> m2.id)",
+        );
+        assert_eq!(
+            c.category,
+            QueryCategory::Impossible {
+                idiom: HigherOrderIdiom::Superlative {
+                    attribute: "year".into(),
+                    smallest: true
+                }
+            }
+        );
+        assert_eq!(c.category.difficulty(), 6);
+    }
+
+    #[test]
+    fn emp_manager_query_is_a_graph_query() {
+        let db = employee_database();
+        let q = parse_query(
+            "select e1.name from EMP e1, EMP e2, DEPT d \
+             where e1.did = d.did and d.mgr = e2.eid and e1.sal > e2.sal",
+        )
+        .unwrap();
+        let g = QueryGraph::from_query(db.catalog(), &q).unwrap();
+        let c = classify(&q, &g);
+        assert!(matches!(
+            c.category,
+            QueryCategory::Graph {
+                multi_instance: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn single_table_filter_is_a_path_query() {
+        let c = classify_sql("select m.title from MOVIES m where m.year > 2000");
+        assert_eq!(c.category, QueryCategory::Path);
+    }
+
+    #[test]
+    fn category_names_are_stable() {
+        assert_eq!(QueryCategory::Path.name(), "path query");
+        assert_eq!(
+            QueryCategory::Nested { division: true }.name(),
+            "nested query"
+        );
+        assert_eq!(
+            QueryCategory::Impossible {
+                idiom: HigherOrderIdiom::AllSame {
+                    attribute: "x".into()
+                }
+            }
+            .name(),
+            "impossible query"
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Structural patterns found while traversing the schema graph (§2.2).
+//!
+//! "During this traversal, three possible structural patterns on the graph
+//! can be found: the unary pattern (Ri−Rj), the join pattern (Ri1,Ri2 > Rj),
+//! and the split pattern (Ri < Rj1,Rj2)." In addition, relations like
+//! `DIRECTED` that only connect two other relations and contribute no
+//! attributes of their own are *bridge* relations and are elided from the
+//! narrative ("none of its attributes contributes to the result, so it is
+//! not taken under consideration").
+
+use crate::schema_graph::SchemaGraph;
+use crate::traversal::TraversalPlan;
+
+/// A structural pattern instance discovered in a traversal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructuralPattern {
+    /// `Ri – Rj`: a relation reached from exactly one parent and having at
+    /// most one child in the traversal tree.
+    Unary { from: usize, to: usize },
+    /// `Ri1, Ri2 > Rj`: two relations joining into a common target.
+    Join { left: usize, right: usize, target: usize },
+    /// `Ri < Rj1, Rj2`: one relation splitting into two (or more) children;
+    /// the children are listed in traversal order.
+    Split { source: usize, branches: Vec<usize> },
+}
+
+impl StructuralPattern {
+    /// Relations participating in this pattern.
+    pub fn relations(&self) -> Vec<usize> {
+        match self {
+            StructuralPattern::Unary { from, to } => vec![*from, *to],
+            StructuralPattern::Join {
+                left,
+                right,
+                target,
+            } => vec![*left, *right, *target],
+            StructuralPattern::Split { source, branches } => {
+                let mut v = vec![*source];
+                v.extend(branches.iter().copied());
+                v
+            }
+        }
+    }
+}
+
+/// Detect the structural patterns implied by a traversal plan: every parent
+/// with one child yields a unary pattern, every parent with two or more
+/// children yields a split pattern, and every relation with two or more
+/// incoming join edges from visited relations yields a join pattern.
+pub fn detect_patterns(graph: &SchemaGraph, plan: &TraversalPlan) -> Vec<StructuralPattern> {
+    let mut out = Vec::new();
+    for step in &plan.steps {
+        let children = plan.children_of(step.relation);
+        match children.len() {
+            0 => {}
+            1 => out.push(StructuralPattern::Unary {
+                from: step.relation,
+                to: children[0],
+            }),
+            _ => out.push(StructuralPattern::Split {
+                source: step.relation,
+                branches: children,
+            }),
+        }
+    }
+    // Join patterns: a visited relation referenced (via FK join edges) by two
+    // or more other visited relations.
+    for step in &plan.steps {
+        let target = step.relation;
+        let referencing: Vec<usize> = graph
+            .join_edges
+            .iter()
+            .filter(|e| e.to == target && plan.visits(e.from))
+            .map(|e| e.from)
+            .collect();
+        if referencing.len() >= 2 {
+            out.push(StructuralPattern::Join {
+                left: referencing[0],
+                right: referencing[1],
+                target,
+            });
+        }
+    }
+    out
+}
+
+/// True when a relation acts as a *bridge*: it connects exactly two other
+/// relations through join edges and none of its non-key attributes carry
+/// information the narrative would want (all of its attributes participate
+/// in its foreign keys). `DIRECTED(mid, did)` is the canonical example.
+pub fn is_bridge_relation(graph: &SchemaGraph, catalog: &datastore::Catalog, relation: usize) -> bool {
+    let node = &graph.relations[relation];
+    if graph.join_degree(relation) != 2 {
+        return false;
+    }
+    let Some(schema) = catalog.table(&node.name) else {
+        return false;
+    };
+    // Collect every column that participates in a foreign key of this table.
+    let mut fk_columns: Vec<String> = Vec::new();
+    for fk in catalog.foreign_keys_from(&node.name) {
+        fk_columns.extend(fk.columns.iter().map(|c| c.to_lowercase()));
+    }
+    schema
+        .columns
+        .iter()
+        .all(|c| fk_columns.contains(&c.name.to_lowercase()))
+}
+
+/// Collapse bridge relations out of a path of relation indices: the result
+/// keeps only the non-bridge endpoints, which is how
+/// `DIRECTOR – DIRECTED – MOVIES` becomes "conceptually … a single unary
+/// pattern DIRECTOR – MOVIES".
+pub fn collapse_bridges(
+    graph: &SchemaGraph,
+    catalog: &datastore::Catalog,
+    path: &[usize],
+) -> Vec<usize> {
+    path.iter()
+        .copied()
+        .filter(|&r| !is_bridge_relation(graph, catalog, r))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{dfs_traversal, TraversalConfig};
+    use datastore::sample::movie_database;
+
+    fn fixtures() -> (datastore::Database, SchemaGraph) {
+        let db = movie_database();
+        let g = SchemaGraph::from_catalog(db.catalog());
+        (db, g)
+    }
+
+    #[test]
+    fn directed_and_cast_and_genre_patterns_found_from_movies() {
+        let (_db, g) = fixtures();
+        let movies = g.relation_index("MOVIES").unwrap();
+        let plan = dfs_traversal(&g, Some(movies), TraversalConfig::default());
+        let patterns = detect_patterns(&g, &plan);
+        // MOVIES has three children -> a split pattern rooted at MOVIES.
+        assert!(patterns.iter().any(|p| matches!(
+            p,
+            StructuralPattern::Split { source, branches } if *source == movies && branches.len() == 3
+        )));
+        // MOVIES is referenced by several visited relations -> join pattern.
+        assert!(patterns
+            .iter()
+            .any(|p| matches!(p, StructuralPattern::Join { target, .. } if *target == movies)));
+        // Unary patterns appear along the chains (e.g. CAST -> ACTOR).
+        assert!(patterns
+            .iter()
+            .any(|p| matches!(p, StructuralPattern::Unary { .. })));
+    }
+
+    #[test]
+    fn directed_is_a_bridge_but_cast_is_not() {
+        let (db, g) = fixtures();
+        let directed = g.relation_index("DIRECTED").unwrap();
+        let cast = g.relation_index("CAST").unwrap();
+        let movies = g.relation_index("MOVIES").unwrap();
+        assert!(is_bridge_relation(&g, db.catalog(), directed));
+        // CAST has the `role` attribute, which is not part of any FK.
+        assert!(!is_bridge_relation(&g, db.catalog(), cast));
+        assert!(!is_bridge_relation(&g, db.catalog(), movies));
+    }
+
+    #[test]
+    fn collapsing_bridges_recovers_the_conceptual_unary_pattern() {
+        let (db, g) = fixtures();
+        let director = g.relation_index("DIRECTOR").unwrap();
+        let directed = g.relation_index("DIRECTED").unwrap();
+        let movies = g.relation_index("MOVIES").unwrap();
+        let collapsed = collapse_bridges(&g, db.catalog(), &[director, directed, movies]);
+        assert_eq!(collapsed, vec![director, movies]);
+    }
+
+    #[test]
+    fn pattern_relations_lists_participants() {
+        let p = StructuralPattern::Split {
+            source: 0,
+            branches: vec![1, 2],
+        };
+        assert_eq!(p.relations(), vec![0, 1, 2]);
+        let p = StructuralPattern::Join {
+            left: 3,
+            right: 4,
+            target: 5,
+        };
+        assert_eq!(p.relations(), vec![3, 4, 5]);
+        let p = StructuralPattern::Unary { from: 6, to: 7 };
+        assert_eq!(p.relations(), vec![6, 7]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types for lexing, parsing and binding SQL.
+
+use std::fmt;
+
+/// Errors produced while turning SQL text into an AST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset into the input where the problem was detected.
+    pub position: usize,
+}
+
+impl ParseError {
+    pub fn new(message: impl Into<String>, position: usize) -> ParseError {
+        ParseError {
+            message: message.into(),
+            position,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors produced while resolving an AST against a catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindError {
+    /// FROM references a table that does not exist.
+    UnknownTable { table: String },
+    /// Two FROM items use the same alias.
+    DuplicateAlias { alias: String },
+    /// A column reference used a tuple variable that is not in scope.
+    UnknownAlias { alias: String },
+    /// A column does not exist on the relation it was resolved to.
+    UnknownColumn { qualifier: String, column: String },
+    /// An unqualified column name matches attributes of several relations.
+    AmbiguousColumn { column: String, candidates: Vec<String> },
+    /// An unqualified column name matches no relation in scope.
+    UnresolvedColumn { column: String },
+    /// A feature the binder does not support yet.
+    Unsupported { what: String },
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindError::UnknownTable { table } => write!(f, "unknown table '{table}'"),
+            BindError::DuplicateAlias { alias } => {
+                write!(f, "alias '{alias}' is used by more than one FROM item")
+            }
+            BindError::UnknownAlias { alias } => {
+                write!(f, "tuple variable '{alias}' is not defined in this query")
+            }
+            BindError::UnknownColumn { qualifier, column } => {
+                write!(f, "relation '{qualifier}' has no attribute '{column}'")
+            }
+            BindError::AmbiguousColumn { column, candidates } => write!(
+                f,
+                "column '{column}' is ambiguous; it exists on {}",
+                candidates.join(", ")
+            ),
+            BindError::UnresolvedColumn { column } => {
+                write!(f, "column '{column}' does not belong to any relation in scope")
+            }
+            BindError::Unsupported { what } => write!(f, "unsupported SQL feature: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_display_includes_position() {
+        let e = ParseError::new("unexpected token", 17);
+        assert!(e.to_string().contains("17"));
+        assert!(e.to_string().contains("unexpected token"));
+    }
+
+    #[test]
+    fn bind_error_messages_name_the_offender() {
+        let e = BindError::AmbiguousColumn {
+            column: "name".into(),
+            candidates: vec!["ACTOR".into(), "DIRECTOR".into()],
+        };
+        assert!(e.to_string().contains("ACTOR"));
+        assert!(e.to_string().contains("DIRECTOR"));
+    }
+}

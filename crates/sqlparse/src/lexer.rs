@@ -1,0 +1,447 @@
+//! SQL tokenizer.
+//!
+//! Produces a flat token stream with byte positions so the parser can report
+//! precise error locations. Keywords are recognized case-insensitively; the
+//! lexer keeps identifiers in their original spelling because the narrative
+//! layer prefers to echo the user's capitalization.
+
+use crate::error::ParseError;
+
+/// SQL keywords the parser understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    Order,
+    Asc,
+    Desc,
+    Limit,
+    Distinct,
+    And,
+    Or,
+    Not,
+    In,
+    Exists,
+    Between,
+    Like,
+    Is,
+    Null,
+    True,
+    False,
+    As,
+    All,
+    Any,
+    Some,
+    Insert,
+    Into,
+    Values,
+    Update,
+    Set,
+    Delete,
+    Create,
+    View,
+    Union,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl Keyword {
+    /// Recognize a keyword from an identifier, case-insensitively.
+    pub fn from_str(word: &str) -> Option<Keyword> {
+        let upper = word.to_ascii_uppercase();
+        Some(match upper.as_str() {
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "GROUP" => Keyword::Group,
+            "BY" => Keyword::By,
+            "HAVING" => Keyword::Having,
+            "ORDER" => Keyword::Order,
+            "ASC" => Keyword::Asc,
+            "DESC" => Keyword::Desc,
+            "LIMIT" => Keyword::Limit,
+            "DISTINCT" => Keyword::Distinct,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "NOT" => Keyword::Not,
+            "IN" => Keyword::In,
+            "EXISTS" => Keyword::Exists,
+            "BETWEEN" => Keyword::Between,
+            "LIKE" => Keyword::Like,
+            "IS" => Keyword::Is,
+            "NULL" => Keyword::Null,
+            "TRUE" => Keyword::True,
+            "FALSE" => Keyword::False,
+            "AS" => Keyword::As,
+            "ALL" => Keyword::All,
+            "ANY" => Keyword::Any,
+            "SOME" => Keyword::Some,
+            "INSERT" => Keyword::Insert,
+            "INTO" => Keyword::Into,
+            "VALUES" => Keyword::Values,
+            "UPDATE" => Keyword::Update,
+            "SET" => Keyword::Set,
+            "DELETE" => Keyword::Delete,
+            "CREATE" => Keyword::Create,
+            "VIEW" => Keyword::View,
+            "UNION" => Keyword::Union,
+            "COUNT" => Keyword::Count,
+            "SUM" => Keyword::Sum,
+            "AVG" => Keyword::Avg,
+            "MIN" => Keyword::Min,
+            "MAX" => Keyword::Max,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword with its original spelling.
+    Keyword(Keyword, String),
+    /// Identifier (table, column, alias).
+    Identifier(String),
+    /// Numeric literal (kept as text; the parser decides int vs float).
+    Number(String),
+    /// String literal with quotes removed and escapes resolved.
+    String(String),
+    /// Punctuation and operators.
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+}
+
+impl Token {
+    /// True if the token is the given keyword.
+    pub fn is_keyword(&self, kw: Keyword) -> bool {
+        matches!(self, Token::Keyword(k, _) if *k == kw)
+    }
+}
+
+/// A token plus its byte position in the input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    pub token: Token,
+    pub position: usize,
+}
+
+/// Tokenize SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let start = i;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal with '' escaping.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(ParseError::new("unterminated string literal", start))
+                        }
+                        Some('\'') => {
+                            if bytes.get(i + 1) == Some(&'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(ch) => {
+                            s.push(*ch);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(SpannedToken {
+                    token: Token::String(s),
+                    position: start,
+                });
+            }
+            '"' => {
+                // Quoted identifier.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(ParseError::new("unterminated quoted identifier", start))
+                        }
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(ch) => {
+                            s.push(*ch);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(SpannedToken {
+                    token: Token::Identifier(s),
+                    position: start,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                let mut seen_dot = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || (bytes[i] == '.' && !seen_dot))
+                {
+                    if bytes[i] == '.' {
+                        // A dot not followed by a digit terminates the number
+                        // (e.g. `1.` is unusual; treat as float anyway).
+                        seen_dot = true;
+                    }
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                tokens.push(SpannedToken {
+                    token: Token::Number(s),
+                    position: start,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                let token = match Keyword::from_str(&s) {
+                    Some(kw) => Token::Keyword(kw, s),
+                    None => Token::Identifier(s),
+                };
+                tokens.push(SpannedToken {
+                    token,
+                    position: start,
+                });
+            }
+            '=' => {
+                tokens.push(SpannedToken {
+                    token: Token::Eq,
+                    position: start,
+                });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                tokens.push(SpannedToken {
+                    token: Token::NotEq,
+                    position: start,
+                });
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(SpannedToken {
+                        token: Token::LtEq,
+                        position: start,
+                    });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&'>') {
+                    tokens.push(SpannedToken {
+                        token: Token::NotEq,
+                        position: start,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(SpannedToken {
+                        token: Token::Lt,
+                        position: start,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(SpannedToken {
+                        token: Token::GtEq,
+                        position: start,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(SpannedToken {
+                        token: Token::Gt,
+                        position: start,
+                    });
+                    i += 1;
+                }
+            }
+            '+' => {
+                tokens.push(SpannedToken {
+                    token: Token::Plus,
+                    position: start,
+                });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(SpannedToken {
+                    token: Token::Minus,
+                    position: start,
+                });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(SpannedToken {
+                    token: Token::Star,
+                    position: start,
+                });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(SpannedToken {
+                    token: Token::Slash,
+                    position: start,
+                });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(SpannedToken {
+                    token: Token::LParen,
+                    position: start,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(SpannedToken {
+                    token: Token::RParen,
+                    position: start,
+                });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(SpannedToken {
+                    token: Token::Comma,
+                    position: start,
+                });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(SpannedToken {
+                    token: Token::Dot,
+                    position: start,
+                });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(SpannedToken {
+                    token: Token::Semicolon,
+                    position: start,
+                });
+                i += 1;
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character '{other}'"),
+                    start,
+                ))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_simple_select() {
+        let toks = tokenize("select m.title from MOVIES m where m.year >= 2000").unwrap();
+        assert!(toks[0].token.is_keyword(Keyword::Select));
+        assert_eq!(toks[1].token, Token::Identifier("m".into()));
+        assert_eq!(toks[2].token, Token::Dot);
+        assert!(toks.iter().any(|t| t.token == Token::GtEq));
+        assert!(toks.iter().any(|t| t.token == Token::Number("2000".into())));
+    }
+
+    #[test]
+    fn string_literals_support_escaped_quotes() {
+        let toks = tokenize("'Brad Pitt' 'O''Brien'").unwrap();
+        assert_eq!(toks[0].token, Token::String("Brad Pitt".into()));
+        assert_eq!(toks[1].token, Token::String("O'Brien".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = tokenize("select 'oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("select -- a comment\n 1").unwrap();
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn both_not_equal_spellings() {
+        let toks = tokenize("a != b <> c").unwrap();
+        assert_eq!(
+            toks.iter().filter(|t| t.token == Token::NotEq).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_and_preserve_spelling() {
+        let toks = tokenize("SeLeCt").unwrap();
+        match &toks[0].token {
+            Token::Keyword(Keyword::Select, spelling) => assert_eq!(spelling, "SeLeCt"),
+            other => panic!("unexpected token {other:?}"),
+        }
+    }
+
+    #[test]
+    fn numbers_with_decimals() {
+        let toks = tokenize("12 3.5").unwrap();
+        assert_eq!(toks[0].token, Token::Number("12".into()));
+        assert_eq!(toks[1].token, Token::Number("3.5".into()));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = tokenize("\"Weird Table\"").unwrap();
+        assert_eq!(toks[0].token, Token::Identifier("Weird Table".into()));
+    }
+
+    #[test]
+    fn unexpected_character_reports_position() {
+        let err = tokenize("select #").unwrap_err();
+        assert_eq!(err.position, 7);
+    }
+}

@@ -1,0 +1,257 @@
+//! Template instantiation: filling attribute references with tuple values.
+
+use crate::template::{LoopTemplate, Segment, Template};
+use datastore::{NamedRow, Value};
+use std::collections::BTreeMap;
+
+/// A set of attribute bindings for one tuple. Keys are case-insensitive
+/// attribute names; values are already rendered in narrative form.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bindings {
+    values: BTreeMap<String, String>,
+}
+
+impl Bindings {
+    /// Empty bindings.
+    pub fn new() -> Bindings {
+        Bindings::default()
+    }
+
+    /// Bind an attribute to a rendered value.
+    pub fn set(&mut self, attribute: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        self.values
+            .insert(attribute.into().to_lowercase(), value.into());
+        self
+    }
+
+    /// Bind an attribute to a [`Value`], rendering it in narrative form
+    /// (dates long, NULL as "unknown").
+    pub fn set_value(&mut self, attribute: impl Into<String>, value: &Value) -> &mut Self {
+        self.set(attribute, value.narrative_form())
+    }
+
+    /// Look up an attribute (case-insensitive). Dotted references
+    /// (`MOVIE.TITLE`) fall back to their last component (`TITLE`).
+    pub fn get(&self, attribute: &str) -> Option<&str> {
+        let key = attribute.to_lowercase();
+        if let Some(v) = self.values.get(&key) {
+            return Some(v);
+        }
+        if let Some(last) = key.rsplit('.').next() {
+            if last != key {
+                return self.values.get(last).map(String::as_str);
+            }
+        }
+        None
+    }
+
+    /// Build bindings from a [`NamedRow`]: every attribute of the row's
+    /// schema is bound under its own name, and the relation's heading
+    /// attribute is additionally bound under `<RELATION>.<HEADING>` and
+    /// `<RELATION>` so templates can refer to "the movie" by its title.
+    pub fn from_named_row(row: &NamedRow<'_>) -> Bindings {
+        let mut b = Bindings::new();
+        for column in &row.schema.columns {
+            if let Some(v) = row.value(&column.name) {
+                b.set_value(&column.name, v);
+            }
+        }
+        let heading = row.schema.effective_heading().to_string();
+        if let Some(v) = row.value(&heading) {
+            b.set_value(format!("{}.{}", row.schema.name, heading), v);
+            b.set_value(&row.schema.name, v);
+        }
+        b
+    }
+
+    /// Number of bound attributes.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Errors raised during instantiation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstantiateError {
+    /// A referenced attribute has no binding.
+    MissingAttribute { attribute: String },
+}
+
+impl std::fmt::Display for InstantiateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstantiateError::MissingAttribute { attribute } => {
+                write!(f, "no binding for attribute '{attribute}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstantiateError {}
+
+/// Instantiate a flat template against one set of bindings.
+pub fn instantiate(template: &Template, bindings: &Bindings) -> Result<String, InstantiateError> {
+    render_segments(&template.segments, bindings)
+}
+
+fn render_segments(segments: &[Segment], bindings: &Bindings) -> Result<String, InstantiateError> {
+    let mut out = String::new();
+    for segment in segments {
+        match segment {
+            Segment::Literal(s) => out.push_str(s),
+            Segment::Attribute(a) => match bindings.get(a) {
+                Some(v) => out.push_str(v),
+                None => {
+                    return Err(InstantiateError::MissingAttribute {
+                        attribute: a.clone(),
+                    })
+                }
+            },
+        }
+    }
+    Ok(out)
+}
+
+/// Instantiate a loop template over a list of per-element bindings, exactly
+/// as the paper's `MOVIE_LIST` definition prescribes: the body clause for
+/// every element but the last, the last clause for the final element. With a
+/// single element only the last clause's non-conjunction part is used; with
+/// no elements the result is empty.
+pub fn instantiate_loop(
+    template: &LoopTemplate,
+    elements: &[Bindings],
+) -> Result<String, InstantiateError> {
+    if elements.is_empty() {
+        return Ok(String::new());
+    }
+    let mut out = String::new();
+    let n = elements.len();
+    for bindings in &elements[..n - 1] {
+        out.push_str(&render_segments(&template.body, bindings)?);
+    }
+    let last = &elements[n - 1];
+    if n == 1 {
+        // Drop a leading conjunction literal (" and ") when there is nothing
+        // to conjoin.
+        let trimmed: Vec<Segment> = template
+            .last
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| {
+                !(*i == 0 && matches!(s, Segment::Literal(l) if l.trim() == "and"))
+            })
+            .map(|(_, s)| s.clone())
+            .collect();
+        out.push_str(&render_segments(&trimmed, last)?);
+    } else {
+        out.push_str(&render_segments(&template.last, last)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_loop_definition, parse_template};
+    use datastore::sample::movie_database;
+    use datastore::NamedRow;
+
+    fn movie_bindings(title: &str, year: i64) -> Bindings {
+        let mut b = Bindings::new();
+        b.set("TITLE", title).set("YEAR", year.to_string());
+        b
+    }
+
+    #[test]
+    fn instantiates_the_born_template() {
+        let t = parse_template("DNAME + \" was born in \" + BLOCATION + \" on \" + BDATE").unwrap();
+        let mut b = Bindings::new();
+        b.set("DNAME", "Woody Allen")
+            .set("BLOCATION", "Brooklyn, New York, USA")
+            .set("BDATE", "December 1, 1935");
+        assert_eq!(
+            instantiate(&t, &b).unwrap(),
+            "Woody Allen was born in Brooklyn, New York, USA on December 1, 1935"
+        );
+    }
+
+    #[test]
+    fn missing_attribute_is_an_error() {
+        let t = parse_template("DNAME + \" x\"").unwrap();
+        let b = Bindings::new();
+        assert_eq!(
+            instantiate(&t, &b).unwrap_err(),
+            InstantiateError::MissingAttribute {
+                attribute: "DNAME".into()
+            }
+        );
+    }
+
+    #[test]
+    fn movie_list_loop_matches_the_paper() {
+        let def = "DEFINE MOVIE_LIST as\n\
+            [i < arityOf(TITLE)] { TITLE[i] + \" (\" + YEAR[i] + \"), \" }\n\
+            [i = arityOf(TITLE)] \" and \" + { TITLE[i] + \" (\" + YEAR[i] + \").\" }";
+        let l = parse_loop_definition(def).unwrap();
+        let elements = vec![
+            movie_bindings("Match Point", 2005),
+            movie_bindings("Melinda and Melinda", 2004),
+            movie_bindings("Anything Else", 2003),
+        ];
+        // The raw concatenation keeps the body's trailing separator next to
+        // the last clause's conjunction (", " + " and "); the realization
+        // layer in `nlg` squashes the double space when finishing sentences.
+        let rendered = instantiate_loop(&l, &elements).unwrap();
+        let squashed = rendered.split_whitespace().collect::<Vec<_>>().join(" ");
+        assert_eq!(
+            squashed,
+            "Match Point (2005), Melinda and Melinda (2004), and Anything Else (2003)."
+        );
+    }
+
+    #[test]
+    fn loop_with_one_or_zero_elements() {
+        let def = "DEFINE L as\n[i < arityOf(TITLE)] { TITLE[i] + \", \" }\n\
+                   [i = arityOf(TITLE)] \" and \" + { TITLE[i] + \".\" }";
+        let l = parse_loop_definition(def).unwrap();
+        assert_eq!(
+            instantiate_loop(&l, &[movie_bindings("Troy", 2004)]).unwrap(),
+            "Troy."
+        );
+        assert_eq!(instantiate_loop(&l, &[]).unwrap(), "");
+    }
+
+    #[test]
+    fn bindings_from_named_row_include_heading_aliases() {
+        let db = movie_database();
+        let table = db.table("MOVIES").unwrap();
+        let row = &table.rows()[0];
+        let named = NamedRow::new(table.schema(), row);
+        let b = Bindings::from_named_row(&named);
+        assert_eq!(b.get("title"), Some("Match Point"));
+        assert_eq!(b.get("MOVIES.TITLE"), Some("Match Point"));
+        assert_eq!(b.get("MOVIES"), Some("Match Point"));
+        assert_eq!(b.get("year"), Some("2005"));
+        assert!(b.get("nope").is_none());
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn dotted_references_fall_back_to_last_component() {
+        let mut b = Bindings::new();
+        b.set("TITLE", "Troy");
+        assert_eq!(b.get("MOVIE.TITLE"), Some("Troy"));
+    }
+
+    #[test]
+    fn null_values_render_as_unknown() {
+        let mut b = Bindings::new();
+        b.set_value("bdate", &Value::Null);
+        assert_eq!(b.get("bdate"), Some("unknown"));
+    }
+}

@@ -1,0 +1,323 @@
+//! Parser for the template notation used in the paper.
+//!
+//! Two forms are supported:
+//!
+//! * **Concatenation templates** — `DNAME + " was born" + " in " + BLOCATION`
+//!   where quoted strings are literals and bare identifiers (optionally
+//!   dotted, `MOVIE.TITLE`) are attribute references.
+//! * **Loop definitions** — the paper's
+//!   ```text
+//!   DEFINE MOVIE_LIST as
+//!   [i < arityOf(TITLE)] { TITLE[i] + " (" + YEAR[i] + "), " }
+//!   [i = arityOf(TITLE)] " and " + { TITLE[i] + " (" + YEAR[i] + ")." }
+//!   ```
+//!   The `[i]` subscripts are accepted and stripped: the loop machinery
+//!   supplies the index.
+
+use crate::template::{LoopTemplate, Segment, Template};
+use std::fmt;
+
+/// Error produced when a template string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateParseError {
+    pub message: String,
+    pub position: usize,
+}
+
+impl fmt::Display for TemplateParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "template error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for TemplateParseError {}
+
+fn err(message: impl Into<String>, position: usize) -> TemplateParseError {
+    TemplateParseError {
+        message: message.into(),
+        position,
+    }
+}
+
+/// Parse a concatenation template.
+pub fn parse_template(input: &str) -> Result<Template, TemplateParseError> {
+    let segments = parse_segments(input)?;
+    if segments.is_empty() {
+        return Err(err("empty template", 0));
+    }
+    Ok(Template::new(segments))
+}
+
+/// Parse a sequence of `+`-joined segments.
+fn parse_segments(input: &str) -> Result<Vec<Segment>, TemplateParseError> {
+    let mut segments = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    let mut expecting_term = true;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '+' {
+            if expecting_term {
+                return Err(err("unexpected '+'", i));
+            }
+            expecting_term = true;
+            i += 1;
+            continue;
+        }
+        if !expecting_term {
+            return Err(err(format!("expected '+' before '{c}'"), i));
+        }
+        if c == '"' || c == '\u{201c}' || c == '\u{201d}' {
+            // Quoted literal (straight or typographic quotes).
+            let close = c;
+            let closers = ['"', '\u{201c}', '\u{201d}'];
+            let mut s = String::new();
+            i += 1;
+            loop {
+                match chars.get(i) {
+                    None => return Err(err("unterminated literal", i)),
+                    Some(ch) if *ch == close || closers.contains(ch) => {
+                        i += 1;
+                        break;
+                    }
+                    Some(ch) => {
+                        s.push(*ch);
+                        i += 1;
+                    }
+                }
+            }
+            segments.push(Segment::Literal(s));
+            expecting_term = false;
+            continue;
+        }
+        if c.is_alphanumeric() || c == '_' {
+            let mut name = String::new();
+            while i < chars.len()
+                && (chars[i].is_alphanumeric()
+                    || chars[i] == '_'
+                    || chars[i] == '.'
+                    || chars[i] == '(')
+            {
+                // `MOVIE(.TITLE)` — the parenthesized form from §2.2; strip
+                // the parentheses but keep the dot.
+                if chars[i] == '(' {
+                    i += 1;
+                    continue;
+                }
+                name.push(chars[i]);
+                i += 1;
+            }
+            // Strip a trailing `)` of the parenthesized form and `[i]`
+            // subscripts of the loop form.
+            if i < chars.len() && chars[i] == ')' {
+                i += 1;
+            }
+            if i < chars.len() && chars[i] == '[' {
+                while i < chars.len() && chars[i] != ']' {
+                    i += 1;
+                }
+                i += 1; // consume ']'
+            }
+            segments.push(Segment::Attribute(name));
+            expecting_term = false;
+            continue;
+        }
+        return Err(err(format!("unexpected character '{c}'"), i));
+    }
+    if expecting_term && !segments.is_empty() {
+        return Err(err("dangling '+' at end of template", chars.len()));
+    }
+    Ok(segments)
+}
+
+/// Parse a loop definition in the paper's `DEFINE … as` notation.
+pub fn parse_loop_definition(input: &str) -> Result<LoopTemplate, TemplateParseError> {
+    let trimmed = input.trim();
+    let lower = trimmed.to_lowercase();
+    if !lower.starts_with("define") {
+        return Err(err("loop definitions start with DEFINE", 0));
+    }
+    let after_define = trimmed[6..].trim_start();
+    let Some(as_pos) = after_define.to_lowercase().find(" as") else {
+        return Err(err("missing 'as' in DEFINE", 6));
+    };
+    let name = after_define[..as_pos].trim().to_string();
+    if name.is_empty() {
+        return Err(err("missing loop name", 6));
+    }
+    let rest = &after_define[as_pos + 3..];
+
+    // Split into the two bracketed clauses.
+    let clauses = split_clauses(rest)?;
+    if clauses.len() != 2 {
+        return Err(err(
+            format!("expected 2 bracketed clauses, found {}", clauses.len()),
+            0,
+        ));
+    }
+    let (body_head, body_rest) = &clauses[0];
+    let (last_head, last_rest) = &clauses[1];
+    let bound_attribute = extract_arity_attribute(body_head)
+        .or_else(|| extract_arity_attribute(last_head))
+        .ok_or_else(|| err("missing arityOf(...) bound", 0))?;
+
+    let body = parse_clause_body(body_rest)?;
+    let last = parse_clause_body(last_rest)?;
+    Ok(LoopTemplate {
+        name,
+        bound_attribute,
+        body,
+        last,
+    })
+}
+
+/// Split `rest` into `[(head, body), …]` where head is the text inside a
+/// clause-header bracket (recognized by containing `arityOf`) and body is
+/// everything up to the next clause header (or end of input). The `[i]`
+/// subscripts inside bodies do not contain `arityOf`, so they stay part of
+/// the body text.
+fn split_clauses(rest: &str) -> Result<Vec<(String, String)>, TemplateParseError> {
+    let chars: Vec<char> = rest.chars().collect();
+
+    // Find the byte index and contents of every clause-header bracket.
+    let mut headers: Vec<(usize, usize, String)> = Vec::new(); // (open, close, contents)
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '[' {
+            let mut j = i + 1;
+            while j < chars.len() && chars[j] != ']' {
+                j += 1;
+            }
+            if j >= chars.len() {
+                return Err(err("unterminated '[' clause", i));
+            }
+            let contents: String = chars[i + 1..j].iter().collect();
+            if contents.to_lowercase().contains("arityof") {
+                headers.push((i, j, contents.trim().to_string()));
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    if headers.is_empty() {
+        return Err(err("expected '[' starting a loop clause", 0));
+    }
+    // Check nothing but whitespace precedes the first header.
+    if chars[..headers[0].0].iter().any(|c| !c.is_whitespace()) {
+        return Err(err("unexpected text before the first loop clause", 0));
+    }
+
+    let mut out = Vec::new();
+    for (idx, (_, close, head)) in headers.iter().enumerate() {
+        let body_start = close + 1;
+        let body_end = headers
+            .get(idx + 1)
+            .map(|(open, _, _)| *open)
+            .unwrap_or(chars.len());
+        let body: String = chars[body_start..body_end].iter().collect();
+        out.push((head.clone(), body.trim().to_string()));
+    }
+    Ok(out)
+}
+
+fn extract_arity_attribute(head: &str) -> Option<String> {
+    let lower = head.to_lowercase();
+    let pos = lower.find("arityof(")?;
+    let after = &head[pos + "arityof(".len()..];
+    let end = after.find(')')?;
+    Some(after[..end].trim().to_string())
+}
+
+/// Parse a clause body: `{ segments }`, `literal + { segments }`, or any mix
+/// where braces simply group segments. Braces are treated as transparent
+/// grouping: the contents are concatenated in order.
+fn parse_clause_body(body: &str) -> Result<Vec<Segment>, TemplateParseError> {
+    // Remove braces, keeping their contents in place, then parse as a
+    // concatenation. A '+' immediately before or after a brace is optional
+    // in the paper's notation, so normalize by replacing braces with '+'
+    // separators and cleaning up duplicates.
+    let replaced: String = body.replace(['{', '}'], " + ");
+    let cleaned = normalize_plus(&replaced);
+    if cleaned.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    parse_segments(&cleaned)
+}
+
+/// Collapse runs of `+` (and leading/trailing `+`) introduced by brace
+/// removal.
+fn normalize_plus(s: &str) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    for piece in s.split('+') {
+        if !piece.trim().is_empty() {
+            parts.push(piece.trim());
+        }
+    }
+    parts.join(" + ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_born_template() {
+        let t = parse_template("DNAME + \" was born\" + \" in \" + BLOCATION").unwrap();
+        assert_eq!(t.segments.len(), 4);
+        assert_eq!(t.segments[0], Segment::attr("DNAME"));
+        assert_eq!(t.segments[1], Segment::lit(" was born"));
+        assert_eq!(t.referenced_attributes(), vec!["DNAME", "BLOCATION"]);
+    }
+
+    #[test]
+    fn parses_the_projection_edge_label() {
+        // "the YEAR of a MOVIE(.TITLE)" written as a template.
+        let t = parse_template("\"the year of \" + MOVIE(.TITLE) + \" is \" + YEAR").unwrap();
+        assert_eq!(t.segments[1], Segment::attr("MOVIE.TITLE"));
+        assert_eq!(t.segments[3], Segment::attr("YEAR"));
+    }
+
+    #[test]
+    fn parses_the_movie_list_loop_definition() {
+        let def = "DEFINE MOVIE_LIST as\n\
+            [i < arityOf(TITLE)] { TITLE[i] + \" (\" + YEAR[i] + \"), \" }\n\
+            [i = arityOf(TITLE)] \" and \" + { TITLE[i] + \" (\" + YEAR[i] + \").\" }";
+        let l = parse_loop_definition(def).unwrap();
+        assert_eq!(l.name, "MOVIE_LIST");
+        assert_eq!(l.bound_attribute, "TITLE");
+        assert_eq!(
+            l.body,
+            vec![
+                Segment::attr("TITLE"),
+                Segment::lit(" ("),
+                Segment::attr("YEAR"),
+                Segment::lit("), "),
+            ]
+        );
+        assert_eq!(l.last[0], Segment::lit(" and "));
+        assert_eq!(l.referenced_attributes(), vec!["TITLE", "YEAR"]);
+    }
+
+    #[test]
+    fn error_cases_report_positions() {
+        assert!(parse_template("").is_err());
+        assert!(parse_template("+ DNAME").is_err());
+        assert!(parse_template("DNAME BLOCATION").is_err());
+        assert!(parse_template("DNAME +").is_err());
+        assert!(parse_template("\"unterminated").is_err());
+        assert!(parse_loop_definition("MOVIE_LIST as [x] {}").is_err());
+        assert!(parse_loop_definition("DEFINE L as [i < 3] { TITLE }").is_err());
+    }
+
+    #[test]
+    fn whitespace_is_flexible() {
+        let a = parse_template("DNAME+\" x \"+BDATE").unwrap();
+        let b = parse_template("  DNAME  +  \" x \"  +  BDATE  ").unwrap();
+        assert_eq!(a, b);
+    }
+}

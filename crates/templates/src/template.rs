@@ -1,0 +1,171 @@
+//! Template structures.
+//!
+//! A template is the unit of annotation in the paper: a label "assigned
+//! once, e.g. by the designer, at an initial design phase, and … instantiated
+//! at query time, in order to produce textual descriptions" (§2.2). A
+//! template is a concatenation of literal segments and attribute references
+//! (`DNAME + " was born" + " in " + BLOCATION`); list-valued data uses a
+//! [`LoopTemplate`] (the paper's `MOVIE_LIST` definition).
+
+use std::fmt;
+
+/// One segment of a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Segment {
+    /// Literal text, emitted verbatim.
+    Literal(String),
+    /// Reference to an attribute of the tuple being narrated. The name is
+    /// kept as written in the template (`DNAME`, `TITLE`, `MOVIE.TITLE`);
+    /// resolution against actual columns is case-insensitive.
+    Attribute(String),
+}
+
+impl Segment {
+    /// Literal constructor.
+    pub fn lit(s: impl Into<String>) -> Segment {
+        Segment::Literal(s.into())
+    }
+
+    /// Attribute-reference constructor.
+    pub fn attr(s: impl Into<String>) -> Segment {
+        Segment::Attribute(s.into())
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Segment::Literal(s) => write!(f, "\"{s}\""),
+            Segment::Attribute(a) => f.write_str(a),
+        }
+    }
+}
+
+/// A flat template: a sequence of segments concatenated at instantiation
+/// time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Template {
+    pub segments: Vec<Segment>,
+}
+
+impl Template {
+    /// Build from segments.
+    pub fn new(segments: Vec<Segment>) -> Template {
+        Template { segments }
+    }
+
+    /// The attribute names referenced by the template, in order of first
+    /// appearance.
+    pub fn referenced_attributes(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for s in &self.segments {
+            if let Segment::Attribute(a) = s {
+                if !out.iter().any(|x| x.eq_ignore_ascii_case(a)) {
+                    out.push(a);
+                }
+            }
+        }
+        out
+    }
+
+    /// True when the template has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+impl fmt::Display for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.segments.iter().map(|s| s.to_string()).collect();
+        f.write_str(&parts.join(" + "))
+    }
+}
+
+/// A loop template over a list of tuples (the paper's `MOVIE_LIST`): a body
+/// rendered for every element but the last (the body typically ends with a
+/// separator literal such as `", "`), and a distinguished rendering for the
+/// final element, usually introduced by a conjunction (`" and "`) and closed
+/// by punctuation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LoopTemplate {
+    /// Name the loop was defined under (`MOVIE_LIST`).
+    pub name: String,
+    /// Attribute whose arity bounds the loop (`TITLE` in `arityOf(TITLE)`).
+    pub bound_attribute: String,
+    /// Body rendered for elements `0 .. n-1`.
+    pub body: Vec<Segment>,
+    /// Rendering of the final element (`i = arityOf(...)` clause).
+    pub last: Vec<Segment>,
+}
+
+impl LoopTemplate {
+    /// The attributes referenced anywhere in the loop.
+    pub fn referenced_attributes(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for s in self.body.iter().chain(self.last.iter()) {
+            if let Segment::Attribute(a) = s {
+                if !out.iter().any(|x| x.eq_ignore_ascii_case(a)) {
+                    out.push(a);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn referenced_attributes_deduplicate_case_insensitively() {
+        let t = Template::new(vec![
+            Segment::attr("DNAME"),
+            Segment::lit(" was born in "),
+            Segment::attr("BLOCATION"),
+            Segment::lit(" ("),
+            Segment::attr("dname"),
+            Segment::lit(")"),
+        ]);
+        assert_eq!(t.referenced_attributes(), vec!["DNAME", "BLOCATION"]);
+    }
+
+    #[test]
+    fn display_round_trips_the_paper_notation() {
+        let t = Template::new(vec![
+            Segment::attr("DNAME"),
+            Segment::lit(" was born"),
+            Segment::lit(" in "),
+            Segment::attr("BLOCATION"),
+        ]);
+        assert_eq!(t.to_string(), "DNAME + \" was born\" + \" in \" + BLOCATION");
+    }
+
+    #[test]
+    fn loop_template_attribute_collection() {
+        let l = LoopTemplate {
+            name: "MOVIE_LIST".into(),
+            bound_attribute: "TITLE".into(),
+            body: vec![
+                Segment::attr("TITLE"),
+                Segment::lit(" ("),
+                Segment::attr("YEAR"),
+                Segment::lit("), "),
+            ],
+            last: vec![
+                Segment::lit(" and "),
+                Segment::attr("TITLE"),
+                Segment::lit(" ("),
+                Segment::attr("YEAR"),
+                Segment::lit(")."),
+            ],
+        };
+        assert_eq!(l.referenced_attributes(), vec!["TITLE", "YEAR"]);
+    }
+
+    #[test]
+    fn empty_template_reports_empty() {
+        assert!(Template::default().is_empty());
+        assert!(!Template::new(vec![Segment::lit("x")]).is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! The accessibility scenario of §2.1: "Using a speech recognizer to convert
+//! a speech signal to a query and a text-to-speech system to convert the
+//! textual form of the query answer into speech, these people would be given
+//! the chance to interact with information systems, orally pose queries, and
+//! listen to their answers."
+//!
+//! ASR and TTS are simulated (see DESIGN.md, substitution table); everything
+//! in between — parsing, translation, execution, narration — is real.
+//!
+//! Run with `cargo run --example accessible_answers`.
+
+use datastore::sample::movie_database;
+use talkback::{SpeechRecognizer, Talkback, TextToSpeech};
+
+fn main() -> Result<(), talkback::TalkbackError> {
+    let system = Talkback::new(movie_database());
+    let tts = TextToSpeech::default();
+
+    let interactions = [
+        (
+            "which movies feature brad pitt",
+            "select m.title from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
+        ),
+        (
+            "what did woody allen direct",
+            "select m.title, m.year from MOVIES m, DIRECTED r, DIRECTOR d \
+             where m.id = r.mid and r.did = d.id and d.name = 'Woody Allen'",
+        ),
+        (
+            "are there any western movies",
+            "select m.title from MOVIES m, GENRE g where m.id = g.mid and g.genre = 'western'",
+        ),
+    ];
+
+    for (noise, label) in [(0.0, "clean channel"), (0.3, "noisy channel")] {
+        let recognizer = SpeechRecognizer::new(noise, 7);
+        println!("===== {label} (word error rate {noise}) =====");
+        for (question, sql) in &interactions {
+            let (recognition, narrative, chunks) =
+                system.voice_answer(question, sql, &recognizer, &tts)?;
+            println!("user says      : {question}");
+            println!(
+                "ASR heard      : {} (confidence {:.2})",
+                recognition.text, recognition.confidence
+            );
+            println!("spoken answer  : {narrative}");
+            let total_ms: u64 = chunks.iter().map(|c| c.duration_ms).sum();
+            println!(
+                "TTS            : {} chunk(s), ~{:.1}s of speech",
+                chunks.len(),
+                total_ms as f64 / 1000.0
+            );
+            println!();
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! §3.1: "when a query returns an empty answer, it is nice to know the parts
+//! of the query that are responsible for the failure. Similarly, when a
+//! query is expected to return a very large number of answers, it is useful
+//! to know the reasons."
+//!
+//! Run with `cargo run --example empty_result_detective`.
+
+use datastore::sample::{movie_database, scaled_movie_database, ScaleConfig};
+use talkback::Talkback;
+
+fn main() -> Result<(), talkback::TalkbackError> {
+    let system = Talkback::new(movie_database());
+
+    let cases = [
+        (
+            "misspelled constant",
+            "select m.title from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id and a.name = 'Bradd Pit'",
+        ),
+        (
+            "non-existent genre",
+            "select m.title from MOVIES m, GENRE g where m.id = g.mid and g.genre = 'western'",
+        ),
+        (
+            "contradictory conditions",
+            "select m.title from MOVIES m where m.year > 2010 and m.year < 1950",
+        ),
+        (
+            "healthy query",
+            "select m.title from MOVIES m, GENRE g where m.id = g.mid and g.genre = 'action'",
+        ),
+    ];
+
+    for (name, sql) in cases {
+        let translation = system.explain_query(sql)?;
+        let explanation = system.explain_result(sql)?;
+        println!("==== {name} ====");
+        println!("SQL        : {sql}");
+        println!("query says : {}", translation.best);
+        println!("result     : {} row(s)", explanation.rows);
+        println!("explanation: {}", explanation.narrative);
+        for (predicate, survivors) in &explanation.predicate_notes {
+            println!("  - without `{predicate}`: {survivors} row(s)");
+        }
+        println!();
+    }
+
+    // Large-result explanation on a bigger synthetic instance.
+    let big = Talkback::new(scaled_movie_database(ScaleConfig {
+        movies: 300,
+        ..ScaleConfig::default()
+    }));
+    let sql = "select m.title from MOVIES m, GENRE g where m.id = g.mid";
+    let explanation = big.explain_result(sql)?;
+    println!("==== under-constrained query on a 300-movie database ====");
+    println!("SQL        : {sql}");
+    println!("result     : {} row(s)", explanation.rows);
+    println!("explanation: {}", explanation.narrative);
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Reproduces the §2.2 content-translation examples: the Woody Allen
+//! narrative in both styles, the split pattern, the whole-database summary
+//! (with and without a personalization profile), and derived-data summaries.
+//! Also emits the Figure 1 schema graph as Graphviz DOT.
+//!
+//! Run with `cargo run --example movie_narratives`.
+
+use datastore::sample::movie_database;
+use nlg::Style;
+use schemagraph::{schema_graph_to_dot, SchemaGraph};
+use talkback::{ContentConfig, Talkback, UserProfile};
+
+fn main() -> Result<(), talkback::TalkbackError> {
+    let system = Talkback::new(movie_database());
+
+    println!("== Figure 1: the movie schema graph (DOT) ==");
+    let graph = SchemaGraph::from_catalog(system.database().catalog());
+    println!("{}", schema_graph_to_dot(&graph, false));
+
+    println!("== §2.2 compact (declarative) narrative ==");
+    let compact = system.describe_entity(
+        "DIRECTOR",
+        "Woody Allen",
+        &ContentConfig {
+            forced_style: Some(Style::Compact),
+            ..ContentConfig::standard()
+        },
+    )?;
+    println!("{compact}\n");
+
+    println!("== §2.2 procedural narrative ==");
+    let procedural = system.describe_entity(
+        "DIRECTOR",
+        "Woody Allen",
+        &ContentConfig {
+            forced_style: Some(Style::Procedural),
+            ..ContentConfig::standard()
+        },
+    )?;
+    println!("{procedural}\n");
+
+    println!("== §2.2 split pattern ==");
+    println!(
+        "{}\n",
+        system
+            .content()
+            .describe_split(system.database(), "MOVIES", "Troy")?
+    );
+
+    println!("== whole-database summary ==");
+    println!(
+        "{}\n",
+        system.describe_database(&ContentConfig::standard(), None)?
+    );
+
+    println!("== personalized summary (director-focused, 5 sentences) ==");
+    let profile = UserProfile {
+        name: "director-fan".into(),
+        relation_weights: vec![("DIRECTOR".into(), 10.0)],
+        max_sentences: Some(5),
+        ..UserProfile::default()
+    };
+    println!(
+        "{}\n",
+        system.describe_database(&ContentConfig::standard(), Some(&profile))?
+    );
+
+    println!("== derived data (§2.1): histogram and column summaries ==");
+    println!(
+        "{}",
+        system
+            .content()
+            .describe_histogram(system.database(), "MOVIES", "year", 4)?
+    );
+    println!(
+        "{}",
+        system
+            .content()
+            .describe_column(system.database(), "GENRE", "genre")?
+    );
+
+    Ok(())
+}

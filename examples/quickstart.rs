@@ -1,0 +1,30 @@
+//! Quickstart: the two directions of "talking back" in a dozen lines.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use datastore::sample::movie_database;
+use talkback::{ContentConfig, Talkback};
+
+fn main() -> Result<(), talkback::TalkbackError> {
+    let system = Talkback::new(movie_database());
+
+    // Direction 1 (§3): a query is translated back into natural language so
+    // the user can verify it before running it.
+    let sql = "select m.title from MOVIES m, CAST c, ACTOR a \
+               where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'";
+    let translation = system.explain_query(sql)?;
+    println!("SQL      : {sql}");
+    println!("category : {}", translation.classification.category.name());
+    println!("narrative: {}", translation.best);
+    println!();
+
+    // ... and the answer itself is narrated.
+    let answer = system.run_query(sql)?;
+    println!("answer rows:\n{}", answer.to_text_table());
+
+    // Direction 2 (§2): database contents are narrated.
+    let woody = system.describe_entity("DIRECTOR", "Woody Allen", &ContentConfig::standard())?;
+    println!("content narrative:\n{woody}");
+
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Integration-test crate for the `talkback` workspace.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this library only exposes a
+//! couple of tiny helpers shared between those test files.
+
+/// Normalize whitespace so narrative comparisons are robust to incidental
+/// spacing differences (double spaces, trailing spaces before punctuation).
+pub fn squash_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Case-insensitive "does the narrative mention this phrase" helper.
+pub fn mentions(haystack: &str, needle: &str) -> bool {
+    haystack.to_lowercase().contains(&needle.to_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squash_ws_collapses_runs_of_whitespace() {
+        assert_eq!(squash_ws("a  b\t c\n d"), "a b c d");
+    }
+
+    #[test]
+    fn mentions_is_case_insensitive() {
+        assert!(mentions("Woody Allen was born", "woody allen"));
+        assert!(!mentions("Woody Allen was born", "brad pitt"));
+    }
+}

@@ -1,0 +1,134 @@
+//! End-to-end reproduction of the §2.2 content-translation examples
+//! (experiments E-CONTENT-1 … E-CONTENT-4 in EXPERIMENTS.md).
+
+use datastore::sample::movie_database;
+use nlg::Style;
+use talkback::{ContentConfig, Talkback};
+use talkback_tests::{mentions, squash_ws};
+
+fn system() -> Talkback {
+    Talkback::new(movie_database())
+}
+
+#[test]
+fn e_content_1_single_relation_brief_sentence() {
+    let s = system();
+    let table = s.database().table("DIRECTOR").unwrap();
+    let row = table
+        .rows()
+        .iter()
+        .find(|r| r.values().iter().any(|v| v.to_string() == "Woody Allen"))
+        .unwrap();
+    let named = datastore::NamedRow::new(table.schema(), row);
+    let text = s
+        .content()
+        .describe_tuple_brief(s.database(), "DIRECTOR", &named)
+        .unwrap();
+    assert_eq!(text, "The director's name is Woody Allen.");
+}
+
+#[test]
+fn e_content_2_common_expression_merging() {
+    let s = system();
+    let table = s.database().table("DIRECTOR").unwrap();
+    let row = table
+        .rows()
+        .iter()
+        .find(|r| r.values().iter().any(|v| v.to_string() == "Woody Allen"))
+        .unwrap();
+    let named = datastore::NamedRow::new(table.schema(), row);
+    let text = s
+        .content()
+        .describe_tuple(s.database(), "DIRECTOR", &named)
+        .unwrap();
+    // The paper's target: one clause, both facts, the shared "was born"
+    // expression factored out.
+    assert_eq!(
+        squash_ws(&text),
+        "Woody Allen was born in Brooklyn, New York, USA on December 1, 1935."
+    );
+    assert_eq!(text.matches("was born").count(), 1);
+}
+
+#[test]
+fn e_content_3_split_pattern_sentence() {
+    let s = system();
+    let text = s
+        .content()
+        .describe_split(s.database(), "MOVIES", "Troy")
+        .unwrap();
+    assert!(text.starts_with("The movie Troy involves"));
+    assert!(mentions(&text, "who was born in Rome, Italy"));
+    assert!(mentions(&text, "the actor Brad Pitt"));
+    // The subject appears exactly once: no "vapid" repetition.
+    assert_eq!(text.matches("The movie Troy").count(), 1);
+}
+
+#[test]
+fn e_content_4_woody_allen_compact_and_procedural_variants() {
+    let s = system();
+    let compact = s
+        .describe_entity(
+            "DIRECTOR",
+            "Woody Allen",
+            &ContentConfig {
+                forced_style: Some(Style::Compact),
+                ..ContentConfig::standard()
+            },
+        )
+        .unwrap();
+    let procedural = s
+        .describe_entity(
+            "DIRECTOR",
+            "Woody Allen",
+            &ContentConfig {
+                forced_style: Some(Style::Procedural),
+                ..ContentConfig::standard()
+            },
+        )
+        .unwrap();
+
+    // Compact variant: the paper's first text.
+    assert!(compact.starts_with(
+        "Woody Allen was born in Brooklyn, New York, USA on December 1, 1935."
+    ));
+    assert!(mentions(&compact, "As a director, Woody Allen's work includes"));
+    assert!(mentions(&compact, "Match Point (2005)"));
+    assert!(mentions(&compact, "Melinda and Melinda (2004)"));
+    assert!(mentions(&compact, "and Anything Else (2003)"));
+
+    // Procedural variant: the paper's second text — movie list without
+    // years, then one sentence per movie.
+    assert!(mentions(
+        &procedural,
+        "work includes Match Point, Melinda and Melinda, Anything Else."
+    ));
+    for sentence in [
+        "Match Point was released in 2005.",
+        "Melinda and Melinda was released in 2004.",
+        "Anything Else was released in 2003.",
+    ] {
+        assert!(mentions(&procedural, sentence), "missing: {sentence}");
+    }
+    // The compact variant is shorter (the paper calls it "more compact,
+    // does not have any overlaps").
+    assert!(compact.len() < procedural.len());
+}
+
+#[test]
+fn database_summary_is_bounded_by_the_profile() {
+    let s = system();
+    let unbounded = s
+        .describe_database(&ContentConfig::standard(), None)
+        .unwrap();
+    let profile = talkback::UserProfile {
+        name: "terse".into(),
+        max_sentences: Some(2),
+        max_relations: Some(1),
+        ..talkback::UserProfile::default()
+    };
+    let bounded = s
+        .describe_database(&ContentConfig::standard(), Some(&profile))
+        .unwrap();
+    assert!(bounded.len() < unbounded.len());
+}

@@ -1,0 +1,65 @@
+//! Experiments A-EXPLAIN and A-SPEECH: result explanation and the simulated
+//! accessibility loop, end to end.
+
+use datastore::sample::movie_database;
+use talkback::{SpeechRecognizer, Talkback, TextToSpeech};
+use talkback_tests::mentions;
+
+#[test]
+fn a_explain_empty_result_names_the_culprit_predicate() {
+    let system = Talkback::new(movie_database());
+    let explanation = system
+        .explain_result(
+            "select m.title from MOVIES m, GENRE g where m.id = g.mid and g.genre = 'western'",
+        )
+        .unwrap();
+    assert_eq!(explanation.rows, 0);
+    assert!(mentions(&explanation.narrative, "no results"));
+    assert!(mentions(&explanation.narrative, "western"));
+}
+
+#[test]
+fn a_explain_healthy_and_large_results() {
+    let system = Talkback::new(movie_database());
+    let ok = system
+        .explain_result("select m.title from MOVIES m where m.year >= 2004")
+        .unwrap();
+    assert!(ok.rows > 0);
+    assert!(mentions(&ok.narrative, &format!("{} result", ok.rows)));
+}
+
+#[test]
+fn a_speech_round_trip_produces_audio_chunks_and_answer_text() {
+    let system = Talkback::new(movie_database());
+    let (recognition, narrative, chunks) = system
+        .voice_answer(
+            "what has woody allen directed",
+            "select m.title from MOVIES m, DIRECTED r, DIRECTOR d \
+             where m.id = r.mid and r.did = d.id and d.name = 'Woody Allen'",
+            &SpeechRecognizer::perfect(),
+            &TextToSpeech::default(),
+        )
+        .unwrap();
+    assert_eq!(recognition.corrupted_words, 0);
+    assert!(mentions(&narrative, "Match Point"));
+    assert!(mentions(&narrative, "3 answers"));
+    assert!(!chunks.is_empty());
+    assert!(chunks.iter().all(|c| c.duration_ms > 0));
+}
+
+#[test]
+fn a_speech_noisy_channel_reports_reduced_confidence() {
+    let system = Talkback::new(movie_database());
+    let noisy = SpeechRecognizer::new(0.6, 99);
+    let (recognition, _narrative, _chunks) = system
+        .voice_answer(
+            "please find every single movie with brad pitt in it",
+            "select m.title from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
+            &noisy,
+            &TextToSpeech::default(),
+        )
+        .unwrap();
+    assert!(recognition.confidence < 1.0);
+    assert!(recognition.corrupted_words > 0);
+}

@@ -1,0 +1,111 @@
+//! Regenerates the paper's figures as data structures / DOT text and checks
+//! their shape (experiments F1, F2, F3–F7 in EXPERIMENTS.md).
+
+use datastore::sample::movie_database;
+use schemagraph::{query_graph_to_dot, schema_graph_to_dot, NestingConnector, QueryGraph, SchemaGraph};
+use sqlparse::parse_query;
+
+#[test]
+fn fig1_schema_graph_has_six_relations_and_five_join_edges() {
+    let db = movie_database();
+    let graph = SchemaGraph::from_catalog(db.catalog());
+    assert_eq!(graph.relation_count(), 6);
+    assert_eq!(graph.join_edges.len(), 5);
+    // Every join edge of Figure 1 is present.
+    for (from, to) in [
+        ("DIRECTED", "MOVIES"),
+        ("DIRECTED", "DIRECTOR"),
+        ("CAST", "MOVIES"),
+        ("CAST", "ACTOR"),
+        ("GENRE", "MOVIES"),
+    ] {
+        let f = graph.relation_index(from).unwrap();
+        let t = graph.relation_index(to).unwrap();
+        assert!(graph.join_between(f, t).is_some(), "missing edge {from}-{to}");
+    }
+    let dot = schema_graph_to_dot(&graph, false);
+    assert!(dot.contains("MOVIES") && dot.contains("GENRE"));
+}
+
+#[test]
+fn fig2_relation_class_has_all_compartments() {
+    let db = movie_database();
+    let q = parse_query(
+        "select m.title from MOVIES m, GENRE g \
+         where m.id = g.mid and m.year > 2000 \
+         group by m.title having count(*) > 1 order by m.title",
+    )
+    .unwrap();
+    let graph = QueryGraph::from_query(db.catalog(), &q).unwrap();
+    let block = graph.root();
+    let m = &block.classes[block.class_index("m").unwrap()];
+    assert_eq!(m.relation, "MOVIES");
+    assert_eq!(m.alias, "m");
+    assert_eq!(m.select.len(), 1);
+    assert_eq!(m.where_constraints, vec!["m.year > 2000"]);
+    assert_eq!(block.group_by, vec!["m.title"]);
+    assert_eq!(block.order_by, vec!["m.title"]);
+    assert!(block.is_aggregate);
+}
+
+#[test]
+fn figs_3_to_7_query_graphs_have_the_published_shapes() {
+    let db = movie_database();
+    // Fig 3 (Q1): a 3-class path.
+    let q1 = parse_query(
+        "select m.title from MOVIES m, CAST c, ACTOR a \
+         where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
+    )
+    .unwrap();
+    let g1 = QueryGraph::from_query(db.catalog(), &q1).unwrap();
+    assert_eq!(g1.root().classes.len(), 3);
+    assert_eq!(g1.root().joins.len(), 2);
+
+    // Fig 4 (Q2): 6 classes, 5 FK joins.
+    let q2 = parse_query(
+        "select a.name, m.title from MOVIES m, CAST c, ACTOR a, DIRECTED r, DIRECTOR d, GENRE g \
+         where m.id = c.mid and c.aid = a.id and m.id = r.mid and r.did = d.id \
+           and m.id = g.mid and d.name = 'G. Loucas' and g.genre = 'action'",
+    )
+    .unwrap();
+    let g2 = QueryGraph::from_query(db.catalog(), &q2).unwrap();
+    assert_eq!(g2.root().classes.len(), 6);
+    assert_eq!(g2.root().joins.len(), 5);
+    assert!(g2.root().all_joins_are_foreign_keys());
+
+    // Fig 5 (Q3): five classes with repeated relations.
+    let q3 = parse_query(
+        "select a1.name, a2.name from MOVIES m, CAST c1, ACTOR a1, CAST c2, ACTOR a2 \
+         where m.id = c1.mid and c1.aid = a1.id and m.id = c2.mid and c2.aid = a2.id \
+           and a1.id > a2.id",
+    )
+    .unwrap();
+    let g3 = QueryGraph::from_query(db.catalog(), &q3).unwrap();
+    assert_eq!(g3.root().classes.len(), 5);
+    assert!(g3.root().has_multiple_instances());
+
+    // Fig 6 (Q4): two classes connected by both a FK join and a non-FK join.
+    let q4 = parse_query(
+        "select m.title from MOVIES m, CAST c where m.id = c.mid and c.role = m.title",
+    )
+    .unwrap();
+    let g4 = QueryGraph::from_query(db.catalog(), &q4).unwrap();
+    assert_eq!(g4.root().classes.len(), 2);
+    assert_eq!(g4.root().joins.len(), 2);
+    assert!(!g4.root().all_joins_are_foreign_keys());
+
+    // Fig 7 (Q7): the nested counting block appears as an additional query
+    // (NQ1) connected by a scalar nesting edge.
+    let q7 = parse_query(
+        "select m.id, m.title, count(*) from MOVIES m, CAST c where m.id = c.mid \
+         group by m.id, m.title having 1 < (select count(*) from GENRE g where g.mid = m.id)",
+    )
+    .unwrap();
+    let g7 = QueryGraph::from_query(db.catalog(), &q7).unwrap();
+    assert_eq!(g7.blocks.len(), 2);
+    assert!(matches!(g7.nesting[0].connector, NestingConnector::Scalar));
+    assert!(g7.nesting[0].correlated);
+    let dot = query_graph_to_dot(&g7);
+    assert!(dot.contains("NQ1"));
+    assert!(dot.contains("GROUP BY"));
+}

@@ -1,0 +1,121 @@
+//! Property-based tests over the core data structures and invariants.
+
+use datastore::csvio::{csv_to_table, table_to_csv};
+use datastore::{ColumnDef, DataType, Table, TableSchema, Value};
+use proptest::prelude::*;
+use sqlparse::parse_query;
+
+/// Strategy for identifier-like strings. The `x_` prefix keeps generated
+/// names clear of SQL keywords.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| format!("x_{s}"))
+}
+
+/// Strategy for arbitrary scalar values.
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Integer),
+        any::<bool>().prop_map(Value::Boolean),
+        "[ -~]{0,20}".prop_map(Value::Text),
+        (-2000.0f64..2000.0).prop_map(Value::Float),
+    ]
+}
+
+proptest! {
+    /// `Value::total_cmp` is a total order: antisymmetric and transitive on
+    /// sampled triples, and consistent with equality.
+    #[test]
+    fn value_total_order(a in value(), b in value(), c in value()) {
+        use std::cmp::Ordering;
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab == Ordering::Less && b.total_cmp(&c) == Ordering::Less {
+            prop_assert_eq!(a.total_cmp(&c), Ordering::Less);
+        }
+        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
+    }
+
+    /// SQL parse → display → parse is a fixpoint for simple generated
+    /// single-table queries.
+    #[test]
+    fn sql_display_round_trip(table in ident(), column in ident(), constant in 0i64..10_000) {
+        let sql = format!(
+            "select {t}.{c} from {t} where {t}.{c} >= {k} order by {t}.{c} limit 7",
+            t = table, c = column, k = constant
+        );
+        let once = parse_query(&sql).unwrap();
+        let printed = once.to_string();
+        let twice = parse_query(&printed).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// CSV export/import round-trips arbitrary text content (quotes, commas,
+    /// newlines) and NULLs.
+    #[test]
+    // Labels are non-empty: the CSV layer deliberately reads an empty cell
+    // back as NULL, so empty strings do not round-trip by design.
+    fn csv_round_trip(rows in proptest::collection::vec(("[ -~]{1,15}", proptest::option::of(-1000i64..1000)), 0..20)) {
+        let schema = TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::new("id", DataType::Integer),
+                ColumnDef::nullable("label", DataType::Text),
+                ColumnDef::nullable("score", DataType::Integer),
+            ],
+        );
+        let mut table = Table::new(schema.clone());
+        for (i, (label, score)) in rows.iter().enumerate() {
+            table
+                .insert_values(vec![
+                    Value::int(i as i64),
+                    Value::text(label.clone()),
+                    score.map(Value::int).unwrap_or(Value::Null),
+                ])
+                .unwrap();
+        }
+        let csv = table_to_csv(&table);
+        let back = csv_to_table(schema, &csv).unwrap();
+        prop_assert_eq!(back.len(), table.len());
+        for (a, b) in table.rows().iter().zip(back.rows()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Clause merging never loses content words: every word of every input
+    /// clause appears in the merged output.
+    #[test]
+    fn merge_preserves_words(suffixes in proptest::collection::vec("[a-z]{1,8}", 1..6)) {
+        let clauses: Vec<String> = suffixes
+            .iter()
+            .map(|s| format!("Woody Allen was born {s}"))
+            .collect();
+        let merged = templates::merge_clauses(&clauses, 2);
+        let merged_text = merged.join(" ");
+        for clause in &clauses {
+            for word in clause.split_whitespace() {
+                prop_assert!(merged_text.contains(word), "lost word {word}");
+            }
+        }
+    }
+
+    /// The morphology helpers never panic and keep basic invariants.
+    #[test]
+    fn morphology_is_total(word in "[a-zA-Z]{1,12}") {
+        let plural = nlg::pluralize(&word);
+        prop_assert!(plural.len() >= word.len());
+        let article = nlg::indefinite_article(&word);
+        prop_assert!(article == "a" || article == "an");
+        let possessive = nlg::possessive(&word);
+        prop_assert!(possessive.starts_with(&word));
+    }
+
+    /// LIKE matching: a pattern equal to the string always matches, and `%`
+    /// alone matches everything.
+    #[test]
+    fn like_match_identities(s in "[a-zA-Z0-9 ]{0,20}") {
+        prop_assert!(datastore::expr::like_match(&s, &s));
+        prop_assert!(datastore::expr::like_match(&s, "%"));
+    }
+}
