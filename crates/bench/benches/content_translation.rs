@@ -25,11 +25,9 @@ fn bench_database_summary(c: &mut Criterion) {
             max_tuples_per_relation: 2,
             ..ContentConfig::standard()
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(movies),
-            &movies,
-            |b, _| b.iter(|| system.describe_database(&config, None).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(movies), &movies, |b, _| {
+            b.iter(|| system.describe_database(&config, None).unwrap())
+        });
     }
     group.finish();
 }
@@ -42,7 +40,10 @@ fn bench_style_ablation(c: &mut Criterion) {
         .sample_size(20)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(600));
-    for (label, style) in [("compact", Style::Compact), ("procedural", Style::Procedural)] {
+    for (label, style) in [
+        ("compact", Style::Compact),
+        ("procedural", Style::Procedural),
+    ] {
         let config = ContentConfig {
             forced_style: Some(style),
             ..ContentConfig::standard()

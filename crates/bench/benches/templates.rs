@@ -45,13 +45,16 @@ fn bench_templates(c: &mut Criterion) {
         let elements: Vec<Bindings> = (0..n)
             .map(|i| {
                 let mut b = Bindings::new();
-                b.set("TITLE", format!("Movie {i}")).set("YEAR", (1990 + i).to_string());
+                b.set("TITLE", format!("Movie {i}"))
+                    .set("YEAR", (1990 + i).to_string());
                 b
             })
             .collect();
-        group.bench_with_input(BenchmarkId::new("instantiate_loop", n), &elements, |b, e| {
-            b.iter(|| instantiate_loop(&loop_template, e).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("instantiate_loop", n),
+            &elements,
+            |b, e| b.iter(|| instantiate_loop(&loop_template, e).unwrap()),
+        );
     }
 
     for &n in &[2usize, 8, 32, 64] {

@@ -173,21 +173,23 @@ impl ContentTranslator {
             }
             // Skip foreign-key columns: they are narrated by following the
             // join edge, not as raw identifiers.
-            if db
-                .catalog()
-                .foreign_keys_from(relation)
-                .iter()
-                .any(|fk| fk.columns.iter().any(|c| c.eq_ignore_ascii_case(&column.name)))
-            {
+            if db.catalog().foreign_keys_from(relation).iter().any(|fk| {
+                fk.columns
+                    .iter()
+                    .any(|c| c.eq_ignore_ascii_case(&column.name))
+            }) {
                 continue;
             }
             let value = row.value(&column.name);
             if value.map(Value::is_null).unwrap_or(true) {
                 continue;
             }
-            let template =
-                self.annotations
-                    .projection_label(db.catalog(), &self.lexicon, relation, &column.name);
+            let template = self.annotations.projection_label(
+                db.catalog(),
+                &self.lexicon,
+                relation,
+                &column.name,
+            );
             let bindings = Bindings::from_named_row(row);
             clauses.push(instantiate(&template, &bindings)?);
         }
@@ -205,11 +207,11 @@ impl ContentTranslator {
         heading_value: &str,
         config: &ContentConfig,
     ) -> Result<String, TalkbackError> {
-        let table = db
-            .table(relation)
-            .ok_or_else(|| TalkbackError::Store(datastore::StoreError::UnknownTable {
+        let table = db.table(relation).ok_or_else(|| {
+            TalkbackError::Store(datastore::StoreError::UnknownTable {
                 table: relation.to_string(),
-            }))?;
+            })
+        })?;
         let heading = table.schema().effective_heading().to_string();
         let heading_idx = table.schema().column_index(&heading).unwrap_or(0);
         let row = table
@@ -260,7 +262,10 @@ impl ContentTranslator {
             } else {
                 related_sections.push((
                     fk.table.clone(),
-                    referencing.into_iter().map(|r| (fk.table.clone(), r)).collect(),
+                    referencing
+                        .into_iter()
+                        .map(|r| (fk.table.clone(), r))
+                        .collect(),
                 ));
             }
         }
@@ -387,11 +392,11 @@ impl ContentTranslator {
         relation: &str,
         heading_value: &str,
     ) -> Result<String, TalkbackError> {
-        let table = db
-            .table(relation)
-            .ok_or_else(|| TalkbackError::Store(datastore::StoreError::UnknownTable {
+        let table = db.table(relation).ok_or_else(|| {
+            TalkbackError::Store(datastore::StoreError::UnknownTable {
                 table: relation.to_string(),
-            }))?;
+            })
+        })?;
         let heading = table.schema().effective_heading().to_string();
         let heading_idx = table.schema().column_index(&heading).unwrap_or(0);
         let row = table
@@ -531,11 +536,11 @@ impl ContentTranslator {
         column: &str,
         buckets: usize,
     ) -> Result<String, TalkbackError> {
-        let table = db
-            .table(relation)
-            .ok_or_else(|| TalkbackError::Store(datastore::StoreError::UnknownTable {
+        let table = db.table(relation).ok_or_else(|| {
+            TalkbackError::Store(datastore::StoreError::UnknownTable {
                 table: relation.to_string(),
-            }))?;
+            })
+        })?;
         let Some(h) = histogram(table, column, buckets) else {
             return Err(TalkbackError::Unsupported(format!(
                 "cannot build a histogram over {relation}.{column}"
@@ -574,11 +579,11 @@ impl ContentTranslator {
         relation: &str,
         column: &str,
     ) -> Result<String, TalkbackError> {
-        let table = db
-            .table(relation)
-            .ok_or_else(|| TalkbackError::Store(datastore::StoreError::UnknownTable {
+        let table = db.table(relation).ok_or_else(|| {
+            TalkbackError::Store(datastore::StoreError::UnknownTable {
                 table: relation.to_string(),
-            }))?;
+            })
+        })?;
         let Some(summary) = summarize_column(table, column) else {
             return Err(TalkbackError::Unsupported(format!(
                 "unknown column {relation}.{column}"
@@ -710,9 +715,8 @@ mod tests {
                 },
             )
             .unwrap();
-        assert!(text.starts_with(
-            "Woody Allen was born in Brooklyn, New York, USA on December 1, 1935."
-        ));
+        assert!(text
+            .starts_with("Woody Allen was born in Brooklyn, New York, USA on December 1, 1935."));
         assert!(text.contains("As a director, Woody Allen's work includes"));
         assert!(text.contains("Match Point (2005)"));
         assert!(text.contains("and Anything Else (2003)"));

@@ -63,10 +63,7 @@ mod tests {
     fn conversions_and_display() {
         let e: TalkbackError = sqlparse::ParseError::new("boom", 3).into();
         assert!(e.to_string().contains("boom"));
-        let e: TalkbackError = datastore::StoreError::UnknownTable {
-            table: "X".into(),
-        }
-        .into();
+        let e: TalkbackError = datastore::StoreError::UnknownTable { table: "X".into() }.into();
         assert!(e.to_string().contains("X"));
         let e = TalkbackError::Unsupported("nested DML".into());
         assert!(e.to_string().contains("nested DML"));

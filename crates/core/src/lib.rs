@@ -15,11 +15,40 @@
 //!   impossible) and per-category narration, with a procedural fallback;
 //! * [`query::explain`] — §3.1: empty- and large-result explanations, backed
 //!   by actually executing the query through [`planner`];
+//! * [`query::plan_explain`] — `EXPLAIN [ANALYZE]`: the plan as a stable
+//!   ASCII tree plus a natural-language narration of what the executor did;
 //! * [`pipeline`] — §2.1: the simulated speech-in / speech-out accessibility
 //!   loop;
 //! * [`metrics`] — expressiveness/effectiveness proxies used by the
 //!   benchmark harness;
 //! * [`Talkback`] — a facade bundling all of the above for one database.
+//!
+//! ## Execution architecture: streaming + instrumentation
+//!
+//! The stack below this crate runs queries the way the narrations describe
+//! them:
+//!
+//! 1. **sqlparse** parses SQL, including `EXPLAIN [ANALYZE] <select>`.
+//! 2. **[`planner`]** lowers a query to a `datastore` [`datastore::exec::Plan`]:
+//!    equi-join conjuncts in WHERE become hash-join keys, single-table
+//!    conjuncts are pushed below the joins onto their scans (one filter
+//!    operator per conjunct, so instrumentation can blame an individual
+//!    condition), and only cross-variable residual predicates are evaluated
+//!    above the joins.
+//! 3. **datastore/exec** opens the plan into a tree of streaming, pull-based
+//!    `RowSource` operators exchanging row batches; every operator counts
+//!    rows in/out, batches and elapsed time ([`datastore::exec::OpMetrics`]).
+//! 4. **[`query::plan_explain`]** renders the (instrumented) operator tree
+//!    as a stable ASCII plan and narrates it in natural language — "I
+//!    scanned ten movies, then kept the seven of them where m.year > 2000,
+//!    …" — with row counts read from the instrumentation, and
+//!    **[`query::explain`]** reads the same counters to attribute empty
+//!    results to the predicate that eliminated the rows, without
+//!    re-executing predicate subsets.
+//!
+//! [`Talkback::explain_plan`] is the front door: `EXPLAIN` describes the
+//! plan without reading a single row; `EXPLAIN ANALYZE` executes it and
+//! reports what actually happened.
 //!
 //! ```
 //! use talkback::Talkback;
@@ -48,6 +77,7 @@ pub use metrics::{narrative_metrics, NarrativeMetrics};
 pub use pipeline::{Recognition, SpeechRecognizer, SpokenChunk, TextToSpeech};
 pub use planner::{plan_query, PlannedQuery};
 pub use query::explain::{explain_result, ResultExplanation};
+pub use query::plan_explain::{explain_plan, PlanExplanation};
 pub use query::{QueryTranslation, QueryTranslator};
 
 use datastore::exec::{execute, ResultSet};
@@ -99,10 +129,21 @@ impl Talkback {
     }
 
     /// §3.1: run the query and explain its result size (empty / small /
-    /// very large).
+    /// very large), reading the executor's instrumentation counters to blame
+    /// the responsible predicates.
     pub fn explain_result(&self, sql: &str) -> Result<ResultExplanation, TalkbackError> {
         let query = sqlparse::parse_query(sql)?;
         query::explain::explain_result(&self.db, self.queries.lexicon(), &query)
+    }
+
+    /// `EXPLAIN [ANALYZE]`: describe the query's physical plan as a stable
+    /// ASCII tree plus a natural-language narration. With `ANALYZE` the
+    /// query is executed and the narration reports the actual per-operator
+    /// row counts ("I scanned 5 movies, kept the 2 from after 2000, …");
+    /// without it, nothing is executed and the plan is narrated in the
+    /// future tense. A bare SELECT is treated as plain `EXPLAIN`.
+    pub fn explain_plan(&self, sql: &str) -> Result<PlanExplanation, TalkbackError> {
+        query::plan_explain::explain_plan(&self.db, self.queries.lexicon(), sql)
     }
 
     /// Execute a query and return its answer.

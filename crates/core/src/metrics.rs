@@ -80,7 +80,10 @@ pub fn narrative_metrics(query: &SelectStatement, narrative: &str) -> NarrativeM
     } else {
         1.0 - distinct.len() as f64 / words.len() as f64
     };
-    let sentences = narrative.matches(['.', '!', '?']).count().max(usize::from(!narrative.is_empty()));
+    let sentences = narrative
+        .matches(['.', '!', '?'])
+        .count()
+        .max(usize::from(!narrative.is_empty()));
 
     NarrativeMetrics {
         element_coverage,
@@ -97,10 +100,8 @@ mod tests {
 
     #[test]
     fn coverage_reflects_mentioned_elements() {
-        let q = parse_query(
-            "select m.title from MOVIES m, ACTOR a where a.name = 'Brad Pitt'",
-        )
-        .unwrap();
+        let q = parse_query("select m.title from MOVIES m, ACTOR a where a.name = 'Brad Pitt'")
+            .unwrap();
         let good = narrative_metrics(&q, "Find the movies that feature the actor Brad Pitt.");
         let bad = narrative_metrics(&q, "Find some things.");
         assert!(good.element_coverage > bad.element_coverage);
@@ -110,10 +111,8 @@ mod tests {
     #[test]
     fn repetition_is_lower_for_compact_text() {
         let q = parse_query("select m.title from MOVIES m").unwrap();
-        let compact = narrative_metrics(
-            &q,
-            "Woody Allen was born in Brooklyn on December 1, 1935.",
-        );
+        let compact =
+            narrative_metrics(&q, "Woody Allen was born in Brooklyn on December 1, 1935.");
         let repetitive = narrative_metrics(
             &q,
             "Woody Allen was born in Brooklyn. Woody Allen was born on December 1, 1935.",

@@ -112,23 +112,69 @@ impl TextToSpeech {
 
     /// Total estimated duration of a narrative in milliseconds.
     pub fn total_duration_ms(&self, narrative: &str) -> u64 {
-        self.synthesize(narrative).iter().map(|c| c.duration_ms).sum()
+        self.synthesize(narrative)
+            .iter()
+            .map(|c| c.duration_ms)
+            .sum()
     }
 }
 
+/// Common abbreviations that end with a period without ending a sentence.
+const ABBREVIATIONS: &[&str] = &[
+    "Mr", "Mrs", "Ms", "Dr", "Prof", "St", "Jr", "Sr", "vs", "etc", "e.g", "i.e", "cf", "al",
+];
+
 /// Split a paragraph into sentences on terminal punctuation.
+///
+/// A period only ends a sentence when it is followed by whitespace and the
+/// next word starts with a capital letter (or the text ends), and when the
+/// word before it is not a known abbreviation — so "Mr. Allen" and "a 7.5
+/// rating" stay inside one sentence.
 pub fn split_sentences(text: &str) -> Vec<String> {
+    let chars: Vec<char> = text.chars().collect();
     let mut out = Vec::new();
     let mut current = String::new();
-    for c in text.chars() {
+    for (i, &c) in chars.iter().enumerate() {
         current.push(c);
-        if matches!(c, '.' | '!' | '?') {
-            let s = current.trim().to_string();
-            if !s.is_empty() {
-                out.push(s);
-            }
-            current.clear();
+        if !matches!(c, '.' | '!' | '?') {
+            continue;
         }
+        // The punctuation must be followed by whitespace or end of text —
+        // "7.5" and "e.g." mid-token never split.
+        let followed_by_ws = match chars.get(i + 1) {
+            None => true,
+            Some(n) => n.is_whitespace(),
+        };
+        if !followed_by_ws {
+            continue;
+        }
+        if c == '.' {
+            // The next word must start a new sentence (capital letter).
+            let next_non_ws = chars[i + 1..].iter().find(|ch| !ch.is_whitespace());
+            if let Some(n) = next_non_ws {
+                if !n.is_uppercase() && !n.is_numeric() {
+                    continue;
+                }
+            }
+            // The word before the period must not be a known abbreviation.
+            let word: String = current
+                .trim_end_matches('.')
+                .chars()
+                .rev()
+                .take_while(|ch| !ch.is_whitespace())
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect();
+            if ABBREVIATIONS.iter().any(|a| word.eq_ignore_ascii_case(a)) {
+                continue;
+            }
+        }
+        let s = current.trim().to_string();
+        if !s.is_empty() {
+            out.push(s);
+        }
+        current.clear();
     }
     let tail = current.trim().to_string();
     if !tail.is_empty() {
@@ -162,8 +208,7 @@ mod tests {
     #[test]
     fn tts_estimates_durations_per_sentence() {
         let tts = TextToSpeech::default();
-        let chunks =
-            tts.synthesize("Woody Allen was born in Brooklyn. He directed Match Point.");
+        let chunks = tts.synthesize("Woody Allen was born in Brooklyn. He directed Match Point.");
         assert_eq!(chunks.len(), 2);
         assert!(chunks.iter().all(|c| c.duration_ms > 0));
         assert_eq!(
@@ -174,7 +219,52 @@ mod tests {
 
     #[test]
     fn sentence_splitting_handles_missing_final_period() {
-        assert_eq!(split_sentences("One. Two? Three"), vec!["One.", "Two?", "Three"]);
+        assert_eq!(
+            split_sentences("One. Two? Three"),
+            vec!["One.", "Two?", "Three"]
+        );
         assert!(split_sentences("").is_empty());
+    }
+
+    #[test]
+    fn abbreviations_do_not_split_sentences() {
+        assert_eq!(
+            split_sentences("Mr. Allen directed it. He was born in Brooklyn."),
+            vec!["Mr. Allen directed it.", "He was born in Brooklyn."]
+        );
+        assert_eq!(
+            split_sentences("Dr. Smith met Mrs. Jones. They talked."),
+            vec!["Dr. Smith met Mrs. Jones.", "They talked."]
+        );
+    }
+
+    #[test]
+    fn decimals_do_not_split_sentences() {
+        assert_eq!(
+            split_sentences("The movie has a 7.5 rating. Critics agree."),
+            vec!["The movie has a 7.5 rating.", "Critics agree."]
+        );
+        assert_eq!(
+            split_sentences("Version 2.10.3 shipped"),
+            vec!["Version 2.10.3 shipped"]
+        );
+    }
+
+    #[test]
+    fn lowercase_continuation_does_not_split() {
+        // A period followed by a lowercase word is treated as internal
+        // punctuation (e.g. a stray abbreviation the list does not know).
+        assert_eq!(
+            split_sentences("the movie was prod. by someone famous"),
+            vec!["the movie was prod. by someone famous"]
+        );
+    }
+
+    #[test]
+    fn tts_keeps_abbreviated_names_in_one_chunk() {
+        let tts = TextToSpeech::default();
+        let chunks = tts.synthesize("Mr. Allen directed Match Point. It is set in London.");
+        assert_eq!(chunks.len(), 2);
+        assert!(chunks[0].text.contains("Mr. Allen"));
     }
 }

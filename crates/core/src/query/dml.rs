@@ -6,9 +6,7 @@
 use crate::query::phrases::constraint_phrase;
 use datastore::Catalog;
 use nlg::{finish_sentence, join_with_and, quote_sql};
-use sqlparse::ast::{
-    DeleteStatement, Expr, InsertStatement, Statement, UpdateStatement,
-};
+use sqlparse::ast::{DeleteStatement, Expr, InsertStatement, Statement, UpdateStatement};
 use templates::Lexicon;
 
 /// Verbalize any non-SELECT statement. SELECTs are handled by the query
@@ -20,7 +18,8 @@ pub fn translate_statement(
     query_narrative: Option<&str>,
 ) -> Option<String> {
     match statement {
-        Statement::Select(_) => None,
+        // SELECTs go to the query translator, EXPLAINs to the plan explainer.
+        Statement::Select(_) | Statement::Explain(_) => None,
         Statement::Insert(i) => Some(translate_insert(catalog, lexicon, i)),
         Statement::Update(u) => Some(translate_update(catalog, lexicon, u)),
         Statement::Delete(d) => Some(translate_delete(catalog, lexicon, d)),
@@ -132,8 +131,9 @@ mod tests {
 
     #[test]
     fn multi_row_insert_counts_rows() {
-        let text =
-            translate("insert into GENRE (mid, genre) values (1, 'noir'), (2, 'noir'), (3, 'noir')");
+        let text = translate(
+            "insert into GENRE (mid, genre) values (1, 'noir'), (2, 'noir'), (3, 'noir')",
+        );
         assert!(text.starts_with("Add three new genres to GENRE"));
     }
 
@@ -172,7 +172,8 @@ mod tests {
     fn select_statements_are_declined() {
         let db = movie_database();
         let statement = parse_statement("select * from MOVIES m").unwrap();
-        assert!(translate_statement(db.catalog(), &Lexicon::movie_domain(), &statement, None)
-            .is_none());
+        assert!(
+            translate_statement(db.catalog(), &Lexicon::movie_domain(), &statement, None).is_none()
+        );
     }
 }

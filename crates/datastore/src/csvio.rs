@@ -112,14 +112,19 @@ fn parse_cell(cell: &str, dt: DataType) -> Value {
         return Value::Null;
     }
     match dt {
-        DataType::Integer => cell.parse::<i64>().map(Value::Integer).unwrap_or(Value::Null),
+        DataType::Integer => cell
+            .parse::<i64>()
+            .map(Value::Integer)
+            .unwrap_or(Value::Null),
         DataType::Float => cell.parse::<f64>().map(Value::Float).unwrap_or(Value::Null),
         DataType::Boolean => match cell.to_ascii_lowercase().as_str() {
             "true" | "t" | "1" | "yes" => Value::Boolean(true),
             "false" | "f" | "0" | "no" => Value::Boolean(false),
             _ => Value::Null,
         },
-        DataType::Date => Date::parse_iso(cell).map(Value::Date).unwrap_or(Value::Null),
+        DataType::Date => Date::parse_iso(cell)
+            .map(Value::Date)
+            .unwrap_or(Value::Null),
         DataType::Text => Value::Text(cell.to_string()),
     }
 }

@@ -39,7 +39,8 @@ impl Database {
     /// Create a table from a schema.
     pub fn create_table(&mut self, schema: TableSchema) -> Result<(), StoreError> {
         self.catalog.add_table(schema.clone())?;
-        self.tables.insert(Self::key(&schema.name), Table::new(schema));
+        self.tables
+            .insert(Self::key(&schema.name), Table::new(schema));
         Ok(())
     }
 
@@ -59,8 +60,7 @@ impl Database {
 
     fn check_foreign_key(&self, fk: &ForeignKey) -> Vec<String> {
         let mut out = Vec::new();
-        let (Some(child), Some(parent)) = (self.table(&fk.table), self.table(&fk.ref_table))
-        else {
+        let (Some(child), Some(parent)) = (self.table(&fk.table), self.table(&fk.ref_table)) else {
             return out;
         };
         let child_idx: Vec<usize> = fk
@@ -77,7 +77,10 @@ impl Database {
                 continue; // NULL FK values are allowed (match nothing).
             }
             if !parent.contains_pk(&key) {
-                out.push(format!("{:?}", key.iter().map(Value::to_string).collect::<Vec<_>>()));
+                out.push(format!(
+                    "{:?}",
+                    key.iter().map(Value::to_string).collect::<Vec<_>>()
+                ));
             }
         }
         out
@@ -203,8 +206,7 @@ impl Database {
     /// All tuples of `fk.table` that reference the given tuple of
     /// `fk.ref_table` (reverse join-edge navigation).
     pub fn referencing_rows<'a>(&'a self, fk: &ForeignKey, parent_row: &Row) -> Vec<NamedRow<'a>> {
-        let (Some(child), Some(parent)) = (self.table(&fk.table), self.table(&fk.ref_table))
-        else {
+        let (Some(child), Some(parent)) = (self.table(&fk.table), self.table(&fk.ref_table)) else {
             return Vec::new();
         };
         let parent_idx: Vec<usize> = fk
@@ -254,15 +256,13 @@ mod tests {
             .with_primary_key(&["id"]),
         )
         .unwrap();
-        db.create_table(
-            TableSchema::new(
-                "CAST",
-                vec![
-                    ColumnDef::new("mid", DataType::Integer),
-                    ColumnDef::new("aid", DataType::Integer),
-                ],
-            ),
-        )
+        db.create_table(TableSchema::new(
+            "CAST",
+            vec![
+                ColumnDef::new("mid", DataType::Integer),
+                ColumnDef::new("aid", DataType::Integer),
+            ],
+        ))
         .unwrap();
         db.create_table(
             TableSchema::new(
@@ -289,7 +289,8 @@ mod tests {
             .unwrap();
         db.insert("ACTOR", vec![Value::int(10), Value::text("Brad Pitt")])
             .unwrap();
-        db.insert("CAST", vec![Value::int(1), Value::int(10)]).unwrap();
+        db.insert("CAST", vec![Value::int(1), Value::int(10)])
+            .unwrap();
         let err = db
             .insert("CAST", vec![Value::int(99), Value::int(10)])
             .unwrap_err();
@@ -334,8 +335,10 @@ mod tests {
             .unwrap();
         db.insert("ACTOR", vec![Value::int(10), Value::text("Brad Pitt")])
             .unwrap();
-        db.insert("CAST", vec![Value::int(1), Value::int(10)]).unwrap();
-        db.insert("CAST", vec![Value::int(2), Value::int(10)]).unwrap();
+        db.insert("CAST", vec![Value::int(1), Value::int(10)])
+            .unwrap();
+        db.insert("CAST", vec![Value::int(2), Value::int(10)])
+            .unwrap();
 
         let fk_movie = ForeignKey::simple("CAST", "mid", "MOVIES", "id");
         let cast_rows = db.table("CAST").unwrap().rows().to_vec();

@@ -30,10 +30,7 @@ pub enum StoreError {
     /// Primary-key uniqueness violated.
     DuplicateKey { table: String, key: String },
     /// Foreign-key value does not exist in the referenced table.
-    ForeignKeyViolation {
-        constraint: String,
-        value: String,
-    },
+    ForeignKeyViolation { constraint: String, value: String },
     /// A foreign key declaration references tables/columns that do not exist.
     InvalidForeignKey { constraint: String, reason: String },
     /// The executor was asked to evaluate something it does not support.

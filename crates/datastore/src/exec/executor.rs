@@ -1,12 +1,18 @@
-//! Plan execution: materializing volcano-style evaluation of [`Plan`] trees.
+//! Materializing shims over the streaming executor.
+//!
+//! Execution itself is streaming and instrumented (see [`crate::exec::stream`]);
+//! this module keeps the historical entry points: [`execute`] collects a
+//! plan's output into a [`ResultSet`] so existing callers don't change, and
+//! [`execute_with_stats`] additionally returns the per-operator
+//! [`PlanProfile`] that the EXPLAIN narrator and the empty-result detective
+//! read.
 
 use crate::database::Database;
 use crate::error::StoreError;
-use crate::exec::aggregate::{agg_input, Accumulator};
-use crate::exec::plan::{ColumnInfo, Plan, SortKey};
+use crate::exec::plan::{ColumnInfo, Plan};
+use crate::exec::stream::{open, PlanProfile};
 use crate::tuple::Row;
-use crate::value::{GroupKey, Value};
-use std::collections::HashMap;
+use crate::value::Value;
 
 /// The materialized result of executing a plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,9 +37,7 @@ impl ResultSet {
 
     /// Position of an output column by (optionally qualified) name.
     pub fn column_index(&self, qualifier: Option<&str>, name: &str) -> Option<usize> {
-        self.columns
-            .iter()
-            .position(|c| c.matches(qualifier, name))
+        self.columns.iter().position(|c| c.matches(qualifier, name))
     }
 
     /// All values of one output column.
@@ -78,222 +82,43 @@ impl ResultSet {
 
 /// Execute a plan against a database, materializing the full result.
 pub fn execute(db: &Database, plan: &Plan) -> Result<ResultSet, StoreError> {
-    match plan {
-        Plan::Scan { table, alias } => {
-            let t = db.table(table).ok_or_else(|| StoreError::UnknownTable {
-                table: table.clone(),
-            })?;
-            let columns = t
-                .schema()
-                .columns
-                .iter()
-                .map(|c| ColumnInfo::qualified(alias.clone(), c.name.clone()))
-                .collect();
-            Ok(ResultSet {
-                columns,
-                rows: t.rows().to_vec(),
-            })
-        }
-        Plan::Values { columns, rows } => Ok(ResultSet {
-            columns: columns.clone(),
-            rows: rows.clone(),
-        }),
-        Plan::Filter { input, predicate } => {
-            let mut rs = execute(db, input)?;
-            let mut kept = Vec::with_capacity(rs.rows.len());
-            for row in rs.rows.drain(..) {
-                if predicate.eval_predicate(&row)? {
-                    kept.push(row);
-                }
-            }
-            rs.rows = kept;
-            Ok(rs)
-        }
-        Plan::Project {
-            input,
-            exprs,
-            columns,
-        } => {
-            let rs = execute(db, input)?;
-            let mut rows = Vec::with_capacity(rs.rows.len());
-            for row in &rs.rows {
-                let mut values = Vec::with_capacity(exprs.len());
-                for e in exprs {
-                    values.push(e.eval(row)?);
-                }
-                rows.push(Row::new(values));
-            }
-            Ok(ResultSet {
-                columns: columns.clone(),
-                rows,
-            })
-        }
-        Plan::NestedLoopJoin {
-            left,
-            right,
-            predicate,
-        } => {
-            let l = execute(db, left)?;
-            let r = execute(db, right)?;
-            let mut columns = l.columns.clone();
-            columns.extend(r.columns.clone());
-            let mut rows = Vec::new();
-            for lr in &l.rows {
-                for rr in &r.rows {
-                    let joined = lr.concat(rr);
-                    let keep = match predicate {
-                        None => true,
-                        Some(p) => p.eval_predicate(&joined)?,
-                    };
-                    if keep {
-                        rows.push(joined);
-                    }
-                }
-            }
-            Ok(ResultSet { columns, rows })
-        }
-        Plan::HashJoin {
-            left,
-            right,
-            left_keys,
-            right_keys,
-        } => {
-            let l = execute(db, left)?;
-            let r = execute(db, right)?;
-            let mut columns = l.columns.clone();
-            columns.extend(r.columns.clone());
-            // Build on the right side, probe with the left, preserving left
-            // row order for deterministic output.
-            let mut index: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
-            for (i, row) in r.rows.iter().enumerate() {
-                let key = row.group_key(right_keys);
-                // SQL equality never matches NULL keys.
-                if key.iter().any(|k| *k == GroupKey::Null) {
-                    continue;
-                }
-                index.entry(key).or_default().push(i);
-            }
-            let mut rows = Vec::new();
-            for lr in &l.rows {
-                let key = lr.group_key(left_keys);
-                if key.iter().any(|k| *k == GroupKey::Null) {
-                    continue;
-                }
-                if let Some(matches) = index.get(&key) {
-                    for &ri in matches {
-                        rows.push(lr.concat(&r.rows[ri]));
-                    }
-                }
-            }
-            Ok(ResultSet { columns, rows })
-        }
-        Plan::Aggregate {
-            input,
-            group_by,
-            aggregates,
-            having,
-        } => {
-            let rs = execute(db, input)?;
-            // Group rows. With no grouping columns there is exactly one
-            // group, even over empty input (per SQL semantics for scalar
-            // aggregates).
-            let mut groups: Vec<(Vec<GroupKey>, Vec<Value>, Vec<Accumulator>)> = Vec::new();
-            let mut group_index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
-            if group_by.is_empty() {
-                groups.push((
-                    Vec::new(),
-                    Vec::new(),
-                    aggregates.iter().map(|a| Accumulator::new(a.func)).collect(),
-                ));
-                group_index.insert(Vec::new(), 0);
-            }
-            for row in &rs.rows {
-                let key = row.group_key(group_by);
-                let idx = match group_index.get(&key) {
-                    Some(&i) => i,
-                    None => {
-                        let values = group_by
-                            .iter()
-                            .map(|&i| row.get(i).cloned().unwrap_or(Value::Null))
-                            .collect();
-                        groups.push((
-                            key.clone(),
-                            values,
-                            aggregates.iter().map(|a| Accumulator::new(a.func)).collect(),
-                        ));
-                        group_index.insert(key, groups.len() - 1);
-                        groups.len() - 1
-                    }
-                };
-                for (agg, acc) in aggregates.iter().zip(groups[idx].2.iter_mut()) {
-                    acc.update(&agg_input(agg, row));
-                }
-            }
-            let mut columns: Vec<ColumnInfo> = group_by
-                .iter()
-                .map(|&i| rs.columns.get(i).cloned().unwrap_or_else(|| {
-                    ColumnInfo::unqualified(format!("group_{i}"))
-                }))
-                .collect();
-            columns.extend(
-                aggregates
-                    .iter()
-                    .map(|a| ColumnInfo::unqualified(a.output_name.clone())),
-            );
-            let mut rows = Vec::with_capacity(groups.len());
-            for (_, group_values, accs) in &groups {
-                let mut values = group_values.clone();
-                values.extend(accs.iter().map(Accumulator::finish));
-                let row = Row::new(values);
-                let keep = match having {
-                    None => true,
-                    Some(h) => h.eval_predicate(&row)?,
-                };
-                if keep {
-                    rows.push(row);
-                }
-            }
-            Ok(ResultSet { columns, rows })
-        }
-        Plan::Sort { input, keys } => {
-            let mut rs = execute(db, input)?;
-            sort_rows(&mut rs.rows, keys);
-            Ok(rs)
-        }
-        Plan::Limit { input, n } => {
-            let mut rs = execute(db, input)?;
-            rs.rows.truncate(*n);
-            Ok(rs)
-        }
-        Plan::Distinct { input } => {
-            let mut rs = execute(db, input)?;
-            let mut seen: HashMap<Vec<GroupKey>, ()> = HashMap::new();
-            let all: Vec<usize> = (0..rs.columns.len()).collect();
-            rs.rows.retain(|r| seen.insert(r.group_key(&all), ()).is_none());
-            Ok(rs)
-        }
+    let mut source = open(db, plan)?;
+    let columns = source.columns().to_vec();
+    let mut rows = Vec::new();
+    while let Some(batch) = source.next_batch()? {
+        rows.extend(batch);
     }
+    Ok(ResultSet { columns, rows })
 }
 
-fn sort_rows(rows: &mut [Row], keys: &[SortKey]) {
-    rows.sort_by(|a, b| {
-        for key in keys {
-            let av = a.get(key.column).cloned().unwrap_or(Value::Null);
-            let bv = b.get(key.column).cloned().unwrap_or(Value::Null);
-            let ord = av.total_cmp(&bv);
-            let ord = if key.ascending { ord } else { ord.reverse() };
-            if !ord.is_eq() {
-                return ord;
-            }
-        }
-        std::cmp::Ordering::Equal
-    });
+/// Execute a plan and return both the materialized result and the
+/// instrumented per-operator profile (rows in/out, batches, elapsed).
+pub fn execute_with_stats(
+    db: &Database,
+    plan: &Plan,
+) -> Result<(ResultSet, PlanProfile), StoreError> {
+    let mut source = open(db, plan)?;
+    let columns = source.columns().to_vec();
+    let mut rows = Vec::new();
+    while let Some(batch) = source.next_batch()? {
+        rows.extend(batch);
+    }
+    let profile = source.profile();
+    Ok((ResultSet { columns, rows }, profile))
+}
+
+/// Describe a plan — operator tree, details, output columns — without
+/// executing it. Opening validates table references but reads no rows; this
+/// is what plain `EXPLAIN` renders.
+pub fn describe_plan(db: &Database, plan: &Plan) -> Result<PlanProfile, StoreError> {
+    Ok(open(db, plan)?.profile())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::exec::aggregate::{AggExpr, AggFunc};
+    use crate::exec::plan::SortKey;
     use crate::expr::{CmpOp, Expr};
     use crate::schema::{ColumnDef, TableSchema};
     use crate::value::DataType;

@@ -1,15 +1,23 @@
-//! A small volcano-style executor over physical plans.
+//! A streaming, pull-based executor over physical plans.
 //!
 //! The executor exists so the reproduction can actually *run* the paper's
 //! queries (Q1–Q9, the EMP/DEPT example) against the synthetic movie
 //! database: the query-explanation features of §3.1 (empty-result and
 //! large-result explanations) need real answer cardinalities, and the
 //! accessibility pipeline needs real answers to narrate.
+//!
+//! Execution is organized as a tree of [`stream::RowSource`] operators that
+//! pull batches of rows on demand, each carrying instrumentation counters
+//! ([`stream::OpMetrics`]) — the raw material for `EXPLAIN ANALYZE` and the
+//! empty-result explanations of §3.1. [`executor::execute`] is the
+//! materializing shim for callers that just want a [`executor::ResultSet`].
 
 pub mod aggregate;
 pub mod executor;
 pub mod plan;
+pub mod stream;
 
-pub use aggregate::{AggExpr, AggFunc, Accumulator};
-pub use executor::{execute, ResultSet};
-pub use plan::{ColumnInfo, Plan, SortKey};
+pub use aggregate::{Accumulator, AggExpr, AggFunc};
+pub use executor::{describe_plan, execute, execute_with_stats, ResultSet};
+pub use plan::{aggregate_output_columns, ColumnInfo, Plan, SortKey};
+pub use stream::{open, OpMetrics, PlanProfile, RowSource, BATCH_SIZE};

@@ -58,6 +58,33 @@ impl fmt::Display for ColumnInfo {
     }
 }
 
+/// Output columns of a [`Plan::Aggregate`] node over the given input
+/// columns: the group-by columns first (falling back to a synthetic
+/// `group_{i}` name for unresolvable positions), then one unqualified column
+/// per aggregate. The executor and the planner's ORDER BY resolution both
+/// derive the aggregate output shape from this single definition.
+pub fn aggregate_output_columns(
+    input: &[ColumnInfo],
+    group_by: &[usize],
+    aggregates: &[AggExpr],
+) -> Vec<ColumnInfo> {
+    let mut out: Vec<ColumnInfo> = group_by
+        .iter()
+        .map(|&i| {
+            input
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| ColumnInfo::unqualified(format!("group_{i}")))
+        })
+        .collect();
+    out.extend(
+        aggregates
+            .iter()
+            .map(|a| ColumnInfo::unqualified(a.output_name.clone())),
+    );
+    out
+}
+
 /// A sort key: output column position plus direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SortKey {
@@ -72,7 +99,10 @@ pub enum Plan {
     /// qualified with `alias`.
     Scan { table: String, alias: String },
     /// Literal row set (used for uncorrelated subquery results and tests).
-    Values { columns: Vec<ColumnInfo>, rows: Vec<Row> },
+    Values {
+        columns: Vec<ColumnInfo>,
+        rows: Vec<Row>,
+    },
     /// Filter rows by a predicate over the input's output columns.
     Filter { input: Box<Plan>, predicate: Expr },
     /// Project/compute output columns.
@@ -105,7 +135,10 @@ pub enum Plan {
         having: Option<Expr>,
     },
     /// Sort by the given keys.
-    Sort { input: Box<Plan>, keys: Vec<SortKey> },
+    Sort {
+        input: Box<Plan>,
+        keys: Vec<SortKey>,
+    },
     /// Keep only the first `n` rows.
     Limit { input: Box<Plan>, n: usize },
     /// Remove duplicate rows.

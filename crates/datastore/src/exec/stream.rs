@@ -1,0 +1,1176 @@
+//! Streaming, pull-based execution of [`Plan`] trees.
+//!
+//! Every plan node opens into a [`RowSource`]: a batched iterator that pulls
+//! rows from its children on demand instead of materializing whole
+//! intermediate results. Each operator carries its own instrumentation
+//! ([`OpMetrics`]: rows in/out, batches, elapsed wall time), which is what
+//! lets the system *talk back* about what it actually did — the §3.1
+//! empty-result detective and the `EXPLAIN ANALYZE` narrator both read these
+//! counters rather than re-executing the query.
+//!
+//! Blocking operators (sort, aggregation, the hash-join build side, the
+//! nested-loop inner side) still buffer what they fundamentally must, but
+//! pipelining operators (scan, filter, project, probe side of a hash join,
+//! limit, distinct) stream batches of [`BATCH_SIZE`] rows end to end; a
+//! `LIMIT` therefore stops pulling from its input as soon as it is
+//! satisfied.
+
+use crate::database::Database;
+use crate::error::StoreError;
+use crate::exec::aggregate::{agg_input, Accumulator, AggExpr};
+use crate::exec::plan::{aggregate_output_columns, ColumnInfo, Plan, SortKey};
+use crate::expr::Expr;
+use crate::table::Table;
+use crate::tuple::Row;
+use crate::value::{GroupKey, Value};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Rows per batch pulled through the operator pipeline.
+pub const BATCH_SIZE: usize = 1024;
+
+/// Per-operator instrumentation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpMetrics {
+    /// Rows consumed from child operators (for a scan: rows read from
+    /// storage).
+    pub rows_in: u64,
+    /// Rows produced to the parent.
+    pub rows_out: u64,
+    /// Output batches produced.
+    pub batches: u64,
+    /// Wall-clock time spent inside this operator's `next_batch`, inclusive
+    /// of children (like `EXPLAIN ANALYZE`'s actual time).
+    pub elapsed: Duration,
+}
+
+/// A snapshot of one operator (and its subtree) after — or before —
+/// execution: the operator name, a human-readable detail string with column
+/// names resolved, and the instrumentation counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanProfile {
+    /// Short operator name ("scan", "hash join", …).
+    pub operator: String,
+    /// Operator-specific detail ("MOVIES as m", "m.year > 2000", …).
+    pub detail: String,
+    /// Output columns of this operator.
+    pub columns: Vec<ColumnInfo>,
+    /// Instrumentation counters (all zero when the plan was only described,
+    /// not executed).
+    pub metrics: OpMetrics,
+    /// Child profiles (inputs of this operator).
+    pub children: Vec<PlanProfile>,
+}
+
+impl PlanProfile {
+    /// Depth-first pre-order walk over the profile tree.
+    pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a PlanProfile)) {
+        f(self);
+        for c in &self.children {
+            c.walk(f);
+        }
+    }
+
+    /// Total number of operators in the subtree.
+    pub fn operator_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(PlanProfile::operator_count)
+            .sum::<usize>()
+    }
+
+    /// Render the profile as a stable ASCII tree. With `analyze` the line for
+    /// each operator includes its actual row counts; timings are deliberately
+    /// left out of the tree (they are not stable across runs) and live only
+    /// in [`OpMetrics`].
+    pub fn render_tree(&self, analyze: bool) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, "", "", analyze);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, prefix: &str, child_prefix: &str, analyze: bool) {
+        out.push_str(prefix);
+        out.push_str(&self.operator);
+        if !self.detail.is_empty() {
+            out.push_str(": ");
+            out.push_str(&self.detail);
+        }
+        if analyze {
+            out.push_str(&format!(
+                "  [rows={} in={} batches={}]",
+                self.metrics.rows_out, self.metrics.rows_in, self.metrics.batches
+            ));
+        }
+        out.push('\n');
+        let n = self.children.len();
+        for (i, child) in self.children.iter().enumerate() {
+            let last = i + 1 == n;
+            let branch = if last { "└─ " } else { "├─ " };
+            let cont = if last { "   " } else { "│  " };
+            child.render_into(
+                out,
+                &format!("{child_prefix}{branch}"),
+                &format!("{child_prefix}{cont}"),
+                analyze,
+            );
+        }
+    }
+}
+
+/// Render a runtime expression with column positions resolved to names.
+pub fn render_expr(expr: &Expr, columns: &[ColumnInfo]) -> String {
+    match expr {
+        Expr::Literal(v) => v.sql_literal(),
+        Expr::Column(i) => columns
+            .get(*i)
+            .map(ColumnInfo::to_string)
+            .unwrap_or_else(|| format!("#{i}")),
+        Expr::Compare { op, left, right } => format!(
+            "{} {} {}",
+            render_expr(left, columns),
+            op.sql(),
+            render_expr(right, columns)
+        ),
+        Expr::And(l, r) => format!(
+            "{} AND {}",
+            render_expr(l, columns),
+            render_expr(r, columns)
+        ),
+        Expr::Or(l, r) => format!(
+            "({} OR {})",
+            render_expr(l, columns),
+            render_expr(r, columns)
+        ),
+        Expr::Not(e) => format!("NOT ({})", render_expr(e, columns)),
+        Expr::Arith { op, left, right } => {
+            let sym = match op {
+                crate::expr::ArithOp::Add => "+",
+                crate::expr::ArithOp::Sub => "-",
+                crate::expr::ArithOp::Mul => "*",
+                crate::expr::ArithOp::Div => "/",
+            };
+            format!(
+                "{} {} {}",
+                render_expr(left, columns),
+                sym,
+                render_expr(right, columns)
+            )
+        }
+        Expr::IsNull(e) => format!("{} IS NULL", render_expr(e, columns)),
+        Expr::Like { expr, pattern } => {
+            format!("{} LIKE '{}'", render_expr(expr, columns), pattern)
+        }
+        Expr::InList { expr, list } => {
+            let items: Vec<String> = list.iter().map(Value::sql_literal).collect();
+            format!("{} IN ({})", render_expr(expr, columns), items.join(", "))
+        }
+    }
+}
+
+/// A pull-based operator: a batched row iterator with instrumentation.
+pub trait RowSource {
+    /// Output column descriptors.
+    fn columns(&self) -> &[ColumnInfo];
+    /// Pull the next batch of rows; `None` when exhausted.
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError>;
+    /// Snapshot this operator subtree (name, detail, metrics, children).
+    fn profile(&self) -> PlanProfile;
+}
+
+/// Open a plan into its operator tree without pulling any rows. Opening
+/// validates table names and resolves output columns but does **not** read
+/// data — `EXPLAIN` uses this to describe a plan without executing it.
+pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>, StoreError> {
+    Ok(match plan {
+        Plan::Scan { table, alias } => {
+            let t = db.table(table).ok_or_else(|| StoreError::UnknownTable {
+                table: table.clone(),
+            })?;
+            Box::new(ScanSource::new(t, table.clone(), alias.clone()))
+        }
+        Plan::Values { columns, rows } => Box::new(ValuesSource {
+            columns: columns.clone(),
+            rows: rows.clone(),
+            cursor: 0,
+            meter: OpMetrics::default(),
+        }),
+        Plan::Filter { input, predicate } => {
+            let input = open(db, input)?;
+            Box::new(FilterSource {
+                detail: render_expr(predicate, input.columns()),
+                input,
+                predicate: predicate.clone(),
+                meter: OpMetrics::default(),
+            })
+        }
+        Plan::Project {
+            input,
+            exprs,
+            columns,
+        } => {
+            let input = open(db, input)?;
+            Box::new(ProjectSource {
+                input,
+                exprs: exprs.clone(),
+                columns: columns.clone(),
+                meter: OpMetrics::default(),
+            })
+        }
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+        } => {
+            let left = open(db, left)?;
+            let right = open(db, right)?;
+            let mut columns = left.columns().to_vec();
+            columns.extend(right.columns().iter().cloned());
+            let detail = match predicate {
+                Some(p) => render_expr(p, &columns),
+                None => "cross product".to_string(),
+            };
+            Box::new(NestedLoopJoinSource {
+                left,
+                right,
+                predicate: predicate.clone(),
+                columns,
+                detail,
+                right_rows: None,
+                pending: VecDeque::new(),
+                done: false,
+                meter: OpMetrics::default(),
+            })
+        }
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            let left = open(db, left)?;
+            let right = open(db, right)?;
+            let mut columns = left.columns().to_vec();
+            columns.extend(right.columns().iter().cloned());
+            let detail = left_keys
+                .iter()
+                .zip(right_keys)
+                .map(|(&lk, &rk)| {
+                    format!(
+                        "{} = {}",
+                        left.columns()
+                            .get(lk)
+                            .map(ColumnInfo::to_string)
+                            .unwrap_or_else(|| format!("#{lk}")),
+                        right
+                            .columns()
+                            .get(rk)
+                            .map(ColumnInfo::to_string)
+                            .unwrap_or_else(|| format!("#{rk}")),
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(" AND ");
+            Box::new(HashJoinSource {
+                left,
+                right,
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+                columns,
+                detail,
+                build: None,
+                pending: VecDeque::new(),
+                done: false,
+                meter: OpMetrics::default(),
+            })
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+            having,
+        } => {
+            let input = open(db, input)?;
+            let columns = aggregate_output_columns(input.columns(), group_by, aggregates);
+            let mut parts = Vec::new();
+            if !group_by.is_empty() {
+                let keys: Vec<String> = group_by
+                    .iter()
+                    .map(|&i| {
+                        input
+                            .columns()
+                            .get(i)
+                            .map(ColumnInfo::to_string)
+                            .unwrap_or_else(|| format!("#{i}"))
+                    })
+                    .collect();
+                parts.push(format!("group by {}", keys.join(", ")));
+            }
+            let aggs: Vec<String> = aggregates.iter().map(|a| a.output_name.clone()).collect();
+            parts.push(aggs.join(", "));
+            if having.is_some() {
+                parts.push("having …".to_string());
+            }
+            Box::new(AggregateSource {
+                input,
+                group_by: group_by.clone(),
+                aggregates: aggregates.clone(),
+                having: having.clone(),
+                columns,
+                detail: parts.join("; "),
+                pending: None,
+                meter: OpMetrics::default(),
+            })
+        }
+        Plan::Sort { input, keys } => {
+            let input = open(db, input)?;
+            let detail = keys
+                .iter()
+                .map(|k| {
+                    format!(
+                        "{}{}",
+                        input
+                            .columns()
+                            .get(k.column)
+                            .map(ColumnInfo::to_string)
+                            .unwrap_or_else(|| format!("#{}", k.column)),
+                        if k.ascending { "" } else { " DESC" }
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            Box::new(SortSource {
+                input,
+                keys: keys.clone(),
+                detail,
+                pending: None,
+                meter: OpMetrics::default(),
+            })
+        }
+        Plan::Limit { input, n } => {
+            let input = open(db, input)?;
+            Box::new(LimitSource {
+                input,
+                remaining: *n,
+                n: *n,
+                meter: OpMetrics::default(),
+            })
+        }
+        Plan::Distinct { input } => {
+            let input = open(db, input)?;
+            Box::new(DistinctSource {
+                input,
+                seen: HashSet::new(),
+                meter: OpMetrics::default(),
+            })
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------------
+
+struct ScanSource<'a> {
+    table: &'a Table,
+    table_name: String,
+    alias: String,
+    columns: Vec<ColumnInfo>,
+    cursor: usize,
+    meter: OpMetrics,
+}
+
+impl<'a> ScanSource<'a> {
+    fn new(table: &'a Table, table_name: String, alias: String) -> ScanSource<'a> {
+        let columns = table
+            .schema()
+            .columns
+            .iter()
+            .map(|c| ColumnInfo::qualified(alias.clone(), c.name.clone()))
+            .collect();
+        ScanSource {
+            table,
+            table_name,
+            alias,
+            columns,
+            cursor: 0,
+            meter: OpMetrics::default(),
+        }
+    }
+}
+
+impl RowSource for ScanSource<'_> {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
+        let start = Instant::now();
+        let rows = self.table.rows();
+        let result = if self.cursor >= rows.len() {
+            None
+        } else {
+            let end = (self.cursor + BATCH_SIZE).min(rows.len());
+            let batch = rows[self.cursor..end].to_vec();
+            self.cursor = end;
+            self.meter.rows_in += batch.len() as u64;
+            self.meter.rows_out += batch.len() as u64;
+            self.meter.batches += 1;
+            Some(batch)
+        };
+        self.meter.elapsed += start.elapsed();
+        Ok(result)
+    }
+
+    fn profile(&self) -> PlanProfile {
+        PlanProfile {
+            operator: "scan".to_string(),
+            detail: if self.alias == self.table_name {
+                self.table_name.clone()
+            } else {
+                format!("{} as {}", self.table_name, self.alias)
+            },
+            columns: self.columns.clone(),
+            metrics: self.meter,
+            children: Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------------
+
+struct ValuesSource {
+    columns: Vec<ColumnInfo>,
+    rows: Vec<Row>,
+    cursor: usize,
+    meter: OpMetrics,
+}
+
+impl RowSource for ValuesSource {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
+        let start = Instant::now();
+        let result = if self.cursor >= self.rows.len() {
+            None
+        } else {
+            let end = (self.cursor + BATCH_SIZE).min(self.rows.len());
+            let batch = self.rows[self.cursor..end].to_vec();
+            self.cursor = end;
+            self.meter.rows_out += batch.len() as u64;
+            self.meter.batches += 1;
+            Some(batch)
+        };
+        self.meter.elapsed += start.elapsed();
+        Ok(result)
+    }
+
+    fn profile(&self) -> PlanProfile {
+        PlanProfile {
+            operator: "values".to_string(),
+            detail: format!("{} literal rows", self.rows.len()),
+            columns: self.columns.clone(),
+            metrics: self.meter,
+            children: Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filter
+// ---------------------------------------------------------------------------
+
+struct FilterSource<'a> {
+    input: Box<dyn RowSource + 'a>,
+    predicate: Expr,
+    detail: String,
+    meter: OpMetrics,
+}
+
+impl RowSource for FilterSource<'_> {
+    fn columns(&self) -> &[ColumnInfo] {
+        self.input.columns()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
+        let start = Instant::now();
+        let result = loop {
+            match self.input.next_batch()? {
+                None => break None,
+                Some(batch) => {
+                    self.meter.rows_in += batch.len() as u64;
+                    let mut kept = Vec::new();
+                    for row in batch {
+                        if self.predicate.eval_predicate(&row)? {
+                            kept.push(row);
+                        }
+                    }
+                    if !kept.is_empty() {
+                        self.meter.rows_out += kept.len() as u64;
+                        self.meter.batches += 1;
+                        break Some(kept);
+                    }
+                    // Keep pulling until a non-empty output batch or EOF.
+                }
+            }
+        };
+        self.meter.elapsed += start.elapsed();
+        Ok(result)
+    }
+
+    fn profile(&self) -> PlanProfile {
+        PlanProfile {
+            operator: "filter".to_string(),
+            detail: self.detail.clone(),
+            columns: self.input.columns().to_vec(),
+            metrics: self.meter,
+            children: vec![self.input.profile()],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Project
+// ---------------------------------------------------------------------------
+
+struct ProjectSource<'a> {
+    input: Box<dyn RowSource + 'a>,
+    exprs: Vec<Expr>,
+    columns: Vec<ColumnInfo>,
+    meter: OpMetrics,
+}
+
+impl RowSource for ProjectSource<'_> {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
+        let start = Instant::now();
+        let result = match self.input.next_batch()? {
+            None => None,
+            Some(batch) => {
+                self.meter.rows_in += batch.len() as u64;
+                let mut rows = Vec::with_capacity(batch.len());
+                for row in &batch {
+                    let mut values = Vec::with_capacity(self.exprs.len());
+                    for e in &self.exprs {
+                        values.push(e.eval(row)?);
+                    }
+                    rows.push(Row::new(values));
+                }
+                self.meter.rows_out += rows.len() as u64;
+                self.meter.batches += 1;
+                Some(rows)
+            }
+        };
+        self.meter.elapsed += start.elapsed();
+        Ok(result)
+    }
+
+    fn profile(&self) -> PlanProfile {
+        PlanProfile {
+            operator: "project".to_string(),
+            detail: self
+                .columns
+                .iter()
+                .map(ColumnInfo::to_string)
+                .collect::<Vec<_>>()
+                .join(", "),
+            columns: self.columns.clone(),
+            metrics: self.meter,
+            children: vec![self.input.profile()],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Nested-loop join
+// ---------------------------------------------------------------------------
+
+struct NestedLoopJoinSource<'a> {
+    left: Box<dyn RowSource + 'a>,
+    right: Box<dyn RowSource + 'a>,
+    predicate: Option<Expr>,
+    columns: Vec<ColumnInfo>,
+    detail: String,
+    /// Materialized inner side (built on first pull).
+    right_rows: Option<Vec<Row>>,
+    pending: VecDeque<Row>,
+    done: bool,
+    meter: OpMetrics,
+}
+
+impl NestedLoopJoinSource<'_> {
+    fn build(&mut self) -> Result<(), StoreError> {
+        if self.right_rows.is_some() {
+            return Ok(());
+        }
+        let mut rows = Vec::new();
+        while let Some(batch) = self.right.next_batch()? {
+            self.meter.rows_in += batch.len() as u64;
+            rows.extend(batch);
+        }
+        self.right_rows = Some(rows);
+        Ok(())
+    }
+}
+
+impl RowSource for NestedLoopJoinSource<'_> {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
+        let start = Instant::now();
+        self.build()?;
+        while self.pending.len() < BATCH_SIZE && !self.done {
+            match self.left.next_batch()? {
+                None => self.done = true,
+                Some(batch) => {
+                    self.meter.rows_in += batch.len() as u64;
+                    let right = self.right_rows.as_ref().expect("built above");
+                    for lr in &batch {
+                        for rr in right {
+                            let joined = lr.concat(rr);
+                            let keep = match &self.predicate {
+                                None => true,
+                                Some(p) => p.eval_predicate(&joined)?,
+                            };
+                            if keep {
+                                self.pending.push_back(joined);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let result = drain_pending(&mut self.pending, &mut self.meter);
+        self.meter.elapsed += start.elapsed();
+        Ok(result)
+    }
+
+    fn profile(&self) -> PlanProfile {
+        PlanProfile {
+            operator: "nested-loop join".to_string(),
+            detail: self.detail.clone(),
+            columns: self.columns.clone(),
+            metrics: self.meter,
+            children: vec![self.left.profile(), self.right.profile()],
+        }
+    }
+}
+
+/// Emit up to one batch from an operator's output buffer.
+fn drain_pending(pending: &mut VecDeque<Row>, meter: &mut OpMetrics) -> Option<Vec<Row>> {
+    if pending.is_empty() {
+        return None;
+    }
+    let take = pending.len().min(BATCH_SIZE);
+    let batch: Vec<Row> = pending.drain(..take).collect();
+    meter.rows_out += batch.len() as u64;
+    meter.batches += 1;
+    Some(batch)
+}
+
+// ---------------------------------------------------------------------------
+// Hash join
+// ---------------------------------------------------------------------------
+
+struct HashJoinSource<'a> {
+    left: Box<dyn RowSource + 'a>,
+    right: Box<dyn RowSource + 'a>,
+    left_keys: Vec<usize>,
+    right_keys: Vec<usize>,
+    columns: Vec<ColumnInfo>,
+    detail: String,
+    /// Hash index over the build (right) side, built on first pull: key →
+    /// build rows with that key.
+    build: Option<HashMap<Vec<GroupKey>, Vec<Row>>>,
+    pending: VecDeque<Row>,
+    done: bool,
+    meter: OpMetrics,
+}
+
+impl HashJoinSource<'_> {
+    fn build(&mut self) -> Result<(), StoreError> {
+        if self.build.is_some() {
+            return Ok(());
+        }
+        let mut index: HashMap<Vec<GroupKey>, Vec<Row>> = HashMap::new();
+        while let Some(batch) = self.right.next_batch()? {
+            self.meter.rows_in += batch.len() as u64;
+            for row in batch {
+                let key = row.group_key(&self.right_keys);
+                // SQL equality never matches NULL keys.
+                if key.contains(&GroupKey::Null) {
+                    continue;
+                }
+                index.entry(key).or_default().push(row);
+            }
+        }
+        self.build = Some(index);
+        Ok(())
+    }
+}
+
+impl RowSource for HashJoinSource<'_> {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
+        let start = Instant::now();
+        self.build()?;
+        while self.pending.len() < BATCH_SIZE && !self.done {
+            match self.left.next_batch()? {
+                None => self.done = true,
+                Some(batch) => {
+                    self.meter.rows_in += batch.len() as u64;
+                    let index = self.build.as_ref().expect("built above");
+                    for lr in &batch {
+                        let key = lr.group_key(&self.left_keys);
+                        if key.contains(&GroupKey::Null) {
+                            continue;
+                        }
+                        if let Some(matches) = index.get(&key) {
+                            for rr in matches {
+                                self.pending.push_back(lr.concat(rr));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let result = drain_pending(&mut self.pending, &mut self.meter);
+        self.meter.elapsed += start.elapsed();
+        Ok(result)
+    }
+
+    fn profile(&self) -> PlanProfile {
+        PlanProfile {
+            operator: "hash join".to_string(),
+            detail: self.detail.clone(),
+            columns: self.columns.clone(),
+            metrics: self.meter,
+            children: vec![self.left.profile(), self.right.profile()],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate
+// ---------------------------------------------------------------------------
+
+struct AggregateSource<'a> {
+    input: Box<dyn RowSource + 'a>,
+    group_by: Vec<usize>,
+    aggregates: Vec<AggExpr>,
+    having: Option<Expr>,
+    columns: Vec<ColumnInfo>,
+    detail: String,
+    /// Result rows, computed on first pull.
+    pending: Option<VecDeque<Row>>,
+    meter: OpMetrics,
+}
+
+impl AggregateSource<'_> {
+    fn compute(&mut self) -> Result<(), StoreError> {
+        if self.pending.is_some() {
+            return Ok(());
+        }
+        // Group rows. With no grouping columns there is exactly one group,
+        // even over empty input (per SQL semantics for scalar aggregates).
+        let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+        let mut group_index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+        if self.group_by.is_empty() {
+            groups.push((
+                Vec::new(),
+                self.aggregates
+                    .iter()
+                    .map(|a| Accumulator::new(a.func))
+                    .collect(),
+            ));
+            group_index.insert(Vec::new(), 0);
+        }
+        while let Some(batch) = self.input.next_batch()? {
+            self.meter.rows_in += batch.len() as u64;
+            for row in &batch {
+                let key = row.group_key(&self.group_by);
+                let idx = match group_index.get(&key) {
+                    Some(&i) => i,
+                    None => {
+                        let values = self
+                            .group_by
+                            .iter()
+                            .map(|&i| row.get(i).cloned().unwrap_or(Value::Null))
+                            .collect();
+                        groups.push((
+                            values,
+                            self.aggregates
+                                .iter()
+                                .map(|a| Accumulator::new(a.func))
+                                .collect(),
+                        ));
+                        group_index.insert(key, groups.len() - 1);
+                        groups.len() - 1
+                    }
+                };
+                for (agg, acc) in self.aggregates.iter().zip(groups[idx].1.iter_mut()) {
+                    acc.update(&agg_input(agg, row));
+                }
+            }
+        }
+        let mut out = VecDeque::with_capacity(groups.len());
+        for (group_values, accs) in &groups {
+            let mut values = group_values.clone();
+            values.extend(accs.iter().map(Accumulator::finish));
+            let row = Row::new(values);
+            let keep = match &self.having {
+                None => true,
+                Some(h) => h.eval_predicate(&row)?,
+            };
+            if keep {
+                out.push_back(row);
+            }
+        }
+        self.pending = Some(out);
+        Ok(())
+    }
+}
+
+impl RowSource for AggregateSource<'_> {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
+        let start = Instant::now();
+        self.compute()?;
+        let result = drain_pending(
+            self.pending.as_mut().expect("computed above"),
+            &mut self.meter,
+        );
+        self.meter.elapsed += start.elapsed();
+        Ok(result)
+    }
+
+    fn profile(&self) -> PlanProfile {
+        PlanProfile {
+            operator: "aggregate".to_string(),
+            detail: self.detail.clone(),
+            columns: self.columns.clone(),
+            metrics: self.meter,
+            children: vec![self.input.profile()],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sort
+// ---------------------------------------------------------------------------
+
+struct SortSource<'a> {
+    input: Box<dyn RowSource + 'a>,
+    keys: Vec<SortKey>,
+    detail: String,
+    pending: Option<VecDeque<Row>>,
+    meter: OpMetrics,
+}
+
+impl RowSource for SortSource<'_> {
+    fn columns(&self) -> &[ColumnInfo] {
+        self.input.columns()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
+        let start = Instant::now();
+        if self.pending.is_none() {
+            let mut rows = Vec::new();
+            while let Some(batch) = self.input.next_batch()? {
+                self.meter.rows_in += batch.len() as u64;
+                rows.extend(batch);
+            }
+            sort_rows(&mut rows, &self.keys);
+            self.pending = Some(rows.into());
+        }
+        let result = drain_pending(
+            self.pending.as_mut().expect("sorted above"),
+            &mut self.meter,
+        );
+        self.meter.elapsed += start.elapsed();
+        Ok(result)
+    }
+
+    fn profile(&self) -> PlanProfile {
+        PlanProfile {
+            operator: "sort".to_string(),
+            detail: self.detail.clone(),
+            columns: self.input.columns().to_vec(),
+            metrics: self.meter,
+            children: vec![self.input.profile()],
+        }
+    }
+}
+
+/// Stable multi-key sort used by the sort operator.
+pub fn sort_rows(rows: &mut [Row], keys: &[SortKey]) {
+    rows.sort_by(|a, b| {
+        for key in keys {
+            let av = a.get(key.column).cloned().unwrap_or(Value::Null);
+            let bv = b.get(key.column).cloned().unwrap_or(Value::Null);
+            let ord = av.total_cmp(&bv);
+            let ord = if key.ascending { ord } else { ord.reverse() };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Limit
+// ---------------------------------------------------------------------------
+
+struct LimitSource<'a> {
+    input: Box<dyn RowSource + 'a>,
+    remaining: usize,
+    n: usize,
+    meter: OpMetrics,
+}
+
+impl RowSource for LimitSource<'_> {
+    fn columns(&self) -> &[ColumnInfo] {
+        self.input.columns()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
+        let start = Instant::now();
+        let result = if self.remaining == 0 {
+            // Early termination: stop pulling from the input entirely.
+            None
+        } else {
+            match self.input.next_batch()? {
+                None => None,
+                Some(mut batch) => {
+                    self.meter.rows_in += batch.len() as u64;
+                    if batch.len() > self.remaining {
+                        batch.truncate(self.remaining);
+                    }
+                    self.remaining -= batch.len();
+                    self.meter.rows_out += batch.len() as u64;
+                    self.meter.batches += 1;
+                    Some(batch)
+                }
+            }
+        };
+        self.meter.elapsed += start.elapsed();
+        Ok(result)
+    }
+
+    fn profile(&self) -> PlanProfile {
+        PlanProfile {
+            operator: "limit".to_string(),
+            detail: self.n.to_string(),
+            columns: self.input.columns().to_vec(),
+            metrics: self.meter,
+            children: vec![self.input.profile()],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Distinct
+// ---------------------------------------------------------------------------
+
+struct DistinctSource<'a> {
+    input: Box<dyn RowSource + 'a>,
+    seen: HashSet<Vec<GroupKey>>,
+    meter: OpMetrics,
+}
+
+impl RowSource for DistinctSource<'_> {
+    fn columns(&self) -> &[ColumnInfo] {
+        self.input.columns()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
+        let start = Instant::now();
+        let arity = self.input.columns().len();
+        let all: Vec<usize> = (0..arity).collect();
+        let result = loop {
+            match self.input.next_batch()? {
+                None => break None,
+                Some(batch) => {
+                    self.meter.rows_in += batch.len() as u64;
+                    let mut kept = Vec::new();
+                    for row in batch {
+                        if self.seen.insert(row.group_key(&all)) {
+                            kept.push(row);
+                        }
+                    }
+                    if !kept.is_empty() {
+                        self.meter.rows_out += kept.len() as u64;
+                        self.meter.batches += 1;
+                        break Some(kept);
+                    }
+                }
+            }
+        };
+        self.meter.elapsed += start.elapsed();
+        Ok(result)
+    }
+
+    fn profile(&self) -> PlanProfile {
+        PlanProfile {
+            operator: "distinct".to_string(),
+            detail: String::new(),
+            columns: self.input.columns().to_vec(),
+            metrics: self.meter,
+            children: vec![self.input.profile()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::aggregate::AggExpr;
+    use crate::expr::CmpOp;
+    use crate::schema::{ColumnDef, TableSchema};
+    use crate::value::DataType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::new("id", DataType::Integer),
+                ColumnDef::new("v", DataType::Integer),
+            ],
+        ))
+        .unwrap();
+        for i in 0..2500i64 {
+            db.insert("T", vec![Value::int(i), Value::int(i % 10)])
+                .unwrap();
+        }
+        db
+    }
+
+    fn scan(table: &str, alias: &str) -> Plan {
+        Plan::Scan {
+            table: table.into(),
+            alias: alias.into(),
+        }
+    }
+
+    #[test]
+    fn scan_streams_in_batches() {
+        let db = db();
+        let mut src = open(&db, &scan("T", "t")).unwrap();
+        let first = src.next_batch().unwrap().unwrap();
+        assert_eq!(first.len(), BATCH_SIZE);
+        let mut total = first.len();
+        while let Some(batch) = src.next_batch().unwrap() {
+            total += batch.len();
+        }
+        assert_eq!(total, 2500);
+        let profile = src.profile();
+        assert_eq!(profile.metrics.rows_out, 2500);
+        assert_eq!(profile.metrics.batches, 3);
+    }
+
+    #[test]
+    fn limit_stops_pulling_early() {
+        let db = db();
+        let plan = scan("T", "t").limit(5);
+        let mut src = open(&db, &plan).unwrap();
+        let mut total = 0;
+        while let Some(batch) = src.next_batch().unwrap() {
+            total += batch.len();
+        }
+        assert_eq!(total, 5);
+        let profile = src.profile();
+        // The limit consumed only the first batch of its input, not all 2500
+        // rows: streaming means the scan never read past the first batch.
+        let scan_profile = &profile.children[0];
+        assert_eq!(scan_profile.metrics.rows_out as usize, BATCH_SIZE);
+    }
+
+    #[test]
+    fn filter_counts_rows_in_and_out() {
+        let db = db();
+        let plan = scan("T", "t").filter(Expr::col_cmp_value(1, CmpOp::Eq, Value::int(3)));
+        let mut src = open(&db, &plan).unwrap();
+        let mut total = 0;
+        while let Some(batch) = src.next_batch().unwrap() {
+            total += batch.len();
+        }
+        assert_eq!(total, 250);
+        let profile = src.profile();
+        assert_eq!(profile.operator, "filter");
+        assert_eq!(profile.metrics.rows_in, 2500);
+        assert_eq!(profile.metrics.rows_out, 250);
+    }
+
+    #[test]
+    fn open_does_not_read_rows() {
+        let db = db();
+        let plan = scan("T", "t").filter(Expr::col_cmp_value(1, CmpOp::Eq, Value::int(3)));
+        let src = open(&db, &plan).unwrap();
+        let profile = src.profile();
+        // Describing a freshly opened plan shows zero activity everywhere.
+        profile.walk(&mut |p| {
+            assert_eq!(p.metrics.rows_in, 0);
+            assert_eq!(p.metrics.rows_out, 0);
+            assert_eq!(p.metrics.batches, 0);
+        });
+    }
+
+    #[test]
+    fn render_tree_shape_is_stable() {
+        let db = db();
+        let plan = scan("T", "t")
+            .filter(Expr::col_cmp_value(1, CmpOp::Eq, Value::int(3)))
+            .limit(7);
+        let src = open(&db, &plan).unwrap();
+        let tree = src.profile().render_tree(false);
+        assert_eq!(tree, "limit: 7\n└─ filter: t.v = 3\n   └─ scan: T as t\n");
+    }
+
+    #[test]
+    fn aggregate_over_empty_input_still_produces_one_group() {
+        let db = db();
+        let empty = scan("T", "t").filter(Expr::col_cmp_value(0, CmpOp::Lt, Value::int(0)));
+        let plan = Plan::Aggregate {
+            input: Box::new(empty),
+            group_by: vec![],
+            aggregates: vec![AggExpr::count_star("cnt")],
+            having: None,
+        };
+        let mut src = open(&db, &plan).unwrap();
+        let batch = src.next_batch().unwrap().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].get(0), Some(&Value::int(0)));
+        assert!(src.next_batch().unwrap().is_none());
+    }
+
+    #[test]
+    fn render_expr_resolves_column_names() {
+        let cols = vec![
+            ColumnInfo::qualified("m", "id"),
+            ColumnInfo::qualified("m", "year"),
+        ];
+        let e = Expr::And(
+            Box::new(Expr::col_cmp_value(1, CmpOp::Gt, Value::int(2000))),
+            Box::new(Expr::col_eq(0, 1)),
+        );
+        assert_eq!(render_expr(&e, &cols), "m.year > 2000 AND m.id = m.year");
+    }
+}

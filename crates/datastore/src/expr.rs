@@ -335,9 +335,7 @@ pub fn like_match(s: &str, pattern: &str) -> bool {
     fn rec(s: &[char], p: &[char]) -> bool {
         match p.split_first() {
             None => s.is_empty(),
-            Some(('%', rest)) => {
-                (0..=s.len()).any(|k| rec(&s[k..], rest))
-            }
+            Some(('%', rest)) => (0..=s.len()).any(|k| rec(&s[k..], rest)),
             Some(('_', rest)) => !s.is_empty() && rec(&s[1..], rest),
             Some((c, rest)) => s.first() == Some(c) && rec(&s[1..], rest),
         }
@@ -376,15 +374,21 @@ mod tests {
         let n = Expr::Literal(Value::Null);
         let r = Row::empty();
         assert_eq!(
-            Expr::And(Box::new(f.clone()), Box::new(n.clone())).eval(&r).unwrap(),
+            Expr::And(Box::new(f.clone()), Box::new(n.clone()))
+                .eval(&r)
+                .unwrap(),
             Value::Boolean(false)
         );
         assert_eq!(
-            Expr::And(Box::new(t.clone()), Box::new(n.clone())).eval(&r).unwrap(),
+            Expr::And(Box::new(t.clone()), Box::new(n.clone()))
+                .eval(&r)
+                .unwrap(),
             Value::Null
         );
         assert_eq!(
-            Expr::Or(Box::new(n.clone()), Box::new(t.clone())).eval(&r).unwrap(),
+            Expr::Or(Box::new(n.clone()), Box::new(t.clone()))
+                .eval(&r)
+                .unwrap(),
             Value::Boolean(true)
         );
         assert_eq!(

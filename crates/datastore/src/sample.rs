@@ -128,9 +128,25 @@ pub fn movie_foreign_keys() -> Vec<ForeignKey> {
 pub fn movie_database() -> Database {
     let mut db = movie_catalog();
 
-    let directors: &[(i64, &str, Option<(i32, u8, u8)>, Option<&str>)] = &[
-        (1, "Woody Allen", Some((1935, 12, 1)), Some("Brooklyn, New York, USA")),
-        (2, "G. Loucas", Some((1944, 5, 14)), Some("Modesto, California, USA")),
+    type DirectorRow = (
+        i64,
+        &'static str,
+        Option<(i32, u8, u8)>,
+        Option<&'static str>,
+    );
+    let directors: &[DirectorRow] = &[
+        (
+            1,
+            "Woody Allen",
+            Some((1935, 12, 1)),
+            Some("Brooklyn, New York, USA"),
+        ),
+        (
+            2,
+            "G. Loucas",
+            Some((1944, 5, 14)),
+            Some("Modesto, California, USA"),
+        ),
         (3, "Sofia Ricci", Some((1971, 5, 14)), Some("Rome, Italy")),
         (4, "Jane Doe", None, None),
     ];
@@ -373,8 +389,16 @@ pub fn scaled_movie_database(config: ScaleConfig) -> Database {
         "Alex", "Maria", "John", "Sofia", "George", "Elena", "Nikos", "Anna", "Peter", "Laura",
     ];
     const LAST: &[&str] = &[
-        "Papadopoulos", "Rossi", "Smith", "Garcia", "Miller", "Ioannou", "Brown", "Martin",
-        "Lopez", "Novak",
+        "Papadopoulos",
+        "Rossi",
+        "Smith",
+        "Garcia",
+        "Miller",
+        "Ioannou",
+        "Brown",
+        "Martin",
+        "Lopez",
+        "Novak",
     ];
     const NOUN: &[&str] = &[
         "Return", "Voyage", "Secret", "Garden", "Night", "Storm", "Promise", "Island", "Echo",
@@ -385,7 +409,14 @@ pub fn scaled_movie_database(config: ScaleConfig) -> Database {
         "Brave",
     ];
     const GENRES: &[&str] = &[
-        "drama", "comedy", "action", "thriller", "romance", "sci-fi", "documentary", "horror",
+        "drama",
+        "comedy",
+        "action",
+        "thriller",
+        "romance",
+        "sci-fi",
+        "documentary",
+        "horror",
     ];
     const CITIES: &[&str] = &[
         "Athens, Greece",
@@ -405,8 +436,12 @@ pub fn scaled_movie_database(config: ScaleConfig) -> Database {
             FIRST[rng.gen_range(0..FIRST.len())],
             LAST[rng.gen_range(0..LAST.len())]
         );
-        let date = Date::new(1930 + rng.gen_range(0..60) as i32, rng.gen_range(1..=12), rng.gen_range(1..=28))
-            .expect("valid generated date");
+        let date = Date::new(
+            1930 + rng.gen_range(0..60),
+            rng.gen_range(1..=12),
+            rng.gen_range(1..=28),
+        )
+        .expect("valid generated date");
         db.insert(
             "DIRECTOR",
             vec![
@@ -537,7 +572,10 @@ mod tests {
         // The remake pair for Q9.
         let titles = db.table("MOVIES").unwrap().column_values("title");
         assert_eq!(
-            titles.iter().filter(|t| **t == Value::text("The Return")).count(),
+            titles
+                .iter()
+                .filter(|t| **t == Value::text("The Return"))
+                .count(),
             2
         );
     }

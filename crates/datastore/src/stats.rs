@@ -70,7 +70,11 @@ pub fn histogram(table: &Table, column: &str, buckets: usize) -> Option<Histogra
     let min = numeric.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = numeric.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let mut counts = vec![0usize; buckets];
-    let width = if max > min { (max - min) / buckets as f64 } else { 1.0 };
+    let width = if max > min {
+        (max - min) / buckets as f64
+    } else {
+        1.0
+    };
     for x in &numeric {
         let mut idx = ((x - min) / width) as usize;
         if idx >= buckets {
@@ -133,9 +137,7 @@ pub struct ColumnSummary {
 
 /// Summarize a column: counts, distinct values, min and max.
 pub fn summarize_column(table: &Table, column: &str) -> Option<ColumnSummary> {
-    if table.schema().column_index(column).is_none() {
-        return None;
-    }
+    table.schema().column_index(column)?;
     let values = table.column_values(column);
     let nulls = values.iter().filter(|v| v.is_null()).count();
     let non_null: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();

@@ -214,10 +214,18 @@ mod tests {
     #[test]
     fn insert_and_lookup_by_pk() {
         let mut t = movies();
-        t.insert_values(vec![Value::int(1), Value::text("Match Point"), Value::int(2005)])
-            .unwrap();
-        t.insert_values(vec![Value::int(2), Value::text("Anything Else"), Value::int(2003)])
-            .unwrap();
+        t.insert_values(vec![
+            Value::int(1),
+            Value::text("Match Point"),
+            Value::int(2005),
+        ])
+        .unwrap();
+        t.insert_values(vec![
+            Value::int(2),
+            Value::text("Anything Else"),
+            Value::int(2003),
+        ])
+        .unwrap();
         assert_eq!(t.len(), 2);
         let r = t.find_by_pk(&[Value::int(2)]).unwrap();
         assert_eq!(r.get(1), Some(&Value::text("Anything Else")));
@@ -266,8 +274,12 @@ mod tests {
     fn delete_and_update_rebuild_index() {
         let mut t = movies();
         for i in 0..5 {
-            t.insert_values(vec![Value::int(i), Value::text(format!("m{i}")), Value::int(2000 + i)])
-                .unwrap();
+            t.insert_values(vec![
+                Value::int(i),
+                Value::text(format!("m{i}")),
+                Value::int(2000 + i),
+            ])
+            .unwrap();
         }
         let removed = t.delete_where(|r| r.get(0) == Some(&Value::int(2)));
         assert_eq!(removed, 1);

@@ -151,7 +151,11 @@ mod tests {
     }
 
     fn row() -> Row {
-        Row::new(vec![Value::int(1), Value::text("Match Point"), Value::int(2005)])
+        Row::new(vec![
+            Value::int(1),
+            Value::text("Match Point"),
+            Value::int(2005),
+        ])
     }
 
     #[test]

@@ -107,9 +107,12 @@ mod tests {
 
     #[test]
     fn relatives_attach_to_the_subject() {
-        let c = Clause::new("the director D1", "directed M1")
-            .with_relative("who was born in Italy");
-        assert_eq!(c.render(), "the director D1 who was born in Italy directed M1");
+        let c =
+            Clause::new("the director D1", "directed M1").with_relative("who was born in Italy");
+        assert_eq!(
+            c.render(),
+            "the director D1 who was born in Italy directed M1"
+        );
     }
 
     #[test]

@@ -76,7 +76,10 @@ pub fn count_phrase(n: usize) -> String {
         "zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine", "ten",
         "eleven", "twelve",
     ];
-    WORDS.get(n).map(|s| s.to_string()).unwrap_or_else(|| n.to_string())
+    WORDS
+        .get(n)
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| n.to_string())
 }
 
 #[cfg(test)]

@@ -86,7 +86,10 @@ mod tests {
     #[test]
     fn first_mention_uses_the_name() {
         let mut p = PronounPlanner::new();
-        assert_eq!(p.refer_to("Woody Allen", Referent::Masculine), "Woody Allen");
+        assert_eq!(
+            p.refer_to("Woody Allen", Referent::Masculine),
+            "Woody Allen"
+        );
         assert_eq!(p.mentions(), 1);
     }
 

@@ -57,7 +57,10 @@ mod tests {
 
     #[test]
     fn finish_sentence_capitalizes_and_punctuates() {
-        assert_eq!(finish_sentence("the movie  was released"), "The movie was released.");
+        assert_eq!(
+            finish_sentence("the movie  was released"),
+            "The movie was released."
+        );
         assert_eq!(finish_sentence("Already done."), "Already done.");
         assert_eq!(finish_sentence(""), "");
         assert_eq!(finish_sentence("is it a question?"), "Is it a question?");
@@ -94,6 +97,9 @@ mod tests {
 
     #[test]
     fn sql_quoting() {
-        assert_eq!(quote_sql(" a.name = 'Brad Pitt' "), "`a.name = 'Brad Pitt'`");
+        assert_eq!(
+            quote_sql(" a.name = 'Brad Pitt' "),
+            "`a.name = 'Brad Pitt'`"
+        );
     }
 }

@@ -14,9 +14,7 @@
 
 use crate::analysis::{block_shape, BlockShape};
 use crate::query_graph::QueryGraph;
-use sqlparse::ast::{
-    BinaryOperator, Expr, Literal, Quantifier, SelectStatement,
-};
+use sqlparse::ast::{BinaryOperator, Expr, Literal, Quantifier, SelectStatement};
 use sqlparse::rewrite::{detect_division, flatten_in_subqueries};
 
 /// The higher-order idioms of §3.3.5 this implementation recognizes.

@@ -39,7 +39,11 @@ pub fn schema_graph_to_dot(graph: &SchemaGraph, include_attributes: bool) -> Str
             );
         }
         for edge in &graph.projection_edges {
-            let _ = writeln!(out, "  r{} -- a{} [style=dotted];", edge.relation, edge.attribute);
+            let _ = writeln!(
+                out,
+                "  r{} -- a{} [style=dotted];",
+                edge.relation, edge.attribute
+            );
         }
     }
     for edge in &graph.join_edges {
@@ -123,7 +127,11 @@ pub fn query_graph_to_dot(graph: &QueryGraph) -> String {
                 join.left,
                 join.right,
                 escape(&join.predicate),
-                if join.is_foreign_key { "" } else { " style=dashed" }
+                if join.is_foreign_key {
+                    ""
+                } else {
+                    " style=dashed"
+                }
             );
         }
         let _ = writeln!(out, "  }}");

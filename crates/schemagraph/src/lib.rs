@@ -30,8 +30,7 @@ pub use classify::{classify, detect_idiom, Classification, HigherOrderIdiom, Que
 pub use dot::{query_graph_to_dot, schema_graph_to_dot};
 pub use patterns::{collapse_bridges, detect_patterns, is_bridge_relation, StructuralPattern};
 pub use query_graph::{
-    NestingConnector, NestingEdge, QueryBlock, QueryGraph, QueryJoinEdge, RelationClass,
-    SelectAttr,
+    NestingConnector, NestingEdge, QueryBlock, QueryGraph, QueryJoinEdge, RelationClass, SelectAttr,
 };
 pub use schema_graph::{AttributeNode, JoinEdge, ProjectionEdge, RelationNode, SchemaGraph};
 pub use traversal::{bfs_traversal, dfs_traversal, TraversalConfig, TraversalPlan, TraversalStep};

@@ -18,7 +18,11 @@ pub enum StructuralPattern {
     /// most one child in the traversal tree.
     Unary { from: usize, to: usize },
     /// `Ri1, Ri2 > Rj`: two relations joining into a common target.
-    Join { left: usize, right: usize, target: usize },
+    Join {
+        left: usize,
+        right: usize,
+        target: usize,
+    },
     /// `Ri < Rj1, Rj2`: one relation splitting into two (or more) children;
     /// the children are listed in traversal order.
     Split { source: usize, branches: Vec<usize> },
@@ -88,7 +92,11 @@ pub fn detect_patterns(graph: &SchemaGraph, plan: &TraversalPlan) -> Vec<Structu
 /// relations through join edges and none of its non-key attributes carry
 /// information the narrative would want (all of its attributes participate
 /// in its foreign keys). `DIRECTED(mid, did)` is the canonical example.
-pub fn is_bridge_relation(graph: &SchemaGraph, catalog: &datastore::Catalog, relation: usize) -> bool {
+pub fn is_bridge_relation(
+    graph: &SchemaGraph,
+    catalog: &datastore::Catalog,
+    relation: usize,
+) -> bool {
     let node = &graph.relations[relation];
     if graph.join_degree(relation) != 2 {
         return false;

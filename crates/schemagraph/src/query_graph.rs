@@ -56,10 +56,17 @@ pub struct QueryJoinEdge {
 /// How a nested block connects to its parent.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NestingConnector {
-    In { negated: bool },
-    Exists { negated: bool },
+    In {
+        negated: bool,
+    },
+    Exists {
+        negated: bool,
+    },
     /// Quantified comparison, e.g. `<= ALL`.
-    Quantified { op: String, all: bool },
+    Quantified {
+        op: String,
+        all: bool,
+    },
     /// Scalar subquery in an expression (e.g. inside HAVING).
     Scalar,
 }
@@ -193,21 +200,14 @@ impl QueryGraph {
     }
 
     /// Build the query graph for a bound query.
-    pub fn build(
-        catalog: &Catalog,
-        query: &SelectStatement,
-        bound: &BoundQuery,
-    ) -> QueryGraph {
+    pub fn build(catalog: &Catalog, query: &SelectStatement, bound: &BoundQuery) -> QueryGraph {
         let mut graph = QueryGraph::default();
         build_block(catalog, query, bound, &mut graph);
         graph
     }
 
     /// Parse-free convenience: bind and build in one step.
-    pub fn from_query(
-        catalog: &Catalog,
-        query: &SelectStatement,
-    ) -> Result<QueryGraph, BindError> {
+    pub fn from_query(catalog: &Catalog, query: &SelectStatement) -> Result<QueryGraph, BindError> {
         let bound = bind_query(catalog, query)?;
         Ok(QueryGraph::build(catalog, query, &bound))
     }
@@ -279,22 +279,28 @@ fn build_block(
         };
         let left_table = &block.classes[left].relation;
         let right_table = &block.classes[right].relation;
-        let is_fk = catalog
-            .foreign_keys()
-            .iter()
-            .any(|fk| {
-                (fk.table.eq_ignore_ascii_case(left_table)
-                    && fk.ref_table.eq_ignore_ascii_case(right_table)
-                    && fk.columns.iter().any(|c| c.eq_ignore_ascii_case(&join.left_column))
-                    && fk.ref_columns.iter().any(|c| c.eq_ignore_ascii_case(&join.right_column)))
-                    || (fk.table.eq_ignore_ascii_case(right_table)
-                        && fk.ref_table.eq_ignore_ascii_case(left_table)
-                        && fk.columns.iter().any(|c| c.eq_ignore_ascii_case(&join.right_column))
-                        && fk
-                            .ref_columns
-                            .iter()
-                            .any(|c| c.eq_ignore_ascii_case(&join.left_column)))
-            });
+        let is_fk = catalog.foreign_keys().iter().any(|fk| {
+            (fk.table.eq_ignore_ascii_case(left_table)
+                && fk.ref_table.eq_ignore_ascii_case(right_table)
+                && fk
+                    .columns
+                    .iter()
+                    .any(|c| c.eq_ignore_ascii_case(&join.left_column))
+                && fk
+                    .ref_columns
+                    .iter()
+                    .any(|c| c.eq_ignore_ascii_case(&join.right_column)))
+                || (fk.table.eq_ignore_ascii_case(right_table)
+                    && fk.ref_table.eq_ignore_ascii_case(left_table)
+                    && fk
+                        .columns
+                        .iter()
+                        .any(|c| c.eq_ignore_ascii_case(&join.right_column))
+                    && fk
+                        .ref_columns
+                        .iter()
+                        .any(|c| c.eq_ignore_ascii_case(&join.left_column)))
+        });
         block.joins.push(QueryJoinEdge {
             left,
             right,
@@ -461,11 +467,7 @@ mod tests {
         assert_eq!(b.joins.len(), 4);
         // `a1.id > a2.id` is not an equi-join, so it becomes a constraint
         // attached to a class, not a join edge.
-        let constrained: usize = b
-            .classes
-            .iter()
-            .map(|c| c.where_constraints.len())
-            .sum();
+        let constrained: usize = b.classes.iter().map(|c| c.where_constraints.len()).sum();
         assert_eq!(constrained, 1);
     }
 

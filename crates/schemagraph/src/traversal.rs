@@ -89,8 +89,7 @@ pub fn dfs_traversal(
         return plan;
     }
     let mut visited = vec![false; graph.relations.len()];
-    let mut stack: Vec<(usize, Option<usize>, Option<usize>, usize)> =
-        vec![(start, None, None, 0)];
+    let mut stack: Vec<(usize, Option<usize>, Option<usize>, usize)> = vec![(start, None, None, 0)];
     while let Some((relation, reached_from, via_edge, depth)) = stack.pop() {
         if visited[relation] || plan.steps.len() >= config.max_relations {
             continue;

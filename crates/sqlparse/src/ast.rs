@@ -17,6 +17,9 @@ pub enum Statement {
     Update(UpdateStatement),
     Delete(DeleteStatement),
     CreateView(CreateViewStatement),
+    /// `EXPLAIN [ANALYZE] <select>` — ask the system to describe (and with
+    /// ANALYZE, run and instrument) the query's plan instead of answering it.
+    Explain(ExplainStatement),
 }
 
 impl Statement {
@@ -27,6 +30,24 @@ impl Statement {
             _ => None,
         }
     }
+
+    /// The EXPLAIN body if this statement is an EXPLAIN.
+    pub fn as_explain(&self) -> Option<&ExplainStatement> {
+        match self {
+            Statement::Explain(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// An `EXPLAIN [ANALYZE]` request wrapping a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainStatement {
+    /// True for `EXPLAIN ANALYZE`: execute the query and report actual
+    /// per-operator row counts alongside the plan.
+    pub analyze: bool,
+    /// The query being explained.
+    pub query: SelectStatement,
 }
 
 /// A query (also used for subqueries and view bodies).
@@ -626,8 +647,14 @@ mod tests {
     #[test]
     fn conjuncts_split_on_and_only() {
         let e = Expr::and_all(vec![
-            Expr::col_eq(ColumnRef::qualified("m", "id"), ColumnRef::qualified("c", "mid")),
-            Expr::col_eq(ColumnRef::qualified("c", "aid"), ColumnRef::qualified("a", "id")),
+            Expr::col_eq(
+                ColumnRef::qualified("m", "id"),
+                ColumnRef::qualified("c", "mid"),
+            ),
+            Expr::col_eq(
+                ColumnRef::qualified("c", "aid"),
+                ColumnRef::qualified("a", "id"),
+            ),
             Expr::BinaryOp {
                 left: Box::new(col("a", "name")),
                 op: BinaryOperator::Eq,

@@ -59,7 +59,11 @@ impl BoundQuery {
 
     /// Total number of query blocks (this one plus nested ones).
     pub fn block_count(&self) -> usize {
-        1 + self.subqueries.iter().map(BoundQuery::block_count).sum::<usize>()
+        1 + self
+            .subqueries
+            .iter()
+            .map(BoundQuery::block_count)
+            .sum::<usize>()
     }
 }
 
@@ -127,7 +131,9 @@ fn bind_with_outer(
         sub_asts.extend(h.subqueries());
     }
     for sub in sub_asts {
-        bound.subqueries.push(bind_with_outer(catalog, sub, &scopes)?);
+        bound
+            .subqueries
+            .push(bind_with_outer(catalog, sub, &scopes)?);
     }
     Ok(bound)
 }
@@ -148,9 +154,7 @@ fn resolve_column(
                 .find(|t| t.alias.eq_ignore_ascii_case(q))
             {
                 check_column_exists(catalog, &local.table, col)?;
-                bound
-                    .resolutions
-                    .insert(ref_key(col), local.alias.clone());
+                bound.resolutions.insert(ref_key(col), local.alias.clone());
                 return Ok(());
             }
             for scope in outer.iter().rev() {
@@ -208,10 +212,7 @@ fn resolve_column(
                         if outer_matches.len() > 1 {
                             return Err(BindError::AmbiguousColumn {
                                 column: col.column.clone(),
-                                candidates: outer_matches
-                                    .iter()
-                                    .map(|t| t.table.clone())
-                                    .collect(),
+                                candidates: outer_matches.iter().map(|t| t.table.clone()).collect(),
                             });
                         }
                     }
@@ -228,14 +229,12 @@ fn resolve_column(
     }
 }
 
-fn check_column_exists(
-    catalog: &Catalog,
-    table: &str,
-    col: &ColumnRef,
-) -> Result<(), BindError> {
-    let schema = catalog.table(table).ok_or_else(|| BindError::UnknownTable {
-        table: table.to_string(),
-    })?;
+fn check_column_exists(catalog: &Catalog, table: &str, col: &ColumnRef) -> Result<(), BindError> {
+    let schema = catalog
+        .table(table)
+        .ok_or_else(|| BindError::UnknownTable {
+            table: table.to_string(),
+        })?;
     if schema.has_column(&col.column) {
         Ok(())
     } else {

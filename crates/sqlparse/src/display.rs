@@ -17,7 +17,19 @@ impl fmt::Display for Statement {
             Statement::Update(s) => write!(f, "{s}"),
             Statement::Delete(s) => write!(f, "{s}"),
             Statement::CreateView(s) => write!(f, "{s}"),
+            Statement::Explain(s) => write!(f, "{s}"),
         }
+    }
+}
+
+impl fmt::Display for ExplainStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EXPLAIN {}{}",
+            if self.analyze { "ANALYZE " } else { "" },
+            self.query
+        )
     }
 }
 
@@ -190,7 +202,11 @@ impl fmt::Display for Expr {
                 if *negated { "NOT " } else { "" }
             ),
             Expr::Exists { subquery, negated } => {
-                write!(f, "{}EXISTS ({subquery})", if *negated { "NOT " } else { "" })
+                write!(
+                    f,
+                    "{}EXISTS ({subquery})",
+                    if *negated { "NOT " } else { "" }
+                )
             }
             Expr::Between {
                 expr,
@@ -301,8 +317,8 @@ mod tests {
     fn round_trip(sql: &str) {
         let once = parse_query(sql).unwrap();
         let printed = once.to_string();
-        let twice = parse_query(&printed)
-            .unwrap_or_else(|e| panic!("re-parse of '{printed}' failed: {e}"));
+        let twice =
+            parse_query(&printed).unwrap_or_else(|e| panic!("re-parse of '{printed}' failed: {e}"));
         assert_eq!(once, twice, "round trip changed the AST for {sql}");
     }
 

@@ -40,7 +40,10 @@ pub enum BindError {
     /// A column does not exist on the relation it was resolved to.
     UnknownColumn { qualifier: String, column: String },
     /// An unqualified column name matches attributes of several relations.
-    AmbiguousColumn { column: String, candidates: Vec<String> },
+    AmbiguousColumn {
+        column: String,
+        candidates: Vec<String>,
+    },
     /// An unqualified column name matches no relation in scope.
     UnresolvedColumn { column: String },
     /// A feature the binder does not support yet.
@@ -66,7 +69,10 @@ impl fmt::Display for BindError {
                 candidates.join(", ")
             ),
             BindError::UnresolvedColumn { column } => {
-                write!(f, "column '{column}' does not belong to any relation in scope")
+                write!(
+                    f,
+                    "column '{column}' does not belong to any relation in scope"
+                )
             }
             BindError::Unsupported { what } => write!(f, "unsupported SQL feature: {what}"),
         }

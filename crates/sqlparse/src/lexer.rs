@@ -46,6 +46,8 @@ pub enum Keyword {
     Create,
     View,
     Union,
+    Explain,
+    Analyze,
     Count,
     Sum,
     Avg,
@@ -55,6 +57,9 @@ pub enum Keyword {
 
 impl Keyword {
     /// Recognize a keyword from an identifier, case-insensitively.
+    // Not the std `FromStr` trait: that returns `Result`, and every caller
+    // here wants an `Option` without an error type.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(word: &str) -> Option<Keyword> {
         let upper = word.to_ascii_uppercase();
         Some(match upper.as_str() {
@@ -93,6 +98,8 @@ impl Keyword {
             "CREATE" => Keyword::Create,
             "VIEW" => Keyword::View,
             "UNION" => Keyword::Union,
+            "EXPLAIN" => Keyword::Explain,
+            "ANALYZE" => Keyword::Analyze,
             "COUNT" => Keyword::Count,
             "SUM" => Keyword::Sum,
             "AVG" => Keyword::Avg,
@@ -170,9 +177,7 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
                 i += 1;
                 loop {
                     match bytes.get(i) {
-                        None => {
-                            return Err(ParseError::new("unterminated string literal", start))
-                        }
+                        None => return Err(ParseError::new("unterminated string literal", start)),
                         Some('\'') => {
                             if bytes.get(i + 1) == Some(&'\'') {
                                 s.push('\'');
@@ -411,10 +416,7 @@ mod tests {
     #[test]
     fn both_not_equal_spellings() {
         let toks = tokenize("a != b <> c").unwrap();
-        assert_eq!(
-            toks.iter().filter(|t| t.token == Token::NotEq).count(),
-            2
-        );
+        assert_eq!(toks.iter().filter(|t| t.token == Token::NotEq).count(), 2);
     }
 
     #[test]

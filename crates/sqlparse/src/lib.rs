@@ -23,8 +23,8 @@ pub mod parser;
 pub mod rewrite;
 
 pub use ast::{
-    AggregateFunction, BinaryOperator, ColumnRef, Expr, Literal, OrderByItem, Quantifier,
-    SelectItem, SelectStatement, Statement, TableRef, UnaryOperator,
+    AggregateFunction, BinaryOperator, ColumnRef, ExplainStatement, Expr, Literal, OrderByItem,
+    Quantifier, SelectItem, SelectStatement, Statement, TableRef, UnaryOperator,
 };
 pub use bind::{bind_query, join_edges, BoundQuery, BoundTable, JoinEdge};
 pub use error::{BindError, ParseError};

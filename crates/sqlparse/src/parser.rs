@@ -126,13 +126,20 @@ impl Parser {
 
     fn parse_statement(&mut self) -> Result<Statement, ParseError> {
         match self.peek() {
-            Some(Token::Keyword(Keyword::Select, _)) => {
-                Ok(Statement::Select(self.parse_select()?))
-            }
+            Some(Token::Keyword(Keyword::Select, _)) => Ok(Statement::Select(self.parse_select()?)),
             Some(Token::Keyword(Keyword::Insert, _)) => self.parse_insert(),
             Some(Token::Keyword(Keyword::Update, _)) => self.parse_update(),
             Some(Token::Keyword(Keyword::Delete, _)) => self.parse_delete(),
             Some(Token::Keyword(Keyword::Create, _)) => self.parse_create_view(),
+            Some(Token::Keyword(Keyword::Explain, _)) => {
+                self.expect_keyword(Keyword::Explain)?;
+                let analyze = self.eat_keyword(Keyword::Analyze);
+                if !matches!(self.peek(), Some(Token::Keyword(Keyword::Select, _))) {
+                    return Err(self.error("EXPLAIN expects a SELECT statement"));
+                }
+                let query = self.parse_select()?;
+                Ok(Statement::Explain(ExplainStatement { analyze, query }))
+            }
             other => Err(self.error(format!("expected a statement, found {other:?}"))),
         }
     }
@@ -694,6 +701,41 @@ mod tests {
         assert_eq!(q.where_conjuncts().len(), 3);
         assert!(!q.is_aggregate());
         assert!(!q.has_subquery());
+    }
+
+    #[test]
+    fn parses_explain_and_explain_analyze() {
+        let stmt = parse_statement(&format!("explain {Q1}")).unwrap();
+        let e = stmt.as_explain().expect("an EXPLAIN statement");
+        assert!(!e.analyze);
+        assert_eq!(e.query.from.len(), 3);
+
+        let stmt = parse_statement(&format!("EXPLAIN ANALYZE {Q1}")).unwrap();
+        let e = stmt.as_explain().expect("an EXPLAIN ANALYZE statement");
+        assert!(e.analyze);
+        assert_eq!(e.query.tuple_variables(), vec!["m", "c", "a"]);
+
+        // Round trip through display.
+        let rendered = stmt.to_string();
+        assert!(rendered.starts_with("EXPLAIN ANALYZE SELECT"));
+        let again = parse_statement(&rendered).unwrap();
+        assert_eq!(stmt, again);
+    }
+
+    #[test]
+    fn explain_requires_a_select() {
+        let err = parse_statement("explain delete from MOVIES").unwrap_err();
+        assert!(err.message.contains("EXPLAIN expects a SELECT"));
+        // EXPLAIN is not a valid query for parse_query.
+        assert!(parse_query("explain select 1 from MOVIES m").is_err());
+    }
+
+    #[test]
+    fn explain_as_identifier_still_works_in_name_position() {
+        // EXPLAIN became a keyword; make sure a column named "analyze" in a
+        // projection alias position does not break.
+        let q = parse_query("select m.title as analyze from MOVIES m").unwrap();
+        assert_eq!(q.projection.len(), 1);
     }
 
     #[test]

@@ -23,14 +23,9 @@ pub fn flatten_in_subqueries(query: &SelectStatement) -> Option<SelectStatement>
     let mut current = query.clone();
     let mut changed = false;
     // Repeat until fixpoint so chains like Q5 (three levels) fully flatten.
-    loop {
-        match flatten_once(&current) {
-            Some(next) => {
-                current = next;
-                changed = true;
-            }
-            None => break,
-        }
+    while let Some(next) = flatten_once(&current) {
+        current = next;
+        changed = true;
     }
     if changed {
         Some(current)
@@ -308,10 +303,9 @@ mod tests {
 
     #[test]
     fn alias_collisions_block_flattening() {
-        let q = parse_query(
-            "select m.title from MOVIES m where m.id in (select m.mid from CAST m)",
-        )
-        .unwrap();
+        let q =
+            parse_query("select m.title from MOVIES m where m.id in (select m.mid from CAST m)")
+                .unwrap();
         assert!(flatten_in_subqueries(&q).is_none());
     }
 
@@ -353,13 +347,19 @@ mod tests {
 
     #[test]
     fn normalization_identifies_commutative_variants() {
-        let a = parse_query("select m.title from MOVIES m, CAST c where m.id = c.mid and m.year > 2000")
-            .unwrap();
-        let b = parse_query("select m.title from CAST c, MOVIES m where 2000 < m.year and c.mid = m.id")
-            .unwrap();
+        let a = parse_query(
+            "select m.title from MOVIES m, CAST c where m.id = c.mid and m.year > 2000",
+        )
+        .unwrap();
+        let b = parse_query(
+            "select m.title from CAST c, MOVIES m where 2000 < m.year and c.mid = m.id",
+        )
+        .unwrap();
         assert!(equivalent_modulo_commutativity(&a, &b));
-        let c = parse_query("select m.title from MOVIES m, CAST c where m.id = c.mid and m.year > 2001")
-            .unwrap();
+        let c = parse_query(
+            "select m.title from MOVIES m, CAST c where m.id = c.mid and m.year > 2001",
+        )
+        .unwrap();
         assert!(!equivalent_modulo_commutativity(&a, &c));
     }
 }

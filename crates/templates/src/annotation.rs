@@ -108,12 +108,7 @@ impl AnnotationRegistry {
     /// The label introducing a tuple of a relation ("The director's name is
     /// Woody Allen" style), synthesized from the concept and heading when no
     /// designer label exists.
-    pub fn relation_label(
-        &self,
-        catalog: &Catalog,
-        lexicon: &Lexicon,
-        relation: &str,
-    ) -> Template {
+    pub fn relation_label(&self, catalog: &Catalog, lexicon: &Lexicon, relation: &str) -> Template {
         if let Some(t) = self.label(&AnnotationTarget::Relation(relation.to_string())) {
             return t.clone();
         }

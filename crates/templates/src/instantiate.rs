@@ -142,9 +142,7 @@ pub fn instantiate_loop(
             .last
             .iter()
             .enumerate()
-            .filter(|(i, s)| {
-                !(*i == 0 && matches!(s, Segment::Literal(l) if l.trim() == "and"))
-            })
+            .filter(|(i, s)| !(*i == 0 && matches!(s, Segment::Literal(l) if l.trim() == "and")))
             .map(|(_, s)| s.clone())
             .collect();
         out.push_str(&render_segments(&trimmed, last)?);

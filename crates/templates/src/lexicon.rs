@@ -104,7 +104,12 @@ impl Lexicon {
             .set_attribute_phrase("DEPT", "dname", "is named");
         lex.add_verb("ACTOR", "MOVIES", "plays in", "play in")
             .add_verb("DIRECTOR", "MOVIES", "directed", "directed")
-            .add_verb("MOVIES", "GENRE", "belongs to the genre", "belong to the genre")
+            .add_verb(
+                "MOVIES",
+                "GENRE",
+                "belongs to the genre",
+                "belong to the genre",
+            )
             .add_verb("MOVIES", "ACTOR", "features", "feature")
             .add_verb("MOVIES", "DIRECTOR", "is directed by", "are directed by")
             .add_verb("EMP", "DEPT", "works in", "work in");
@@ -201,7 +206,10 @@ impl Lexicon {
 
     /// Gender hint for a relation (neuter when unknown).
     pub fn gender(&self, relation: &str) -> Gender {
-        self.genders.get(&key(relation)).copied().unwrap_or_default()
+        self.genders
+            .get(&key(relation))
+            .copied()
+            .unwrap_or_default()
     }
 }
 

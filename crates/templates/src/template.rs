@@ -138,7 +138,10 @@ mod tests {
             Segment::lit(" in "),
             Segment::attr("BLOCATION"),
         ]);
-        assert_eq!(t.to_string(), "DNAME + \" was born\" + \" in \" + BLOCATION");
+        assert_eq!(
+            t.to_string(),
+            "DNAME + \" was born\" + \" in \" + BLOCATION"
+        );
     }
 
     #[test]

@@ -39,8 +39,8 @@ fn main() -> Result<(), talkback::TalkbackError> {
         println!("query says : {}", translation.best);
         println!("result     : {} row(s)", explanation.rows);
         println!("explanation: {}", explanation.narrative);
-        for (predicate, survivors) in &explanation.predicate_notes {
-            println!("  - without `{predicate}`: {survivors} row(s)");
+        for (predicate, reached) in &explanation.predicate_notes {
+            println!("  - `{predicate}` eliminated all {reached} row(s) that reached it");
         }
         println!();
     }

@@ -1,0 +1,49 @@
+//! The DBMS talks back about *what it did*: `EXPLAIN [ANALYZE]` rendered as
+//! a plan tree and as a natural-language narration whose row counts come
+//! from the executor's per-operator instrumentation.
+//!
+//! Run with `cargo run --bin plan_narrator`.
+
+use datastore::sample::movie_database;
+use talkback::Talkback;
+
+fn main() -> Result<(), talkback::TalkbackError> {
+    let system = Talkback::new(movie_database());
+
+    let cases = [
+        (
+            "plain EXPLAIN (nothing executed)",
+            "explain select m.title from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
+        ),
+        (
+            "EXPLAIN ANALYZE of a 3-way join",
+            "explain analyze select m.title from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
+        ),
+        (
+            "EXPLAIN ANALYZE with aggregation and ordering",
+            "explain analyze select m.year, count(*) from MOVIES m \
+             where m.year > 2000 group by m.year order by m.year desc limit 3",
+        ),
+        (
+            "EXPLAIN ANALYZE of an empty result",
+            "explain analyze select m.title from MOVIES m, GENRE g \
+             where m.id = g.mid and g.genre = 'western'",
+        ),
+    ];
+
+    for (name, sql) in cases {
+        let e = system.explain_plan(sql)?;
+        println!("==== {name} ====");
+        println!("SQL      : {sql}");
+        println!("plan     :\n{}", e.tree);
+        println!("narration: {}", e.narration);
+        if let Some(rows) = e.result_rows {
+            println!("rows     : {rows}");
+        }
+        println!();
+    }
+
+    Ok(())
+}

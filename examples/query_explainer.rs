@@ -105,7 +105,10 @@ fn main() -> Result<(), talkback::TalkbackError> {
     println!("SQL         : {sql}");
     println!("paper target: Find the names of employees who make more than their managers");
     println!("this system : {}", t.best);
-    println!("answer      :\n{}", employees.run_query(sql)?.to_text_table());
+    println!(
+        "answer      :\n{}",
+        employees.run_query(sql)?.to_text_table()
+    );
 
     Ok(())
 }

@@ -89,10 +89,13 @@ fn e_content_4_woody_allen_compact_and_procedural_variants() {
         .unwrap();
 
     // Compact variant: the paper's first text.
-    assert!(compact.starts_with(
-        "Woody Allen was born in Brooklyn, New York, USA on December 1, 1935."
+    assert!(
+        compact.starts_with("Woody Allen was born in Brooklyn, New York, USA on December 1, 1935.")
+    );
+    assert!(mentions(
+        &compact,
+        "As a director, Woody Allen's work includes"
     ));
-    assert!(mentions(&compact, "As a director, Woody Allen's work includes"));
     assert!(mentions(&compact, "Match Point (2005)"));
     assert!(mentions(&compact, "Melinda and Melinda (2004)"));
     assert!(mentions(&compact, "and Anything Else (2003)"));

@@ -1,0 +1,268 @@
+//! Operator-level executor tests and EXPLAIN golden-output tests, across the
+//! whole stack (sqlparse → planner → streaming executor → narration).
+
+use datastore::exec::{describe_plan, execute, execute_with_stats};
+use datastore::sample::{movie_database, scaled_movie_database, ScaleConfig};
+use datastore::Row;
+use talkback::{plan_query, Talkback};
+use talkback_tests::mentions;
+
+/// Sort rows for order-insensitive result comparison.
+fn normalized(mut rows: Vec<Row>, arity: usize) -> Vec<Row> {
+    let keys: Vec<usize> = (0..arity).collect();
+    rows.sort_by_key(|r| r.group_key(&keys));
+    rows
+}
+
+/// Rebuild the seed planner's strategy for an SPJ query: cross product of
+/// the FROM relations in order, one big WHERE filter on top, then the
+/// projection — the reference the hash-join planner must agree with.
+fn seed_style_plan(
+    db: &datastore::Database,
+    query: &sqlparse::SelectStatement,
+) -> datastore::exec::Plan {
+    use datastore::exec::{ColumnInfo, Plan};
+    use sqlparse::ast::SelectItem;
+    use talkback::planner::lower_expr;
+
+    let bound = sqlparse::bind_query(db.catalog(), query).unwrap();
+    let mut plan = Plan::Scan {
+        table: bound.tables[0].table.clone(),
+        alias: bound.tables[0].alias.clone(),
+    };
+    let mut columns: Vec<ColumnInfo> = Vec::new();
+    for table in &bound.tables {
+        let schema = db.table(&table.table).unwrap().schema();
+        for c in &schema.columns {
+            columns.push(ColumnInfo::qualified(table.alias.clone(), c.name.clone()));
+        }
+    }
+    for table in &bound.tables[1..] {
+        plan = Plan::NestedLoopJoin {
+            left: Box::new(plan),
+            right: Box::new(Plan::Scan {
+                table: table.table.clone(),
+                alias: table.alias.clone(),
+            }),
+            predicate: None,
+        };
+    }
+    if let Some(selection) = &query.selection {
+        plan = plan.filter(lower_expr(selection, &columns, &bound).unwrap());
+    }
+    let mut exprs = Vec::new();
+    let mut out_columns = Vec::new();
+    for item in &query.projection {
+        match item {
+            SelectItem::Expr {
+                expr: sqlparse::Expr::Column(c),
+                ..
+            } => {
+                let qualifier = c
+                    .qualifier
+                    .clone()
+                    .or_else(|| bound.qualifier_of(c).map(str::to_string));
+                let pos = columns
+                    .iter()
+                    .position(|col| col.matches(qualifier.as_deref(), &c.column))
+                    .unwrap();
+                exprs.push(datastore::expr::Expr::Column(pos));
+                out_columns.push(columns[pos].clone());
+            }
+            other => panic!("seed_style_plan only supports column projections, got {other:?}"),
+        }
+    }
+    plan.project(exprs, out_columns)
+}
+
+#[test]
+fn hash_join_plans_match_cross_product_semantics_on_the_sample_database() {
+    // For each query: the planner's (hash-join, pushdown) plan must produce
+    // exactly the rows of the seed's cross-product-then-filter strategy.
+    let queries = [
+        "select m.title from MOVIES m, CAST c, ACTOR a \
+         where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
+        "select m.title from MOVIES m, CAST c where m.id = c.mid and c.role = m.title",
+        "select a1.name, a2.name from MOVIES m, CAST c1, ACTOR a1, CAST c2, ACTOR a2 \
+         where m.id = c1.mid and c1.aid = a1.id and m.id = c2.mid and c2.aid = a2.id \
+           and a1.id > a2.id",
+        "select e1.name from EMP e1, EMP e2, DEPT d \
+         where e1.did = d.did and d.mgr = e2.eid and e1.sal > e2.sal",
+    ];
+    for sql in queries {
+        let db = if sql.contains("EMP") {
+            datastore::sample::employee_database()
+        } else {
+            movie_database()
+        };
+        let query = sqlparse::parse_query(sql).unwrap();
+        let planned = plan_query(&db, &query).unwrap();
+        let fast = execute(&db, &planned.plan).unwrap();
+        let reference = execute(&db, &seed_style_plan(&db, &query)).unwrap();
+        assert_eq!(fast.columns, reference.columns, "column layout for {sql}");
+        let arity = fast.columns.len();
+        assert_eq!(
+            normalized(fast.rows, arity),
+            normalized(reference.rows, arity),
+            "row set for {sql}"
+        );
+    }
+}
+
+#[test]
+fn hash_join_equals_nested_loop_reference_row_for_row() {
+    use datastore::exec::Plan;
+    use datastore::expr::Expr;
+    let db = movie_database();
+    let scan = |t: &str, a: &str| Plan::Scan {
+        table: t.into(),
+        alias: a.into(),
+    };
+    // MOVIES ⋈ CAST ⋈ ACTOR, hash vs nested-loop with identical semantics.
+    let hash = Plan::HashJoin {
+        left: Box::new(Plan::HashJoin {
+            left: Box::new(scan("MOVIES", "m")),
+            right: Box::new(scan("CAST", "c")),
+            left_keys: vec![0],
+            right_keys: vec![0],
+        }),
+        right: Box::new(scan("ACTOR", "a")),
+        left_keys: vec![4],
+        right_keys: vec![0],
+    };
+    let nested = Plan::NestedLoopJoin {
+        left: Box::new(Plan::NestedLoopJoin {
+            left: Box::new(scan("MOVIES", "m")),
+            right: Box::new(scan("CAST", "c")),
+            predicate: Some(Expr::col_eq(0, 3)),
+        }),
+        right: Box::new(scan("ACTOR", "a")),
+        predicate: Some(Expr::col_eq(4, 6)),
+    };
+    let a = execute(&db, &hash).unwrap();
+    let b = execute(&db, &nested).unwrap();
+    assert_eq!(a.columns, b.columns);
+    let arity = a.columns.len();
+    assert_eq!(normalized(a.rows, arity), normalized(b.rows, arity));
+}
+
+#[test]
+fn aggregates_over_empty_input_return_sql_scalar_semantics() {
+    let system = Talkback::new(movie_database());
+    // COUNT over an empty selection is 0, not an empty result.
+    let rs = system
+        .run_query("select count(*) from MOVIES m where m.year > 3000")
+        .unwrap();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.rows[0].get(0).unwrap().to_string(), "0");
+    // MIN/MAX over empty input is NULL.
+    let rs = system
+        .run_query("select min(m.year), max(m.year) from MOVIES m where m.year > 3000")
+        .unwrap();
+    assert_eq!(rs.len(), 1);
+    assert!(rs.rows[0].get(0).unwrap().is_null());
+    assert!(rs.rows[0].get(1).unwrap().is_null());
+    // But GROUP BY over empty input has no groups.
+    let rs = system
+        .run_query("select m.year, count(*) from MOVIES m where m.year > 3000 group by m.year")
+        .unwrap();
+    assert_eq!(rs.len(), 0);
+}
+
+#[test]
+fn explain_golden_plan_tree_is_stable() {
+    let system = Talkback::new(movie_database());
+    let e = system
+        .explain_plan(
+            "explain select m.title from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
+        )
+        .unwrap();
+    assert_eq!(
+        e.tree,
+        "project: m.title\n\
+         └─ hash join: c.aid = a.id\n\
+         \u{20}\u{20}\u{20}├─ hash join: m.id = c.mid\n\
+         \u{20}\u{20}\u{20}│  ├─ scan: MOVIES as m\n\
+         \u{20}\u{20}\u{20}│  └─ scan: CAST as c\n\
+         \u{20}\u{20}\u{20}└─ filter: a.name = 'Brad Pitt'\n\
+         \u{20}\u{20}\u{20}\u{20}\u{20}\u{20}└─ scan: ACTOR as a\n"
+    );
+}
+
+#[test]
+fn explain_does_not_execute_the_query() {
+    // Use a deliberately expensive query on a scaled database: plain
+    // EXPLAIN must return with every instrumentation counter at zero.
+    let system = Talkback::new(scaled_movie_database(ScaleConfig {
+        movies: 500,
+        ..ScaleConfig::default()
+    }));
+    let e = system
+        .explain_plan(
+            "explain select m.title from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id",
+        )
+        .unwrap();
+    assert!(!e.analyzed);
+    assert_eq!(e.result_rows, None);
+    e.profile.walk(&mut |p| {
+        assert_eq!(p.metrics.rows_in, 0, "EXPLAIN read rows in {}", p.operator);
+        assert_eq!(p.metrics.rows_out, 0);
+        assert_eq!(p.metrics.batches, 0);
+    });
+}
+
+#[test]
+fn explain_analyze_narration_row_counts_match_actual_execution() {
+    let system = Talkback::new(movie_database());
+    let sql = "select m.title from MOVIES m, CAST c, ACTOR a \
+               where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'";
+    let e = system
+        .explain_plan(&format!("explain analyze {sql}"))
+        .unwrap();
+    let direct = system.run_query(sql).unwrap();
+    assert_eq!(e.result_rows, Some(direct.len()));
+    assert_eq!(e.profile.metrics.rows_out as usize, direct.len());
+    // The narration reports the final cardinality in words.
+    assert!(mentions(&e.narration, "two rows"));
+    assert!(mentions(&e.narration, "scanned"));
+    // And the ANALYZE tree carries the per-operator counters.
+    assert!(e.tree.contains("[rows=2"));
+}
+
+#[test]
+fn instrumented_execution_matches_plain_execution() {
+    let db = movie_database();
+    let query = sqlparse::parse_query(
+        "select m.year, count(*) from MOVIES m group by m.year order by m.year desc limit 3",
+    )
+    .unwrap();
+    let planned = plan_query(&db, &query).unwrap();
+    let plain = execute(&db, &planned.plan).unwrap();
+    let (instrumented, profile) = execute_with_stats(&db, &planned.plan).unwrap();
+    assert_eq!(plain, instrumented);
+    assert_eq!(profile.metrics.rows_out as usize, plain.len());
+    // The described plan (no execution) has the same shape as the profile.
+    let described = describe_plan(&db, &planned.plan).unwrap();
+    assert_eq!(described.operator_count(), profile.operator_count());
+}
+
+#[test]
+fn empty_result_detective_reads_counters_from_one_run() {
+    let system = Talkback::new(movie_database());
+    let explanation = system
+        .explain_result(
+            "select m.title from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id and a.name = 'Nobody Nowhere'",
+        )
+        .unwrap();
+    assert_eq!(explanation.rows, 0);
+    assert!(mentions(&explanation.narrative, "no results"));
+    assert!(mentions(&explanation.narrative, "Nobody Nowhere"));
+    assert!(mentions(&explanation.narrative, "eliminated"));
+    // The blamed predicate reports how many rows reached it (all actors).
+    let (pred, reached) = &explanation.predicate_notes[0];
+    assert!(pred.contains("Nobody Nowhere"));
+    assert_eq!(*reached, 6);
+}

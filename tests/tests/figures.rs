@@ -2,7 +2,9 @@
 //! their shape (experiments F1, F2, F3–F7 in EXPERIMENTS.md).
 
 use datastore::sample::movie_database;
-use schemagraph::{query_graph_to_dot, schema_graph_to_dot, NestingConnector, QueryGraph, SchemaGraph};
+use schemagraph::{
+    query_graph_to_dot, schema_graph_to_dot, NestingConnector, QueryGraph, SchemaGraph,
+};
 use sqlparse::parse_query;
 
 #[test]
@@ -21,7 +23,10 @@ fn fig1_schema_graph_has_six_relations_and_five_join_edges() {
     ] {
         let f = graph.relation_index(from).unwrap();
         let t = graph.relation_index(to).unwrap();
-        assert!(graph.join_between(f, t).is_some(), "missing edge {from}-{to}");
+        assert!(
+            graph.join_between(f, t).is_some(),
+            "missing edge {from}-{to}"
+        );
     }
     let dot = schema_graph_to_dot(&graph, false);
     assert!(dot.contains("MOVIES") && dot.contains("GENRE"));
@@ -85,10 +90,9 @@ fn figs_3_to_7_query_graphs_have_the_published_shapes() {
     assert!(g3.root().has_multiple_instances());
 
     // Fig 6 (Q4): two classes connected by both a FK join and a non-FK join.
-    let q4 = parse_query(
-        "select m.title from MOVIES m, CAST c where m.id = c.mid and c.role = m.title",
-    )
-    .unwrap();
+    let q4 =
+        parse_query("select m.title from MOVIES m, CAST c where m.id = c.mid and c.role = m.title")
+            .unwrap();
     let g4 = QueryGraph::from_query(db.catalog(), &q4).unwrap();
     assert_eq!(g4.root().classes.len(), 2);
     assert_eq!(g4.root().joins.len(), 2);

@@ -56,9 +56,8 @@ fn q3_multi_instance_graph_query() {
 
 #[test]
 fn q4_cyclic_graph_query() {
-    let t = translate(
-        "select m.title from MOVIES m, CAST c where m.id = c.mid and c.role = m.title",
-    );
+    let t =
+        translate("select m.title from MOVIES m, CAST c where m.id = c.mid and c.role = m.title");
     assert!(matches!(
         t.classification.category,
         QueryCategory::Graph { cyclic: true, .. }
@@ -149,7 +148,11 @@ fn emp_dept_example_from_section_3_1() {
     // The answer itself matches the intended semantics: employees who make
     // more than their department's manager.
     let rows = system.run_query(sql).unwrap();
-    let names: Vec<String> = rows.rows.iter().map(|r| r.get(0).unwrap().to_string()).collect();
+    let names: Vec<String> = rows
+        .rows
+        .iter()
+        .map(|r| r.get(0).unwrap().to_string())
+        .collect();
     assert_eq!(names, vec!["Carol", "Erin"]);
 }
 
