@@ -33,26 +33,19 @@ fn scaled_db() -> Database {
 }
 
 fn scan(table: &str, alias: &str) -> Plan {
-    Plan::Scan {
-        table: table.into(),
-        alias: alias.into(),
-    }
+    Plan::scan(table, alias)
 }
 
 /// The 3-way join as nested loops with per-pair join predicates.
 /// Joined row layout: m.id=0 m.title=1 m.year=2 c.mid=3 c.aid=4 c.role=5
 /// a.id=6 a.name=7 a.nationality=8.
 fn nested_loop_plan() -> Plan {
-    let mc = Plan::NestedLoopJoin {
-        left: Box::new(scan("MOVIES", "m")),
-        right: Box::new(scan("CAST", "c")),
-        predicate: Some(Expr::col_eq(0, 3)),
-    };
-    let mca = Plan::NestedLoopJoin {
-        left: Box::new(mc),
-        right: Box::new(scan("ACTOR", "a")),
-        predicate: Some(Expr::col_eq(4, 6)),
-    };
+    let mc = Plan::nested_loop_join(
+        scan("MOVIES", "m"),
+        scan("CAST", "c"),
+        Some(Expr::col_eq(0, 3)),
+    );
+    let mca = Plan::nested_loop_join(mc, scan("ACTOR", "a"), Some(Expr::col_eq(4, 6)));
     mca.filter(Expr::col_cmp_value(
         7,
         CmpOp::Eq,
@@ -67,27 +60,17 @@ fn nested_loop_plan() -> Plan {
 /// The seed planner's strategy on a 2-way join: cross product, then one big
 /// filter on top.
 fn cross_product_filter_2way() -> Plan {
-    Plan::NestedLoopJoin {
-        left: Box::new(scan("MOVIES", "m")),
-        right: Box::new(scan("CAST", "c")),
-        predicate: None,
-    }
-    .filter(Expr::col_eq(0, 3))
-    .project(
-        vec![Expr::Column(1)],
-        vec![ColumnInfo::qualified("m", "title")],
-    )
+    Plan::nested_loop_join(scan("MOVIES", "m"), scan("CAST", "c"), None)
+        .filter(Expr::col_eq(0, 3))
+        .project(
+            vec![Expr::Column(1)],
+            vec![ColumnInfo::qualified("m", "title")],
+        )
 }
 
 /// The same 2-way join as a hash join.
 fn hash_2way() -> Plan {
-    Plan::HashJoin {
-        left: Box::new(scan("MOVIES", "m")),
-        right: Box::new(scan("CAST", "c")),
-        left_keys: vec![0],
-        right_keys: vec![0],
-    }
-    .project(
+    Plan::hash_join(scan("MOVIES", "m"), scan("CAST", "c"), vec![0], vec![0]).project(
         vec![Expr::Column(1)],
         vec![ColumnInfo::qualified("m", "title")],
     )

@@ -29,22 +29,29 @@
 //! them:
 //!
 //! 1. **sqlparse** parses SQL, including `EXPLAIN [ANALYZE] <select>`.
-//! 2. **[`planner`]** lowers a query to a `datastore` [`datastore::exec::Plan`]:
-//!    equi-join conjuncts in WHERE become hash-join keys, single-table
-//!    conjuncts are pushed below the joins onto their scans (one filter
-//!    operator per conjunct, so instrumentation can blame an individual
-//!    condition), and only cross-variable residual predicates are evaluated
-//!    above the joins.
+//! 2. **[`planner`]** lowers a query to a `datastore` [`datastore::exec::Plan`]
+//!    in two phases: the *logical* phase decomposes WHERE into a join graph
+//!    (equi-join edges, pushed single-table conjuncts, residual predicates)
+//!    and the *cost* phase greedily picks a left-deep join order from table
+//!    statistics (per-column NDV, min/max and histograms cached on the
+//!    `Database`) — smallest estimated relation first, then whichever
+//!    connected relation keeps the estimated intermediate result smallest.
+//!    Every operator gets an estimated row count and every ordering choice
+//!    is recorded as a [`PlanDecision`].
 //! 3. **datastore/exec** opens the plan into a tree of streaming, pull-based
 //!    `RowSource` operators exchanging row batches; every operator counts
 //!    rows in/out, batches and elapsed time ([`datastore::exec::OpMetrics`]).
 //! 4. **[`query::plan_explain`]** renders the (instrumented) operator tree
-//!    as a stable ASCII plan and narrates it in natural language — "I
-//!    scanned ten movies, then kept the seven of them where m.year > 2000,
-//!    …" — with row counts read from the instrumentation, and
+//!    as a stable ASCII plan with estimated vs. actual rows per operator
+//!    (flagging estimates off by more than 10×) and narrates both the
+//!    execution — "I scanned six actors and kept the one where a.name =
+//!    'Brad Pitt', …" — and the optimizer's reasoning — "I started from
+//!    ACTOR … because that order was expected to produce ~3.5× fewer
+//!    intermediate rows than the order the query was written in."
 //!    **[`query::explain`]** reads the same counters to attribute empty
-//!    results to the predicate that eliminated the rows, without
-//!    re-executing predicate subsets.
+//!    results to the predicate that eliminated the rows and large results
+//!    to the join that produced the volume, without re-executing predicate
+//!    subsets.
 //!
 //! [`Talkback::explain_plan`] is the front door: `EXPLAIN` describes the
 //! plan without reading a single row; `EXPLAIN ANALYZE` executes it and
@@ -75,7 +82,7 @@ pub use content::{ContentConfig, ContentTranslator, UserProfile};
 pub use error::TalkbackError;
 pub use metrics::{narrative_metrics, NarrativeMetrics};
 pub use pipeline::{Recognition, SpeechRecognizer, SpokenChunk, TextToSpeech};
-pub use planner::{plan_query, PlannedQuery};
+pub use planner::{plan_query, plan_query_with, PlanDecision, PlannedQuery, PlannerOptions};
 pub use query::explain::{explain_result, ResultExplanation};
 pub use query::plan_explain::{explain_plan, PlanExplanation};
 pub use query::{QueryTranslation, QueryTranslator};

@@ -1,0 +1,518 @@
+//! Cost estimation and join-order enumeration.
+//!
+//! The [`Estimator`] bridges the planner to `datastore`'s statistics layer:
+//! per-relation cardinalities after pushed predicates (equality via 1/NDV,
+//! ranges via histograms) and per-step join cardinalities via the classic
+//! |L|·|R| / max(ndv_l, ndv_r) formula. [`choose_join_order`] runs a greedy
+//! left-deep enumeration over the join graph — start from the smallest
+//! estimated relation, repeatedly join the connected relation with the
+//! smallest estimated output — and records every choice (and every rejected
+//! alternative) as a [`PlanDecision`], so the optimizer can later *say why*
+//! it ordered the joins the way it did.
+
+use super::logical::{JoinGraph, Relation};
+use datastore::stats::{join_cardinality, TableStats, DEFAULT_SELECTIVITY};
+use datastore::Database;
+use sqlparse::ast::{BinaryOperator, Expr, Literal, UnaryOperator};
+use std::sync::Arc;
+
+/// Selectivity assumed for LIKE predicates (a pattern is usually more
+/// selective than an open range, less than an equality).
+pub const LIKE_SELECTIVITY: f64 = 0.25;
+
+/// A candidate the enumerator considered and did not pick at some step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alternative {
+    pub alias: String,
+    /// Estimated rows this candidate would have produced at that step.
+    pub estimated_rows: f64,
+}
+
+/// One recorded optimizer choice. The planner returns these alongside the
+/// plan; `EXPLAIN` narrates them ("I started from ACTOR … because that
+/// order was expected to produce ~40× fewer intermediate rows").
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanDecision {
+    /// Which base relation the left-deep join tree starts from.
+    Start {
+        alias: String,
+        table: String,
+        /// Estimated rows after the relation's pushed predicates.
+        estimated_rows: f64,
+        /// True when pushed predicates reduced the estimate.
+        filtered: bool,
+        /// The other start candidates, with their estimates.
+        rejected: Vec<Alternative>,
+    },
+    /// One greedy join step.
+    Join {
+        alias: String,
+        table: String,
+        /// Estimated output rows of the join step.
+        estimated_rows: f64,
+        /// True when no equi-join edge connected this relation to the tree
+        /// (the step is a cross product).
+        cross_product: bool,
+        /// The candidates rejected at this step, with the output each would
+        /// have produced.
+        rejected: Vec<Alternative>,
+    },
+    /// The chosen order compared against the order the query was written
+    /// in. Costs are total estimated intermediate join-output rows.
+    OrderComparison {
+        chosen: Vec<String>,
+        written: Vec<String>,
+        chosen_cost: f64,
+        written_cost: f64,
+    },
+}
+
+/// One step of a left-deep join order.
+#[derive(Debug, Clone)]
+pub struct JoinStep {
+    /// Index into [`JoinGraph::relations`].
+    pub rel: usize,
+    /// Estimated rows after this step: the relation's filtered estimate for
+    /// the first step, the join's output estimate for every later one.
+    pub estimated_rows: f64,
+    /// Edges (indices into [`JoinGraph::edges`]) this step consumes as
+    /// hash-join keys. Empty for the first step and for cross products.
+    pub edges: Vec<usize>,
+}
+
+/// A complete left-deep join order with per-step estimates.
+#[derive(Debug, Clone)]
+pub struct JoinOrder {
+    pub steps: Vec<JoinStep>,
+}
+
+impl JoinOrder {
+    /// Aliases in join order.
+    pub fn aliases(&self, graph: &JoinGraph) -> Vec<String> {
+        self.steps
+            .iter()
+            .map(|s| graph.relations[s.rel].alias.clone())
+            .collect()
+    }
+
+    /// Total estimated intermediate rows: the sum of every join step's
+    /// output estimate (the enumerator's cost metric, C_out).
+    pub fn cost(&self) -> f64 {
+        self.steps[1..].iter().map(|s| s.estimated_rows).sum()
+    }
+}
+
+/// The planner's bridge to the statistics layer. Table statistics are
+/// memoized per planning pass, so the O(rounds × candidates × edges) greedy
+/// scoring loop takes the database's stats lock once per distinct table
+/// rather than once per NDV lookup.
+pub struct Estimator<'a> {
+    db: &'a Database,
+    stats: std::cell::RefCell<std::collections::HashMap<String, Option<Arc<TableStats>>>>,
+}
+
+impl<'a> Estimator<'a> {
+    pub fn new(db: &'a Database) -> Estimator<'a> {
+        Estimator {
+            db,
+            stats: std::cell::RefCell::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Memoized per-table statistics lookup.
+    fn table_stats(&self, table: &str) -> Option<Arc<TableStats>> {
+        self.stats
+            .borrow_mut()
+            .entry(table.to_uppercase())
+            .or_insert_with(|| self.db.table_stats(table))
+            .clone()
+    }
+
+    /// Base row count of a relation and the running estimate after each of
+    /// its pushed conjuncts — the single source of the per-operator numbers
+    /// both the enumerator (via [`Estimator::relation_rows`]) and the
+    /// physical layer's scan/filter annotations use.
+    pub fn relation_row_trace(&self, rel: &Relation) -> (f64, Vec<f64>) {
+        match self.table_stats(&rel.table) {
+            None => (0.0, vec![0.0; rel.pushed.len()]),
+            Some(stats) => {
+                let base = stats.row_count as f64;
+                let mut rows = base;
+                let trace = rel
+                    .pushed
+                    .iter()
+                    .map(|conjunct| {
+                        rows *= self.conjunct_selectivity(&stats, conjunct);
+                        rows
+                    })
+                    .collect();
+                (base, trace)
+            }
+        }
+    }
+
+    /// Estimated rows of a relation after its pushed predicates.
+    pub fn relation_rows(&self, rel: &Relation) -> f64 {
+        let (base, trace) = self.relation_row_trace(rel);
+        trace.last().copied().unwrap_or(base)
+    }
+
+    /// Estimated selectivity of a single-table conjunct over a relation with
+    /// the given statistics.
+    pub fn conjunct_selectivity(&self, stats: &TableStats, expr: &Expr) -> f64 {
+        selectivity(stats, expr).clamp(0.0, 1.0)
+    }
+
+    /// NDV of a relation's join column, capped at the estimated cardinality
+    /// the column arrives with (a filtered or already-joined input cannot
+    /// contribute more distinct keys than it has rows).
+    fn key_ndv(&self, rel: &Relation, column: &str, arriving_rows: f64) -> usize {
+        let ndv = self
+            .table_stats(&rel.table)
+            .map(|s| s.ndv(column))
+            .unwrap_or(1);
+        ndv.min(arriving_rows.ceil().max(1.0) as usize).max(1)
+    }
+
+    /// Estimated output of joining `rel` into an intermediate result of
+    /// `current_rows` rows, consuming every edge that connects it to the
+    /// already-joined set. Returns the estimate and the consumed edges; with
+    /// no connecting edge the step is a cross product.
+    pub fn join_step(
+        &self,
+        graph: &JoinGraph,
+        filtered: &[f64],
+        joined: &[bool],
+        current_rows: f64,
+        rel: usize,
+    ) -> (f64, Vec<usize>) {
+        let edges = graph.connecting_edges(joined, rel);
+        let new_rows = filtered[rel];
+        if edges.is_empty() {
+            return (current_rows * new_rows, edges);
+        }
+        let mut rows = current_rows * new_rows;
+        for &ei in &edges {
+            let (far_rel, far_col, near_col) = graph.edges[ei].oriented_for(rel);
+            let far_ndv = self.key_ndv(
+                &graph.relations[far_rel],
+                far_col,
+                filtered[far_rel].min(current_rows),
+            );
+            let near_ndv = self.key_ndv(&graph.relations[rel], near_col, new_rows);
+            // Divide the running cross product by max(ndv) per edge — the
+            // multi-key generalization of |L|·|R| / max(ndv_l, ndv_r).
+            rows = join_cardinality(rows, 1.0, far_ndv, near_ndv);
+        }
+        (rows, edges)
+    }
+}
+
+/// Selectivity of a single-table predicate from column statistics.
+fn selectivity(stats: &TableStats, expr: &Expr) -> f64 {
+    match expr {
+        Expr::BinaryOp { left, op, right } => match op {
+            BinaryOperator::And => selectivity(stats, left) * selectivity(stats, right),
+            BinaryOperator::Or => {
+                let a = selectivity(stats, left);
+                let b = selectivity(stats, right);
+                (a + b - a * b).min(1.0)
+            }
+            _ => comparison_selectivity(stats, expr),
+        },
+        Expr::UnaryOp {
+            op: UnaryOperator::Not,
+            expr,
+        } => 1.0 - selectivity(stats, expr),
+        Expr::IsNull { expr, negated } => {
+            let s = match expr.as_ref() {
+                Expr::Column(c) => stats
+                    .column(&c.column)
+                    .map(|cs| cs.null_selectivity())
+                    .unwrap_or(DEFAULT_SELECTIVITY),
+                _ => DEFAULT_SELECTIVITY,
+            };
+            if *negated {
+                1.0 - s
+            } else {
+                s
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let s = match expr.as_ref() {
+                Expr::Column(c) => stats
+                    .column(&c.column)
+                    .map(|cs| (list.len() as f64 * cs.eq_selectivity()).min(1.0))
+                    .unwrap_or(DEFAULT_SELECTIVITY),
+                _ => DEFAULT_SELECTIVITY,
+            };
+            if *negated {
+                1.0 - s
+            } else {
+                s
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let s = match (expr.as_ref(), literal_f64(low), literal_f64(high)) {
+                (Expr::Column(c), Some(lo), Some(hi)) => stats
+                    .column(&c.column)
+                    .map(|cs| cs.between_selectivity(lo, hi))
+                    .unwrap_or(DEFAULT_SELECTIVITY),
+                _ => DEFAULT_SELECTIVITY,
+            };
+            if *negated {
+                1.0 - s
+            } else {
+                s
+            }
+        }
+        Expr::Like { negated, .. } => {
+            if *negated {
+                1.0 - LIKE_SELECTIVITY
+            } else {
+                LIKE_SELECTIVITY
+            }
+        }
+        _ => DEFAULT_SELECTIVITY,
+    }
+}
+
+/// Selectivity of a `column <op> literal` comparison (either operand
+/// order), from the column's NDV and histogram.
+fn comparison_selectivity(stats: &TableStats, expr: &Expr) -> f64 {
+    let Some((col, op, lit)) = expr.as_selection_predicate() else {
+        return DEFAULT_SELECTIVITY;
+    };
+    let Some(cs) = stats.column(&col.column) else {
+        return DEFAULT_SELECTIVITY;
+    };
+    match op {
+        BinaryOperator::Eq => cs.eq_selectivity(),
+        BinaryOperator::NotEq => (cs.non_null_fraction() - cs.eq_selectivity()).max(0.0),
+        BinaryOperator::Lt | BinaryOperator::LtEq | BinaryOperator::Gt | BinaryOperator::GtEq => {
+            match literal_as_f64(lit) {
+                None => DEFAULT_SELECTIVITY,
+                Some(x) => match op {
+                    BinaryOperator::Lt => cs.lt_selectivity(x, false),
+                    BinaryOperator::LtEq => cs.lt_selectivity(x, true),
+                    BinaryOperator::Gt => cs.gt_selectivity(x, false),
+                    BinaryOperator::GtEq => cs.gt_selectivity(x, true),
+                    _ => unreachable!(),
+                },
+            }
+        }
+        _ => DEFAULT_SELECTIVITY,
+    }
+}
+
+fn literal_f64(expr: &Expr) -> Option<f64> {
+    match expr {
+        Expr::Literal(l) => literal_as_f64(l),
+        _ => None,
+    }
+}
+
+fn literal_as_f64(l: &Literal) -> Option<f64> {
+    match l {
+        Literal::Integer(i) => Some(*i as f64),
+        Literal::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Simulate a fixed left-deep order, producing its per-step estimates.
+fn simulate_order(
+    graph: &JoinGraph,
+    est: &Estimator,
+    filtered: &[f64],
+    order: &[usize],
+) -> JoinOrder {
+    let mut joined = vec![false; graph.relations.len()];
+    let mut steps = Vec::with_capacity(order.len());
+    let mut current = 0.0;
+    for (i, &rel) in order.iter().enumerate() {
+        if i == 0 {
+            current = filtered[rel];
+            steps.push(JoinStep {
+                rel,
+                estimated_rows: current,
+                edges: Vec::new(),
+            });
+        } else {
+            let (rows, edges) = est.join_step(graph, filtered, &joined, current, rel);
+            current = rows;
+            steps.push(JoinStep {
+                rel,
+                estimated_rows: rows,
+                edges,
+            });
+        }
+        joined[rel] = true;
+    }
+    JoinOrder { steps }
+}
+
+/// Choose a left-deep join order. With `reorder` disabled (or a single
+/// relation) the written FROM order is kept, still with per-step estimates;
+/// otherwise a greedy enumeration starts from the smallest estimated
+/// relation and keeps joining the connected relation with the smallest
+/// estimated output, recording every decision.
+pub fn choose_join_order(
+    graph: &JoinGraph,
+    est: &Estimator,
+    reorder: bool,
+) -> (JoinOrder, Vec<PlanDecision>) {
+    let n = graph.relations.len();
+    let filtered: Vec<f64> = graph
+        .relations
+        .iter()
+        .map(|r| est.relation_rows(r))
+        .collect();
+    let written_order: Vec<usize> = (0..n).collect();
+    if !reorder || n <= 1 {
+        return (
+            simulate_order(graph, est, &filtered, &written_order),
+            Vec::new(),
+        );
+    }
+
+    let mut decisions = Vec::new();
+    let mut joined = vec![false; n];
+    let mut steps: Vec<JoinStep> = Vec::with_capacity(n);
+
+    // Start from the smallest estimated relation (ties go to FROM order).
+    let start = (0..n)
+        .min_by(|&a, &b| filtered[a].total_cmp(&filtered[b]))
+        .expect("at least one relation");
+    joined[start] = true;
+    steps.push(JoinStep {
+        rel: start,
+        estimated_rows: filtered[start],
+        edges: Vec::new(),
+    });
+    decisions.push(start_decision(graph, start, &filtered));
+    let mut current = filtered[start];
+
+    while steps.len() < n {
+        let remaining: Vec<usize> = (0..n).filter(|&r| !joined[r]).collect();
+        let connected: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&r| !graph.connecting_edges(&joined, r).is_empty())
+            .collect();
+        // Prefer relations reachable through a join edge; only fall back to
+        // a cross product when nothing connects.
+        let pool = if connected.is_empty() {
+            remaining
+        } else {
+            connected
+        };
+        let scored: Vec<(usize, f64, Vec<usize>)> = pool
+            .iter()
+            .map(|&r| {
+                let (rows, edges) = est.join_step(graph, &filtered, &joined, current, r);
+                (r, rows, edges)
+            })
+            .collect();
+        let (pick, rows, edges) = scored
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(r, rows, edges)| (*r, *rows, edges.clone()))
+            .expect("pool is non-empty");
+        decisions.push(PlanDecision::Join {
+            alias: graph.relations[pick].alias.clone(),
+            table: graph.relations[pick].table.clone(),
+            estimated_rows: rows,
+            cross_product: edges.is_empty(),
+            rejected: scored
+                .iter()
+                .filter(|(r, _, _)| *r != pick)
+                .map(|(r, rows, _)| Alternative {
+                    alias: graph.relations[*r].alias.clone(),
+                    estimated_rows: *rows,
+                })
+                .collect(),
+        });
+        joined[pick] = true;
+        current = rows;
+        steps.push(JoinStep {
+            rel: pick,
+            estimated_rows: rows,
+            edges,
+        });
+    }
+
+    let chosen = JoinOrder { steps };
+    let written = simulate_order(graph, est, &filtered, &written_order);
+    if written.cost() < chosen.cost() {
+        // The greedy walk lost to the written order (a greedy trap: the
+        // smallest start can force a later blowup). Keep the written order —
+        // never ship a plan estimated to be worse than doing nothing — and
+        // record decisions that describe it honestly.
+        let decisions = decisions_for_written_order(graph, &written, &filtered);
+        return (written, decisions);
+    }
+    decisions.push(PlanDecision::OrderComparison {
+        chosen: chosen.aliases(graph),
+        written: written.aliases(graph),
+        chosen_cost: chosen.cost(),
+        written_cost: written.cost(),
+    });
+    (chosen, decisions)
+}
+
+/// The [`PlanDecision::Start`] record for a join tree rooted at `start`,
+/// with every other relation listed as a rejected alternative.
+fn start_decision(graph: &JoinGraph, start: usize, filtered: &[f64]) -> PlanDecision {
+    PlanDecision::Start {
+        alias: graph.relations[start].alias.clone(),
+        table: graph.relations[start].table.clone(),
+        estimated_rows: filtered[start],
+        filtered: !graph.relations[start].pushed.is_empty(),
+        rejected: (0..graph.relations.len())
+            .filter(|&r| r != start)
+            .map(|r| Alternative {
+                alias: graph.relations[r].alias.clone(),
+                estimated_rows: filtered[r],
+            })
+            .collect(),
+    }
+}
+
+/// Decisions describing a kept written order: used when greedy enumeration
+/// could not beat the order the query was written in, so the narration can
+/// truthfully say the written order was the cheapest found.
+fn decisions_for_written_order(
+    graph: &JoinGraph,
+    order: &JoinOrder,
+    filtered: &[f64],
+) -> Vec<PlanDecision> {
+    let start = order.steps[0].rel;
+    let mut decisions = vec![start_decision(graph, start, filtered)];
+    for step in &order.steps[1..] {
+        decisions.push(PlanDecision::Join {
+            alias: graph.relations[step.rel].alias.clone(),
+            table: graph.relations[step.rel].table.clone(),
+            estimated_rows: step.estimated_rows,
+            cross_product: step.edges.is_empty(),
+            rejected: Vec::new(),
+        });
+    }
+    let aliases = order.aliases(graph);
+    decisions.push(PlanDecision::OrderComparison {
+        chosen: aliases.clone(),
+        written: aliases,
+        chosen_cost: order.cost(),
+        written_cost: order.cost(),
+    });
+    decisions
+}

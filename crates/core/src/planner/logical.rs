@@ -1,0 +1,255 @@
+//! Logical query representation: the join graph.
+//!
+//! Before any physical operator is chosen, the WHERE clause is decomposed
+//! into a graph over the FROM relations: hash-joinable equi-join conjuncts
+//! become *edges*, single-table conjuncts are *pushed* onto their relation,
+//! and everything else stays *residual* (applied above all joins). The
+//! cost-based enumerator walks this graph to pick a join order; the physical
+//! layer lowers the chosen order to operators.
+
+use datastore::Database;
+use sqlparse::ast::{ColumnRef, Expr, SelectStatement};
+use sqlparse::bind::BoundQuery;
+
+/// One FROM relation with the predicates pushed down onto its scan.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// Tuple variable (alias) the query refers to the relation by.
+    pub alias: String,
+    /// Stored table name.
+    pub table: String,
+    /// Single-table conjuncts evaluated directly above this relation's scan
+    /// (one filter operator per conjunct, so instrumentation can blame an
+    /// individual condition).
+    pub pushed: Vec<Expr>,
+}
+
+/// A hash-joinable equi-join conjunct `left.column = right.column` between
+/// two different relations. Only conjuncts whose two columns have the same
+/// declared type become edges: hash keys compare by exact `GroupKey`, which
+/// distinguishes `Integer(3)` from `Float(3.0)`, while SQL `=` does not —
+/// mixed-type equalities stay residual and keep SQL comparison semantics.
+#[derive(Debug, Clone)]
+pub struct JoinEdge {
+    /// Index into [`JoinGraph::relations`] of the left column's relation.
+    pub left_rel: usize,
+    /// Index into [`JoinGraph::relations`] of the right column's relation.
+    pub right_rel: usize,
+    pub left_column: String,
+    pub right_column: String,
+}
+
+impl JoinEdge {
+    /// The edge oriented from the perspective of joining `rel` into the
+    /// tree: (far relation already joined, far column, `rel`'s own column).
+    /// The single definition both the estimator and the physical lowering
+    /// use, so hash-join keys always match the costed edge.
+    pub fn oriented_for(&self, rel: usize) -> (usize, &str, &str) {
+        if self.right_rel == rel {
+            (self.left_rel, &self.left_column, &self.right_column)
+        } else {
+            (self.right_rel, &self.right_column, &self.left_column)
+        }
+    }
+}
+
+/// The decomposed WHERE clause over the FROM relations.
+#[derive(Debug, Clone)]
+pub struct JoinGraph {
+    /// FROM relations, in the order the query wrote them.
+    pub relations: Vec<Relation>,
+    /// Equi-join edges between relations.
+    pub edges: Vec<JoinEdge>,
+    /// Conjuncts that are neither pushable nor hash-joinable
+    /// (cross-variable non-equi predicates, OR-connected multi-table
+    /// predicates, mixed-type equalities, unresolvable names …).
+    pub residual: Vec<Expr>,
+}
+
+impl JoinGraph {
+    /// Indices of the edges that connect `rel` to any relation marked in
+    /// `joined` — the edges a left-deep join step on `rel` would consume.
+    pub fn connecting_edges(&self, joined: &[bool], rel: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                (e.right_rel == rel && joined[e.left_rel])
+                    || (e.left_rel == rel && joined[e.right_rel])
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// The alias (tuple variable) a column reference belongs to, using the
+/// explicit qualifier or the binder's resolution for unqualified names.
+pub fn ref_alias(c: &ColumnRef, bound: &BoundQuery) -> Option<String> {
+    c.qualifier
+        .clone()
+        .or_else(|| bound.qualifier_of(c).map(str::to_string))
+}
+
+/// Declared type of a column, if the table and column exist.
+fn column_type(db: &Database, table: &str, column: &str) -> Option<datastore::DataType> {
+    let schema = db.table(table)?.schema();
+    schema
+        .columns
+        .iter()
+        .find(|c| c.name.eq_ignore_ascii_case(column))
+        .map(|c| c.data_type)
+}
+
+/// Decompose a query's WHERE clause into a [`JoinGraph`].
+pub fn build_join_graph(db: &Database, query: &SelectStatement, bound: &BoundQuery) -> JoinGraph {
+    let mut relations: Vec<Relation> = bound
+        .tables
+        .iter()
+        .map(|t| Relation {
+            alias: t.alias.clone(),
+            table: t.table.clone(),
+            pushed: Vec::new(),
+        })
+        .collect();
+    let mut edges = Vec::new();
+    let mut residual = Vec::new();
+
+    let rel_index = |relations: &[Relation], alias: &str| {
+        relations
+            .iter()
+            .position(|r| r.alias.eq_ignore_ascii_case(alias))
+    };
+
+    for conjunct in query.where_conjuncts() {
+        if let Some((l, r)) = conjunct.as_join_predicate() {
+            // `as_join_predicate` guarantees both sides carry explicit,
+            // textually distinct qualifiers — but its comparison is
+            // case-sensitive, so `m.year = M.id` still reaches here; both
+            // sides then resolve to the same relation and must not become
+            // an edge (a self-edge can never be consumed by a join step).
+            let li = l
+                .qualifier
+                .as_deref()
+                .and_then(|q| rel_index(&relations, q));
+            let ri = r
+                .qualifier
+                .as_deref()
+                .and_then(|q| rel_index(&relations, q));
+            if let (Some(li), Some(ri)) = (li, ri) {
+                let lt = column_type(db, &relations[li].table, &l.column);
+                let rt = column_type(db, &relations[ri].table, &r.column);
+                if let (Some(lt), Some(rt)) = (lt, rt) {
+                    if li != ri && lt == rt {
+                        edges.push(JoinEdge {
+                            left_rel: li,
+                            right_rel: ri,
+                            left_column: l.column.clone(),
+                            right_column: r.column.clone(),
+                        });
+                        continue;
+                    }
+                }
+            }
+            // Same-relation, unresolvable or mixed-type equality: keep as a
+            // residual filter so no predicate is lost.
+            residual.push(conjunct.clone());
+            continue;
+        }
+        // A conjunct whose column references all live in one tuple variable
+        // is a pure selection: push it down to that variable's scan.
+        let refs = conjunct.column_refs();
+        let resolved: Vec<Option<String>> = refs.iter().map(|c| ref_alias(c, bound)).collect();
+        let mut aliases: Vec<String> = resolved.iter().flatten().cloned().collect();
+        aliases.sort();
+        aliases.dedup();
+        let all_resolved = resolved.iter().all(Option::is_some);
+        if aliases.len() == 1 && all_resolved && !refs.is_empty() {
+            if let Some(i) = rel_index(&relations, &aliases[0]) {
+                relations[i].pushed.push(conjunct.clone());
+                continue;
+            }
+        }
+        residual.push(conjunct.clone());
+    }
+    JoinGraph {
+        relations,
+        edges,
+        residual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datastore::sample::movie_database;
+    use sqlparse::{bind_query, parse_query};
+
+    fn graph_for(sql: &str) -> JoinGraph {
+        let db = movie_database();
+        let q = parse_query(sql).unwrap();
+        let bound = bind_query(db.catalog(), &q).unwrap();
+        build_join_graph(&db, &q, &bound)
+    }
+
+    #[test]
+    fn equi_joins_become_edges_and_selections_are_pushed() {
+        let g = graph_for(
+            "select m.title from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
+        );
+        assert_eq!(g.relations.len(), 3);
+        assert_eq!(g.edges.len(), 2);
+        assert!(g.residual.is_empty());
+        let actor = g
+            .relations
+            .iter()
+            .find(|r| r.table.eq_ignore_ascii_case("ACTOR"))
+            .unwrap();
+        assert_eq!(actor.pushed.len(), 1);
+    }
+
+    #[test]
+    fn cross_variable_inequality_is_residual() {
+        let g = graph_for(
+            "select a1.name from CAST c1, ACTOR a1, ACTOR a2 \
+             where c1.aid = a1.id and a1.id > a2.id",
+        );
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.residual.len(), 1);
+    }
+
+    #[test]
+    fn double_edge_between_one_pair_is_kept_as_two_edges() {
+        let g = graph_for(
+            "select m.title from MOVIES m, CAST c where m.id = c.mid and c.role = m.title",
+        );
+        assert_eq!(g.edges.len(), 2, "both equalities are typed edges");
+        assert!(g.residual.is_empty());
+    }
+
+    #[test]
+    fn case_twisted_self_equality_stays_residual_not_a_self_edge() {
+        // `m.year = M.id` passes as_join_predicate (case-sensitive qualifier
+        // comparison) but both sides are the same relation; it must survive
+        // as a residual predicate, never as an unconsumable self-edge.
+        let g = graph_for("select m.title from MOVIES m where m.year = M.id");
+        assert!(g.edges.is_empty());
+        assert_eq!(g.residual.len(), 1);
+    }
+
+    #[test]
+    fn connecting_edges_finds_consumable_edges() {
+        let g = graph_for(
+            "select m.title from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id",
+        );
+        // With only MOVIES joined, CAST connects via one edge and ACTOR not
+        // at all.
+        let joined = vec![true, false, false];
+        assert_eq!(g.connecting_edges(&joined, 1).len(), 1);
+        assert!(g.connecting_edges(&joined, 2).is_empty());
+        // With MOVIES and CAST joined, ACTOR connects.
+        let joined = vec![true, true, false];
+        assert_eq!(g.connecting_edges(&joined, 2).len(), 1);
+    }
+}

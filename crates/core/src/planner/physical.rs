@@ -1,0 +1,606 @@
+//! Physical lowering: from a join graph plus a chosen join order to an
+//! executable [`Plan`] tree, with the optimizer's row estimates attached to
+//! every operator (`EXPLAIN ANALYZE` renders them next to the actuals).
+
+use super::cost::{Estimator, JoinOrder};
+use super::logical::{ref_alias, JoinGraph};
+use crate::error::TalkbackError;
+use datastore::exec::{AggExpr, AggFunc, ColumnInfo, Plan};
+use datastore::expr::{ArithOp, CmpOp, Expr as PExpr};
+use datastore::stats::DEFAULT_SELECTIVITY;
+use datastore::{Database, Value};
+use sqlparse::ast::{
+    AggregateFunction, BinaryOperator, ColumnRef, Expr, Literal, SelectItem, SelectStatement,
+    UnaryOperator,
+};
+use sqlparse::bind::BoundQuery;
+
+fn resolve_column(
+    columns: &[ColumnInfo],
+    bound: &BoundQuery,
+    col: &ColumnRef,
+) -> Result<usize, TalkbackError> {
+    let qualifier = col
+        .qualifier
+        .clone()
+        .or_else(|| bound.qualifier_of(col).map(str::to_string));
+    columns
+        .iter()
+        .position(|c| c.matches(qualifier.as_deref(), &col.column))
+        .ok_or_else(|| TalkbackError::Unsupported(format!("cannot resolve column reference {col}")))
+}
+
+/// Lower the SPJ + aggregation fragment: scans with pushed predicates, hash
+/// joins in the chosen order, residual filters, then
+/// aggregation/projection/DISTINCT/ORDER BY/LIMIT.
+pub(super) fn lower_select(
+    db: &Database,
+    query: &SelectStatement,
+    bound: &BoundQuery,
+    graph: &JoinGraph,
+    order: &JoinOrder,
+    estimator: &Estimator,
+) -> Result<Plan, TalkbackError> {
+    // 1. Scans with pushed predicates (one filter operator per conjunct, so
+    //    instrumentation can blame an individual condition), estimates
+    //    attached progressively.
+    let scan_with_pushdown = |rel_idx: usize| -> Result<(Plan, Vec<ColumnInfo>), TalkbackError> {
+        let rel = &graph.relations[rel_idx];
+        let schema = db
+            .table(&rel.table)
+            .ok_or_else(|| {
+                TalkbackError::Store(datastore::StoreError::UnknownTable {
+                    table: rel.table.clone(),
+                })
+            })?
+            .schema();
+        let columns: Vec<ColumnInfo> = schema
+            .columns
+            .iter()
+            .map(|c| ColumnInfo::qualified(rel.alias.clone(), c.name.clone()))
+            .collect();
+        // The same trace the enumerator costed with annotates the operators.
+        let (base_rows, trace) = estimator.relation_row_trace(rel);
+        let mut plan = Plan::scan(rel.table.clone(), rel.alias.clone()).with_estimate(base_rows);
+        for (conjunct, rows) in rel.pushed.iter().zip(&trace) {
+            plan = plan
+                .filter(lower_expr(conjunct, &columns, bound)?)
+                .with_estimate(*rows);
+        }
+        Ok((plan, columns))
+    };
+
+    // 2. Joins, in the order the enumerator chose. Each step consumes its
+    //    connecting equi-join edges as hash keys; a step with no edge falls
+    //    back to a cross product and lets the residual filters sort it out.
+    let (mut plan, mut columns) = scan_with_pushdown(order.steps[0].rel)?;
+    let mut rows = order.steps[0].estimated_rows;
+    let mut unresolved_edges: Vec<Expr> = Vec::new();
+    for step in &order.steps[1..] {
+        let rel = &graph.relations[step.rel];
+        let (right_plan, right_columns) = scan_with_pushdown(step.rel)?;
+        let mut left_keys = Vec::new();
+        let mut right_keys = Vec::new();
+        for &ei in &step.edges {
+            let (far_rel, far_col, near_col) = graph.edges[ei].oriented_for(step.rel);
+            let far_alias = &graph.relations[far_rel].alias;
+            let left_pos = columns
+                .iter()
+                .position(|c| c.matches(Some(far_alias), far_col));
+            let right_pos = right_columns
+                .iter()
+                .position(|c| c.matches(Some(&rel.alias), near_col));
+            match (left_pos, right_pos) {
+                (Some(lp), Some(rp)) => {
+                    left_keys.push(lp);
+                    right_keys.push(rp);
+                }
+                // The logical layer resolved these columns against the
+                // schema, so this is unreachable in practice; keep the
+                // predicate as a residual equality rather than lose it.
+                _ => unresolved_edges.push(Expr::col_eq(
+                    ColumnRef {
+                        qualifier: Some(far_alias.clone()),
+                        column: far_col.to_string(),
+                    },
+                    ColumnRef {
+                        qualifier: Some(rel.alias.clone()),
+                        column: near_col.to_string(),
+                    },
+                )),
+            }
+        }
+        plan = if left_keys.is_empty() {
+            Plan::nested_loop_join(plan, right_plan, None)
+        } else {
+            Plan::hash_join(plan, right_plan, left_keys, right_keys)
+        }
+        .with_estimate(step.estimated_rows);
+        rows = step.estimated_rows;
+        columns.extend(right_columns);
+    }
+
+    // 3. Residual predicates (cross-variable non-equi conjuncts, mixed-type
+    //    equalities, …) above the joins.
+    for conjunct in graph.residual.iter().chain(&unresolved_edges) {
+        rows *= DEFAULT_SELECTIVITY;
+        plan = plan
+            .filter(lower_expr(conjunct, &columns, bound)?)
+            .with_estimate(rows);
+    }
+
+    // 4. Aggregation or plain projection. Either way, track the output
+    //    column descriptors so ORDER BY can be resolved against them.
+    let output_columns: Vec<ColumnInfo>;
+    if query.is_aggregate() {
+        plan = lower_aggregate(query, bound, plan, &columns)?;
+        let mut group_ndv = 1.0_f64;
+        output_columns = match &plan.node {
+            datastore::exec::PlanNode::Aggregate {
+                group_by,
+                aggregates,
+                ..
+            } => {
+                for &g in group_by.iter() {
+                    group_ndv *= column_ndv(db, graph, &columns[g]);
+                }
+                if group_by.is_empty() {
+                    // A scalar aggregate produces exactly one row.
+                    group_ndv = 1.0;
+                }
+                datastore::exec::aggregate_output_columns(&columns, group_by, aggregates)
+            }
+            _ => Vec::new(),
+        };
+        rows = group_ndv.min(rows.max(1.0));
+        plan = plan.with_estimate(rows);
+    } else {
+        let (exprs, out_columns) = lower_projection(query, &columns, bound)?;
+        output_columns = out_columns.clone();
+        plan = plan.project(exprs, out_columns).with_estimate(rows);
+    }
+
+    // 5. DISTINCT / ORDER BY / LIMIT over the projected output.
+    if query.distinct {
+        plan = plan.distinct().with_estimate(rows);
+    }
+    if !query.order_by.is_empty() {
+        // Order keys are resolved against the projected (or aggregated)
+        // output by name when possible, otherwise unsupported.
+        let mut keys = Vec::new();
+        for item in &query.order_by {
+            if let Expr::Column(c) = &item.expr {
+                if let Some(pos) = output_columns
+                    .iter()
+                    .position(|col| col.matches(c.qualifier.as_deref(), &c.column))
+                {
+                    keys.push(datastore::exec::SortKey {
+                        column: pos,
+                        ascending: item.ascending,
+                    });
+                    continue;
+                }
+            }
+            return Err(TalkbackError::Unsupported(format!(
+                "ORDER BY expression {} is not in the SELECT list",
+                item.expr
+            )));
+        }
+        plan = plan.sort(keys).with_estimate(rows);
+    }
+    if let Some(limit) = query.limit {
+        rows = rows.min(limit as f64);
+        plan = plan.limit(limit as usize).with_estimate(rows);
+    }
+    Ok(plan)
+}
+
+/// NDV of a (qualified) joined-output column, from the owning relation's
+/// statistics; 1 when unknown.
+fn column_ndv(db: &Database, graph: &JoinGraph, column: &ColumnInfo) -> f64 {
+    let Some(qualifier) = column.qualifier.as_deref() else {
+        return 1.0;
+    };
+    graph
+        .relations
+        .iter()
+        .find(|r| r.alias.eq_ignore_ascii_case(qualifier))
+        .and_then(|r| db.table_stats(&r.table))
+        .map(|s| s.ndv(&column.name).max(1) as f64)
+        .unwrap_or(1.0)
+}
+
+/// Positions of the joined-output columns in the order the FROM clause
+/// lists the relations — `SELECT *` expands in written order even when the
+/// join tree was reordered.
+fn from_order_positions(bound: &BoundQuery, columns: &[ColumnInfo]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(columns.len());
+    for table in &bound.tables {
+        for (i, c) in columns.iter().enumerate() {
+            if c.qualifier
+                .as_deref()
+                .map(|q| q.eq_ignore_ascii_case(&table.alias))
+                == Some(true)
+            {
+                out.push(i);
+            }
+        }
+    }
+    out
+}
+
+fn lower_projection(
+    query: &SelectStatement,
+    columns: &[ColumnInfo],
+    bound: &BoundQuery,
+) -> Result<(Vec<PExpr>, Vec<ColumnInfo>), TalkbackError> {
+    let mut exprs = Vec::new();
+    let mut out_columns = Vec::new();
+    for item in &query.projection {
+        match item {
+            SelectItem::Wildcard => {
+                for i in from_order_positions(bound, columns) {
+                    exprs.push(PExpr::Column(i));
+                    out_columns.push(columns[i].clone());
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                for (i, c) in columns.iter().enumerate() {
+                    if c.qualifier.as_deref().map(|x| x.eq_ignore_ascii_case(q)) == Some(true) {
+                        exprs.push(PExpr::Column(i));
+                        out_columns.push(c.clone());
+                    }
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let lowered = lower_expr(expr, columns, bound)?;
+                let name = match (alias, expr) {
+                    (Some(a), _) => ColumnInfo::unqualified(a.clone()),
+                    (None, Expr::Column(c)) => ColumnInfo {
+                        qualifier: ref_alias(c, bound),
+                        name: c.column.clone(),
+                    },
+                    (None, other) => ColumnInfo::unqualified(other.to_string()),
+                };
+                exprs.push(lowered);
+                out_columns.push(name);
+            }
+        }
+    }
+    Ok((exprs, out_columns))
+}
+
+fn lower_aggregate(
+    query: &SelectStatement,
+    bound: &BoundQuery,
+    input: Plan,
+    columns: &[ColumnInfo],
+) -> Result<Plan, TalkbackError> {
+    // Group-by keys must be plain column references for this substrate.
+    let mut group_by = Vec::new();
+    for g in &query.group_by {
+        match g {
+            Expr::Column(c) => group_by.push(resolve_column(columns, bound, c)?),
+            other => {
+                return Err(TalkbackError::Unsupported(format!(
+                    "GROUP BY expression {other}"
+                )))
+            }
+        }
+    }
+    // Aggregate expressions come from the SELECT list and from HAVING.
+    let mut aggregates: Vec<AggExpr> = Vec::new();
+    let mut collect_aggs = |expr: &Expr| -> Result<(), TalkbackError> {
+        let mut found: Vec<(AggregateFunction, Option<Expr>, bool)> = Vec::new();
+        expr.walk(&mut |e| {
+            if let Expr::Aggregate {
+                func,
+                arg,
+                distinct,
+            } = e
+            {
+                found.push((*func, arg.as_deref().cloned(), *distinct));
+            }
+        });
+        for (func, arg, distinct) in found {
+            let lowered_arg = match &arg {
+                None => None,
+                Some(a) => Some(lower_expr(a, columns, bound)?),
+            };
+            let name = render_aggregate_name(func, &arg, distinct);
+            if aggregates.iter().any(|a| a.output_name == name) {
+                continue;
+            }
+            let agg_func = match (func, distinct) {
+                (AggregateFunction::Count, true) => AggFunc::CountDistinct,
+                (AggregateFunction::Count, false) => AggFunc::Count,
+                (AggregateFunction::Sum, _) => AggFunc::Sum,
+                (AggregateFunction::Avg, _) => AggFunc::Avg,
+                (AggregateFunction::Min, _) => AggFunc::Min,
+                (AggregateFunction::Max, _) => AggFunc::Max,
+            };
+            aggregates.push(AggExpr {
+                func: agg_func,
+                arg: lowered_arg,
+                output_name: name,
+            });
+        }
+        Ok(())
+    };
+    for item in &query.projection {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_aggs(expr)?;
+        }
+    }
+    let mut having_supported = true;
+    if let Some(h) = &query.having {
+        if h.contains_subquery() {
+            // Correlated HAVING subqueries (Q7) are translated but not
+            // executed by this substrate; the plan simply omits the HAVING
+            // filter and the caller is told so.
+            having_supported = false;
+        } else {
+            collect_aggs(h)?;
+        }
+    }
+
+    // The aggregate's output row is [group_by columns..., aggregates...];
+    // HAVING is evaluated over that row.
+    let having = match (&query.having, having_supported) {
+        (Some(h), true) => Some(lower_having(h, &group_by, &aggregates, columns, bound)?),
+        _ => None,
+    };
+    Ok(input.aggregate(group_by, aggregates, having))
+}
+
+fn render_aggregate_name(func: AggregateFunction, arg: &Option<Expr>, distinct: bool) -> String {
+    let inner = match arg {
+        None => "*".to_string(),
+        Some(e) => e.to_string(),
+    };
+    if distinct {
+        format!("{}(DISTINCT {})", func.sql(), inner)
+    } else {
+        format!("{}({})", func.sql(), inner)
+    }
+}
+
+/// Lower a HAVING predicate over the aggregate output row.
+fn lower_having(
+    having: &Expr,
+    group_by: &[usize],
+    aggregates: &[AggExpr],
+    columns: &[ColumnInfo],
+    bound: &BoundQuery,
+) -> Result<PExpr, TalkbackError> {
+    match having {
+        Expr::BinaryOp { left, op, right } if *op == BinaryOperator::And => Ok(PExpr::And(
+            Box::new(lower_having(left, group_by, aggregates, columns, bound)?),
+            Box::new(lower_having(right, group_by, aggregates, columns, bound)?),
+        )),
+        Expr::BinaryOp { left, op, right } if op.is_comparison() => {
+            let l = lower_having_operand(left, group_by, aggregates, columns, bound)?;
+            let r = lower_having_operand(right, group_by, aggregates, columns, bound)?;
+            Ok(PExpr::Compare {
+                op: comparison_op(*op),
+                left: Box::new(l),
+                right: Box::new(r),
+            })
+        }
+        other => Err(TalkbackError::Unsupported(format!(
+            "HAVING predicate {other}"
+        ))),
+    }
+}
+
+fn lower_having_operand(
+    expr: &Expr,
+    group_by: &[usize],
+    aggregates: &[AggExpr],
+    columns: &[ColumnInfo],
+    bound: &BoundQuery,
+) -> Result<PExpr, TalkbackError> {
+    match expr {
+        Expr::Literal(l) => Ok(PExpr::Literal(literal_value(l))),
+        Expr::Aggregate {
+            func,
+            arg,
+            distinct,
+        } => {
+            let name = render_aggregate_name(*func, &arg.as_deref().cloned(), *distinct);
+            let pos = aggregates
+                .iter()
+                .position(|a| a.output_name == name)
+                .ok_or_else(|| {
+                    TalkbackError::Unsupported(format!(
+                        "HAVING references unknown aggregate {name}"
+                    ))
+                })?;
+            Ok(PExpr::Column(group_by.len() + pos))
+        }
+        Expr::Column(c) => {
+            let source = resolve_column(columns, bound, c)?;
+            let pos = group_by.iter().position(|&g| g == source).ok_or_else(|| {
+                TalkbackError::Unsupported(format!("HAVING references non-grouped column {c}"))
+            })?;
+            Ok(PExpr::Column(pos))
+        }
+        other => Err(TalkbackError::Unsupported(format!(
+            "HAVING operand {other}"
+        ))),
+    }
+}
+
+fn comparison_op(op: BinaryOperator) -> CmpOp {
+    match op {
+        BinaryOperator::Eq => CmpOp::Eq,
+        BinaryOperator::NotEq => CmpOp::NotEq,
+        BinaryOperator::Lt => CmpOp::Lt,
+        BinaryOperator::LtEq => CmpOp::LtEq,
+        BinaryOperator::Gt => CmpOp::Gt,
+        BinaryOperator::GtEq => CmpOp::GtEq,
+        _ => CmpOp::Eq,
+    }
+}
+
+fn literal_value(l: &Literal) -> Value {
+    match l {
+        Literal::Integer(i) => Value::Integer(*i),
+        Literal::Float(f) => Value::Float(*f),
+        Literal::String(s) => Value::Text(s.clone()),
+        Literal::Boolean(b) => Value::Boolean(*b),
+        Literal::Null => Value::Null,
+    }
+}
+
+/// Lower a scalar/boolean expression over the joined FROM row.
+pub fn lower_expr(
+    expr: &Expr,
+    columns: &[ColumnInfo],
+    bound: &BoundQuery,
+) -> Result<PExpr, TalkbackError> {
+    match expr {
+        Expr::Column(c) => Ok(PExpr::Column(resolve_column(columns, bound, c)?)),
+        Expr::Literal(l) => Ok(PExpr::Literal(literal_value(l))),
+        Expr::BinaryOp { left, op, right } => {
+            let l = lower_expr(left, columns, bound)?;
+            let r = lower_expr(right, columns, bound)?;
+            Ok(match op {
+                BinaryOperator::And => PExpr::And(Box::new(l), Box::new(r)),
+                BinaryOperator::Or => PExpr::Or(Box::new(l), Box::new(r)),
+                BinaryOperator::Plus => PExpr::Arith {
+                    op: ArithOp::Add,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                },
+                BinaryOperator::Minus => PExpr::Arith {
+                    op: ArithOp::Sub,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                },
+                BinaryOperator::Multiply => PExpr::Arith {
+                    op: ArithOp::Mul,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                },
+                BinaryOperator::Divide => PExpr::Arith {
+                    op: ArithOp::Div,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                },
+                cmp => PExpr::Compare {
+                    op: comparison_op(*cmp),
+                    left: Box::new(l),
+                    right: Box::new(r),
+                },
+            })
+        }
+        Expr::UnaryOp { op, expr } => {
+            let inner = lower_expr(expr, columns, bound)?;
+            match op {
+                UnaryOperator::Not => Ok(PExpr::Not(Box::new(inner))),
+                UnaryOperator::Minus => Ok(PExpr::Arith {
+                    op: ArithOp::Sub,
+                    left: Box::new(PExpr::Literal(Value::Integer(0))),
+                    right: Box::new(inner),
+                }),
+                UnaryOperator::Plus => Ok(inner),
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let inner = PExpr::IsNull(Box::new(lower_expr(expr, columns, bound)?));
+            Ok(if *negated {
+                PExpr::Not(Box::new(inner))
+            } else {
+                inner
+            })
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let inner = lower_expr(expr, columns, bound)?;
+            let mut values = Vec::new();
+            for item in list {
+                match item {
+                    Expr::Literal(l) => values.push(literal_value(l)),
+                    other => {
+                        return Err(TalkbackError::Unsupported(format!(
+                            "non-literal IN list element {other}"
+                        )))
+                    }
+                }
+            }
+            let in_list = PExpr::InList {
+                expr: Box::new(inner),
+                list: values,
+            };
+            Ok(if *negated {
+                PExpr::Not(Box::new(in_list))
+            } else {
+                in_list
+            })
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let e = lower_expr(expr, columns, bound)?;
+            let lo = lower_expr(low, columns, bound)?;
+            let hi = lower_expr(high, columns, bound)?;
+            let between = PExpr::And(
+                Box::new(PExpr::Compare {
+                    op: CmpOp::GtEq,
+                    left: Box::new(e.clone()),
+                    right: Box::new(lo),
+                }),
+                Box::new(PExpr::Compare {
+                    op: CmpOp::LtEq,
+                    left: Box::new(e),
+                    right: Box::new(hi),
+                }),
+            );
+            Ok(if *negated {
+                PExpr::Not(Box::new(between))
+            } else {
+                between
+            })
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let e = lower_expr(expr, columns, bound)?;
+            let pattern = match pattern.as_ref() {
+                Expr::Literal(Literal::String(s)) => s.clone(),
+                other => {
+                    return Err(TalkbackError::Unsupported(format!(
+                        "non-literal LIKE pattern {other}"
+                    )))
+                }
+            };
+            let like = PExpr::Like {
+                expr: Box::new(e),
+                pattern,
+            };
+            Ok(if *negated {
+                PExpr::Not(Box::new(like))
+            } else {
+                like
+            })
+        }
+        Expr::Aggregate { .. } => Err(TalkbackError::Unsupported(
+            "aggregate outside of an aggregate context".into(),
+        )),
+        Expr::InSubquery { .. }
+        | Expr::Exists { .. }
+        | Expr::QuantifiedComparison { .. }
+        | Expr::ScalarSubquery(_) => Err(TalkbackError::Unsupported(
+            "subquery execution in this position".into(),
+        )),
+    }
+}

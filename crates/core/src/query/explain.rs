@@ -93,20 +93,42 @@ pub fn explain_result(
 
     let _ = lexicon;
     if rows > LARGE_RESULT_THRESHOLD {
-        let conditions = effective.where_conjuncts().len();
-        let narrative = join_sentences(&[
-            finish_sentence(&format!(
-                "The query returns {rows} results, which is a very large answer"
-            )),
-            finish_sentence(&format!(
+        let mut sentences = vec![finish_sentence(&format!(
+            "The query returns {rows} results, which is a very large answer"
+        ))];
+        // Read the per-operator counters to point at the join whose output
+        // grew the most, instead of merely counting WHERE conjuncts.
+        if let Some(blame) = widest_join(&profile) {
+            let mut sentence = format!(
+                "most of that volume comes from the join on {}, which combined {} and {} \
+                 input rows into {} rows",
+                quote_sql(&blame.detail),
+                blame.left_in,
+                blame.right_in,
+                blame.rows_out
+            );
+            if let Some(factor) = blame.misestimate {
+                sentence.push_str(&format!(
+                    " — about {factor:.0}× more than the {} rows I had estimated",
+                    blame.estimated.round()
+                ));
+            }
+            sentences.push(finish_sentence(&sentence));
+            sentences.push(finish_sentence(
+                "adding a selective condition on one of those relations (for example on a \
+                 heading attribute) would reduce the answer",
+            ));
+        } else {
+            let conditions = effective.where_conjuncts().len();
+            sentences.push(finish_sentence(&format!(
                 "it only applies {conditions} condition{}; adding more selective conditions \
                  (for example on a heading attribute) would reduce the answer",
                 if conditions == 1 { "" } else { "s" }
-            )),
-        ]);
+            )));
+        }
         return Ok(ResultExplanation {
             rows,
-            narrative,
+            narrative: join_sentences(&sentences),
             predicate_notes: Vec::new(),
             profile,
         });
@@ -121,6 +143,47 @@ pub fn explain_result(
         predicate_notes: Vec::new(),
         profile,
     })
+}
+
+/// The join whose output grew the most during a large-result execution.
+struct JoinBlame {
+    detail: String,
+    left_in: u64,
+    right_in: u64,
+    rows_out: u64,
+    /// Estimated output rows, when the plan carried one.
+    estimated: f64,
+    /// Misestimate factor when the actual output exceeded the estimate by
+    /// the flagging threshold.
+    misestimate: Option<f64>,
+}
+
+/// Find the join operator with the largest output in an instrumented
+/// profile — the operator a large answer is usually attributable to.
+fn widest_join(profile: &PlanProfile) -> Option<JoinBlame> {
+    let mut widest: Option<JoinBlame> = None;
+    profile.walk(&mut |p| {
+        if p.operator != "hash join" && p.operator != "nested-loop join" {
+            return;
+        }
+        if widest
+            .as_ref()
+            .map(|w| p.metrics.rows_out > w.rows_out)
+            .unwrap_or(true)
+        {
+            widest = Some(JoinBlame {
+                detail: p.detail.clone(),
+                left_in: p.children.first().map(|c| c.metrics.rows_out).unwrap_or(0),
+                right_in: p.children.get(1).map(|c| c.metrics.rows_out).unwrap_or(0),
+                rows_out: p.metrics.rows_out,
+                estimated: p.estimated_rows.unwrap_or(0.0),
+                misestimate: p
+                    .misestimate()
+                    .filter(|_| p.estimated_rows.unwrap_or(f64::MAX) < p.metrics.rows_out as f64),
+            });
+        }
+    });
+    widest
 }
 
 /// What the instrumentation counters say about an empty result.
@@ -197,11 +260,7 @@ pub fn predicate_selectivity(
         })
         .unwrap_or_default();
     let lowered = lower_expr(predicate, &columns, &bound)?;
-    let plan = Plan::Scan {
-        table: table.to_string(),
-        alias: alias.to_string(),
-    }
-    .filter(lowered);
+    let plan = Plan::scan(table, alias).filter(lowered);
     Ok(execute(db, &plan)?.len())
 }
 
@@ -243,7 +302,7 @@ mod tests {
     }
 
     #[test]
-    fn large_results_suggest_more_conditions() {
+    fn large_results_blame_the_widest_join() {
         let db = scaled_movie_database(ScaleConfig {
             movies: 200,
             ..ScaleConfig::default()
@@ -252,6 +311,28 @@ mod tests {
         let explanation = explain_result(&db, &Lexicon::movie_domain(), &q).unwrap();
         assert!(explanation.rows > LARGE_RESULT_THRESHOLD);
         assert!(explanation.narrative.contains("very large"));
+        // The counters point at the join that produced the volume.
+        assert!(
+            explanation.narrative.contains("the join on"),
+            "join blame missing from: {}",
+            explanation.narrative
+        );
+        assert!(explanation
+            .narrative
+            .contains(&explanation.rows.to_string()));
+    }
+
+    #[test]
+    fn large_single_table_results_still_count_conditions() {
+        let db = scaled_movie_database(ScaleConfig {
+            movies: 200,
+            ..ScaleConfig::default()
+        });
+        let q = parse_query("select m.title from MOVIES m where m.year > 0").unwrap();
+        let explanation = explain_result(&db, &Lexicon::movie_domain(), &q).unwrap();
+        assert!(explanation.rows > LARGE_RESULT_THRESHOLD);
+        // No join to blame: the explanation falls back to condition counting.
+        assert!(explanation.narrative.contains("condition"));
     }
 
     #[test]

@@ -1,23 +1,30 @@
 //! `EXPLAIN [ANALYZE]`: the DBMS talks back about *what it did* with a
-//! query, not only what the query means.
+//! query — and *why it planned it that way* — not only what the query means.
 //!
 //! The paper's §3.1 argues that explanations of a query's behaviour — which
 //! operator filtered everything out, how big intermediate results were —
 //! build the same trust as content narration. This module turns a plan (or
-//! an instrumented run of it) into two complementary renderings:
+//! an instrumented run of it) into three complementary renderings:
 //!
 //! * a **stable ASCII tree** of the physical plan, suitable for golden tests
-//!   and for users who read plans, and
+//!   and for users who read plans, showing the optimizer's estimated rows
+//!   per operator (and, with ANALYZE, the actuals, flagging estimates off by
+//!   more than 10×);
 //! * a **natural-language narration** of the execution, in the system's own
-//!   voice: "I scanned 5 movies, kept the 2 from after 2000, …", with row
-//!   counts taken from the executor's per-operator instrumentation.
+//!   voice: "I scanned six actors and kept the one where a.name = 'Brad
+//!   Pitt', …", with row counts taken from the executor's per-operator
+//!   instrumentation; and
+//! * a **justification of the join order**, read from the planner's
+//!   recorded [`PlanDecision`]s: "I started from ACTOR (estimated one row
+//!   after its filter) … because that order was expected to produce ~40×
+//!   fewer intermediate rows than the order the query was written in."
 //!
 //! Plain `EXPLAIN` opens the plan without reading a single row and narrates
 //! it in the future tense; `EXPLAIN ANALYZE` executes the query and narrates
 //! what actually happened.
 
 use crate::error::TalkbackError;
-use crate::planner::plan_query;
+use crate::planner::{plan_query, PlanDecision};
 use datastore::exec::{describe_plan, execute_with_stats, PlanProfile};
 use datastore::Database;
 use nlg::{count_phrase, finish_sentence, join_sentences, pluralize};
@@ -30,12 +37,16 @@ use templates::Lexicon;
 pub struct PlanExplanation {
     /// True when the query was actually executed (`EXPLAIN ANALYZE`).
     pub analyzed: bool,
-    /// Stable ASCII rendering of the plan tree. With `analyzed`, each line
-    /// carries the operator's actual row counts.
+    /// Stable ASCII rendering of the plan tree. Each line carries the
+    /// planner's estimated rows; with `analyzed`, also the operator's actual
+    /// row counts.
     pub tree: String,
-    /// Natural-language narration of the plan (future tense) or of the
-    /// execution (past tense, with instrumented row counts).
+    /// Natural-language narration: the join-order justification followed by
+    /// the plan (future tense) or the execution (past tense, with
+    /// instrumented row counts).
     pub narration: String,
+    /// The optimizer's recorded join-order decisions.
+    pub decisions: Vec<PlanDecision>,
     /// The instrumented profile; counters are all zero unless `analyzed`.
     pub profile: PlanProfile,
     /// Number of rows the query produced (`None` unless `analyzed`).
@@ -59,26 +70,133 @@ pub fn explain_plan(
         }
     };
     let planned = plan_query(db, &query)?;
+    let decision_sentences = narrate_decisions(&planned.decisions);
     if analyze {
         let (result, profile) = execute_with_stats(db, &planned.plan)?;
+        let mut sentences = decision_sentences;
+        sentences.push(narrate_profile(&profile, lexicon, true, Some(result.len())));
         Ok(PlanExplanation {
             analyzed: true,
             tree: profile.render_tree(true),
-            narration: narrate_profile(&profile, lexicon, true, Some(result.len())),
+            narration: join_sentences(&sentences),
+            decisions: planned.decisions,
             profile,
             result_rows: Some(result.len()),
         })
     } else {
         // Opening the plan validates it but reads no rows.
         let profile = describe_plan(db, &planned.plan)?;
+        let mut sentences = decision_sentences;
+        sentences.push(narrate_profile(&profile, lexicon, false, None));
         Ok(PlanExplanation {
             analyzed: false,
             tree: profile.render_tree(false),
-            narration: narrate_profile(&profile, lexicon, false, None),
+            narration: join_sentences(&sentences),
+            decisions: planned.decisions,
             profile,
             result_rows: None,
         })
     }
+}
+
+/// Render an estimated cardinality as a row-count phrase.
+fn rows_phrase(rows: f64) -> String {
+    let n = rows.round().max(0.0) as usize;
+    format!("{} row{}", count_phrase(n), if n == 1 { "" } else { "s" })
+}
+
+/// Narrate the optimizer's join-order decisions as finished sentences: why
+/// the join tree starts where it starts, and how much cheaper the chosen
+/// order was expected to be than the written one. Empty when there was
+/// nothing to decide.
+pub fn narrate_decisions(decisions: &[PlanDecision]) -> Vec<String> {
+    let mut start = None;
+    let mut joins = Vec::new();
+    let mut comparison = None;
+    for d in decisions {
+        match d {
+            PlanDecision::Start { .. } => start = Some(d),
+            PlanDecision::Join { .. } => joins.push(d),
+            PlanDecision::OrderComparison { .. } => comparison = Some(d),
+        }
+    }
+    let (
+        Some(PlanDecision::Start {
+            table,
+            estimated_rows,
+            filtered,
+            ..
+        }),
+        false,
+    ) = (start, joins.is_empty())
+    else {
+        return Vec::new();
+    };
+
+    let mut text = format!(
+        "I started from {} (an estimated {}{})",
+        table,
+        rows_phrase(*estimated_rows),
+        if *filtered { " after its filter" } else { "" }
+    );
+    let join_parts: Vec<String> = joins
+        .iter()
+        .enumerate()
+        .map(|(i, d)| match d {
+            PlanDecision::Join {
+                table,
+                estimated_rows,
+                cross_product,
+                ..
+            } => format!(
+                "{}{}{} (expecting {})",
+                table,
+                if i == 0 { " next" } else { "" },
+                if *cross_product {
+                    " as a cross product"
+                } else {
+                    ""
+                },
+                rows_phrase(*estimated_rows)
+            ),
+            _ => unreachable!("joins only holds Join decisions"),
+        })
+        .collect();
+    text.push_str(&format!(" and joined {}", join_parts.join(", then ")));
+
+    if let Some(PlanDecision::OrderComparison {
+        chosen,
+        written,
+        chosen_cost,
+        written_cost,
+    }) = comparison
+    {
+        if chosen == written {
+            text.push_str(
+                ", keeping the order the query was written in — it was already the \
+                     cheapest I could find",
+            );
+        } else {
+            let ratio = written_cost.max(1.0) / chosen_cost.max(1.0);
+            if ratio >= 1.5 {
+                text.push_str(&format!(
+                    ", because that order was expected to produce ~{}× fewer \
+                     intermediate rows than the order the query was written in",
+                    if ratio >= 10.0 {
+                        format!("{ratio:.0}")
+                    } else {
+                        format!("{ratio:.1}")
+                    }
+                ));
+            } else {
+                text.push_str(
+                    ", an order expected to be at least as cheap as the one the query \
+                     was written in",
+                );
+            }
+        }
+    }
+    vec![finish_sentence(&text)]
 }
 
 /// Narrate a (possibly instrumented) plan profile in execution order.
@@ -103,11 +221,144 @@ pub fn narrate_profile(
             if rows == 1 { "" } else { "s" }
         )));
     }
+    if analyzed {
+        if let Some(sentence) = worst_misestimate_sentence(profile) {
+            sentences.push(sentence);
+        }
+    }
     join_sentences(&sentences)
+}
+
+/// The sentence owning up to the worst cardinality misestimate (off by more
+/// than 10× in either direction), if any operator has one.
+fn worst_misestimate_sentence(profile: &PlanProfile) -> Option<String> {
+    let mut worst: Option<(String, String, f64, u64, f64)> = None;
+    profile.walk(&mut |p| {
+        if let Some(factor) = p.misestimate() {
+            let replace = worst.as_ref().map(|w| factor > w.4).unwrap_or(true);
+            if replace {
+                worst = Some((
+                    p.operator.clone(),
+                    p.detail.clone(),
+                    p.estimated_rows.unwrap_or(0.0),
+                    p.metrics.rows_out,
+                    factor,
+                ));
+            }
+        }
+    });
+    let (operator, detail, est, actual, factor) = worst?;
+    Some(finish_sentence(&format!(
+        "My estimate for the {} on {} was off by about {:.0}× — I expected {} and saw {}",
+        operator,
+        detail,
+        factor,
+        rows_phrase(est),
+        rows_phrase(actual as f64)
+    )))
+}
+
+/// Table name scanned by a subtree, when the subtree contains exactly one
+/// scan (a base relation, possibly behind filters) — the case where the
+/// narration can name the relation instead of saying "them".
+fn only_scan_table(node: &PlanProfile) -> Option<String> {
+    let mut tables = Vec::new();
+    node.walk(&mut |p| {
+        if p.operator == "scan" {
+            let table = p.detail.split(" as ").next().unwrap_or(&p.detail);
+            tables.push(table.to_string());
+        }
+    });
+    match tables.as_slice() {
+        [one] => Some(one.clone()),
+        _ => None,
+    }
+}
+
+/// The middle of a join clause: "the movies to their casting credits",
+/// using the lexicon's relationship verbs when one is registered for the
+/// joined pair ("the actors to the movies they play in").
+fn join_phrase(lexicon: &Lexicon, left: Option<&str>, right: Option<&str>) -> Option<String> {
+    let (left, right) = (left?, right?);
+    let lp = pluralize(&lexicon.concept(left));
+    let rp = pluralize(&lexicon.concept(right));
+    Some(if let Some(v) = lexicon.verb(left, right) {
+        let verb = if v.verb_plural.is_empty() {
+            &v.verb
+        } else {
+            &v.verb_plural
+        };
+        format!("the {lp} to the {rp} they {verb}")
+    } else if let Some(v) = lexicon.verb(right, left) {
+        let verb = if v.verb_plural.is_empty() {
+            &v.verb
+        } else {
+            &v.verb_plural
+        };
+        format!("the {lp} to the {rp} that {verb} them")
+    } else {
+        format!("the {lp} to their {rp}")
+    })
+}
+
+/// Fold a chain of filters over a scan into one clause ("scanned six actors
+/// and kept the one where a.name = 'Brad Pitt'"); `None` when the node is
+/// not such a chain.
+fn fold_scan_filters(node: &PlanProfile, lexicon: &Lexicon, analyzed: bool) -> Option<String> {
+    let mut conditions = Vec::new();
+    let mut current = node;
+    while current.operator == "filter" {
+        conditions.push(current.detail.clone());
+        current = current.children.first()?;
+    }
+    if current.operator != "scan" || conditions.is_empty() {
+        return None;
+    }
+    let table = current
+        .detail
+        .split(" as ")
+        .next()
+        .unwrap_or(&current.detail);
+    let noun = pluralize(&lexicon.concept(table));
+    // The innermost filter runs first; conditions were collected top-down.
+    conditions.reverse();
+    let conditions = conditions.join(" and ");
+    Some(if analyzed {
+        let scanned = current.metrics.rows_out as usize;
+        let kept = node.metrics.rows_out as usize;
+        if scanned == 0 {
+            format!("scanned the {noun} but found none to check against {conditions}")
+        } else if kept == 0 {
+            format!(
+                "scanned {} {} but none of them matched {}",
+                count_phrase(scanned),
+                noun,
+                conditions
+            )
+        } else {
+            format!(
+                "scanned {} {} and kept the {} where {}",
+                count_phrase(scanned),
+                noun,
+                count_phrase(kept),
+                conditions
+            )
+        }
+    } else {
+        format!("will scan the {noun} and keep only rows where {conditions}")
+    })
 }
 
 /// Post-order (execution-order) narration of one operator subtree.
 fn narrate_node(node: &PlanProfile, lexicon: &Lexicon, analyzed: bool, clauses: &mut Vec<String>) {
+    // A filter chain over a scan folds into a single clause ("scanned and
+    // kept…") instead of one clause per operator.
+    if node.operator == "filter" {
+        if let Some(clause) = fold_scan_filters(node, lexicon, analyzed) {
+            clauses.push(clause);
+            return;
+        }
+    }
     for child in &node.children {
         narrate_node(child, lexicon, analyzed, clauses);
     }
@@ -146,15 +397,34 @@ fn narrate_node(node: &PlanProfile, lexicon: &Lexicon, analyzed: bool, clauses: 
             }
         }
         "hash join" => {
-            if analyzed {
-                format!(
+            let phrase = join_phrase(
+                lexicon,
+                node.children.first().and_then(only_scan_table).as_deref(),
+                node.children.get(1).and_then(only_scan_table).as_deref(),
+            )
+            .or_else(|| {
+                // Left side is an accumulated join: name only the new
+                // relation.
+                node.children
+                    .get(1)
+                    .and_then(only_scan_table)
+                    .map(|t| format!("them to the {}", pluralize(&lexicon.concept(&t))))
+            });
+            match (analyzed, phrase) {
+                (true, Some(phrase)) => format!(
+                    "matched {} into {} combination{}",
+                    phrase,
+                    count_phrase(m.rows_out as usize),
+                    if m.rows_out == 1 { "" } else { "s" }
+                ),
+                (true, None) => format!(
                     "matched them on {} into {} combination{}",
                     node.detail,
                     count_phrase(m.rows_out as usize),
                     if m.rows_out == 1 { "" } else { "s" }
-                )
-            } else {
-                format!("will match them on {}", node.detail)
+                ),
+                (false, Some(phrase)) => format!("will match {} on {}", phrase, node.detail),
+                (false, None) => format!("will match them on {}", node.detail),
             }
         }
         "nested-loop join" => {
@@ -243,7 +513,11 @@ mod tests {
         assert!(e.result_rows.is_none());
         assert!(e.tree.contains("hash join"));
         assert!(
-            !e.tree.contains("[rows="),
+            e.tree.contains("[est="),
+            "plain EXPLAIN shows the planner's estimates"
+        );
+        assert!(
+            !e.tree.contains("actual="),
             "plain EXPLAIN must not show counts"
         );
         // Every counter is zero: nothing was read.
@@ -252,6 +526,9 @@ mod tests {
             assert_eq!(p.metrics.rows_out, 0);
         });
         assert!(e.narration.contains("will scan"));
+        // The join-order justification is part of the narration.
+        assert!(e.narration.contains("I started from ACTOR"));
+        assert!(!e.decisions.is_empty());
     }
 
     #[test]
@@ -265,10 +542,88 @@ mod tests {
         .unwrap();
         assert!(e.analyzed);
         assert_eq!(e.result_rows, Some(2));
-        assert!(e.tree.contains("[rows="));
+        assert!(e.tree.contains("[est="));
+        assert!(e.tree.contains("actual=2"));
         assert!(e.narration.contains("produced two rows"));
         // The root operator's rows_out equals the result size.
         assert_eq!(e.profile.metrics.rows_out, 2);
+    }
+
+    #[test]
+    fn narration_folds_scan_and_filter_and_uses_join_nouns() {
+        let db = movie_database();
+        let e = explain_plan(
+            &db,
+            &Lexicon::movie_domain(),
+            &format!("explain analyze {Q1}"),
+        )
+        .unwrap();
+        // Scan + filter fold into one clause…
+        assert!(
+            e.narration
+                .contains("scanned six actors and kept the one where"),
+            "fold missing from: {}",
+            e.narration
+        );
+        // …and the joins talk about relations, not column pairs.
+        assert!(
+            e.narration
+                .contains("matched the actors to their casting credits"),
+            "join nouns missing from: {}",
+            e.narration
+        );
+        assert!(
+            e.narration.contains("matched them to the movies"),
+            "accumulated join phrase missing from: {}",
+            e.narration
+        );
+    }
+
+    #[test]
+    fn join_order_justification_quotes_the_cost_ratio() {
+        let db = movie_database();
+        let e = explain_plan(&db, &Lexicon::movie_domain(), &format!("explain {Q1}")).unwrap();
+        assert!(
+            e.narration.contains("fewer intermediate rows")
+                || e.narration.contains("at least as cheap")
+                || e.narration.contains("cheapest I could find"),
+            "justification missing from: {}",
+            e.narration
+        );
+    }
+
+    #[test]
+    fn single_table_queries_have_no_join_decisions_to_narrate() {
+        let db = movie_database();
+        let e = explain_plan(
+            &db,
+            &Lexicon::movie_domain(),
+            "explain select m.title from MOVIES m where m.year > 2000",
+        )
+        .unwrap();
+        assert!(!e.narration.contains("I started from"));
+    }
+
+    #[test]
+    fn misestimates_are_flagged_in_tree_and_narration() {
+        use datastore::exec::execute_with_stats;
+        use datastore::exec::Plan;
+        // Hand-build a plan whose estimate is wildly wrong: claim the scan
+        // of MOVIES produces one row when it produces ten.
+        let db = movie_database();
+        let plan = Plan::scan("MOVIES", "m").with_estimate(1.0);
+        let (_, profile) = execute_with_stats(&db, &plan).unwrap();
+        assert!(profile.misestimate().is_some());
+        let tree = profile.render_tree(true);
+        assert!(
+            tree.contains("est off by 10x"),
+            "tree missing misestimate flag: {tree}"
+        );
+        let narration = narrate_profile(&profile, &Lexicon::movie_domain(), true, None);
+        assert!(
+            narration.contains("off by about 10×"),
+            "narration missing misestimate: {narration}"
+        );
     }
 
     #[test]

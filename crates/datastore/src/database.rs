@@ -4,16 +4,35 @@
 use crate::catalog::Catalog;
 use crate::error::StoreError;
 use crate::schema::{ForeignKey, TableSchema};
+use crate::stats::TableStats;
 use crate::table::Table;
 use crate::tuple::{NamedRow, Row};
 use crate::value::Value;
 use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
 
-/// An in-memory database: schemas, constraints and tuples.
-#[derive(Debug, Clone, Default)]
+/// An in-memory database: schemas, constraints and tuples, plus a lazily
+/// populated per-table statistics cache the optimizer plans with.
+#[derive(Debug, Default)]
 pub struct Database {
     catalog: Catalog,
     tables: BTreeMap<String, Table>,
+    /// Optimizer statistics keyed like `tables`, computed on first use and
+    /// invalidated whenever the table is written. Interior mutability so
+    /// planning (`&Database`) can fill the cache.
+    stats: RwLock<BTreeMap<String, Arc<TableStats>>>,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Database {
+        Database {
+            catalog: self.catalog.clone(),
+            tables: self.tables.clone(),
+            // Statistics describe the data, which is cloned unchanged; the
+            // Arc entries are shared rather than recollected.
+            stats: RwLock::new(self.stats.read().expect("stats lock").clone()),
+        }
+    }
 }
 
 impl Database {
@@ -91,9 +110,42 @@ impl Database {
         self.tables.get(&Self::key(name))
     }
 
-    /// Mutable access to a table.
+    /// Mutable access to a table. Conservatively drops the table's cached
+    /// statistics, since the caller may mutate rows through the reference.
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.invalidate_stats(name);
         self.tables.get_mut(&Self::key(name))
+    }
+
+    /// Statistics of a table, computed on first access and cached until the
+    /// table is next written. `None` for unknown tables.
+    pub fn table_stats(&self, name: &str) -> Option<Arc<TableStats>> {
+        let key = Self::key(name);
+        if let Some(s) = self.stats.read().expect("stats lock").get(&key) {
+            return Some(Arc::clone(s));
+        }
+        let stats = Arc::new(TableStats::collect(self.tables.get(&key)?));
+        self.stats
+            .write()
+            .expect("stats lock")
+            .insert(key, Arc::clone(&stats));
+        Some(stats)
+    }
+
+    /// Eagerly collect statistics for every table (an `ANALYZE` of the whole
+    /// database); subsequent planning reads the cache.
+    pub fn analyze(&self) {
+        for name in self.tables.keys() {
+            self.table_stats(name);
+        }
+    }
+
+    /// Drop the cached statistics of one table (called on every write).
+    fn invalidate_stats(&self, table: &str) {
+        self.stats
+            .write()
+            .expect("stats lock")
+            .remove(&Self::key(table));
     }
 
     /// All tables in name order.
@@ -148,7 +200,12 @@ impl Database {
                 });
             }
         }
-        self.tables.get_mut(&key).unwrap().insert(row)
+        let result = self.tables.get_mut(&key).unwrap().insert(row);
+        // Only a successful insert changes the data the stats describe.
+        if result.is_ok() {
+            self.invalidate_stats(table);
+        }
+        result
     }
 
     /// Insert without foreign-key checking. Used by generators that load
@@ -160,12 +217,17 @@ impl Database {
         values: Vec<Value>,
     ) -> Result<usize, StoreError> {
         let key = Self::key(table);
-        self.tables
+        let result = self
+            .tables
             .get_mut(&key)
             .ok_or_else(|| StoreError::UnknownTable {
                 table: table.to_string(),
             })?
-            .insert_values(values)
+            .insert_values(values);
+        if result.is_ok() {
+            self.invalidate_stats(table);
+        }
+        result
     }
 
     /// Named-row views of every tuple in a relation, in insertion order.
@@ -368,6 +430,37 @@ mod tests {
             .unwrap();
         db.insert("C", vec![Value::Null]).unwrap();
         assert_eq!(db.table("C").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn table_stats_are_cached_and_invalidated_on_writes() {
+        let mut db = movie_db();
+        db.insert("MOVIES", vec![Value::int(1), Value::text("Troy")])
+            .unwrap();
+        let first = db.table_stats("movies").unwrap();
+        assert_eq!(first.row_count, 1);
+        // Cached: a second read returns the same Arc.
+        let second = db.table_stats("MOVIES").unwrap();
+        assert!(std::sync::Arc::ptr_eq(&first, &second));
+        // A write invalidates; fresh stats see the new row.
+        db.insert("MOVIES", vec![Value::int(2), Value::text("Seven")])
+            .unwrap();
+        let third = db.table_stats("movies").unwrap();
+        assert_eq!(third.row_count, 2);
+        assert_eq!(third.ndv("title"), 2);
+        // A failed insert (FK violation) leaves the cache intact.
+        let cached = db.table_stats("CAST").unwrap();
+        assert!(db
+            .insert("CAST", vec![Value::int(99), Value::int(10)])
+            .is_err());
+        assert!(std::sync::Arc::ptr_eq(
+            &cached,
+            &db.table_stats("CAST").unwrap()
+        ));
+        assert!(db.table_stats("NOPE").is_none());
+        // analyze() precomputes every table.
+        db.analyze();
+        assert_eq!(db.table_stats("ACTOR").unwrap().row_count, 0);
     }
 
     #[test]

@@ -166,10 +166,7 @@ mod tests {
     }
 
     fn scan(table: &str, alias: &str) -> Plan {
-        Plan::Scan {
-            table: table.into(),
-            alias: alias.into(),
-        }
+        Plan::scan(table, alias)
     }
 
     #[test]
@@ -199,17 +196,12 @@ mod tests {
     #[test]
     fn hash_join_matches_nested_loop_join() {
         let db = db();
-        let nl = Plan::NestedLoopJoin {
-            left: Box::new(scan("MOVIES", "m")),
-            right: Box::new(scan("CAST", "c")),
-            predicate: Some(Expr::col_eq(0, 3)),
-        };
-        let hj = Plan::HashJoin {
-            left: Box::new(scan("MOVIES", "m")),
-            right: Box::new(scan("CAST", "c")),
-            left_keys: vec![0],
-            right_keys: vec![0],
-        };
+        let nl = Plan::nested_loop_join(
+            scan("MOVIES", "m"),
+            scan("CAST", "c"),
+            Some(Expr::col_eq(0, 3)),
+        );
+        let hj = Plan::hash_join(scan("MOVIES", "m"), scan("CAST", "c"), vec![0], vec![0]);
         let a = execute(&db, &nl).unwrap();
         let b = execute(&db, &hj).unwrap();
         assert_eq!(a.len(), 4);
@@ -225,12 +217,11 @@ mod tests {
     fn aggregate_group_by_and_having() {
         let db = db();
         // SELECT year, count(*) FROM MOVIES GROUP BY year HAVING count(*) > 1
-        let plan = Plan::Aggregate {
-            input: Box::new(scan("MOVIES", "m")),
-            group_by: vec![2],
-            aggregates: vec![AggExpr::count_star("cnt")],
-            having: Some(Expr::col_cmp_value(1, CmpOp::Gt, Value::int(1))),
-        };
+        let plan = scan("MOVIES", "m").aggregate(
+            vec![2],
+            vec![AggExpr::count_star("cnt")],
+            Some(Expr::col_cmp_value(1, CmpOp::Gt, Value::int(1))),
+        );
         let rs = execute(&db, &plan).unwrap();
         assert_eq!(rs.len(), 1);
         assert_eq!(rs.rows[0].get(0), Some(&Value::int(2004)));
@@ -241,12 +232,7 @@ mod tests {
     fn scalar_aggregate_over_empty_input_returns_one_row() {
         let db = db();
         let empty = scan("MOVIES", "m").filter(Expr::col_cmp_value(2, CmpOp::Eq, Value::int(1900)));
-        let plan = Plan::Aggregate {
-            input: Box::new(empty),
-            group_by: vec![],
-            aggregates: vec![AggExpr::count_star("cnt")],
-            having: None,
-        };
+        let plan = empty.aggregate(vec![], vec![AggExpr::count_star("cnt")], None);
         let rs = execute(&db, &plan).unwrap();
         assert_eq!(rs.len(), 1);
         assert_eq!(rs.rows[0].get(0), Some(&Value::int(0)));
@@ -255,14 +241,12 @@ mod tests {
     #[test]
     fn sort_limit_distinct() {
         let db = db();
-        let plan = Plan::Sort {
-            input: Box::new(scan("MOVIES", "m")),
-            keys: vec![SortKey {
+        let plan = scan("MOVIES", "m")
+            .sort(vec![SortKey {
                 column: 2,
                 ascending: false,
-            }],
-        }
-        .limit(2);
+            }])
+            .limit(2);
         let rs = execute(&db, &plan).unwrap();
         assert_eq!(rs.len(), 2);
         assert_eq!(rs.rows[0].get(2), Some(&Value::int(2005)));
@@ -271,9 +255,7 @@ mod tests {
             vec![Expr::Column(2)],
             vec![ColumnInfo::qualified("m", "year")],
         );
-        let distinct = Plan::Distinct {
-            input: Box::new(years),
-        };
+        let distinct = years.distinct();
         let rs = execute(&db, &distinct).unwrap();
         assert_eq!(rs.len(), 3);
     }
@@ -281,17 +263,16 @@ mod tests {
     #[test]
     fn min_max_avg_aggregates() {
         let db = db();
-        let plan = Plan::Aggregate {
-            input: Box::new(scan("MOVIES", "m")),
-            group_by: vec![],
-            aggregates: vec![
+        let plan = scan("MOVIES", "m").aggregate(
+            vec![],
+            vec![
                 AggExpr::new(AggFunc::Min, Expr::Column(2), "min_year"),
                 AggExpr::new(AggFunc::Max, Expr::Column(2), "max_year"),
                 AggExpr::new(AggFunc::Avg, Expr::Column(2), "avg_year"),
                 AggExpr::new(AggFunc::CountDistinct, Expr::Column(2), "years"),
             ],
-            having: None,
-        };
+            None,
+        );
         let rs = execute(&db, &plan).unwrap();
         assert_eq!(rs.rows[0].get(0), Some(&Value::int(2003)));
         assert_eq!(rs.rows[0].get(1), Some(&Value::int(2005)));
@@ -322,10 +303,10 @@ mod tests {
     #[test]
     fn values_plan_round_trips() {
         let db = Database::new();
-        let plan = Plan::Values {
-            columns: vec![ColumnInfo::unqualified("x")],
-            rows: vec![Row::new(vec![Value::int(1)]), Row::new(vec![Value::int(2)])],
-        };
+        let plan = Plan::values(
+            vec![ColumnInfo::unqualified("x")],
+            vec![Row::new(vec![Value::int(1)]), Row::new(vec![Value::int(2)])],
+        );
         let rs = execute(&db, &plan).unwrap();
         assert_eq!(rs.len(), 2);
     }

@@ -19,5 +19,5 @@ pub mod stream;
 
 pub use aggregate::{Accumulator, AggExpr, AggFunc};
 pub use executor::{describe_plan, execute, execute_with_stats, ResultSet};
-pub use plan::{aggregate_output_columns, ColumnInfo, Plan, SortKey};
-pub use stream::{open, OpMetrics, PlanProfile, RowSource, BATCH_SIZE};
+pub use plan::{aggregate_output_columns, ColumnInfo, Plan, PlanNode, SortKey};
+pub use stream::{open, OpMetrics, PlanProfile, RowSource, BATCH_SIZE, MISESTIMATE_FACTOR};

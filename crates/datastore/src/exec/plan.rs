@@ -92,9 +92,23 @@ pub struct SortKey {
     pub ascending: bool,
 }
 
-/// Physical plan nodes.
+/// A physical plan node: the operator itself plus the planner's annotations.
+///
+/// The operator lives in [`PlanNode`]; the wrapper carries the estimated
+/// output cardinality the optimizer planned with, so `EXPLAIN ANALYZE` can
+/// put estimated and actual rows side by side for every operator.
 #[derive(Debug, Clone)]
-pub enum Plan {
+pub struct Plan {
+    /// The physical operator.
+    pub node: PlanNode,
+    /// The planner's estimated output row count, when statistics were
+    /// available (`None` for hand-built plans).
+    pub estimated_rows: Option<f64>,
+}
+
+/// Physical plan operators.
+#[derive(Debug, Clone)]
+pub enum PlanNode {
     /// Full scan of a stored table; output columns are the table's columns
     /// qualified with `alias`.
     Scan { table: String, alias: String },
@@ -145,44 +159,136 @@ pub enum Plan {
     Distinct { input: Box<Plan> },
 }
 
+impl From<PlanNode> for Plan {
+    fn from(node: PlanNode) -> Plan {
+        Plan {
+            node,
+            estimated_rows: None,
+        }
+    }
+}
+
 impl Plan {
+    /// Scan of a stored table.
+    pub fn scan(table: impl Into<String>, alias: impl Into<String>) -> Plan {
+        PlanNode::Scan {
+            table: table.into(),
+            alias: alias.into(),
+        }
+        .into()
+    }
+
+    /// Literal row set.
+    pub fn values(columns: Vec<ColumnInfo>, rows: Vec<Row>) -> Plan {
+        PlanNode::Values { columns, rows }.into()
+    }
+
+    /// Nested-loop join of two plans.
+    pub fn nested_loop_join(left: Plan, right: Plan, predicate: Option<Expr>) -> Plan {
+        PlanNode::NestedLoopJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            predicate,
+        }
+        .into()
+    }
+
+    /// Hash equi-join of two plans on the given key positions.
+    pub fn hash_join(
+        left: Plan,
+        right: Plan,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+    ) -> Plan {
+        PlanNode::HashJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            left_keys,
+            right_keys,
+        }
+        .into()
+    }
+
+    /// Grouped aggregation over this plan.
+    pub fn aggregate(
+        self,
+        group_by: Vec<usize>,
+        aggregates: Vec<AggExpr>,
+        having: Option<Expr>,
+    ) -> Plan {
+        PlanNode::Aggregate {
+            input: Box::new(self),
+            group_by,
+            aggregates,
+            having,
+        }
+        .into()
+    }
+
     /// Wrap in a filter.
     pub fn filter(self, predicate: Expr) -> Plan {
-        Plan::Filter {
+        PlanNode::Filter {
             input: Box::new(self),
             predicate,
         }
+        .into()
     }
 
     /// Wrap in a projection.
     pub fn project(self, exprs: Vec<Expr>, columns: Vec<ColumnInfo>) -> Plan {
-        Plan::Project {
+        PlanNode::Project {
             input: Box::new(self),
             exprs,
             columns,
         }
+        .into()
+    }
+
+    /// Wrap in a sort.
+    pub fn sort(self, keys: Vec<SortKey>) -> Plan {
+        PlanNode::Sort {
+            input: Box::new(self),
+            keys,
+        }
+        .into()
     }
 
     /// Wrap in a limit.
     pub fn limit(self, n: usize) -> Plan {
-        Plan::Limit {
+        PlanNode::Limit {
             input: Box::new(self),
             n,
         }
+        .into()
+    }
+
+    /// Wrap in duplicate elimination.
+    pub fn distinct(self) -> Plan {
+        PlanNode::Distinct {
+            input: Box::new(self),
+        }
+        .into()
+    }
+
+    /// Attach the planner's estimated output cardinality.
+    pub fn with_estimate(mut self, estimated_rows: f64) -> Plan {
+        self.estimated_rows = Some(estimated_rows);
+        self
     }
 
     /// Number of operators in the plan tree (used by benches and the
     /// procedural narrator to describe plan shape).
     pub fn operator_count(&self) -> usize {
-        1 + match self {
-            Plan::Scan { .. } | Plan::Values { .. } => 0,
-            Plan::Filter { input, .. }
-            | Plan::Project { input, .. }
-            | Plan::Sort { input, .. }
-            | Plan::Limit { input, .. }
-            | Plan::Distinct { input }
-            | Plan::Aggregate { input, .. } => input.operator_count(),
-            Plan::NestedLoopJoin { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+        1 + match &self.node {
+            PlanNode::Scan { .. } | PlanNode::Values { .. } => 0,
+            PlanNode::Filter { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Limit { input, .. }
+            | PlanNode::Distinct { input }
+            | PlanNode::Aggregate { input, .. } => input.operator_count(),
+            PlanNode::NestedLoopJoin { left, right, .. }
+            | PlanNode::HashJoin { left, right, .. } => {
                 left.operator_count() + right.operator_count()
             }
         }
@@ -190,17 +296,17 @@ impl Plan {
 
     /// Short operator name, used in explain-style narrations of plans.
     pub fn operator_name(&self) -> &'static str {
-        match self {
-            Plan::Scan { .. } => "scan",
-            Plan::Values { .. } => "values",
-            Plan::Filter { .. } => "filter",
-            Plan::Project { .. } => "project",
-            Plan::NestedLoopJoin { .. } => "nested-loop join",
-            Plan::HashJoin { .. } => "hash join",
-            Plan::Aggregate { .. } => "aggregate",
-            Plan::Sort { .. } => "sort",
-            Plan::Limit { .. } => "limit",
-            Plan::Distinct { .. } => "distinct",
+        match &self.node {
+            PlanNode::Scan { .. } => "scan",
+            PlanNode::Values { .. } => "values",
+            PlanNode::Filter { .. } => "filter",
+            PlanNode::Project { .. } => "project",
+            PlanNode::NestedLoopJoin { .. } => "nested-loop join",
+            PlanNode::HashJoin { .. } => "hash join",
+            PlanNode::Aggregate { .. } => "aggregate",
+            PlanNode::Sort { .. } => "sort",
+            PlanNode::Limit { .. } => "limit",
+            PlanNode::Distinct { .. } => "distinct",
         }
     }
 }
@@ -231,31 +337,30 @@ mod tests {
 
     #[test]
     fn operator_count_walks_tree() {
-        let plan = Plan::Scan {
-            table: "MOVIES".into(),
-            alias: "m".into(),
-        }
-        .filter(Expr::col_cmp_value(0, CmpOp::Gt, Value::int(0)))
-        .limit(10);
+        let plan = Plan::scan("MOVIES", "m")
+            .filter(Expr::col_cmp_value(0, CmpOp::Gt, Value::int(0)))
+            .limit(10);
         assert_eq!(plan.operator_count(), 3);
         assert_eq!(plan.operator_name(), "limit");
     }
 
     #[test]
     fn join_operator_count_sums_both_sides() {
-        let left = Plan::Scan {
-            table: "A".into(),
-            alias: "a".into(),
-        };
-        let right = Plan::Scan {
-            table: "B".into(),
-            alias: "b".into(),
-        };
-        let join = Plan::NestedLoopJoin {
-            left: Box::new(left),
-            right: Box::new(right),
-            predicate: None,
-        };
+        let join = Plan::nested_loop_join(Plan::scan("A", "a"), Plan::scan("B", "b"), None);
         assert_eq!(join.operator_count(), 3);
+    }
+
+    #[test]
+    fn estimates_attach_to_any_node() {
+        let plan = Plan::scan("MOVIES", "m").with_estimate(10.0);
+        assert_eq!(plan.estimated_rows, Some(10.0));
+        let filtered = plan.filter(Expr::col_cmp_value(0, CmpOp::Gt, Value::int(0)));
+        assert_eq!(filtered.estimated_rows, None, "wrappers start unestimated");
+        let filtered = filtered.with_estimate(3.5);
+        assert_eq!(filtered.estimated_rows, Some(3.5));
+        match &filtered.node {
+            PlanNode::Filter { input, .. } => assert_eq!(input.estimated_rows, Some(10.0)),
+            other => panic!("expected filter, got {other:?}"),
+        }
     }
 }

@@ -18,7 +18,7 @@
 use crate::database::Database;
 use crate::error::StoreError;
 use crate::exec::aggregate::{agg_input, Accumulator, AggExpr};
-use crate::exec::plan::{aggregate_output_columns, ColumnInfo, Plan, SortKey};
+use crate::exec::plan::{aggregate_output_columns, ColumnInfo, Plan, PlanNode, SortKey};
 use crate::expr::Expr;
 use crate::table::Table;
 use crate::tuple::Row;
@@ -55,12 +55,19 @@ pub struct PlanProfile {
     pub detail: String,
     /// Output columns of this operator.
     pub columns: Vec<ColumnInfo>,
+    /// The planner's estimated output rows for this operator, when the plan
+    /// carried one.
+    pub estimated_rows: Option<f64>,
     /// Instrumentation counters (all zero when the plan was only described,
     /// not executed).
     pub metrics: OpMetrics,
     /// Child profiles (inputs of this operator).
     pub children: Vec<PlanProfile>,
 }
+
+/// Factor by which an estimate must be off (in either direction) before the
+/// tree rendering and the narration flag it.
+pub const MISESTIMATE_FACTOR: f64 = 10.0;
 
 impl PlanProfile {
     /// Depth-first pre-order walk over the profile tree.
@@ -80,10 +87,27 @@ impl PlanProfile {
             .sum::<usize>()
     }
 
-    /// Render the profile as a stable ASCII tree. With `analyze` the line for
-    /// each operator includes its actual row counts; timings are deliberately
-    /// left out of the tree (they are not stable across runs) and live only
-    /// in [`OpMetrics`].
+    /// How far the planner's estimate is off from the actual output, as a
+    /// ≥ 1.0 factor — `Some` only when the plan carried an estimate and the
+    /// factor reaches [`MISESTIMATE_FACTOR`]. Cardinalities are clamped to 1
+    /// so "estimated 0, saw 3" compares as 3×, not ∞.
+    pub fn misestimate(&self) -> Option<f64> {
+        let est = self.estimated_rows?.round().max(1.0);
+        let actual = (self.metrics.rows_out as f64).max(1.0);
+        let factor = if est > actual {
+            est / actual
+        } else {
+            actual / est
+        };
+        (factor >= MISESTIMATE_FACTOR).then_some(factor)
+    }
+
+    /// Render the profile as a stable ASCII tree. Every line shows the
+    /// planner's estimated rows when available; with `analyze` it also shows
+    /// the actual row counts (flagging estimates off by more than
+    /// [`MISESTIMATE_FACTOR`]). Timings are deliberately left out of the
+    /// tree (they are not stable across runs) and live only in
+    /// [`OpMetrics`].
     pub fn render_tree(&self, analyze: bool) -> String {
         let mut out = String::new();
         self.render_into(&mut out, "", "", analyze);
@@ -97,11 +121,23 @@ impl PlanProfile {
             out.push_str(": ");
             out.push_str(&self.detail);
         }
+        let est = self.estimated_rows.map(|e| format!("{:.0}", e.round()));
         if analyze {
-            out.push_str(&format!(
-                "  [rows={} in={} batches={}]",
-                self.metrics.rows_out, self.metrics.rows_in, self.metrics.batches
-            ));
+            match est {
+                Some(est) => out.push_str(&format!(
+                    "  [est={} actual={} in={} batches={}]",
+                    est, self.metrics.rows_out, self.metrics.rows_in, self.metrics.batches
+                )),
+                None => out.push_str(&format!(
+                    "  [actual={} in={} batches={}]",
+                    self.metrics.rows_out, self.metrics.rows_in, self.metrics.batches
+                )),
+            }
+            if let Some(factor) = self.misestimate() {
+                out.push_str(&format!("  <-- est off by {factor:.0}x"));
+            }
+        } else if let Some(est) = est {
+            out.push_str(&format!("  [est={est}]"));
         }
         out.push('\n');
         let n = self.children.len();
@@ -183,29 +219,32 @@ pub trait RowSource {
 /// validates table names and resolves output columns but does **not** read
 /// data — `EXPLAIN` uses this to describe a plan without executing it.
 pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>, StoreError> {
-    Ok(match plan {
-        Plan::Scan { table, alias } => {
+    let est = plan.estimated_rows;
+    Ok(match &plan.node {
+        PlanNode::Scan { table, alias } => {
             let t = db.table(table).ok_or_else(|| StoreError::UnknownTable {
                 table: table.clone(),
             })?;
-            Box::new(ScanSource::new(t, table.clone(), alias.clone()))
+            Box::new(ScanSource::new(t, table.clone(), alias.clone(), est))
         }
-        Plan::Values { columns, rows } => Box::new(ValuesSource {
+        PlanNode::Values { columns, rows } => Box::new(ValuesSource {
             columns: columns.clone(),
             rows: rows.clone(),
             cursor: 0,
+            est,
             meter: OpMetrics::default(),
         }),
-        Plan::Filter { input, predicate } => {
+        PlanNode::Filter { input, predicate } => {
             let input = open(db, input)?;
             Box::new(FilterSource {
                 detail: render_expr(predicate, input.columns()),
                 input,
                 predicate: predicate.clone(),
+                est,
                 meter: OpMetrics::default(),
             })
         }
-        Plan::Project {
+        PlanNode::Project {
             input,
             exprs,
             columns,
@@ -215,10 +254,11 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
                 input,
                 exprs: exprs.clone(),
                 columns: columns.clone(),
+                est,
                 meter: OpMetrics::default(),
             })
         }
-        Plan::NestedLoopJoin {
+        PlanNode::NestedLoopJoin {
             left,
             right,
             predicate,
@@ -240,10 +280,11 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
                 right_rows: None,
                 pending: VecDeque::new(),
                 done: false,
+                est,
                 meter: OpMetrics::default(),
             })
         }
-        Plan::HashJoin {
+        PlanNode::HashJoin {
             left,
             right,
             left_keys,
@@ -282,10 +323,11 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
                 build: None,
                 pending: VecDeque::new(),
                 done: false,
+                est,
                 meter: OpMetrics::default(),
             })
         }
-        Plan::Aggregate {
+        PlanNode::Aggregate {
             input,
             group_by,
             aggregates,
@@ -320,10 +362,11 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
                 columns,
                 detail: parts.join("; "),
                 pending: None,
+                est,
                 meter: OpMetrics::default(),
             })
         }
-        Plan::Sort { input, keys } => {
+        PlanNode::Sort { input, keys } => {
             let input = open(db, input)?;
             let detail = keys
                 .iter()
@@ -345,23 +388,26 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
                 keys: keys.clone(),
                 detail,
                 pending: None,
+                est,
                 meter: OpMetrics::default(),
             })
         }
-        Plan::Limit { input, n } => {
+        PlanNode::Limit { input, n } => {
             let input = open(db, input)?;
             Box::new(LimitSource {
                 input,
                 remaining: *n,
                 n: *n,
+                est,
                 meter: OpMetrics::default(),
             })
         }
-        Plan::Distinct { input } => {
+        PlanNode::Distinct { input } => {
             let input = open(db, input)?;
             Box::new(DistinctSource {
                 input,
                 seen: HashSet::new(),
+                est,
                 meter: OpMetrics::default(),
             })
         }
@@ -378,11 +424,17 @@ struct ScanSource<'a> {
     alias: String,
     columns: Vec<ColumnInfo>,
     cursor: usize,
+    est: Option<f64>,
     meter: OpMetrics,
 }
 
 impl<'a> ScanSource<'a> {
-    fn new(table: &'a Table, table_name: String, alias: String) -> ScanSource<'a> {
+    fn new(
+        table: &'a Table,
+        table_name: String,
+        alias: String,
+        est: Option<f64>,
+    ) -> ScanSource<'a> {
         let columns = table
             .schema()
             .columns
@@ -395,6 +447,7 @@ impl<'a> ScanSource<'a> {
             alias,
             columns,
             cursor: 0,
+            est,
             meter: OpMetrics::default(),
         }
     }
@@ -432,6 +485,7 @@ impl RowSource for ScanSource<'_> {
                 format!("{} as {}", self.table_name, self.alias)
             },
             columns: self.columns.clone(),
+            estimated_rows: self.est,
             metrics: self.meter,
             children: Vec::new(),
         }
@@ -446,6 +500,7 @@ struct ValuesSource {
     columns: Vec<ColumnInfo>,
     rows: Vec<Row>,
     cursor: usize,
+    est: Option<f64>,
     meter: OpMetrics,
 }
 
@@ -475,6 +530,7 @@ impl RowSource for ValuesSource {
             operator: "values".to_string(),
             detail: format!("{} literal rows", self.rows.len()),
             columns: self.columns.clone(),
+            estimated_rows: self.est,
             metrics: self.meter,
             children: Vec::new(),
         }
@@ -489,6 +545,7 @@ struct FilterSource<'a> {
     input: Box<dyn RowSource + 'a>,
     predicate: Expr,
     detail: String,
+    est: Option<f64>,
     meter: OpMetrics,
 }
 
@@ -528,6 +585,7 @@ impl RowSource for FilterSource<'_> {
             operator: "filter".to_string(),
             detail: self.detail.clone(),
             columns: self.input.columns().to_vec(),
+            estimated_rows: self.est,
             metrics: self.meter,
             children: vec![self.input.profile()],
         }
@@ -542,6 +600,7 @@ struct ProjectSource<'a> {
     input: Box<dyn RowSource + 'a>,
     exprs: Vec<Expr>,
     columns: Vec<ColumnInfo>,
+    est: Option<f64>,
     meter: OpMetrics,
 }
 
@@ -583,6 +642,7 @@ impl RowSource for ProjectSource<'_> {
                 .collect::<Vec<_>>()
                 .join(", "),
             columns: self.columns.clone(),
+            estimated_rows: self.est,
             metrics: self.meter,
             children: vec![self.input.profile()],
         }
@@ -603,6 +663,7 @@ struct NestedLoopJoinSource<'a> {
     right_rows: Option<Vec<Row>>,
     pending: VecDeque<Row>,
     done: bool,
+    est: Option<f64>,
     meter: OpMetrics,
 }
 
@@ -660,6 +721,7 @@ impl RowSource for NestedLoopJoinSource<'_> {
             operator: "nested-loop join".to_string(),
             detail: self.detail.clone(),
             columns: self.columns.clone(),
+            estimated_rows: self.est,
             metrics: self.meter,
             children: vec![self.left.profile(), self.right.profile()],
         }
@@ -694,6 +756,7 @@ struct HashJoinSource<'a> {
     build: Option<HashMap<Vec<GroupKey>, Vec<Row>>>,
     pending: VecDeque<Row>,
     done: bool,
+    est: Option<f64>,
     meter: OpMetrics,
 }
 
@@ -757,6 +820,7 @@ impl RowSource for HashJoinSource<'_> {
             operator: "hash join".to_string(),
             detail: self.detail.clone(),
             columns: self.columns.clone(),
+            estimated_rows: self.est,
             metrics: self.meter,
             children: vec![self.left.profile(), self.right.profile()],
         }
@@ -776,6 +840,7 @@ struct AggregateSource<'a> {
     detail: String,
     /// Result rows, computed on first pull.
     pending: Option<VecDeque<Row>>,
+    est: Option<f64>,
     meter: OpMetrics,
 }
 
@@ -865,6 +930,7 @@ impl RowSource for AggregateSource<'_> {
             operator: "aggregate".to_string(),
             detail: self.detail.clone(),
             columns: self.columns.clone(),
+            estimated_rows: self.est,
             metrics: self.meter,
             children: vec![self.input.profile()],
         }
@@ -880,6 +946,7 @@ struct SortSource<'a> {
     keys: Vec<SortKey>,
     detail: String,
     pending: Option<VecDeque<Row>>,
+    est: Option<f64>,
     meter: OpMetrics,
 }
 
@@ -912,6 +979,7 @@ impl RowSource for SortSource<'_> {
             operator: "sort".to_string(),
             detail: self.detail.clone(),
             columns: self.input.columns().to_vec(),
+            estimated_rows: self.est,
             metrics: self.meter,
             children: vec![self.input.profile()],
         }
@@ -942,6 +1010,7 @@ struct LimitSource<'a> {
     input: Box<dyn RowSource + 'a>,
     remaining: usize,
     n: usize,
+    est: Option<f64>,
     meter: OpMetrics,
 }
 
@@ -979,6 +1048,7 @@ impl RowSource for LimitSource<'_> {
             operator: "limit".to_string(),
             detail: self.n.to_string(),
             columns: self.input.columns().to_vec(),
+            estimated_rows: self.est,
             metrics: self.meter,
             children: vec![self.input.profile()],
         }
@@ -992,6 +1062,7 @@ impl RowSource for LimitSource<'_> {
 struct DistinctSource<'a> {
     input: Box<dyn RowSource + 'a>,
     seen: HashSet<Vec<GroupKey>>,
+    est: Option<f64>,
     meter: OpMetrics,
 }
 
@@ -1032,6 +1103,7 @@ impl RowSource for DistinctSource<'_> {
             operator: "distinct".to_string(),
             detail: String::new(),
             columns: self.input.columns().to_vec(),
+            estimated_rows: self.est,
             metrics: self.meter,
             children: vec![self.input.profile()],
         }
@@ -1064,10 +1136,7 @@ mod tests {
     }
 
     fn scan(table: &str, alias: &str) -> Plan {
-        Plan::Scan {
-            table: table.into(),
-            alias: alias.into(),
-        }
+        Plan::scan(table, alias)
     }
 
     #[test]
@@ -1148,12 +1217,7 @@ mod tests {
     fn aggregate_over_empty_input_still_produces_one_group() {
         let db = db();
         let empty = scan("T", "t").filter(Expr::col_cmp_value(0, CmpOp::Lt, Value::int(0)));
-        let plan = Plan::Aggregate {
-            input: Box::new(empty),
-            group_by: vec![],
-            aggregates: vec![AggExpr::count_star("cnt")],
-            having: None,
-        };
+        let plan = empty.aggregate(vec![], vec![AggExpr::count_star("cnt")], None);
         let mut src = open(&db, &plan).unwrap();
         let batch = src.next_batch().unwrap().unwrap();
         assert_eq!(batch.len(), 1);

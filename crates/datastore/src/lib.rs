@@ -37,6 +37,7 @@ pub use catalog::Catalog;
 pub use database::Database;
 pub use error::StoreError;
 pub use schema::{ColumnDef, ForeignKey, TableSchema};
+pub use stats::{ColumnStats, TableStats};
 pub use table::Table;
 pub use tuple::{NamedRow, Row};
 pub use value::{DataType, Date, Value};

@@ -26,10 +26,7 @@ fn seed_style_plan(
     use talkback::planner::lower_expr;
 
     let bound = sqlparse::bind_query(db.catalog(), query).unwrap();
-    let mut plan = Plan::Scan {
-        table: bound.tables[0].table.clone(),
-        alias: bound.tables[0].alias.clone(),
-    };
+    let mut plan = Plan::scan(bound.tables[0].table.clone(), bound.tables[0].alias.clone());
     let mut columns: Vec<ColumnInfo> = Vec::new();
     for table in &bound.tables {
         let schema = db.table(&table.table).unwrap().schema();
@@ -38,14 +35,11 @@ fn seed_style_plan(
         }
     }
     for table in &bound.tables[1..] {
-        plan = Plan::NestedLoopJoin {
-            left: Box::new(plan),
-            right: Box::new(Plan::Scan {
-                table: table.table.clone(),
-                alias: table.alias.clone(),
-            }),
-            predicate: None,
-        };
+        plan = Plan::nested_loop_join(
+            plan,
+            Plan::scan(table.table.clone(), table.alias.clone()),
+            None,
+        );
     }
     if let Some(selection) = &query.selection {
         plan = plan.filter(lower_expr(selection, &columns, &bound).unwrap());
@@ -114,31 +108,23 @@ fn hash_join_equals_nested_loop_reference_row_for_row() {
     use datastore::exec::Plan;
     use datastore::expr::Expr;
     let db = movie_database();
-    let scan = |t: &str, a: &str| Plan::Scan {
-        table: t.into(),
-        alias: a.into(),
-    };
+    let scan = |t: &str, a: &str| Plan::scan(t, a);
     // MOVIES ⋈ CAST ⋈ ACTOR, hash vs nested-loop with identical semantics.
-    let hash = Plan::HashJoin {
-        left: Box::new(Plan::HashJoin {
-            left: Box::new(scan("MOVIES", "m")),
-            right: Box::new(scan("CAST", "c")),
-            left_keys: vec![0],
-            right_keys: vec![0],
-        }),
-        right: Box::new(scan("ACTOR", "a")),
-        left_keys: vec![4],
-        right_keys: vec![0],
-    };
-    let nested = Plan::NestedLoopJoin {
-        left: Box::new(Plan::NestedLoopJoin {
-            left: Box::new(scan("MOVIES", "m")),
-            right: Box::new(scan("CAST", "c")),
-            predicate: Some(Expr::col_eq(0, 3)),
-        }),
-        right: Box::new(scan("ACTOR", "a")),
-        predicate: Some(Expr::col_eq(4, 6)),
-    };
+    let hash = Plan::hash_join(
+        Plan::hash_join(scan("MOVIES", "m"), scan("CAST", "c"), vec![0], vec![0]),
+        scan("ACTOR", "a"),
+        vec![4],
+        vec![0],
+    );
+    let nested = Plan::nested_loop_join(
+        Plan::nested_loop_join(
+            scan("MOVIES", "m"),
+            scan("CAST", "c"),
+            Some(Expr::col_eq(0, 3)),
+        ),
+        scan("ACTOR", "a"),
+        Some(Expr::col_eq(4, 6)),
+    );
     let a = execute(&db, &hash).unwrap();
     let b = execute(&db, &nested).unwrap();
     assert_eq!(a.columns, b.columns);
@@ -171,6 +157,8 @@ fn aggregates_over_empty_input_return_sql_scalar_semantics() {
 
 #[test]
 fn explain_golden_plan_tree_is_stable() {
+    // The optimizer reorders Q1 to start from the filtered ACTOR relation;
+    // every line carries the planner's estimate.
     let system = Talkback::new(movie_database());
     let e = system
         .explain_plan(
@@ -180,13 +168,73 @@ fn explain_golden_plan_tree_is_stable() {
         .unwrap();
     assert_eq!(
         e.tree,
-        "project: m.title\n\
-         └─ hash join: c.aid = a.id\n\
-         \u{20}\u{20}\u{20}├─ hash join: m.id = c.mid\n\
-         \u{20}\u{20}\u{20}│  ├─ scan: MOVIES as m\n\
-         \u{20}\u{20}\u{20}│  └─ scan: CAST as c\n\
-         \u{20}\u{20}\u{20}└─ filter: a.name = 'Brad Pitt'\n\
-         \u{20}\u{20}\u{20}\u{20}\u{20}\u{20}└─ scan: ACTOR as a\n"
+        "project: m.title  [est=2]\n\
+         └─ hash join: c.mid = m.id  [est=2]\n\
+         \u{20}\u{20}\u{20}├─ hash join: a.id = c.aid  [est=2]\n\
+         \u{20}\u{20}\u{20}│  ├─ filter: a.name = 'Brad Pitt'  [est=1]\n\
+         \u{20}\u{20}\u{20}│  │  └─ scan: ACTOR as a  [est=6]\n\
+         \u{20}\u{20}\u{20}│  └─ scan: CAST as c  [est=12]\n\
+         \u{20}\u{20}\u{20}└─ scan: MOVIES as m  [est=10]\n"
+    );
+}
+
+#[test]
+fn explain_analyze_golden_estimates_and_actuals_are_stable() {
+    // Golden rendering of the est=…/actual=… pairs `EXPLAIN ANALYZE` shows
+    // per operator.
+    let system = Talkback::new(movie_database());
+    let e = system
+        .explain_plan(
+            "explain analyze select m.title from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
+        )
+        .unwrap();
+    assert_eq!(
+        e.tree,
+        "project: m.title  [est=2 actual=2 in=2 batches=1]\n\
+         └─ hash join: c.mid = m.id  [est=2 actual=2 in=12 batches=1]\n\
+         \u{20}\u{20}\u{20}├─ hash join: a.id = c.aid  [est=2 actual=2 in=13 batches=1]\n\
+         \u{20}\u{20}\u{20}│  ├─ filter: a.name = 'Brad Pitt'  [est=1 actual=1 in=6 batches=1]\n\
+         \u{20}\u{20}\u{20}│  │  └─ scan: ACTOR as a  [est=6 actual=6 in=6 batches=1]\n\
+         \u{20}\u{20}\u{20}│  └─ scan: CAST as c  [est=12 actual=12 in=12 batches=1]\n\
+         \u{20}\u{20}\u{20}└─ scan: MOVIES as m  [est=10 actual=10 in=10 batches=1]\n"
+    );
+    // And the narration justifies the join order in natural language.
+    assert!(e.narration.contains("I started from ACTOR"));
+    assert!(e.narration.contains("fewer intermediate rows"));
+}
+
+#[test]
+fn worst_from_order_plans_identically_to_best_from_order() {
+    // Acceptance: a 3-way join written in the worst FROM order produces the
+    // same join tree as the best FROM order — the optimizer's choice, not
+    // the query's wording, decides the plan.
+    let db = scaled_movie_database(ScaleConfig {
+        movies: 1000,
+        actors: 600,
+        directors: 200,
+        ..ScaleConfig::default()
+    });
+    let worst = "select m.title from MOVIES m, ACTOR a, CAST c \
+                 where m.id = c.mid and c.aid = a.id and a.name = 'Alex Smith #1'";
+    let best = "select m.title from ACTOR a, CAST c, MOVIES m \
+                where a.name = 'Alex Smith #1' and c.aid = a.id and m.id = c.mid";
+    let worst_planned = plan_query(&db, &sqlparse::parse_query(worst).unwrap()).unwrap();
+    let best_planned = plan_query(&db, &sqlparse::parse_query(best).unwrap()).unwrap();
+    let worst_tree = describe_plan(&db, &worst_planned.plan)
+        .unwrap()
+        .render_tree(false);
+    let best_tree = describe_plan(&db, &best_planned.plan)
+        .unwrap()
+        .render_tree(false);
+    assert_eq!(
+        worst_tree, best_tree,
+        "same join tree regardless of FROM order"
+    );
+    // Both answer identically, of course.
+    assert_eq!(
+        execute(&db, &worst_planned.plan).unwrap().len(),
+        execute(&db, &best_planned.plan).unwrap().len()
     );
 }
 
@@ -227,8 +275,9 @@ fn explain_analyze_narration_row_counts_match_actual_execution() {
     // The narration reports the final cardinality in words.
     assert!(mentions(&e.narration, "two rows"));
     assert!(mentions(&e.narration, "scanned"));
-    // And the ANALYZE tree carries the per-operator counters.
-    assert!(e.tree.contains("[rows=2"));
+    // And the ANALYZE tree carries the per-operator counters and estimates.
+    assert!(e.tree.contains("actual=2"));
+    assert!(e.tree.contains("est="));
 }
 
 #[test]
