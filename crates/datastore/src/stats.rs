@@ -1,13 +1,28 @@
-//! Derived data: samples, histograms and simple distribution summaries.
+//! Derived data: samples, histograms, distribution summaries — and the
+//! statistics the optimizer plans with.
 //!
 //! Section 2.1 of the paper points out that "database samples, histograms,
 //! data distribution approximations are all, in some sense, small databases
 //! and can be summarized textually as above". This module provides those
-//! derived artifacts so the content translator can narrate them.
+//! derived artifacts so the content translator can narrate them, and it is
+//! also the estimation layer behind cost-based join ordering: [`TableStats`]
+//! collects per-column NDV, null counts, min/max and a histogram once per
+//! table (cached on [`crate::Database`]), [`ColumnStats`] turns predicates
+//! into selectivities, and [`join_cardinality`] is the classic
+//! |L|·|R| / max(ndv_l, ndv_r) estimate — the numbers the planner quotes
+//! when it explains *why* it chose a join order.
 
 use crate::table::Table;
-use crate::value::Value;
-use std::collections::BTreeMap;
+use crate::value::{GroupKey, Value};
+use std::collections::{BTreeMap, HashSet};
+
+/// Buckets used for the histograms collected into [`TableStats`].
+pub const STATS_HISTOGRAM_BUCKETS: usize = 10;
+
+/// Selectivity assumed for predicates the estimator cannot interpret
+/// (non-literal comparisons, LIKE, cross-variable residuals…). One third is
+/// the traditional System R guess for an inequality.
+pub const DEFAULT_SELECTIVITY: f64 = 1.0 / 3.0;
 
 /// An equi-width histogram over a numeric column.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,17 +69,51 @@ impl Histogram {
             .max_by_key(|(_, c)| **c)
             .map(|(i, _)| i)
     }
+
+    /// Estimated fraction of non-NULL values strictly below `x`, with linear
+    /// interpolation inside the bucket containing `x`. Clamped to [0, 1].
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        if x <= self.min {
+            return 0.0;
+        }
+        if x >= self.max {
+            return 1.0;
+        }
+        let width = self.bucket_width();
+        if width <= 0.0 {
+            // Degenerate single-point distribution: min == max handled above.
+            return 0.0;
+        }
+        let idx = (((x - self.min) / width) as usize).min(self.buckets.len() - 1);
+        let below: usize = self.buckets[..idx].iter().sum();
+        let (lo, _hi) = self.bucket_range(idx);
+        let within = ((x - lo) / width).clamp(0.0, 1.0) * self.buckets[idx] as f64;
+        ((below as f64 + within) / total as f64).clamp(0.0, 1.0)
+    }
 }
 
 /// Build an equi-width histogram over a numeric column.
 pub fn histogram(table: &Table, column: &str, buckets: usize) -> Option<Histogram> {
-    if buckets == 0 {
-        return None;
-    }
     let values = table.column_values(column);
     let numeric: Vec<f64> = values.iter().filter_map(Value::as_f64).collect();
     let nulls = values.iter().filter(|v| v.is_null()).count();
-    if numeric.is_empty() {
+    histogram_from_numeric(table.name(), column, &numeric, nulls, buckets)
+}
+
+/// Build an equi-width histogram from already-extracted numeric values —
+/// the shared core of [`histogram`] and [`TableStats::collect`].
+fn histogram_from_numeric(
+    table: &str,
+    column: &str,
+    numeric: &[f64],
+    nulls: usize,
+    buckets: usize,
+) -> Option<Histogram> {
+    if buckets == 0 || numeric.is_empty() {
         return None;
     }
     let min = numeric.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -75,7 +124,7 @@ pub fn histogram(table: &Table, column: &str, buckets: usize) -> Option<Histogra
     } else {
         1.0
     };
-    for x in &numeric {
+    for x in numeric {
         let mut idx = ((x - min) / width) as usize;
         if idx >= buckets {
             idx = buckets - 1;
@@ -83,7 +132,7 @@ pub fn histogram(table: &Table, column: &str, buckets: usize) -> Option<Histogra
         counts[idx] += 1;
     }
     Some(Histogram {
-        table: table.name().to_string(),
+        table: table.to_string(),
         column: column.to_string(),
         min,
         max,
@@ -163,6 +212,218 @@ pub fn summarize_column(table: &Table, column: &str) -> Option<ColumnSummary> {
     })
 }
 
+/// Estimation-oriented statistics of one column: NDV, null count, bounds and
+/// (for numeric columns) an equi-width histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    pub column: String,
+    /// Number of distinct non-NULL values.
+    pub ndv: usize,
+    /// Number of NULL values.
+    pub nulls: usize,
+    /// Number of non-NULL values.
+    pub non_null: usize,
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+    /// Histogram over the column, when it is numeric.
+    pub histogram: Option<Histogram>,
+}
+
+impl ColumnStats {
+    /// Total number of values (rows) the column was collected over.
+    pub fn rows(&self) -> usize {
+        self.non_null + self.nulls
+    }
+
+    /// Fraction of rows that are non-NULL. 1.0 over an empty column (a
+    /// predicate over no rows eliminates nothing, and 0/0 should not poison
+    /// downstream products).
+    pub fn non_null_fraction(&self) -> f64 {
+        let rows = self.rows();
+        if rows == 0 {
+            1.0
+        } else {
+            self.non_null as f64 / rows as f64
+        }
+    }
+
+    /// Selectivity of `column = <literal>` under the uniform-NDV assumption:
+    /// the matching rows are the non-NULL fraction spread evenly over the
+    /// distinct values. Zero when the column holds no values at all.
+    pub fn eq_selectivity(&self) -> f64 {
+        if self.ndv == 0 {
+            return 0.0;
+        }
+        self.non_null_fraction() / self.ndv as f64
+    }
+
+    /// Selectivity of `column < x` (or `<= x` with `inclusive`), estimated
+    /// from the histogram when one exists, else from linear interpolation
+    /// between min and max, else [`DEFAULT_SELECTIVITY`].
+    pub fn lt_selectivity(&self, x: f64, inclusive: bool) -> f64 {
+        let below = match &self.histogram {
+            Some(h) => h.fraction_below(x),
+            None => match (
+                self.min.as_ref().and_then(Value::as_f64),
+                self.max.as_ref().and_then(Value::as_f64),
+            ) {
+                (Some(min), Some(max)) if max > min => ((x - min) / (max - min)).clamp(0.0, 1.0),
+                (Some(min), Some(_)) => {
+                    // Single-point distribution.
+                    if x > min || (inclusive && x == min) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                _ => return DEFAULT_SELECTIVITY,
+            },
+        };
+        // `below` is a fraction of the non-NULL values, so the equality mass
+        // moved at the boundary must also be a fraction of the non-NULLs
+        // (1/NDV) — the single non-null scaling happens at the end. The mass
+        // is only added for `<=` when x can actually be a value (within the
+        // column's range), and subtracted for a strict `<` at exactly the
+        // maximum, where the histogram's fraction_below saturates at 1.0
+        // although the max-valued rows do not match.
+        let eq_mass = if self.ndv > 0 {
+            1.0 / self.ndv as f64
+        } else {
+            0.0
+        };
+        let min = self.min.as_ref().and_then(Value::as_f64);
+        let max = self.max.as_ref().and_then(Value::as_f64);
+        let within_range =
+            min.map(|m| x >= m).unwrap_or(true) && max.map(|m| x <= m).unwrap_or(true);
+        let fraction = if inclusive && within_range {
+            (below + eq_mass).min(1.0)
+        } else if !inclusive && max == Some(x) {
+            (below - eq_mass).max(0.0)
+        } else {
+            below
+        };
+        fraction * self.non_null_fraction()
+    }
+
+    /// Selectivity of `column > x` (or `>= x`).
+    pub fn gt_selectivity(&self, x: f64, inclusive: bool) -> f64 {
+        let complement = self.lt_selectivity(x, !inclusive);
+        (self.non_null_fraction() - complement).max(0.0)
+    }
+
+    /// Selectivity of `column BETWEEN lo AND hi` (inclusive bounds).
+    pub fn between_selectivity(&self, lo: f64, hi: f64) -> f64 {
+        if hi < lo {
+            return 0.0;
+        }
+        (self.lt_selectivity(hi, true) - self.lt_selectivity(lo, false)).max(0.0)
+    }
+
+    /// Selectivity of `column IS NULL`.
+    pub fn null_selectivity(&self) -> f64 {
+        let rows = self.rows();
+        if rows == 0 {
+            0.0
+        } else {
+            self.nulls as f64 / rows as f64
+        }
+    }
+}
+
+/// Per-table statistics, collected in one pass over the rows and cached on
+/// the [`crate::Database`] catalog until the table is next written.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    pub table: String,
+    pub row_count: usize,
+    /// Column statistics keyed by lower-cased column name.
+    columns: BTreeMap<String, ColumnStats>,
+}
+
+impl TableStats {
+    /// Collect statistics for every column of a table, in a single pass
+    /// over the rows: per column it counts NULLs, tracks min/max by
+    /// reference, hashes distinct values as [`GroupKey`]s and gathers the
+    /// numeric values the histogram is built from — no per-value cloning
+    /// until the final min/max are materialized.
+    pub fn collect(table: &Table) -> TableStats {
+        let schema_columns = &table.schema().columns;
+        let ncols = schema_columns.len();
+        let mut nulls = vec![0usize; ncols];
+        let mut distinct: Vec<HashSet<GroupKey>> = vec![HashSet::new(); ncols];
+        let mut bounds: Vec<Option<(&Value, &Value)>> = vec![None; ncols];
+        let mut numeric: Vec<Vec<f64>> = vec![Vec::new(); ncols];
+        for row in table.rows() {
+            for i in 0..ncols {
+                let Some(v) = row.get(i) else { continue };
+                if v.is_null() {
+                    nulls[i] += 1;
+                    continue;
+                }
+                distinct[i].insert(v.group_key());
+                bounds[i] = Some(match bounds[i] {
+                    None => (v, v),
+                    Some((min, max)) => (
+                        if v.total_cmp(min).is_lt() { v } else { min },
+                        if v.total_cmp(max).is_gt() { v } else { max },
+                    ),
+                });
+                if let Some(x) = v.as_f64() {
+                    numeric[i].push(x);
+                }
+            }
+        }
+        let mut columns = BTreeMap::new();
+        for (i, col) in schema_columns.iter().enumerate() {
+            let non_null = table.len() - nulls[i];
+            columns.insert(
+                col.name.to_lowercase(),
+                ColumnStats {
+                    column: col.name.clone(),
+                    ndv: distinct[i].len(),
+                    nulls: nulls[i],
+                    non_null,
+                    min: bounds[i].map(|(min, _)| min.clone()),
+                    max: bounds[i].map(|(_, max)| max.clone()),
+                    histogram: histogram_from_numeric(
+                        table.name(),
+                        &col.name,
+                        &numeric[i],
+                        nulls[i],
+                        STATS_HISTOGRAM_BUCKETS,
+                    ),
+                },
+            );
+        }
+        TableStats {
+            table: table.name().to_string(),
+            row_count: table.len(),
+            columns,
+        }
+    }
+
+    /// Statistics of one column by case-insensitive name.
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.get(&name.to_lowercase())
+    }
+
+    /// NDV of a column, defaulting to 1 when the column is unknown (the
+    /// safest assumption: an unknown key does not reduce a join's output).
+    pub fn ndv(&self, column: &str) -> usize {
+        self.column(column).map(|c| c.ndv).unwrap_or(1)
+    }
+}
+
+/// The classic equi-join cardinality estimate:
+/// `|L| · |R| / max(ndv_l, ndv_r)`, with NDVs clamped to at least 1 so
+/// empty-statistics inputs degrade to a cross product rather than dividing
+/// by zero. NDVs should already be capped at each side's cardinality by the
+/// caller when the inputs are filtered intermediates.
+pub fn join_cardinality(left_rows: f64, right_rows: f64, left_ndv: usize, right_ndv: usize) -> f64 {
+    let d = left_ndv.max(right_ndv).max(1) as f64;
+    left_rows * right_rows / d
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +497,148 @@ mod tests {
         assert_eq!(sample_rows(&t, 100).len(), 6);
         assert_eq!(sample_rows(&t, 3), sample_rows(&t, 3));
         assert!(sample_rows(&t, 0).is_empty());
+    }
+
+    #[test]
+    fn table_stats_collects_ndv_nulls_and_bounds() {
+        let t = table();
+        let s = TableStats::collect(&t);
+        assert_eq!(s.row_count, 6);
+        let year = s.column("YEAR").unwrap();
+        assert_eq!(year.ndv, 4);
+        assert_eq!(year.nulls, 1);
+        assert_eq!(year.non_null, 5);
+        assert_eq!(year.min, Some(Value::int(1990)));
+        assert_eq!(year.max, Some(Value::int(2005)));
+        assert!(year.histogram.is_some(), "numeric column gets a histogram");
+        let title = s.column("title").unwrap();
+        assert_eq!(title.ndv, 6);
+        assert!(title.histogram.is_none(), "text column has no histogram");
+        assert!(s.column("missing").is_none());
+        assert_eq!(s.ndv("id"), 6);
+        assert_eq!(s.ndv("missing"), 1, "unknown column defaults to NDV 1");
+    }
+
+    #[test]
+    fn eq_selectivity_is_one_over_ndv_scaled_by_nulls() {
+        let t = table();
+        let s = TableStats::collect(&t);
+        let id = s.column("id").unwrap();
+        assert!((id.eq_selectivity() - 1.0 / 6.0).abs() < 1e-9);
+        // year: 5/6 non-null spread over 4 distinct values.
+        let year = s.column("year").unwrap();
+        assert!((year.eq_selectivity() - (5.0 / 6.0) / 4.0).abs() < 1e-9);
+        assert!((year.null_selectivity() - 1.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_table_stats_do_not_divide_by_zero() {
+        let t = Table::new(TableSchema::new(
+            "EMPTY",
+            vec![ColumnDef::new("x", DataType::Integer)],
+        ));
+        let s = TableStats::collect(&t);
+        assert_eq!(s.row_count, 0);
+        let x = s.column("x").unwrap();
+        assert_eq!(x.ndv, 0);
+        assert_eq!(x.eq_selectivity(), 0.0);
+        assert_eq!(x.null_selectivity(), 0.0);
+        assert_eq!(x.non_null_fraction(), 1.0);
+        // Range estimation over no data falls back to the default guess.
+        assert_eq!(x.lt_selectivity(10.0, false), DEFAULT_SELECTIVITY);
+        // Joining an empty relation estimates zero rows.
+        assert_eq!(join_cardinality(0.0, 100.0, 0, 7), 0.0);
+    }
+
+    #[test]
+    fn all_null_column_selectivities() {
+        let mut t = Table::new(TableSchema::new(
+            "N",
+            vec![ColumnDef::nullable("x", DataType::Integer)],
+        ));
+        for _ in 0..4 {
+            t.insert_values(vec![Value::Null]).unwrap();
+        }
+        let s = TableStats::collect(&t);
+        let x = s.column("x").unwrap();
+        assert_eq!(x.ndv, 0);
+        assert_eq!(x.eq_selectivity(), 0.0, "equality never matches NULL");
+        assert_eq!(x.null_selectivity(), 1.0);
+        assert_eq!(x.non_null_fraction(), 0.0);
+    }
+
+    #[test]
+    fn range_selectivity_uses_the_histogram() {
+        let t = table();
+        let s = TableStats::collect(&t);
+        let year = s.column("year").unwrap();
+        // Everything is within [1990, 2005]: below the min nothing matches,
+        // above the max everything non-null matches.
+        assert_eq!(year.lt_selectivity(1900.0, false), 0.0);
+        assert!((year.gt_selectivity(2100.0, false)).abs() < 1e-9);
+        let all = year.lt_selectivity(2100.0, false);
+        assert!((all - 5.0 / 6.0).abs() < 1e-9, "all non-null rows: {all}");
+        // A mid-range cut matches some fraction strictly between.
+        let mid = year.gt_selectivity(2000.0, false);
+        assert!(mid > 0.0 && mid < 5.0 / 6.0, "mid-range selectivity {mid}");
+        // BETWEEN covering the whole range ~ the non-null fraction.
+        let span = year.between_selectivity(1990.0, 2005.0);
+        assert!((span - 5.0 / 6.0).abs() < 0.2, "between span {span}");
+        assert_eq!(year.between_selectivity(2010.0, 2000.0), 0.0);
+    }
+
+    #[test]
+    fn inclusive_range_on_nullable_column_does_not_double_scale_nulls() {
+        // 4 rows: 2 NULLs, 2 values equal to 7 (ndv=1). `col <= 7` matches
+        // exactly half the rows; the equality mass must be scaled by the
+        // non-null fraction exactly once.
+        let mut t = Table::new(TableSchema::new(
+            "H",
+            vec![ColumnDef::nullable("x", DataType::Integer)],
+        ));
+        for v in [Value::int(7), Value::int(7), Value::Null, Value::Null] {
+            t.insert_values(vec![v]).unwrap();
+        }
+        let s = TableStats::collect(&t);
+        let x = s.column("x").unwrap();
+        assert!((x.lt_selectivity(7.0, true) - 0.5).abs() < 1e-9);
+        assert_eq!(x.lt_selectivity(7.0, false), 0.0);
+    }
+
+    #[test]
+    fn range_boundaries_respect_strictness_and_column_bounds() {
+        let t = table();
+        let s = TableStats::collect(&t);
+        let year = s.column("year").unwrap();
+        // Strict `year < max` must not claim every non-NULL row: the rows
+        // equal to the max (2005 appears twice) do not match.
+        assert!(
+            year.lt_selectivity(2005.0, false) < year.non_null_fraction(),
+            "strict < max must exclude the max-valued rows"
+        );
+        // An inclusive bound below the column minimum matches nothing; no
+        // phantom equality mass is added outside the range.
+        assert_eq!(year.lt_selectivity(1000.0, true), 0.0);
+        assert_eq!(year.between_selectivity(500.0, 1000.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_fraction_below_interpolates() {
+        let t = table();
+        let h = histogram(&t, "year", 3).unwrap();
+        assert_eq!(h.fraction_below(h.min), 0.0);
+        assert_eq!(h.fraction_below(h.max + 1.0), 1.0);
+        let mid = h.fraction_below((h.min + h.max) / 2.0);
+        assert!(mid > 0.0 && mid < 1.0);
+    }
+
+    #[test]
+    fn join_cardinality_formula() {
+        // |L|·|R| / max(ndv).
+        assert_eq!(join_cardinality(1000.0, 3000.0, 1000, 1000), 3000.0);
+        assert_eq!(join_cardinality(10.0, 12.0, 10, 8), 12.0);
+        // NDV of zero (no stats) degrades to a cross product, not a panic.
+        assert_eq!(join_cardinality(5.0, 4.0, 0, 0), 20.0);
     }
 
     #[test]
