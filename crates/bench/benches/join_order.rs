@@ -49,6 +49,7 @@ fn bench_join_order(c: &mut Criterion) {
             &query,
             PlannerOptions {
                 reorder_joins: false,
+                ..PlannerOptions::default()
             },
         )
         .expect("FROM-order plan")

@@ -29,15 +29,20 @@
 //! them:
 //!
 //! 1. **sqlparse** parses SQL, including `EXPLAIN [ANALYZE] <select>`.
-//! 2. **[`planner`]** lowers a query to a `datastore` [`datastore::exec::Plan`]
-//!    in two phases: the *logical* phase decomposes WHERE into a join graph
-//!    (equi-join edges, pushed single-table conjuncts, residual predicates)
-//!    and the *cost* phase greedily picks a left-deep join order from table
-//!    statistics (per-column NDV, min/max and histograms cached on the
-//!    `Database`) — smallest estimated relation first, then whichever
-//!    connected relation keeps the estimated intermediate result smallest.
-//!    Every operator gets an estimated row count and every ordering choice
-//!    is recorded as a [`PlanDecision`].
+//! 2. **[`planner`]** lowers a query to a `datastore` [`datastore::exec::Plan`]:
+//!    the *logical* phase decomposes WHERE into a join graph (equi-join
+//!    edges, pushed single-table conjuncts, residual predicates), the *cost*
+//!    phase greedily picks a left-deep join order from table statistics
+//!    (per-column NDV, min/max and histograms cached on the `Database`) —
+//!    smallest estimated relation first, then whichever connected relation
+//!    keeps the estimated intermediate result smallest — and the *subquery*
+//!    phase decorrelates `WHERE`/`HAVING` subqueries into semi-/anti-joins
+//!    (NULL-aware for `NOT IN`) or evaluate-once scalars, falling back to a
+//!    memoized per-row `Apply` for genuinely correlated shapes, so every
+//!    paper query (Q1–Q9, including Q6's relational division and Q7's
+//!    correlated HAVING count) executes. Every operator gets an estimated
+//!    row count and every ordering or decorrelation choice is recorded as a
+//!    [`PlanDecision`].
 //! 3. **datastore/exec** opens the plan into a tree of streaming, pull-based
 //!    `RowSource` operators exchanging row batches; every operator counts
 //!    rows in/out, batches and elapsed time ([`datastore::exec::OpMetrics`]).

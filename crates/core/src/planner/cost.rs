@@ -28,6 +28,23 @@ pub struct Alternative {
     pub estimated_rows: f64,
 }
 
+/// How the planner chose to execute one subquery predicate — the
+/// decorrelation taxonomy, from cheapest to most general.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubqueryStrategy {
+    /// `EXISTS` / `IN` flattened into a hash semi-join.
+    SemiJoin,
+    /// `NOT EXISTS` flattened into a hash anti-join.
+    AntiJoin,
+    /// `NOT IN` flattened into a NULL-aware hash anti-join.
+    NullAwareAntiJoin,
+    /// An uncorrelated scalar subquery, evaluated once and cached.
+    ScalarOnce,
+    /// The correlated fallback: re-evaluated per row, memoized per distinct
+    /// correlation-parameter binding.
+    Apply,
+}
+
 /// One recorded optimizer choice. The planner returns these alongside the
 /// plan; `EXPLAIN` narrates them ("I started from ACTOR … because that
 /// order was expected to produce ~40× fewer intermediate rows").
@@ -64,6 +81,19 @@ pub enum PlanDecision {
         written: Vec<String>,
         chosen_cost: f64,
         written_cost: f64,
+    },
+    /// How a subquery predicate was lowered, so EXPLAIN can say *why* ("I
+    /// turned `EXISTS (…)` into a semi-join on m.id = c.mid").
+    Subquery {
+        /// The predicate as written (possibly shortened).
+        construct: String,
+        /// The strategy chosen for it.
+        strategy: SubqueryStrategy,
+        /// The decorrelated join keys ("m.id = c.mid"), when the strategy is
+        /// a semi-/anti-join.
+        on: Option<String>,
+        /// The correlation columns an `Apply` binds per row, when any.
+        correlated_on: Vec<String>,
     },
 }
 
@@ -167,10 +197,14 @@ impl<'a> Estimator<'a> {
     /// the column arrives with (a filtered or already-joined input cannot
     /// contribute more distinct keys than it has rows).
     fn key_ndv(&self, rel: &Relation, column: &str, arriving_rows: f64) -> usize {
-        let ndv = self
-            .table_stats(&rel.table)
-            .map(|s| s.ndv(column))
-            .unwrap_or(1);
+        self.table_column_ndv(&rel.table, column, arriving_rows)
+    }
+
+    /// NDV of a named table's column, capped the same way — used by the
+    /// subquery pass, whose probe/build sides are not always join-graph
+    /// relations.
+    pub fn table_column_ndv(&self, table: &str, column: &str, arriving_rows: f64) -> usize {
+        let ndv = self.table_stats(table).map(|s| s.ndv(column)).unwrap_or(1);
         ndv.min(arriving_rows.ceil().max(1.0) as usize).max(1)
     }
 

@@ -90,8 +90,9 @@ pub fn ref_alias(c: &ColumnRef, bound: &BoundQuery) -> Option<String> {
         .or_else(|| bound.qualifier_of(c).map(str::to_string))
 }
 
-/// Declared type of a column, if the table and column exist.
-fn column_type(db: &Database, table: &str, column: &str) -> Option<datastore::DataType> {
+/// Declared type of a column, if the table and column exist. The subquery
+/// pass uses this too, to keep mixed-type equalities out of hash keys.
+pub(super) fn column_type(db: &Database, table: &str, column: &str) -> Option<datastore::DataType> {
     let schema = db.table(table)?.schema();
     schema
         .columns

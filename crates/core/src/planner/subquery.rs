@@ -1,0 +1,1124 @@
+//! The subquery execution subsystem: classification, decorrelation, and
+//! lowering of `WHERE` / `HAVING` subqueries onto the physical operators
+//! that run them.
+//!
+//! The decorrelation taxonomy, from cheapest strategy to most general:
+//!
+//! 1. **Semi-join** ([`SubqueryStrategy::SemiJoin`]) — `EXISTS (…)` whose
+//!    only correlation with the enclosing block is a conjunction of
+//!    top-level equalities `inner.col = outer.col`, and uncorrelated
+//!    `IN (subquery)`. The equalities are stripped from the subquery and
+//!    become hash keys of a [`datastore::exec::PlanNode::HashSemiJoin`]
+//!    whose build side is the subquery planned *once*.
+//! 2. **Anti-join** ([`SubqueryStrategy::AntiJoin`] /
+//!    [`SubqueryStrategy::NullAwareAntiJoin`]) — the same shapes negated.
+//!    `NOT EXISTS` uses plain anti-join semantics; `NOT IN` needs the
+//!    NULL-aware variant, because a single NULL on either side turns the
+//!    whole predicate UNKNOWN.
+//! 3. **Scalar-once** ([`SubqueryStrategy::ScalarOnce`]) — an uncorrelated
+//!    scalar comparison `expr <op> (SELECT …)`: the subquery is evaluated a
+//!    single time and its cached value filters the outer rows.
+//! 4. **Apply** ([`SubqueryStrategy::Apply`]) — everything genuinely
+//!    correlated (Q6's nested division, Q7's correlated `HAVING` count,
+//!    quantified comparisons). The subquery is planned with
+//!    [`datastore::Expr::Param`] placeholders for the enclosing row's
+//!    columns; at run time the operator binds each row's values, executes
+//!    the subplan, and memoizes the result per distinct binding.
+//!
+//! Scoping is explicit: a [`ScopeChain`] carries, innermost-last, the output
+//! columns of every enclosing operator a subquery may reference. Planning a
+//! column reference that does not resolve locally walks the chain and
+//! allocates a correlation parameter against the scope that owns it, so a
+//! doubly-nested block (Q6's innermost `NOT EXISTS`) can be decorrelated
+//! into an anti-join against its *immediate* outer block while still
+//! referencing the outermost block through a parameter the top-level
+//! `Apply` binds.
+//!
+//! Every choice is recorded as a [`PlanDecision::Subquery`], which is how
+//! `EXPLAIN` can say "I turned `EXISTS (…)` into a semi-join on m.id =
+//! c.mid" — the optimizer talking back about its own rewrites, in the
+//! spirit of the paper.
+
+use super::cost::{Estimator, PlanDecision, SubqueryStrategy};
+use super::logical::{build_join_graph, column_type};
+use super::physical::{lower_expr_scoped, lower_having_operand, lower_select};
+use super::PlannerOptions;
+use crate::error::TalkbackError;
+use datastore::exec::{AggExpr, ApplyMode, ColumnInfo, Plan};
+use datastore::expr::{CmpOp, Expr as PExpr};
+use datastore::stats::{anti_join_cardinality, semi_join_selectivity, DEFAULT_SELECTIVITY};
+use datastore::{DataType, Database};
+use sqlparse::ast::{
+    AggregateFunction, BinaryOperator, ColumnRef, Expr, Quantifier, SelectItem, SelectStatement,
+};
+use sqlparse::bind::{bind_subquery, BoundQuery};
+use sqlparse::rewrite::flatten_in_subqueries;
+use std::cell::{Cell, RefCell};
+use std::collections::HashSet;
+
+/// Shared state of one planning pass: the database, the planner knobs, the
+/// correlation-parameter counter, and the subquery decisions recorded for
+/// narration.
+pub(super) struct SubqueryContext<'a> {
+    pub db: &'a Database,
+    pub options: PlannerOptions,
+    next_param: Cell<u32>,
+    decisions: RefCell<Vec<PlanDecision>>,
+}
+
+/// One enclosing row scope a subquery can reference: the columns of the
+/// operator output the enclosing `Apply` will iterate, plus the parameters
+/// allocated against it so far.
+pub(super) struct OuterScope {
+    columns: Vec<ColumnInfo>,
+    bound: BoundQuery,
+    params: RefCell<Vec<(u32, usize)>>,
+}
+
+impl OuterScope {
+    pub fn new(columns: Vec<ColumnInfo>, bound: BoundQuery) -> OuterScope {
+        OuterScope {
+            columns,
+            bound,
+            params: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The parameter id bound to column `idx` of this scope, allocating a
+    /// fresh one on first use.
+    fn param_for(&self, idx: usize, counter: &Cell<u32>) -> u32 {
+        let mut params = self.params.borrow_mut();
+        if let Some(&(id, _)) = params.iter().find(|(_, i)| *i == idx) {
+            return id;
+        }
+        let id = counter.get();
+        counter.set(id + 1);
+        params.push((id, idx));
+        id
+    }
+
+    /// The `(param id, column index)` pairs the owning `Apply` must bind.
+    pub fn params(&self) -> Vec<(u32, usize)> {
+        self.params.borrow().clone()
+    }
+}
+
+/// The stack of enclosing scopes (innermost last) threaded through physical
+/// lowering, so a correlated column reference can be turned into a
+/// parameter against the scope that owns it.
+pub(super) struct ScopeChain<'a> {
+    ctx: &'a SubqueryContext<'a>,
+    scopes: Vec<&'a OuterScope>,
+}
+
+impl<'a> ScopeChain<'a> {
+    /// The empty chain of a top-level query.
+    pub fn root(ctx: &'a SubqueryContext<'a>) -> ScopeChain<'a> {
+        ScopeChain {
+            ctx,
+            scopes: Vec::new(),
+        }
+    }
+
+    /// The planning context.
+    pub fn ctx(&self) -> &'a SubqueryContext<'a> {
+        self.ctx
+    }
+
+    /// Extend the chain with one more (innermost) scope.
+    pub fn child<'b>(&'b self, scope: &'b OuterScope) -> ScopeChain<'b>
+    where
+        'a: 'b,
+    {
+        let mut scopes: Vec<&'b OuterScope> = Vec::with_capacity(self.scopes.len() + 1);
+        scopes.extend(self.scopes.iter().copied());
+        scopes.push(scope);
+        ScopeChain {
+            ctx: self.ctx,
+            scopes,
+        }
+    }
+
+    /// Resolve a qualified column reference against the enclosing scopes,
+    /// innermost first, allocating a correlation parameter in the owning
+    /// scope. `None` when no scope has the column.
+    pub fn resolve_param(&self, qualifier: Option<&str>, name: &str) -> Option<u32> {
+        let qualifier = qualifier?;
+        for scope in self.scopes.iter().rev() {
+            if let Some(idx) = scope
+                .columns
+                .iter()
+                .position(|c| c.matches(Some(qualifier), name))
+            {
+                return Some(scope.param_for(idx, &self.ctx.next_param));
+            }
+        }
+        None
+    }
+
+    /// The enclosing blocks' binder results, outermost first — the scope
+    /// stack [`bind_subquery`] resolves correlated references against.
+    pub fn bound_chain(&self) -> Vec<&BoundQuery> {
+        self.scopes.iter().map(|s| &s.bound).collect()
+    }
+}
+
+/// Split a statement's WHERE and HAVING into the subquery-free remainder
+/// (what the join graph and plain lowering see) and the conjuncts containing
+/// subqueries, which the subquery pass attaches as dedicated operators.
+pub(super) fn split_subqueries(stmt: &SelectStatement) -> (SelectStatement, Vec<Expr>, Vec<Expr>) {
+    fn split(pred: &Option<Expr>) -> (Option<Expr>, Vec<Expr>) {
+        let Some(p) = pred else {
+            return (None, Vec::new());
+        };
+        let (subs, plain): (Vec<Expr>, Vec<Expr>) = p
+            .conjuncts()
+            .into_iter()
+            .cloned()
+            .partition(Expr::contains_subquery);
+        (Expr::and_all(plain), subs)
+    }
+    let mut stripped = stmt.clone();
+    let (where_plain, where_subs) = split(&stmt.selection);
+    let (having_plain, having_subs) = split(&stmt.having);
+    stripped.selection = where_plain;
+    stripped.having = having_plain;
+    (stripped, where_subs, having_subs)
+}
+
+/// A decorrelated equi-join key: the outer-scope column and the subquery's
+/// own column it is equated with.
+struct KeyPair {
+    outer: ColumnRef,
+    inner: ColumnRef,
+}
+
+impl<'c> SubqueryContext<'c> {
+    pub fn new(db: &'c Database, options: PlannerOptions) -> SubqueryContext<'c> {
+        SubqueryContext {
+            db,
+            options,
+            next_param: Cell::new(0),
+            decisions: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The subquery decisions recorded so far (drains the context).
+    pub fn take_decisions(&self) -> Vec<PlanDecision> {
+        std::mem::take(&mut self.decisions.borrow_mut())
+    }
+
+    fn record(
+        &self,
+        construct: &Expr,
+        strategy: SubqueryStrategy,
+        on: Option<String>,
+        correlated_on: Vec<String>,
+    ) {
+        self.decisions.borrow_mut().push(PlanDecision::Subquery {
+            construct: shorten(&construct.to_string()),
+            strategy,
+            on,
+            correlated_on,
+        });
+    }
+
+    /// Plan one subquery block (recursively — its own subqueries go through
+    /// this same subsystem). With `project` false, planning stops after
+    /// joins, filters, and subquery attachments, exposing the raw FROM
+    /// columns — the shape a semi-/anti-join build side needs so its join
+    /// keys can address any inner column.
+    pub fn plan_block(
+        &self,
+        estimator: &Estimator,
+        stmt: &SelectStatement,
+        scopes: &ScopeChain,
+        project: bool,
+    ) -> Result<(Plan, Vec<ColumnInfo>, BoundQuery), TalkbackError> {
+        let effective = flatten_in_subqueries(stmt).unwrap_or_else(|| stmt.clone());
+        let bound = bind_subquery(self.db.catalog(), &effective, &scopes.bound_chain())?;
+        if bound.tables.is_empty() {
+            return Err(TalkbackError::Unsupported(
+                "subqueries without a FROM clause".into(),
+            ));
+        }
+        let (stripped, where_subs, having_subs) = split_subqueries(&effective);
+        let graph = build_join_graph(self.db, &stripped, &bound);
+        let (order, _) =
+            super::cost::choose_join_order(&graph, estimator, self.options.reorder_joins);
+        let (plan, columns) = lower_select(
+            self.db,
+            &stripped,
+            &bound,
+            &graph,
+            &order,
+            estimator,
+            scopes,
+            &where_subs,
+            &having_subs,
+            project,
+        )?;
+        Ok((plan, columns, bound))
+    }
+
+    /// Attach one WHERE conjunct containing a subquery on top of `plan`
+    /// (whose output is `columns`, estimated at `rows` rows). Returns the
+    /// extended plan and its new row estimate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn attach_where(
+        &self,
+        estimator: &Estimator,
+        plan: Plan,
+        columns: &[ColumnInfo],
+        bound: &BoundQuery,
+        conjunct: &Expr,
+        scopes: &ScopeChain,
+        rows: f64,
+    ) -> Result<(Plan, f64), TalkbackError> {
+        match conjunct {
+            Expr::Exists { subquery, negated } => self.lower_exists(
+                estimator, plan, columns, bound, conjunct, subquery, *negated, scopes, rows,
+            ),
+            Expr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => {
+                let lower_outer = |e: &Expr| lower_expr_scoped(e, columns, bound, Some(scopes));
+                self.lower_in(
+                    estimator,
+                    plan,
+                    columns,
+                    bound,
+                    conjunct,
+                    expr,
+                    subquery,
+                    *negated,
+                    scopes,
+                    rows,
+                    &lower_outer,
+                )
+            }
+            Expr::QuantifiedComparison {
+                left,
+                op,
+                quantifier,
+                subquery,
+            } => {
+                let lower_outer = |e: &Expr| lower_expr_scoped(e, columns, bound, Some(scopes));
+                self.lower_quantified(
+                    estimator,
+                    plan,
+                    columns,
+                    bound,
+                    conjunct,
+                    left,
+                    *op,
+                    *quantifier,
+                    subquery,
+                    scopes,
+                    rows,
+                    &lower_outer,
+                )
+            }
+            Expr::BinaryOp { left, op, right } if op.is_comparison() => {
+                let lower_outer = |e: &Expr| lower_expr_scoped(e, columns, bound, Some(scopes));
+                self.lower_scalar_comparison(
+                    estimator,
+                    plan,
+                    columns,
+                    bound,
+                    conjunct,
+                    left,
+                    *op,
+                    right,
+                    scopes,
+                    rows,
+                    &lower_outer,
+                )
+            }
+            other => Err(TalkbackError::Unsupported(format!(
+                "a subquery inside a complex predicate ({})",
+                shorten(&other.to_string())
+            ))),
+        }
+    }
+
+    /// Attach one HAVING conjunct containing a subquery above the aggregate.
+    /// The outer side of the predicate is resolved against the aggregate's
+    /// output row (group-by columns, then aggregate results), so `count(*) >
+    /// (SELECT …)` and Q7's `1 < (SELECT count(*) … where g.mid = m.id)`
+    /// both work.
+    #[allow(clippy::too_many_arguments)]
+    pub fn attach_having(
+        &self,
+        estimator: &Estimator,
+        plan: Plan,
+        output_columns: &[ColumnInfo],
+        group_by: &[usize],
+        aggregates: &[AggExpr],
+        input_columns: &[ColumnInfo],
+        bound: &BoundQuery,
+        conjunct: &Expr,
+        scopes: &ScopeChain,
+        rows: f64,
+    ) -> Result<(Plan, f64), TalkbackError> {
+        let lower_outer =
+            |e: &Expr| lower_having_operand(e, group_by, aggregates, input_columns, bound);
+        match conjunct {
+            Expr::BinaryOp { left, op, right } if op.is_comparison() => {
+                let (outer_expr, op, sub) = match (left.as_ref(), right.as_ref()) {
+                    (Expr::ScalarSubquery(sub), e) => (e, sqlparse::ast::flip(*op), sub),
+                    (e, Expr::ScalarSubquery(sub)) => (e, *op, sub),
+                    _ => {
+                        return Err(TalkbackError::Unsupported(format!(
+                            "a HAVING comparison without a scalar subquery side ({})",
+                            shorten(&conjunct.to_string())
+                        )))
+                    }
+                };
+                self.lower_scalar_against(
+                    estimator,
+                    plan,
+                    output_columns,
+                    bound,
+                    conjunct,
+                    outer_expr,
+                    op,
+                    sub,
+                    scopes,
+                    rows,
+                    &lower_outer,
+                )
+            }
+            Expr::Exists { subquery, negated } => self.lower_apply(
+                estimator,
+                plan,
+                output_columns,
+                bound,
+                conjunct,
+                subquery,
+                scopes,
+                ApplyMode::Exists { negated: *negated },
+                rows,
+            ),
+            Expr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => {
+                single_column_subquery(subquery, "an IN")?;
+                let probe = lower_outer(expr)?;
+                self.lower_apply(
+                    estimator,
+                    plan,
+                    output_columns,
+                    bound,
+                    conjunct,
+                    subquery,
+                    scopes,
+                    ApplyMode::In {
+                        expr: probe,
+                        negated: *negated,
+                    },
+                    rows,
+                )
+            }
+            Expr::QuantifiedComparison {
+                left,
+                op,
+                quantifier,
+                subquery,
+            } => {
+                single_column_subquery(subquery, "a quantified-comparison")?;
+                let probe = lower_outer(left)?;
+                self.lower_apply(
+                    estimator,
+                    plan,
+                    output_columns,
+                    bound,
+                    conjunct,
+                    subquery,
+                    scopes,
+                    ApplyMode::Quantified {
+                        expr: probe,
+                        op: comparison_cmp(*op),
+                        all: *quantifier == Quantifier::All,
+                    },
+                    rows,
+                )
+            }
+            other => Err(TalkbackError::Unsupported(format!(
+                "a HAVING subquery inside a complex predicate ({})",
+                shorten(&other.to_string())
+            ))),
+        }
+    }
+
+    /// `[NOT] EXISTS (…)`: decorrelate to a hash semi-/anti-join when the
+    /// subquery's only correlation with the enclosing block is top-level
+    /// equalities; otherwise fall back to `Apply`.
+    #[allow(clippy::too_many_arguments)]
+    fn lower_exists(
+        &self,
+        estimator: &Estimator,
+        plan: Plan,
+        columns: &[ColumnInfo],
+        bound: &BoundQuery,
+        conjunct: &Expr,
+        sub: &SelectStatement,
+        negated: bool,
+        scopes: &ScopeChain,
+        rows: f64,
+    ) -> Result<(Plan, f64), TalkbackError> {
+        if self.options.decorrelate_subqueries && !sub.is_aggregate() && sub.limit.is_none() {
+            if let Some((keys, stripped_sub)) = self.exists_keys(sub, columns, bound, scopes)? {
+                // Build side: the subquery minus its correlation equalities,
+                // planned against the *enclosing* scopes only (the stripped
+                // sub provably no longer references the attachment block).
+                let (sub_plan, sub_columns, bound_build) =
+                    self.plan_block(estimator, &stripped_sub, scopes, false)?;
+                let mut left_keys = Vec::new();
+                let mut right_keys = Vec::new();
+                let mut selectivity = 1.0_f64;
+                let build_rows = sub_plan.estimated_rows.unwrap_or(1.0);
+                for key in &keys {
+                    let lp = position_of(columns, &key.outer).ok_or_else(|| {
+                        TalkbackError::Unsupported(format!(
+                            "cannot resolve correlated column {}",
+                            key.outer
+                        ))
+                    })?;
+                    let rp = position_of(&sub_columns, &key.inner).ok_or_else(|| {
+                        TalkbackError::Unsupported(format!(
+                            "cannot resolve subquery column {}",
+                            key.inner
+                        ))
+                    })?;
+                    left_keys.push(lp);
+                    right_keys.push(rp);
+                    let probe_ndv = self.ref_ndv(estimator, bound, &key.outer, rows);
+                    let build_ndv = self.ref_ndv(estimator, &bound_build, &key.inner, build_rows);
+                    selectivity *= semi_join_selectivity(probe_ndv, build_ndv);
+                }
+                let on = keys
+                    .iter()
+                    .map(|k| format!("{} = {}", k.outer, k.inner))
+                    .collect::<Vec<_>>()
+                    .join(" AND ");
+                let (strategy, est) = if negated {
+                    (
+                        SubqueryStrategy::AntiJoin,
+                        (rows - rows * selectivity).max(0.0),
+                    )
+                } else {
+                    (SubqueryStrategy::SemiJoin, rows * selectivity)
+                };
+                self.record(conjunct, strategy, Some(on), Vec::new());
+                let joined = if negated {
+                    Plan::anti_join(plan, sub_plan, left_keys, right_keys, false)
+                } else {
+                    Plan::semi_join(plan, sub_plan, left_keys, right_keys)
+                };
+                return Ok((joined.with_estimate(est), est));
+            }
+        }
+        self.lower_apply(
+            estimator,
+            plan,
+            columns,
+            bound,
+            conjunct,
+            sub,
+            scopes,
+            ApplyMode::Exists { negated },
+            rows,
+        )
+    }
+
+    /// `expr [NOT] IN (subquery)`: an uncorrelated single-column subquery
+    /// whose projected type matches the probe column becomes a semi-join
+    /// (or a NULL-aware anti-join for `NOT IN`); anything else is `Apply`.
+    #[allow(clippy::too_many_arguments)]
+    fn lower_in(
+        &self,
+        estimator: &Estimator,
+        plan: Plan,
+        columns: &[ColumnInfo],
+        bound: &BoundQuery,
+        conjunct: &Expr,
+        outer_expr: &Expr,
+        sub: &SelectStatement,
+        negated: bool,
+        scopes: &ScopeChain,
+        rows: f64,
+        lower_outer: &dyn Fn(&Expr) -> Result<PExpr, TalkbackError>,
+    ) -> Result<(Plan, f64), TalkbackError> {
+        single_column_subquery(sub, "an IN")?;
+        if self.options.decorrelate_subqueries {
+            if let Some((probe_pos, probe_ref)) = self.hashable_probe(outer_expr, columns, bound) {
+                let chain_with_self = scopes_with(scopes, columns, bound);
+                let full_chain = chain_with_self.bound_chain();
+                let bound_sub = bind_subquery(self.db.catalog(), sub, &full_chain)?;
+                let targets = block_aliases(bound);
+                let uncorrelated = !correlates_with(sub, &bound_sub, &targets, &HashSet::new());
+                let inner_type = self.projected_type(sub, &bound_sub);
+                let probe_type = self.column_ref_type(bound, &probe_ref);
+                if uncorrelated && inner_type.is_some() && inner_type == probe_type {
+                    let (sub_plan, sub_columns, _) =
+                        self.plan_block(estimator, sub, scopes, true)?;
+                    let build_rows = sub_plan.estimated_rows.unwrap_or(1.0);
+                    let probe_ndv = self.ref_ndv(estimator, bound, &probe_ref, rows);
+                    let build_ndv = self
+                        .projected_column(sub)
+                        .map(|c| self.ref_ndv(estimator, &bound_sub, &c, build_rows))
+                        .unwrap_or(1);
+                    let on = format!(
+                        "{} = {}",
+                        probe_ref,
+                        sub_columns
+                            .first()
+                            .map(ColumnInfo::to_string)
+                            .unwrap_or_else(|| "?".into())
+                    );
+                    let sel = semi_join_selectivity(probe_ndv, build_ndv);
+                    let (strategy, est) = if negated {
+                        (
+                            SubqueryStrategy::NullAwareAntiJoin,
+                            anti_join_cardinality(rows, probe_ndv, build_ndv),
+                        )
+                    } else {
+                        (SubqueryStrategy::SemiJoin, rows * sel)
+                    };
+                    self.record(conjunct, strategy, Some(on), Vec::new());
+                    let joined = if negated {
+                        Plan::anti_join(plan, sub_plan, vec![probe_pos], vec![0], true)
+                    } else {
+                        Plan::semi_join(plan, sub_plan, vec![probe_pos], vec![0])
+                    };
+                    return Ok((joined.with_estimate(est), est));
+                }
+            }
+        }
+        let probe = lower_outer(outer_expr)?;
+        self.lower_apply(
+            estimator,
+            plan,
+            columns,
+            bound,
+            conjunct,
+            sub,
+            scopes,
+            ApplyMode::In {
+                expr: probe,
+                negated,
+            },
+            rows,
+        )
+    }
+
+    /// A comparison conjunct with a scalar subquery on one side.
+    #[allow(clippy::too_many_arguments)]
+    fn lower_scalar_comparison(
+        &self,
+        estimator: &Estimator,
+        plan: Plan,
+        columns: &[ColumnInfo],
+        bound: &BoundQuery,
+        conjunct: &Expr,
+        left: &Expr,
+        op: BinaryOperator,
+        right: &Expr,
+        scopes: &ScopeChain,
+        rows: f64,
+        lower_outer: &dyn Fn(&Expr) -> Result<PExpr, TalkbackError>,
+    ) -> Result<(Plan, f64), TalkbackError> {
+        let (outer_expr, op, sub) = match (left, right) {
+            (Expr::ScalarSubquery(sub), e) if !e.contains_subquery() => {
+                (e, sqlparse::ast::flip(op), sub)
+            }
+            (e, Expr::ScalarSubquery(sub)) if !e.contains_subquery() => (e, op, sub),
+            _ => {
+                return Err(TalkbackError::Unsupported(format!(
+                    "a subquery inside a complex predicate ({})",
+                    shorten(&conjunct.to_string())
+                )))
+            }
+        };
+        self.lower_scalar_against(
+            estimator,
+            plan,
+            columns,
+            bound,
+            conjunct,
+            outer_expr,
+            op,
+            sub,
+            scopes,
+            rows,
+            lower_outer,
+        )
+    }
+
+    /// Shared scalar-comparison lowering for WHERE and HAVING: evaluate-once
+    /// when uncorrelated, `Apply` otherwise.
+    #[allow(clippy::too_many_arguments)]
+    fn lower_scalar_against(
+        &self,
+        estimator: &Estimator,
+        plan: Plan,
+        columns: &[ColumnInfo],
+        bound: &BoundQuery,
+        conjunct: &Expr,
+        outer_expr: &Expr,
+        op: BinaryOperator,
+        sub: &SelectStatement,
+        scopes: &ScopeChain,
+        rows: f64,
+        lower_outer: &dyn Fn(&Expr) -> Result<PExpr, TalkbackError>,
+    ) -> Result<(Plan, f64), TalkbackError> {
+        single_column_subquery(sub, "a scalar")?;
+        let probe = lower_outer(outer_expr)?;
+        let chain_with_self = scopes_with(scopes, columns, bound);
+        let bound_sub = bind_subquery(self.db.catalog(), sub, &chain_with_self.bound_chain())?;
+        let targets = block_aliases(bound);
+        if self.options.decorrelate_subqueries
+            && !correlates_with(sub, &bound_sub, &targets, &HashSet::new())
+        {
+            let (sub_plan, _, _) = self.plan_block(estimator, sub, scopes, true)?;
+            let est = (rows * DEFAULT_SELECTIVITY).max(0.0);
+            self.record(conjunct, SubqueryStrategy::ScalarOnce, None, Vec::new());
+            return Ok((
+                plan.scalar_subquery(sub_plan, probe, comparison_cmp(op))
+                    .with_estimate(est),
+                est,
+            ));
+        }
+        self.lower_apply(
+            estimator,
+            plan,
+            columns,
+            bound,
+            conjunct,
+            sub,
+            scopes,
+            ApplyMode::Compare {
+                expr: probe,
+                op: comparison_cmp(op),
+            },
+            rows,
+        )
+    }
+
+    /// `expr <op> ALL|ANY (subquery)` — always the `Apply` fallback (an
+    /// uncorrelated one is still evaluated just once, via the cache).
+    #[allow(clippy::too_many_arguments)]
+    fn lower_quantified(
+        &self,
+        estimator: &Estimator,
+        plan: Plan,
+        columns: &[ColumnInfo],
+        bound: &BoundQuery,
+        conjunct: &Expr,
+        left: &Expr,
+        op: BinaryOperator,
+        quantifier: Quantifier,
+        sub: &SelectStatement,
+        scopes: &ScopeChain,
+        rows: f64,
+        lower_outer: &dyn Fn(&Expr) -> Result<PExpr, TalkbackError>,
+    ) -> Result<(Plan, f64), TalkbackError> {
+        single_column_subquery(sub, "a quantified-comparison")?;
+        let probe = lower_outer(left)?;
+        self.lower_apply(
+            estimator,
+            plan,
+            columns,
+            bound,
+            conjunct,
+            sub,
+            scopes,
+            ApplyMode::Quantified {
+                expr: probe,
+                op: comparison_cmp(op),
+                all: quantifier == Quantifier::All,
+            },
+            rows,
+        )
+    }
+
+    /// The `Apply` fallback: plan the subquery with the attachment row as an
+    /// additional scope, collect the correlation parameters it allocated,
+    /// and wrap the plan in an `Apply` operator.
+    #[allow(clippy::too_many_arguments)]
+    fn lower_apply(
+        &self,
+        estimator: &Estimator,
+        plan: Plan,
+        columns: &[ColumnInfo],
+        bound: &BoundQuery,
+        conjunct: &Expr,
+        sub: &SelectStatement,
+        scopes: &ScopeChain,
+        mode: ApplyMode,
+        rows: f64,
+    ) -> Result<(Plan, f64), TalkbackError> {
+        let scope = OuterScope::new(columns.to_vec(), bound.clone());
+        let sub_plan = {
+            let chain = scopes.child(&scope);
+            let (sub_plan, _, _) = self.plan_block(estimator, sub, &chain, true)?;
+            sub_plan
+        };
+        let params = scope.params();
+        let correlated_on: Vec<String> = params
+            .iter()
+            .map(|&(_, idx)| {
+                columns
+                    .get(idx)
+                    .map(ColumnInfo::to_string)
+                    .unwrap_or_else(|| format!("#{idx}"))
+            })
+            .collect();
+        self.record(conjunct, SubqueryStrategy::Apply, None, correlated_on);
+        let est = (rows * DEFAULT_SELECTIVITY).max(0.0);
+        Ok((plan.apply(sub_plan, params, mode).with_estimate(est), est))
+    }
+
+    /// For an `EXISTS` subquery, extract the top-level equality conjuncts
+    /// that correlate it with the attachment block as join keys. Returns
+    /// `None` (not an error) when decorrelation is impossible: no such
+    /// equality, a correlated reference anywhere else, or untypable /
+    /// mixed-type keys (hash keys compare exactly, so mixed-type equality
+    /// must keep SQL `=` semantics through `Apply`).
+    fn exists_keys(
+        &self,
+        sub: &SelectStatement,
+        columns: &[ColumnInfo],
+        bound: &BoundQuery,
+        scopes: &ScopeChain,
+    ) -> Result<Option<(Vec<KeyPair>, SelectStatement)>, TalkbackError> {
+        let chain_with_self = scopes_with(scopes, columns, bound);
+        let bound_sub = bind_subquery(self.db.catalog(), sub, &chain_with_self.bound_chain())?;
+        let targets = block_aliases(bound);
+        let locals: HashSet<String> = sub
+            .tuple_variables()
+            .iter()
+            .map(|v| v.to_lowercase())
+            .collect();
+
+        let mut keys = Vec::new();
+        let mut remaining = Vec::new();
+        for conjunct in sub.where_conjuncts() {
+            if let Some(pair) = self.key_pair(conjunct, &locals, &targets, &bound_sub, bound) {
+                keys.push(pair);
+            } else {
+                remaining.push(conjunct.clone());
+            }
+        }
+        if keys.is_empty() {
+            return Ok(None);
+        }
+        let mut stripped = sub.clone();
+        stripped.selection = Expr::and_all(remaining);
+        // Re-bind the stripped subquery: if any reference to the attachment
+        // block survives (in the projection, a nested block, a non-equality
+        // predicate…), the build side would depend on the probe row and a
+        // one-shot semi-join would be wrong — fall back to Apply.
+        let bound_stripped =
+            bind_subquery(self.db.catalog(), &stripped, &chain_with_self.bound_chain())?;
+        if correlates_with(&stripped, &bound_stripped, &targets, &HashSet::new()) {
+            return Ok(None);
+        }
+        Ok(Some((keys, stripped)))
+    }
+
+    /// Classify one subquery conjunct as a decorrelatable key: an equality
+    /// between one of the subquery's own columns and one attachment-block
+    /// column, with matching declared types.
+    fn key_pair(
+        &self,
+        conjunct: &Expr,
+        locals: &HashSet<String>,
+        targets: &[String],
+        bound_sub: &BoundQuery,
+        outer_bound: &BoundQuery,
+    ) -> Option<KeyPair> {
+        let Expr::BinaryOp { left, op, right } = conjunct else {
+            return None;
+        };
+        if *op != BinaryOperator::Eq {
+            return None;
+        }
+        let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) else {
+            return None;
+        };
+        let alias_of = |c: &ColumnRef| {
+            c.qualifier
+                .clone()
+                .or_else(|| bound_sub.qualifier_of(c).map(str::to_string))
+                .map(|q| q.to_lowercase())
+        };
+        let (a_alias, b_alias) = (alias_of(a)?, alias_of(b)?);
+        let (inner, inner_alias, outer, outer_alias) = if locals.contains(&a_alias)
+            && !locals.contains(&b_alias)
+            && targets.contains(&b_alias)
+        {
+            (a, a_alias, b, b_alias)
+        } else if locals.contains(&b_alias)
+            && !locals.contains(&a_alias)
+            && targets.contains(&a_alias)
+        {
+            (b, b_alias, a, a_alias)
+        } else {
+            return None;
+        };
+        // Hash keys compare GroupKeys exactly; require identical declared
+        // types, like the join graph does for ordinary equi-joins.
+        let inner_type = column_type(
+            self.db,
+            bound_sub.table_of_alias(&inner_alias)?,
+            &inner.column,
+        )?;
+        let outer_type = column_type(
+            self.db,
+            outer_bound.table_of_alias(&outer_alias)?,
+            &outer.column,
+        )?;
+        if inner_type != outer_type {
+            return None;
+        }
+        Some(KeyPair {
+            outer: qualified(outer, &outer_alias),
+            inner: qualified(inner, &inner_alias),
+        })
+    }
+
+    /// NDV of a column reference resolved in the given block, capped by the
+    /// rows it arrives with.
+    fn ref_ndv(
+        &self,
+        estimator: &Estimator,
+        bound: &BoundQuery,
+        col: &ColumnRef,
+        arriving_rows: f64,
+    ) -> usize {
+        col.qualifier
+            .as_deref()
+            .and_then(|q| bound.table_of_alias(q))
+            .map(|t| estimator.table_column_ndv(t, &col.column, arriving_rows))
+            .unwrap_or_else(|| arriving_rows.ceil().max(1.0) as usize)
+    }
+
+    /// The probe side of an `IN`, when it is a plain column the hash key can
+    /// address: its position in the attachment columns and its reference.
+    fn hashable_probe(
+        &self,
+        outer_expr: &Expr,
+        columns: &[ColumnInfo],
+        bound: &BoundQuery,
+    ) -> Option<(usize, ColumnRef)> {
+        let Expr::Column(c) = outer_expr else {
+            return None;
+        };
+        let alias = c
+            .qualifier
+            .clone()
+            .or_else(|| bound.qualifier_of(c).map(str::to_string))?;
+        let pos = columns
+            .iter()
+            .position(|col| col.matches(Some(&alias), &c.column))?;
+        Some((pos, qualified(c, &alias)))
+    }
+
+    /// The single projected column of an `IN` subquery, if it is a column.
+    fn projected_column(&self, sub: &SelectStatement) -> Option<ColumnRef> {
+        match sub.projection.as_slice() {
+            [SelectItem::Expr {
+                expr: Expr::Column(c),
+                ..
+            }] => Some(c.clone()),
+            _ => None,
+        }
+    }
+
+    /// Declared type of an `IN` subquery's single projected expression,
+    /// seeing through the aggregate functions whose result type is known.
+    fn projected_type(&self, sub: &SelectStatement, bound_sub: &BoundQuery) -> Option<DataType> {
+        let [SelectItem::Expr { expr, .. }] = sub.projection.as_slice() else {
+            return None;
+        };
+        self.expr_type(expr, bound_sub)
+    }
+
+    fn expr_type(&self, expr: &Expr, bound: &BoundQuery) -> Option<DataType> {
+        match expr {
+            Expr::Column(c) => self.column_ref_type(bound, c),
+            Expr::Aggregate { func, arg, .. } => match func {
+                AggregateFunction::Count => Some(DataType::Integer),
+                AggregateFunction::Avg => Some(DataType::Float),
+                AggregateFunction::Min | AggregateFunction::Max => {
+                    arg.as_deref().and_then(|a| self.expr_type(a, bound))
+                }
+                // SUM over integers stays integral; over floats the result
+                // representation is value-dependent, so don't hash on it.
+                AggregateFunction::Sum => {
+                    match arg.as_deref().and_then(|a| self.expr_type(a, bound)) {
+                        Some(DataType::Integer) => Some(DataType::Integer),
+                        _ => None,
+                    }
+                }
+            },
+            _ => None,
+        }
+    }
+
+    fn column_ref_type(&self, bound: &BoundQuery, c: &ColumnRef) -> Option<DataType> {
+        let alias = c
+            .qualifier
+            .clone()
+            .or_else(|| bound.qualifier_of(c).map(str::to_string))?;
+        let table = bound.table_of_alias(&alias)?;
+        column_type(self.db, table, &c.column)
+    }
+}
+
+/// A new scope chain extended with the attachment block itself — what
+/// subquery *binding* sees (the subquery may legitimately reference the
+/// attachment block; whether lowering supports that reference is decided by
+/// the chosen strategy).
+fn scopes_with<'b>(
+    scopes: &'b ScopeChain<'b>,
+    _columns: &[ColumnInfo],
+    bound: &BoundQuery,
+) -> BindChain<'b> {
+    BindChain {
+        outer: scopes.bound_chain(),
+        own: bound.clone(),
+    }
+}
+
+/// The bind-scope stack for checking a subquery against its attachment
+/// block: the enclosing blocks plus the attachment block itself.
+struct BindChain<'a> {
+    outer: Vec<&'a BoundQuery>,
+    own: BoundQuery,
+}
+
+impl BindChain<'_> {
+    fn bound_chain(&self) -> Vec<&BoundQuery> {
+        let mut chain = self.outer.clone();
+        chain.push(&self.own);
+        chain
+    }
+}
+
+/// Lower-cased tuple variables of the attachment block — the aliases whose
+/// references make a subquery *immediately* correlated.
+fn block_aliases(bound: &BoundQuery) -> Vec<String> {
+    bound
+        .tables
+        .iter()
+        .map(|t| t.alias.to_lowercase())
+        .collect()
+}
+
+/// True when the subquery (or any nested block) references one of the
+/// attachment block's tuple variables. `shadowed` carries aliases redefined
+/// by blocks between the checked block and the attachment block.
+fn correlates_with(
+    stmt: &SelectStatement,
+    bound: &BoundQuery,
+    targets: &[String],
+    shadowed: &HashSet<String>,
+) -> bool {
+    for col in &bound.correlated {
+        if let Some(alias) = bound.qualifier_of(col) {
+            let a = alias.to_lowercase();
+            if targets.contains(&a) && !shadowed.contains(&a) {
+                return true;
+            }
+        }
+    }
+    let mut inner_shadow = shadowed.clone();
+    for v in stmt.tuple_variables() {
+        inner_shadow.insert(v.to_lowercase());
+    }
+    let sub_asts = collect_sub_asts(stmt);
+    for (ast, sub_bound) in sub_asts.iter().zip(&bound.subqueries) {
+        if correlates_with(ast, sub_bound, targets, &inner_shadow) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The direct subquery blocks of a statement, in the same discovery order
+/// the binder records them (WHERE first, then HAVING).
+fn collect_sub_asts(stmt: &SelectStatement) -> Vec<&SelectStatement> {
+    let mut out = Vec::new();
+    if let Some(w) = &stmt.selection {
+        out.extend(w.subqueries());
+    }
+    if let Some(h) = &stmt.having {
+        out.extend(h.subqueries());
+    }
+    out
+}
+
+/// Position of a qualified reference in an operator's output columns.
+fn position_of(columns: &[ColumnInfo], c: &ColumnRef) -> Option<usize> {
+    columns
+        .iter()
+        .position(|col| col.matches(c.qualifier.as_deref(), &c.column))
+}
+
+/// The reference with its resolved qualifier made explicit.
+fn qualified(c: &ColumnRef, alias: &str) -> ColumnRef {
+    ColumnRef {
+        qualifier: Some(alias.to_string()),
+        column: c.column.clone(),
+    }
+}
+
+/// IN, quantified, and scalar subqueries compare against exactly one
+/// projected column; anything else is SQL's "subquery has too many
+/// columns" error, caught at plan time rather than silently comparing
+/// against the first column only.
+fn single_column_subquery(sub: &SelectStatement, what: &str) -> Result<(), TalkbackError> {
+    if matches!(sub.projection.as_slice(), [SelectItem::Expr { .. }]) {
+        Ok(())
+    } else {
+        Err(TalkbackError::Unsupported(format!(
+            "{what} subquery that does not select exactly one column ({})",
+            shorten(&sub.to_string())
+        )))
+    }
+}
+
+/// Map a SQL comparison operator to the runtime one. Callers guard with
+/// `is_comparison()` (or take the operator from a parsed quantified
+/// comparison), so a logical operator here is a planner bug — fail loudly
+/// instead of silently comparing for equality.
+fn comparison_cmp(op: BinaryOperator) -> CmpOp {
+    match op {
+        BinaryOperator::Eq => CmpOp::Eq,
+        BinaryOperator::NotEq => CmpOp::NotEq,
+        BinaryOperator::Lt => CmpOp::Lt,
+        BinaryOperator::LtEq => CmpOp::LtEq,
+        BinaryOperator::Gt => CmpOp::Gt,
+        BinaryOperator::GtEq => CmpOp::GtEq,
+        other => unreachable!("non-comparison operator {other:?} in a subquery comparison"),
+    }
+}
+
+/// Shorten a construct for narration (decisions quote the predicate, but a
+/// three-level nested subquery should not flood a sentence).
+fn shorten(s: &str) -> String {
+    const MAX: usize = 72;
+    if s.chars().count() <= MAX {
+        s.to_string()
+    } else {
+        let prefix: String = s.chars().take(MAX - 1).collect();
+        format!("{prefix}…")
+    }
+}

@@ -5,6 +5,7 @@
 
 use crate::error::TalkbackError;
 use crate::planner::{lower_expr, plan_query};
+use crate::query::sole_scan_table;
 use datastore::exec::{execute, execute_with_stats, Plan, PlanProfile};
 use datastore::Database;
 use nlg::{finish_sentence, join_sentences, quote_sql};
@@ -66,6 +67,27 @@ pub fn explain_result(
                     quote_sql(predicate)
                 )));
             }
+        } else if let Some(check) = &blame.subquery {
+            let noun = check
+                .probe_table
+                .as_deref()
+                .map(|t| nlg::pluralize(&lexicon.concept(t)))
+                .unwrap_or_else(|| "rows".to_string());
+            sentences.push(finish_sentence(&match check.kind.as_str() {
+                "anti join" => format!(
+                    "every one of the {} {} had a match in the subquery ({}), so the \
+                     NOT EXISTS / NOT IN check eliminated them all",
+                    check.probe_rows,
+                    noun,
+                    quote_sql(&check.detail)
+                ),
+                _ => format!(
+                    "none of the {} {} passed the subquery check {}",
+                    check.probe_rows,
+                    noun,
+                    quote_sql(&check.detail)
+                ),
+            }));
         } else if let Some((join, left, right)) = &blame.join {
             sentences.push(finish_sentence(&format!(
                 "both sides had rows ({left} and {right}), but no combination satisfied \
@@ -91,7 +113,6 @@ pub fn explain_result(
         });
     }
 
-    let _ = lexicon;
     if rows > LARGE_RESULT_THRESHOLD {
         let mut sentences = vec![finish_sentence(&format!(
             "The query returns {rows} results, which is a very large answer"
@@ -186,12 +207,27 @@ fn widest_join(profile: &PlanProfile) -> Option<JoinBlame> {
     widest
 }
 
+/// A subquery check (semi-/anti-join, apply, scalar subquery) that
+/// eliminated every row that reached it.
+struct SubqueryBlame {
+    /// Operator kind ("semi join", "anti join", "apply", "scalar subquery").
+    kind: String,
+    /// The operator's detail line (keys or subquery shape).
+    detail: String,
+    /// Rows that reached the check.
+    probe_rows: u64,
+    /// The probed base relation, when the probe side is a single scan.
+    probe_table: Option<String>,
+}
+
 /// What the instrumentation counters say about an empty result.
 struct ProfileBlame {
     /// Filters that saw rows and eliminated every one: (predicate, rows in).
     killed: Vec<(String, usize)>,
     /// Filters that never received a single row (upstream already empty).
     starved: Vec<String>,
+    /// A subquery check that let none of its probe rows through.
+    subquery: Option<SubqueryBlame>,
     /// A join that produced nothing although both inputs had rows:
     /// (join condition, left rows, right rows).
     join: Option<(String, u64, u64)>,
@@ -205,6 +241,7 @@ fn blame_from_profile(profile: &PlanProfile) -> ProfileBlame {
     let mut blame = ProfileBlame {
         killed: Vec::new(),
         starved: Vec::new(),
+        subquery: None,
         join: None,
         empty_scan: None,
     };
@@ -216,6 +253,20 @@ fn blame_from_profile(profile: &PlanProfile) -> ProfileBlame {
                     blame.killed.push((p.detail.clone(), m.rows_in as usize));
                 } else if m.rows_in == 0 {
                     blame.starved.push(p.detail.clone());
+                }
+            }
+            "semi join" | "anti join" | "apply" | "scalar subquery"
+                if m.rows_out == 0 && blame.subquery.is_none() =>
+            {
+                let probe = p.children.first();
+                let probe_rows = probe.map(|c| c.metrics.rows_out).unwrap_or(0);
+                if probe_rows > 0 {
+                    blame.subquery = Some(SubqueryBlame {
+                        kind: p.operator.clone(),
+                        detail: p.detail.clone(),
+                        probe_rows,
+                        probe_table: probe.and_then(sole_scan_table),
+                    });
                 }
             }
             "hash join" | "nested-loop join" if m.rows_out == 0 && blame.join.is_none() => {
@@ -386,6 +437,48 @@ mod tests {
             .predicate_notes
             .iter()
             .any(|(p, reached)| p.contains("western") && *reached > 0));
+    }
+
+    #[test]
+    fn empty_division_results_blame_the_subquery_check() {
+        // Q6 proper: no movie has all six genres, and the counters show the
+        // apply's NOT EXISTS check rejecting every movie.
+        let db = movie_database();
+        let q = parse_query(
+            "select m.title from MOVIES m where not exists ( \
+                select * from GENRE g1 where not exists ( \
+                    select * from GENRE g2 where g2.mid = m.id and g2.genre = g1.genre))",
+        )
+        .unwrap();
+        let explanation = explain_result(&db, &Lexicon::movie_domain(), &q).unwrap();
+        assert_eq!(explanation.rows, 0);
+        assert!(
+            explanation
+                .narrative
+                .contains("None of the 10 movies passed the subquery check"),
+            "subquery blame missing from: {}",
+            explanation.narrative
+        );
+    }
+
+    #[test]
+    fn empty_anti_join_results_blame_the_existing_matches() {
+        // Every movie has a genre, so NOT EXISTS(genre of m) removes all
+        // ten — and the explanation says the matches are why.
+        let db = movie_database();
+        let q = parse_query(
+            "select m.title from MOVIES m where not exists ( \
+                select * from GENRE g where g.mid = m.id)",
+        )
+        .unwrap();
+        let explanation = explain_result(&db, &Lexicon::movie_domain(), &q).unwrap();
+        assert_eq!(explanation.rows, 0);
+        assert!(
+            explanation.narrative.contains("Every one of the 10 movies")
+                && explanation.narrative.contains("NOT EXISTS"),
+            "anti-join blame missing from: {}",
+            explanation.narrative
+        );
     }
 
     #[test]

@@ -15,12 +15,31 @@ pub mod special;
 pub mod spj;
 
 use crate::error::TalkbackError;
+use datastore::exec::PlanProfile;
 use datastore::Catalog;
 use schemagraph::{classify, Classification, QueryCategory, QueryGraph};
 use sqlparse::ast::{SelectStatement, Statement};
 use sqlparse::bind::bind_query;
 use sqlparse::parse_statement;
 use templates::Lexicon;
+
+/// Table name scanned by a profile subtree, when the subtree contains
+/// exactly one scan (a base relation, possibly behind filters) — the case
+/// where a narration can name the relation instead of saying "them". Shared
+/// by the plan narrator and the §3.1 empty-result detective.
+pub(crate) fn sole_scan_table(node: &PlanProfile) -> Option<String> {
+    let mut tables = Vec::new();
+    node.walk(&mut |p| {
+        if p.operator == "scan" {
+            let table = p.detail.split(" as ").next().unwrap_or(&p.detail);
+            tables.push(table.to_string());
+        }
+    });
+    match tables.as_slice() {
+        [one] => Some(one.clone()),
+        _ => None,
+    }
+}
 
 /// The result of translating one query.
 #[derive(Debug, Clone, PartialEq)]
@@ -132,7 +151,8 @@ impl QueryTranslator {
                     .unwrap_or(false)
                 {
                     notes.push(
-                        "the HAVING subquery is narrated but not executed by the local engine"
+                        "the HAVING subquery executes as a correlated apply, re-checked \
+                         per group and cached by its correlation key"
                             .to_string(),
                     );
                 }

@@ -25,9 +25,10 @@
 
 use crate::error::TalkbackError;
 use crate::planner::{plan_query, PlanDecision};
+use crate::query::sole_scan_table;
 use datastore::exec::{describe_plan, execute_with_stats, PlanProfile};
 use datastore::Database;
-use nlg::{count_phrase, finish_sentence, join_sentences, pluralize};
+use nlg::{count_phrase, finish_sentence, join_sentences, pluralize, quote_sql};
 use sqlparse::ast::Statement;
 use sqlparse::parse_statement;
 use templates::Lexicon;
@@ -105,11 +106,84 @@ fn rows_phrase(rows: f64) -> String {
     format!("{} row{}", count_phrase(n), if n == 1 { "" } else { "s" })
 }
 
-/// Narrate the optimizer's join-order decisions as finished sentences: why
-/// the join tree starts where it starts, and how much cheaper the chosen
-/// order was expected to be than the written one. Empty when there was
-/// nothing to decide.
+/// Narrate the optimizer's decisions as finished sentences: why the join
+/// tree starts where it starts, how much cheaper the chosen order was
+/// expected to be than the written one, and how each subquery predicate was
+/// lowered (semi-/anti-join, evaluate-once scalar, or per-row apply). Empty
+/// when there was nothing to decide.
 pub fn narrate_decisions(decisions: &[PlanDecision]) -> Vec<String> {
+    let mut sentences = narrate_join_order(decisions);
+    for d in decisions {
+        if let PlanDecision::Subquery {
+            construct,
+            strategy,
+            on,
+            correlated_on,
+        } = d
+        {
+            sentences.push(narrate_subquery_decision(
+                construct,
+                *strategy,
+                on.as_deref(),
+                correlated_on,
+            ));
+        }
+    }
+    sentences
+}
+
+/// One sentence for a recorded subquery-lowering decision.
+fn narrate_subquery_decision(
+    construct: &str,
+    strategy: crate::planner::SubqueryStrategy,
+    on: Option<&str>,
+    correlated_on: &[String],
+) -> String {
+    use crate::planner::SubqueryStrategy as S;
+    let quoted = quote_sql(construct);
+    let text = match strategy {
+        S::SemiJoin => format!(
+            "I turned {} into a semi-join on {}",
+            quoted,
+            on.unwrap_or("its key")
+        ),
+        S::AntiJoin => format!(
+            "I turned {} into an anti-join on {}",
+            quoted,
+            on.unwrap_or("its key")
+        ),
+        S::NullAwareAntiJoin => format!(
+            "I turned {} into a NULL-aware anti-join on {}, preserving NOT IN's \
+             three-valued NULL semantics",
+            quoted,
+            on.unwrap_or("its key")
+        ),
+        S::ScalarOnce => format!(
+            "I evaluated the scalar subquery in {} once up front and reused its cached value",
+            quoted
+        ),
+        S::Apply => {
+            if correlated_on.is_empty() {
+                format!(
+                    "I could not flatten {}, so I run it as an apply (it is evaluated once \
+                     and cached, since it carries no correlation)",
+                    quoted
+                )
+            } else {
+                format!(
+                    "I could not flatten {}, so I re-check it for each row as an apply, \
+                     caching results per distinct value of {}",
+                    quoted,
+                    correlated_on.join(", ")
+                )
+            }
+        }
+    };
+    finish_sentence(&text)
+}
+
+/// The join-order justification sentence, when there were joins to order.
+fn narrate_join_order(decisions: &[PlanDecision]) -> Vec<String> {
     let mut start = None;
     let mut joins = Vec::new();
     let mut comparison = None;
@@ -118,6 +192,7 @@ pub fn narrate_decisions(decisions: &[PlanDecision]) -> Vec<String> {
             PlanDecision::Start { .. } => start = Some(d),
             PlanDecision::Join { .. } => joins.push(d),
             PlanDecision::OrderComparison { .. } => comparison = Some(d),
+            PlanDecision::Subquery { .. } => {}
         }
     }
     let (
@@ -258,23 +333,6 @@ fn worst_misestimate_sentence(profile: &PlanProfile) -> Option<String> {
     )))
 }
 
-/// Table name scanned by a subtree, when the subtree contains exactly one
-/// scan (a base relation, possibly behind filters) — the case where the
-/// narration can name the relation instead of saying "them".
-fn only_scan_table(node: &PlanProfile) -> Option<String> {
-    let mut tables = Vec::new();
-    node.walk(&mut |p| {
-        if p.operator == "scan" {
-            let table = p.detail.split(" as ").next().unwrap_or(&p.detail);
-            tables.push(table.to_string());
-        }
-    });
-    match tables.as_slice() {
-        [one] => Some(one.clone()),
-        _ => None,
-    }
-}
-
 /// The middle of a join clause: "the movies to their casting credits",
 /// using the lexicon's relationship verbs when one is registered for the
 /// joined pair ("the actors to the movies they play in").
@@ -359,7 +417,15 @@ fn narrate_node(node: &PlanProfile, lexicon: &Lexicon, analyzed: bool, clauses: 
             return;
         }
     }
-    for child in &node.children {
+    // The subquery side of an apply / scalar subquery runs inside the
+    // operator (per row, or once); narrating its operators inline would read
+    // as extra pipeline steps, so only the outer input is walked and the
+    // clause itself names the subquery.
+    let skip_subquery_child = matches!(node.operator.as_str(), "apply" | "scalar subquery");
+    for (i, child) in node.children.iter().enumerate() {
+        if skip_subquery_child && i == 1 {
+            continue;
+        }
         narrate_node(child, lexicon, analyzed, clauses);
     }
     let m = &node.metrics;
@@ -399,15 +465,15 @@ fn narrate_node(node: &PlanProfile, lexicon: &Lexicon, analyzed: bool, clauses: 
         "hash join" => {
             let phrase = join_phrase(
                 lexicon,
-                node.children.first().and_then(only_scan_table).as_deref(),
-                node.children.get(1).and_then(only_scan_table).as_deref(),
+                node.children.first().and_then(sole_scan_table).as_deref(),
+                node.children.get(1).and_then(sole_scan_table).as_deref(),
             )
             .or_else(|| {
                 // Left side is an accumulated join: name only the new
                 // relation.
                 node.children
                     .get(1)
-                    .and_then(only_scan_table)
+                    .and_then(sole_scan_table)
                     .map(|t| format!("them to the {}", pluralize(&lexicon.concept(&t))))
             });
             match (analyzed, phrase) {
@@ -436,6 +502,72 @@ fn narrate_node(node: &PlanProfile, lexicon: &Lexicon, analyzed: bool, clauses: 
                 )
             } else {
                 "will combine them pairwise".to_string()
+            }
+        }
+        "semi join" | "anti join" => {
+            let anti = node.operator == "anti join";
+            // Name what the build side holds when it is a single relation
+            // ("kept the movies that have at least one casting credit").
+            let partner = node
+                .children
+                .get(1)
+                .and_then(sole_scan_table)
+                .map(|t| lexicon.concept(&t))
+                .unwrap_or_else(|| "subquery row".to_string());
+            if analyzed {
+                if anti {
+                    format!(
+                        "kept the {} of them with no matching {}",
+                        count_phrase(m.rows_out as usize),
+                        partner
+                    )
+                } else {
+                    format!(
+                        "kept the {} of them that have at least one matching {}",
+                        count_phrase(m.rows_out as usize),
+                        partner
+                    )
+                }
+            } else if anti {
+                format!(
+                    "will keep only rows with no matching {partner} ({})",
+                    node.detail
+                )
+            } else {
+                format!(
+                    "will keep only rows with at least one matching {partner} ({})",
+                    node.detail
+                )
+            }
+        }
+        "scalar subquery" => {
+            if analyzed {
+                format!(
+                    "computed the subquery's value once and kept the {} row{} where {}",
+                    count_phrase(m.rows_out as usize),
+                    if m.rows_out == 1 { "" } else { "s" },
+                    node.detail
+                )
+            } else {
+                format!(
+                    "will compute the subquery's value once and keep rows where {}",
+                    node.detail
+                )
+            }
+        }
+        "apply" => {
+            if analyzed {
+                format!(
+                    "re-checked the subquery ({}) per row, keeping {}",
+                    node.detail,
+                    count_phrase(m.rows_out as usize)
+                )
+            } else {
+                format!(
+                    "will re-check the subquery ({}) for each row, caching repeated \
+                     parameter values",
+                    node.detail
+                )
             }
         }
         "aggregate" => {

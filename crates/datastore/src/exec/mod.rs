@@ -11,6 +11,13 @@
 //! ([`stream::OpMetrics`]) — the raw material for `EXPLAIN ANALYZE` and the
 //! empty-result explanations of §3.1. [`executor::execute`] is the
 //! materializing shim for callers that just want a [`executor::ResultSet`].
+//!
+//! Subqueries run through four dedicated operators (see [`plan::PlanNode`]):
+//! hash semi- and anti-joins for decorrelated `EXISTS` / `[NOT] IN` (the
+//! anti-join has a NULL-aware variant preserving `NOT IN`'s three-valued
+//! semantics), an evaluate-once cached scalar-subquery filter, and the
+//! `Apply` fallback that re-runs a genuinely correlated subplan per row,
+//! memoized per distinct correlation-parameter binding.
 
 pub mod aggregate;
 pub mod executor;
@@ -19,5 +26,5 @@ pub mod stream;
 
 pub use aggregate::{Accumulator, AggExpr, AggFunc};
 pub use executor::{describe_plan, execute, execute_with_stats, ResultSet};
-pub use plan::{aggregate_output_columns, ColumnInfo, Plan, PlanNode, SortKey};
+pub use plan::{aggregate_output_columns, ApplyMode, ColumnInfo, Plan, PlanNode, SortKey};
 pub use stream::{open, OpMetrics, PlanProfile, RowSource, BATCH_SIZE, MISESTIMATE_FACTOR};

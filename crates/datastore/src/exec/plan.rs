@@ -3,10 +3,21 @@
 //! Plans are deliberately simple trees: the goal of this substrate is
 //! correctness and observability (the explainer wants to know which operator
 //! filtered everything out), not query-optimizer sophistication.
+//!
+//! Subqueries execute through four dedicated operators, from cheapest to
+//! most general: [`PlanNode::HashSemiJoin`] (decorrelated `EXISTS` / `IN`),
+//! [`PlanNode::HashAntiJoin`] (decorrelated `NOT EXISTS`, and `NOT IN` in
+//! its NULL-aware variant), [`PlanNode::ScalarSubquery`] (an uncorrelated
+//! scalar evaluated once and cached), and [`PlanNode::Apply`] (the fallback
+//! that re-runs a correlated subplan per row, substituting
+//! [`Expr::Param`] correlation parameters and caching per distinct
+//! binding).
 
 use crate::exec::aggregate::AggExpr;
-use crate::expr::Expr;
+use crate::expr::{CmpOp, Expr};
 use crate::tuple::Row;
+use crate::value::Value;
+use std::collections::HashMap;
 use std::fmt;
 
 /// A named output column of a plan node, carrying the relation alias it came
@@ -157,6 +168,113 @@ pub enum PlanNode {
     Limit { input: Box<Plan>, n: usize },
     /// Remove duplicate rows.
     Distinct { input: Box<Plan> },
+    /// Semi-join: emit each left row that has at least one key match on the
+    /// right (build) side — a decorrelated `EXISTS` / `IN (subquery)`.
+    /// Output columns are the left side's only; NULL keys never match.
+    HashSemiJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+    },
+    /// Anti-join: emit each left row with *no* key match on the right side —
+    /// a decorrelated `NOT EXISTS` (and, with `null_aware`, `NOT IN`).
+    ///
+    /// `null_aware` selects `NOT IN`'s three-valued semantics: a NULL key on
+    /// the build side makes every non-matching comparison UNKNOWN (so nothing
+    /// is emitted unless the build side is empty), and a NULL probe key is
+    /// UNKNOWN rather than a guaranteed non-match. Without it, the operator
+    /// uses `NOT EXISTS` semantics, where NULL keys simply never match.
+    HashAntiJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        null_aware: bool,
+    },
+    /// Uncorrelated scalar subquery used as a filter: evaluate `subplan`
+    /// exactly once (it must yield at most one row; zero rows is SQL NULL),
+    /// cache the scalar, and keep input rows where `expr <op> scalar` holds.
+    ScalarSubquery {
+        input: Box<Plan>,
+        subplan: Box<Plan>,
+        /// Probe expression over the input row.
+        expr: Expr,
+        op: CmpOp,
+    },
+    /// The fallback for genuinely correlated subqueries: for each input row,
+    /// bind the row's correlation values into `subplan` (substituting the
+    /// [`Expr::Param`]s listed in `params`), run it, and keep the row when
+    /// `mode` says so. Results are cached per distinct parameter binding, so
+    /// an uncorrelated subquery is evaluated exactly once and a subquery
+    /// correlated on a low-cardinality key is evaluated once per key.
+    Apply {
+        input: Box<Plan>,
+        subplan: Box<Plan>,
+        /// (parameter id, input-column position) pairs this operator binds.
+        params: Vec<(u32, usize)>,
+        mode: ApplyMode,
+    },
+}
+
+/// What an [`PlanNode::Apply`] operator checks against each subquery result.
+#[derive(Debug, Clone)]
+pub enum ApplyMode {
+    /// Keep the row iff the subquery produced [no] rows (`[NOT] EXISTS`).
+    Exists { negated: bool },
+    /// Keep the row by `expr [NOT] IN (first column of the result)`, with
+    /// SQL's three-valued NULL semantics.
+    In { expr: Expr, negated: bool },
+    /// Keep the row iff `expr <op> scalar-result` holds (correlated scalar
+    /// comparison; the subquery must yield at most one row).
+    Compare { expr: Expr, op: CmpOp },
+    /// Keep the row by `expr <op> ALL|ANY (first column of the result)`.
+    Quantified { expr: Expr, op: CmpOp, all: bool },
+}
+
+impl ApplyMode {
+    /// Compact SQL-flavoured rendering used in plan trees ("NOT EXISTS(…)").
+    pub fn describe(&self, render_expr: &dyn Fn(&Expr) -> String) -> String {
+        match self {
+            ApplyMode::Exists { negated } => {
+                format!("{}EXISTS(…)", if *negated { "NOT " } else { "" })
+            }
+            ApplyMode::In { expr, negated } => format!(
+                "{} {}IN (…)",
+                render_expr(expr),
+                if *negated { "NOT " } else { "" }
+            ),
+            ApplyMode::Compare { expr, op } => {
+                format!("{} {} (…)", render_expr(expr), op.sql())
+            }
+            ApplyMode::Quantified { expr, op, all } => format!(
+                "{} {} {} (…)",
+                render_expr(expr),
+                op.sql(),
+                if *all { "ALL" } else { "ANY" }
+            ),
+        }
+    }
+
+    /// The mode's expressions, for parameter substitution.
+    fn map_exprs(&self, f: &dyn Fn(&Expr) -> Expr) -> ApplyMode {
+        match self {
+            ApplyMode::Exists { negated } => ApplyMode::Exists { negated: *negated },
+            ApplyMode::In { expr, negated } => ApplyMode::In {
+                expr: f(expr),
+                negated: *negated,
+            },
+            ApplyMode::Compare { expr, op } => ApplyMode::Compare {
+                expr: f(expr),
+                op: *op,
+            },
+            ApplyMode::Quantified { expr, op, all } => ApplyMode::Quantified {
+                expr: f(expr),
+                op: *op,
+                all: *all,
+            },
+        }
+    }
 }
 
 impl From<PlanNode> for Plan {
@@ -207,6 +325,196 @@ impl Plan {
             right_keys,
         }
         .into()
+    }
+
+    /// Hash semi-join of two plans (left rows with a build-side match).
+    pub fn semi_join(
+        left: Plan,
+        right: Plan,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+    ) -> Plan {
+        PlanNode::HashSemiJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            left_keys,
+            right_keys,
+        }
+        .into()
+    }
+
+    /// Hash anti-join of two plans (left rows with no build-side match);
+    /// `null_aware` selects `NOT IN` rather than `NOT EXISTS` NULL semantics.
+    pub fn anti_join(
+        left: Plan,
+        right: Plan,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        null_aware: bool,
+    ) -> Plan {
+        PlanNode::HashAntiJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            left_keys,
+            right_keys,
+            null_aware,
+        }
+        .into()
+    }
+
+    /// Filter this plan by comparing `expr` with an uncorrelated scalar
+    /// subquery's single (cached) value.
+    pub fn scalar_subquery(self, subplan: Plan, expr: Expr, op: CmpOp) -> Plan {
+        PlanNode::ScalarSubquery {
+            input: Box::new(self),
+            subplan: Box::new(subplan),
+            expr,
+            op,
+        }
+        .into()
+    }
+
+    /// Filter this plan by re-evaluating a correlated subquery per row
+    /// (cached per distinct parameter binding).
+    pub fn apply(self, subplan: Plan, params: Vec<(u32, usize)>, mode: ApplyMode) -> Plan {
+        PlanNode::Apply {
+            input: Box::new(self),
+            subplan: Box::new(subplan),
+            params,
+            mode,
+        }
+        .into()
+    }
+
+    /// Clone this plan with the given parameter bindings substituted into
+    /// every expression (including nested subplans). Parameters not present
+    /// in `bindings` — owned by a deeper `Apply` — are left in place.
+    pub fn bind_params(&self, bindings: &HashMap<u32, Value>) -> Plan {
+        let node = match &self.node {
+            PlanNode::Scan { table, alias } => PlanNode::Scan {
+                table: table.clone(),
+                alias: alias.clone(),
+            },
+            PlanNode::Values { columns, rows } => PlanNode::Values {
+                columns: columns.clone(),
+                rows: rows.clone(),
+            },
+            PlanNode::Filter { input, predicate } => PlanNode::Filter {
+                input: Box::new(input.bind_params(bindings)),
+                predicate: predicate.substitute_params(bindings),
+            },
+            PlanNode::Project {
+                input,
+                exprs,
+                columns,
+            } => PlanNode::Project {
+                input: Box::new(input.bind_params(bindings)),
+                exprs: exprs
+                    .iter()
+                    .map(|e| e.substitute_params(bindings))
+                    .collect(),
+                columns: columns.clone(),
+            },
+            PlanNode::NestedLoopJoin {
+                left,
+                right,
+                predicate,
+            } => PlanNode::NestedLoopJoin {
+                left: Box::new(left.bind_params(bindings)),
+                right: Box::new(right.bind_params(bindings)),
+                predicate: predicate.as_ref().map(|p| p.substitute_params(bindings)),
+            },
+            PlanNode::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => PlanNode::HashJoin {
+                left: Box::new(left.bind_params(bindings)),
+                right: Box::new(right.bind_params(bindings)),
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+            },
+            PlanNode::HashSemiJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => PlanNode::HashSemiJoin {
+                left: Box::new(left.bind_params(bindings)),
+                right: Box::new(right.bind_params(bindings)),
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+            },
+            PlanNode::HashAntiJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                null_aware,
+            } => PlanNode::HashAntiJoin {
+                left: Box::new(left.bind_params(bindings)),
+                right: Box::new(right.bind_params(bindings)),
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+                null_aware: *null_aware,
+            },
+            PlanNode::Aggregate {
+                input,
+                group_by,
+                aggregates,
+                having,
+            } => PlanNode::Aggregate {
+                input: Box::new(input.bind_params(bindings)),
+                group_by: group_by.clone(),
+                aggregates: aggregates
+                    .iter()
+                    .map(|a| AggExpr {
+                        func: a.func,
+                        arg: a.arg.as_ref().map(|e| e.substitute_params(bindings)),
+                        output_name: a.output_name.clone(),
+                    })
+                    .collect(),
+                having: having.as_ref().map(|h| h.substitute_params(bindings)),
+            },
+            PlanNode::Sort { input, keys } => PlanNode::Sort {
+                input: Box::new(input.bind_params(bindings)),
+                keys: keys.clone(),
+            },
+            PlanNode::Limit { input, n } => PlanNode::Limit {
+                input: Box::new(input.bind_params(bindings)),
+                n: *n,
+            },
+            PlanNode::Distinct { input } => PlanNode::Distinct {
+                input: Box::new(input.bind_params(bindings)),
+            },
+            PlanNode::ScalarSubquery {
+                input,
+                subplan,
+                expr,
+                op,
+            } => PlanNode::ScalarSubquery {
+                input: Box::new(input.bind_params(bindings)),
+                subplan: Box::new(subplan.bind_params(bindings)),
+                expr: expr.substitute_params(bindings),
+                op: *op,
+            },
+            PlanNode::Apply {
+                input,
+                subplan,
+                params,
+                mode,
+            } => PlanNode::Apply {
+                input: Box::new(input.bind_params(bindings)),
+                subplan: Box::new(subplan.bind_params(bindings)),
+                params: params.clone(),
+                mode: mode.map_exprs(&|e| e.substitute_params(bindings)),
+            },
+        };
+        Plan {
+            node,
+            estimated_rows: self.estimated_rows,
+        }
     }
 
     /// Grouped aggregation over this plan.
@@ -288,8 +596,14 @@ impl Plan {
             | PlanNode::Distinct { input }
             | PlanNode::Aggregate { input, .. } => input.operator_count(),
             PlanNode::NestedLoopJoin { left, right, .. }
-            | PlanNode::HashJoin { left, right, .. } => {
+            | PlanNode::HashJoin { left, right, .. }
+            | PlanNode::HashSemiJoin { left, right, .. }
+            | PlanNode::HashAntiJoin { left, right, .. } => {
                 left.operator_count() + right.operator_count()
+            }
+            PlanNode::ScalarSubquery { input, subplan, .. }
+            | PlanNode::Apply { input, subplan, .. } => {
+                input.operator_count() + subplan.operator_count()
             }
         }
     }
@@ -307,6 +621,10 @@ impl Plan {
             PlanNode::Sort { .. } => "sort",
             PlanNode::Limit { .. } => "limit",
             PlanNode::Distinct { .. } => "distinct",
+            PlanNode::HashSemiJoin { .. } => "semi join",
+            PlanNode::HashAntiJoin { .. } => "anti join",
+            PlanNode::ScalarSubquery { .. } => "scalar subquery",
+            PlanNode::Apply { .. } => "apply",
         }
     }
 }

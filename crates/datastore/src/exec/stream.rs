@@ -18,11 +18,12 @@
 use crate::database::Database;
 use crate::error::StoreError;
 use crate::exec::aggregate::{agg_input, Accumulator, AggExpr};
-use crate::exec::plan::{aggregate_output_columns, ColumnInfo, Plan, PlanNode, SortKey};
-use crate::expr::Expr;
+use crate::exec::plan::{aggregate_output_columns, ApplyMode, ColumnInfo, Plan, PlanNode, SortKey};
+use crate::expr::{CmpOp, Expr};
 use crate::table::Table;
 use crate::tuple::Row;
 use crate::value::{GroupKey, Value};
+use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
@@ -75,6 +76,33 @@ impl PlanProfile {
         f(self);
         for c in &self.children {
             c.walk(f);
+        }
+    }
+
+    /// Add another profile's counters into this one, recursively. The two
+    /// profiles must have the same tree shape; the `Apply` operator uses
+    /// this to accumulate the metrics of its per-binding subplan executions
+    /// into one template profile.
+    pub fn absorb(&mut self, other: &PlanProfile) {
+        self.metrics.rows_in += other.metrics.rows_in;
+        self.metrics.rows_out += other.metrics.rows_out;
+        self.metrics.batches += other.metrics.batches;
+        self.metrics.elapsed += other.metrics.elapsed;
+        for (mine, theirs) in self.children.iter_mut().zip(&other.children) {
+            mine.absorb(theirs);
+        }
+    }
+
+    /// Multiply every estimate in the subtree by `factor`. The `Apply`
+    /// operator scales its subplan's per-evaluation estimates by the number
+    /// of evaluations, so `EXPLAIN ANALYZE` compares like with like (total
+    /// estimated rows vs. total actual rows across all bindings).
+    pub fn scale_estimates(&mut self, factor: f64) {
+        if let Some(est) = self.estimated_rows.as_mut() {
+            *est *= factor;
+        }
+        for c in &mut self.children {
+            c.scale_estimates(factor);
         }
     }
 
@@ -202,6 +230,7 @@ pub fn render_expr(expr: &Expr, columns: &[ColumnInfo]) -> String {
             let items: Vec<String> = list.iter().map(Value::sql_literal).collect();
             format!("{} IN ({})", render_expr(expr, columns), items.join(", "))
         }
+        Expr::Param(id) => format!("${id}"),
     }
 }
 
@@ -407,6 +436,97 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
             Box::new(DistinctSource {
                 input,
                 seen: HashSet::new(),
+                est,
+                meter: OpMetrics::default(),
+            })
+        }
+        PlanNode::HashSemiJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => Box::new(SemiJoinSource::open(
+            db, left, right, left_keys, right_keys, false, false, est,
+        )?),
+        PlanNode::HashAntiJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            null_aware,
+        } => Box::new(SemiJoinSource::open(
+            db,
+            left,
+            right,
+            left_keys,
+            right_keys,
+            true,
+            *null_aware,
+            est,
+        )?),
+        PlanNode::ScalarSubquery {
+            input,
+            subplan,
+            expr,
+            op,
+        } => {
+            let input = open(db, input)?;
+            let sub = open(db, subplan)?;
+            let detail = format!(
+                "{} {} (subquery)",
+                render_expr(expr, input.columns()),
+                op.sql()
+            );
+            Box::new(ScalarSubquerySource {
+                input,
+                sub,
+                expr: expr.clone(),
+                op: *op,
+                scalar: None,
+                detail,
+                est,
+                meter: OpMetrics::default(),
+            })
+        }
+        PlanNode::Apply {
+            input,
+            subplan,
+            params,
+            mode,
+        } => {
+            let input = open(db, input)?;
+            // Open the unbound template once: this validates the subplan and
+            // yields the profile skeleton the per-binding executions will
+            // accumulate their counters into.
+            let sub_template = open(db, subplan)?.profile();
+            let in_cols = input.columns().to_vec();
+            let mode_text = mode.describe(&|e| render_expr(e, &in_cols));
+            let correlation: Vec<String> = params
+                .iter()
+                .map(|(_, idx)| {
+                    in_cols
+                        .get(*idx)
+                        .map(ColumnInfo::to_string)
+                        .unwrap_or_else(|| format!("#{idx}"))
+                })
+                .collect();
+            let detail = if correlation.is_empty() {
+                mode_text
+            } else {
+                format!("{mode_text} correlated on {}", correlation.join(", "))
+            };
+            Box::new(ApplySource {
+                db,
+                input,
+                subplan: (**subplan).clone(),
+                param_cols: params.iter().map(|&(_, i)| i).collect(),
+                params: params.clone(),
+                mode: mode.clone(),
+                detail,
+                sub_profile: sub_template,
+                cache: HashMap::new(),
+                evaluations: 0,
+                cache_hits: 0,
                 est,
                 meter: OpMetrics::default(),
             })
@@ -1110,6 +1230,513 @@ impl RowSource for DistinctSource<'_> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Semi / anti join
+// ---------------------------------------------------------------------------
+
+/// Hash semi- and anti-join: filter the probe (left) side by key membership
+/// in the build (right) side. Unlike a hash join, only the key *set* is
+/// retained — no build rows are ever emitted — so the build is a `HashSet`
+/// plus two flags capturing what `NOT IN` NULL semantics need to know: did
+/// the build side have any rows, and did any build key contain NULL.
+struct SemiJoinSource<'a> {
+    left: Box<dyn RowSource + 'a>,
+    right: Box<dyn RowSource + 'a>,
+    left_keys: Vec<usize>,
+    right_keys: Vec<usize>,
+    anti: bool,
+    null_aware: bool,
+    columns: Vec<ColumnInfo>,
+    detail: String,
+    /// (key set, build side had rows, some build key contained NULL).
+    build: Option<(HashSet<Vec<GroupKey>>, bool, bool)>,
+    est: Option<f64>,
+    meter: OpMetrics,
+}
+
+impl<'a> SemiJoinSource<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn open(
+        db: &'a Database,
+        left: &Plan,
+        right: &Plan,
+        left_keys: &[usize],
+        right_keys: &[usize],
+        anti: bool,
+        null_aware: bool,
+        est: Option<f64>,
+    ) -> Result<SemiJoinSource<'a>, StoreError> {
+        let left = open(db, left)?;
+        let right = open(db, right)?;
+        let mut detail = left_keys
+            .iter()
+            .zip(right_keys)
+            .map(|(&lk, &rk)| {
+                format!(
+                    "{} = {}",
+                    left.columns()
+                        .get(lk)
+                        .map(ColumnInfo::to_string)
+                        .unwrap_or_else(|| format!("#{lk}")),
+                    right
+                        .columns()
+                        .get(rk)
+                        .map(ColumnInfo::to_string)
+                        .unwrap_or_else(|| format!("#{rk}")),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" AND ");
+        if null_aware {
+            detail.push_str(" (NULL-aware)");
+        }
+        let columns = left.columns().to_vec();
+        Ok(SemiJoinSource {
+            left,
+            right,
+            left_keys: left_keys.to_vec(),
+            right_keys: right_keys.to_vec(),
+            anti,
+            null_aware,
+            columns,
+            detail,
+            build: None,
+            est,
+            meter: OpMetrics::default(),
+        })
+    }
+
+    fn build(&mut self) -> Result<(), StoreError> {
+        if self.build.is_some() {
+            return Ok(());
+        }
+        let mut keys: HashSet<Vec<GroupKey>> = HashSet::new();
+        let mut any_rows = false;
+        let mut null_key = false;
+        while let Some(batch) = self.right.next_batch()? {
+            self.meter.rows_in += batch.len() as u64;
+            for row in batch {
+                any_rows = true;
+                let key = row.group_key(&self.right_keys);
+                if key.contains(&GroupKey::Null) {
+                    null_key = true;
+                    continue;
+                }
+                keys.insert(key);
+            }
+        }
+        self.build = Some((keys, any_rows, null_key));
+        Ok(())
+    }
+
+    /// Whether a probe row with this key survives the (anti-)semi-join.
+    fn keep(&self, key: &[GroupKey]) -> bool {
+        let (keys, any_rows, null_key) = self.build.as_ref().expect("built before probing");
+        let probe_null = key.contains(&GroupKey::Null);
+        if !self.anti {
+            // Semi: a NULL probe key can never equal anything.
+            return !probe_null && keys.contains(key);
+        }
+        if self.null_aware {
+            // NOT IN three-valued logic: over an empty set it is TRUE for
+            // every probe value (even NULL); a NULL build key makes every
+            // non-match UNKNOWN; a NULL probe key is UNKNOWN too.
+            if !any_rows {
+                return true;
+            }
+            if *null_key || probe_null {
+                return false;
+            }
+            !keys.contains(key)
+        } else {
+            // NOT EXISTS: NULL keys simply never match, so a NULL probe key
+            // is guaranteed to have no partner.
+            probe_null || !keys.contains(key)
+        }
+    }
+}
+
+impl RowSource for SemiJoinSource<'_> {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
+        let start = Instant::now();
+        self.build()?;
+        let result = loop {
+            match self.left.next_batch()? {
+                None => break None,
+                Some(batch) => {
+                    self.meter.rows_in += batch.len() as u64;
+                    let mut kept = Vec::new();
+                    for row in batch {
+                        if self.keep(&row.group_key(&self.left_keys)) {
+                            kept.push(row);
+                        }
+                    }
+                    if !kept.is_empty() {
+                        self.meter.rows_out += kept.len() as u64;
+                        self.meter.batches += 1;
+                        break Some(kept);
+                    }
+                }
+            }
+        };
+        self.meter.elapsed += start.elapsed();
+        Ok(result)
+    }
+
+    fn profile(&self) -> PlanProfile {
+        PlanProfile {
+            operator: if self.anti { "anti join" } else { "semi join" }.to_string(),
+            detail: self.detail.clone(),
+            columns: self.columns.clone(),
+            estimated_rows: self.est,
+            metrics: self.meter,
+            children: vec![self.left.profile(), self.right.profile()],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar subquery
+// ---------------------------------------------------------------------------
+
+/// Evaluate an uncorrelated scalar subquery exactly once, cache its single
+/// value, and filter the input by comparing against it.
+struct ScalarSubquerySource<'a> {
+    input: Box<dyn RowSource + 'a>,
+    sub: Box<dyn RowSource + 'a>,
+    expr: Expr,
+    op: CmpOp,
+    /// The cached scalar (SQL NULL when the subquery produced no rows).
+    scalar: Option<Value>,
+    detail: String,
+    est: Option<f64>,
+    meter: OpMetrics,
+}
+
+impl ScalarSubquerySource<'_> {
+    fn compute_scalar(&mut self) -> Result<(), StoreError> {
+        if self.scalar.is_some() {
+            return Ok(());
+        }
+        let mut rows = 0usize;
+        let mut value = Value::Null;
+        while let Some(batch) = self.sub.next_batch()? {
+            for row in &batch {
+                rows += 1;
+                if rows > 1 {
+                    return Err(StoreError::Eval {
+                        message: "scalar subquery produced more than one row".into(),
+                    });
+                }
+                value = row.get(0).cloned().unwrap_or(Value::Null);
+            }
+        }
+        self.scalar = Some(value);
+        Ok(())
+    }
+}
+
+impl RowSource for ScalarSubquerySource<'_> {
+    fn columns(&self) -> &[ColumnInfo] {
+        self.input.columns()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
+        let start = Instant::now();
+        self.compute_scalar()?;
+        let scalar = self.scalar.clone().expect("computed above");
+        let result = loop {
+            match self.input.next_batch()? {
+                None => break None,
+                Some(batch) => {
+                    self.meter.rows_in += batch.len() as u64;
+                    let mut kept = Vec::new();
+                    for row in batch {
+                        let v = self.expr.eval(&row)?;
+                        // Three-valued: NULL on either side is UNKNOWN.
+                        if let Some(ord) = v.sql_cmp(&scalar) {
+                            if cmp_holds(self.op, ord) {
+                                kept.push(row);
+                            }
+                        }
+                    }
+                    if !kept.is_empty() {
+                        self.meter.rows_out += kept.len() as u64;
+                        self.meter.batches += 1;
+                        break Some(kept);
+                    }
+                }
+            }
+        };
+        self.meter.elapsed += start.elapsed();
+        Ok(result)
+    }
+
+    fn profile(&self) -> PlanProfile {
+        PlanProfile {
+            operator: "scalar subquery".to_string(),
+            detail: self.detail.clone(),
+            columns: self.input.columns().to_vec(),
+            estimated_rows: self.est,
+            metrics: self.meter,
+            children: vec![self.input.profile(), self.sub.profile()],
+        }
+    }
+}
+
+/// Evaluate a comparison operator on an ordering (shared by the subquery
+/// operators, which compare `Value`s rather than build `Expr`s).
+fn cmp_holds(op: CmpOp, ord: Ordering) -> bool {
+    match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::NotEq => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::LtEq => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::GtEq => ord != Ordering::Less,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Apply
+// ---------------------------------------------------------------------------
+
+/// What one subquery evaluation produced, cached per parameter binding.
+enum SubResult {
+    /// The subquery produced at least one row.
+    Exists(bool),
+    /// First-column values (for `IN` / quantified comparisons).
+    Column(Vec<Value>),
+    /// The scalar result (NULL when the subquery was empty).
+    Scalar(Value),
+}
+
+/// The correlated-subquery fallback: for each input row, substitute the
+/// row's correlation values into the subplan, execute it, and keep the row
+/// when `mode` says so. Results are cached per distinct parameter binding.
+struct ApplySource<'a> {
+    db: &'a Database,
+    input: Box<dyn RowSource + 'a>,
+    subplan: Plan,
+    params: Vec<(u32, usize)>,
+    /// The input-column positions of `params`, precomputed once — the cache
+    /// key of every probe row is `row.group_key(&param_cols)`.
+    param_cols: Vec<usize>,
+    mode: ApplyMode,
+    detail: String,
+    /// Template profile of the subplan, accumulating every execution's
+    /// counters (same tree shape as each bound execution).
+    sub_profile: PlanProfile,
+    cache: HashMap<Vec<GroupKey>, SubResult>,
+    evaluations: u64,
+    cache_hits: u64,
+    est: Option<f64>,
+    meter: OpMetrics,
+}
+
+impl ApplySource<'_> {
+    /// Execute the subplan for one parameter binding (unless the binding is
+    /// already cached), producing the summary `mode` needs. `EXISTS` stops
+    /// at the first row.
+    fn evaluate(&mut self, key: &[GroupKey], row: &Row) -> Result<(), StoreError> {
+        if self.cache.contains_key(key) {
+            self.cache_hits += 1;
+            return Ok(());
+        }
+        self.evaluations += 1;
+        let bindings: HashMap<u32, Value> = self
+            .params
+            .iter()
+            .map(|&(id, idx)| (id, row.get(idx).cloned().unwrap_or(Value::Null)))
+            .collect();
+        let bound = self.subplan.bind_params(&bindings);
+        let mut src = open(self.db, &bound)?;
+        let result = match &self.mode {
+            ApplyMode::Exists { .. } => {
+                let mut exists = false;
+                while let Some(batch) = src.next_batch()? {
+                    if !batch.is_empty() {
+                        exists = true;
+                        break; // Early exit: existence needs only one row.
+                    }
+                }
+                SubResult::Exists(exists)
+            }
+            ApplyMode::In { .. } | ApplyMode::Quantified { .. } => {
+                let mut values = Vec::new();
+                while let Some(batch) = src.next_batch()? {
+                    for r in &batch {
+                        values.push(r.get(0).cloned().unwrap_or(Value::Null));
+                    }
+                }
+                SubResult::Column(values)
+            }
+            ApplyMode::Compare { .. } => {
+                let mut rows = 0usize;
+                let mut value = Value::Null;
+                while let Some(batch) = src.next_batch()? {
+                    for r in &batch {
+                        rows += 1;
+                        if rows > 1 {
+                            return Err(StoreError::Eval {
+                                message: "correlated scalar subquery produced more than one row"
+                                    .into(),
+                            });
+                        }
+                        value = r.get(0).cloned().unwrap_or(Value::Null);
+                    }
+                }
+                SubResult::Scalar(value)
+            }
+        };
+        self.sub_profile.absorb(&src.profile());
+        self.cache.insert(key.to_vec(), result);
+        Ok(())
+    }
+
+    /// Three-valued verdict for one input row against its cached subquery
+    /// result; `None` is SQL UNKNOWN (the row is filtered out).
+    fn verdict(&self, key: &[GroupKey], row: &Row) -> Result<Option<bool>, StoreError> {
+        let cached = self.cache.get(key).expect("evaluated before verdict");
+        Ok(match (&self.mode, cached) {
+            (ApplyMode::Exists { negated }, SubResult::Exists(exists)) => Some(exists ^ negated),
+            (ApplyMode::In { expr, negated }, SubResult::Column(values)) => {
+                let probe = expr.eval(row)?;
+                in_membership(&probe, values).map(|b| b ^ negated)
+            }
+            (ApplyMode::Compare { expr, op }, SubResult::Scalar(scalar)) => {
+                let probe = expr.eval(row)?;
+                probe.sql_cmp(scalar).map(|ord| cmp_holds(*op, ord))
+            }
+            (ApplyMode::Quantified { expr, op, all }, SubResult::Column(values)) => {
+                let probe = expr.eval(row)?;
+                quantified_verdict(&probe, *op, *all, values)
+            }
+            _ => unreachable!("cache entry shape always matches the mode"),
+        })
+    }
+}
+
+/// `probe IN (values)` with SQL three-valued semantics.
+fn in_membership(probe: &Value, values: &[Value]) -> Option<bool> {
+    if values.is_empty() {
+        return Some(false);
+    }
+    if probe.is_null() {
+        return None;
+    }
+    let mut unknown = false;
+    for v in values {
+        match probe.sql_eq(v) {
+            Some(true) => return Some(true),
+            Some(false) => {}
+            None => unknown = true,
+        }
+    }
+    if unknown {
+        None
+    } else {
+        Some(false)
+    }
+}
+
+/// `probe <op> ALL|ANY (values)` with SQL three-valued semantics: ALL over
+/// an empty set is TRUE, ANY over an empty set is FALSE, and a NULL anywhere
+/// makes the verdict UNKNOWN unless it is already decided.
+fn quantified_verdict(probe: &Value, op: CmpOp, all: bool, values: &[Value]) -> Option<bool> {
+    if values.is_empty() {
+        // Vacuous truth: ALL over nothing holds, ANY over nothing does not.
+        return Some(all);
+    }
+    let mut unknown = false;
+    for v in values {
+        match probe.sql_cmp(v) {
+            None => unknown = true,
+            Some(ord) => {
+                let holds = cmp_holds(op, ord);
+                if all && !holds {
+                    return Some(false);
+                }
+                if !all && holds {
+                    return Some(true);
+                }
+            }
+        }
+    }
+    if unknown {
+        None
+    } else {
+        Some(all)
+    }
+}
+
+impl RowSource for ApplySource<'_> {
+    fn columns(&self) -> &[ColumnInfo] {
+        self.input.columns()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
+        let start = Instant::now();
+        let result = loop {
+            match self.input.next_batch()? {
+                None => break None,
+                Some(batch) => {
+                    self.meter.rows_in += batch.len() as u64;
+                    let mut kept = Vec::new();
+                    for row in batch {
+                        let key = row.group_key(&self.param_cols);
+                        self.evaluate(&key, &row)?;
+                        if self.verdict(&key, &row)? == Some(true) {
+                            kept.push(row);
+                        }
+                    }
+                    if !kept.is_empty() {
+                        self.meter.rows_out += kept.len() as u64;
+                        self.meter.batches += 1;
+                        break Some(kept);
+                    }
+                }
+            }
+        };
+        self.meter.elapsed += start.elapsed();
+        Ok(result)
+    }
+
+    fn profile(&self) -> PlanProfile {
+        let detail = if self.evaluations > 0 {
+            format!(
+                "{}; {} evaluation{}, {} cache hit{}",
+                self.detail,
+                self.evaluations,
+                if self.evaluations == 1 { "" } else { "s" },
+                self.cache_hits,
+                if self.cache_hits == 1 { "" } else { "s" }
+            )
+        } else {
+            self.detail.clone()
+        };
+        let mut sub_profile = self.sub_profile.clone();
+        if self.evaluations > 1 {
+            // The subplan's estimates are per evaluation; its accumulated
+            // counters span all of them. Scale so est-vs-actual compares
+            // totals with totals.
+            sub_profile.scale_estimates(self.evaluations as f64);
+        }
+        PlanProfile {
+            operator: "apply".to_string(),
+            detail,
+            columns: self.input.columns().to_vec(),
+            estimated_rows: self.est,
+            metrics: self.meter,
+            children: vec![self.input.profile(), sub_profile],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1236,5 +1863,174 @@ mod tests {
             Box::new(Expr::col_eq(0, 1)),
         );
         assert_eq!(render_expr(&e, &cols), "m.year > 2000 AND m.id = m.year");
+        assert_eq!(render_expr(&Expr::Param(3), &cols), "$3");
+    }
+
+    /// A one-column literal relation for subquery-operator tests.
+    fn values_plan(name: &str, values: &[Value]) -> Plan {
+        Plan::values(
+            vec![ColumnInfo::unqualified(name)],
+            values.iter().map(|v| Row::new(vec![v.clone()])).collect(),
+        )
+    }
+
+    fn run_plan(db: &Database, plan: &Plan) -> Vec<Row> {
+        let mut src = open(db, plan).unwrap();
+        let mut out = Vec::new();
+        while let Some(batch) = src.next_batch().unwrap() {
+            out.extend(batch);
+        }
+        out
+    }
+
+    #[test]
+    fn semi_join_keeps_only_matching_probe_rows() {
+        let db = Database::new();
+        let probe = values_plan("x", &[Value::int(1), Value::int(2), Value::Null]);
+        let build = values_plan("y", &[Value::int(2), Value::int(3), Value::Null]);
+        let plan = Plan::semi_join(probe, build, vec![0], vec![0]);
+        let rows = run_plan(&db, &plan);
+        // Only 2 matches; NULL never equals anything, on either side.
+        assert_eq!(rows, vec![Row::new(vec![Value::int(2)])]);
+    }
+
+    #[test]
+    fn anti_join_not_exists_semantics_pass_null_probes() {
+        let db = Database::new();
+        let probe = values_plan("x", &[Value::int(1), Value::int(2), Value::Null]);
+        let build = values_plan("y", &[Value::int(2), Value::Null]);
+        let plan = Plan::anti_join(probe, build, vec![0], vec![0], false);
+        let rows = run_plan(&db, &plan);
+        // NOT EXISTS: the NULL probe has no match by definition, so it stays.
+        assert_eq!(
+            rows,
+            vec![Row::new(vec![Value::int(1)]), Row::new(vec![Value::Null])]
+        );
+    }
+
+    #[test]
+    fn null_aware_anti_join_implements_not_in() {
+        let db = Database::new();
+        // A NULL on the build side makes every NOT IN verdict UNKNOWN or
+        // FALSE: nothing survives.
+        let probe = values_plan("x", &[Value::int(1), Value::int(2), Value::Null]);
+        let with_null = values_plan("y", &[Value::int(2), Value::Null]);
+        let plan = Plan::anti_join(probe.clone(), with_null, vec![0], vec![0], true);
+        assert!(run_plan(&db, &plan).is_empty());
+
+        // Without build-side NULLs, a NULL probe is UNKNOWN (dropped) and
+        // non-matches pass.
+        let no_null = values_plan("y", &[Value::int(2), Value::int(3)]);
+        let plan = Plan::anti_join(probe.clone(), no_null, vec![0], vec![0], true);
+        assert_eq!(run_plan(&db, &plan), vec![Row::new(vec![Value::int(1)])]);
+
+        // NOT IN over an empty set is TRUE for everything, even NULL.
+        let empty = values_plan("y", &[]);
+        let plan = Plan::anti_join(probe, empty, vec![0], vec![0], true);
+        assert_eq!(run_plan(&db, &plan).len(), 3);
+    }
+
+    #[test]
+    fn scalar_subquery_filters_against_the_cached_value() {
+        let db = db();
+        // T.v = (scalar 3): 250 of the 2500 rows qualify; the subquery's
+        // profile shows it was pulled exactly once.
+        let sub = values_plan("s", &[Value::int(3)]);
+        let plan = Plan::scan("T", "t").scalar_subquery(sub, Expr::Column(1), CmpOp::Eq);
+        let mut src = open(&db, &plan).unwrap();
+        let mut total = 0;
+        while let Some(batch) = src.next_batch().unwrap() {
+            total += batch.len();
+        }
+        assert_eq!(total, 250);
+        let profile = src.profile();
+        assert_eq!(profile.operator, "scalar subquery");
+        assert_eq!(profile.children[1].metrics.rows_out, 1);
+    }
+
+    #[test]
+    fn scalar_subquery_with_two_rows_is_an_error() {
+        let db = db();
+        let sub = values_plan("s", &[Value::int(1), Value::int(2)]);
+        let plan = Plan::scan("T", "t").scalar_subquery(sub, Expr::Column(1), CmpOp::Eq);
+        let mut src = open(&db, &plan).unwrap();
+        assert!(src.next_batch().is_err());
+    }
+
+    #[test]
+    fn scalar_subquery_over_empty_input_is_sql_null() {
+        let db = db();
+        let sub = values_plan("s", &[]);
+        let plan = Plan::scan("T", "t").scalar_subquery(sub, Expr::Column(1), CmpOp::Eq);
+        let mut src = open(&db, &plan).unwrap();
+        // v = NULL is UNKNOWN for every row: nothing comes out.
+        assert!(src.next_batch().unwrap().is_none());
+    }
+
+    #[test]
+    fn apply_exists_binds_params_and_caches_per_binding() {
+        let db = db();
+        // For each T row, check EXISTS(select * from T u where u.v = $0 and
+        // u.id < 10): v in 0..=9 and ids 0..9 cover v values 0..9, so every
+        // v has a witness — but only 10 distinct v values mean 10 real
+        // evaluations for 2500 input rows.
+        let sub = Plan::scan("T", "u")
+            .filter(Expr::Compare {
+                op: CmpOp::Eq,
+                left: Box::new(Expr::Column(1)),
+                right: Box::new(Expr::Param(0)),
+            })
+            .filter(Expr::col_cmp_value(0, CmpOp::Lt, Value::int(10)));
+        let plan =
+            Plan::scan("T", "t").apply(sub, vec![(0, 1)], ApplyMode::Exists { negated: false });
+        let mut src = open(&db, &plan).unwrap();
+        let mut total = 0;
+        while let Some(batch) = src.next_batch().unwrap() {
+            total += batch.len();
+        }
+        assert_eq!(total, 2500);
+        let profile = src.profile();
+        assert_eq!(profile.operator, "apply");
+        assert!(
+            profile.detail.contains("10 evaluations"),
+            "memoization missing from: {}",
+            profile.detail
+        );
+        assert!(profile.detail.contains("2490 cache hits"));
+    }
+
+    #[test]
+    fn apply_quantified_all_and_any_verdicts() {
+        let five = Value::int(5);
+        let vals = vec![Value::int(5), Value::int(7)];
+        assert_eq!(
+            quantified_verdict(&five, CmpOp::LtEq, true, &vals),
+            Some(true)
+        );
+        assert_eq!(
+            quantified_verdict(&five, CmpOp::Lt, true, &vals),
+            Some(false)
+        );
+        assert_eq!(
+            quantified_verdict(&five, CmpOp::Eq, false, &vals),
+            Some(true)
+        );
+        // Empty sets: ALL is vacuously true, ANY is false.
+        assert_eq!(quantified_verdict(&five, CmpOp::Eq, true, &[]), Some(true));
+        assert_eq!(
+            quantified_verdict(&five, CmpOp::Eq, false, &[]),
+            Some(false)
+        );
+        // A NULL in the set leaves an undecided verdict UNKNOWN.
+        let with_null = vec![Value::int(4), Value::Null];
+        assert_eq!(
+            quantified_verdict(&five, CmpOp::GtEq, true, &with_null),
+            None
+        );
+        // …but a decided one stays decided.
+        assert_eq!(
+            quantified_verdict(&five, CmpOp::Lt, true, &with_null),
+            Some(false)
+        );
     }
 }

@@ -89,6 +89,11 @@ pub enum Expr {
     /// Membership in a fixed list of constants (`IN (…)` after the planner
     /// has evaluated any uncorrelated subquery).
     InList { expr: Box<Expr>, list: Vec<Value> },
+    /// A correlation parameter: a value supplied by an enclosing `Apply`
+    /// operator, which substitutes it (via [`Expr::substitute_params`])
+    /// before the subplan runs. Evaluating an unbound parameter is an error —
+    /// it means a correlated subplan escaped its binding operator.
+    Param(u32),
 }
 
 impl Expr {
@@ -197,6 +202,9 @@ impl Expr {
                     Value::Boolean(false)
                 })
             }
+            Expr::Param(id) => Err(StoreError::Eval {
+                message: format!("unbound subquery parameter ${id}"),
+            }),
         }
     }
 
@@ -241,6 +249,63 @@ impl Expr {
                 expr: Box::new(expr.shift_columns(offset)),
                 list: list.clone(),
             },
+            Expr::Param(id) => Expr::Param(*id),
+        }
+    }
+
+    /// Replace every bound [`Expr::Param`] with the literal value supplied
+    /// for it, leaving parameters owned by deeper `Apply` operators (absent
+    /// from `bindings`) untouched.
+    pub fn substitute_params(&self, bindings: &std::collections::HashMap<u32, Value>) -> Expr {
+        match self {
+            Expr::Param(id) => match bindings.get(id) {
+                Some(v) => Expr::Literal(v.clone()),
+                None => Expr::Param(*id),
+            },
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Column(i) => Expr::Column(*i),
+            Expr::Compare { op, left, right } => Expr::Compare {
+                op: *op,
+                left: Box::new(left.substitute_params(bindings)),
+                right: Box::new(right.substitute_params(bindings)),
+            },
+            Expr::And(a, b) => Expr::And(
+                Box::new(a.substitute_params(bindings)),
+                Box::new(b.substitute_params(bindings)),
+            ),
+            Expr::Or(a, b) => Expr::Or(
+                Box::new(a.substitute_params(bindings)),
+                Box::new(b.substitute_params(bindings)),
+            ),
+            Expr::Not(e) => Expr::Not(Box::new(e.substitute_params(bindings))),
+            Expr::Arith { op, left, right } => Expr::Arith {
+                op: *op,
+                left: Box::new(left.substitute_params(bindings)),
+                right: Box::new(right.substitute_params(bindings)),
+            },
+            Expr::IsNull(e) => Expr::IsNull(Box::new(e.substitute_params(bindings))),
+            Expr::Like { expr, pattern } => Expr::Like {
+                expr: Box::new(expr.substitute_params(bindings)),
+                pattern: pattern.clone(),
+            },
+            Expr::InList { expr, list } => Expr::InList {
+                expr: Box::new(expr.substitute_params(bindings)),
+                list: list.clone(),
+            },
+        }
+    }
+
+    /// True if this expression (transitively) contains an unbound parameter.
+    pub fn has_params(&self) -> bool {
+        match self {
+            Expr::Param(_) => true,
+            Expr::Literal(_) | Expr::Column(_) => false,
+            Expr::Compare { left, right, .. } | Expr::Arith { left, right, .. } => {
+                left.has_params() || right.has_params()
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => a.has_params() || b.has_params(),
+            Expr::Not(e) | Expr::IsNull(e) => e.has_params(),
+            Expr::Like { expr, .. } | Expr::InList { expr, .. } => expr.has_params(),
         }
     }
 
@@ -256,7 +321,7 @@ impl Expr {
 
     fn collect_columns(&self, out: &mut Vec<usize>) {
         match self {
-            Expr::Literal(_) => {}
+            Expr::Literal(_) | Expr::Param(_) => {}
             Expr::Column(i) => out.push(*i),
             Expr::Compare { left, right, .. } | Expr::Arith { left, right, .. } => {
                 left.collect_columns(out);
@@ -477,6 +542,27 @@ mod tests {
         assert_eq!(e.eval(&r).unwrap(), Value::Boolean(true));
         let e = Expr::Not(Box::new(Expr::IsNull(Box::new(Expr::Column(0)))));
         assert_eq!(e.eval(&r).unwrap(), Value::Boolean(true));
+    }
+
+    #[test]
+    fn params_substitute_and_error_when_unbound() {
+        use std::collections::HashMap;
+        let r = row();
+        let e = Expr::Compare {
+            op: CmpOp::Eq,
+            left: Box::new(Expr::Column(0)),
+            right: Box::new(Expr::Param(7)),
+        };
+        assert!(e.has_params());
+        assert!(e.eval(&r).is_err(), "unbound parameters must not evaluate");
+        let mut bindings = HashMap::new();
+        bindings.insert(7, Value::int(10));
+        let bound = e.substitute_params(&bindings);
+        assert!(!bound.has_params());
+        assert_eq!(bound.eval(&r).unwrap(), Value::Boolean(true));
+        // Parameters owned by a deeper Apply stay untouched.
+        let other = Expr::Param(9).substitute_params(&bindings);
+        assert_eq!(other, Expr::Param(9));
     }
 
     #[test]

@@ -424,6 +424,26 @@ pub fn join_cardinality(left_rows: f64, right_rows: f64, left_ndv: usize, right_
     left_rows * right_rows / d
 }
 
+/// Selectivity of a semi-join on the probe side, under the classic
+/// containment assumption: of the probe side's `probe_ndv` distinct keys,
+/// `min(probe_ndv, build_ndv)` are expected to find a build-side match, so
+/// the fraction of probe *rows* that survive is `min(ndv) / probe_ndv`.
+pub fn semi_join_selectivity(probe_ndv: usize, build_ndv: usize) -> f64 {
+    probe_ndv.min(build_ndv).max(1) as f64 / probe_ndv.max(1) as f64
+}
+
+/// Estimated output of a semi-join (`EXISTS` / `IN` after decorrelation):
+/// the probe rows scaled by distinct-key containment.
+pub fn semi_join_cardinality(probe_rows: f64, probe_ndv: usize, build_ndv: usize) -> f64 {
+    probe_rows * semi_join_selectivity(probe_ndv, build_ndv)
+}
+
+/// Estimated output of an anti-join (`NOT EXISTS` / `NOT IN`): the
+/// complement of the semi-join estimate, clamped at zero.
+pub fn anti_join_cardinality(probe_rows: f64, probe_ndv: usize, build_ndv: usize) -> f64 {
+    (probe_rows - semi_join_cardinality(probe_rows, probe_ndv, build_ndv)).max(0.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -639,6 +659,19 @@ mod tests {
         assert_eq!(join_cardinality(10.0, 12.0, 10, 8), 12.0);
         // NDV of zero (no stats) degrades to a cross product, not a panic.
         assert_eq!(join_cardinality(5.0, 4.0, 0, 0), 20.0);
+    }
+
+    #[test]
+    fn semi_and_anti_join_cardinalities_are_complements() {
+        // 1000 movies probing 600 distinct cast mids: containment says 600
+        // of the 1000 distinct probe keys match.
+        assert_eq!(semi_join_cardinality(1000.0, 1000, 600), 600.0);
+        assert_eq!(anti_join_cardinality(1000.0, 1000, 600), 400.0);
+        // Build side richer than probe side: every probe key matches.
+        assert_eq!(semi_join_selectivity(10, 1000), 1.0);
+        assert_eq!(anti_join_cardinality(50.0, 10, 1000), 0.0);
+        // Degenerate NDVs never divide by zero.
+        assert_eq!(semi_join_selectivity(0, 0), 1.0);
     }
 
     #[test]

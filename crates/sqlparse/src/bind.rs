@@ -79,6 +79,19 @@ pub fn bind_query(catalog: &Catalog, query: &SelectStatement) -> Result<BoundQue
     bind_with_outer(catalog, query, &[])
 }
 
+/// Bind a subquery with the enclosing blocks in scope, outermost first.
+/// The planner's decorrelation pass uses this to (re-)bind a subquery block
+/// on its own — e.g. after stripping the correlated equality conjuncts it
+/// turned into semi-join keys — while references to enclosing tuple
+/// variables still resolve (and are recorded as correlated).
+pub fn bind_subquery(
+    catalog: &Catalog,
+    query: &SelectStatement,
+    outer: &[&BoundQuery],
+) -> Result<BoundQuery, BindError> {
+    bind_with_outer(catalog, query, outer)
+}
+
 fn bind_with_outer(
     catalog: &Catalog,
     query: &SelectStatement,

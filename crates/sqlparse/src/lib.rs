@@ -26,7 +26,7 @@ pub use ast::{
     AggregateFunction, BinaryOperator, ColumnRef, ExplainStatement, Expr, Literal, OrderByItem,
     Quantifier, SelectItem, SelectStatement, Statement, TableRef, UnaryOperator,
 };
-pub use bind::{bind_query, join_edges, BoundQuery, BoundTable, JoinEdge};
+pub use bind::{bind_query, bind_subquery, join_edges, BoundQuery, BoundTable, JoinEdge};
 pub use error::{BindError, ParseError};
 pub use parser::{parse_query, parse_statement};
 pub use rewrite::{

@@ -7,7 +7,10 @@
 //! motivated by translatability principles". This module implements:
 //!
 //! * [`flatten_in_subqueries`] — rewrite uncorrelated `IN (SELECT …)`
-//!   nesting into joins (Q5 → Q1),
+//!   nesting into joins (Q5 → Q1). This is an *optimization and narration*
+//!   rewrite, not a correctness requirement: shapes it declines (correlated,
+//!   aggregated, or `NOT IN` subqueries) still execute, through the
+//!   planner's semi-/anti-join decorrelation and `Apply` fallback,
 //! * [`detect_division`] — recognize the double-`NOT EXISTS` relational
 //!   division idiom (Q6, "movies that have all genres"),
 //! * [`normalize`] / [`equivalent_modulo_commutativity`] — canonicalize

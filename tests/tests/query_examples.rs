@@ -181,6 +181,53 @@ fn every_paper_query_classifies_in_increasing_difficulty_order() {
 }
 
 #[test]
+fn every_paper_query_executes_and_narrates() {
+    // Since the subquery subsystem landed, *translation* coverage (Q1–Q9
+    // narratives) is matched by *execution* coverage: the same system that
+    // explains each query also runs it and narrates the plan it ran.
+    let system = Talkback::new(movie_database());
+    let sqls = [
+        "select m.title from MOVIES m, CAST c, ACTOR a \
+         where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
+        "select a.name, m.title from MOVIES m, CAST c, ACTOR a, DIRECTED r, DIRECTOR d, GENRE g \
+         where m.id = c.mid and c.aid = a.id and m.id = r.mid and r.did = d.id \
+           and m.id = g.mid and d.name = 'G. Loucas' and g.genre = 'action'",
+        "select a1.name, a2.name from MOVIES m, CAST c1, ACTOR a1, CAST c2, ACTOR a2 \
+         where m.id = c1.mid and c1.aid = a1.id and m.id = c2.mid and c2.aid = a2.id \
+           and a1.id > a2.id",
+        "select m.title from MOVIES m, CAST c where m.id = c.mid and c.role = m.title",
+        "select m.title from MOVIES m where m.id in ( \
+            select c.mid from CAST c where c.aid in ( \
+                select a.id from ACTOR a where a.name = 'Brad Pitt'))",
+        "select m.title from MOVIES m where not exists ( \
+            select * from GENRE g1 where not exists ( \
+                select * from GENRE g2 where g2.mid = m.id and g2.genre = g1.genre))",
+        "select m.id, m.title, count(*) from MOVIES m, CAST c where m.id = c.mid \
+         group by m.id, m.title having 1 < (select count(*) from GENRE g where g.mid = m.id)",
+        "select a.id, a.name from MOVIES m, CAST c, ACTOR a \
+         where m.id = c.mid and c.aid = a.id \
+         group by a.id, a.name having count(distinct m.year) = 1",
+        "select a.name from MOVIES m, CAST c, ACTOR a where m.id = c.mid and c.aid = a.id \
+         and m.year <= all (select m1.year from MOVIES m1, MOVIES m2 \
+         where m1.title = m.title and m2.title = m.title and m1.id <> m2.id)",
+    ];
+    for (i, sql) in sqls.iter().enumerate() {
+        system
+            .run_query(sql)
+            .unwrap_or_else(|e| panic!("Q{} no longer executes: {e:?}", i + 1));
+        let plan = system
+            .explain_plan(&format!("explain analyze {sql}"))
+            .unwrap_or_else(|e| panic!("Q{} no longer explains: {e:?}", i + 1));
+        assert!(plan.analyzed);
+        assert!(
+            !plan.narration.is_empty(),
+            "Q{} plan narration is empty",
+            i + 1
+        );
+    }
+}
+
+#[test]
 fn dml_and_views_are_narrated() {
     let t = translate("insert into GENRE (mid, genre) values (1, 'noir')");
     assert!(t.best.starts_with("Add one new genre"));
