@@ -46,6 +46,14 @@
 //! 3. **datastore/exec** opens the plan into a tree of streaming, pull-based
 //!    `RowSource` operators exchanging row batches; every operator counts
 //!    rows in/out, batches and elapsed time ([`datastore::exec::OpMetrics`]).
+//!    Operator trees are owned (`Arc` table handles), so a *parallel* phase
+//!    in the planner can wrap pipelines whose driver scan clears
+//!    [`PlannerOptions::parallel_row_threshold`] in a morsel-driven
+//!    exchange running across [`PlannerOptions::parallelism`] workers
+//!    (deterministically — output is gathered in morsel order), fan an
+//!    `Apply`'s per-binding evaluations out the same way, and record a
+//!    [`PlanDecision`] for every choice, including the choice to stay on
+//!    one thread.
 //! 4. **[`query::plan_explain`]** renders the (instrumented) operator tree
 //!    as a stable ASCII plan with estimated vs. actual rows per operator
 //!    (flagging estimates off by more than 10×) and narrates both the
@@ -87,9 +95,11 @@ pub use content::{ContentConfig, ContentTranslator, UserProfile};
 pub use error::TalkbackError;
 pub use metrics::{narrative_metrics, NarrativeMetrics};
 pub use pipeline::{Recognition, SpeechRecognizer, SpokenChunk, TextToSpeech};
-pub use planner::{plan_query, plan_query_with, PlanDecision, PlannedQuery, PlannerOptions};
+pub use planner::{
+    plan_query, plan_query_with, ParallelKind, PlanDecision, PlannedQuery, PlannerOptions,
+};
 pub use query::explain::{explain_result, ResultExplanation};
-pub use query::plan_explain::{explain_plan, PlanExplanation};
+pub use query::plan_explain::{explain_plan, explain_plan_with, PlanExplanation};
 pub use query::{QueryTranslation, QueryTranslator};
 
 use datastore::exec::{execute, ResultSet};
@@ -156,6 +166,17 @@ impl Talkback {
     /// future tense. A bare SELECT is treated as plain `EXPLAIN`.
     pub fn explain_plan(&self, sql: &str) -> Result<PlanExplanation, TalkbackError> {
         query::plan_explain::explain_plan(&self.db, self.queries.lexicon(), sql)
+    }
+
+    /// [`Talkback::explain_plan`] with explicit planner options (pin a
+    /// parallelism degree for reproducible plan trees, disable reordering,
+    /// …).
+    pub fn explain_plan_with(
+        &self,
+        sql: &str,
+        options: PlannerOptions,
+    ) -> Result<PlanExplanation, TalkbackError> {
+        query::plan_explain::explain_plan_with(&self.db, self.queries.lexicon(), sql, options)
     }
 
     /// Execute a query and return its answer.

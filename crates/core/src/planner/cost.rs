@@ -95,6 +95,37 @@ pub enum PlanDecision {
         /// The correlation columns an `Apply` binds per row, when any.
         correlated_on: Vec<String>,
     },
+    /// Whether a pipeline (or an apply's per-binding evaluations) was split
+    /// across worker threads — and, when it was not, why: the cost-aware
+    /// knob only parallelizes work whose estimated driver rows clear a
+    /// threshold, and the rejected alternative is recorded either way so the
+    /// narration can honestly say "only ten rows expected, so I kept it on
+    /// one thread".
+    Parallel {
+        /// Which mechanism was (or would have been) used, so the narration
+        /// describes morsels vs. per-binding fan-out correctly.
+        kind: ParallelKind,
+        /// What would be (or was) parallelized: "the scan of CAST as c", or
+        /// "the per-row subquery evaluations of the apply".
+        target: String,
+        /// The worker threads available (the planner's parallelism degree).
+        workers: usize,
+        /// Estimated rows of the driver (morsel source).
+        estimated_rows: f64,
+        /// The row threshold the estimate was compared against.
+        threshold: f64,
+        /// True when the plan was actually parallelized.
+        parallelized: bool,
+    },
+}
+
+/// The two shapes of parallel work the planner can choose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelKind {
+    /// A pipeline run morsel-by-morsel over its driver scan (an exchange).
+    Pipeline,
+    /// An apply's per-binding subquery evaluations fanned across workers.
+    Apply,
 }
 
 /// One step of a left-deep join order.

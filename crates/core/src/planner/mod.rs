@@ -32,10 +32,12 @@
 
 pub mod cost;
 pub mod logical;
+pub mod parallel;
 pub mod physical;
 pub mod subquery;
 
-pub use cost::{Alternative, PlanDecision, SubqueryStrategy};
+pub use cost::{Alternative, ParallelKind, PlanDecision, SubqueryStrategy};
+pub use parallel::PARALLEL_ROW_THRESHOLD;
 pub use physical::lower_expr;
 
 use crate::error::TalkbackError;
@@ -57,6 +59,17 @@ pub struct PlannerOptions {
     /// naive per-row `Apply` — useful for A/B benchmarks of the
     /// decorrelation win.
     pub decorrelate_subqueries: bool,
+    /// Worker threads the executor may use (defaults to the machine's
+    /// [`std::thread::available_parallelism`]). 1 disables the
+    /// parallelization pass entirely; with more, pipelines whose driver scan
+    /// clears `parallel_row_threshold` run morsel-parallel through an
+    /// exchange, and qualifying `Apply` evaluations fan out.
+    pub parallelism: usize,
+    /// Minimum estimated driver rows before work is parallelized (default
+    /// [`PARALLEL_ROW_THRESHOLD`]); below it, thread startup costs more than
+    /// it saves and the plan stays on one thread — with the choice recorded
+    /// as a [`PlanDecision::Parallel`] either way.
+    pub parallel_row_threshold: f64,
 }
 
 impl Default for PlannerOptions {
@@ -64,6 +77,21 @@ impl Default for PlannerOptions {
         PlannerOptions {
             reorder_joins: true,
             decorrelate_subqueries: true,
+            parallelism: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            parallel_row_threshold: PARALLEL_ROW_THRESHOLD,
+        }
+    }
+}
+
+impl PlannerOptions {
+    /// Options with parallelism disabled — the single-threaded baseline used
+    /// by A/B benchmarks and order-sensitive golden tests.
+    pub fn sequential() -> PlannerOptions {
+        PlannerOptions {
+            parallelism: 1,
+            ..PlannerOptions::default()
         }
     }
 }
@@ -123,6 +151,10 @@ pub fn plan_query_with(
         true,
     )?;
     decisions.extend(subctx.take_decisions());
+    // Parallelization runs last, over the final physical plan: wrap
+    // qualifying pipelines in exchanges and fan out qualifying applies,
+    // recording each choice (including the choice not to).
+    let plan = parallel::parallelize_plan(plan, &options, &mut decisions);
     Ok(PlannedQuery {
         plan,
         effective_query: effective,
@@ -171,6 +203,7 @@ mod tests {
                 | PlanNode::Sort { input, .. }
                 | PlanNode::Limit { input, .. }
                 | PlanNode::Distinct { input }
+                | PlanNode::Exchange { input, .. }
                 | PlanNode::Aggregate { input, .. } => walk(input, out),
                 PlanNode::HashJoin { left, right, .. }
                 | PlanNode::NestedLoopJoin { left, right, .. }
@@ -208,6 +241,7 @@ mod tests {
                 | PlanNode::Sort { input, .. }
                 | PlanNode::Limit { input, .. }
                 | PlanNode::Distinct { input }
+                | PlanNode::Exchange { input, .. }
                 | PlanNode::Aggregate { input, .. } => walk(input, out),
                 PlanNode::ScalarSubquery { input, subplan, .. }
                 | PlanNode::Apply { input, subplan, .. } => {
@@ -246,7 +280,9 @@ mod tests {
              where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
         )
         .unwrap();
-        let planned = plan_query(&db, &q).unwrap();
+        // Sequential options: the parallel pass appends its own decisions,
+        // and this test pins the join-order decision sequence exactly.
+        let planned = plan_query_with(&db, &q, PlannerOptions::sequential()).unwrap();
         // The filter on a.name makes ACTOR the smallest estimated relation;
         // the optimizer starts there instead of the written MOVIES-first
         // order.
@@ -310,7 +346,7 @@ mod tests {
             &q,
             PlannerOptions {
                 reorder_joins: false,
-                ..PlannerOptions::default()
+                ..PlannerOptions::sequential()
             },
         )
         .unwrap();
@@ -347,6 +383,7 @@ mod tests {
                 | PlanNode::Sort { input, .. }
                 | PlanNode::Limit { input, .. }
                 | PlanNode::Distinct { input }
+                | PlanNode::Exchange { input, .. }
                 | PlanNode::Aggregate { input, .. } => assert_estimated(input),
                 PlanNode::ScalarSubquery { input, subplan, .. }
                 | PlanNode::Apply { input, subplan, .. } => {
@@ -378,7 +415,7 @@ mod tests {
         ];
         for sql in queries {
             let q = parse_query(sql).unwrap();
-            let planned = plan_query(&db, &q).unwrap();
+            let planned = plan_query_with(&db, &q, PlannerOptions::sequential()).unwrap();
             match planned.decisions.last() {
                 Some(PlanDecision::OrderComparison {
                     chosen_cost,

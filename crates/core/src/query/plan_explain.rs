@@ -24,7 +24,7 @@
 //! what actually happened.
 
 use crate::error::TalkbackError;
-use crate::planner::{plan_query, PlanDecision};
+use crate::planner::PlanDecision;
 use crate::query::sole_scan_table;
 use datastore::exec::{describe_plan, execute_with_stats, PlanProfile};
 use datastore::Database;
@@ -61,6 +61,17 @@ pub fn explain_plan(
     lexicon: &Lexicon,
     sql: &str,
 ) -> Result<PlanExplanation, TalkbackError> {
+    explain_plan_with(db, lexicon, sql, crate::planner::PlannerOptions::default())
+}
+
+/// [`explain_plan`] with explicit planner options — how callers pin a
+/// parallelism degree (or disable parallelism) for reproducible plans.
+pub fn explain_plan_with(
+    db: &Database,
+    lexicon: &Lexicon,
+    sql: &str,
+    options: crate::planner::PlannerOptions,
+) -> Result<PlanExplanation, TalkbackError> {
     let (analyze, query) = match parse_statement(sql)? {
         Statement::Explain(e) => (e.analyze, e.query),
         Statement::Select(s) => (false, s),
@@ -70,7 +81,7 @@ pub fn explain_plan(
             ))
         }
     };
-    let planned = plan_query(db, &query)?;
+    let planned = crate::planner::plan_query_with(db, &query, options)?;
     let decision_sentences = narrate_decisions(&planned.decisions);
     if analyze {
         let (result, profile) = execute_with_stats(db, &planned.plan)?;
@@ -114,19 +125,65 @@ fn rows_phrase(rows: f64) -> String {
 pub fn narrate_decisions(decisions: &[PlanDecision]) -> Vec<String> {
     let mut sentences = narrate_join_order(decisions);
     for d in decisions {
-        if let PlanDecision::Subquery {
-            construct,
-            strategy,
-            on,
-            correlated_on,
-        } = d
-        {
-            sentences.push(narrate_subquery_decision(
+        match d {
+            PlanDecision::Subquery {
                 construct,
-                *strategy,
-                on.as_deref(),
+                strategy,
+                on,
                 correlated_on,
-            ));
+            } => {
+                sentences.push(narrate_subquery_decision(
+                    construct,
+                    *strategy,
+                    on.as_deref(),
+                    correlated_on,
+                ));
+            }
+            PlanDecision::Parallel {
+                kind,
+                target,
+                workers,
+                estimated_rows,
+                threshold,
+                parallelized,
+            } => {
+                // An apply fans out per-binding evaluations; a pipeline is
+                // split into scan morsels. Say which actually happened.
+                let is_apply = *kind == crate::planner::ParallelKind::Apply;
+                let text = if *parallelized && is_apply {
+                    format!(
+                        "I fanned {} (an estimated {}) out across {} worker{}, since the \
+                         binding count cleared my {}-row bar for going parallel",
+                        target,
+                        rows_phrase(*estimated_rows),
+                        count_phrase(*workers),
+                        if *workers == 1 { "" } else { "s" },
+                        threshold.round() as usize
+                    )
+                } else if *parallelized {
+                    format!(
+                        "I split {} (an estimated {}) into morsels across {} worker{}, since \
+                         it cleared my {}-row bar for going parallel",
+                        target,
+                        rows_phrase(*estimated_rows),
+                        count_phrase(*workers),
+                        if *workers == 1 { "" } else { "s" },
+                        threshold.round() as usize
+                    )
+                } else {
+                    format!(
+                        "I expected only {} from {}, under my {}-row bar for going \
+                         parallel, so I kept it on one thread",
+                        rows_phrase(*estimated_rows),
+                        target
+                            .strip_prefix("the scan of ")
+                            .unwrap_or(target.as_str()),
+                        threshold.round() as usize
+                    )
+                };
+                sentences.push(finish_sentence(&text));
+            }
+            _ => {}
         }
     }
     sentences
@@ -192,7 +249,7 @@ fn narrate_join_order(decisions: &[PlanDecision]) -> Vec<String> {
             PlanDecision::Start { .. } => start = Some(d),
             PlanDecision::Join { .. } => joins.push(d),
             PlanDecision::OrderComparison { .. } => comparison = Some(d),
-            PlanDecision::Subquery { .. } => {}
+            PlanDecision::Subquery { .. } | PlanDecision::Parallel { .. } => {}
         }
     }
     let (
@@ -300,8 +357,59 @@ pub fn narrate_profile(
         if let Some(sentence) = worst_misestimate_sentence(profile) {
             sentences.push(sentence);
         }
+        sentences.extend(parallel_speedup_sentences(profile));
     }
     join_sentences(&sentences)
+}
+
+/// For every parallel fan-out in an analyzed profile: how much operator work
+/// it did versus the wall-clock time it took — the measured speedup the
+/// morsel scheduling bought. Uses each operator's *own* time accounting
+/// (`blocked` excluded), so the sentence blames the operator that actually
+/// burned the cycles rather than a parent that merely waited.
+fn parallel_speedup_sentences(profile: &PlanProfile) -> Vec<String> {
+    let mut sentences = Vec::new();
+    profile.walk(&mut |p| {
+        let Some(workers) = p.workers.filter(|&w| w > 1) else {
+            return;
+        };
+        // parallel_speedup is None for everything but an executed exchange,
+        // so this also filters parallel applies (whose ratio is undefined).
+        let Some(speedup) = p.parallel_speedup() else {
+            return;
+        };
+        let work_ms = p
+            .children
+            .iter()
+            .map(|c| c.metrics.elapsed.as_secs_f64())
+            .sum::<f64>()
+            * 1e3;
+        let wall_ms = p.metrics.blocked.as_secs_f64() * 1e3;
+        // Name the hungriest operator inside the parallel section by its own
+        // (non-blocked) time, so the blame lands on real work.
+        let mut hungriest: Option<(String, f64)> = None;
+        for child in &p.children {
+            child.walk(&mut |inner| {
+                let own = inner.metrics.self_elapsed().as_secs_f64() * 1e3;
+                if hungriest.as_ref().map(|(_, t)| own > *t).unwrap_or(true) {
+                    hungriest = Some((inner.operator.clone(), own));
+                }
+            });
+        }
+        let mut text = format!(
+            "The parallel section did {work_ms:.1} ms of operator work in {wall_ms:.1} ms \
+             of wall time across {} worker{} (a {speedup:.1}× speedup)",
+            count_phrase(workers),
+            if workers == 1 { "" } else { "s" },
+        );
+        if let Some((op, own_ms)) = hungriest.filter(|(_, t)| *t > 0.0) {
+            text.push_str(&format!(
+                ", most of it in the {op} ({own_ms:.1} ms of its own time)"
+            ));
+        }
+        sentences.push(finish_sentence(&text));
+    });
+    sentences
 }
 
 /// The sentence owning up to the worst cardinality misestimate (off by more
@@ -603,6 +711,27 @@ fn narrate_node(node: &PlanProfile, lexicon: &Lexicon, analyzed: bool, clauses: 
                 )
             } else {
                 "will remove duplicates".to_string()
+            }
+        }
+        "exchange" => {
+            let workers = node.workers.unwrap_or(1);
+            if analyzed {
+                format!(
+                    "ran that pipeline across {} worker{} ({}), gathering {} row{} back \
+                     in order",
+                    count_phrase(workers),
+                    if workers == 1 { "" } else { "s" },
+                    node.detail,
+                    count_phrase(m.rows_out as usize),
+                    if m.rows_out == 1 { "" } else { "s" }
+                )
+            } else {
+                format!(
+                    "will run that pipeline across {} worker{}, splitting its scan into \
+                     morsels",
+                    count_phrase(workers),
+                    if workers == 1 { "" } else { "s" }
+                )
             }
         }
         "project" => {

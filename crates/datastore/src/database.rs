@@ -13,10 +13,17 @@ use std::sync::{Arc, RwLock};
 
 /// An in-memory database: schemas, constraints and tuples, plus a lazily
 /// populated per-table statistics cache the optimizer plans with.
+///
+/// Tables are held behind `Arc` so the executor can take *owned* handles to
+/// them ([`Database::table_arcs`]) and ship operator subtrees to worker
+/// threads without tying the operator tree to the database's lifetime.
+/// Mutation goes through [`Arc::make_mut`], which copies the table only when
+/// a concurrently running query still holds the old handle — writers get
+/// copy-on-write snapshot isolation from in-flight reads for free.
 #[derive(Debug, Default)]
 pub struct Database {
     catalog: Catalog,
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, Arc<Table>>,
     /// Optimizer statistics keyed like `tables`, computed on first use and
     /// invalidated whenever the table is written. Interior mutability so
     /// planning (`&Database`) can fill the cache.
@@ -59,7 +66,7 @@ impl Database {
     pub fn create_table(&mut self, schema: TableSchema) -> Result<(), StoreError> {
         self.catalog.add_table(schema.clone())?;
         self.tables
-            .insert(Self::key(&schema.name), Table::new(schema));
+            .insert(Self::key(&schema.name), Arc::new(Table::new(schema)));
         Ok(())
     }
 
@@ -107,14 +114,30 @@ impl Database {
 
     /// Access a table by name.
     pub fn table(&self, name: &str) -> Option<&Table> {
-        self.tables.get(&Self::key(name))
+        self.tables.get(&Self::key(name)).map(Arc::as_ref)
+    }
+
+    /// Owned handle to a table, shared with the database. Executors hold
+    /// these so operator subtrees can move to worker threads; a concurrent
+    /// write copies the table ([`Arc::make_mut`]) rather than mutating the
+    /// rows a running query is reading.
+    pub fn table_arc(&self, name: &str) -> Option<Arc<Table>> {
+        self.tables.get(&Self::key(name)).cloned()
+    }
+
+    /// Owned handles to every table (the executor's snapshot of the data;
+    /// cloning shares rows via `Arc`, it does not copy them).
+    pub fn table_arcs(&self) -> BTreeMap<String, Arc<Table>> {
+        self.tables.clone()
     }
 
     /// Mutable access to a table. Conservatively drops the table's cached
-    /// statistics, since the caller may mutate rows through the reference.
+    /// statistics, since the caller may mutate rows through the reference;
+    /// if an in-flight query still holds the table's `Arc`, the table is
+    /// copied first so the query keeps reading its snapshot.
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
         self.invalidate_stats(name);
-        self.tables.get_mut(&Self::key(name))
+        self.tables.get_mut(&Self::key(name)).map(Arc::make_mut)
     }
 
     /// Statistics of a table, computed on first access and cached until the
@@ -150,12 +173,12 @@ impl Database {
 
     /// All tables in name order.
     pub fn tables(&self) -> impl Iterator<Item = &Table> {
-        self.tables.values()
+        self.tables.values().map(Arc::as_ref)
     }
 
     /// Total number of tuples across all relations.
     pub fn total_rows(&self) -> usize {
-        self.tables.values().map(Table::len).sum()
+        self.tables.values().map(|t| t.len()).sum()
     }
 
     /// Insert a row into a table, enforcing local constraints and all
@@ -200,7 +223,7 @@ impl Database {
                 });
             }
         }
-        let result = self.tables.get_mut(&key).unwrap().insert(row);
+        let result = Arc::make_mut(self.tables.get_mut(&key).unwrap()).insert(row);
         // Only a successful insert changes the data the stats describe.
         if result.is_ok() {
             self.invalidate_stats(table);
@@ -217,12 +240,14 @@ impl Database {
         values: Vec<Value>,
     ) -> Result<usize, StoreError> {
         let key = Self::key(table);
-        let result = self
-            .tables
-            .get_mut(&key)
-            .ok_or_else(|| StoreError::UnknownTable {
-                table: table.to_string(),
-            })?
+        let result =
+            Arc::make_mut(
+                self.tables
+                    .get_mut(&key)
+                    .ok_or_else(|| StoreError::UnknownTable {
+                        table: table.to_string(),
+                    })?,
+            )
             .insert_values(values);
         if result.is_ok() {
             self.invalidate_stats(table);
@@ -461,6 +486,67 @@ mod tests {
         // analyze() precomputes every table.
         db.analyze();
         assert_eq!(db.table_stats("ACTOR").unwrap().row_count, 0);
+    }
+
+    #[test]
+    fn stats_cache_survives_concurrent_readers_and_invalidation() {
+        // The satellite concern: many threads reading `table_stats` while the
+        // cache is (re)filled and invalidated must neither deadlock nor serve
+        // statistics describing stale data after an invalidation completes.
+        let mut db = movie_db();
+        for i in 0..100 {
+            db.insert("MOVIES", vec![Value::int(i), Value::text(format!("m{i}"))])
+                .unwrap();
+        }
+        // Phase 1: hammer the lazily-filled cache from many threads at once.
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..200 {
+                        let stats = db.table_stats("MOVIES").expect("table exists");
+                        assert_eq!(stats.row_count, 100);
+                        db.analyze();
+                    }
+                });
+            }
+        });
+        // Phase 2: `table_mut` invalidates; readers afterwards must see the
+        // data as mutated, not the cached pre-write statistics.
+        let cached = db.table_stats("MOVIES").unwrap();
+        db.table_mut("MOVIES")
+            .unwrap()
+            .insert_values(vec![Value::int(100), Value::text("fresh")])
+            .unwrap();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        let stats = db.table_stats("MOVIES").expect("table exists");
+                        assert_eq!(stats.row_count, 101, "stale stats after table_mut");
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert!(!Arc::ptr_eq(&cached, &db.table_stats("MOVIES").unwrap()));
+    }
+
+    #[test]
+    fn table_mut_copies_when_a_query_still_holds_the_table() {
+        // Copy-on-write: an executor's owned handle keeps reading the
+        // snapshot it opened even if the table is mutated mid-query.
+        let mut db = movie_db();
+        db.insert("MOVIES", vec![Value::int(1), Value::text("Troy")])
+            .unwrap();
+        let snapshot = db.table_arc("MOVIES").unwrap();
+        db.table_mut("MOVIES")
+            .unwrap()
+            .insert_values(vec![Value::int(2), Value::text("Seven")])
+            .unwrap();
+        assert_eq!(snapshot.len(), 1, "snapshot must not see the new row");
+        assert_eq!(db.table("MOVIES").unwrap().len(), 2);
     }
 
     #[test]

@@ -17,14 +17,25 @@
 //! anti-join has a NULL-aware variant preserving `NOT IN`'s three-valued
 //! semantics), an evaluate-once cached scalar-subquery filter, and the
 //! `Apply` fallback that re-runs a genuinely correlated subplan per row,
-//! memoized per distinct correlation-parameter binding.
+//! memoized (bounded, with eviction tallies) per distinct
+//! correlation-parameter binding.
+//!
+//! Operator trees are owned (`Arc` table handles, no borrowed lifetimes), so
+//! subtrees are `Send` and the [`parallel`] layer can execute pipelines
+//! morsel-by-morsel across worker threads via [`plan::PlanNode::Exchange`] —
+//! deterministically, because output is gathered in morsel order.
 
 pub mod aggregate;
 pub mod executor;
+pub mod parallel;
 pub mod plan;
 pub mod stream;
 
 pub use aggregate::{Accumulator, AggExpr, AggFunc};
 pub use executor::{describe_plan, execute, execute_with_stats, ResultSet};
+pub use parallel::{morsel_size, JoinIndex, MORSEL_MIN, PARALLEL_BUILD_MIN};
 pub use plan::{aggregate_output_columns, ApplyMode, ColumnInfo, Plan, PlanNode, SortKey};
-pub use stream::{open, OpMetrics, PlanProfile, RowSource, BATCH_SIZE, MISESTIMATE_FACTOR};
+pub use stream::{
+    open, open_owned, ExecContext, OpMetrics, PlanProfile, RowSource, APPLY_CACHE_CAP, BATCH_SIZE,
+    MISESTIMATE_FACTOR,
+};

@@ -1,0 +1,942 @@
+//! Morsel-driven parallel execution.
+//!
+//! # The morsel model
+//!
+//! A pipeline — scan, filters, projections, and the probe sides of hash
+//! (semi-/anti-)joins — is *embarrassingly parallel over its driver scan*:
+//! every input row flows through the same operators independently. The
+//! [`ExchangeSource`] exploits that by splitting the driver scan (the
+//! pipeline's leftmost leaf) into **morsels** — contiguous row ranges of at
+//! least [`MORSEL_MIN`] rows — and letting `workers` threads *claim* morsels
+//! from a shared atomic counter. Claiming (rather than pre-assigning) is what
+//! makes the schedule morsel-driven: a worker that drew cheap morsels simply
+//! claims more, so skew self-balances without a coordinator.
+//!
+//! Each claimed morsel is executed by opening a fresh copy of the pipeline's
+//! operator tree over just that row range. Opening is cheap — it reads no
+//! data — because of the ownership refactor this module motivated: operator
+//! trees own `Arc` handles to their tables ([`super::stream::ExecContext`])
+//! instead of borrowing from the database, so a subtree can be shipped to a
+//! worker thread wholesale.
+//!
+//! # Shared build state
+//!
+//! The stateful inputs inside a pipeline — a hash join's build side, a
+//! semi-/anti-join's key set, a nested-loop join's materialized inner, a
+//! scalar subquery's cached value — must be built **once**, not once per
+//! morsel. [`ExchangeShared`] holds one mutex-guarded cell per such node
+//! (indexed by the node's pre-order position, which every worker's open walk
+//! reproduces): the first worker to need a build performs it and publishes
+//! the result behind an `Arc`; everyone else clones the handle. Because
+//! exactly one worker executes each build side, the per-operator counters
+//! still sum to the single-threaded totals after the exchange merges worker
+//! profiles.
+//!
+//! The hash-join build itself goes parallel for large inputs: rows are
+//! hash-partitioned by join key across [`JoinIndex`] partitions, built by one
+//! thread per partition (phase 1 scatters, phase 2 builds), preserving the
+//! original build order inside every partition so probe results are
+//! byte-identical to a sequential build.
+//!
+//! # Determinism
+//!
+//! Workers send `(morsel index, rows)` back over a channel; the exchange
+//! reassembles outputs **in morsel order**, which equals scan order. Combined
+//! with order-preserving per-morsel pipelines and build-order-preserving
+//! indexes, a parallel run produces exactly the row sequence of a sequential
+//! run — `ORDER BY` (a stable sort above the exchange) therefore ties-breaks
+//! identically at any parallelism degree.
+
+use crate::error::StoreError;
+use crate::exec::plan::{ColumnInfo, Plan, PlanNode};
+use crate::exec::stream::{open_in, ExecContext, OpMetrics, OpenEnv, PlanProfile, RowSource};
+use crate::exec::BATCH_SIZE;
+use crate::tuple::Row;
+use crate::value::{GroupKey, Value};
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// Minimum rows per morsel: below this, per-morsel open/teardown overhead
+/// dominates and the scan stays effectively sequential.
+pub const MORSEL_MIN: usize = 1024;
+
+/// Minimum build-side rows before a hash-join build is partitioned across
+/// threads.
+pub const PARALLEL_BUILD_MIN: usize = 4096;
+
+/// Rows per morsel for a driver of `len` rows: aim for ~4 morsels per worker
+/// (so claiming balances skew) without dropping below [`MORSEL_MIN`].
+pub fn morsel_size(len: usize, workers: usize) -> usize {
+    (len / (workers.max(1) * 4)).max(MORSEL_MIN)
+}
+
+/// Which partition of `parts` a join key hashes to. Uses a dedicated hasher
+/// (not the map's) so partitioning is stable regardless of map internals.
+fn part_of(key: &[GroupKey], parts: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % parts
+}
+
+// ---------------------------------------------------------------------------
+// Join index (hash-join build side)
+// ---------------------------------------------------------------------------
+
+/// The build side of a hash join: key → build rows, hash-partitioned when
+/// built in parallel. Lookups hit exactly one partition; rows within a key
+/// keep their original build order in either mode, so probe output is
+/// identical to a single-threaded, single-map build.
+#[derive(Debug)]
+pub struct JoinIndex {
+    parts: Vec<HashMap<Vec<GroupKey>, Vec<Row>>>,
+}
+
+/// One scatter worker's output: a `(key, row)` list per hash partition.
+type ScatterBuckets = Vec<Vec<(Vec<GroupKey>, Row)>>;
+
+/// Split rows into up to `workers` contiguous *owned* chunks, preserving
+/// order, so scatter threads move rows into their buckets instead of
+/// cloning them. Both partitioned builders ([`JoinIndex::build`],
+/// [`SemiBuild::build`]) rely on chunk contiguity for their
+/// order-preservation invariant: concatenating per-chunk buckets in chunk
+/// order reproduces the original row order within every partition.
+fn split_chunks(mut rows: Vec<Row>, workers: usize) -> Vec<Vec<Row>> {
+    let chunk = rows.len().div_ceil(workers.max(1)).max(1);
+    let mut chunks = Vec::with_capacity(workers);
+    while rows.len() > chunk {
+        let tail = rows.split_off(chunk);
+        chunks.push(std::mem::replace(&mut rows, tail));
+    }
+    chunks.push(rows);
+    chunks
+}
+
+impl JoinIndex {
+    /// Build from materialized build-side rows. NULL keys never participate
+    /// in SQL equality and are dropped. With `workers > 1` and at least
+    /// [`PARALLEL_BUILD_MIN`] rows the build is partitioned by key hash and
+    /// each partition's table is built by its own thread.
+    pub fn build(rows: Vec<Row>, key_cols: &[usize], workers: usize) -> JoinIndex {
+        if workers <= 1 || rows.len() < PARALLEL_BUILD_MIN {
+            let mut map: HashMap<Vec<GroupKey>, Vec<Row>> = HashMap::new();
+            for row in rows {
+                let key = row.group_key(key_cols);
+                if key.contains(&GroupKey::Null) {
+                    continue;
+                }
+                map.entry(key).or_default().push(row);
+            }
+            return JoinIndex { parts: vec![map] };
+        }
+        let parts = workers;
+        // Phase 1: each worker scatters its chunk of rows into per-partition
+        // buckets. Chunks are contiguous, so concatenating bucket lists in
+        // chunk order preserves the original build order within a partition.
+        let scattered: Vec<ScatterBuckets> = thread::scope(|s| {
+            let handles: Vec<_> = split_chunks(rows, workers)
+                .into_iter()
+                .map(|chunk_rows| {
+                    s.spawn(move || {
+                        let mut buckets: ScatterBuckets = vec![Vec::new(); parts];
+                        for row in chunk_rows {
+                            let key = row.group_key(key_cols);
+                            if key.contains(&GroupKey::Null) {
+                                continue;
+                            }
+                            buckets[part_of(&key, parts)].push((key, row));
+                        }
+                        buckets
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("build scatter worker panicked"))
+                .collect()
+        });
+        let mut per_part: Vec<Vec<(Vec<GroupKey>, Row)>> = vec![Vec::new(); parts];
+        for worker_buckets in scattered {
+            for (p, bucket) in worker_buckets.into_iter().enumerate() {
+                per_part[p].extend(bucket);
+            }
+        }
+        // Phase 2: one thread per partition builds that partition's table.
+        let maps: Vec<HashMap<Vec<GroupKey>, Vec<Row>>> = thread::scope(|s| {
+            let handles: Vec<_> = per_part
+                .into_iter()
+                .map(|pairs| {
+                    s.spawn(move || {
+                        let mut map: HashMap<Vec<GroupKey>, Vec<Row>> = HashMap::new();
+                        for (key, row) in pairs {
+                            map.entry(key).or_default().push(row);
+                        }
+                        map
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("build merge worker panicked"))
+                .collect()
+        });
+        JoinIndex { parts: maps }
+    }
+
+    /// Build rows matching a probe key, in build order.
+    pub fn lookup(&self, key: &[GroupKey]) -> Option<&[Row]> {
+        let part = if self.parts.len() == 1 {
+            0
+        } else {
+            part_of(key, self.parts.len())
+        };
+        self.parts[part].get(key).map(Vec::as_slice)
+    }
+
+    /// Number of hash partitions (1 for a sequential build).
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total distinct keys across partitions.
+    pub fn key_count(&self) -> usize {
+        self.parts.iter().map(HashMap::len).sum()
+    }
+}
+
+/// The build side of a semi-/anti-join: the distinct non-NULL key set
+/// (hash-partitioned when built in parallel, like [`JoinIndex`]) plus the
+/// two flags `NOT IN`'s three-valued NULL semantics need.
+#[derive(Debug)]
+pub struct SemiBuild {
+    parts: Vec<HashSet<Vec<GroupKey>>>,
+    /// Whether the build side produced any rows at all.
+    pub any_rows: bool,
+    /// Whether any build key contained a NULL.
+    pub null_key: bool,
+}
+
+impl SemiBuild {
+    /// Build the key set from materialized build-side rows. With
+    /// `workers > 1` and at least [`PARALLEL_BUILD_MIN`] rows, keys are
+    /// hash-partitioned and each partition's set is built by its own
+    /// thread.
+    pub fn build(rows: Vec<Row>, key_cols: &[usize], workers: usize) -> SemiBuild {
+        let any_rows = !rows.is_empty();
+        if workers <= 1 || rows.len() < PARALLEL_BUILD_MIN {
+            let mut keys: HashSet<Vec<GroupKey>> = HashSet::new();
+            let mut null_key = false;
+            for row in rows {
+                let key = row.group_key(key_cols);
+                if key.contains(&GroupKey::Null) {
+                    null_key = true;
+                    continue;
+                }
+                keys.insert(key);
+            }
+            return SemiBuild {
+                parts: vec![keys],
+                any_rows,
+                null_key,
+            };
+        }
+        let parts = workers;
+        // Phase 1: scatter keys into per-partition lists (and spot NULLs).
+        let scattered: Vec<(Vec<Vec<Vec<GroupKey>>>, bool)> = thread::scope(|s| {
+            let handles: Vec<_> = split_chunks(rows, workers)
+                .into_iter()
+                .map(|chunk_rows| {
+                    s.spawn(move || {
+                        let mut buckets: Vec<Vec<Vec<GroupKey>>> = vec![Vec::new(); parts];
+                        let mut null_key = false;
+                        for row in chunk_rows {
+                            let key = row.group_key(key_cols);
+                            if key.contains(&GroupKey::Null) {
+                                null_key = true;
+                                continue;
+                            }
+                            buckets[part_of(&key, parts)].push(key);
+                        }
+                        (buckets, null_key)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("semi-build scatter worker panicked"))
+                .collect()
+        });
+        let mut null_key = false;
+        let mut per_part: Vec<Vec<Vec<GroupKey>>> = vec![Vec::new(); parts];
+        for (buckets, saw_null) in scattered {
+            null_key |= saw_null;
+            for (p, bucket) in buckets.into_iter().enumerate() {
+                per_part[p].extend(bucket);
+            }
+        }
+        // Phase 2: one thread per partition builds that partition's set.
+        let sets: Vec<HashSet<Vec<GroupKey>>> = thread::scope(|s| {
+            let handles: Vec<_> = per_part
+                .into_iter()
+                .map(|keys| s.spawn(move || keys.into_iter().collect()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("semi-build merge worker panicked"))
+                .collect()
+        });
+        SemiBuild {
+            parts: sets,
+            any_rows,
+            null_key,
+        }
+    }
+
+    /// Whether the build-side key set contains `key`.
+    pub fn contains(&self, key: &[GroupKey]) -> bool {
+        let part = if self.parts.len() == 1 {
+            0
+        } else {
+            part_of(key, self.parts.len())
+        };
+        self.parts[part].contains(key)
+    }
+
+    /// Total distinct keys across partitions.
+    pub fn key_count(&self) -> usize {
+        self.parts.iter().map(HashSet::len).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared build-state cells
+// ---------------------------------------------------------------------------
+
+/// One pre-built stateful input, shared across the workers of an exchange.
+#[derive(Debug, Clone)]
+pub(crate) enum SharedBuild {
+    /// A hash join's build index.
+    Join(Arc<JoinIndex>),
+    /// A semi-/anti-join's key set.
+    Keys(Arc<SemiBuild>),
+    /// A nested-loop join's materialized inner side.
+    Rows(Arc<Vec<Row>>),
+    /// An uncorrelated scalar subquery's single value.
+    Scalar(Value),
+}
+
+/// Build-once state shared by every worker (and every morsel) of one
+/// exchange: one cell per stateful node of the pipeline, indexed by the
+/// node's pre-order position in the plan subtree. The first worker to need a
+/// build performs it while holding the cell's lock; later arrivals clone the
+/// published `Arc`.
+#[derive(Debug)]
+pub(crate) struct ExchangeShared {
+    workers: usize,
+    cells: Vec<Mutex<Option<SharedBuild>>>,
+}
+
+impl ExchangeShared {
+    /// Allocate cells for every stateful node in `plan`'s subtree.
+    pub(crate) fn for_plan(plan: &Plan, workers: usize) -> ExchangeShared {
+        let mut count = 0;
+        count_stateful(plan, &mut count);
+        ExchangeShared {
+            workers,
+            cells: (0..count).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Worker threads of the owning exchange — stateful builds use this as
+    /// their own parallelism degree (e.g. the partitioned hash-join build).
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The shared build of cell `idx`, building it via `build` if this is
+    /// the first arrival. Build errors are not cached; a later worker will
+    /// retry (and typically fail the same way).
+    pub(crate) fn get_or_build(
+        &self,
+        idx: usize,
+        build: impl FnOnce() -> Result<SharedBuild, StoreError>,
+    ) -> Result<SharedBuild, StoreError> {
+        let mut cell = self.cells[idx].lock().expect("shared build cell poisoned");
+        if let Some(existing) = cell.as_ref() {
+            return Ok(existing.clone());
+        }
+        let built = build()?;
+        *cell = Some(built.clone());
+        Ok(built)
+    }
+}
+
+/// Count the stateful (build-carrying) nodes of a plan subtree in pre-order —
+/// the same walk [`open_in`] performs when assigning cell indices.
+fn count_stateful(plan: &Plan, count: &mut usize) {
+    match &plan.node {
+        PlanNode::Scan { .. } | PlanNode::Values { .. } => {}
+        PlanNode::Filter { input, .. }
+        | PlanNode::Project { input, .. }
+        | PlanNode::Sort { input, .. }
+        | PlanNode::Limit { input, .. }
+        | PlanNode::Distinct { input }
+        | PlanNode::Exchange { input, .. }
+        | PlanNode::Aggregate { input, .. } => count_stateful(input, count),
+        PlanNode::NestedLoopJoin { left, right, .. }
+        | PlanNode::HashJoin { left, right, .. }
+        | PlanNode::HashSemiJoin { left, right, .. }
+        | PlanNode::HashAntiJoin { left, right, .. } => {
+            *count += 1;
+            count_stateful(left, count);
+            count_stateful(right, count);
+        }
+        PlanNode::ScalarSubquery { input, subplan, .. } => {
+            *count += 1;
+            count_stateful(input, count);
+            count_stateful(subplan, count);
+        }
+        PlanNode::Apply { input, subplan, .. } => {
+            // Apply memoizes per binding and is parallelized internally, not
+            // via shared cells — but its subtree may still contain stateful
+            // nodes that do get cells.
+            count_stateful(input, count);
+            count_stateful(subplan, count);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exchange operator
+// ---------------------------------------------------------------------------
+
+/// The driver scan of a pipeline: the leftmost leaf, reached by walking
+/// only *pipeline* operators (filters, projections, join probe sides,
+/// scalar-subquery inputs). `None` — degrading the exchange to a sequential
+/// pass-through — when the leftmost leaf is not a stored table, or when a
+/// blocking/stateful operator (limit, sort, aggregate, distinct, apply)
+/// sits on the spine: running those once per morsel would change their
+/// semantics (a per-morsel LIMIT emits up to limit×morsels rows), so the
+/// executor refuses to partition through them no matter what plan a caller
+/// hands it.
+fn find_driver(plan: &Plan) -> Option<(String, String)> {
+    match &plan.node {
+        PlanNode::Scan { table, alias } => Some((table.clone(), alias.clone())),
+        PlanNode::Filter { input, .. }
+        | PlanNode::Project { input, .. }
+        | PlanNode::ScalarSubquery { input, .. } => find_driver(input),
+        PlanNode::NestedLoopJoin { left, .. }
+        | PlanNode::HashJoin { left, .. }
+        | PlanNode::HashSemiJoin { left, .. }
+        | PlanNode::HashAntiJoin { left, .. } => find_driver(left),
+        PlanNode::Values { .. }
+        | PlanNode::Sort { .. }
+        | PlanNode::Limit { .. }
+        | PlanNode::Distinct { .. }
+        | PlanNode::Aggregate { .. }
+        | PlanNode::Apply { .. }
+        | PlanNode::Exchange { .. } => None,
+    }
+}
+
+/// Morsel-driven parallel execution of a pipeline subtree (see the module
+/// docs). A blocking operator from the parent's perspective: the first pull
+/// runs the whole parallel section, later pulls drain the gathered,
+/// morsel-ordered output.
+pub(crate) struct ExchangeSource {
+    ctx: Arc<ExecContext>,
+    input: Arc<Plan>,
+    workers: usize,
+    columns: Vec<ColumnInfo>,
+    /// Zero-counter profile of the pipeline subtree; worker profiles are
+    /// absorbed into a clone of it after the run.
+    template: PlanProfile,
+    shared: Arc<ExchangeShared>,
+    driver: Option<(String, String)>,
+    /// Pass-through source when there is no partitionable driver scan.
+    fallback: Option<Box<dyn RowSource>>,
+    /// Gathered output in morsel order, filled by the first pull.
+    gathered: Option<VecDeque<Row>>,
+    absorbed: Option<PlanProfile>,
+    morsels_run: usize,
+    /// Threads actually spawned by the run (≤ `workers` when there were
+    /// fewer morsels than workers) — what the executed profile reports.
+    spawned: Option<usize>,
+    est: Option<f64>,
+    meter: OpMetrics,
+}
+
+impl ExchangeSource {
+    pub(crate) fn open(
+        ctx: &Arc<ExecContext>,
+        input: &Plan,
+        workers: usize,
+        est: Option<f64>,
+    ) -> Result<ExchangeSource, StoreError> {
+        let driver = find_driver(input);
+        let shared = Arc::new(ExchangeShared::for_plan(input, workers));
+        let cell = Cell::new(0);
+        let env = OpenEnv {
+            shared: Some(&shared),
+            next_cell: &cell,
+        };
+        // Opening the template validates the subtree and fixes the profile
+        // shape every worker's profile will share; it reads no rows. On the
+        // pass-through path (no partitionable driver, or one worker) the
+        // same source simply becomes the fallback — no second open.
+        let template_src = open_in(ctx, input, &env, None)?;
+        let columns = template_src.columns().to_vec();
+        let template = template_src.profile();
+        let fallback = if driver.is_none() || workers <= 1 {
+            Some(template_src)
+        } else {
+            None
+        };
+        Ok(ExchangeSource {
+            ctx: Arc::clone(ctx),
+            input: Arc::new(input.clone()),
+            workers,
+            columns,
+            template,
+            shared,
+            driver,
+            fallback,
+            gathered: None,
+            absorbed: None,
+            morsels_run: 0,
+            spawned: None,
+            est,
+            meter: OpMetrics::default(),
+        })
+    }
+
+    /// Run the parallel section: claim-and-run morsels on `workers` threads,
+    /// gather `(morsel, rows)` over a channel, reassemble in morsel order.
+    fn run(&mut self) -> Result<(), StoreError> {
+        if self.gathered.is_some() {
+            return Ok(());
+        }
+        let (table_name, _) = self.driver.as_ref().expect("run requires a driver scan");
+        let len = self
+            .ctx
+            .table(table_name)
+            .ok_or_else(|| StoreError::UnknownTable {
+                table: table_name.clone(),
+            })?
+            .len();
+        let morsel = morsel_size(len, self.workers);
+        let total_morsels = len.div_ceil(morsel);
+        let claim = Arc::new(AtomicUsize::new(0));
+        let abort = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<(usize, Result<Vec<Row>, StoreError>)>();
+        let spawned = self.workers.min(total_morsels).max(1);
+        let mut handles = Vec::with_capacity(spawned);
+        for _ in 0..spawned {
+            let ctx = Arc::clone(&self.ctx);
+            let plan = Arc::clone(&self.input);
+            let shared = Arc::clone(&self.shared);
+            let claim = Arc::clone(&claim);
+            let abort = Arc::clone(&abort);
+            let tx = tx.clone();
+            handles.push(thread::spawn(move || {
+                worker_loop(&ctx, &plan, &shared, &claim, &abort, &tx, morsel, len)
+            }));
+        }
+        drop(tx);
+        let mut outputs: Vec<Option<Vec<Row>>> = (0..total_morsels).map(|_| None).collect();
+        let mut first_err: Option<StoreError> = None;
+        for (idx, result) in rx {
+            match result {
+                Ok(rows) => outputs[idx] = Some(rows),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        let mut profile = self.template.clone();
+        for handle in handles {
+            if let Some(worker_profile) = handle.join().expect("exchange worker panicked") {
+                profile.absorb(&worker_profile);
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        let mut rows = VecDeque::new();
+        for morsel_rows in outputs.into_iter().flatten() {
+            self.meter.rows_in += morsel_rows.len() as u64;
+            rows.extend(morsel_rows);
+        }
+        self.morsels_run = total_morsels;
+        self.spawned = Some(spawned);
+        self.absorbed = Some(profile);
+        self.gathered = Some(rows);
+        Ok(())
+    }
+
+    fn driver_desc(&self) -> String {
+        match &self.driver {
+            Some((table, alias)) if alias != table => format!("{table} as {alias}"),
+            Some((table, _)) => table.clone(),
+            None => "input".to_string(),
+        }
+    }
+}
+
+/// One worker: claim morsels until none remain (or a sibling failed),
+/// running a fresh copy of the pipeline over each. Returns the worker's
+/// accumulated subtree profile.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    ctx: &Arc<ExecContext>,
+    plan: &Arc<Plan>,
+    shared: &Arc<ExchangeShared>,
+    claim: &AtomicUsize,
+    abort: &AtomicBool,
+    tx: &mpsc::Sender<(usize, Result<Vec<Row>, StoreError>)>,
+    morsel: usize,
+    len: usize,
+) -> Option<PlanProfile> {
+    let mut profile: Option<PlanProfile> = None;
+    loop {
+        // Fail fast: once any worker hit an error, the run's output is
+        // discarded anyway — stop claiming work.
+        if abort.load(Ordering::SeqCst) {
+            break;
+        }
+        let m = claim.fetch_add(1, Ordering::SeqCst);
+        let start = m * morsel;
+        if start >= len {
+            break;
+        }
+        let end = (start + morsel).min(len);
+        let cell = Cell::new(0);
+        let env = OpenEnv {
+            shared: Some(shared),
+            next_cell: &cell,
+        };
+        let result = (|| {
+            let mut src = open_in(ctx, plan, &env, Some((start, end)))?;
+            let mut rows = Vec::new();
+            while let Some(batch) = src.next_batch()? {
+                rows.extend(batch);
+            }
+            match &mut profile {
+                None => profile = Some(src.profile()),
+                Some(p) => p.absorb(&src.profile()),
+            }
+            Ok(rows)
+        })();
+        let failed = result.is_err();
+        if failed {
+            abort.store(true, Ordering::SeqCst);
+        }
+        if tx.send((m, result)).is_err() || failed {
+            break;
+        }
+    }
+    profile
+}
+
+impl RowSource for ExchangeSource {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
+        let start = Instant::now();
+        if let Some(inner) = self.fallback.as_mut() {
+            // No partitionable driver: pass through, still accounting the
+            // pull as time spent waiting on the child.
+            let result = inner.next_batch();
+            let spent = start.elapsed();
+            self.meter.blocked += spent;
+            self.meter.elapsed += spent;
+            if let Ok(Some(batch)) = &result {
+                self.meter.rows_in += batch.len() as u64;
+                self.meter.rows_out += batch.len() as u64;
+                self.meter.batches += 1;
+            }
+            return result;
+        }
+        if self.gathered.is_none() {
+            let run = self.run();
+            // The whole parallel section is time this operator spent waiting
+            // on its (threaded) children, not doing its own work.
+            self.meter.blocked += start.elapsed();
+            run?;
+        }
+        let pending = self.gathered.as_mut().expect("gathered above");
+        let result = if pending.is_empty() {
+            None
+        } else {
+            let take = pending.len().min(BATCH_SIZE);
+            let batch: Vec<Row> = pending.drain(..take).collect();
+            self.meter.rows_out += batch.len() as u64;
+            self.meter.batches += 1;
+            Some(batch)
+        };
+        self.meter.elapsed += start.elapsed();
+        Ok(result)
+    }
+
+    fn profile(&self) -> PlanProfile {
+        let child = match (&self.absorbed, &self.fallback) {
+            (Some(p), _) => p.clone(),
+            (None, Some(inner)) => inner.profile(),
+            (None, None) => self.template.clone(),
+        };
+        let detail = if self.morsels_run > 0 {
+            format!(
+                "{} morsel{} over {}",
+                self.morsels_run,
+                if self.morsels_run == 1 { "" } else { "s" },
+                self.driver_desc()
+            )
+        } else {
+            format!("morsels over {}", self.driver_desc())
+        };
+        PlanProfile {
+            operator: "exchange".to_string(),
+            detail,
+            columns: self.columns.clone(),
+            estimated_rows: self.est,
+            metrics: self.meter,
+            // A pass-through exchange (no partitionable driver) ran on one
+            // thread; advertising the requested degree would make the
+            // narration claim a parallel speedup that never happened. After
+            // a run, report the threads actually spawned (fewer than
+            // requested when the driver yielded fewer morsels) — before one,
+            // the plan's requested degree.
+            workers: if self.fallback.is_some() {
+                None
+            } else {
+                Some(self.spawned.unwrap_or(self.workers))
+            },
+            children: vec![child],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::exec::stream::open;
+    use crate::exec::{execute, execute_with_stats};
+    use crate::expr::{CmpOp, Expr};
+    use crate::schema::{ColumnDef, TableSchema};
+    use crate::value::DataType;
+
+    fn big_db(rows: i64) -> Database {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::new("id", DataType::Integer),
+                ColumnDef::new("v", DataType::Integer),
+            ],
+        ))
+        .unwrap();
+        db.create_table(TableSchema::new(
+            "U",
+            vec![
+                ColumnDef::new("tid", DataType::Integer),
+                ColumnDef::new("w", DataType::Integer),
+            ],
+        ))
+        .unwrap();
+        for i in 0..rows {
+            db.insert("T", vec![Value::int(i), Value::int(i % 7)])
+                .unwrap();
+        }
+        for i in 0..rows {
+            db.insert("U", vec![Value::int(i % (rows / 2).max(1)), Value::int(i)])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn morsel_size_targets_four_morsels_per_worker() {
+        assert_eq!(morsel_size(100_000, 8), 3125);
+        // Small inputs never go below the minimum morsel.
+        assert_eq!(morsel_size(100, 8), MORSEL_MIN);
+        assert_eq!(morsel_size(0, 4), MORSEL_MIN);
+    }
+
+    #[test]
+    fn join_index_parallel_build_matches_sequential() {
+        let rows: Vec<Row> = (0..10_000)
+            .map(|i| Row::new(vec![Value::int(i % 97), Value::int(i)]))
+            .collect();
+        let sequential = JoinIndex::build(rows.clone(), &[0], 1);
+        let parallel = JoinIndex::build(rows, &[0], 4);
+        assert_eq!(sequential.partitions(), 1);
+        assert_eq!(parallel.partitions(), 4);
+        assert_eq!(sequential.key_count(), parallel.key_count());
+        for k in 0..97i64 {
+            let key = vec![Value::int(k).group_key()];
+            assert_eq!(
+                sequential.lookup(&key),
+                parallel.lookup(&key),
+                "partitioned lookup diverged for key {k}"
+            );
+        }
+        assert!(sequential.lookup(&[Value::int(997).group_key()]).is_none());
+    }
+
+    #[test]
+    fn semi_build_parallel_matches_sequential() {
+        let mut rows: Vec<Row> = (0..10_000)
+            .map(|i| Row::new(vec![Value::int(i % 211)]))
+            .collect();
+        rows.push(Row::new(vec![Value::Null]));
+        let sequential = SemiBuild::build(rows.clone(), &[0], 1);
+        let parallel = SemiBuild::build(rows, &[0], 4);
+        assert_eq!(sequential.key_count(), 211);
+        assert_eq!(parallel.key_count(), 211);
+        assert!(sequential.any_rows && parallel.any_rows);
+        assert!(sequential.null_key && parallel.null_key);
+        for k in 0..250i64 {
+            let key = vec![Value::int(k).group_key()];
+            assert_eq!(sequential.contains(&key), parallel.contains(&key));
+        }
+    }
+
+    #[test]
+    fn join_index_drops_null_keys() {
+        let rows = vec![
+            Row::new(vec![Value::int(1)]),
+            Row::new(vec![Value::Null]),
+            Row::new(vec![Value::int(1)]),
+        ];
+        let index = JoinIndex::build(rows, &[0], 1);
+        assert_eq!(index.key_count(), 1);
+        assert_eq!(
+            index.lookup(&[Value::int(1).group_key()]).map(<[Row]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn exchange_preserves_scan_order_and_counters() {
+        let db = big_db(6000);
+        let filter = Expr::col_cmp_value(1, CmpOp::NotEq, Value::int(3));
+        let sequential = Plan::scan("T", "t").filter(filter.clone());
+        let parallel = Plan::scan("T", "t").filter(filter).exchange(4);
+        let (seq_rs, _) = execute_with_stats(&db, &sequential).unwrap();
+        let (par_rs, profile) = execute_with_stats(&db, &parallel).unwrap();
+        assert_eq!(seq_rs.rows, par_rs.rows, "row order must be identical");
+        // The exchange node reports its workers and gathers every row.
+        assert_eq!(profile.operator, "exchange");
+        assert_eq!(profile.workers, Some(4));
+        assert!(profile.detail.contains("morsels over T as t"));
+        // Per-worker counters aggregate to the single-threaded totals.
+        let filter_profile = &profile.children[0];
+        assert_eq!(filter_profile.operator, "filter");
+        assert_eq!(filter_profile.metrics.rows_in, 6000);
+        assert_eq!(filter_profile.metrics.rows_out, seq_rs.rows.len() as u64);
+        assert_eq!(
+            filter_profile.children[0].metrics.rows_out, 6000,
+            "scan counters must sum across morsels"
+        );
+    }
+
+    #[test]
+    fn exchange_hash_join_builds_once_and_matches_sequential() {
+        let db = big_db(6000);
+        let join = Plan::hash_join(Plan::scan("T", "t"), Plan::scan("U", "u"), vec![0], vec![0]);
+        let sequential = join.clone();
+        let parallel = join.exchange(4);
+        let (seq_rs, seq_profile) = execute_with_stats(&db, &sequential).unwrap();
+        let (par_rs, par_profile) = execute_with_stats(&db, &parallel).unwrap();
+        assert_eq!(seq_rs.rows, par_rs.rows);
+        // Exactly one build: the join's rows_in (probe + build) matches the
+        // sequential run even though four workers probed.
+        let join_profile = &par_profile.children[0];
+        assert_eq!(join_profile.operator, "hash join");
+        assert_eq!(join_profile.metrics.rows_in, seq_profile.metrics.rows_in);
+        // The build-side scan ran exactly once across all workers.
+        assert_eq!(join_profile.children[1].metrics.rows_out, 6000);
+    }
+
+    #[test]
+    fn exchange_over_blocking_operators_degrades_to_pass_through() {
+        // A hand-built Exchange over a LIMIT must not run the limit once
+        // per morsel (6 morsels × 10 rows): the executor refuses to
+        // partition through blocking operators regardless of what plan it
+        // is handed.
+        let db = big_db(6000);
+        let plan = Plan::scan("T", "t").limit(10).exchange(4);
+        let (rs, profile) = execute_with_stats(&db, &plan).unwrap();
+        assert_eq!(rs.len(), 10);
+        assert_eq!(profile.workers, None, "pass-through must not claim workers");
+        // Aggregate below an exchange: one global group, not one per morsel.
+        let agg = Plan::scan("T", "t")
+            .aggregate(
+                vec![],
+                vec![crate::exec::aggregate::AggExpr::count_star("cnt")],
+                None,
+            )
+            .exchange(4);
+        let rs = execute(&db, &agg).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0].get(0), Some(&Value::int(6000)));
+    }
+
+    #[test]
+    fn exchange_without_a_scan_driver_passes_through() {
+        let db = Database::new();
+        let values = Plan::values(
+            vec![ColumnInfo::unqualified("x")],
+            (0..5).map(|i| Row::new(vec![Value::int(i)])).collect(),
+        );
+        let plan = values.exchange(4);
+        let rs = execute(&db, &plan).unwrap();
+        assert_eq!(rs.len(), 5);
+    }
+
+    #[test]
+    fn exchange_on_empty_table_produces_nothing() {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "E",
+            vec![ColumnDef::new("id", DataType::Integer)],
+        ))
+        .unwrap();
+        let plan = Plan::scan("E", "e").exchange(4);
+        let rs = execute(&db, &plan).unwrap();
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn exchange_propagates_worker_errors() {
+        let db = big_db(6000);
+        // A predicate that fails at evaluation time: LIKE over an integer
+        // column is an eval error, not a three-valued FALSE.
+        let plan = Plan::scan("T", "t")
+            .filter(Expr::Like {
+                expr: Box::new(Expr::Column(0)),
+                pattern: "boom%".to_string(),
+            })
+            .exchange(4);
+        let mut src = open(&db, &plan).unwrap();
+        let mut saw_err = false;
+        loop {
+            match src.next_batch() {
+                Err(_) => {
+                    saw_err = true;
+                    break;
+                }
+                Ok(None) => break,
+                Ok(Some(_)) => {}
+            }
+        }
+        assert!(saw_err, "worker evaluation errors must surface");
+    }
+}

@@ -214,7 +214,18 @@ pub enum PlanNode {
         /// (parameter id, input-column position) pairs this operator binds.
         params: Vec<(u32, usize)>,
         mode: ApplyMode,
+        /// Worker threads for the per-binding subquery evaluations (the
+        /// distinct bindings of one input batch are embarrassingly
+        /// parallel). 1 = evaluate sequentially.
+        workers: usize,
     },
+    /// Morsel-driven parallel execution of a pipeline: the subtree's driver
+    /// scan (its leftmost leaf) is split into row-range morsels, `workers`
+    /// threads claim morsels and run their own copy of the pipeline over
+    /// them (build sides are built once and shared), and the outputs are
+    /// gathered back in morsel order — so the row order is identical to a
+    /// single-threaded run and `ORDER BY` stays deterministic.
+    Exchange { input: Box<Plan>, workers: usize },
 }
 
 /// What an [`PlanNode::Apply`] operator checks against each subquery result.
@@ -382,8 +393,34 @@ impl Plan {
             subplan: Box::new(subplan),
             params,
             mode,
+            workers: 1,
         }
         .into()
+    }
+
+    /// Set the worker count of an `Apply` root (no-op on other operators):
+    /// the planner's way of marking the per-binding subquery evaluations as
+    /// parallel.
+    pub fn with_apply_workers(mut self, n: usize) -> Plan {
+        if let PlanNode::Apply { workers, .. } = &mut self.node {
+            *workers = n.max(1);
+        }
+        self
+    }
+
+    /// Wrap this plan in a morsel-driven exchange running it across
+    /// `workers` threads (see [`PlanNode::Exchange`]).
+    pub fn exchange(self, workers: usize) -> Plan {
+        let est = self.estimated_rows;
+        let plan: Plan = PlanNode::Exchange {
+            input: Box::new(self),
+            workers: workers.max(1),
+        }
+        .into();
+        match est {
+            Some(e) => plan.with_estimate(e),
+            None => plan,
+        }
     }
 
     /// Clone this plan with the given parameter bindings substituted into
@@ -504,11 +541,17 @@ impl Plan {
                 subplan,
                 params,
                 mode,
+                workers,
             } => PlanNode::Apply {
                 input: Box::new(input.bind_params(bindings)),
                 subplan: Box::new(subplan.bind_params(bindings)),
                 params: params.clone(),
                 mode: mode.map_exprs(&|e| e.substitute_params(bindings)),
+                workers: *workers,
+            },
+            PlanNode::Exchange { input, workers } => PlanNode::Exchange {
+                input: Box::new(input.bind_params(bindings)),
+                workers: *workers,
             },
         };
         Plan {
@@ -594,6 +637,7 @@ impl Plan {
             | PlanNode::Sort { input, .. }
             | PlanNode::Limit { input, .. }
             | PlanNode::Distinct { input }
+            | PlanNode::Exchange { input, .. }
             | PlanNode::Aggregate { input, .. } => input.operator_count(),
             PlanNode::NestedLoopJoin { left, right, .. }
             | PlanNode::HashJoin { left, right, .. }
@@ -625,6 +669,7 @@ impl Plan {
             PlanNode::HashAntiJoin { .. } => "anti join",
             PlanNode::ScalarSubquery { .. } => "scalar subquery",
             PlanNode::Apply { .. } => "apply",
+            PlanNode::Exchange { .. } => "exchange",
         }
     }
 }

@@ -14,21 +14,80 @@
 //! limit, distinct) stream batches of [`BATCH_SIZE`] rows end to end; a
 //! `LIMIT` therefore stops pulling from its input as soon as it is
 //! satisfied.
+//!
+//! Operator trees are **owned**: scans hold `Arc` handles to their tables
+//! (via [`ExecContext`]) rather than borrowing from the database, so a
+//! subtree is `Send` and can be shipped to a worker thread — the foundation
+//! of the morsel-driven [`crate::exec::parallel`] layer. An
+//! [`PlanNode::Exchange`] node splits its subtree's driver scan into row
+//! ranges and runs one copy of the pipeline per morsel across workers,
+//! gathering output in morsel order so results stay deterministic.
 
 use crate::database::Database;
 use crate::error::StoreError;
 use crate::exec::aggregate::{agg_input, Accumulator, AggExpr};
+use crate::exec::parallel::{ExchangeShared, ExchangeSource, JoinIndex, SemiBuild, SharedBuild};
 use crate::exec::plan::{aggregate_output_columns, ApplyMode, ColumnInfo, Plan, PlanNode, SortKey};
 use crate::expr::{CmpOp, Expr};
 use crate::table::Table;
 use crate::tuple::Row;
 use crate::value::{GroupKey, Value};
+use std::cell::Cell;
 use std::cmp::Ordering;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Rows per batch pulled through the operator pipeline.
 pub const BATCH_SIZE: usize = 1024;
+
+/// Size bound of the `Apply` operator's per-binding memoization cache:
+/// beyond this many distinct correlation keys, the oldest entries are
+/// evicted (and the eviction surfaces in the operator's cache tally).
+pub const APPLY_CACHE_CAP: usize = 1024;
+
+/// An owned snapshot of the tables a plan can touch. Operator trees hold
+/// `Arc` handles from here instead of borrowing the [`Database`], which is
+/// what lets subtrees move to worker threads (and lets writers copy-on-write
+/// under a running query instead of blocking it).
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    tables: BTreeMap<String, Arc<Table>>,
+}
+
+impl ExecContext {
+    /// Snapshot every table handle of a database (shares rows, copies
+    /// nothing).
+    pub fn new(db: &Database) -> ExecContext {
+        ExecContext {
+            tables: db.table_arcs(),
+        }
+    }
+
+    /// Table handle by (case-insensitive) name.
+    pub fn table(&self, name: &str) -> Option<&Arc<Table>> {
+        self.tables.get(&name.to_ascii_uppercase())
+    }
+}
+
+/// Per-open environment threaded through [`open_in`]: the shared build-state
+/// cells of an enclosing exchange (if any) and the pre-order counter that
+/// assigns each stateful node its cell index. Every worker of an exchange
+/// opens the same plan with a fresh counter, so the indices line up.
+pub(crate) struct OpenEnv<'e> {
+    pub(crate) shared: Option<&'e Arc<ExchangeShared>>,
+    pub(crate) next_cell: &'e Cell<usize>,
+}
+
+impl OpenEnv<'_> {
+    /// Allocate the next stateful-node cell index (always advances, so the
+    /// walk stays aligned whether or not an exchange is sharing state).
+    fn alloc_cell(&self) -> Option<(Arc<ExchangeShared>, usize)> {
+        let idx = self.next_cell.get();
+        self.next_cell.set(idx + 1);
+        self.shared.map(|s| (Arc::clone(s), idx))
+    }
+}
 
 /// Per-operator instrumentation counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -43,6 +102,61 @@ pub struct OpMetrics {
     /// Wall-clock time spent inside this operator's `next_batch`, inclusive
     /// of children (like `EXPLAIN ANALYZE`'s actual time).
     pub elapsed: Duration,
+    /// The part of `elapsed` spent waiting inside child `next_batch` calls.
+    /// `elapsed - blocked` is the operator's *own* work — for a parallel
+    /// child the whole fan-out/gather wall time lands in the parent's
+    /// `blocked`, so time attribution blames the operator that actually
+    /// burned the cycles.
+    pub blocked: Duration,
+}
+
+impl OpMetrics {
+    /// Time this operator spent on its own work, excluding time blocked
+    /// waiting on children (parallel or otherwise).
+    pub fn self_elapsed(&self) -> Duration {
+        self.elapsed.saturating_sub(self.blocked)
+    }
+}
+
+/// Pull one batch from a child while charging the wait to the parent's
+/// `blocked` tally.
+fn timed_pull(
+    child: &mut Box<dyn RowSource>,
+    blocked: &mut Duration,
+) -> Result<Option<Vec<Row>>, StoreError> {
+    let start = Instant::now();
+    let result = child.next_batch();
+    *blocked += start.elapsed();
+    result
+}
+
+/// Fetch-or-build one piece of stateful operator input. Under an exchange
+/// (`shared` is `Some`), the build goes through the shared cell so it
+/// happens exactly once across workers; a worker that finds the cell
+/// already claimed waits on the builder, and that wait is returned so the
+/// caller can charge it to its `blocked` tally (it is not the operator's
+/// own work). Outside an exchange the build simply runs.
+fn build_or_share(
+    shared: &Option<(Arc<ExchangeShared>, usize)>,
+    build: impl FnOnce() -> Result<SharedBuild, StoreError>,
+) -> Result<(SharedBuild, Duration), StoreError> {
+    match shared {
+        Some((cells, idx)) => {
+            let wait_start = Instant::now();
+            let built_here = Cell::new(false);
+            let built = cells.get_or_build(*idx, || {
+                built_here.set(true);
+                build()
+            })?;
+            let waited = if built_here.get() {
+                Duration::ZERO
+            } else {
+                wait_start.elapsed()
+            };
+            Ok((built, waited))
+        }
+        None => Ok((build()?, Duration::ZERO)),
+    }
 }
 
 /// A snapshot of one operator (and its subtree) after — or before —
@@ -62,6 +176,9 @@ pub struct PlanProfile {
     /// Instrumentation counters (all zero when the plan was only described,
     /// not executed).
     pub metrics: OpMetrics,
+    /// Worker threads this operator fans work out across (`None` for plain
+    /// sequential operators); rendered as `[workers=N]` in plan trees.
+    pub workers: Option<usize>,
     /// Child profiles (inputs of this operator).
     pub children: Vec<PlanProfile>,
 }
@@ -88,9 +205,31 @@ impl PlanProfile {
         self.metrics.rows_out += other.metrics.rows_out;
         self.metrics.batches += other.metrics.batches;
         self.metrics.elapsed += other.metrics.elapsed;
+        self.metrics.blocked += other.metrics.blocked;
         for (mine, theirs) in self.children.iter_mut().zip(&other.children) {
             mine.absorb(theirs);
         }
+    }
+
+    /// Parallel speedup of an executed exchange: total operator time of its
+    /// subtree (each worker's wall time, summed) divided by the wall-clock
+    /// time the fan-out took — the conventional "work over span" ratio. On
+    /// an oversubscribed machine a preempted worker still accumulates wall
+    /// time, so the ratio reflects scheduling pressure, not pure CPU
+    /// speedup. `None` for anything but a multi-worker exchange (an apply's
+    /// `blocked` mixes input waits with its fan-out, so the ratio would be
+    /// meaningless there) and for un-executed profiles.
+    pub fn parallel_speedup(&self) -> Option<f64> {
+        if self.workers? <= 1 || self.operator != "exchange" {
+            return None;
+        }
+        let wall = self.metrics.blocked.as_secs_f64();
+        let work: f64 = self
+            .children
+            .iter()
+            .map(|c| c.metrics.elapsed.as_secs_f64())
+            .sum();
+        (wall > 0.0 && work > 0.0).then(|| work / wall)
     }
 
     /// Multiply every estimate in the subtree by `factor`. The `Apply`
@@ -148,6 +287,9 @@ impl PlanProfile {
         if !self.detail.is_empty() {
             out.push_str(": ");
             out.push_str(&self.detail);
+        }
+        if let Some(workers) = self.workers.filter(|&w| w > 1) {
+            out.push_str(&format!("  [workers={workers}]"));
         }
         let est = self.estimated_rows.map(|e| format!("{:.0}", e.round()));
         if analyze {
@@ -235,7 +377,9 @@ pub fn render_expr(expr: &Expr, columns: &[ColumnInfo]) -> String {
 }
 
 /// A pull-based operator: a batched row iterator with instrumentation.
-pub trait RowSource {
+/// Sources are `Send` — they own their state (table handles are `Arc`s), so
+/// a subtree can execute on a worker thread.
+pub trait RowSource: Send {
     /// Output column descriptors.
     fn columns(&self) -> &[ColumnInfo];
     /// Pull the next batch of rows; `None` when exhausted.
@@ -247,14 +391,48 @@ pub trait RowSource {
 /// Open a plan into its operator tree without pulling any rows. Opening
 /// validates table names and resolves output columns but does **not** read
 /// data — `EXPLAIN` uses this to describe a plan without executing it.
-pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>, StoreError> {
+pub fn open(db: &Database, plan: &Plan) -> Result<Box<dyn RowSource>, StoreError> {
+    open_owned(&Arc::new(ExecContext::new(db)), plan)
+}
+
+/// [`open`] against an owned table snapshot (the entry point for callers
+/// that already hold an [`ExecContext`], e.g. per-binding `Apply`
+/// executions on worker threads).
+pub fn open_owned(ctx: &Arc<ExecContext>, plan: &Plan) -> Result<Box<dyn RowSource>, StoreError> {
+    let cell = Cell::new(0);
+    let env = OpenEnv {
+        shared: None,
+        next_cell: &cell,
+    };
+    open_in(ctx, plan, &env, None)
+}
+
+/// Recursive open. `driver_range` restricts the pipeline's driver scan (the
+/// leftmost leaf) to a morsel's row range; it is forwarded only along the
+/// driver spine (inputs and join left sides) and consumed by the scan.
+pub(crate) fn open_in(
+    ctx: &Arc<ExecContext>,
+    plan: &Plan,
+    env: &OpenEnv,
+    driver_range: Option<(usize, usize)>,
+) -> Result<Box<dyn RowSource>, StoreError> {
     let est = plan.estimated_rows;
+    let off_spine = |p: &Plan| open_in(ctx, p, env, None);
     Ok(match &plan.node {
         PlanNode::Scan { table, alias } => {
-            let t = db.table(table).ok_or_else(|| StoreError::UnknownTable {
-                table: table.clone(),
-            })?;
-            Box::new(ScanSource::new(t, table.clone(), alias.clone(), est))
+            let t = ctx
+                .table(table)
+                .ok_or_else(|| StoreError::UnknownTable {
+                    table: table.clone(),
+                })?
+                .clone();
+            Box::new(ScanSource::new(
+                t,
+                table.clone(),
+                alias.clone(),
+                est,
+                driver_range,
+            ))
         }
         PlanNode::Values { columns, rows } => Box::new(ValuesSource {
             columns: columns.clone(),
@@ -264,7 +442,7 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
             meter: OpMetrics::default(),
         }),
         PlanNode::Filter { input, predicate } => {
-            let input = open(db, input)?;
+            let input = open_in(ctx, input, env, driver_range)?;
             Box::new(FilterSource {
                 detail: render_expr(predicate, input.columns()),
                 input,
@@ -278,7 +456,7 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
             exprs,
             columns,
         } => {
-            let input = open(db, input)?;
+            let input = open_in(ctx, input, env, driver_range)?;
             Box::new(ProjectSource {
                 input,
                 exprs: exprs.clone(),
@@ -292,8 +470,9 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
             right,
             predicate,
         } => {
-            let left = open(db, left)?;
-            let right = open(db, right)?;
+            let shared = env.alloc_cell();
+            let left = open_in(ctx, left, env, driver_range)?;
+            let right = off_spine(right)?;
             let mut columns = left.columns().to_vec();
             columns.extend(right.columns().iter().cloned());
             let detail = match predicate {
@@ -307,6 +486,7 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
                 columns,
                 detail,
                 right_rows: None,
+                shared,
                 pending: VecDeque::new(),
                 done: false,
                 est,
@@ -319,8 +499,9 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
             left_keys,
             right_keys,
         } => {
-            let left = open(db, left)?;
-            let right = open(db, right)?;
+            let shared = env.alloc_cell();
+            let left = open_in(ctx, left, env, driver_range)?;
+            let right = off_spine(right)?;
             let mut columns = left.columns().to_vec();
             columns.extend(right.columns().iter().cloned());
             let detail = left_keys
@@ -350,6 +531,7 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
                 columns,
                 detail,
                 build: None,
+                shared,
                 pending: VecDeque::new(),
                 done: false,
                 est,
@@ -362,7 +544,7 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
             aggregates,
             having,
         } => {
-            let input = open(db, input)?;
+            let input = open_in(ctx, input, env, driver_range)?;
             let columns = aggregate_output_columns(input.columns(), group_by, aggregates);
             let mut parts = Vec::new();
             if !group_by.is_empty() {
@@ -396,7 +578,7 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
             })
         }
         PlanNode::Sort { input, keys } => {
-            let input = open(db, input)?;
+            let input = open_in(ctx, input, env, driver_range)?;
             let detail = keys
                 .iter()
                 .map(|k| {
@@ -422,7 +604,7 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
             })
         }
         PlanNode::Limit { input, n } => {
-            let input = open(db, input)?;
+            let input = open_in(ctx, input, env, driver_range)?;
             Box::new(LimitSource {
                 input,
                 remaining: *n,
@@ -432,7 +614,7 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
             })
         }
         PlanNode::Distinct { input } => {
-            let input = open(db, input)?;
+            let input = open_in(ctx, input, env, driver_range)?;
             Box::new(DistinctSource {
                 input,
                 seen: HashSet::new(),
@@ -446,7 +628,16 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
             left_keys,
             right_keys,
         } => Box::new(SemiJoinSource::open(
-            db, left, right, left_keys, right_keys, false, false, est,
+            ctx,
+            env,
+            driver_range,
+            left,
+            right,
+            left_keys,
+            right_keys,
+            false,
+            false,
+            est,
         )?),
         PlanNode::HashAntiJoin {
             left,
@@ -455,7 +646,9 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
             right_keys,
             null_aware,
         } => Box::new(SemiJoinSource::open(
-            db,
+            ctx,
+            env,
+            driver_range,
             left,
             right,
             left_keys,
@@ -470,8 +663,9 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
             expr,
             op,
         } => {
-            let input = open(db, input)?;
-            let sub = open(db, subplan)?;
+            let shared = env.alloc_cell();
+            let input = open_in(ctx, input, env, driver_range)?;
+            let sub = off_spine(subplan)?;
             let detail = format!(
                 "{} {} (subquery)",
                 render_expr(expr, input.columns()),
@@ -483,22 +677,27 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
                 expr: expr.clone(),
                 op: *op,
                 scalar: None,
+                shared,
                 detail,
                 est,
                 meter: OpMetrics::default(),
             })
+        }
+        PlanNode::Exchange { input, workers } => {
+            Box::new(ExchangeSource::open(ctx, input, *workers, est)?)
         }
         PlanNode::Apply {
             input,
             subplan,
             params,
             mode,
+            workers,
         } => {
-            let input = open(db, input)?;
+            let input = open_in(ctx, input, env, driver_range)?;
             // Open the unbound template once: this validates the subplan and
             // yields the profile skeleton the per-binding executions will
             // accumulate their counters into.
-            let sub_template = open(db, subplan)?.profile();
+            let sub_template = open_owned(ctx, subplan)?.profile();
             let in_cols = input.columns().to_vec();
             let mode_text = mode.describe(&|e| render_expr(e, &in_cols));
             let correlation: Vec<String> = params
@@ -516,15 +715,18 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
                 format!("{mode_text} correlated on {}", correlation.join(", "))
             };
             Box::new(ApplySource {
-                db,
+                ctx: Arc::clone(ctx),
                 input,
                 subplan: (**subplan).clone(),
                 param_cols: params.iter().map(|&(_, i)| i).collect(),
                 params: params.clone(),
                 mode: mode.clone(),
+                workers: (*workers).max(1),
                 detail,
                 sub_profile: sub_template,
                 cache: HashMap::new(),
+                cache_order: VecDeque::new(),
+                evictions: 0,
                 evaluations: 0,
                 cache_hits: 0,
                 est,
@@ -538,42 +740,52 @@ pub fn open<'a>(db: &'a Database, plan: &Plan) -> Result<Box<dyn RowSource + 'a>
 // Scan
 // ---------------------------------------------------------------------------
 
-struct ScanSource<'a> {
-    table: &'a Table,
+struct ScanSource {
+    table: Arc<Table>,
     table_name: String,
     alias: String,
     columns: Vec<ColumnInfo>,
     cursor: usize,
+    /// One past the last row this scan reads — the table length for a full
+    /// scan, the morsel's upper bound for a partitioned one.
+    end: usize,
     est: Option<f64>,
     meter: OpMetrics,
 }
 
-impl<'a> ScanSource<'a> {
+impl ScanSource {
     fn new(
-        table: &'a Table,
+        table: Arc<Table>,
         table_name: String,
         alias: String,
         est: Option<f64>,
-    ) -> ScanSource<'a> {
+        range: Option<(usize, usize)>,
+    ) -> ScanSource {
         let columns = table
             .schema()
             .columns
             .iter()
             .map(|c| ColumnInfo::qualified(alias.clone(), c.name.clone()))
             .collect();
+        let len = table.len();
+        let (cursor, end) = match range {
+            Some((start, end)) => (start.min(len), end.min(len)),
+            None => (0, len),
+        };
         ScanSource {
             table,
             table_name,
             alias,
             columns,
-            cursor: 0,
+            cursor,
+            end,
             est,
             meter: OpMetrics::default(),
         }
     }
 }
 
-impl RowSource for ScanSource<'_> {
+impl RowSource for ScanSource {
     fn columns(&self) -> &[ColumnInfo] {
         &self.columns
     }
@@ -581,10 +793,10 @@ impl RowSource for ScanSource<'_> {
     fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
         let start = Instant::now();
         let rows = self.table.rows();
-        let result = if self.cursor >= rows.len() {
+        let result = if self.cursor >= self.end {
             None
         } else {
-            let end = (self.cursor + BATCH_SIZE).min(rows.len());
+            let end = (self.cursor + BATCH_SIZE).min(self.end);
             let batch = rows[self.cursor..end].to_vec();
             self.cursor = end;
             self.meter.rows_in += batch.len() as u64;
@@ -607,6 +819,7 @@ impl RowSource for ScanSource<'_> {
             columns: self.columns.clone(),
             estimated_rows: self.est,
             metrics: self.meter,
+            workers: None,
             children: Vec::new(),
         }
     }
@@ -652,6 +865,7 @@ impl RowSource for ValuesSource {
             columns: self.columns.clone(),
             estimated_rows: self.est,
             metrics: self.meter,
+            workers: None,
             children: Vec::new(),
         }
     }
@@ -661,15 +875,15 @@ impl RowSource for ValuesSource {
 // Filter
 // ---------------------------------------------------------------------------
 
-struct FilterSource<'a> {
-    input: Box<dyn RowSource + 'a>,
+struct FilterSource {
+    input: Box<dyn RowSource>,
     predicate: Expr,
     detail: String,
     est: Option<f64>,
     meter: OpMetrics,
 }
 
-impl RowSource for FilterSource<'_> {
+impl RowSource for FilterSource {
     fn columns(&self) -> &[ColumnInfo] {
         self.input.columns()
     }
@@ -677,7 +891,7 @@ impl RowSource for FilterSource<'_> {
     fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
         let start = Instant::now();
         let result = loop {
-            match self.input.next_batch()? {
+            match timed_pull(&mut self.input, &mut self.meter.blocked)? {
                 None => break None,
                 Some(batch) => {
                     self.meter.rows_in += batch.len() as u64;
@@ -707,6 +921,7 @@ impl RowSource for FilterSource<'_> {
             columns: self.input.columns().to_vec(),
             estimated_rows: self.est,
             metrics: self.meter,
+            workers: None,
             children: vec![self.input.profile()],
         }
     }
@@ -716,22 +931,22 @@ impl RowSource for FilterSource<'_> {
 // Project
 // ---------------------------------------------------------------------------
 
-struct ProjectSource<'a> {
-    input: Box<dyn RowSource + 'a>,
+struct ProjectSource {
+    input: Box<dyn RowSource>,
     exprs: Vec<Expr>,
     columns: Vec<ColumnInfo>,
     est: Option<f64>,
     meter: OpMetrics,
 }
 
-impl RowSource for ProjectSource<'_> {
+impl RowSource for ProjectSource {
     fn columns(&self) -> &[ColumnInfo] {
         &self.columns
     }
 
     fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
         let start = Instant::now();
-        let result = match self.input.next_batch()? {
+        let result = match timed_pull(&mut self.input, &mut self.meter.blocked)? {
             None => None,
             Some(batch) => {
                 self.meter.rows_in += batch.len() as u64;
@@ -764,6 +979,7 @@ impl RowSource for ProjectSource<'_> {
             columns: self.columns.clone(),
             estimated_rows: self.est,
             metrics: self.meter,
+            workers: None,
             children: vec![self.input.profile()],
         }
     }
@@ -773,36 +989,48 @@ impl RowSource for ProjectSource<'_> {
 // Nested-loop join
 // ---------------------------------------------------------------------------
 
-struct NestedLoopJoinSource<'a> {
-    left: Box<dyn RowSource + 'a>,
-    right: Box<dyn RowSource + 'a>,
+struct NestedLoopJoinSource {
+    left: Box<dyn RowSource>,
+    right: Box<dyn RowSource>,
     predicate: Option<Expr>,
     columns: Vec<ColumnInfo>,
     detail: String,
-    /// Materialized inner side (built on first pull).
-    right_rows: Option<Vec<Row>>,
+    /// Materialized inner side (built on first pull, shared across the
+    /// workers of an enclosing exchange).
+    right_rows: Option<Arc<Vec<Row>>>,
+    shared: Option<(Arc<ExchangeShared>, usize)>,
     pending: VecDeque<Row>,
     done: bool,
     est: Option<f64>,
     meter: OpMetrics,
 }
 
-impl NestedLoopJoinSource<'_> {
+impl NestedLoopJoinSource {
     fn build(&mut self) -> Result<(), StoreError> {
         if self.right_rows.is_some() {
             return Ok(());
         }
-        let mut rows = Vec::new();
-        while let Some(batch) = self.right.next_batch()? {
-            self.meter.rows_in += batch.len() as u64;
-            rows.extend(batch);
-        }
+        let right = &mut self.right;
+        let meter = &mut self.meter;
+        let materialize = || -> Result<SharedBuild, StoreError> {
+            let mut rows = Vec::new();
+            while let Some(batch) = timed_pull(right, &mut meter.blocked)? {
+                meter.rows_in += batch.len() as u64;
+                rows.extend(batch);
+            }
+            Ok(SharedBuild::Rows(Arc::new(rows)))
+        };
+        let (built, waited) = build_or_share(&self.shared, materialize)?;
+        self.meter.blocked += waited;
+        let SharedBuild::Rows(rows) = built else {
+            unreachable!("nested-loop cell always holds rows");
+        };
         self.right_rows = Some(rows);
         Ok(())
     }
 }
 
-impl RowSource for NestedLoopJoinSource<'_> {
+impl RowSource for NestedLoopJoinSource {
     fn columns(&self) -> &[ColumnInfo] {
         &self.columns
     }
@@ -811,13 +1039,13 @@ impl RowSource for NestedLoopJoinSource<'_> {
         let start = Instant::now();
         self.build()?;
         while self.pending.len() < BATCH_SIZE && !self.done {
-            match self.left.next_batch()? {
+            match timed_pull(&mut self.left, &mut self.meter.blocked)? {
                 None => self.done = true,
                 Some(batch) => {
                     self.meter.rows_in += batch.len() as u64;
                     let right = self.right_rows.as_ref().expect("built above");
                     for lr in &batch {
-                        for rr in right {
+                        for rr in right.iter() {
                             let joined = lr.concat(rr);
                             let keep = match &self.predicate {
                                 None => true,
@@ -843,6 +1071,7 @@ impl RowSource for NestedLoopJoinSource<'_> {
             columns: self.columns.clone(),
             estimated_rows: self.est,
             metrics: self.meter,
+            workers: None,
             children: vec![self.left.profile(), self.right.profile()],
         }
     }
@@ -864,45 +1093,57 @@ fn drain_pending(pending: &mut VecDeque<Row>, meter: &mut OpMetrics) -> Option<V
 // Hash join
 // ---------------------------------------------------------------------------
 
-struct HashJoinSource<'a> {
-    left: Box<dyn RowSource + 'a>,
-    right: Box<dyn RowSource + 'a>,
+struct HashJoinSource {
+    left: Box<dyn RowSource>,
+    right: Box<dyn RowSource>,
     left_keys: Vec<usize>,
     right_keys: Vec<usize>,
     columns: Vec<ColumnInfo>,
     detail: String,
     /// Hash index over the build (right) side, built on first pull: key →
-    /// build rows with that key.
-    build: Option<HashMap<Vec<GroupKey>, Vec<Row>>>,
+    /// build rows with that key. Shared across the workers of an enclosing
+    /// exchange (built once, by whichever worker gets there first) and
+    /// hash-partitioned across threads for large builds.
+    build: Option<Arc<JoinIndex>>,
+    shared: Option<(Arc<ExchangeShared>, usize)>,
     pending: VecDeque<Row>,
     done: bool,
     est: Option<f64>,
     meter: OpMetrics,
 }
 
-impl HashJoinSource<'_> {
+impl HashJoinSource {
     fn build(&mut self) -> Result<(), StoreError> {
         if self.build.is_some() {
             return Ok(());
         }
-        let mut index: HashMap<Vec<GroupKey>, Vec<Row>> = HashMap::new();
-        while let Some(batch) = self.right.next_batch()? {
-            self.meter.rows_in += batch.len() as u64;
-            for row in batch {
-                let key = row.group_key(&self.right_keys);
-                // SQL equality never matches NULL keys.
-                if key.contains(&GroupKey::Null) {
-                    continue;
-                }
-                index.entry(key).or_default().push(row);
+        let right = &mut self.right;
+        let meter = &mut self.meter;
+        let right_keys = &self.right_keys;
+        let build_workers = self.shared.as_ref().map(|(s, _)| s.workers()).unwrap_or(1);
+        let construct = || -> Result<SharedBuild, StoreError> {
+            let mut rows = Vec::new();
+            while let Some(batch) = timed_pull(right, &mut meter.blocked)? {
+                meter.rows_in += batch.len() as u64;
+                rows.extend(batch);
             }
-        }
+            Ok(SharedBuild::Join(Arc::new(JoinIndex::build(
+                rows,
+                right_keys,
+                build_workers,
+            ))))
+        };
+        let (built, waited) = build_or_share(&self.shared, construct)?;
+        self.meter.blocked += waited;
+        let SharedBuild::Join(index) = built else {
+            unreachable!("hash-join cell always holds a join index");
+        };
         self.build = Some(index);
         Ok(())
     }
 }
 
-impl RowSource for HashJoinSource<'_> {
+impl RowSource for HashJoinSource {
     fn columns(&self) -> &[ColumnInfo] {
         &self.columns
     }
@@ -911,7 +1152,7 @@ impl RowSource for HashJoinSource<'_> {
         let start = Instant::now();
         self.build()?;
         while self.pending.len() < BATCH_SIZE && !self.done {
-            match self.left.next_batch()? {
+            match timed_pull(&mut self.left, &mut self.meter.blocked)? {
                 None => self.done = true,
                 Some(batch) => {
                     self.meter.rows_in += batch.len() as u64;
@@ -921,7 +1162,7 @@ impl RowSource for HashJoinSource<'_> {
                         if key.contains(&GroupKey::Null) {
                             continue;
                         }
-                        if let Some(matches) = index.get(&key) {
+                        if let Some(matches) = index.lookup(&key) {
                             for rr in matches {
                                 self.pending.push_back(lr.concat(rr));
                             }
@@ -942,6 +1183,7 @@ impl RowSource for HashJoinSource<'_> {
             columns: self.columns.clone(),
             estimated_rows: self.est,
             metrics: self.meter,
+            workers: None,
             children: vec![self.left.profile(), self.right.profile()],
         }
     }
@@ -951,8 +1193,8 @@ impl RowSource for HashJoinSource<'_> {
 // Aggregate
 // ---------------------------------------------------------------------------
 
-struct AggregateSource<'a> {
-    input: Box<dyn RowSource + 'a>,
+struct AggregateSource {
+    input: Box<dyn RowSource>,
     group_by: Vec<usize>,
     aggregates: Vec<AggExpr>,
     having: Option<Expr>,
@@ -964,7 +1206,7 @@ struct AggregateSource<'a> {
     meter: OpMetrics,
 }
 
-impl AggregateSource<'_> {
+impl AggregateSource {
     fn compute(&mut self) -> Result<(), StoreError> {
         if self.pending.is_some() {
             return Ok(());
@@ -983,7 +1225,7 @@ impl AggregateSource<'_> {
             ));
             group_index.insert(Vec::new(), 0);
         }
-        while let Some(batch) = self.input.next_batch()? {
+        while let Some(batch) = timed_pull(&mut self.input, &mut self.meter.blocked)? {
             self.meter.rows_in += batch.len() as u64;
             for row in &batch {
                 let key = row.group_key(&self.group_by);
@@ -1029,7 +1271,7 @@ impl AggregateSource<'_> {
     }
 }
 
-impl RowSource for AggregateSource<'_> {
+impl RowSource for AggregateSource {
     fn columns(&self) -> &[ColumnInfo] {
         &self.columns
     }
@@ -1052,6 +1294,7 @@ impl RowSource for AggregateSource<'_> {
             columns: self.columns.clone(),
             estimated_rows: self.est,
             metrics: self.meter,
+            workers: None,
             children: vec![self.input.profile()],
         }
     }
@@ -1061,8 +1304,8 @@ impl RowSource for AggregateSource<'_> {
 // Sort
 // ---------------------------------------------------------------------------
 
-struct SortSource<'a> {
-    input: Box<dyn RowSource + 'a>,
+struct SortSource {
+    input: Box<dyn RowSource>,
     keys: Vec<SortKey>,
     detail: String,
     pending: Option<VecDeque<Row>>,
@@ -1070,7 +1313,7 @@ struct SortSource<'a> {
     meter: OpMetrics,
 }
 
-impl RowSource for SortSource<'_> {
+impl RowSource for SortSource {
     fn columns(&self) -> &[ColumnInfo] {
         self.input.columns()
     }
@@ -1079,7 +1322,7 @@ impl RowSource for SortSource<'_> {
         let start = Instant::now();
         if self.pending.is_none() {
             let mut rows = Vec::new();
-            while let Some(batch) = self.input.next_batch()? {
+            while let Some(batch) = timed_pull(&mut self.input, &mut self.meter.blocked)? {
                 self.meter.rows_in += batch.len() as u64;
                 rows.extend(batch);
             }
@@ -1101,6 +1344,7 @@ impl RowSource for SortSource<'_> {
             columns: self.input.columns().to_vec(),
             estimated_rows: self.est,
             metrics: self.meter,
+            workers: None,
             children: vec![self.input.profile()],
         }
     }
@@ -1126,15 +1370,15 @@ pub fn sort_rows(rows: &mut [Row], keys: &[SortKey]) {
 // Limit
 // ---------------------------------------------------------------------------
 
-struct LimitSource<'a> {
-    input: Box<dyn RowSource + 'a>,
+struct LimitSource {
+    input: Box<dyn RowSource>,
     remaining: usize,
     n: usize,
     est: Option<f64>,
     meter: OpMetrics,
 }
 
-impl RowSource for LimitSource<'_> {
+impl RowSource for LimitSource {
     fn columns(&self) -> &[ColumnInfo] {
         self.input.columns()
     }
@@ -1145,7 +1389,7 @@ impl RowSource for LimitSource<'_> {
             // Early termination: stop pulling from the input entirely.
             None
         } else {
-            match self.input.next_batch()? {
+            match timed_pull(&mut self.input, &mut self.meter.blocked)? {
                 None => None,
                 Some(mut batch) => {
                     self.meter.rows_in += batch.len() as u64;
@@ -1170,6 +1414,7 @@ impl RowSource for LimitSource<'_> {
             columns: self.input.columns().to_vec(),
             estimated_rows: self.est,
             metrics: self.meter,
+            workers: None,
             children: vec![self.input.profile()],
         }
     }
@@ -1179,14 +1424,14 @@ impl RowSource for LimitSource<'_> {
 // Distinct
 // ---------------------------------------------------------------------------
 
-struct DistinctSource<'a> {
-    input: Box<dyn RowSource + 'a>,
+struct DistinctSource {
+    input: Box<dyn RowSource>,
     seen: HashSet<Vec<GroupKey>>,
     est: Option<f64>,
     meter: OpMetrics,
 }
 
-impl RowSource for DistinctSource<'_> {
+impl RowSource for DistinctSource {
     fn columns(&self) -> &[ColumnInfo] {
         self.input.columns()
     }
@@ -1196,7 +1441,7 @@ impl RowSource for DistinctSource<'_> {
         let arity = self.input.columns().len();
         let all: Vec<usize> = (0..arity).collect();
         let result = loop {
-            match self.input.next_batch()? {
+            match timed_pull(&mut self.input, &mut self.meter.blocked)? {
                 None => break None,
                 Some(batch) => {
                     self.meter.rows_in += batch.len() as u64;
@@ -1225,6 +1470,7 @@ impl RowSource for DistinctSource<'_> {
             columns: self.input.columns().to_vec(),
             estimated_rows: self.est,
             metrics: self.meter,
+            workers: None,
             children: vec![self.input.profile()],
         }
     }
@@ -1239,25 +1485,29 @@ impl RowSource for DistinctSource<'_> {
 /// retained — no build rows are ever emitted — so the build is a `HashSet`
 /// plus two flags capturing what `NOT IN` NULL semantics need to know: did
 /// the build side have any rows, and did any build key contain NULL.
-struct SemiJoinSource<'a> {
-    left: Box<dyn RowSource + 'a>,
-    right: Box<dyn RowSource + 'a>,
+struct SemiJoinSource {
+    left: Box<dyn RowSource>,
+    right: Box<dyn RowSource>,
     left_keys: Vec<usize>,
     right_keys: Vec<usize>,
     anti: bool,
     null_aware: bool,
     columns: Vec<ColumnInfo>,
     detail: String,
-    /// (key set, build side had rows, some build key contained NULL).
-    build: Option<(HashSet<Vec<GroupKey>>, bool, bool)>,
+    /// Key set plus NULL-semantics flags, shared across the workers of an
+    /// enclosing exchange.
+    build: Option<Arc<SemiBuild>>,
+    shared: Option<(Arc<ExchangeShared>, usize)>,
     est: Option<f64>,
     meter: OpMetrics,
 }
 
-impl<'a> SemiJoinSource<'a> {
+impl SemiJoinSource {
     #[allow(clippy::too_many_arguments)]
     fn open(
-        db: &'a Database,
+        ctx: &Arc<ExecContext>,
+        env: &OpenEnv,
+        driver_range: Option<(usize, usize)>,
         left: &Plan,
         right: &Plan,
         left_keys: &[usize],
@@ -1265,9 +1515,10 @@ impl<'a> SemiJoinSource<'a> {
         anti: bool,
         null_aware: bool,
         est: Option<f64>,
-    ) -> Result<SemiJoinSource<'a>, StoreError> {
-        let left = open(db, left)?;
-        let right = open(db, right)?;
+    ) -> Result<SemiJoinSource, StoreError> {
+        let shared = env.alloc_cell();
+        let left = open_in(ctx, left, env, driver_range)?;
+        let right = open_in(ctx, right, env, None)?;
         let mut detail = left_keys
             .iter()
             .zip(right_keys)
@@ -1301,6 +1552,7 @@ impl<'a> SemiJoinSource<'a> {
             columns,
             detail,
             build: None,
+            shared,
             est,
             meter: OpMetrics::default(),
         })
@@ -1310,53 +1562,58 @@ impl<'a> SemiJoinSource<'a> {
         if self.build.is_some() {
             return Ok(());
         }
-        let mut keys: HashSet<Vec<GroupKey>> = HashSet::new();
-        let mut any_rows = false;
-        let mut null_key = false;
-        while let Some(batch) = self.right.next_batch()? {
-            self.meter.rows_in += batch.len() as u64;
-            for row in batch {
-                any_rows = true;
-                let key = row.group_key(&self.right_keys);
-                if key.contains(&GroupKey::Null) {
-                    null_key = true;
-                    continue;
-                }
-                keys.insert(key);
+        let right = &mut self.right;
+        let right_keys = &self.right_keys;
+        let meter = &mut self.meter;
+        let build_workers = self.shared.as_ref().map(|(s, _)| s.workers()).unwrap_or(1);
+        let construct = || -> Result<SharedBuild, StoreError> {
+            let mut rows = Vec::new();
+            while let Some(batch) = timed_pull(right, &mut meter.blocked)? {
+                meter.rows_in += batch.len() as u64;
+                rows.extend(batch);
             }
-        }
-        self.build = Some((keys, any_rows, null_key));
+            Ok(SharedBuild::Keys(Arc::new(SemiBuild::build(
+                rows,
+                right_keys,
+                build_workers,
+            ))))
+        };
+        let (built, waited) = build_or_share(&self.shared, construct)?;
+        self.meter.blocked += waited;
+        let SharedBuild::Keys(build) = built else {
+            unreachable!("semi-join cell always holds a key set");
+        };
+        self.build = Some(build);
         Ok(())
     }
 
     /// Whether a probe row with this key survives the (anti-)semi-join.
-    fn keep(&self, key: &[GroupKey]) -> bool {
-        let (keys, any_rows, null_key) = self.build.as_ref().expect("built before probing");
+    fn keep(&self, build: &SemiBuild, key: &[GroupKey]) -> bool {
         let probe_null = key.contains(&GroupKey::Null);
         if !self.anti {
             // Semi: a NULL probe key can never equal anything.
-            return !probe_null && keys.contains(key);
+            return !probe_null && build.contains(key);
         }
         if self.null_aware {
             // NOT IN three-valued logic: over an empty set it is TRUE for
             // every probe value (even NULL); a NULL build key makes every
             // non-match UNKNOWN; a NULL probe key is UNKNOWN too.
-            if !any_rows {
+            if !build.any_rows {
                 return true;
             }
-            if *null_key || probe_null {
+            if build.null_key || probe_null {
                 return false;
             }
-            !keys.contains(key)
+            !build.contains(key)
         } else {
             // NOT EXISTS: NULL keys simply never match, so a NULL probe key
             // is guaranteed to have no partner.
-            probe_null || !keys.contains(key)
+            probe_null || !build.contains(key)
         }
     }
 }
 
-impl RowSource for SemiJoinSource<'_> {
+impl RowSource for SemiJoinSource {
     fn columns(&self) -> &[ColumnInfo] {
         &self.columns
     }
@@ -1365,13 +1622,14 @@ impl RowSource for SemiJoinSource<'_> {
         let start = Instant::now();
         self.build()?;
         let result = loop {
-            match self.left.next_batch()? {
+            match timed_pull(&mut self.left, &mut self.meter.blocked)? {
                 None => break None,
                 Some(batch) => {
                     self.meter.rows_in += batch.len() as u64;
+                    let build = Arc::clone(self.build.as_ref().expect("built above"));
                     let mut kept = Vec::new();
                     for row in batch {
-                        if self.keep(&row.group_key(&self.left_keys)) {
+                        if self.keep(&build, &row.group_key(&self.left_keys)) {
                             kept.push(row);
                         }
                     }
@@ -1394,6 +1652,7 @@ impl RowSource for SemiJoinSource<'_> {
             columns: self.columns.clone(),
             estimated_rows: self.est,
             metrics: self.meter,
+            workers: None,
             children: vec![self.left.profile(), self.right.profile()],
         }
     }
@@ -1405,42 +1664,55 @@ impl RowSource for SemiJoinSource<'_> {
 
 /// Evaluate an uncorrelated scalar subquery exactly once, cache its single
 /// value, and filter the input by comparing against it.
-struct ScalarSubquerySource<'a> {
-    input: Box<dyn RowSource + 'a>,
-    sub: Box<dyn RowSource + 'a>,
+struct ScalarSubquerySource {
+    input: Box<dyn RowSource>,
+    sub: Box<dyn RowSource>,
     expr: Expr,
     op: CmpOp,
-    /// The cached scalar (SQL NULL when the subquery produced no rows).
+    /// The cached scalar (SQL NULL when the subquery produced no rows),
+    /// computed once — and shared across the workers of an enclosing
+    /// exchange, so the subquery runs once per query, not once per morsel.
     scalar: Option<Value>,
+    shared: Option<(Arc<ExchangeShared>, usize)>,
     detail: String,
     est: Option<f64>,
     meter: OpMetrics,
 }
 
-impl ScalarSubquerySource<'_> {
+impl ScalarSubquerySource {
     fn compute_scalar(&mut self) -> Result<(), StoreError> {
         if self.scalar.is_some() {
             return Ok(());
         }
-        let mut rows = 0usize;
-        let mut value = Value::Null;
-        while let Some(batch) = self.sub.next_batch()? {
-            for row in &batch {
-                rows += 1;
-                if rows > 1 {
-                    return Err(StoreError::Eval {
-                        message: "scalar subquery produced more than one row".into(),
-                    });
+        let sub = &mut self.sub;
+        let meter = &mut self.meter;
+        let compute = || -> Result<SharedBuild, StoreError> {
+            let mut rows = 0usize;
+            let mut value = Value::Null;
+            while let Some(batch) = timed_pull(sub, &mut meter.blocked)? {
+                for row in &batch {
+                    rows += 1;
+                    if rows > 1 {
+                        return Err(StoreError::Eval {
+                            message: "scalar subquery produced more than one row".into(),
+                        });
+                    }
+                    value = row.get(0).cloned().unwrap_or(Value::Null);
                 }
-                value = row.get(0).cloned().unwrap_or(Value::Null);
             }
-        }
+            Ok(SharedBuild::Scalar(value))
+        };
+        let (built, waited) = build_or_share(&self.shared, compute)?;
+        self.meter.blocked += waited;
+        let SharedBuild::Scalar(value) = built else {
+            unreachable!("scalar cell always holds a value");
+        };
         self.scalar = Some(value);
         Ok(())
     }
 }
 
-impl RowSource for ScalarSubquerySource<'_> {
+impl RowSource for ScalarSubquerySource {
     fn columns(&self) -> &[ColumnInfo] {
         self.input.columns()
     }
@@ -1450,7 +1722,7 @@ impl RowSource for ScalarSubquerySource<'_> {
         self.compute_scalar()?;
         let scalar = self.scalar.clone().expect("computed above");
         let result = loop {
-            match self.input.next_batch()? {
+            match timed_pull(&mut self.input, &mut self.meter.blocked)? {
                 None => break None,
                 Some(batch) => {
                     self.meter.rows_in += batch.len() as u64;
@@ -1483,6 +1755,7 @@ impl RowSource for ScalarSubquerySource<'_> {
             columns: self.input.columns().to_vec(),
             estimated_rows: self.est,
             metrics: self.meter,
+            workers: None,
             children: vec![self.input.profile(), self.sub.profile()],
         }
     }
@@ -1517,85 +1790,179 @@ enum SubResult {
 
 /// The correlated-subquery fallback: for each input row, substitute the
 /// row's correlation values into the subplan, execute it, and keep the row
-/// when `mode` says so. Results are cached per distinct parameter binding.
-struct ApplySource<'a> {
-    db: &'a Database,
-    input: Box<dyn RowSource + 'a>,
+/// when `mode` says so. Results are cached per distinct parameter binding,
+/// bounded at [`APPLY_CACHE_CAP`] entries (oldest-first eviction, surfaced
+/// in the cache tally). The distinct uncached bindings of one input batch
+/// are independent of each other — with `workers > 1` they are evaluated in
+/// parallel on worker threads.
+struct ApplySource {
+    ctx: Arc<ExecContext>,
+    input: Box<dyn RowSource>,
     subplan: Plan,
     params: Vec<(u32, usize)>,
     /// The input-column positions of `params`, precomputed once — the cache
     /// key of every probe row is `row.group_key(&param_cols)`.
     param_cols: Vec<usize>,
     mode: ApplyMode,
+    /// Threads for per-binding subquery evaluations (1 = sequential).
+    workers: usize,
     detail: String,
     /// Template profile of the subplan, accumulating every execution's
     /// counters (same tree shape as each bound execution).
     sub_profile: PlanProfile,
     cache: HashMap<Vec<GroupKey>, SubResult>,
+    /// Insertion order of `cache` keys, for oldest-first eviction.
+    cache_order: VecDeque<Vec<GroupKey>>,
+    evictions: u64,
     evaluations: u64,
     cache_hits: u64,
     est: Option<f64>,
     meter: OpMetrics,
 }
 
-impl ApplySource<'_> {
-    /// Execute the subplan for one parameter binding (unless the binding is
-    /// already cached), producing the summary `mode` needs. `EXISTS` stops
-    /// at the first row.
-    fn evaluate(&mut self, key: &[GroupKey], row: &Row) -> Result<(), StoreError> {
-        if self.cache.contains_key(key) {
-            self.cache_hits += 1;
-            return Ok(());
+/// Execute an apply's subplan for one parameter binding, producing the
+/// summary `mode` needs and the execution's profile. `EXISTS` stops at the
+/// first row. A free function over `Sync` inputs, so apply worker threads
+/// can run bindings concurrently without sharing the operator itself.
+fn evaluate_binding(
+    ctx: &Arc<ExecContext>,
+    subplan: &Plan,
+    params: &[(u32, usize)],
+    mode: &ApplyMode,
+    row: &Row,
+) -> Result<(SubResult, PlanProfile), StoreError> {
+    let bindings: HashMap<u32, Value> = params
+        .iter()
+        .map(|&(id, idx)| (id, row.get(idx).cloned().unwrap_or(Value::Null)))
+        .collect();
+    let bound = subplan.bind_params(&bindings);
+    let mut src = open_owned(ctx, &bound)?;
+    let result = match mode {
+        ApplyMode::Exists { .. } => {
+            let mut exists = false;
+            while let Some(batch) = src.next_batch()? {
+                if !batch.is_empty() {
+                    exists = true;
+                    break; // Early exit: existence needs only one row.
+                }
+            }
+            SubResult::Exists(exists)
         }
-        self.evaluations += 1;
-        let bindings: HashMap<u32, Value> = self
-            .params
-            .iter()
-            .map(|&(id, idx)| (id, row.get(idx).cloned().unwrap_or(Value::Null)))
-            .collect();
-        let bound = self.subplan.bind_params(&bindings);
-        let mut src = open(self.db, &bound)?;
-        let result = match &self.mode {
-            ApplyMode::Exists { .. } => {
-                let mut exists = false;
-                while let Some(batch) = src.next_batch()? {
-                    if !batch.is_empty() {
-                        exists = true;
-                        break; // Early exit: existence needs only one row.
-                    }
+        ApplyMode::In { .. } | ApplyMode::Quantified { .. } => {
+            let mut values = Vec::new();
+            while let Some(batch) = src.next_batch()? {
+                for r in &batch {
+                    values.push(r.get(0).cloned().unwrap_or(Value::Null));
                 }
-                SubResult::Exists(exists)
             }
-            ApplyMode::In { .. } | ApplyMode::Quantified { .. } => {
-                let mut values = Vec::new();
-                while let Some(batch) = src.next_batch()? {
-                    for r in &batch {
-                        values.push(r.get(0).cloned().unwrap_or(Value::Null));
+            SubResult::Column(values)
+        }
+        ApplyMode::Compare { .. } => {
+            let mut rows = 0usize;
+            let mut value = Value::Null;
+            while let Some(batch) = src.next_batch()? {
+                for r in &batch {
+                    rows += 1;
+                    if rows > 1 {
+                        return Err(StoreError::Eval {
+                            message: "correlated scalar subquery produced more than one row".into(),
+                        });
                     }
+                    value = r.get(0).cloned().unwrap_or(Value::Null);
                 }
-                SubResult::Column(values)
             }
-            ApplyMode::Compare { .. } => {
-                let mut rows = 0usize;
-                let mut value = Value::Null;
-                while let Some(batch) = src.next_batch()? {
-                    for r in &batch {
-                        rows += 1;
-                        if rows > 1 {
-                            return Err(StoreError::Eval {
-                                message: "correlated scalar subquery produced more than one row"
-                                    .into(),
-                            });
-                        }
-                        value = r.get(0).cloned().unwrap_or(Value::Null);
-                    }
+            SubResult::Scalar(value)
+        }
+    };
+    Ok((result, src.profile()))
+}
+
+impl ApplySource {
+    /// Evaluate every distinct uncached binding of one input batch —
+    /// sequentially, or fanned out across `self.workers` threads — and merge
+    /// the results into the bounded cache. Rows whose binding is already
+    /// cached (or already scheduled within this batch) count as cache hits,
+    /// exactly as they would evaluating row by row. Returns each row's
+    /// correlation key so the verdict pass doesn't recompute them.
+    fn evaluate_batch(&mut self, batch: &[Row]) -> Result<Vec<Vec<GroupKey>>, StoreError> {
+        let mut row_keys: Vec<Vec<GroupKey>> = Vec::with_capacity(batch.len());
+        let mut fresh: Vec<(Vec<GroupKey>, Row)> = Vec::new();
+        let mut scheduled: HashSet<Vec<GroupKey>> = HashSet::new();
+        for row in batch {
+            let key = row.group_key(&self.param_cols);
+            if self.cache.contains_key(&key) || scheduled.contains(&key) {
+                self.cache_hits += 1;
+            } else {
+                scheduled.insert(key.clone());
+                fresh.push((key.clone(), row.clone()));
+            }
+            row_keys.push(key);
+        }
+        if fresh.is_empty() {
+            return Ok(row_keys);
+        }
+        self.evaluations += fresh.len() as u64;
+        let (ctx, subplan, params, mode) = (&self.ctx, &self.subplan, &self.params, &self.mode);
+        let results: Vec<(Vec<GroupKey>, SubResult, PlanProfile)> =
+            if self.workers > 1 && fresh.len() > 1 {
+                // The embarrassingly parallel case: each binding's subquery
+                // execution is independent; split them across workers. The
+                // fan-out's wall time is charged to `blocked` (this operator
+                // is waiting on its worker threads), mirroring the exchange.
+                let fanout_start = Instant::now();
+                let chunk = fresh.len().div_ceil(self.workers);
+                let evaluated: Vec<Result<Vec<_>, StoreError>> = std::thread::scope(|s| {
+                    let handles: Vec<_> = fresh
+                        .chunks(chunk)
+                        .map(|part| {
+                            s.spawn(move || {
+                                part.iter()
+                                    .map(|(key, row)| {
+                                        evaluate_binding(ctx, subplan, params, mode, row)
+                                            .map(|(r, p)| (key.clone(), r, p))
+                                    })
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("apply worker panicked"))
+                        .collect()
+                });
+                self.meter.blocked += fanout_start.elapsed();
+                let mut flat = Vec::with_capacity(fresh.len());
+                for worker_results in evaluated {
+                    flat.extend(worker_results?);
                 }
-                SubResult::Scalar(value)
-            }
-        };
-        self.sub_profile.absorb(&src.profile());
-        self.cache.insert(key.to_vec(), result);
-        Ok(())
+                flat
+            } else {
+                let mut flat = Vec::with_capacity(fresh.len());
+                for (key, row) in &fresh {
+                    let (result, profile) = evaluate_binding(ctx, subplan, params, mode, row)?;
+                    flat.push((key.clone(), result, profile));
+                }
+                flat
+            };
+        for (key, result, profile) in results {
+            self.sub_profile.absorb(&profile);
+            self.cache.insert(key.clone(), result);
+            self.cache_order.push_back(key);
+        }
+        Ok(row_keys)
+    }
+
+    /// Evict oldest cache entries down to [`APPLY_CACHE_CAP`]. Called after
+    /// a batch's verdicts, so entries the current batch needs are never
+    /// evicted out from under it.
+    fn enforce_cache_cap(&mut self) {
+        while self.cache.len() > APPLY_CACHE_CAP {
+            let Some(oldest) = self.cache_order.pop_front() else {
+                break;
+            };
+            self.cache.remove(&oldest);
+            self.evictions += 1;
+        }
     }
 
     /// Three-valued verdict for one input row against its cached subquery
@@ -1674,7 +2041,7 @@ fn quantified_verdict(probe: &Value, op: CmpOp, all: bool, values: &[Value]) -> 
     }
 }
 
-impl RowSource for ApplySource<'_> {
+impl RowSource for ApplySource {
     fn columns(&self) -> &[ColumnInfo] {
         self.input.columns()
     }
@@ -1682,18 +2049,18 @@ impl RowSource for ApplySource<'_> {
     fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
         let start = Instant::now();
         let result = loop {
-            match self.input.next_batch()? {
+            match timed_pull(&mut self.input, &mut self.meter.blocked)? {
                 None => break None,
                 Some(batch) => {
                     self.meter.rows_in += batch.len() as u64;
+                    let row_keys = self.evaluate_batch(&batch)?;
                     let mut kept = Vec::new();
-                    for row in batch {
-                        let key = row.group_key(&self.param_cols);
-                        self.evaluate(&key, &row)?;
-                        if self.verdict(&key, &row)? == Some(true) {
+                    for (row, key) in batch.into_iter().zip(&row_keys) {
+                        if self.verdict(key, &row)? == Some(true) {
                             kept.push(row);
                         }
                     }
+                    self.enforce_cache_cap();
                     if !kept.is_empty() {
                         self.meter.rows_out += kept.len() as u64;
                         self.meter.batches += 1;
@@ -1708,14 +2075,22 @@ impl RowSource for ApplySource<'_> {
 
     fn profile(&self) -> PlanProfile {
         let detail = if self.evaluations > 0 {
-            format!(
+            let mut tally = format!(
                 "{}; {} evaluation{}, {} cache hit{}",
                 self.detail,
                 self.evaluations,
                 if self.evaluations == 1 { "" } else { "s" },
                 self.cache_hits,
                 if self.cache_hits == 1 { "" } else { "s" }
-            )
+            );
+            if self.evictions > 0 {
+                tally.push_str(&format!(
+                    ", {} eviction{}",
+                    self.evictions,
+                    if self.evictions == 1 { "" } else { "s" }
+                ));
+            }
+            tally
         } else {
             self.detail.clone()
         };
@@ -1732,6 +2107,7 @@ impl RowSource for ApplySource<'_> {
             columns: self.input.columns().to_vec(),
             estimated_rows: self.est,
             metrics: self.meter,
+            workers: (self.workers > 1).then_some(self.workers),
             children: vec![self.input.profile(), sub_profile],
         }
     }
@@ -1827,6 +2203,106 @@ mod tests {
             assert_eq!(p.metrics.rows_out, 0);
             assert_eq!(p.metrics.batches, 0);
         });
+    }
+
+    #[test]
+    fn apply_cache_is_bounded_and_tallies_evictions() {
+        // Correlate on t.id: 2500 distinct bindings against a cap of
+        // APPLY_CACHE_CAP entries, so the cache must evict (and say so).
+        let db = db();
+        let sub = values_plan("s", &[Value::int(1)]).filter(Expr::Compare {
+            op: CmpOp::Lt,
+            left: Box::new(Expr::Param(0)),
+            right: Box::new(Expr::Literal(Value::int(0))),
+        });
+        let plan = scan("T", "t").apply(sub, vec![(0, 0)], ApplyMode::Exists { negated: true });
+        let mut src = open(&db, &plan).unwrap();
+        let mut total = 0;
+        while let Some(batch) = src.next_batch().unwrap() {
+            total += batch.len();
+        }
+        assert_eq!(total, 2500, "NOT EXISTS over an always-empty subquery");
+        let profile = src.profile();
+        assert!(
+            profile.detail.contains("2500 evaluations"),
+            "distinct bindings each evaluate once: {}",
+            profile.detail
+        );
+        let expected_evictions = 2500 - APPLY_CACHE_CAP;
+        assert!(
+            profile
+                .detail
+                .contains(&format!("{expected_evictions} evictions")),
+            "evictions must surface in the cache tally: {}",
+            profile.detail
+        );
+    }
+
+    #[test]
+    fn apply_parallel_workers_agree_with_sequential() {
+        let db = db();
+        let sub = Plan::scan("T", "u")
+            .filter(Expr::Compare {
+                op: CmpOp::Eq,
+                left: Box::new(Expr::Column(1)),
+                right: Box::new(Expr::Param(0)),
+            })
+            .filter(Expr::col_cmp_value(0, CmpOp::Lt, Value::int(5)));
+        let mode = ApplyMode::Exists { negated: false };
+        let sequential = scan("T", "t").apply(sub.clone(), vec![(0, 1)], mode.clone());
+        let parallel = scan("T", "t")
+            .apply(sub, vec![(0, 1)], mode)
+            .with_apply_workers(4);
+        let run = |plan: &Plan| {
+            let mut src = open(&db, plan).unwrap();
+            let mut rows = Vec::new();
+            while let Some(batch) = src.next_batch().unwrap() {
+                rows.extend(batch);
+            }
+            (rows, src.profile())
+        };
+        let (seq_rows, seq_profile) = run(&sequential);
+        let (par_rows, par_profile) = run(&parallel);
+        assert_eq!(seq_rows, par_rows, "parallel apply must keep row order");
+        // Same evaluation and cache-hit tallies, and the parallel profile
+        // advertises its workers.
+        assert!(par_profile.detail.contains("10 evaluations"));
+        assert!(par_profile.detail.contains("2490 cache hits"));
+        assert_eq!(
+            seq_profile.children[1].metrics.rows_out, par_profile.children[1].metrics.rows_out,
+            "subplan counters must aggregate identically"
+        );
+        assert_eq!(par_profile.workers, Some(4));
+        assert!(par_profile.render_tree(false).contains("[workers=4]"));
+    }
+
+    #[test]
+    fn blocked_time_never_exceeds_elapsed() {
+        let db = db();
+        let plan = scan("T", "t")
+            .filter(Expr::col_cmp_value(1, CmpOp::Lt, Value::int(9)))
+            .sort(vec![SortKey {
+                column: 0,
+                ascending: false,
+            }]);
+        let mut src = open(&db, &plan).unwrap();
+        while let Some(_batch) = src.next_batch().unwrap() {}
+        let profile = src.profile();
+        profile.walk(&mut |p| {
+            assert!(
+                p.metrics.blocked <= p.metrics.elapsed,
+                "{}: blocked {:?} > elapsed {:?}",
+                p.operator,
+                p.metrics.blocked,
+                p.metrics.elapsed
+            );
+            assert_eq!(
+                p.metrics.self_elapsed(),
+                p.metrics.elapsed - p.metrics.blocked
+            );
+        });
+        // The sort waited on its child for at least the child's own time.
+        assert!(profile.metrics.blocked >= profile.children[0].metrics.self_elapsed());
     }
 
     #[test]

@@ -6,13 +6,24 @@
 //! `bench_function`/`bench_with_input`, `BenchmarkId` and `Bencher::iter` —
 //! with a simple wall-clock measurement loop: a short warm-up, then timed
 //! batches until a time budget is spent, reporting the mean per-iteration
-//! time. Numbers are comparable within one run on one machine, which is what
-//! the workspace's A/B benches (hash join vs. nested loop, style ablations)
-//! need.
+//! time (and a median over measurement slices, which is what the
+//! machine-readable summary uses — the median shrugs off a stray slow
+//! slice). Numbers are comparable within one run on one machine, which is
+//! what the workspace's A/B benches (hash join vs. nested loop, style
+//! ablations) need.
+//!
+//! With the `BENCH_JSON` environment variable set to a path,
+//! `criterion_main!` finishes by writing every benchmark's
+//! `{"bench", "median_ns"}` pair there as a JSON array, so CI can track the
+//! perf trajectory without parsing log output.
 
 use std::fmt;
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Results recorded by every finished benchmark, for the JSON summary.
+static RESULTS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
 
 /// Opaque value barrier, re-exported from `std::hint`.
 pub fn black_box<T>(x: T) -> T {
@@ -50,6 +61,8 @@ impl fmt::Display for BenchmarkId {
 pub struct Bencher {
     /// Mean wall-clock time of one iteration, filled in by [`Bencher::iter`].
     mean: Duration,
+    /// Median of the measurement slices' per-iteration means.
+    median: Duration,
     /// Iterations actually measured.
     iterations: u64,
 }
@@ -57,34 +70,56 @@ pub struct Bencher {
 /// Per-iteration time budget: keep each benchmark around this long.
 const MEASURE_BUDGET: Duration = Duration::from_millis(300);
 const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+/// Measurement slices the budget is split into (their per-iteration means
+/// are what the median is taken over).
+const SLICES: u32 = 9;
 
 impl Bencher {
     fn new() -> Bencher {
         Bencher {
             mean: Duration::ZERO,
+            median: Duration::ZERO,
             iterations: 0,
         }
     }
 
     /// Time the closure: warm up briefly, then run timed iterations until the
-    /// measurement budget is spent.
+    /// measurement budget is spent, in up to [`SLICES`] slices whose
+    /// per-iteration means yield the reported median. Slices stop early once
+    /// the whole budget is gone, so a routine slower than the per-slice
+    /// budget (one slice = one iteration) costs the same total time as
+    /// before, just with fewer median samples.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         let warmup_start = Instant::now();
-        let mut warmup_iters: u64 = 0;
         while warmup_start.elapsed() < WARMUP_BUDGET {
             black_box(routine());
-            warmup_iters += 1;
         }
-        let start = Instant::now();
+        let slice_budget = MEASURE_BUDGET / SLICES;
+        let mut slice_means: Vec<Duration> = Vec::with_capacity(SLICES as usize);
+        let mut total = Duration::ZERO;
         let mut iters: u64 = 0;
-        while start.elapsed() < MEASURE_BUDGET {
-            black_box(routine());
-            iters += 1;
+        for _ in 0..SLICES {
+            let start = Instant::now();
+            let mut slice_iters: u64 = 0;
+            loop {
+                black_box(routine());
+                slice_iters += 1;
+                if start.elapsed() >= slice_budget {
+                    break;
+                }
+            }
+            let elapsed = start.elapsed();
+            slice_means.push(elapsed / slice_iters.max(1) as u32);
+            total += elapsed;
+            iters += slice_iters;
+            if total >= MEASURE_BUDGET {
+                break;
+            }
         }
-        let elapsed = start.elapsed();
+        slice_means.sort();
+        self.median = slice_means[slice_means.len() / 2];
         self.iterations = iters.max(1);
-        self.mean = elapsed / self.iterations as u32;
-        let _ = warmup_iters;
+        self.mean = total / self.iterations as u32;
     }
 }
 
@@ -94,9 +129,37 @@ fn report(group: Option<&str>, name: &str, bench: &Bencher) {
         None => name.to_string(),
     };
     println!(
-        "{full:<60} time: {:>12?}  (n={})",
-        bench.mean, bench.iterations
+        "{full:<60} time: {:>12?}  (median {:?}, n={})",
+        bench.mean, bench.median, bench.iterations
     );
+    RESULTS
+        .lock()
+        .expect("bench results lock")
+        .push((full, bench.median.as_nanos()));
+}
+
+/// Write every recorded benchmark as `[{"bench": …, "median_ns": …}, …]` to
+/// the path in `BENCH_JSON`, if set. Called by `criterion_main!` after all
+/// groups have run; a no-op without the variable.
+pub fn write_json_summary() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("bench results lock");
+    let mut out = String::from("[\n");
+    for (i, (bench, median_ns)) in results.iter().enumerate() {
+        let escaped = bench.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "  {{\"bench\": \"{escaped}\", \"median_ns\": {median_ns}}}{}\n",
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote {} benchmark medians to {path}", results.len());
+    }
 }
 
 /// A named collection of related benchmarks.
@@ -185,12 +248,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Produce a `main` that runs the declared groups.
+/// Produce a `main` that runs the declared groups, then writes the
+/// machine-readable summary when `BENCH_JSON` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_summary();
         }
     };
 }

@@ -1,0 +1,280 @@
+//! Acceptance tests for morsel-driven parallel execution: every paper query
+//! must produce byte-identical results and row order at any parallelism
+//! degree, per-worker counters must aggregate to the single-threaded
+//! totals, `EXPLAIN` must render `[workers=N]`, and the narration must say
+//! both how the plan was parallelized and why it sometimes was not.
+
+use datastore::exec::{execute_with_stats, PlanProfile};
+use datastore::sample::{movie_database, scaled_movie_database, ScaleConfig};
+use sqlparse::parse_query;
+use talkback::{plan_query_with, PlannerOptions};
+use templates::Lexicon;
+
+/// The paper's nine example queries (same SQL as the bench fixtures).
+const PAPER_QUERIES: &[&str] = &[
+    "select m.title from MOVIES m, CAST c, ACTOR a \
+     where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
+    "select a.name, m.title from MOVIES m, CAST c, ACTOR a, DIRECTED r, DIRECTOR d, GENRE g \
+     where m.id = c.mid and c.aid = a.id and m.id = r.mid and r.did = d.id \
+       and m.id = g.mid and d.name = 'G. Loucas' and g.genre = 'action'",
+    "select a1.name, a2.name from MOVIES m, CAST c1, ACTOR a1, CAST c2, ACTOR a2 \
+     where m.id = c1.mid and c1.aid = a1.id and m.id = c2.mid and c2.aid = a2.id \
+       and a1.id > a2.id",
+    "select m.title from MOVIES m, CAST c where m.id = c.mid and c.role = m.title",
+    "select m.title from MOVIES m where m.id in ( \
+        select c.mid from CAST c where c.aid in ( \
+            select a.id from ACTOR a where a.name = 'Brad Pitt'))",
+    "select m.title from MOVIES m where not exists ( \
+        select * from GENRE g1 where not exists ( \
+            select * from GENRE g2 where g2.mid = m.id and g2.genre = g1.genre))",
+    "select m.id, m.title, count(*) from MOVIES m, CAST c where m.id = c.mid \
+     group by m.id, m.title having 1 < (select count(*) from GENRE g where g.mid = m.id)",
+    "select a.id, a.name from MOVIES m, CAST c, ACTOR a \
+     where m.id = c.mid and c.aid = a.id \
+     group by a.id, a.name having count(distinct m.year) = 1",
+    "select a.name from MOVIES m, CAST c, ACTOR a where m.id = c.mid and c.aid = a.id \
+     and m.year <= all (select m1.year from MOVIES m1, MOVIES m2 \
+     where m1.title = m.title and m2.title = m.title and m1.id <> m2.id)",
+];
+
+/// Options forcing every qualifying region parallel regardless of size.
+fn forced(workers: usize) -> PlannerOptions {
+    PlannerOptions {
+        parallelism: workers,
+        parallel_row_threshold: 0.0,
+        ..PlannerOptions::default()
+    }
+}
+
+fn scaled_db() -> datastore::Database {
+    // ×10 over the paper fixture: big enough to produce several batches and
+    // subquery work, small enough for a fast test suite.
+    scaled_movie_database(ScaleConfig::default())
+}
+
+fn big_scaled_db() -> datastore::Database {
+    // Big enough that the smallest relation (ACTOR, the 3-way join's
+    // driver) yields several ≥1024-row morsels, so the exchange really
+    // spawns multiple workers and the profile/narration report them.
+    scaled_movie_database(ScaleConfig {
+        movies: 5000,
+        actors: 3000,
+        directors: 500,
+        ..ScaleConfig::default()
+    })
+}
+
+#[test]
+fn q1_to_q9_rows_and_order_identical_at_any_parallelism() {
+    let db = scaled_db();
+    for (i, sql) in PAPER_QUERIES.iter().enumerate() {
+        let q = parse_query(sql).unwrap();
+        let baseline = plan_query_with(&db, &q, PlannerOptions::sequential()).unwrap();
+        let (base_rs, _) = execute_with_stats(&db, &baseline.plan).unwrap();
+        for workers in [2, 4, 8] {
+            let planned = plan_query_with(&db, &q, forced(workers)).unwrap();
+            let (rs, _) = execute_with_stats(&db, &planned.plan).unwrap();
+            assert_eq!(
+                base_rs.rows,
+                rs.rows,
+                "Q{} rows/order diverged at parallelism={workers}",
+                i + 1
+            );
+            assert_eq!(base_rs.columns, rs.columns);
+        }
+    }
+}
+
+/// Flatten a profile into (operator, rows_in, rows_out) triples, skipping
+/// the exchange wrappers a parallel plan inserts.
+fn flatten_counters(profile: &PlanProfile) -> Vec<(String, u64, u64)> {
+    let mut out = Vec::new();
+    profile.walk(&mut |p| {
+        if p.operator != "exchange" {
+            out.push((p.operator.clone(), p.metrics.rows_in, p.metrics.rows_out));
+        }
+    });
+    out
+}
+
+#[test]
+fn per_worker_counters_aggregate_to_single_threaded_totals() {
+    let db = big_scaled_db();
+    // The unfiltered 3-way join: every operator sees real volume.
+    let sql = "select m.title from MOVIES m, CAST c, ACTOR a \
+               where m.id = c.mid and c.aid = a.id";
+    let q = parse_query(sql).unwrap();
+    let sequential = plan_query_with(&db, &q, PlannerOptions::sequential()).unwrap();
+    let parallel = plan_query_with(&db, &q, forced(4)).unwrap();
+    let (_, seq_profile) = execute_with_stats(&db, &sequential.plan).unwrap();
+    let (_, par_profile) = execute_with_stats(&db, &parallel.plan).unwrap();
+    // The parallel plan really did parallelize — the profile reports the
+    // workers actually spawned (the 3000-row ACTOR driver yields 3
+    // ≥1024-row morsels, so 3 of the 4 requested threads ran).
+    let mut exchanges = 0;
+    par_profile.walk(&mut |p| {
+        if p.operator == "exchange" {
+            exchanges += 1;
+            assert_eq!(p.workers, Some(3));
+        }
+    });
+    assert_eq!(exchanges, 1, "expected exactly one exchange in the plan");
+    // …and, exchange wrappers aside, every operator's rows in/out summed
+    // across workers equals the sequential run exactly.
+    assert_eq!(
+        flatten_counters(&seq_profile),
+        flatten_counters(&par_profile)
+    );
+}
+
+#[test]
+fn explain_renders_workers_and_narration_says_how() {
+    let db = scaled_db();
+    let system = talkback::Talkback::new(db);
+    let sql = "explain select m.title from MOVIES m, CAST c, ACTOR a \
+               where m.id = c.mid and c.aid = a.id";
+    let e = system.explain_plan_with(sql, forced(4)).unwrap();
+    assert!(
+        e.tree.contains("exchange: morsels over"),
+        "tree missing exchange: {}",
+        e.tree
+    );
+    assert!(
+        e.tree.contains("[workers=4]"),
+        "tree missing workers tag: {}",
+        e.tree
+    );
+    assert!(
+        e.narration.contains("into morsels across four workers"),
+        "narration missing the parallel decision: {}",
+        e.narration
+    );
+    assert!(
+        e.narration
+            .contains("will run that pipeline across four workers"),
+        "narration missing the exchange step: {}",
+        e.narration
+    );
+}
+
+#[test]
+fn explain_analyze_reports_gathered_rows_and_speedup() {
+    let db = big_scaled_db();
+    let system = talkback::Talkback::new(db);
+    let sql = "explain analyze select m.title from MOVIES m, CAST c, ACTOR a \
+               where m.id = c.mid and c.aid = a.id";
+    let e = system.explain_plan_with(sql, forced(4)).unwrap();
+    assert!(e.analyzed);
+    // The narration reports the threads that actually ran (3 morsels from
+    // the 3000-row ACTOR driver), not the requested degree.
+    assert!(
+        e.narration
+            .contains("ran that pipeline across three workers"),
+        "analyzed narration missing the exchange step: {}",
+        e.narration
+    );
+    assert!(
+        e.narration.contains("The parallel section did"),
+        "analyzed narration missing the speedup report: {}",
+        e.narration
+    );
+}
+
+#[test]
+fn small_tables_stay_sequential_and_the_narration_says_why() {
+    // The ten-movie paper fixture is far under the default 1024-row bar:
+    // with many workers available the planner must still decline, and say
+    // so in English.
+    let db = movie_database();
+    let system = talkback::Talkback::new(db);
+    let options = PlannerOptions {
+        parallelism: 8,
+        ..PlannerOptions::default()
+    };
+    let e = system
+        .explain_plan_with(
+            "explain select m.title from MOVIES m where m.year > 2000",
+            options,
+        )
+        .unwrap();
+    assert!(
+        !e.tree.contains("exchange"),
+        "ten rows must not be parallelized: {}",
+        e.tree
+    );
+    assert!(
+        e.narration.contains("so I kept it on one thread"),
+        "narration missing the declined-parallelism sentence: {}",
+        e.narration
+    );
+    assert!(e.narration.contains("under my 1024-row bar"));
+}
+
+#[test]
+fn parallel_apply_is_recorded_and_agrees_with_sequential() {
+    let db = scaled_db();
+    // Decorrelation off forces the correlated EXISTS through an Apply whose
+    // per-binding evaluations fan out.
+    let sql = "select m.title from MOVIES m where exists \
+               (select * from CAST c where c.mid = m.id)";
+    let q = parse_query(sql).unwrap();
+    let sequential = plan_query_with(
+        &db,
+        &q,
+        PlannerOptions {
+            decorrelate_subqueries: false,
+            ..PlannerOptions::sequential()
+        },
+    )
+    .unwrap();
+    let parallel = plan_query_with(
+        &db,
+        &q,
+        PlannerOptions {
+            decorrelate_subqueries: false,
+            parallel_row_threshold: 0.0,
+            parallelism: 4,
+            ..PlannerOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(parallel.decisions.iter().any(|d| matches!(
+        d,
+        talkback::PlanDecision::Parallel {
+            parallelized: true,
+            ..
+        }
+    )));
+    let (seq_rs, _) = execute_with_stats(&db, &sequential.plan).unwrap();
+    let (par_rs, par_profile) = execute_with_stats(&db, &parallel.plan).unwrap();
+    assert_eq!(seq_rs.rows, par_rs.rows);
+    let mut saw_parallel_apply = false;
+    par_profile.walk(&mut |p| {
+        if p.operator == "apply" && p.workers == Some(4) {
+            saw_parallel_apply = true;
+        }
+    });
+    assert!(saw_parallel_apply, "apply should fan out its evaluations");
+}
+
+#[test]
+fn explain_golden_parallel_plan_tree() {
+    let db = scaled_db();
+    let system = talkback::Talkback::new(db);
+    let e = system
+        .explain_plan_with(
+            "explain select c.role from CAST c where c.aid > 0",
+            forced(2),
+        )
+        .unwrap();
+    assert_eq!(
+        e.tree,
+        "exchange: morsels over CAST as c  [workers=2]  [est=300]\n\
+         └─ project: c.role  [est=300]\n\
+         \u{20}\u{20}\u{20}└─ filter: c.aid > 0  [est=300]\n\
+         \u{20}\u{20}\u{20}\u{20}\u{20}\u{20}└─ scan: CAST as c  [est=300]\n",
+        "parallel plan tree changed:\n{}",
+        e.tree
+    );
+    let _ = Lexicon::movie_domain();
+}
