@@ -1,0 +1,108 @@
+//! Experiment C-IDX: index access paths vs. full scans, on the ×100
+//! (1000 movies / 3000 casting credits / 600 actors) and ×1000
+//! (10,000 / 30,000 / 6,000) movie databases.
+//!
+//! Three A/B shapes, each planned with `use_indexes` on and off:
+//!
+//! * `point` — a PK point lookup (`m.id = k`): the automatic `pk_movies`
+//!   index vs. scanning every movie. The acceptance target is ≥20× on the
+//!   ×1000 database.
+//! * `range` — a selective year range (`m.year >= 2023`, ~3% of rows)
+//!   through a `CREATE INDEX`-style ordered index vs. scan + filter.
+//! * `inlj` — the Q1 shape (one actor's movies): index-nested-loop probes
+//!   into CAST (via an ordered index on `aid`) and MOVIES (via its PK) vs.
+//!   building hash tables over both.
+//!
+//! Every pair asserts byte-identical rows before timing — the access path
+//! must never change the answer, only the speed.
+//!
+//! Run with `BENCH_JSON=BENCH_indexes.json` to emit the `{bench,
+//! median_ns}` summary CI tracks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datastore::exec::execute;
+use datastore::sample::{scaled_movie_database, ScaleConfig};
+use datastore::{Database, IndexDef, IndexKind};
+use sqlparse::parse_query;
+use talkback::{plan_query_with, PlannerOptions};
+
+fn options(use_indexes: bool) -> PlannerOptions {
+    PlannerOptions {
+        use_indexes,
+        ..PlannerOptions::sequential()
+    }
+}
+
+fn db_at(scale: usize) -> Database {
+    let mut db = scaled_movie_database(ScaleConfig {
+        movies: 10 * scale,
+        actors: 6 * scale,
+        directors: 2 * scale,
+        ..ScaleConfig::default()
+    });
+    db.create_index(IndexDef {
+        name: "idx_movies_year".into(),
+        table: "MOVIES".into(),
+        column: "year".into(),
+        kind: IndexKind::Ordered,
+    })
+    .expect("year index builds");
+    db.create_index(IndexDef {
+        name: "idx_cast_aid".into(),
+        table: "CAST".into(),
+        column: "aid".into(),
+        kind: IndexKind::Ordered,
+    })
+    .expect("cast.aid index builds");
+    db
+}
+
+fn bench_indexes(c: &mut Criterion) {
+    for scale in [100usize, 1000] {
+        let db = db_at(scale);
+        db.analyze();
+        let point = format!(
+            "select m.title from MOVIES m where m.id = {}",
+            5 * scale as i64
+        );
+        let range = "select m.title from MOVIES m where m.year >= 2023".to_string();
+        // One actor's movies: the outer side is a single row, so the planner
+        // probes `idx_cast_aid` and `pk_movies` instead of hash-building.
+        let actor_name = db.table("ACTOR").expect("ACTOR exists").rows()[0]
+            .get(1)
+            .expect("name column")
+            .to_string();
+        let inlj = format!(
+            "select m.title from ACTOR a, CAST c, MOVIES m \
+             where a.name = '{actor_name}' and c.aid = a.id and m.id = c.mid"
+        );
+        for (name, sql) in [("point", &point), ("range", &range), ("inlj", &inlj)] {
+            let query = parse_query(sql).expect("query parses");
+            let indexed = plan_query_with(&db, &query, options(true))
+                .expect("indexed plan")
+                .plan;
+            let scanned = plan_query_with(&db, &query, options(false))
+                .expect("scan plan")
+                .plan;
+            // Sanity: identical rows and order — the A/B must only differ in
+            // access path, never in answer.
+            assert_eq!(
+                execute(&db, &indexed).expect("indexed runs").rows,
+                execute(&db, &scanned).expect("scan runs").rows,
+                "indexed and scan plans diverged for {name} at x{scale}"
+            );
+
+            let mut group = c.benchmark_group(format!("indexes_{name}_x{scale}"));
+            group.bench_with_input(BenchmarkId::new("access", "index"), &indexed, |b, p| {
+                b.iter(|| execute(&db, p).unwrap())
+            });
+            group.bench_with_input(BenchmarkId::new("access", "scan"), &scanned, |b, p| {
+                b.iter(|| execute(&db, p).unwrap())
+            });
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_indexes);
+criterion_main!(benches);

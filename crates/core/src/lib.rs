@@ -186,6 +186,65 @@ impl Talkback {
         Ok(execute(&self.db, &planned.plan)?)
     }
 
+    /// Execute an index DDL statement (`CREATE INDEX` / `DROP INDEX`) and
+    /// confirm what was done in the system's own voice — commands deserve
+    /// talk-back too (§3.1). Returns the confirmation sentence.
+    pub fn execute_ddl(&mut self, sql: &str) -> Result<String, TalkbackError> {
+        use datastore::{IndexDef, IndexKind};
+        match sqlparse::parse_statement(sql)? {
+            sqlparse::ast::Statement::CreateIndex(ci) => {
+                let kind = if ci.hash {
+                    IndexKind::Hash
+                } else {
+                    IndexKind::Ordered
+                };
+                let entries = self.db.create_index(IndexDef {
+                    name: ci.name.clone(),
+                    table: ci.table.clone(),
+                    column: ci.column.clone(),
+                    kind,
+                })?;
+                let keys = self
+                    .db
+                    .find_index(&ci.name)
+                    .map(|(_, idx)| idx.key_count())
+                    .unwrap_or(0);
+                let concept = self.queries.lexicon().concept(&ci.table);
+                let noun = nlg::pluralize(&concept);
+                Ok(nlg::finish_sentence(&format!(
+                    "I built the {} index {} over {}({}): {} {} indexed under {} distinct \
+                     value{}, so I can now look {} up by {} instead of scanning",
+                    kind.sql(),
+                    ci.name,
+                    ci.table,
+                    ci.column,
+                    nlg::count_phrase(entries),
+                    if entries == 1 { &concept } else { &noun },
+                    nlg::count_phrase(keys),
+                    if keys == 1 { "" } else { "s" },
+                    noun,
+                    ci.column.to_lowercase()
+                )))
+            }
+            sqlparse::ast::Statement::DropIndex(di) => {
+                let def = self.db.drop_index(&di.name)?;
+                let noun = nlg::pluralize(&self.queries.lexicon().concept(&def.table));
+                Ok(nlg::finish_sentence(&format!(
+                    "I dropped the index {} from {}({}); lookups by {} go back to scanning \
+                     the {}",
+                    def.name,
+                    def.table,
+                    def.column,
+                    def.column.to_lowercase(),
+                    noun
+                )))
+            }
+            _ => Err(TalkbackError::Unsupported(
+                "execute_ddl handles CREATE INDEX and DROP INDEX".into(),
+            )),
+        }
+    }
+
     /// §2: narrate an entity and its related tuples ("Woody Allen …").
     pub fn describe_entity(
         &self,
@@ -277,6 +336,26 @@ mod tests {
             .explain_result("select m.title from MOVIES m where m.year > 2100")
             .unwrap();
         assert_eq!(explanation.rows, 0);
+    }
+
+    #[test]
+    fn index_ddl_executes_and_talks_back() {
+        let mut system = Talkback::new(movie_database());
+        let built = system
+            .execute_ddl("create index idx_year on MOVIES (year)")
+            .unwrap();
+        assert_eq!(
+            built,
+            "I built the ordered index idx_year over MOVIES(year): ten movies indexed \
+             under nine distinct values, so I can now look movies up by year instead of \
+             scanning."
+        );
+        assert!(system.database().find_index("idx_year").is_some());
+        let dropped = system.execute_ddl("drop index idx_year").unwrap();
+        assert!(dropped.contains("go back to scanning the movies"));
+        assert!(system.database().find_index("idx_year").is_none());
+        // Non-index DDL is declined by this entry point.
+        assert!(system.execute_ddl("select * from MOVIES m").is_err());
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Access-path selection: full scan vs. index probe, hash join vs.
+//! index-nested-loop join — decided from the same statistics the join-order
+//! enumerator uses, and recorded as [`PlanDecision::AccessPath`] either way
+//! so the system can *say* why it read a table the way it did ("ACTOR has an
+//! index on id, but the filter keeps ~400 of 600 rows, so I scanned").
+//!
+//! The cost model is deliberately small. A full scan touches every row once,
+//! cheaply; an index probe touches only the matching rows but pays pointer
+//! chasing per row, priced at [`INDEX_PROBE_ROW_COST`] scan-rows each. An
+//! index scan therefore wins when
+//! `matching_rows × INDEX_PROBE_ROW_COST < table_rows`, i.e. below a
+//! selectivity of 1/[`INDEX_PROBE_ROW_COST`]. The same coin prices an
+//! index-nested-loop join: `outer_rows` probes against building a hash table
+//! over `inner_rows` build rows.
+//!
+//! Semantics guard: an access path must return *exactly* the rows the
+//! filter (or hash join) it replaces would have kept. Ordered indexes
+//! compare with `Value::total_cmp` — the same comparison filter predicates
+//! evaluate with — so they are always safe. Hash indexes compare by exact
+//! [`datastore::value::GroupKey`], which distinguishes `3` from `3.0`, so
+//! they are only used when the literal's type equals the column's declared
+//! type and the column cannot hold mixed numerics (a Float column may store
+//! Integers via type coercion; such columns never use hash probes).
+
+use super::cost::{AccessPathKind, Estimator, PlanDecision};
+use super::logical::Relation;
+use datastore::index::IndexBounds;
+use datastore::{DataType, Database, Value};
+use sqlparse::ast::{BinaryOperator, Expr, Literal};
+
+/// Scan-rows one index-probed row costs: an index scan must be at least
+/// this many times more selective than a full scan to be chosen. 4 means
+/// "use the index below 25% selectivity".
+pub const INDEX_PROBE_ROW_COST: f64 = 4.0;
+
+/// An index access path chosen (or considered) for a base-relation scan.
+#[derive(Debug, Clone)]
+pub(super) struct ScanChoice {
+    pub index: String,
+    pub column: String,
+    pub kind: AccessPathKind,
+    pub bounds: IndexBounds,
+    /// True when the index is ordered — the prerequisite for the ORDER BY
+    /// elision peephole (a key-ordered scan).
+    pub ordered: bool,
+    /// Position (in `rel.pushed`) of the conjunct the bounds consume.
+    pub conjunct: usize,
+    /// Estimated rows the probe returns.
+    pub estimated_rows: f64,
+}
+
+/// What access-path selection concluded for one relation scan.
+pub(super) enum ScanPath {
+    /// Probe the index; the consumed conjunct leaves the filter chain.
+    Index(ScanChoice),
+    /// Keep the full scan, but remember the rejected candidate so the
+    /// decision (and its narration) can own up to it.
+    FullScan(ScanChoice),
+}
+
+/// A sargable single-table conjunct: the probed column and its bounds.
+struct Sarg {
+    column: String,
+    bounds: IndexBounds,
+    /// Range probes need an ordered index.
+    needs_range: bool,
+    /// The literal being compared against, for hash-index type checks
+    /// (`None` for BETWEEN, which never uses hash indexes anyway).
+    literal: Option<Value>,
+}
+
+fn literal_value(l: &Literal) -> Value {
+    match l {
+        Literal::Integer(i) => Value::Integer(*i),
+        Literal::Float(f) => Value::Float(*f),
+        Literal::String(s) => Value::Text(s.clone()),
+        Literal::Boolean(b) => Value::Boolean(*b),
+        Literal::Null => Value::Null,
+    }
+}
+
+/// Recognize `column <cmp> literal` (either side) and
+/// `column BETWEEN literal AND literal` as index-probe shapes.
+fn as_sarg(conjunct: &Expr) -> Option<Sarg> {
+    if let Some((col, op, lit)) = conjunct.as_selection_predicate() {
+        let value = literal_value(lit);
+        let (bounds, needs_range) = match op {
+            BinaryOperator::Eq => (IndexBounds::Point(value.clone()), false),
+            BinaryOperator::Lt => (
+                IndexBounds::Range {
+                    lo: None,
+                    hi: Some((value.clone(), false)),
+                },
+                true,
+            ),
+            BinaryOperator::LtEq => (
+                IndexBounds::Range {
+                    lo: None,
+                    hi: Some((value.clone(), true)),
+                },
+                true,
+            ),
+            BinaryOperator::Gt => (
+                IndexBounds::Range {
+                    lo: Some((value.clone(), false)),
+                    hi: None,
+                },
+                true,
+            ),
+            BinaryOperator::GtEq => (
+                IndexBounds::Range {
+                    lo: Some((value.clone(), true)),
+                    hi: None,
+                },
+                true,
+            ),
+            _ => return None,
+        };
+        return Some(Sarg {
+            column: col.column.clone(),
+            bounds,
+            needs_range,
+            literal: Some(value),
+        });
+    }
+    if let Expr::Between {
+        expr,
+        low,
+        high,
+        negated: false,
+    } = conjunct
+    {
+        if let (Expr::Column(c), Expr::Literal(lo), Expr::Literal(hi)) =
+            (expr.as_ref(), low.as_ref(), high.as_ref())
+        {
+            return Some(Sarg {
+                column: c.column.clone(),
+                bounds: IndexBounds::Range {
+                    lo: Some((literal_value(lo), true)),
+                    hi: Some((literal_value(hi), true)),
+                },
+                needs_range: true,
+                literal: None,
+            });
+        }
+    }
+    None
+}
+
+/// True when probing this index returns exactly the rows the equivalent
+/// predicate would keep (see the module docs on hash-index semantics).
+fn probe_is_exact(
+    index_kind: datastore::IndexKind,
+    declared: DataType,
+    literal: Option<&Value>,
+) -> bool {
+    match index_kind {
+        datastore::IndexKind::Ordered => true,
+        datastore::IndexKind::Hash => {
+            // Float columns can hold coerced Integers, whose GroupKey differs
+            // from the equal Float — never hash-probe them.
+            if declared == DataType::Float {
+                return false;
+            }
+            match literal {
+                Some(v) => v.data_type() == Some(declared),
+                None => false,
+            }
+        }
+    }
+}
+
+/// Pick the access path for one base-relation scan: the most selective
+/// sargable conjunct with a usable index, if any, costed against the full
+/// scan. `None` when no pushed conjunct can use any index (nothing to
+/// decide, nothing to narrate).
+pub(super) fn choose_scan_path(
+    db: &Database,
+    estimator: &Estimator,
+    rel: &Relation,
+    base_rows: f64,
+) -> Option<ScanPath> {
+    let table = db.table(&rel.table)?;
+    let stats = db.table_stats(&rel.table)?;
+    let mut best: Option<ScanChoice> = None;
+    for (i, conjunct) in rel.pushed.iter().enumerate() {
+        let Some(sarg) = as_sarg(conjunct) else {
+            continue;
+        };
+        let Some(index) = table.index_on(&sarg.column, sarg.needs_range) else {
+            continue;
+        };
+        let Some(declared) = table.schema().column(&sarg.column).map(|c| c.data_type) else {
+            continue;
+        };
+        if !probe_is_exact(index.def().kind, declared, sarg.literal.as_ref()) {
+            continue;
+        }
+        let estimated_rows = base_rows * estimator.conjunct_selectivity(&stats, conjunct);
+        let better = best
+            .as_ref()
+            .map(|b| estimated_rows < b.estimated_rows)
+            .unwrap_or(true);
+        if better {
+            best = Some(ScanChoice {
+                index: index.def().name.clone(),
+                column: sarg.column.clone(),
+                kind: if sarg.bounds.is_point() {
+                    AccessPathKind::Point
+                } else {
+                    AccessPathKind::Range
+                },
+                bounds: sarg.bounds,
+                ordered: index.supports_range(),
+                conjunct: i,
+                estimated_rows,
+            });
+        }
+    }
+    let choice = best?;
+    if choice.estimated_rows * INDEX_PROBE_ROW_COST <= base_rows {
+        Some(ScanPath::Index(choice))
+    } else {
+        Some(ScanPath::FullScan(choice))
+    }
+}
+
+/// The decision record for a scan-path choice (chosen or rejected).
+pub(super) fn scan_decision(
+    rel: &Relation,
+    choice: &ScanChoice,
+    base_rows: f64,
+    chosen: bool,
+) -> PlanDecision {
+    PlanDecision::AccessPath {
+        alias: rel.alias.clone(),
+        table: rel.table.clone(),
+        index: choice.index.clone(),
+        column: choice.column.clone(),
+        kind: choice.kind,
+        estimated_rows: choice.estimated_rows,
+        table_rows: base_rows,
+        chosen,
+    }
+}
+
+/// An index the inner side of a join step could be probed through.
+pub(super) struct JoinProbe {
+    pub index: String,
+    pub column: String,
+}
+
+/// Consider an index-nested-loop join for a single-edge join step: the
+/// inner relation must be a bare scan (no pushed predicates — they could
+/// not run below the probe) with an exact point-probe index on its join
+/// column. Returns the candidate; the caller does the costing, because the
+/// outer cardinality lives there.
+pub(super) fn join_probe_candidate(
+    db: &Database,
+    rel: &Relation,
+    join_column: &str,
+) -> Option<JoinProbe> {
+    if !rel.pushed.is_empty() {
+        return None;
+    }
+    let table = db.table(&rel.table)?;
+    let index = table.index_on(join_column, false)?;
+    let declared = table.schema().column(join_column).map(|c| c.data_type)?;
+    // The probe values are inner-typed column values from the outer side
+    // (the join-graph edge guaranteed equal declared types). Ordered indexes
+    // compare like SQL; hash indexes need group-key-stable columns — and a
+    // Float column may store coerced Integers, which a hash *join* would
+    // also miss, but an ordered-index probe would match. Keep Float columns
+    // on the hash join so plans stay byte-identical with indexes off.
+    if declared == DataType::Float {
+        return None;
+    }
+    Some(JoinProbe {
+        index: index.def().name.clone(),
+        column: index.def().column.clone(),
+    })
+}
+
+/// True when probing the inner index once per outer row is estimated
+/// cheaper than building a hash table over the inner rows.
+pub(super) fn prefer_index_join(outer_rows: f64, inner_rows: f64) -> bool {
+    outer_rows * INDEX_PROBE_ROW_COST <= inner_rows
+}

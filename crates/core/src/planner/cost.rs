@@ -95,6 +95,36 @@ pub enum PlanDecision {
         /// The correlation columns an `Apply` binds per row, when any.
         correlated_on: Vec<String>,
     },
+    /// How a base relation is read — the access-path choice, recorded
+    /// whether or not the index won so the narration can own up to
+    /// rejections ("ACTOR has an index on id, but the filter keeps ~400 of
+    /// 600 rows, so I scanned").
+    AccessPath {
+        alias: String,
+        table: String,
+        /// The index considered.
+        index: String,
+        /// The indexed column.
+        column: String,
+        kind: AccessPathKind,
+        /// For point/range probes: estimated matching rows. For a
+        /// nested-loop probe: estimated *outer* rows (one probe each).
+        estimated_rows: f64,
+        /// For point/range probes: the relation's row count a full scan
+        /// would read. For a nested-loop probe: the inner rows a hash-join
+        /// build would consume.
+        table_rows: f64,
+        /// True when the index path was chosen over the scan / hash join.
+        chosen: bool,
+    },
+    /// An `ORDER BY` sort skipped because a key-ordered index scan already
+    /// delivers the rows in the requested order.
+    SortElided {
+        alias: String,
+        table: String,
+        index: String,
+        column: String,
+    },
     /// Whether a pipeline (or an apply's per-binding evaluations) was split
     /// across worker threads — and, when it was not, why: the cost-aware
     /// knob only parallelizes work whose estimated driver rows clear a
@@ -117,6 +147,17 @@ pub enum PlanDecision {
         /// True when the plan was actually parallelized.
         parallelized: bool,
     },
+}
+
+/// How an index access path probes its index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPathKind {
+    /// A single-key lookup (`column = literal`).
+    Point,
+    /// A key-range read (`column >= literal`, `BETWEEN`, …).
+    Range,
+    /// Probed once per outer row by an index-nested-loop join.
+    NestedLoopProbe,
 }
 
 /// The two shapes of parallel work the planner can choose.

@@ -30,13 +30,15 @@
 //!    count on every plan node so `EXPLAIN ANALYZE` can show estimates next
 //!    to actuals.
 
+pub mod access;
 pub mod cost;
 pub mod logical;
 pub mod parallel;
 pub mod physical;
 pub mod subquery;
 
-pub use cost::{Alternative, ParallelKind, PlanDecision, SubqueryStrategy};
+pub use access::INDEX_PROBE_ROW_COST;
+pub use cost::{AccessPathKind, Alternative, ParallelKind, PlanDecision, SubqueryStrategy};
 pub use parallel::PARALLEL_ROW_THRESHOLD;
 pub use physical::lower_expr;
 
@@ -70,6 +72,16 @@ pub struct PlannerOptions {
     /// it saves and the plan stays on one thread — with the choice recorded
     /// as a [`PlanDecision::Parallel`] either way.
     pub parallel_row_threshold: f64,
+    /// Consider index access paths — point/range index scans for sargable
+    /// pushed predicates, index-nested-loop joins for tiny outer sides —
+    /// recording a [`PlanDecision::AccessPath`] either way (on by default).
+    /// With it off, every access is a full scan: the A/B baseline the
+    /// byte-identical-results property tests compare against.
+    pub use_indexes: bool,
+    /// Factor by which an estimate must be off (in either direction) before
+    /// `EXPLAIN ANALYZE` flags it in the tree and the narration owns up to
+    /// it. Defaults to [`datastore::exec::MISESTIMATE_FACTOR`] (10×).
+    pub misestimate_factor: f64,
 }
 
 impl Default for PlannerOptions {
@@ -81,6 +93,8 @@ impl Default for PlannerOptions {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
             parallel_row_threshold: PARALLEL_ROW_THRESHOLD,
+            use_indexes: true,
+            misestimate_factor: datastore::exec::MISESTIMATE_FACTOR,
         }
     }
 }
@@ -197,7 +211,8 @@ mod tests {
         fn walk(plan: &Plan, out: &mut Vec<&'static str>) {
             out.push(plan.operator_name());
             match &plan.node {
-                PlanNode::Scan { .. } | PlanNode::Values { .. } => {}
+                PlanNode::Scan { .. } | PlanNode::Values { .. } | PlanNode::IndexScan { .. } => {}
+                PlanNode::IndexNestedLoopJoin { left, .. } => walk(left, out),
                 PlanNode::Filter { input, .. }
                 | PlanNode::Project { input, .. }
                 | PlanNode::Sort { input, .. }
@@ -228,7 +243,13 @@ mod tests {
     fn scan_order(plan: &Plan) -> Vec<String> {
         fn walk(plan: &Plan, out: &mut Vec<String>) {
             match &plan.node {
-                PlanNode::Scan { table, .. } => out.push(table.clone()),
+                PlanNode::Scan { table, .. } | PlanNode::IndexScan { table, .. } => {
+                    out.push(table.clone())
+                }
+                PlanNode::IndexNestedLoopJoin { left, table, .. } => {
+                    walk(left, out);
+                    out.push(table.clone());
+                }
                 PlanNode::HashJoin { left, right, .. }
                 | PlanNode::NestedLoopJoin { left, right, .. }
                 | PlanNode::HashSemiJoin { left, right, .. }
@@ -266,10 +287,31 @@ mod tests {
         .unwrap();
         let planned = plan_query(&db, &q).unwrap();
         let (hash, nested, filters) = count_ops(&planned.plan);
-        assert_eq!(hash, 2, "both equi-joins should lower to hash joins");
+        let names = operator_names(&planned.plan);
+        // ACTOR⋈CAST stays a hash join (CAST's join column has no index);
+        // the final tiny-outer join into MOVIES probes its PK index instead
+        // of building a hash table.
+        assert_eq!(hash, 1, "the unindexed equi-join lowers to a hash join");
+        assert!(
+            names.contains(&"index nested-loop join"),
+            "the MOVIES join should probe pk_movies: {names:?}"
+        );
         assert_eq!(nested, 0, "no cross products left in the plan");
         // The selection on a.name is pushed below the joins onto the scan.
         assert_eq!(filters, 1);
+        // With indexes off, both equi-joins lower to hash joins as before.
+        let baseline = plan_query_with(
+            &db,
+            &q,
+            PlannerOptions {
+                use_indexes: false,
+                ..PlannerOptions::default()
+            },
+        )
+        .unwrap();
+        let (hash, nested, _) = count_ops(&baseline.plan);
+        assert_eq!(hash, 2);
+        assert_eq!(nested, 0);
     }
 
     #[test]
@@ -292,8 +334,13 @@ mod tests {
             Some(PlanDecision::Start { table, .. }) if table == "ACTOR"
         ));
         // The comparison against the written order is recorded, and the
-        // chosen order is no more expensive.
-        match planned.decisions.last() {
+        // chosen order is no more expensive. (Access-path decisions follow
+        // the join-order block, so search rather than index from the end.)
+        let comparison = planned
+            .decisions
+            .iter()
+            .find(|d| matches!(d, PlanDecision::OrderComparison { .. }));
+        match comparison {
             Some(PlanDecision::OrderComparison {
                 chosen_cost,
                 written_cost,
@@ -371,6 +418,7 @@ mod tests {
                 plan.operator_name()
             );
             match &plan.node {
+                PlanNode::IndexNestedLoopJoin { left, .. } => assert_estimated(left),
                 PlanNode::HashJoin { left, right, .. }
                 | PlanNode::NestedLoopJoin { left, right, .. }
                 | PlanNode::HashSemiJoin { left, right, .. }
@@ -390,7 +438,7 @@ mod tests {
                     assert_estimated(input);
                     assert_estimated(subplan);
                 }
-                PlanNode::Scan { .. } | PlanNode::Values { .. } => {}
+                PlanNode::Scan { .. } | PlanNode::Values { .. } | PlanNode::IndexScan { .. } => {}
             }
         }
         assert_estimated(&planned.plan);
@@ -416,7 +464,11 @@ mod tests {
         for sql in queries {
             let q = parse_query(sql).unwrap();
             let planned = plan_query_with(&db, &q, PlannerOptions::sequential()).unwrap();
-            match planned.decisions.last() {
+            let comparison = planned
+                .decisions
+                .iter()
+                .find(|d| matches!(d, PlanDecision::OrderComparison { .. }));
+            match comparison {
                 Some(PlanDecision::OrderComparison {
                     chosen_cost,
                     written_cost,
@@ -428,6 +480,170 @@ mod tests {
                 other => panic!("expected OrderComparison for {sql}, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn point_predicate_on_the_pk_becomes_an_index_scan() {
+        let db = movie_database();
+        let q = parse_query("select m.title from MOVIES m where m.id = 4").unwrap();
+        let planned = plan_query(&db, &q).unwrap();
+        let names = operator_names(&planned.plan);
+        assert!(names.contains(&"index scan"), "plan: {names:?}");
+        assert!(
+            !names.contains(&"filter"),
+            "the probed conjunct must leave the filter chain: {names:?}"
+        );
+        assert!(planned.decisions.iter().any(|d| matches!(
+            d,
+            PlanDecision::AccessPath {
+                index,
+                kind: crate::planner::AccessPathKind::Point,
+                chosen: true,
+                ..
+            } if index == "pk_movies"
+        )));
+        let rs = execute(&db, &planned.plan).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0].get(0).unwrap().to_string(), "Star Quest");
+        // A/B: the same query with indexes off answers identically.
+        let baseline = plan_query_with(
+            &db,
+            &q,
+            PlannerOptions {
+                use_indexes: false,
+                ..PlannerOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(operator_names(&baseline.plan).contains(&"filter"));
+        assert_eq!(execute(&db, &baseline.plan).unwrap().rows, rs.rows);
+    }
+
+    #[test]
+    fn unselective_predicate_rejects_the_index_with_a_recorded_decision() {
+        let db = movie_database();
+        // m.id >= 0 keeps every row: the index exists but loses the costing.
+        let q = parse_query("select m.title from MOVIES m where m.id >= 0").unwrap();
+        let planned = plan_query(&db, &q).unwrap();
+        let names = operator_names(&planned.plan);
+        assert!(names.contains(&"scan"), "full scan kept: {names:?}");
+        assert!(!names.contains(&"index scan"));
+        match planned
+            .decisions
+            .iter()
+            .find(|d| matches!(d, PlanDecision::AccessPath { .. }))
+        {
+            Some(PlanDecision::AccessPath {
+                index,
+                kind,
+                chosen,
+                estimated_rows,
+                table_rows,
+                ..
+            }) => {
+                assert_eq!(index, "pk_movies");
+                assert_eq!(*kind, crate::planner::AccessPathKind::Range);
+                assert!(!chosen, "the unselective probe must be rejected");
+                assert_eq!(*table_rows, 10.0);
+                assert!(*estimated_rows > 2.5, "rejection implies est × 4 > rows");
+            }
+            other => panic!("expected a rejected AccessPath, got {other:?}"),
+        }
+        assert_eq!(execute(&db, &planned.plan).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn large_outer_side_rejects_the_index_nested_loop_join() {
+        let db = movie_database();
+        // Unfiltered Q1 shape: the outer ACTOR⋈CAST side is an estimated 12
+        // rows, so 12 index probes into MOVIES cost more than one 10-row
+        // hash build — the hash join wins, with the rejection on the record.
+        let q = parse_query(
+            "select m.title from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id",
+        )
+        .unwrap();
+        let planned = plan_query(&db, &q).unwrap();
+        let names = operator_names(&planned.plan);
+        assert!(names.contains(&"hash join"));
+        assert!(!names.contains(&"index nested-loop join"));
+        assert!(planned.decisions.iter().any(|d| matches!(
+            d,
+            PlanDecision::AccessPath {
+                table,
+                kind: crate::planner::AccessPathKind::NestedLoopProbe,
+                chosen: false,
+                ..
+            } if table == "MOVIES"
+        )));
+        assert_eq!(execute(&db, &planned.plan).unwrap().len(), 12);
+    }
+
+    #[test]
+    fn order_by_on_an_index_range_scan_elides_the_sort() {
+        use datastore::{IndexDef, IndexKind};
+        let mut db = movie_database();
+        db.create_index(IndexDef {
+            name: "idx_year".into(),
+            table: "MOVIES".into(),
+            column: "year".into(),
+            kind: IndexKind::Ordered,
+        })
+        .unwrap();
+        let q = parse_query(
+            "select m.title, m.year from MOVIES m where m.year >= 2005 order by m.year",
+        )
+        .unwrap();
+        let planned = plan_query(&db, &q).unwrap();
+        let names = operator_names(&planned.plan);
+        assert!(names.contains(&"index scan"), "plan: {names:?}");
+        assert!(
+            !names.contains(&"sort"),
+            "the key-ordered range scan makes the sort redundant: {names:?}"
+        );
+        assert!(planned
+            .decisions
+            .iter()
+            .any(|d| matches!(d, PlanDecision::SortElided { index, .. } if index == "idx_year")));
+        let rs = execute(&db, &planned.plan).unwrap();
+        // Byte-identical to the sorted full-scan baseline.
+        let baseline = plan_query_with(
+            &db,
+            &q,
+            PlannerOptions {
+                use_indexes: false,
+                ..PlannerOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(operator_names(&baseline.plan).contains(&"sort"));
+        assert_eq!(rs.rows, execute(&db, &baseline.plan).unwrap().rows);
+        assert_eq!(rs.rows[0].get(1).unwrap().to_string(), "2005");
+        // A descending order keeps its sort (a key-ordered scan would
+        // reverse ties too).
+        let desc = parse_query(
+            "select m.title, m.year from MOVIES m where m.year >= 2005 order by m.year desc",
+        )
+        .unwrap();
+        let planned = plan_query(&db, &desc).unwrap();
+        assert!(operator_names(&planned.plan).contains(&"sort"));
+    }
+
+    #[test]
+    fn index_scans_apply_inside_subquery_blocks() {
+        let db = movie_database();
+        // The semi-join build side has its own sargable point predicate on
+        // GENRE? GENRE has no single-column PK; use MOVIES inside the
+        // subquery instead.
+        let q = parse_query(
+            "select c.aid from CAST c where c.mid in \
+             (select m.id from MOVIES m where m.id = 6)",
+        )
+        .unwrap();
+        let planned = plan_query(&db, &q).unwrap();
+        assert!(operator_names(&planned.plan).contains(&"index scan"));
+        let rs = execute(&db, &planned.plan).unwrap();
+        assert_eq!(rs.len(), 2, "Troy has two casting credits");
     }
 
     #[test]

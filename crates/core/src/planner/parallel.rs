@@ -96,7 +96,22 @@ fn descend(
 ) -> Plan {
     let est = plan.estimated_rows;
     let node = match plan.node {
-        leaf @ (PlanNode::Scan { .. } | PlanNode::Values { .. }) => leaf,
+        leaf @ (PlanNode::Scan { .. } | PlanNode::Values { .. } | PlanNode::IndexScan { .. }) => {
+            leaf
+        }
+        PlanNode::IndexNestedLoopJoin {
+            left,
+            table,
+            alias,
+            index,
+            left_key,
+        } => PlanNode::IndexNestedLoopJoin {
+            left: Box::new(transform(*left, options, decisions, prefix_bounded)),
+            table,
+            alias,
+            index,
+            left_key,
+        },
         PlanNode::Filter { input, predicate } => PlanNode::Filter {
             input: Box::new(transform(*input, options, decisions, prefix_bounded)),
             predicate,
@@ -243,6 +258,11 @@ fn descend(
 fn is_pipeline_subtree(plan: &Plan) -> bool {
     match &plan.node {
         PlanNode::Scan { .. } | PlanNode::Values { .. } => true,
+        // A key-ordered index scan exists to *preserve* an order a sort was
+        // elided for; morsel gathering would destroy it, so it is not
+        // pipeline material. Position-ordered index scans partition fine.
+        PlanNode::IndexScan { key_order, .. } => !key_order,
+        PlanNode::IndexNestedLoopJoin { left, .. } => is_pipeline_subtree(left),
         PlanNode::Filter { input, .. } | PlanNode::Project { input, .. } => {
             is_pipeline_subtree(input)
         }
@@ -269,7 +289,13 @@ fn is_pipeline_subtree(plan: &Plan) -> bool {
 /// stored-table scan or carries no estimate.
 fn driver_scan(plan: &Plan) -> Option<(String, f64)> {
     match &plan.node {
-        PlanNode::Scan { table, alias } => {
+        PlanNode::Scan { table, alias }
+        | PlanNode::IndexScan {
+            table,
+            alias,
+            key_order: false,
+            ..
+        } => {
             let desc = if alias.eq_ignore_ascii_case(table) {
                 table.clone()
             } else {
@@ -281,7 +307,8 @@ fn driver_scan(plan: &Plan) -> Option<(String, f64)> {
         PlanNode::NestedLoopJoin { left, .. }
         | PlanNode::HashJoin { left, .. }
         | PlanNode::HashSemiJoin { left, .. }
-        | PlanNode::HashAntiJoin { left, .. } => driver_scan(left),
+        | PlanNode::HashAntiJoin { left, .. }
+        | PlanNode::IndexNestedLoopJoin { left, .. } => driver_scan(left),
         PlanNode::ScalarSubquery { input, .. } => driver_scan(input),
         _ => None,
     }
@@ -306,7 +333,8 @@ mod tests {
                 *n += 1;
             }
             match &plan.node {
-                PlanNode::Scan { .. } | PlanNode::Values { .. } => {}
+                PlanNode::Scan { .. } | PlanNode::Values { .. } | PlanNode::IndexScan { .. } => {}
+                PlanNode::IndexNestedLoopJoin { left, .. } => walk(left, n),
                 PlanNode::Filter { input, .. }
                 | PlanNode::Project { input, .. }
                 | PlanNode::Sort { input, .. }

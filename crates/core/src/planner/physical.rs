@@ -9,7 +9,8 @@
 //! locally are resolved against the enclosing [`ScopeChain`] as correlation
 //! parameters.
 
-use super::cost::{Estimator, JoinOrder};
+use super::access::{self, ScanPath};
+use super::cost::{AccessPathKind, Estimator, JoinOrder, PlanDecision};
 use super::logical::{ref_alias, JoinGraph};
 use super::subquery::ScopeChain;
 use crate::error::TalkbackError;
@@ -61,10 +62,18 @@ pub(super) fn lower_select(
     having_subs: &[Expr],
     project: bool,
 ) -> Result<(Plan, Vec<ColumnInfo>), TalkbackError> {
+    let use_indexes = scopes.ctx().options.use_indexes;
+    // Access paths chosen per relation, for the ORDER BY elision peephole:
+    // (alias, index, column, plan-tree setter applies) — only ordered-index
+    // scans qualify.
+    let mut ordered_scans: Vec<(String, String, String)> = Vec::new();
+
     // 1. Scans with pushed predicates (one filter operator per conjunct, so
     //    instrumentation can blame an individual condition), estimates
-    //    attached progressively.
-    let scan_with_pushdown = |rel_idx: usize| -> Result<(Plan, Vec<ColumnInfo>), TalkbackError> {
+    //    attached progressively. With `use_indexes`, the most selective
+    //    sargable conjunct may become an index probe instead — decided
+    //    against the full scan's cost and recorded either way.
+    let relation_columns = |rel_idx: usize| -> Result<Vec<ColumnInfo>, TalkbackError> {
         let rel = &graph.relations[rel_idx];
         let schema = db
             .table(&rel.table)
@@ -74,18 +83,76 @@ pub(super) fn lower_select(
                 })
             })?
             .schema();
-        let columns: Vec<ColumnInfo> = schema
+        Ok(schema
             .columns
             .iter()
             .map(|c| ColumnInfo::qualified(rel.alias.clone(), c.name.clone()))
-            .collect();
-        // The same trace the enumerator costed with annotates the operators.
+            .collect())
+    };
+    let scan_with_pushdown = |rel_idx: usize,
+                              ordered_scans: &mut Vec<(String, String, String)>|
+     -> Result<(Plan, Vec<ColumnInfo>), TalkbackError> {
+        let rel = &graph.relations[rel_idx];
+        let columns = relation_columns(rel_idx)?;
+        // The same trace the enumerator costed with annotates the
+        // operators.
         let (base_rows, trace) = estimator.relation_row_trace(rel);
-        let mut plan = Plan::scan(rel.table.clone(), rel.alias.clone()).with_estimate(base_rows);
-        for (conjunct, rows) in rel.pushed.iter().zip(&trace) {
+        let path = if use_indexes {
+            access::choose_scan_path(db, estimator, rel, base_rows)
+        } else {
+            None
+        };
+        let (mut plan, mut rows, consumed) = match path {
+            Some(ScanPath::Index(choice)) => {
+                scopes
+                    .ctx()
+                    .record_decision(access::scan_decision(rel, &choice, base_rows, true));
+                if choice.ordered {
+                    ordered_scans.push((
+                        rel.alias.clone(),
+                        choice.index.clone(),
+                        choice.column.clone(),
+                    ));
+                }
+                let plan = Plan::index_scan(
+                    rel.table.clone(),
+                    rel.alias.clone(),
+                    choice.index,
+                    choice.bounds,
+                )
+                .with_estimate(choice.estimated_rows);
+                (plan, choice.estimated_rows, Some(choice.conjunct))
+            }
+            Some(ScanPath::FullScan(choice)) => {
+                scopes
+                    .ctx()
+                    .record_decision(access::scan_decision(rel, &choice, base_rows, false));
+                let plan =
+                    Plan::scan(rel.table.clone(), rel.alias.clone()).with_estimate(base_rows);
+                (plan, base_rows, None)
+            }
+            None => {
+                let plan =
+                    Plan::scan(rel.table.clone(), rel.alias.clone()).with_estimate(base_rows);
+                (plan, base_rows, None)
+            }
+        };
+        let stats = db.table_stats(&rel.table);
+        for (i, conjunct) in rel.pushed.iter().enumerate() {
+            if consumed == Some(i) {
+                continue; // This conjunct became the index bounds.
+            }
+            // Progressive estimates: on the full-scan path these are the
+            // enumerator's own trace numbers; below an index probe the
+            // remaining conjuncts scale the probe's output instead.
+            rows = match (consumed, &stats) {
+                (None, _) => trace[i],
+                (Some(_), Some(stats)) => rows * estimator.conjunct_selectivity(stats, conjunct),
+                (Some(_), None) => rows,
+            };
             plan = plan
                 .filter(lower_expr_scoped(conjunct, &columns, bound, Some(scopes))?)
-                .with_estimate(*rows);
+                .with_estimate(rows);
         }
         Ok((plan, columns))
     };
@@ -93,12 +160,53 @@ pub(super) fn lower_select(
     // 2. Joins, in the order the enumerator chose. Each step consumes its
     //    connecting equi-join edges as hash keys; a step with no edge falls
     //    back to a cross product and lets the residual filters sort it out.
-    let (mut plan, mut columns) = scan_with_pushdown(order.steps[0].rel)?;
+    //    A single-edge step whose inner side has a point index may become an
+    //    index-nested-loop join instead, when the outer side is tiny.
+    let (mut plan, mut columns) = scan_with_pushdown(order.steps[0].rel, &mut ordered_scans)?;
     let mut rows = order.steps[0].estimated_rows;
     let mut unresolved_edges: Vec<Expr> = Vec::new();
     for step in &order.steps[1..] {
         let rel = &graph.relations[step.rel];
-        let (right_plan, right_columns) = scan_with_pushdown(step.rel)?;
+        // Index-nested-loop candidate: exactly one equi-join edge into a
+        // bare, point-indexed inner relation.
+        if use_indexes && step.edges.len() == 1 {
+            let (far_rel, far_col, near_col) = graph.edges[step.edges[0]].oriented_for(step.rel);
+            let far_alias = &graph.relations[far_rel].alias;
+            let left_pos = columns
+                .iter()
+                .position(|c| c.matches(Some(far_alias), far_col));
+            if let (Some(probe), Some(left_key)) =
+                (access::join_probe_candidate(db, rel, near_col), left_pos)
+            {
+                let inner_rows = estimator.relation_rows(rel);
+                let chosen = access::prefer_index_join(rows, inner_rows);
+                scopes.ctx().record_decision(PlanDecision::AccessPath {
+                    alias: rel.alias.clone(),
+                    table: rel.table.clone(),
+                    index: probe.index.clone(),
+                    column: probe.column.clone(),
+                    kind: AccessPathKind::NestedLoopProbe,
+                    estimated_rows: rows,
+                    table_rows: inner_rows,
+                    chosen,
+                });
+                if chosen {
+                    let right_columns = relation_columns(step.rel)?;
+                    plan = Plan::index_nested_loop_join(
+                        plan,
+                        rel.table.clone(),
+                        rel.alias.clone(),
+                        probe.index,
+                        left_key,
+                    )
+                    .with_estimate(step.estimated_rows);
+                    rows = step.estimated_rows;
+                    columns.extend(right_columns);
+                    continue;
+                }
+            }
+        }
+        let (right_plan, right_columns) = scan_with_pushdown(step.rel, &mut ordered_scans)?;
         let mut left_keys = Vec::new();
         let mut right_keys = Vec::new();
         for &ei in &step.edges {
@@ -246,13 +354,82 @@ pub(super) fn lower_select(
                 item.expr
             )));
         }
-        plan = plan.sort(keys).with_estimate(rows);
+        // Peephole: a single-table query ordered ascending by the very
+        // column an ordered-index scan probes already arrives in that
+        // order — ask the scan for key-ordered output and skip the sort.
+        // (Ascending only: a key-ordered scan breaks ties in table position
+        // order, exactly like the stable sort it replaces; descending would
+        // reverse the ties too.)
+        let elidable = graph.relations.len() == 1
+            && where_subs.is_empty()
+            && !query.is_aggregate()
+            && having_subs.is_empty()
+            && keys.len() == 1
+            && keys[0].ascending;
+        let ordered_source = elidable
+            .then(|| {
+                let sorted_on = &output_columns[keys[0].column];
+                ordered_scans.iter().find(|(alias, _, column)| {
+                    sorted_on.qualifier.as_deref().map(str::to_ascii_lowercase)
+                        == Some(alias.to_ascii_lowercase())
+                        && sorted_on.name.eq_ignore_ascii_case(column)
+                })
+            })
+            .flatten();
+        if let Some((alias, index, column)) = ordered_source {
+            plan = set_key_order(plan);
+            scopes.ctx().record_decision(PlanDecision::SortElided {
+                alias: alias.clone(),
+                table: graph.relations[0].table.clone(),
+                index: index.clone(),
+                column: column.clone(),
+            });
+        } else {
+            plan = plan.sort(keys).with_estimate(rows);
+        }
     }
     if let Some(limit) = query.limit {
         rows = rows.min(limit as f64);
         plan = plan.limit(limit as usize).with_estimate(rows);
     }
     Ok((plan, output_columns))
+}
+
+/// Switch the index scan at the bottom of a single-table operator chain to
+/// key-ordered output (the ORDER BY elision peephole). Only called on plans
+/// whose spine is filter/project/distinct over the scan.
+fn set_key_order(plan: Plan) -> Plan {
+    let est = plan.estimated_rows;
+    let node = match plan.node {
+        scan @ PlanNode::IndexScan { .. } => {
+            let plan: Plan = scan.into();
+            return match est {
+                Some(e) => plan.with_key_order().with_estimate(e),
+                None => plan.with_key_order(),
+            };
+        }
+        PlanNode::Filter { input, predicate } => PlanNode::Filter {
+            input: Box::new(set_key_order(*input)),
+            predicate,
+        },
+        PlanNode::Project {
+            input,
+            exprs,
+            columns,
+        } => PlanNode::Project {
+            input: Box::new(set_key_order(*input)),
+            exprs,
+            columns,
+        },
+        PlanNode::Distinct { input } => PlanNode::Distinct {
+            input: Box::new(set_key_order(*input)),
+        },
+        other => other, // Unreachable given the peephole's preconditions.
+    };
+    Plan {
+        node,
+        estimated_rows: est,
+    }
 }
 
 /// NDV of a (qualified) joined-output column, from the owning relation's

@@ -208,6 +208,12 @@ impl<'c> SubqueryContext<'c> {
         std::mem::take(&mut self.decisions.borrow_mut())
     }
 
+    /// Record an arbitrary planning decision (the physical layer routes its
+    /// access-path choices here, so subquery blocks report theirs too).
+    pub fn record_decision(&self, decision: PlanDecision) {
+        self.decisions.borrow_mut().push(decision);
+    }
+
     fn record(
         &self,
         construct: &Expr,

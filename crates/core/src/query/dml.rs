@@ -28,6 +28,22 @@ pub fn translate_statement(
             v.name,
             query_narrative.unwrap_or("the given query")
         ))),
+        Statement::CreateIndex(ci) => {
+            let noun = nlg::pluralize(&concept(catalog, lexicon, &ci.table));
+            Some(finish_sentence(&format!(
+                "Build {} index named {} over the {} of the {}, so lookups by {} can jump \
+                 straight to the matching rows instead of scanning every one",
+                if ci.hash { "a hash" } else { "an ordered" },
+                ci.name,
+                ci.column.to_lowercase(),
+                noun,
+                ci.column.to_lowercase()
+            )))
+        }
+        Statement::DropIndex(di) => Some(finish_sentence(&format!(
+            "Remove the index named {}; lookups that used it will fall back to scanning",
+            di.name
+        ))),
     }
 }
 
@@ -166,6 +182,23 @@ mod tests {
         );
         assert!(text.starts_with("Define a view named ACTION_MOVIES"));
         assert!(text.contains("find the action movies"));
+    }
+
+    #[test]
+    fn index_ddl_is_narrated() {
+        let text = translate("create index idx_year on MOVIES (year)");
+        assert_eq!(
+            text,
+            "Build an ordered index named idx_year over the year of the movies, so lookups \
+             by year can jump straight to the matching rows instead of scanning every one."
+        );
+        let text = translate("create index h_name on ACTOR (name) using hash");
+        assert!(text.starts_with("Build a hash index named h_name over the name of the actors"));
+        let text = translate("drop index idx_year");
+        assert_eq!(
+            text,
+            "Remove the index named idx_year; lookups that used it will fall back to scanning."
+        );
     }
 
     #[test]

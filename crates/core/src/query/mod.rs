@@ -30,7 +30,12 @@ use templates::Lexicon;
 pub(crate) fn sole_scan_table(node: &PlanProfile) -> Option<String> {
     let mut tables = Vec::new();
     node.walk(&mut |p| {
-        if p.operator == "scan" {
+        // Index scans and the probe side of an index-nested-loop join read a
+        // base table just like a full scan; they carry the table name as
+        // structured access metadata.
+        if let Some(access) = &p.access {
+            tables.push(access.table.clone());
+        } else if p.operator == "scan" {
             let table = p.detail.split(" as ").next().unwrap_or(&p.detail);
             tables.push(table.to_string());
         }

@@ -83,13 +83,20 @@ pub fn explain_plan_with(
     };
     let planned = crate::planner::plan_query_with(db, &query, options)?;
     let decision_sentences = narrate_decisions(&planned.decisions);
+    let flag = options.misestimate_factor;
     if analyze {
         let (result, profile) = execute_with_stats(db, &planned.plan)?;
         let mut sentences = decision_sentences;
-        sentences.push(narrate_profile(&profile, lexicon, true, Some(result.len())));
+        sentences.push(narrate_profile_with(
+            &profile,
+            lexicon,
+            true,
+            Some(result.len()),
+            flag,
+        ));
         Ok(PlanExplanation {
             analyzed: true,
-            tree: profile.render_tree(true),
+            tree: profile.render_tree_with(true, flag),
             narration: join_sentences(&sentences),
             decisions: planned.decisions,
             profile,
@@ -99,10 +106,10 @@ pub fn explain_plan_with(
         // Opening the plan validates it but reads no rows.
         let profile = describe_plan(db, &planned.plan)?;
         let mut sentences = decision_sentences;
-        sentences.push(narrate_profile(&profile, lexicon, false, None));
+        sentences.push(narrate_profile_with(&profile, lexicon, false, None, flag));
         Ok(PlanExplanation {
             analyzed: false,
-            tree: profile.render_tree(false),
+            tree: profile.render_tree_with(false, flag),
             narration: join_sentences(&sentences),
             decisions: planned.decisions,
             profile,
@@ -138,6 +145,56 @@ pub fn narrate_decisions(decisions: &[PlanDecision]) -> Vec<String> {
                     on.as_deref(),
                     correlated_on,
                 ));
+            }
+            PlanDecision::AccessPath {
+                table,
+                index,
+                column,
+                kind,
+                estimated_rows,
+                table_rows,
+                chosen,
+                ..
+            } => {
+                use crate::planner::AccessPathKind as K;
+                let est = rows_phrase(*estimated_rows);
+                let total = rows_phrase(*table_rows);
+                let text = match (kind, chosen) {
+                    (K::Point, true) => format!(
+                        "I looked {table} up by {column} through the index {index} \
+                         (expecting {est}) instead of scanning all {total}"
+                    ),
+                    (K::Range, true) => format!(
+                        "I read just the matching {column} range of {table} through the \
+                         index {index} — an estimated {est} of its {total}"
+                    ),
+                    (K::Point | K::Range, false) => format!(
+                        "{table} has an index on {column}, but the filter keeps an \
+                         estimated {est} of its {total}, so I scanned the whole table"
+                    ),
+                    (K::NestedLoopProbe, true) => format!(
+                        "I probed {table}'s index on {column} ({index}) once per outer \
+                         row — only {est} expected — instead of building a hash table \
+                         over its {total}"
+                    ),
+                    (K::NestedLoopProbe, false) => format!(
+                        "{table}'s {column} is indexed, but with an estimated {est} on \
+                         the outer side, probing per row would cost more than one hash \
+                         table over its {total}, so I hash-joined"
+                    ),
+                };
+                sentences.push(finish_sentence(&text));
+            }
+            PlanDecision::SortElided {
+                table,
+                index,
+                column,
+                ..
+            } => {
+                sentences.push(finish_sentence(&format!(
+                    "The index {index} already returns the {table} rows in {column} \
+                     order, so I skipped the sort"
+                )));
             }
             PlanDecision::Parallel {
                 kind,
@@ -249,7 +306,10 @@ fn narrate_join_order(decisions: &[PlanDecision]) -> Vec<String> {
             PlanDecision::Start { .. } => start = Some(d),
             PlanDecision::Join { .. } => joins.push(d),
             PlanDecision::OrderComparison { .. } => comparison = Some(d),
-            PlanDecision::Subquery { .. } | PlanDecision::Parallel { .. } => {}
+            PlanDecision::Subquery { .. }
+            | PlanDecision::Parallel { .. }
+            | PlanDecision::AccessPath { .. }
+            | PlanDecision::SortElided { .. } => {}
         }
     }
     let (
@@ -338,6 +398,24 @@ pub fn narrate_profile(
     analyzed: bool,
     result_rows: Option<usize>,
 ) -> String {
+    narrate_profile_with(
+        profile,
+        lexicon,
+        analyzed,
+        result_rows,
+        datastore::exec::MISESTIMATE_FACTOR,
+    )
+}
+
+/// [`narrate_profile`] with an explicit misestimate-flagging threshold
+/// (`PlannerOptions::misestimate_factor`).
+pub fn narrate_profile_with(
+    profile: &PlanProfile,
+    lexicon: &Lexicon,
+    analyzed: bool,
+    result_rows: Option<usize>,
+    misestimate_factor: f64,
+) -> String {
     let mut clauses = Vec::new();
     narrate_node(profile, lexicon, analyzed, &mut clauses);
     let mut sentences = Vec::new();
@@ -354,7 +432,7 @@ pub fn narrate_profile(
         )));
     }
     if analyzed {
-        if let Some(sentence) = worst_misestimate_sentence(profile) {
+        if let Some(sentence) = worst_misestimate_sentence(profile, misestimate_factor) {
             sentences.push(sentence);
         }
         sentences.extend(parallel_speedup_sentences(profile));
@@ -413,11 +491,12 @@ fn parallel_speedup_sentences(profile: &PlanProfile) -> Vec<String> {
 }
 
 /// The sentence owning up to the worst cardinality misestimate (off by more
-/// than 10× in either direction), if any operator has one.
-fn worst_misestimate_sentence(profile: &PlanProfile) -> Option<String> {
+/// than the flagging threshold in either direction), if any operator has
+/// one.
+fn worst_misestimate_sentence(profile: &PlanProfile, flag_factor: f64) -> Option<String> {
     let mut worst: Option<(String, String, f64, u64, f64)> = None;
     profile.walk(&mut |p| {
-        if let Some(factor) = p.misestimate() {
+        if let Some(factor) = p.misestimate_with(flag_factor) {
             let replace = worst.as_ref().map(|w| factor > w.4).unwrap_or(true);
             if replace {
                 worst = Some((
@@ -528,8 +607,12 @@ fn narrate_node(node: &PlanProfile, lexicon: &Lexicon, analyzed: bool, clauses: 
     // The subquery side of an apply / scalar subquery runs inside the
     // operator (per row, or once); narrating its operators inline would read
     // as extra pipeline steps, so only the outer input is walked and the
-    // clause itself names the subquery.
-    let skip_subquery_child = matches!(node.operator.as_str(), "apply" | "scalar subquery");
+    // clause itself names the subquery. The probe side of an index
+    // nested-loop join is likewise not a pipeline step of its own.
+    let skip_subquery_child = matches!(
+        node.operator.as_str(),
+        "apply" | "scalar subquery" | "index nested-loop join"
+    );
     for (i, child) in node.children.iter().enumerate() {
         if skip_subquery_child && i == 1 {
             continue;
@@ -546,6 +629,68 @@ fn narrate_node(node: &PlanProfile, lexicon: &Lexicon, analyzed: bool, clauses: 
                 format!("scanned {} {}", count_phrase(m.rows_out as usize), noun)
             } else {
                 format!("will scan the {noun}")
+            }
+        }
+        "index scan" => {
+            let Some(access) = &node.access else {
+                return; // Unreachable: index scans always carry metadata.
+            };
+            let noun = pluralize(&lexicon.concept(&access.table));
+            let index = &access.index;
+            let predicate = access.predicate.as_deref().unwrap_or("its bounds");
+            if analyzed {
+                let noun_counted = if m.rows_out == 1 {
+                    lexicon.concept(&access.table)
+                } else {
+                    noun.clone()
+                };
+                if access.point {
+                    format!(
+                        "looked up the {} {} with {} through the index {}",
+                        count_phrase(m.rows_out as usize),
+                        noun_counted,
+                        predicate,
+                        index
+                    )
+                } else {
+                    format!(
+                        "read the {} {} in the {} range straight from the index {}",
+                        count_phrase(m.rows_out as usize),
+                        noun_counted,
+                        predicate,
+                        index
+                    )
+                }
+            } else if access.point {
+                format!("will look the {noun} with {predicate} up through the index {index}")
+            } else {
+                format!(
+                    "will read only the {noun} in the {predicate} range through the \
+                     index {index}"
+                )
+            }
+        }
+        "index nested-loop join" => {
+            let partner = node
+                .children
+                .get(1)
+                .and_then(sole_scan_table)
+                .map(|t| pluralize(&lexicon.concept(&t)))
+                .unwrap_or_else(|| "matching rows".to_string());
+            if analyzed {
+                format!(
+                    "fetched the matching {} through their index for each row, into {} \
+                     combination{}",
+                    partner,
+                    count_phrase(m.rows_out as usize),
+                    if m.rows_out == 1 { "" } else { "s" }
+                )
+            } else {
+                format!(
+                    "will fetch the matching {partner} through their index for each row \
+                     ({})",
+                    node.detail
+                )
             }
         }
         "values" => {
@@ -833,9 +978,17 @@ mod tests {
             "join nouns missing from: {}",
             e.narration
         );
+        // The final join probes MOVIES' PK index instead of hash-joining,
+        // and both the decision and the execution narrate it.
         assert!(
-            e.narration.contains("matched them to the movies"),
-            "accumulated join phrase missing from: {}",
+            e.narration
+                .contains("fetched the matching movies through their index"),
+            "index-join phrase missing from: {}",
+            e.narration
+        );
+        assert!(
+            e.narration.contains("I probed MOVIES's index on id"),
+            "access-path decision missing from: {}",
             e.narration
         );
     }
@@ -885,6 +1038,154 @@ mod tests {
             narration.contains("off by about 10×"),
             "narration missing misestimate: {narration}"
         );
+    }
+
+    #[test]
+    fn index_scan_explain_is_golden_and_narrated() {
+        // The acceptance golden: an IndexScan in the tree with its narrated
+        // AccessPath decision.
+        let db = movie_database();
+        let e = explain_plan(
+            &db,
+            &Lexicon::movie_domain(),
+            "explain select m.title from MOVIES m where m.id = 6",
+        )
+        .unwrap();
+        assert_eq!(
+            e.tree,
+            "project: m.title  [est=1]\n\
+             └─ index scan: MOVIES as m [index=pk_movies point m.id = 6]  [est=1]\n"
+        );
+        assert!(
+            e.narration.contains(
+                "I looked MOVIES up by id through the index pk_movies (expecting one row) \
+                 instead of scanning all ten rows."
+            ),
+            "decision narration missing from: {}",
+            e.narration
+        );
+        assert!(
+            e.narration
+                .contains("will look the movies with m.id = 6 up through the index pk_movies"),
+            "plan narration missing from: {}",
+            e.narration
+        );
+        // ANALYZE shows est vs. actual on the probe itself.
+        let e = explain_plan(
+            &db,
+            &Lexicon::movie_domain(),
+            "explain analyze select m.title from MOVIES m where m.id = 6",
+        )
+        .unwrap();
+        assert!(
+            e.tree.contains(
+                "index scan: MOVIES as m [index=pk_movies point m.id = 6]  \
+                           [est=1 actual=1 in=1 batches=1]"
+            ),
+            "est/actual missing from: {}",
+            e.tree
+        );
+        assert!(
+            e.narration
+                .contains("looked up the one movie with m.id = 6 through the index pk_movies"),
+            "executed narration missing from: {}",
+            e.narration
+        );
+    }
+
+    #[test]
+    fn rejected_index_is_narrated_too() {
+        // The acceptance criterion's narrated *rejection*: the index exists,
+        // the filter is unselective, the narration owns up to scanning.
+        let db = movie_database();
+        let e = explain_plan(
+            &db,
+            &Lexicon::movie_domain(),
+            "explain select m.title from MOVIES m where m.id >= 0",
+        )
+        .unwrap();
+        assert!(e.tree.contains("scan: MOVIES as m"));
+        assert!(!e.tree.contains("index scan"));
+        assert!(
+            e.narration.contains(
+                "MOVIES has an index on id, but the filter keeps an estimated ten rows of \
+                 its ten rows, so I scanned the whole table."
+            ),
+            "rejection narration missing from: {}",
+            e.narration
+        );
+    }
+
+    #[test]
+    fn sort_elision_is_narrated() {
+        use datastore::{IndexDef, IndexKind};
+        let mut db = movie_database();
+        db.create_index(IndexDef {
+            name: "idx_year".into(),
+            table: "MOVIES".into(),
+            column: "year".into(),
+            kind: IndexKind::Ordered,
+        })
+        .unwrap();
+        let e = explain_plan(
+            &db,
+            &Lexicon::movie_domain(),
+            "explain analyze select m.title, m.year from MOVIES m \
+             where m.year >= 2005 order by m.year",
+        )
+        .unwrap();
+        assert!(!e.tree.contains("sort:"), "sort still in tree: {}", e.tree);
+        assert!(e.tree.contains("key order"), "tree: {}", e.tree);
+        assert!(
+            e.narration.contains(
+                "The index idx_year already returns the MOVIES rows in year order, so I \
+                 skipped the sort."
+            ),
+            "elision narration missing from: {}",
+            e.narration
+        );
+        assert_eq!(e.result_rows, Some(2));
+    }
+
+    #[test]
+    fn misestimate_factor_knob_tightens_and_loosens_the_flags() {
+        // MOVIES has ten rows; claim the residual-style estimate is 10 but
+        // filter to 8: off by 1.25× — invisible at the default 10×, flagged
+        // with the knob at 1.2.
+        let db = movie_database();
+        let sql = "explain analyze select m.title from MOVIES m where m.year <> 2004";
+        let strict = explain_plan_with(
+            &db,
+            &Lexicon::movie_domain(),
+            sql,
+            crate::planner::PlannerOptions {
+                misestimate_factor: 1.01,
+                ..crate::planner::PlannerOptions::sequential()
+            },
+        )
+        .unwrap();
+        assert!(
+            strict.tree.contains("est off by"),
+            "strict knob must flag small misses: {}",
+            strict.tree
+        );
+        assert!(
+            strict.narration.contains("off by about"),
+            "strict knob must narrate the miss: {}",
+            strict.narration
+        );
+        let lax = explain_plan_with(
+            &db,
+            &Lexicon::movie_domain(),
+            sql,
+            crate::planner::PlannerOptions {
+                misestimate_factor: 1000.0,
+                ..crate::planner::PlannerOptions::sequential()
+            },
+        )
+        .unwrap();
+        assert!(!lax.tree.contains("est off by"));
+        assert!(!lax.narration.contains("off by about"));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::catalog::Catalog;
 use crate::error::StoreError;
+use crate::index::{Index, IndexDef, IndexKind};
 use crate::schema::{ForeignKey, TableSchema};
 use crate::stats::TableStats;
 use crate::table::Table;
@@ -62,12 +63,78 @@ impl Database {
         &mut self.catalog
     }
 
-    /// Create a table from a schema.
+    /// Create a table from a schema. A single-column primary key gets an
+    /// automatic ordered index (`pk_<table>`), so point lookups and
+    /// index-nested-loop joins on the key work without a `CREATE INDEX`.
     pub fn create_table(&mut self, schema: TableSchema) -> Result<(), StoreError> {
         self.catalog.add_table(schema.clone())?;
-        self.tables
-            .insert(Self::key(&schema.name), Arc::new(Table::new(schema)));
+        let mut table = Table::new(schema.clone());
+        // A PK naming a non-existent column has always been silently inert
+        // (`primary_key_indices` skips it); keep that, and keep this
+        // function infallible past `add_table`, by only indexing keys that
+        // resolve. On a fresh table with a resolving column the build
+        // cannot fail.
+        if let [pk_column] = schema.primary_key.as_slice() {
+            if schema.column_index(pk_column).is_some() {
+                table
+                    .create_index(IndexDef {
+                        name: format!("pk_{}", schema.name.to_lowercase()),
+                        table: schema.name.clone(),
+                        column: pk_column.clone(),
+                        kind: IndexKind::Ordered,
+                    })
+                    .expect("auto PK index on a fresh table cannot clash");
+            }
+        }
+        self.tables.insert(Self::key(&schema.name), Arc::new(table));
         Ok(())
+    }
+
+    /// Create a secondary index (`CREATE INDEX`): validates the table and
+    /// column, builds the index from the current rows. Goes through
+    /// [`Arc::make_mut`], so an in-flight query keeps probing the index
+    /// version of its own snapshot. Returns the entry count for talk-back
+    /// confirmations.
+    pub fn create_index(&mut self, def: IndexDef) -> Result<usize, StoreError> {
+        let key = Self::key(&def.table);
+        if !self.tables.contains_key(&key) {
+            return Err(StoreError::UnknownTable {
+                table: def.table.clone(),
+            });
+        }
+        // Index names must be unique database-wide so DROP INDEX can
+        // resolve them without a table name.
+        if let Some((owner, _)) = self.find_index(&def.name) {
+            return Err(StoreError::IndexExists {
+                index: def.name,
+                table: owner.name().to_string(),
+            });
+        }
+        let arc = self.tables.get_mut(&key).expect("checked above");
+        let table = Arc::make_mut(arc);
+        Ok(table.create_index(def)?.len())
+    }
+
+    /// Drop a secondary index by name (`DROP INDEX`), wherever it lives.
+    pub fn drop_index(&mut self, name: &str) -> Result<IndexDef, StoreError> {
+        let owner = self
+            .tables
+            .values()
+            .find(|t| t.index(name).is_some())
+            .map(|t| Self::key(t.name()))
+            .ok_or_else(|| StoreError::UnknownIndex {
+                index: name.to_string(),
+            })?;
+        Arc::make_mut(self.tables.get_mut(&owner).expect("owner exists")).drop_index(name)
+    }
+
+    /// The secondary index `name` lives on, with its table (for DDL
+    /// narration).
+    pub fn find_index(&self, name: &str) -> Option<(&Table, &Index)> {
+        self.tables.values().find_map(|t| {
+            let table = Arc::as_ref(t);
+            table.index(name).map(|i| (table, i))
+        })
     }
 
     /// Declare a foreign key; existing rows are checked for conformance.
@@ -547,6 +614,110 @@ mod tests {
             .unwrap();
         assert_eq!(snapshot.len(), 1, "snapshot must not see the new row");
         assert_eq!(db.table("MOVIES").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn create_table_builds_an_automatic_pk_index() {
+        let db = movie_db();
+        let movies = db.table("MOVIES").unwrap();
+        let pk = movies.index("pk_movies").expect("auto PK index");
+        assert_eq!(pk.def().column, "id");
+        assert!(pk.supports_range());
+        // CAST has no primary key in this fixture, so no auto index.
+        assert!(db.table("CAST").unwrap().indexes().is_empty());
+    }
+
+    #[test]
+    fn bogus_pk_column_does_not_split_catalog_and_tables() {
+        // A primary key naming a non-existent column is silently inert (as
+        // it always was): the table must still be created consistently in
+        // both the catalog and the table map, just without an auto index.
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new("P", vec![ColumnDef::new("id", DataType::Integer)])
+                .with_primary_key(&["nope"]),
+        )
+        .unwrap();
+        assert!(db.catalog().has_table("P"));
+        assert!(db.table("P").unwrap().indexes().is_empty());
+        db.insert("P", vec![Value::int(1)]).unwrap();
+    }
+
+    #[test]
+    fn index_ddl_and_cow_snapshots() {
+        use crate::index::{IndexDef, IndexKind};
+        let mut db = movie_db();
+        for i in 0..10 {
+            db.insert("MOVIES", vec![Value::int(i), Value::text(format!("m{i}"))])
+                .unwrap();
+        }
+        let entries = db
+            .create_index(IndexDef {
+                name: "idx_title".into(),
+                table: "MOVIES".into(),
+                column: "title".into(),
+                kind: IndexKind::Hash,
+            })
+            .unwrap();
+        assert_eq!(entries, 10);
+        let (owner, idx) = db.find_index("idx_title").unwrap();
+        assert_eq!(owner.name(), "MOVIES");
+        assert_eq!(idx.probe_point(&Value::text("m3")), &[3]);
+
+        // Database-wide name uniqueness: the same name on another table is
+        // rejected and rolled back.
+        let err = db
+            .create_index(IndexDef {
+                name: "IDX_TITLE".into(),
+                table: "ACTOR".into(),
+                column: "name".into(),
+                kind: IndexKind::Hash,
+            })
+            .unwrap_err();
+        assert!(matches!(err, StoreError::IndexExists { .. }));
+        assert!(db.table("ACTOR").unwrap().index("idx_title").is_none());
+
+        // A snapshot taken before an insert keeps probing its own index
+        // version: the writer's make_mut copies table *and* indexes.
+        let snapshot = db.table_arc("MOVIES").unwrap();
+        db.insert("MOVIES", vec![Value::int(99), Value::text("m3")])
+            .unwrap();
+        assert_eq!(
+            snapshot
+                .index("idx_title")
+                .unwrap()
+                .probe_point(&Value::text("m3")),
+            &[3],
+            "snapshot index must not see the new row"
+        );
+        assert_eq!(
+            db.table("MOVIES")
+                .unwrap()
+                .index("idx_title")
+                .unwrap()
+                .probe_point(&Value::text("m3")),
+            &[3, 10],
+            "live index sees both rows"
+        );
+
+        // DROP INDEX resolves the owner without a table name.
+        let dropped = db.drop_index("idx_title").unwrap();
+        assert_eq!(dropped.table, "MOVIES");
+        assert!(db.find_index("idx_title").is_none());
+        assert!(matches!(
+            db.drop_index("idx_title").unwrap_err(),
+            StoreError::UnknownIndex { .. }
+        ));
+        assert!(matches!(
+            db.create_index(IndexDef {
+                name: "x".into(),
+                table: "NOPE".into(),
+                column: "id".into(),
+                kind: IndexKind::Hash,
+            })
+            .unwrap_err(),
+            StoreError::UnknownTable { .. }
+        ));
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub enum StoreError {
     ForeignKeyViolation { constraint: String, value: String },
     /// A foreign key declaration references tables/columns that do not exist.
     InvalidForeignKey { constraint: String, reason: String },
+    /// An index with the same name already exists on the table.
+    IndexExists { index: String, table: String },
+    /// Reference to an index that does not exist.
+    UnknownIndex { index: String },
     /// The executor was asked to evaluate something it does not support.
     Unsupported { what: String },
     /// Generic expression-evaluation failure (bad operand types, etc.).
@@ -76,6 +80,10 @@ impl fmt::Display for StoreError {
             StoreError::InvalidForeignKey { constraint, reason } => {
                 write!(f, "invalid foreign key {constraint}: {reason}")
             }
+            StoreError::IndexExists { index, table } => {
+                write!(f, "index '{index}' already exists on table '{table}'")
+            }
+            StoreError::UnknownIndex { index } => write!(f, "unknown index '{index}'"),
             StoreError::Unsupported { what } => write!(f, "unsupported operation: {what}"),
             StoreError::Eval { message } => write!(f, "evaluation error: {message}"),
         }

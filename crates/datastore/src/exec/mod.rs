@@ -36,6 +36,6 @@ pub use executor::{describe_plan, execute, execute_with_stats, ResultSet};
 pub use parallel::{morsel_size, JoinIndex, MORSEL_MIN, PARALLEL_BUILD_MIN};
 pub use plan::{aggregate_output_columns, ApplyMode, ColumnInfo, Plan, PlanNode, SortKey};
 pub use stream::{
-    open, open_owned, ExecContext, OpMetrics, PlanProfile, RowSource, APPLY_CACHE_CAP, BATCH_SIZE,
-    MISESTIMATE_FACTOR,
+    open, open_owned, ExecContext, IndexAccess, OpMetrics, PlanProfile, RowSource, APPLY_CACHE_CAP,
+    BATCH_SIZE, MISESTIMATE_FACTOR,
 };

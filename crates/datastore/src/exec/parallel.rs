@@ -379,7 +379,10 @@ impl ExchangeShared {
 /// the same walk [`open_in`] performs when assigning cell indices.
 fn count_stateful(plan: &Plan, count: &mut usize) {
     match &plan.node {
-        PlanNode::Scan { .. } | PlanNode::Values { .. } => {}
+        PlanNode::Scan { .. } | PlanNode::Values { .. } | PlanNode::IndexScan { .. } => {}
+        // An index nested-loop join has no build side — it probes the shared
+        // table snapshot directly, so there is nothing to share.
+        PlanNode::IndexNestedLoopJoin { left, .. } => count_stateful(left, count),
         PlanNode::Filter { input, .. }
         | PlanNode::Project { input, .. }
         | PlanNode::Sort { input, .. }
@@ -426,13 +429,30 @@ fn count_stateful(plan: &Plan, count: &mut usize) {
 fn find_driver(plan: &Plan) -> Option<(String, String)> {
     match &plan.node {
         PlanNode::Scan { table, alias } => Some((table.clone(), alias.clone())),
+        // A position-ordered index scan partitions by table row range like a
+        // full scan (matches are filtered per morsel); a key-ordered one
+        // must not be partitioned — gathering by morsel would destroy the
+        // key order the planner elided a sort for.
+        PlanNode::IndexScan {
+            table,
+            alias,
+            key_order,
+            ..
+        } => {
+            if *key_order {
+                None
+            } else {
+                Some((table.clone(), alias.clone()))
+            }
+        }
         PlanNode::Filter { input, .. }
         | PlanNode::Project { input, .. }
         | PlanNode::ScalarSubquery { input, .. } => find_driver(input),
         PlanNode::NestedLoopJoin { left, .. }
         | PlanNode::HashJoin { left, .. }
         | PlanNode::HashSemiJoin { left, .. }
-        | PlanNode::HashAntiJoin { left, .. } => find_driver(left),
+        | PlanNode::HashAntiJoin { left, .. }
+        | PlanNode::IndexNestedLoopJoin { left, .. } => find_driver(left),
         PlanNode::Values { .. }
         | PlanNode::Sort { .. }
         | PlanNode::Limit { .. }
@@ -717,6 +737,7 @@ impl RowSource for ExchangeSource {
             } else {
                 Some(self.spawned.unwrap_or(self.workers))
             },
+            access: None,
             children: vec![child],
         }
     }
@@ -887,6 +908,59 @@ mod tests {
         let rs = execute(&db, &agg).unwrap();
         assert_eq!(rs.len(), 1);
         assert_eq!(rs.rows[0].get(0), Some(&Value::int(6000)));
+    }
+
+    #[test]
+    fn exchange_partitions_index_scans_by_position_range() {
+        use crate::index::{IndexBounds, IndexDef, IndexKind};
+        let mut db = big_db(6000);
+        db.create_index(IndexDef {
+            name: "idx_v".into(),
+            table: "T".into(),
+            column: "v".into(),
+            kind: IndexKind::Ordered,
+        })
+        .unwrap();
+        let scan = Plan::index_scan(
+            "T",
+            "t",
+            "idx_v",
+            IndexBounds::Range {
+                lo: Some((Value::int(2), true)),
+                hi: None,
+            },
+        );
+        let sequential = scan.clone();
+        let parallel = scan.exchange(4);
+        let seq = execute(&db, &sequential).unwrap();
+        let (par, profile) = execute_with_stats(&db, &parallel).unwrap();
+        assert_eq!(seq.rows, par.rows, "morsel order must equal position order");
+        assert_eq!(profile.workers, Some(4));
+        // Counters sum to the sequential totals across morsels.
+        assert_eq!(
+            profile.children[0].metrics.rows_out as usize,
+            seq.rows.len()
+        );
+
+        // A key-ordered index scan refuses to partition: pass-through.
+        let keyed = Plan::index_scan(
+            "T",
+            "t",
+            "idx_v",
+            IndexBounds::Range {
+                lo: Some((Value::int(2), true)),
+                hi: None,
+            },
+        )
+        .with_key_order();
+        let (rows_keyed, profile) = execute_with_stats(&db, &keyed.clone()).unwrap();
+        let (rows_exch, exch_profile) = execute_with_stats(&db, &keyed.exchange(4)).unwrap();
+        assert_eq!(rows_keyed.rows, rows_exch.rows);
+        assert_eq!(profile.operator, "index scan");
+        assert_eq!(
+            exch_profile.workers, None,
+            "key-ordered scans must not claim workers"
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::exec::aggregate::AggExpr;
 use crate::expr::{CmpOp, Expr};
+use crate::index::IndexBounds;
 use crate::tuple::Row;
 use crate::value::Value;
 use std::collections::HashMap;
@@ -123,6 +124,31 @@ pub enum PlanNode {
     /// Full scan of a stored table; output columns are the table's columns
     /// qualified with `alias`.
     Scan { table: String, alias: String },
+    /// Index-backed access path: probe `index` with `bounds` and read only
+    /// the matching rows. Output columns are the table's (no index-only
+    /// scans yet). With `key_order` rows come back ascending by the indexed
+    /// key — what an `ORDER BY`-eliding plan wants; without it they come
+    /// back in table position order, byte-identical to the equivalent
+    /// filtered full scan.
+    IndexScan {
+        table: String,
+        alias: String,
+        index: String,
+        bounds: IndexBounds,
+        key_order: bool,
+    },
+    /// Index-nested-loop join: for each left row, probe `index` on the
+    /// stored table with the value at `left_key` and emit the concatenated
+    /// matches (in index insertion order). The planner picks this over a
+    /// hash join when the outer side is tiny and the inner join column is
+    /// indexed — no build side at all.
+    IndexNestedLoopJoin {
+        left: Box<Plan>,
+        table: String,
+        alias: String,
+        index: String,
+        left_key: usize,
+    },
     /// Literal row set (used for uncorrelated subquery results and tests).
     Values {
         columns: Vec<ColumnInfo>,
@@ -312,6 +338,53 @@ impl Plan {
         PlanNode::Values { columns, rows }.into()
     }
 
+    /// Index scan of a stored table (position-ordered output; see
+    /// [`Plan::with_key_order`]).
+    pub fn index_scan(
+        table: impl Into<String>,
+        alias: impl Into<String>,
+        index: impl Into<String>,
+        bounds: IndexBounds,
+    ) -> Plan {
+        PlanNode::IndexScan {
+            table: table.into(),
+            alias: alias.into(),
+            index: index.into(),
+            bounds,
+            key_order: false,
+        }
+        .into()
+    }
+
+    /// Switch an `IndexScan` root to key-ordered output (no-op on other
+    /// operators): the planner's way of marking a scan whose order already
+    /// satisfies the query's `ORDER BY`.
+    pub fn with_key_order(mut self) -> Plan {
+        if let PlanNode::IndexScan { key_order, .. } = &mut self.node {
+            *key_order = true;
+        }
+        self
+    }
+
+    /// Index-nested-loop join: probe `index` on `table` with each left
+    /// row's `left_key` value.
+    pub fn index_nested_loop_join(
+        left: Plan,
+        table: impl Into<String>,
+        alias: impl Into<String>,
+        index: impl Into<String>,
+        left_key: usize,
+    ) -> Plan {
+        PlanNode::IndexNestedLoopJoin {
+            left: Box::new(left),
+            table: table.into(),
+            alias: alias.into(),
+            index: index.into(),
+            left_key,
+        }
+        .into()
+    }
+
     /// Nested-loop join of two plans.
     pub fn nested_loop_join(left: Plan, right: Plan, predicate: Option<Expr>) -> Plan {
         PlanNode::NestedLoopJoin {
@@ -431,6 +504,32 @@ impl Plan {
             PlanNode::Scan { table, alias } => PlanNode::Scan {
                 table: table.clone(),
                 alias: alias.clone(),
+            },
+            PlanNode::IndexScan {
+                table,
+                alias,
+                index,
+                bounds,
+                key_order,
+            } => PlanNode::IndexScan {
+                table: table.clone(),
+                alias: alias.clone(),
+                index: index.clone(),
+                bounds: bounds.clone(),
+                key_order: *key_order,
+            },
+            PlanNode::IndexNestedLoopJoin {
+                left,
+                table,
+                alias,
+                index,
+                left_key,
+            } => PlanNode::IndexNestedLoopJoin {
+                left: Box::new(left.bind_params(bindings)),
+                table: table.clone(),
+                alias: alias.clone(),
+                index: index.clone(),
+                left_key: *left_key,
             },
             PlanNode::Values { columns, rows } => PlanNode::Values {
                 columns: columns.clone(),
@@ -631,7 +730,8 @@ impl Plan {
     /// procedural narrator to describe plan shape).
     pub fn operator_count(&self) -> usize {
         1 + match &self.node {
-            PlanNode::Scan { .. } | PlanNode::Values { .. } => 0,
+            PlanNode::Scan { .. } | PlanNode::Values { .. } | PlanNode::IndexScan { .. } => 0,
+            PlanNode::IndexNestedLoopJoin { left, .. } => left.operator_count(),
             PlanNode::Filter { input, .. }
             | PlanNode::Project { input, .. }
             | PlanNode::Sort { input, .. }
@@ -656,6 +756,8 @@ impl Plan {
     pub fn operator_name(&self) -> &'static str {
         match &self.node {
             PlanNode::Scan { .. } => "scan",
+            PlanNode::IndexScan { .. } => "index scan",
+            PlanNode::IndexNestedLoopJoin { .. } => "index nested-loop join",
             PlanNode::Values { .. } => "values",
             PlanNode::Filter { .. } => "filter",
             PlanNode::Project { .. } => "project",

@@ -29,6 +29,7 @@ use crate::exec::aggregate::{agg_input, Accumulator, AggExpr};
 use crate::exec::parallel::{ExchangeShared, ExchangeSource, JoinIndex, SemiBuild, SharedBuild};
 use crate::exec::plan::{aggregate_output_columns, ApplyMode, ColumnInfo, Plan, PlanNode, SortKey};
 use crate::expr::{CmpOp, Expr};
+use crate::index::IndexBounds;
 use crate::table::Table;
 use crate::tuple::Row;
 use crate::value::{GroupKey, Value};
@@ -159,6 +160,26 @@ fn build_or_share(
     }
 }
 
+/// Structured metadata of an index-backed operator ("index scan", and the
+/// probe side of an index nested-loop join), carried on the profile so
+/// narrations and the §3.1 empty-result detective read fields instead of
+/// parsing the rendered detail string back apart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexAccess {
+    /// Probed table and its tuple-variable alias.
+    pub table: String,
+    pub alias: String,
+    /// Index name.
+    pub index: String,
+    /// True for a point probe, false for a range probe.
+    pub point: bool,
+    /// Rendered probe predicate ("m.id = 5") for index scans; `None` for
+    /// the per-row probe side of an index nested-loop join.
+    pub predicate: Option<String>,
+    /// True when the scan emits rows ascending by key (an elided sort).
+    pub key_order: bool,
+}
+
 /// A snapshot of one operator (and its subtree) after — or before —
 /// execution: the operator name, a human-readable detail string with column
 /// names resolved, and the instrumentation counters.
@@ -179,6 +200,8 @@ pub struct PlanProfile {
     /// Worker threads this operator fans work out across (`None` for plain
     /// sequential operators); rendered as `[workers=N]` in plan trees.
     pub workers: Option<usize>,
+    /// Index access-path metadata, when this operator probes one.
+    pub access: Option<IndexAccess>,
     /// Child profiles (inputs of this operator).
     pub children: Vec<PlanProfile>,
 }
@@ -259,6 +282,12 @@ impl PlanProfile {
     /// factor reaches [`MISESTIMATE_FACTOR`]. Cardinalities are clamped to 1
     /// so "estimated 0, saw 3" compares as 3×, not ∞.
     pub fn misestimate(&self) -> Option<f64> {
+        self.misestimate_with(MISESTIMATE_FACTOR)
+    }
+
+    /// [`PlanProfile::misestimate`] against an explicit flagging threshold —
+    /// how `PlannerOptions::misestimate_factor` reaches the renderer.
+    pub fn misestimate_with(&self, flag_factor: f64) -> Option<f64> {
         let est = self.estimated_rows?.round().max(1.0);
         let actual = (self.metrics.rows_out as f64).max(1.0);
         let factor = if est > actual {
@@ -266,7 +295,7 @@ impl PlanProfile {
         } else {
             actual / est
         };
-        (factor >= MISESTIMATE_FACTOR).then_some(factor)
+        (factor >= flag_factor).then_some(factor)
     }
 
     /// Render the profile as a stable ASCII tree. Every line shows the
@@ -276,12 +305,25 @@ impl PlanProfile {
     /// tree (they are not stable across runs) and live only in
     /// [`OpMetrics`].
     pub fn render_tree(&self, analyze: bool) -> String {
+        self.render_tree_with(analyze, MISESTIMATE_FACTOR)
+    }
+
+    /// [`PlanProfile::render_tree`] with an explicit misestimate-flagging
+    /// threshold.
+    pub fn render_tree_with(&self, analyze: bool, flag_factor: f64) -> String {
         let mut out = String::new();
-        self.render_into(&mut out, "", "", analyze);
+        self.render_into(&mut out, "", "", analyze, flag_factor);
         out
     }
 
-    fn render_into(&self, out: &mut String, prefix: &str, child_prefix: &str, analyze: bool) {
+    fn render_into(
+        &self,
+        out: &mut String,
+        prefix: &str,
+        child_prefix: &str,
+        analyze: bool,
+        flag_factor: f64,
+    ) {
         out.push_str(prefix);
         out.push_str(&self.operator);
         if !self.detail.is_empty() {
@@ -303,7 +345,7 @@ impl PlanProfile {
                     self.metrics.rows_out, self.metrics.rows_in, self.metrics.batches
                 )),
             }
-            if let Some(factor) = self.misestimate() {
+            if let Some(factor) = self.misestimate_with(flag_factor) {
                 out.push_str(&format!("  <-- est off by {factor:.0}x"));
             }
         } else if let Some(est) = est {
@@ -320,6 +362,7 @@ impl PlanProfile {
                 &format!("{child_prefix}{branch}"),
                 &format!("{child_prefix}{cont}"),
                 analyze,
+                flag_factor,
             );
         }
     }
@@ -433,6 +476,54 @@ pub(crate) fn open_in(
                 est,
                 driver_range,
             ))
+        }
+        PlanNode::IndexScan {
+            table,
+            alias,
+            index,
+            bounds,
+            key_order,
+        } => {
+            let t = ctx
+                .table(table)
+                .ok_or_else(|| StoreError::UnknownTable {
+                    table: table.clone(),
+                })?
+                .clone();
+            Box::new(IndexScanSource::open(
+                t,
+                table.clone(),
+                alias.clone(),
+                index,
+                bounds.clone(),
+                *key_order,
+                est,
+                driver_range,
+            )?)
+        }
+        PlanNode::IndexNestedLoopJoin {
+            left,
+            table,
+            alias,
+            index,
+            left_key,
+        } => {
+            let left = open_in(ctx, left, env, driver_range)?;
+            let t = ctx
+                .table(table)
+                .ok_or_else(|| StoreError::UnknownTable {
+                    table: table.clone(),
+                })?
+                .clone();
+            Box::new(IndexNljSource::open(
+                left,
+                t,
+                table.clone(),
+                alias.clone(),
+                index,
+                *left_key,
+                est,
+            )?)
         }
         PlanNode::Values { columns, rows } => Box::new(ValuesSource {
             columns: columns.clone(),
@@ -820,7 +911,344 @@ impl RowSource for ScanSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            access: None,
             children: Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Index scan
+// ---------------------------------------------------------------------------
+
+/// Index-backed access path: probe one secondary index, read only the
+/// matching rows. Matching positions are resolved lazily on the first pull
+/// (opening a plan must read no data), in table position order by default —
+/// so the output is byte-identical to the equivalent filtered full scan —
+/// or ascending by key when the planner elided a sort.
+struct IndexScanSource {
+    table: Arc<Table>,
+    /// Position of the probed index within the table's index list (stable
+    /// for the lifetime of this snapshot).
+    index_pos: usize,
+    bounds: IndexBounds,
+    key_order: bool,
+    columns: Vec<ColumnInfo>,
+    detail: String,
+    access: IndexAccess,
+    /// Matching row positions, resolved on first pull.
+    positions: Option<Vec<usize>>,
+    cursor: usize,
+    /// Morsel restriction over table row positions, when this scan drives an
+    /// exchange pipeline.
+    driver_range: Option<(usize, usize)>,
+    est: Option<f64>,
+    meter: OpMetrics,
+}
+
+impl IndexScanSource {
+    #[allow(clippy::too_many_arguments)]
+    fn open(
+        table: Arc<Table>,
+        table_name: String,
+        alias: String,
+        index: &str,
+        bounds: IndexBounds,
+        key_order: bool,
+        est: Option<f64>,
+        driver_range: Option<(usize, usize)>,
+    ) -> Result<IndexScanSource, StoreError> {
+        let index_pos = table
+            .indexes()
+            .iter()
+            .position(|i| i.def().name.eq_ignore_ascii_case(index))
+            .ok_or_else(|| StoreError::UnknownIndex {
+                index: index.to_string(),
+            })?;
+        let idx = &table.indexes()[index_pos];
+        if !bounds.is_point() && !idx.supports_range() {
+            return Err(StoreError::Eval {
+                message: format!(
+                    "index {} is a hash index and cannot answer a range probe",
+                    idx.def().name
+                ),
+            });
+        }
+        let columns: Vec<ColumnInfo> = table
+            .schema()
+            .columns
+            .iter()
+            .map(|c| ColumnInfo::qualified(alias.clone(), c.name.clone()))
+            .collect();
+        let base = if alias == table_name {
+            table_name.clone()
+        } else {
+            format!("{table_name} as {alias}")
+        };
+        let probed = format!("{}.{}", alias, idx.def().column);
+        let predicate = bounds.describe(&probed);
+        let detail = format!(
+            "{base} [index={} {} {}{}]",
+            idx.def().name,
+            if bounds.is_point() { "point" } else { "range" },
+            predicate,
+            if key_order { ", key order" } else { "" },
+        );
+        let access = IndexAccess {
+            table: table_name,
+            alias,
+            index: idx.def().name.clone(),
+            point: bounds.is_point(),
+            predicate: Some(predicate),
+            key_order,
+        };
+        Ok(IndexScanSource {
+            table,
+            index_pos,
+            bounds,
+            key_order,
+            columns,
+            detail,
+            access,
+            positions: None,
+            cursor: 0,
+            driver_range,
+            est,
+            meter: OpMetrics::default(),
+        })
+    }
+
+    fn resolve(&mut self) -> Result<(), StoreError> {
+        if self.positions.is_some() {
+            return Ok(());
+        }
+        let index = &self.table.indexes()[self.index_pos];
+        let mut positions = index.probe(&self.bounds, self.key_order)?;
+        if let Some((start, end)) = self.driver_range {
+            // Morsel restriction: keep only matches inside this morsel's row
+            // range (the relative order of survivors is unchanged).
+            positions.retain(|&p| p >= start && p < end);
+        }
+        self.positions = Some(positions);
+        Ok(())
+    }
+}
+
+impl RowSource for IndexScanSource {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
+        let start = Instant::now();
+        self.resolve()?;
+        let positions = self.positions.as_ref().expect("resolved above");
+        let result = if self.cursor >= positions.len() {
+            None
+        } else {
+            let end = (self.cursor + BATCH_SIZE).min(positions.len());
+            let rows = self.table.rows();
+            let batch: Vec<Row> = positions[self.cursor..end]
+                .iter()
+                .map(|&p| rows[p].clone())
+                .collect();
+            self.cursor = end;
+            self.meter.rows_in += batch.len() as u64;
+            self.meter.rows_out += batch.len() as u64;
+            self.meter.batches += 1;
+            Some(batch)
+        };
+        self.meter.elapsed += start.elapsed();
+        Ok(result)
+    }
+
+    fn profile(&self) -> PlanProfile {
+        PlanProfile {
+            operator: "index scan".to_string(),
+            detail: self.detail.clone(),
+            columns: self.columns.clone(),
+            estimated_rows: self.est,
+            metrics: self.meter,
+            workers: None,
+            access: Some(self.access.clone()),
+            children: Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Index nested-loop join
+// ---------------------------------------------------------------------------
+
+/// For each left row, probe the inner table's index with the value at
+/// `left_key` and emit the concatenated matches (index insertion order, so
+/// output order is deterministic). There is no build side at all — the
+/// planner's choice when the outer is tiny and building a hash table over
+/// the whole inner would dominate.
+struct IndexNljSource {
+    left: Box<dyn RowSource>,
+    table: Arc<Table>,
+    /// `"TABLE"` or `"TABLE as alias"`, for the probe-side pseudo-profile.
+    inner_desc: String,
+    /// Structured probe metadata for the pseudo-profile.
+    access: IndexAccess,
+    index_pos: usize,
+    left_key: usize,
+    columns: Vec<ColumnInfo>,
+    inner_columns: Vec<ColumnInfo>,
+    detail: String,
+    pending: VecDeque<Row>,
+    done: bool,
+    /// Probes issued (non-NULL left keys).
+    probes: u64,
+    /// Inner rows fetched across all probes.
+    matches: u64,
+    est: Option<f64>,
+    meter: OpMetrics,
+}
+
+impl IndexNljSource {
+    fn open(
+        left: Box<dyn RowSource>,
+        table: Arc<Table>,
+        table_name: String,
+        alias: String,
+        index: &str,
+        left_key: usize,
+        est: Option<f64>,
+    ) -> Result<IndexNljSource, StoreError> {
+        let index_pos = table
+            .indexes()
+            .iter()
+            .position(|i| i.def().name.eq_ignore_ascii_case(index))
+            .ok_or_else(|| StoreError::UnknownIndex {
+                index: index.to_string(),
+            })?;
+        let idx = &table.indexes()[index_pos];
+        let inner_columns: Vec<ColumnInfo> = table
+            .schema()
+            .columns
+            .iter()
+            .map(|c| ColumnInfo::qualified(alias.clone(), c.name.clone()))
+            .collect();
+        let mut columns = left.columns().to_vec();
+        columns.extend(inner_columns.iter().cloned());
+        let left_col = left
+            .columns()
+            .get(left_key)
+            .map(ColumnInfo::to_string)
+            .unwrap_or_else(|| format!("#{left_key}"));
+        let detail = format!(
+            "{left_col} = {}.{} [index={}]",
+            alias,
+            idx.def().column,
+            idx.def().name
+        );
+        let inner_desc = if alias == table_name {
+            table_name.clone()
+        } else {
+            format!("{table_name} as {alias}")
+        };
+        let access = IndexAccess {
+            table: table_name,
+            alias,
+            index: idx.def().name.clone(),
+            point: true,
+            predicate: None,
+            key_order: false,
+        };
+        Ok(IndexNljSource {
+            left,
+            table,
+            inner_desc,
+            access,
+            index_pos,
+            left_key,
+            columns,
+            inner_columns,
+            detail,
+            pending: VecDeque::new(),
+            done: false,
+            probes: 0,
+            matches: 0,
+            est,
+            meter: OpMetrics::default(),
+        })
+    }
+}
+
+impl RowSource for IndexNljSource {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
+        let start = Instant::now();
+        while self.pending.len() < BATCH_SIZE && !self.done {
+            match timed_pull(&mut self.left, &mut self.meter.blocked)? {
+                None => self.done = true,
+                Some(batch) => {
+                    self.meter.rows_in += batch.len() as u64;
+                    let index = &self.table.indexes()[self.index_pos];
+                    let rows = self.table.rows();
+                    for lr in &batch {
+                        let probe = lr.get(self.left_key).cloned().unwrap_or(Value::Null);
+                        if probe.is_null() {
+                            continue; // SQL equality never matches NULL.
+                        }
+                        self.probes += 1;
+                        for &pos in index.probe_point(&probe) {
+                            self.matches += 1;
+                            self.pending.push_back(lr.concat(&rows[pos]));
+                        }
+                    }
+                }
+            }
+        }
+        let result = drain_pending(&mut self.pending, &mut self.meter);
+        self.meter.elapsed += start.elapsed();
+        Ok(result)
+    }
+
+    fn profile(&self) -> PlanProfile {
+        let index = &self.table.indexes()[self.index_pos];
+        // The probe side is not an operator of its own (there is no build),
+        // but the profile still shows it as a child so narrations and the
+        // empty-result detective can see both sides of the join.
+        let tally = if self.probes > 0 {
+            format!(
+                " ({} probe{}, {} match{})",
+                self.probes,
+                if self.probes == 1 { "" } else { "s" },
+                self.matches,
+                if self.matches == 1 { "" } else { "es" },
+            )
+        } else {
+            String::new()
+        };
+        let probe_side = PlanProfile {
+            operator: "index probe".to_string(),
+            detail: format!("{} [index={}]{}", self.inner_desc, index.def().name, tally),
+            columns: self.inner_columns.clone(),
+            estimated_rows: None,
+            metrics: OpMetrics {
+                rows_in: self.probes,
+                rows_out: self.matches,
+                ..OpMetrics::default()
+            },
+            workers: None,
+            access: Some(self.access.clone()),
+            children: Vec::new(),
+        };
+        PlanProfile {
+            operator: "index nested-loop join".to_string(),
+            detail: self.detail.clone(),
+            columns: self.columns.clone(),
+            estimated_rows: self.est,
+            metrics: self.meter,
+            workers: None,
+            access: None,
+            children: vec![self.left.profile(), probe_side],
         }
     }
 }
@@ -866,6 +1294,7 @@ impl RowSource for ValuesSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            access: None,
             children: Vec::new(),
         }
     }
@@ -922,6 +1351,7 @@ impl RowSource for FilterSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            access: None,
             children: vec![self.input.profile()],
         }
     }
@@ -980,6 +1410,7 @@ impl RowSource for ProjectSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            access: None,
             children: vec![self.input.profile()],
         }
     }
@@ -1072,6 +1503,7 @@ impl RowSource for NestedLoopJoinSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            access: None,
             children: vec![self.left.profile(), self.right.profile()],
         }
     }
@@ -1184,6 +1616,7 @@ impl RowSource for HashJoinSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            access: None,
             children: vec![self.left.profile(), self.right.profile()],
         }
     }
@@ -1295,6 +1728,7 @@ impl RowSource for AggregateSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            access: None,
             children: vec![self.input.profile()],
         }
     }
@@ -1345,6 +1779,7 @@ impl RowSource for SortSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            access: None,
             children: vec![self.input.profile()],
         }
     }
@@ -1415,6 +1850,7 @@ impl RowSource for LimitSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            access: None,
             children: vec![self.input.profile()],
         }
     }
@@ -1471,6 +1907,7 @@ impl RowSource for DistinctSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            access: None,
             children: vec![self.input.profile()],
         }
     }
@@ -1653,6 +2090,7 @@ impl RowSource for SemiJoinSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            access: None,
             children: vec![self.left.profile(), self.right.profile()],
         }
     }
@@ -1756,6 +2194,7 @@ impl RowSource for ScalarSubquerySource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            access: None,
             children: vec![self.input.profile(), self.sub.profile()],
         }
     }
@@ -2108,6 +2547,7 @@ impl RowSource for ApplySource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: (self.workers > 1).then_some(self.workers),
+            access: None,
             children: vec![self.input.profile(), sub_profile],
         }
     }
@@ -2140,6 +2580,178 @@ mod tests {
 
     fn scan(table: &str, alias: &str) -> Plan {
         Plan::scan(table, alias)
+    }
+
+    /// The `T` fixture with an ordered index on `v` and a hash index on `id`.
+    fn indexed_db() -> Database {
+        use crate::index::{IndexDef, IndexKind};
+        let mut db = db();
+        db.create_index(IndexDef {
+            name: "idx_v".into(),
+            table: "T".into(),
+            column: "v".into(),
+            kind: IndexKind::Ordered,
+        })
+        .unwrap();
+        db.create_index(IndexDef {
+            name: "h_id".into(),
+            table: "T".into(),
+            column: "id".into(),
+            kind: IndexKind::Hash,
+        })
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn index_scan_matches_filtered_scan_byte_for_byte() {
+        let db = indexed_db();
+        let filtered = scan("T", "t").filter(Expr::col_cmp_value(1, CmpOp::Eq, Value::int(3)));
+        let point = Plan::index_scan("T", "t", "idx_v", IndexBounds::Point(Value::int(3)));
+        assert_eq!(run_plan(&db, &filtered), run_plan(&db, &point));
+
+        let range_filter = scan("T", "t").filter(Expr::And(
+            Box::new(Expr::col_cmp_value(1, CmpOp::GtEq, Value::int(2))),
+            Box::new(Expr::col_cmp_value(1, CmpOp::Lt, Value::int(5))),
+        ));
+        let range = Plan::index_scan(
+            "T",
+            "t",
+            "idx_v",
+            IndexBounds::Range {
+                lo: Some((Value::int(2), true)),
+                hi: Some((Value::int(5), false)),
+            },
+        );
+        assert_eq!(run_plan(&db, &range_filter), run_plan(&db, &range));
+
+        // The hash index answers points (and counts only matching reads)…
+        let hash_point = Plan::index_scan("T", "t", "h_id", IndexBounds::Point(Value::int(42)));
+        let mut src = open(&db, &hash_point).unwrap();
+        let rows = {
+            let mut out = Vec::new();
+            while let Some(batch) = src.next_batch().unwrap() {
+                out.extend(batch);
+            }
+            out
+        };
+        assert_eq!(rows.len(), 1);
+        let profile = src.profile();
+        assert_eq!(profile.operator, "index scan");
+        assert_eq!(profile.metrics.rows_in, 1, "only the match is read");
+        assert!(
+            profile.detail.contains("[index=h_id point t.id = 42]"),
+            "detail names the probe: {}",
+            profile.detail
+        );
+        // …but refuses ranges at open time.
+        let hash_range = Plan::index_scan(
+            "T",
+            "t",
+            "h_id",
+            IndexBounds::Range {
+                lo: Some((Value::int(0), true)),
+                hi: None,
+            },
+        );
+        assert!(open(&db, &hash_range).is_err());
+        // Unknown index names fail at open time too.
+        let missing = Plan::index_scan("T", "t", "nope", IndexBounds::Point(Value::int(1)));
+        let err = match open(&db, &missing) {
+            Err(e) => e,
+            Ok(_) => panic!("opening a scan over a missing index must fail"),
+        };
+        assert!(matches!(err, StoreError::UnknownIndex { .. }));
+    }
+
+    #[test]
+    fn key_ordered_index_scan_matches_sorted_filtered_scan() {
+        let db = indexed_db();
+        // Sorting the filtered scan by v (stable) must equal the key-ordered
+        // index range scan, ties and all.
+        let sorted = scan("T", "t")
+            .filter(Expr::col_cmp_value(1, CmpOp::GtEq, Value::int(7)))
+            .sort(vec![SortKey {
+                column: 1,
+                ascending: true,
+            }]);
+        let keyed = Plan::index_scan(
+            "T",
+            "t",
+            "idx_v",
+            IndexBounds::Range {
+                lo: Some((Value::int(7), true)),
+                hi: None,
+            },
+        )
+        .with_key_order();
+        assert_eq!(run_plan(&db, &sorted), run_plan(&db, &keyed));
+    }
+
+    #[test]
+    fn index_nested_loop_join_matches_hash_join() {
+        let db = indexed_db();
+        // Outer: the 10 rows with id < 10; inner: T probed on v via idx_v.
+        let outer = || scan("T", "o").filter(Expr::col_cmp_value(0, CmpOp::Lt, Value::int(10)));
+        let hash = Plan::hash_join(outer(), scan("T", "t"), vec![1], vec![1]);
+        let inlj = Plan::index_nested_loop_join(outer(), "T", "t", "idx_v", 1);
+        let mut h = run_plan(&db, &hash);
+        let mut i = run_plan(&db, &inlj);
+        // Both emit outer-order × inner-insertion-order: identical already.
+        assert_eq!(h.len(), 10 * 250);
+        assert_eq!(h, i);
+        // And with sorting as a belt-and-braces check.
+        let keys: Vec<usize> = (0..4).collect();
+        h.sort_by_key(|r| r.group_key(&keys));
+        i.sort_by_key(|r| r.group_key(&keys));
+        assert_eq!(h, i);
+
+        let mut src = open(&db, &inlj).unwrap();
+        while src.next_batch().unwrap().is_some() {}
+        let profile = src.profile();
+        assert_eq!(profile.operator, "index nested-loop join");
+        assert!(
+            profile.detail.contains("o.v = t.v [index=idx_v]"),
+            "detail: {}",
+            profile.detail
+        );
+        let probe = &profile.children[1];
+        assert_eq!(probe.operator, "index probe");
+        assert_eq!(probe.metrics.rows_in, 10, "one probe per outer row");
+        assert_eq!(probe.metrics.rows_out, 2500, "matches fetched");
+    }
+
+    #[test]
+    fn index_nested_loop_join_skips_null_probe_keys() {
+        use crate::index::{IndexDef, IndexKind};
+        use crate::schema::{ColumnDef, TableSchema};
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "K",
+            vec![ColumnDef::nullable("k", DataType::Integer)],
+        ))
+        .unwrap();
+        db.create_index(IndexDef {
+            name: "idx_k".into(),
+            table: "K".into(),
+            column: "k".into(),
+            kind: IndexKind::Ordered,
+        })
+        .unwrap();
+        db.insert("K", vec![Value::int(1)]).unwrap();
+        db.insert("K", vec![Value::Null]).unwrap();
+        let outer = Plan::values(
+            vec![ColumnInfo::unqualified("x")],
+            vec![
+                Row::new(vec![Value::int(1)]),
+                Row::new(vec![Value::Null]),
+                Row::new(vec![Value::int(2)]),
+            ],
+        );
+        let plan = Plan::index_nested_loop_join(outer, "K", "k", "idx_k", 0);
+        let rows = run_plan(&db, &plan);
+        // Only 1=1 matches; NULL probes and NULL index entries never join.
+        assert_eq!(rows, vec![Row::new(vec![Value::int(1), Value::int(1)])]);
     }
 
     #[test]

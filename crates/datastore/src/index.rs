@@ -1,0 +1,483 @@
+//! Secondary indexes: the access paths the planner can choose — and talk
+//! about — instead of a full scan.
+//!
+//! Two physical shapes cover the paper's workload:
+//!
+//! * an **ordered index** ([`IndexKind::Ordered`]): a B-tree-style map from
+//!   key value to row positions, supporting point probes *and* range probes
+//!   (`year >= 2000`, `id BETWEEN 3 AND 7`), and able to stream rows in key
+//!   order (which lets the planner skip an `ORDER BY` sort);
+//! * a **hash index** ([`IndexKind::Hash`]): key → row positions, point
+//!   probes only, with the same exact-`GroupKey` equality the hash join
+//!   uses.
+//!
+//! Indexes live on the [`crate::table::Table`] (next to the primary-key
+//! index) and are maintained on every insert; deletes and updates rebuild
+//! them, exactly like the PK index. Because tables sit behind `Arc` with
+//! copy-on-write mutation ([`crate::database::Database::table_mut`]), an
+//! in-flight query keeps probing the index version of *its* snapshot while a
+//! writer builds the next one — index maintenance never races a reader.
+//!
+//! Row positions are stored in insertion order, and probes that do not need
+//! key order return positions in **table position order**, so an index scan
+//! yields exactly the rows (and row order) of the equivalent filtered full
+//! scan — the property the `use_indexes` A/B tests pin down byte for byte.
+
+use crate::error::StoreError;
+use crate::tuple::Row;
+use crate::value::{GroupKey, Value};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// The physical shape of a secondary index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Ordered (B-tree-style): point and range probes, key-ordered scans.
+    Ordered,
+    /// Hash: point probes only.
+    Hash,
+}
+
+impl IndexKind {
+    /// SQL-ish spelling used in narrations and `describe` output.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            IndexKind::Ordered => "ordered",
+            IndexKind::Hash => "hash",
+        }
+    }
+}
+
+/// The declaration of a secondary index: what `CREATE INDEX` records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Index name (case-insensitive, stored as given).
+    pub name: String,
+    /// Indexed table.
+    pub table: String,
+    /// Indexed column (single-column indexes for now; multi-column is a
+    /// ROADMAP follow-on).
+    pub column: String,
+    pub kind: IndexKind,
+}
+
+impl fmt::Display for IndexDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ON {}({}) [{}]",
+            self.name,
+            self.table,
+            self.column,
+            self.kind.sql()
+        )
+    }
+}
+
+/// Key wrapper giving [`Value`] the total order the ordered index sorts by
+/// (NULLs are never stored, so the `total_cmp` order over non-NULL values is
+/// exactly SQL's comparison order, including Integer-vs-Float).
+#[derive(Debug, Clone)]
+struct OrdKey(Value);
+
+impl PartialEq for OrdKey {
+    fn eq(&self, other: &OrdKey) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+impl Eq for OrdKey {}
+impl PartialOrd for OrdKey {
+    fn partial_cmp(&self, other: &OrdKey) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdKey {
+    fn cmp(&self, other: &OrdKey) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// One bound of a range probe: the key value and whether it is inclusive.
+pub type Bound = (Value, bool);
+
+/// The probe a plan's `IndexScan` performs, carried in the plan tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexBounds {
+    /// `column = value`.
+    Point(Value),
+    /// `column` within `[lo, hi]` with per-bound inclusivity; an open side
+    /// is unbounded (`year >= 2000` has no `hi`).
+    Range {
+        lo: Option<Bound>,
+        hi: Option<Bound>,
+    },
+}
+
+impl IndexBounds {
+    /// Compact SQL-flavoured rendering ("= 5", ">= 2000 AND <= 2005").
+    pub fn describe(&self, column: &str) -> String {
+        match self {
+            IndexBounds::Point(v) => format!("{} = {}", column, v.sql_literal()),
+            IndexBounds::Range { lo, hi } => {
+                let mut parts = Vec::new();
+                if let Some((v, inclusive)) = lo {
+                    parts.push(format!(
+                        "{} {} {}",
+                        column,
+                        if *inclusive { ">=" } else { ">" },
+                        v.sql_literal()
+                    ));
+                }
+                if let Some((v, inclusive)) = hi {
+                    parts.push(format!(
+                        "{} {} {}",
+                        column,
+                        if *inclusive { "<=" } else { "<" },
+                        v.sql_literal()
+                    ));
+                }
+                if parts.is_empty() {
+                    format!("{column} unbounded")
+                } else {
+                    parts.join(" AND ")
+                }
+            }
+        }
+    }
+
+    /// True for a point probe.
+    pub fn is_point(&self) -> bool {
+        matches!(self, IndexBounds::Point(_))
+    }
+}
+
+/// The stored structure of one index.
+#[derive(Debug, Clone)]
+enum IndexStore {
+    Ordered(BTreeMap<OrdKey, Vec<usize>>),
+    Hash(HashMap<GroupKey, Vec<usize>>),
+}
+
+/// A secondary index over one column of a table: key value → row positions
+/// (in insertion order). NULL values are not indexed — no SQL comparison
+/// matches them, so a probe can never want them.
+#[derive(Debug, Clone)]
+pub struct Index {
+    def: IndexDef,
+    store: IndexStore,
+    /// Position of the indexed column in the table's rows.
+    column_pos: usize,
+    /// Number of indexed (non-NULL) entries.
+    entries: usize,
+}
+
+impl Index {
+    /// Build an index over `column_pos` of the given rows.
+    pub fn build(def: IndexDef, rows: &[Row], column_pos: usize) -> Index {
+        let mut index = Index {
+            store: match def.kind {
+                IndexKind::Ordered => IndexStore::Ordered(BTreeMap::new()),
+                IndexKind::Hash => IndexStore::Hash(HashMap::new()),
+            },
+            def,
+            column_pos,
+            entries: 0,
+        };
+        for (pos, row) in rows.iter().enumerate() {
+            index.insert(row, pos);
+        }
+        index
+    }
+
+    /// The index declaration.
+    pub fn def(&self) -> &IndexDef {
+        &self.def
+    }
+
+    /// Position of the indexed column in the table's rows.
+    pub fn column_pos(&self) -> usize {
+        self.column_pos
+    }
+
+    /// Number of indexed (non-NULL) entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of distinct indexed keys.
+    pub fn key_count(&self) -> usize {
+        match &self.store {
+            IndexStore::Ordered(map) => map.len(),
+            IndexStore::Hash(map) => map.len(),
+        }
+    }
+
+    /// True when this index can answer range probes (ordered only).
+    pub fn supports_range(&self) -> bool {
+        self.def.kind == IndexKind::Ordered
+    }
+
+    /// Register one row (maintenance on insert).
+    pub(crate) fn insert(&mut self, row: &Row, pos: usize) {
+        let Some(value) = row.get(self.column_pos) else {
+            return;
+        };
+        if value.is_null() {
+            return;
+        }
+        match &mut self.store {
+            IndexStore::Ordered(map) => {
+                map.entry(OrdKey(value.clone())).or_default().push(pos);
+            }
+            IndexStore::Hash(map) => {
+                map.entry(value.group_key()).or_default().push(pos);
+            }
+        }
+        self.entries += 1;
+    }
+
+    /// Row positions with `column = value`, in insertion order. A NULL probe
+    /// matches nothing (SQL equality is never true against NULL).
+    pub fn probe_point(&self, value: &Value) -> &[usize] {
+        if value.is_null() {
+            return &[];
+        }
+        match &self.store {
+            IndexStore::Ordered(map) => map
+                .get(&OrdKey(value.clone()))
+                .map(Vec::as_slice)
+                .unwrap_or(&[]),
+            IndexStore::Hash(map) => map
+                .get(&value.group_key())
+                .map(Vec::as_slice)
+                .unwrap_or(&[]),
+        }
+    }
+
+    /// Row positions matching the bounds. With `key_order` the positions
+    /// come back ascending by key (ties in insertion order) — the order an
+    /// `ORDER BY`-eliding scan wants; without it they come back in table
+    /// position order, matching a filtered full scan row for row.
+    ///
+    /// Range bounds on a hash index are an error (the planner never asks,
+    /// but hand-built plans could).
+    pub fn probe(&self, bounds: &IndexBounds, key_order: bool) -> Result<Vec<usize>, StoreError> {
+        let mut out = match (bounds, &self.store) {
+            (IndexBounds::Point(v), _) => self.probe_point(v).to_vec(),
+            (IndexBounds::Range { lo, hi }, IndexStore::Ordered(map)) => {
+                // NULL bounds make the comparison UNKNOWN for every row.
+                if lo.as_ref().map(|(v, _)| v.is_null()) == Some(true)
+                    || hi.as_ref().map(|(v, _)| v.is_null()) == Some(true)
+                {
+                    return Ok(Vec::new());
+                }
+                use std::ops::Bound as B;
+                let to_bound = |b: &Option<Bound>| match b {
+                    None => B::Unbounded,
+                    Some((v, true)) => B::Included(OrdKey(v.clone())),
+                    Some((v, false)) => B::Excluded(OrdKey(v.clone())),
+                };
+                // A logarithmic seek to the first qualifying key, then a
+                // walk over just the matches — the whole point of an
+                // ordered index. (Equal bounds in the wrong order would
+                // panic inside `range`; an empty result is the right
+                // answer there.)
+                let (start, end) = (to_bound(lo), to_bound(hi));
+                let empty = match (&start, &end) {
+                    // start > end panics in `range`; start == end with both
+                    // bounds excluded does too. Both mean "no rows".
+                    (B::Excluded(a), B::Excluded(b)) => a >= b,
+                    (B::Included(a) | B::Excluded(a), B::Included(b) | B::Excluded(b)) => a > b,
+                    _ => false,
+                };
+                if empty {
+                    return Ok(Vec::new());
+                }
+                let mut positions = Vec::new();
+                for (_, rows) in map.range((start, end)) {
+                    positions.extend_from_slice(rows);
+                }
+                positions
+            }
+            (IndexBounds::Range { .. }, IndexStore::Hash(_)) => {
+                return Err(StoreError::Eval {
+                    message: format!(
+                        "range probe against hash index {} (hash indexes answer point probes only)",
+                        self.def.name
+                    ),
+                })
+            }
+        };
+        if !key_order {
+            out.sort_unstable();
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Row> {
+        // Years deliberately out of order with a duplicate and a NULL.
+        [2004, 2001, 2004, 1999, 2010]
+            .iter()
+            .map(|y| Row::new(vec![Value::int(*y)]))
+            .chain(std::iter::once(Row::new(vec![Value::Null])))
+            .collect()
+    }
+
+    fn ordered() -> Index {
+        Index::build(
+            IndexDef {
+                name: "idx_year".into(),
+                table: "MOVIES".into(),
+                column: "year".into(),
+                kind: IndexKind::Ordered,
+            },
+            &rows(),
+            0,
+        )
+    }
+
+    #[test]
+    fn point_probe_returns_positions_in_insertion_order() {
+        let idx = ordered();
+        assert_eq!(idx.probe_point(&Value::int(2004)), &[0, 2]);
+        assert_eq!(idx.probe_point(&Value::int(1999)), &[3]);
+        assert!(idx.probe_point(&Value::int(1900)).is_empty());
+        assert!(idx.probe_point(&Value::Null).is_empty());
+        assert_eq!(idx.len(), 5, "the NULL row is not indexed");
+        assert_eq!(idx.key_count(), 4);
+    }
+
+    #[test]
+    fn range_probe_in_position_and_key_order() {
+        let idx = ordered();
+        let bounds = IndexBounds::Range {
+            lo: Some((Value::int(2001), true)),
+            hi: Some((Value::int(2004), true)),
+        };
+        // Position order: the filtered-scan row order.
+        assert_eq!(idx.probe(&bounds, false).unwrap(), vec![0, 1, 2]);
+        // Key order: 2001 first, then the two 2004s in insertion order.
+        assert_eq!(idx.probe(&bounds, true).unwrap(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn open_and_exclusive_bounds() {
+        let idx = ordered();
+        let gt = IndexBounds::Range {
+            lo: Some((Value::int(2004), false)),
+            hi: None,
+        };
+        assert_eq!(idx.probe(&gt, false).unwrap(), vec![4]);
+        let le = IndexBounds::Range {
+            lo: None,
+            hi: Some((Value::int(2001), true)),
+        };
+        assert_eq!(idx.probe(&le, false).unwrap(), vec![1, 3]);
+        let null_bound = IndexBounds::Range {
+            lo: Some((Value::Null, true)),
+            hi: None,
+        };
+        assert!(idx.probe(&null_bound, false).unwrap().is_empty());
+    }
+
+    #[test]
+    fn inverted_and_degenerate_ranges_are_empty_not_panics() {
+        let idx = ordered();
+        // BETWEEN 2004 AND 2001, as a user could write it.
+        let inverted = IndexBounds::Range {
+            lo: Some((Value::int(2004), true)),
+            hi: Some((Value::int(2001), true)),
+        };
+        assert!(idx.probe(&inverted, false).unwrap().is_empty());
+        // x > 2004 AND x < 2004 collapses to an empty exclusive range.
+        let hollow = IndexBounds::Range {
+            lo: Some((Value::int(2004), false)),
+            hi: Some((Value::int(2004), false)),
+        };
+        assert!(idx.probe(&hollow, false).unwrap().is_empty());
+        // x >= 2004 AND x <= 2004 is a point in range clothing.
+        let pinched = IndexBounds::Range {
+            lo: Some((Value::int(2004), true)),
+            hi: Some((Value::int(2004), true)),
+        };
+        assert_eq!(idx.probe(&pinched, false).unwrap(), vec![0, 2]);
+    }
+
+    #[test]
+    fn hash_index_points_only() {
+        let idx = Index::build(
+            IndexDef {
+                name: "h".into(),
+                table: "T".into(),
+                column: "c".into(),
+                kind: IndexKind::Hash,
+            },
+            &rows(),
+            0,
+        );
+        assert_eq!(idx.probe_point(&Value::int(2004)), &[0, 2]);
+        assert!(!idx.supports_range());
+        let err = idx
+            .probe(
+                &IndexBounds::Range {
+                    lo: Some((Value::int(0), true)),
+                    hi: None,
+                },
+                false,
+            )
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Eval { .. }));
+    }
+
+    #[test]
+    fn ordered_index_compares_mixed_numerics_like_sql() {
+        let rows = vec![
+            Row::new(vec![Value::Float(3.0)]),
+            Row::new(vec![Value::Float(4.5)]),
+        ];
+        let idx = Index::build(
+            IndexDef {
+                name: "f".into(),
+                table: "T".into(),
+                column: "x".into(),
+                kind: IndexKind::Ordered,
+            },
+            &rows,
+            0,
+        );
+        // SQL says 3 = 3.0; the ordered index agrees via total_cmp.
+        assert_eq!(idx.probe_point(&Value::int(3)), &[0]);
+        let bounds = IndexBounds::Range {
+            lo: Some((Value::int(3), false)),
+            hi: None,
+        };
+        assert_eq!(idx.probe(&bounds, false).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn bounds_describe_reads_like_sql() {
+        assert_eq!(
+            IndexBounds::Point(Value::int(5)).describe("m.id"),
+            "m.id = 5"
+        );
+        assert_eq!(
+            IndexBounds::Range {
+                lo: Some((Value::int(2000), true)),
+                hi: Some((Value::int(2005), false)),
+            }
+            .describe("m.year"),
+            "m.year >= 2000 AND m.year < 2005"
+        );
+    }
+}

@@ -8,7 +8,8 @@
 //!
 //! * typed values and schemas ([`value`], [`schema`]),
 //! * an in-memory storage engine with PK/FK enforcement ([`table`],
-//!   [`catalog`], [`database`]),
+//!   [`catalog`], [`database`]) and secondary indexes — ordered and hash —
+//!   maintained on writes ([`index`]),
 //! * a small executor sufficient to run every query in the paper
 //!   ([`expr`], [`exec`]),
 //! * the sample databases the paper's examples are written against
@@ -26,6 +27,7 @@ pub mod database;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod index;
 pub mod sample;
 pub mod schema;
 pub mod stats;
@@ -36,6 +38,7 @@ pub mod value;
 pub use catalog::Catalog;
 pub use database::Database;
 pub use error::StoreError;
+pub use index::{Index, IndexBounds, IndexDef, IndexKind};
 pub use schema::{ColumnDef, ForeignKey, TableSchema};
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;

@@ -2,6 +2,7 @@
 //! time type/constraint checking.
 
 use crate::error::StoreError;
+use crate::index::{Index, IndexDef};
 use crate::schema::TableSchema;
 use crate::tuple::Row;
 use crate::value::{GroupKey, Value};
@@ -9,7 +10,9 @@ use std::collections::HashMap;
 
 /// An in-memory table. Rows are stored in insertion order (which the
 /// deterministic data generators rely on for reproducible narratives) with a
-/// hash index on the primary key for FK checks and point lookups.
+/// hash index on the primary key for FK checks and point lookups, plus any
+/// number of secondary [`Index`]es maintained alongside the rows (see
+/// [`crate::index`]).
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: TableSchema,
@@ -17,6 +20,9 @@ pub struct Table {
     /// Primary-key index: key values -> row position. Only maintained when
     /// the schema declares a primary key.
     pk_index: HashMap<Vec<GroupKey>, usize>,
+    /// Secondary indexes, in creation order. Cloned with the table, so a
+    /// copy-on-write snapshot keeps probing its own index versions.
+    indexes: Vec<Index>,
 }
 
 impl Table {
@@ -26,6 +32,7 @@ impl Table {
             schema,
             rows: Vec::new(),
             pk_index: HashMap::new(),
+            indexes: Vec::new(),
         }
     }
 
@@ -103,6 +110,7 @@ impl Table {
     }
 
     /// Insert a row, enforcing types, NOT NULL and primary-key uniqueness.
+    /// Every secondary index is maintained in the same step.
     pub fn insert(&mut self, row: Row) -> Result<usize, StoreError> {
         self.validate_row(&row)?;
         if let Some(key) = self.pk_key(&row) {
@@ -114,8 +122,12 @@ impl Table {
             }
             self.pk_index.insert(key, self.rows.len());
         }
+        let pos = self.rows.len();
+        for index in &mut self.indexes {
+            index.insert(&row, pos);
+        }
         self.rows.push(row);
-        Ok(self.rows.len() - 1)
+        Ok(pos)
     }
 
     /// Insert from a vector of values.
@@ -182,12 +194,87 @@ impl Table {
     fn rebuild_index(&mut self) {
         self.pk_index.clear();
         let idx = self.schema.primary_key_indices();
-        if idx.is_empty() {
-            return;
+        if !idx.is_empty() {
+            for (pos, row) in self.rows.iter().enumerate() {
+                self.pk_index.insert(row.group_key(&idx), pos);
+            }
         }
-        for (pos, row) in self.rows.iter().enumerate() {
-            self.pk_index.insert(row.group_key(&idx), pos);
+        // Row positions shifted: rebuild every secondary index too.
+        let defs: Vec<IndexDef> = self.indexes.iter().map(|i| i.def().clone()).collect();
+        self.indexes = defs
+            .into_iter()
+            .filter_map(|def| {
+                let pos = self.schema.column_index(&def.column)?;
+                Some(Index::build(def, &self.rows, pos))
+            })
+            .collect();
+    }
+
+    // -- secondary indexes --------------------------------------------------
+
+    /// Create a secondary index over one column, building it from the
+    /// current rows. Fails when the column does not exist or an index with
+    /// the same (case-insensitive) name already exists on this table.
+    pub fn create_index(&mut self, def: IndexDef) -> Result<&Index, StoreError> {
+        let column_pos =
+            self.schema
+                .column_index(&def.column)
+                .ok_or_else(|| StoreError::UnknownColumn {
+                    table: self.schema.name.clone(),
+                    column: def.column.clone(),
+                })?;
+        if self.index(&def.name).is_some() {
+            return Err(StoreError::IndexExists {
+                index: def.name.clone(),
+                table: self.schema.name.clone(),
+            });
         }
+        self.indexes.push(Index::build(def, &self.rows, column_pos));
+        Ok(self.indexes.last().expect("just pushed"))
+    }
+
+    /// Drop a secondary index by (case-insensitive) name.
+    pub fn drop_index(&mut self, name: &str) -> Result<IndexDef, StoreError> {
+        match self
+            .indexes
+            .iter()
+            .position(|i| i.def().name.eq_ignore_ascii_case(name))
+        {
+            Some(pos) => Ok(self.indexes.remove(pos).def().clone()),
+            None => Err(StoreError::UnknownIndex {
+                index: name.to_string(),
+            }),
+        }
+    }
+
+    /// A secondary index by (case-insensitive) name.
+    pub fn index(&self, name: &str) -> Option<&Index> {
+        self.indexes
+            .iter()
+            .find(|i| i.def().name.eq_ignore_ascii_case(name))
+    }
+
+    /// All secondary indexes, in creation order.
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// The best index over a column for the given need: an ordered index if
+    /// `need_range` (or if one exists anyway — ordered answers points too),
+    /// otherwise any index on the column. Creation order breaks ties.
+    pub fn index_on(&self, column: &str, need_range: bool) -> Option<&Index> {
+        let on_column = |i: &&Index| i.def().column.eq_ignore_ascii_case(column);
+        self.indexes
+            .iter()
+            .filter(on_column)
+            .find(|i| i.supports_range())
+            .or_else(|| {
+                if need_range {
+                    None
+                } else {
+                    self.indexes.iter().find(on_column)
+                }
+            })
     }
 }
 
@@ -307,6 +394,110 @@ mod tests {
             vec![Value::text("A"), Value::text("B")]
         );
         assert!(t.column_values("nope").is_empty());
+    }
+
+    #[test]
+    fn secondary_indexes_are_maintained_on_writes() {
+        use crate::index::{IndexBounds, IndexDef, IndexKind};
+        let mut t = movies();
+        t.create_index(IndexDef {
+            name: "idx_year".into(),
+            table: "MOVIES".into(),
+            column: "year".into(),
+            kind: IndexKind::Ordered,
+        })
+        .unwrap();
+        for i in 0..5 {
+            t.insert_values(vec![
+                Value::int(i),
+                Value::text(format!("m{i}")),
+                Value::int(2000 + (i % 3)),
+            ])
+            .unwrap();
+        }
+        let idx = t.index("IDX_YEAR").expect("case-insensitive lookup");
+        assert_eq!(idx.probe_point(&Value::int(2000)), &[0, 3]);
+        // Delete shifts positions; the index must be rebuilt.
+        t.delete_where(|r| r.get(0) == Some(&Value::int(0)));
+        let idx = t.index("idx_year").unwrap();
+        assert_eq!(idx.probe_point(&Value::int(2000)), &[2]);
+        // Update re-keys the moved row.
+        t.update_where(
+            |r| r.get(0) == Some(&Value::int(1)),
+            |r| *r.get_mut(2).unwrap() = Value::int(1999),
+        );
+        let idx = t.index("idx_year").unwrap();
+        assert_eq!(idx.probe_point(&Value::int(2001)), &[3]);
+        assert_eq!(
+            idx.probe(
+                &IndexBounds::Range {
+                    lo: None,
+                    hi: Some((Value::int(1999), true)),
+                },
+                false
+            )
+            .unwrap(),
+            vec![0]
+        );
+        // Duplicate names are rejected; unknown columns are rejected.
+        assert!(matches!(
+            t.create_index(IndexDef {
+                name: "idx_year".into(),
+                table: "MOVIES".into(),
+                column: "year".into(),
+                kind: IndexKind::Hash,
+            })
+            .unwrap_err(),
+            StoreError::IndexExists { .. }
+        ));
+        assert!(matches!(
+            t.create_index(IndexDef {
+                name: "idx_nope".into(),
+                table: "MOVIES".into(),
+                column: "nope".into(),
+                kind: IndexKind::Hash,
+            })
+            .unwrap_err(),
+            StoreError::UnknownColumn { .. }
+        ));
+        // Drop removes it.
+        t.drop_index("idx_year").unwrap();
+        assert!(t.index("idx_year").is_none());
+        assert!(matches!(
+            t.drop_index("idx_year").unwrap_err(),
+            StoreError::UnknownIndex { .. }
+        ));
+    }
+
+    #[test]
+    fn index_on_prefers_ordered_when_ranges_are_needed() {
+        use crate::index::{IndexDef, IndexKind};
+        let mut t = movies();
+        t.create_index(IndexDef {
+            name: "h_year".into(),
+            table: "MOVIES".into(),
+            column: "year".into(),
+            kind: IndexKind::Hash,
+        })
+        .unwrap();
+        assert!(
+            t.index_on("year", true).is_none(),
+            "hash cannot range-probe"
+        );
+        assert_eq!(t.index_on("year", false).unwrap().def().name, "h_year");
+        t.create_index(IndexDef {
+            name: "o_year".into(),
+            table: "MOVIES".into(),
+            column: "year".into(),
+            kind: IndexKind::Ordered,
+        })
+        .unwrap();
+        assert_eq!(t.index_on("year", true).unwrap().def().name, "o_year");
+        assert_eq!(
+            t.index_on("YEAR", false).unwrap().def().name,
+            "o_year",
+            "ordered preferred even for points (it answers both)"
+        );
     }
 
     #[test]

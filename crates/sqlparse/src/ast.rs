@@ -17,6 +17,12 @@ pub enum Statement {
     Update(UpdateStatement),
     Delete(DeleteStatement),
     CreateView(CreateViewStatement),
+    /// `CREATE INDEX name ON table (column) [USING HASH]` — declare a
+    /// secondary access path the planner may choose (and explain) instead of
+    /// a full scan.
+    CreateIndex(CreateIndexStatement),
+    /// `DROP INDEX name`.
+    DropIndex(DropIndexStatement),
     /// `EXPLAIN [ANALYZE] <select>` — ask the system to describe (and with
     /// ANALYZE, run and instrument) the query's plan instead of answering it.
     Explain(ExplainStatement),
@@ -634,6 +640,24 @@ pub struct DeleteStatement {
 pub struct CreateViewStatement {
     pub name: String,
     pub query: SelectStatement,
+}
+
+/// CREATE INDEX statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CreateIndexStatement {
+    pub name: String,
+    pub table: String,
+    /// The indexed column (single-column indexes in this dialect).
+    pub column: String,
+    /// True for `USING HASH`; the default is an ordered (B-tree-style)
+    /// index, which answers both point and range probes.
+    pub hash: bool,
+}
+
+/// DROP INDEX statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DropIndexStatement {
+    pub name: String,
 }
 
 #[cfg(test)]

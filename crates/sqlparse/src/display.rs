@@ -17,6 +17,8 @@ impl fmt::Display for Statement {
             Statement::Update(s) => write!(f, "{s}"),
             Statement::Delete(s) => write!(f, "{s}"),
             Statement::CreateView(s) => write!(f, "{s}"),
+            Statement::CreateIndex(s) => write!(f, "{s}"),
+            Statement::DropIndex(s) => write!(f, "{s}"),
             Statement::Explain(s) => write!(f, "{s}"),
         }
     }
@@ -306,6 +308,25 @@ impl fmt::Display for DeleteStatement {
 impl fmt::Display for CreateViewStatement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "CREATE VIEW {} AS {}", self.name, self.query)
+    }
+}
+
+impl fmt::Display for CreateIndexStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CREATE INDEX {} ON {} ({}){}",
+            self.name,
+            self.table,
+            self.column,
+            if self.hash { " USING HASH" } else { "" }
+        )
+    }
+}
+
+impl fmt::Display for DropIndexStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DROP INDEX {}", self.name)
     }
 }
 

@@ -45,6 +45,11 @@ pub enum Keyword {
     Delete,
     Create,
     View,
+    Index,
+    On,
+    Using,
+    Hash,
+    Drop,
     Union,
     Explain,
     Analyze,
@@ -97,6 +102,11 @@ impl Keyword {
             "DELETE" => Keyword::Delete,
             "CREATE" => Keyword::Create,
             "VIEW" => Keyword::View,
+            "INDEX" => Keyword::Index,
+            "ON" => Keyword::On,
+            "USING" => Keyword::Using,
+            "HASH" => Keyword::Hash,
+            "DROP" => Keyword::Drop,
             "UNION" => Keyword::Union,
             "EXPLAIN" => Keyword::Explain,
             "ANALYZE" => Keyword::Analyze,

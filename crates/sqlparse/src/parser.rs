@@ -130,7 +130,8 @@ impl Parser {
             Some(Token::Keyword(Keyword::Insert, _)) => self.parse_insert(),
             Some(Token::Keyword(Keyword::Update, _)) => self.parse_update(),
             Some(Token::Keyword(Keyword::Delete, _)) => self.parse_delete(),
-            Some(Token::Keyword(Keyword::Create, _)) => self.parse_create_view(),
+            Some(Token::Keyword(Keyword::Create, _)) => self.parse_create(),
+            Some(Token::Keyword(Keyword::Drop, _)) => self.parse_drop_index(),
             Some(Token::Keyword(Keyword::Explain, _)) => {
                 self.expect_keyword(Keyword::Explain)?;
                 let analyze = self.eat_keyword(Keyword::Analyze);
@@ -355,13 +356,52 @@ impl Parser {
         }))
     }
 
-    fn parse_create_view(&mut self) -> Result<Statement, ParseError> {
+    fn parse_create(&mut self) -> Result<Statement, ParseError> {
         self.expect_keyword(Keyword::Create)?;
+        if self.eat_keyword(Keyword::Index) {
+            return self.parse_create_index();
+        }
         self.expect_keyword(Keyword::View)?;
         let name = self.parse_identifier()?;
         self.expect_keyword(Keyword::As)?;
         let query = self.parse_select()?;
         Ok(Statement::CreateView(CreateViewStatement { name, query }))
+    }
+
+    /// `CREATE INDEX name ON table (column) [USING HASH]` — the CREATE and
+    /// INDEX keywords are already consumed.
+    fn parse_create_index(&mut self) -> Result<Statement, ParseError> {
+        let name = self.parse_identifier()?;
+        self.expect_keyword(Keyword::On)?;
+        let table = self.parse_identifier()?;
+        self.expect_token(&Token::LParen)?;
+        let column = self.parse_identifier()?;
+        if self.eat_token(&Token::Comma) {
+            return Err(self
+                .error("multi-column indexes are not supported yet; index one column at a time"));
+        }
+        self.expect_token(&Token::RParen)?;
+        let hash = if self.eat_keyword(Keyword::Using) {
+            if !self.eat_keyword(Keyword::Hash) {
+                return Err(self.error("USING expects HASH (the default index is ordered)"));
+            }
+            true
+        } else {
+            false
+        };
+        Ok(Statement::CreateIndex(CreateIndexStatement {
+            name,
+            table,
+            column,
+            hash,
+        }))
+    }
+
+    fn parse_drop_index(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword(Keyword::Drop)?;
+        self.expect_keyword(Keyword::Index)?;
+        let name = self.parse_identifier()?;
+        Ok(Statement::DropIndex(DropIndexStatement { name }))
     }
 
     // ---- expressions -----------------------------------------------------
@@ -680,6 +720,21 @@ impl Parser {
                     Ok(Expr::Column(ColumnRef::bare(name)))
                 }
             }
+            // Soft keywords: words the DDL grammar reserves but that never
+            // start an expression, so a column named "index" / "hash" / …
+            // keeps parsing as a bare reference.
+            Some(Token::Keyword(
+                Keyword::Index | Keyword::On | Keyword::Using | Keyword::Hash | Keyword::Drop,
+                spelling,
+            )) => {
+                self.pos += 1;
+                if self.eat_token(&Token::Dot) {
+                    let column = self.parse_identifier()?;
+                    Ok(Expr::Column(ColumnRef::qualified(spelling, column)))
+                } else {
+                    Ok(Expr::Column(ColumnRef::bare(spelling)))
+                }
+            }
             other => Err(self.error(format!("unexpected token in expression: {other:?}"))),
         }
     }
@@ -890,6 +945,66 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(s, Statement::CreateView(_)));
+    }
+
+    #[test]
+    fn parses_create_and_drop_index() {
+        let s = parse_statement("create index idx_year on MOVIES (year)").unwrap();
+        match &s {
+            Statement::CreateIndex(ci) => {
+                assert_eq!(ci.name, "idx_year");
+                assert_eq!(ci.table, "MOVIES");
+                assert_eq!(ci.column, "year");
+                assert!(!ci.hash);
+            }
+            other => panic!("expected CREATE INDEX, got {other:?}"),
+        }
+        // Round trip through display.
+        assert_eq!(parse_statement(&s.to_string()).unwrap(), s);
+
+        let s = parse_statement("CREATE INDEX h_name ON ACTOR (name) USING HASH").unwrap();
+        match &s {
+            Statement::CreateIndex(ci) => assert!(ci.hash),
+            other => panic!("expected CREATE INDEX, got {other:?}"),
+        }
+        assert_eq!(parse_statement(&s.to_string()).unwrap(), s);
+
+        let s = parse_statement("drop index idx_year;").unwrap();
+        match &s {
+            Statement::DropIndex(di) => assert_eq!(di.name, "idx_year"),
+            other => panic!("expected DROP INDEX, got {other:?}"),
+        }
+        assert_eq!(parse_statement(&s.to_string()).unwrap(), s);
+
+        // Multi-column indexes and unknown USING methods are named errors.
+        let err = parse_statement("create index i on T (a, b)").unwrap_err();
+        assert!(err.message.contains("multi-column"));
+        let err = parse_statement("create index i on T (a) using btree").unwrap_err();
+        assert!(err.message.contains("USING expects HASH"));
+        // CREATE VIEW still parses after the CREATE dispatch split.
+        assert!(matches!(
+            parse_statement("create view V as select * from T").unwrap(),
+            Statement::CreateView(_)
+        ));
+    }
+
+    #[test]
+    fn ddl_keywords_stay_usable_as_bare_column_names() {
+        // INDEX/ON/USING/HASH/DROP are reserved for DDL but never start an
+        // expression, so columns with those names must keep parsing.
+        let q = parse_query("select hash, index from T where drop = 1 and using > on").unwrap();
+        assert_eq!(q.projection.len(), 2);
+        assert_eq!(q.where_conjuncts().len(), 2);
+        match &q.projection[0] {
+            SelectItem::Expr {
+                expr: Expr::Column(c),
+                ..
+            } => assert_eq!(c.column, "hash"),
+            other => panic!("expected a bare column, got {other:?}"),
+        }
+        // Qualified forms too.
+        let q = parse_query("select t.hash from T t where t.index = 2").unwrap();
+        assert_eq!(q.where_conjuncts().len(), 1);
     }
 
     #[test]

@@ -157,13 +157,69 @@ fn aggregates_over_empty_input_return_sql_scalar_semantics() {
 
 #[test]
 fn explain_golden_plan_tree_is_stable() {
-    // The optimizer reorders Q1 to start from the filtered ACTOR relation;
-    // every line carries the planner's estimate.
+    // The optimizer reorders Q1 to start from the filtered ACTOR relation,
+    // and — with the tiny outer side — probes MOVIES' automatic PK index
+    // instead of building a hash table; every line carries the planner's
+    // estimate.
     let system = Talkback::new(movie_database());
     let e = system
         .explain_plan(
             "explain select m.title from MOVIES m, CAST c, ACTOR a \
              where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
+        )
+        .unwrap();
+    assert_eq!(
+        e.tree,
+        "project: m.title  [est=2]\n\
+         └─ index nested-loop join: c.mid = m.id [index=pk_movies]  [est=2]\n\
+         \u{20}\u{20}\u{20}├─ hash join: a.id = c.aid  [est=2]\n\
+         \u{20}\u{20}\u{20}│  ├─ filter: a.name = 'Brad Pitt'  [est=1]\n\
+         \u{20}\u{20}\u{20}│  │  └─ scan: ACTOR as a  [est=6]\n\
+         \u{20}\u{20}\u{20}│  └─ scan: CAST as c  [est=12]\n\
+         \u{20}\u{20}\u{20}└─ index probe: MOVIES as m [index=pk_movies]\n"
+    );
+}
+
+#[test]
+fn explain_analyze_golden_estimates_and_actuals_are_stable() {
+    // Golden rendering of the est=…/actual=… pairs `EXPLAIN ANALYZE` shows
+    // per operator, including the index probe's probe/match tally.
+    let system = Talkback::new(movie_database());
+    let e = system
+        .explain_plan(
+            "explain analyze select m.title from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
+        )
+        .unwrap();
+    assert_eq!(
+        e.tree,
+        "project: m.title  [est=2 actual=2 in=2 batches=1]\n\
+         └─ index nested-loop join: c.mid = m.id [index=pk_movies]  \
+         [est=2 actual=2 in=2 batches=1]\n\
+         \u{20}\u{20}\u{20}├─ hash join: a.id = c.aid  [est=2 actual=2 in=13 batches=1]\n\
+         \u{20}\u{20}\u{20}│  ├─ filter: a.name = 'Brad Pitt'  [est=1 actual=1 in=6 batches=1]\n\
+         \u{20}\u{20}\u{20}│  │  └─ scan: ACTOR as a  [est=6 actual=6 in=6 batches=1]\n\
+         \u{20}\u{20}\u{20}│  └─ scan: CAST as c  [est=12 actual=12 in=12 batches=1]\n\
+         \u{20}\u{20}\u{20}└─ index probe: MOVIES as m [index=pk_movies] \
+         (2 probes, 2 matches)  [actual=2 in=2 batches=0]\n"
+    );
+    // And the narration justifies the join order in natural language.
+    assert!(e.narration.contains("I started from ACTOR"));
+    assert!(e.narration.contains("fewer intermediate rows"));
+}
+
+#[test]
+fn explain_with_indexes_off_keeps_the_all_hash_join_tree() {
+    // The PR-2 baseline shape survives behind the `use_indexes` knob.
+    let system = Talkback::new(movie_database());
+    let e = system
+        .explain_plan_with(
+            "explain select m.title from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
+            talkback::PlannerOptions {
+                use_indexes: false,
+                ..talkback::PlannerOptions::sequential()
+            },
         )
         .unwrap();
     assert_eq!(
@@ -176,32 +232,6 @@ fn explain_golden_plan_tree_is_stable() {
          \u{20}\u{20}\u{20}│  └─ scan: CAST as c  [est=12]\n\
          \u{20}\u{20}\u{20}└─ scan: MOVIES as m  [est=10]\n"
     );
-}
-
-#[test]
-fn explain_analyze_golden_estimates_and_actuals_are_stable() {
-    // Golden rendering of the est=…/actual=… pairs `EXPLAIN ANALYZE` shows
-    // per operator.
-    let system = Talkback::new(movie_database());
-    let e = system
-        .explain_plan(
-            "explain analyze select m.title from MOVIES m, CAST c, ACTOR a \
-             where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
-        )
-        .unwrap();
-    assert_eq!(
-        e.tree,
-        "project: m.title  [est=2 actual=2 in=2 batches=1]\n\
-         └─ hash join: c.mid = m.id  [est=2 actual=2 in=12 batches=1]\n\
-         \u{20}\u{20}\u{20}├─ hash join: a.id = c.aid  [est=2 actual=2 in=13 batches=1]\n\
-         \u{20}\u{20}\u{20}│  ├─ filter: a.name = 'Brad Pitt'  [est=1 actual=1 in=6 batches=1]\n\
-         \u{20}\u{20}\u{20}│  │  └─ scan: ACTOR as a  [est=6 actual=6 in=6 batches=1]\n\
-         \u{20}\u{20}\u{20}│  └─ scan: CAST as c  [est=12 actual=12 in=12 batches=1]\n\
-         \u{20}\u{20}\u{20}└─ scan: MOVIES as m  [est=10 actual=10 in=10 batches=1]\n"
-    );
-    // And the narration justifies the join order in natural language.
-    assert!(e.narration.contains("I started from ACTOR"));
-    assert!(e.narration.contains("fewer intermediate rows"));
 }
 
 #[test]
