@@ -1,0 +1,166 @@
+//! Experiment C-VEC: vectorized columnar execution vs. the row-at-a-time
+//! engine, on the ×100 (1000 movies) and ×1000 (10,000 movies) databases.
+//!
+//! Three query shapes, each planned row-at-a-time (`use_vectorized = false`,
+//! one worker), vectorized on one worker, and vectorized across four
+//! workers (partial-aggregate / merge-sort / top-k gather):
+//!
+//! * `agg` — the unfiltered aggregate-heavy group-by over MOVIES (count,
+//!   sum, min, max per year): the typed-kernel accumulation hot path, and
+//!   the ≥5× acceptance target at ×1000;
+//! * `sort` — a full ORDER BY over the MOVIES scan: per-worker sorted runs
+//!   merged above the exchange;
+//! * `topk` — the same ORDER BY with `LIMIT 10`: the pushdown keeps a
+//!   bounded per-worker set instead of materializing the full sort (shape-
+//!   asserted below before anything is timed).
+//!
+//! The single-worker pair isolates the vectorization win itself; the
+//! 4-worker variant additionally exercises the gather modes, but on a
+//! single-core container it oversubscribes the one CPU (as the parallel
+//! bench notes) and measures scheduling overhead rather than speedup.
+//!
+//! Run with `BENCH_JSON=BENCH_vectorized.json` to emit the
+//! `{bench, median_ns}` summary CI tracks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datastore::exec::{execute, GatherMode, Plan, PlanNode};
+use datastore::sample::{scaled_movie_database, ScaleConfig};
+use datastore::Database;
+use sqlparse::parse_query;
+use talkback::{plan_query_with, PlannerOptions};
+
+const AGG_Q: &str = "select m.year, count(*), sum(m.id), min(m.id), max(m.id) \
+                     from MOVIES m group by m.year";
+
+const SORT_Q: &str = "select m.id, m.title, m.year from MOVIES m order by m.year, m.id";
+
+const TOPK_Q: &str = "select m.id, m.title, m.year from MOVIES m \
+                      order by m.year, m.id limit 10";
+
+fn options(vectorized: bool, workers: usize) -> PlannerOptions {
+    PlannerOptions {
+        use_vectorized: vectorized,
+        parallelism: workers,
+        parallel_row_threshold: 0.0,
+        ..PlannerOptions::default()
+    }
+}
+
+fn db_at(scale: usize) -> Database {
+    scaled_movie_database(ScaleConfig {
+        movies: 10 * scale,
+        actors: 6 * scale,
+        directors: 2 * scale,
+        ..ScaleConfig::default()
+    })
+}
+
+/// True when the plan contains a full `Sort` operator anywhere.
+fn has_sort(plan: &Plan) -> bool {
+    let mut found = false;
+    visit(plan, &mut |node| {
+        if matches!(node, PlanNode::Sort { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// True when the plan contains a bounded top-k exchange.
+fn has_top_k_exchange(plan: &Plan) -> bool {
+    let mut found = false;
+    visit(plan, &mut |node| {
+        if matches!(
+            node,
+            PlanNode::Exchange {
+                gather: GatherMode::TopK { .. },
+                ..
+            }
+        ) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn visit(plan: &Plan, f: &mut impl FnMut(&PlanNode)) {
+    f(&plan.node);
+    match &plan.node {
+        PlanNode::Filter { input, .. }
+        | PlanNode::Project { input, .. }
+        | PlanNode::Aggregate { input, .. }
+        | PlanNode::Sort { input, .. }
+        | PlanNode::Limit { input, .. }
+        | PlanNode::Distinct { input }
+        | PlanNode::Exchange { input, .. } => visit(input, f),
+        PlanNode::NestedLoopJoin { left, right, .. }
+        | PlanNode::HashJoin { left, right, .. }
+        | PlanNode::HashSemiJoin { left, right, .. }
+        | PlanNode::HashAntiJoin { left, right, .. } => {
+            visit(left, f);
+            visit(right, f);
+        }
+        PlanNode::ScalarSubquery { input, subplan, .. }
+        | PlanNode::Apply { input, subplan, .. } => {
+            visit(input, f);
+            visit(subplan, f);
+        }
+        PlanNode::IndexNestedLoopJoin { left, .. } => visit(left, f),
+        PlanNode::Scan { .. } | PlanNode::IndexScan { .. } | PlanNode::Values { .. } => {}
+    }
+}
+
+fn bench_vectorized(c: &mut Criterion) {
+    for scale in [100usize, 1000] {
+        let db = db_at(scale);
+        db.analyze();
+        for (name, sql) in [("agg", AGG_Q), ("sort", SORT_Q), ("topk", TOPK_Q)] {
+            let query = parse_query(sql).expect("query parses");
+            let row = plan_query_with(&db, &query, options(false, 1))
+                .expect("row plan")
+                .plan;
+            let vec1 = plan_query_with(&db, &query, options(true, 1))
+                .expect("vectorized plan")
+                .plan;
+            let vec4 = plan_query_with(&db, &query, options(true, 4))
+                .expect("parallel vectorized plan")
+                .plan;
+            // Determinism first: all three variants must produce identical
+            // rows in identical order before anything is timed.
+            let expected = execute(&db, &row).expect("row plan runs").rows;
+            assert_eq!(
+                expected,
+                execute(&db, &vec1).expect("vectorized plan runs").rows,
+                "vectorized rows diverged for {name} at x{scale}"
+            );
+            assert_eq!(
+                expected,
+                execute(&db, &vec4).expect("parallel plan runs").rows,
+                "parallel vectorized rows diverged for {name} at x{scale}"
+            );
+            // The top-k acceptance shape: the parallel plan must carry a
+            // bounded top-k exchange, not a full materializing sort.
+            if name == "topk" {
+                assert!(
+                    !has_sort(&vec4) && has_top_k_exchange(&vec4),
+                    "ORDER BY … LIMIT must push down as top-k at x{scale}"
+                );
+            }
+
+            let mut group = c.benchmark_group(format!("vectorized_{name}_x{scale}"));
+            group.bench_with_input(BenchmarkId::new("row", 1), &row, |b, p| {
+                b.iter(|| execute(&db, p).unwrap())
+            });
+            group.bench_with_input(BenchmarkId::new("vec", 1), &vec1, |b, p| {
+                b.iter(|| execute(&db, p).unwrap())
+            });
+            group.bench_with_input(BenchmarkId::new("vec", 4), &vec4, |b, p| {
+                b.iter(|| execute(&db, p).unwrap())
+            });
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_vectorized);
+criterion_main!(benches);

@@ -94,6 +94,10 @@ pub enum PlanDecision {
         on: Option<String>,
         /// The correlation columns an `Apply` binds per row, when any.
         correlated_on: Vec<String>,
+        /// The planner's apply memo-cache capacity
+        /// ([`super::PlannerOptions::apply_cache_cap`]), narrated when the
+        /// strategy is an `Apply`.
+        cache_cap: usize,
     },
     /// How a base relation is read — the access-path choice, recorded
     /// whether or not the index won so the narration can own up to
@@ -147,6 +151,32 @@ pub enum PlanDecision {
         /// True when the plan was actually parallelized.
         parallelized: bool,
     },
+    /// Whether an operator was handed to the vectorized (columnar-batch)
+    /// kernels or kept row-at-a-time — recorded either way, with the reason,
+    /// so the narration can own up to honest rejections ("`m.title = 5`
+    /// mixes text and numbers, so that filter stays row-at-a-time").
+    Vectorize {
+        /// The operator concerned ("filter", "aggregate").
+        operator: String,
+        /// The expression or aggregate list, rendered for narration.
+        expression: String,
+        /// True when the vectorized kernels were installed.
+        vectorized: bool,
+        /// Why — the eligibility verdict in plain words.
+        reason: String,
+    },
+    /// Whether a hash (semi-/anti-)join's build side qualifies for the
+    /// hash-partitioned parallel build, per the planner's `build_min` knob.
+    PartitionedBuild {
+        /// The join's build-side description ("CAST as c").
+        target: String,
+        /// Estimated build-side rows.
+        estimated_rows: f64,
+        /// The planner's minimum build rows for partitioning.
+        build_min: usize,
+        /// True when the estimate cleared the knob.
+        partitioned: bool,
+    },
 }
 
 /// How an index access path probes its index.
@@ -160,13 +190,22 @@ pub enum AccessPathKind {
     NestedLoopProbe,
 }
 
-/// The two shapes of parallel work the planner can choose.
+/// The shapes of parallel work the planner can choose.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ParallelKind {
     /// A pipeline run morsel-by-morsel over its driver scan (an exchange).
     Pipeline,
     /// An apply's per-binding subquery evaluations fanned across workers.
     Apply,
+    /// A GROUP BY pushed below the exchange: per-morsel partial aggregates,
+    /// merged in morsel order above it.
+    PartialAggregate,
+    /// An ORDER BY pushed below the exchange: per-morsel sorted runs,
+    /// merged into one total order above it.
+    MergeSort,
+    /// An `ORDER BY … LIMIT k` pushed below the exchange: each morsel keeps
+    /// only its top k rows.
+    TopK,
 }
 
 /// One step of a left-deep join order.

@@ -36,6 +36,7 @@ pub mod logical;
 pub mod parallel;
 pub mod physical;
 pub mod subquery;
+pub mod vectorize;
 
 pub use access::INDEX_PROBE_ROW_COST;
 pub use cost::{AccessPathKind, Alternative, ParallelKind, PlanDecision, SubqueryStrategy};
@@ -82,6 +83,19 @@ pub struct PlannerOptions {
     /// `EXPLAIN ANALYZE` flags it in the tree and the narration owns up to
     /// it. Defaults to [`datastore::exec::MISESTIMATE_FACTOR`] (10×).
     pub misestimate_factor: f64,
+    /// Hand eligible filters, aggregates, and hash-join probes to the
+    /// columnar batch kernels (on by default), recording a
+    /// [`PlanDecision::Vectorize`] either way. With it off, every operator
+    /// runs row-at-a-time: the A/B baseline the byte-identical-results
+    /// property tests compare against.
+    pub use_vectorized: bool,
+    /// Minimum estimated build-side rows before a hash (semi-/anti-)join
+    /// build is hash-partitioned across the exchange's workers. Defaults to
+    /// [`datastore::exec::PARALLEL_BUILD_MIN`].
+    pub parallel_build_min: usize,
+    /// Entry bound of the `Apply` operator's per-binding memoization cache.
+    /// Defaults to [`datastore::exec::APPLY_CACHE_CAP`].
+    pub apply_cache_cap: usize,
 }
 
 impl Default for PlannerOptions {
@@ -95,6 +109,9 @@ impl Default for PlannerOptions {
             parallel_row_threshold: PARALLEL_ROW_THRESHOLD,
             use_indexes: true,
             misestimate_factor: datastore::exec::MISESTIMATE_FACTOR,
+            use_vectorized: true,
+            parallel_build_min: datastore::exec::PARALLEL_BUILD_MIN,
+            apply_cache_cap: datastore::exec::APPLY_CACHE_CAP,
         }
     }
 }
@@ -165,8 +182,14 @@ pub fn plan_query_with(
         true,
     )?;
     decisions.extend(subctx.take_decisions());
+    // The vectorize pass stamps the executor knobs (vector kernels, the
+    // partitioned-build threshold, the apply cache cap) onto the lowered
+    // plan — always, so the knobs reach the executor even when the
+    // vectorized kernels themselves are switched off.
+    let plan = vectorize::vectorize_plan(db, plan, &options, &mut decisions);
     // Parallelization runs last, over the final physical plan: wrap
-    // qualifying pipelines in exchanges and fan out qualifying applies,
+    // qualifying pipelines in exchanges (pushing aggregation, sorting, and
+    // top-k below them when profitable) and fan out qualifying applies,
     // recording each choice (including the choice not to).
     let plan = parallel::parallelize_plan(plan, &options, &mut decisions);
     Ok(PlannedQuery {
@@ -393,6 +416,7 @@ mod tests {
             &q,
             PlannerOptions {
                 reorder_joins: false,
+                use_vectorized: false,
                 ..PlannerOptions::sequential()
             },
         )

@@ -14,7 +14,13 @@
 //! * An `Apply` whose input clears the threshold has its per-binding
 //!   subquery evaluations fanned out across the same worker count (they are
 //!   embarrassingly parallel).
-//! * Blocking operators (sort, aggregate, limit, distinct) stay above the
+//! * Three blocking operators are *pushed into* the exchange when they sit
+//!   directly on a qualifying pipeline, via the exchange's
+//!   [`datastore::exec::GatherMode`]: an aggregate becomes per-worker
+//!   partial aggregation with a merging gather, a sort becomes per-worker
+//!   sorted runs merged above the exchange, and `ORDER BY … LIMIT k`
+//!   becomes a bounded per-worker top-k merge.
+//! * The remaining blocking operators (limit, distinct) stay above the
 //!   exchange: they consume the gathered, deterministic, morsel-ordered
 //!   stream.
 //!
@@ -25,7 +31,7 @@
 
 use super::cost::{ParallelKind, PlanDecision};
 use super::PlannerOptions;
-use datastore::exec::{Plan, PlanNode};
+use datastore::exec::{GatherMode, Plan, PlanNode};
 
 /// Default minimum estimated driver rows before a pipeline (or apply) is
 /// parallelized: below this, thread startup costs more than it saves.
@@ -57,6 +63,13 @@ fn transform(
     if prefix_bounded && is_pipeline_subtree(&plan) {
         return plan;
     }
+    // A blocking operator sitting directly on a pipeline? Push it below the
+    // exchange as a gather mode instead of leaving it to consume a gathered
+    // stream single-threaded.
+    let plan = match try_pushdown(plan, options, decisions) {
+        Ok(done) => return done,
+        Err(plan) => *plan,
+    };
     // A pipeline region rooted here? Decide for the whole region at once —
     // wrapping the largest qualifying subtree keeps every operator of the
     // pipeline (filters, probes, projections) inside the morsel loop.
@@ -81,6 +94,167 @@ fn transform(
         return plan;
     }
     descend(plan, options, decisions, prefix_bounded)
+}
+
+/// Push a blocking operator below an exchange over its pipeline input, as a
+/// [`GatherMode`]: `LIMIT k` over a sort becomes a bounded top-k merge, a
+/// bare sort becomes a merge of per-worker sorted runs, and an aggregate
+/// becomes per-worker partial aggregation with a merging gather.
+///
+/// `Ok` means the decision was made here — one recorded
+/// [`PlanDecision::Parallel`] whether or not an exchange was produced (the
+/// pushdown decision subsumes the pipeline decision at the same site).
+/// `Err` hands the plan back untouched for the normal walk.
+fn try_pushdown(
+    plan: Plan,
+    options: &PlannerOptions,
+    decisions: &mut Vec<PlanDecision>,
+) -> Result<Plan, Box<Plan>> {
+    let est = plan.estimated_rows;
+    match plan.node {
+        // `LIMIT k` directly over a sort: each worker only ever needs its
+        // morsels' best k rows, so the sort collapses into a bounded top-k
+        // gather and the limit above trims the merged runs.
+        PlanNode::Limit { input, n } if matches!(input.node, PlanNode::Sort { .. }) => {
+            let sort_est = input.estimated_rows;
+            let PlanNode::Sort { input: pipe, keys } = input.node else {
+                unreachable!("guard matched a sort");
+            };
+            let rebuild = |pipe: Box<Plan>, keys| {
+                let sort = Plan {
+                    node: PlanNode::Sort { input: pipe, keys },
+                    estimated_rows: sort_est,
+                };
+                Plan {
+                    node: PlanNode::Limit {
+                        input: Box::new(sort),
+                        n,
+                    },
+                    estimated_rows: est,
+                }
+            };
+            let Some((desc, rows)) = pushdown_driver(&pipe) else {
+                return Err(Box::new(rebuild(pipe, keys)));
+            };
+            let parallelized = rows >= options.parallel_row_threshold;
+            decisions.push(PlanDecision::Parallel {
+                kind: ParallelKind::TopK,
+                target: format!("the top-{n} sort over {desc}"),
+                workers: options.parallelism,
+                estimated_rows: rows,
+                threshold: options.parallel_row_threshold,
+                parallelized,
+            });
+            if !parallelized {
+                return Ok(rebuild(pipe, keys));
+            }
+            let mut exch =
+                (*pipe).exchange_gather(options.parallelism, GatherMode::TopK { keys, limit: n });
+            exch.estimated_rows = sort_est;
+            Ok(Plan {
+                node: PlanNode::Limit {
+                    input: Box::new(exch),
+                    n,
+                },
+                estimated_rows: est,
+            })
+        }
+        // A bare sort over a pipeline: workers sort their own runs, the
+        // gather merges them — the exchange subsumes the sort node.
+        PlanNode::Sort { input: pipe, keys } => {
+            let rebuild = |pipe: Box<Plan>, keys| Plan {
+                node: PlanNode::Sort { input: pipe, keys },
+                estimated_rows: est,
+            };
+            let Some((desc, rows)) = pushdown_driver(&pipe) else {
+                return Err(Box::new(rebuild(pipe, keys)));
+            };
+            let parallelized = rows >= options.parallel_row_threshold;
+            decisions.push(PlanDecision::Parallel {
+                kind: ParallelKind::MergeSort,
+                target: format!("the sort over {desc}"),
+                workers: options.parallelism,
+                estimated_rows: rows,
+                threshold: options.parallel_row_threshold,
+                parallelized,
+            });
+            if !parallelized {
+                return Ok(rebuild(pipe, keys));
+            }
+            let mut exch =
+                (*pipe).exchange_gather(options.parallelism, GatherMode::MergeSort { keys });
+            exch.estimated_rows = est;
+            Ok(exch)
+        }
+        // An aggregate over a pipeline: workers build partial aggregates per
+        // morsel, the gather merges them in morsel order and applies the
+        // HAVING — the exchange subsumes the aggregate node.
+        PlanNode::Aggregate {
+            input: pipe,
+            group_by,
+            aggregates,
+            having,
+            vectorized,
+        } => {
+            let Some((desc, rows)) = pushdown_driver(&pipe) else {
+                return Err(Box::new(Plan {
+                    node: PlanNode::Aggregate {
+                        input: pipe,
+                        group_by,
+                        aggregates,
+                        having,
+                        vectorized,
+                    },
+                    estimated_rows: est,
+                }));
+            };
+            let parallelized = rows >= options.parallel_row_threshold;
+            decisions.push(PlanDecision::Parallel {
+                kind: ParallelKind::PartialAggregate,
+                target: format!("the aggregation over {desc}"),
+                workers: options.parallelism,
+                estimated_rows: rows,
+                threshold: options.parallel_row_threshold,
+                parallelized,
+            });
+            if !parallelized {
+                return Ok(Plan {
+                    node: PlanNode::Aggregate {
+                        input: pipe,
+                        group_by,
+                        aggregates,
+                        having,
+                        vectorized,
+                    },
+                    estimated_rows: est,
+                });
+            }
+            let mut exch = (*pipe).exchange_gather(
+                options.parallelism,
+                GatherMode::MergeAggregate {
+                    group_by,
+                    aggregates,
+                    having,
+                    vectorized,
+                },
+            );
+            exch.estimated_rows = est;
+            Ok(exch)
+        }
+        node => Err(Box::new(Plan {
+            node,
+            estimated_rows: est,
+        })),
+    }
+}
+
+/// The pushdown qualification: the blocking operator's input must be a pure
+/// pipeline subtree with an estimated stored-table driver scan.
+fn pushdown_driver(pipe: &Plan) -> Option<(String, f64)> {
+    if !is_pipeline_subtree(pipe) {
+        return None;
+    }
+    driver_scan(pipe)
 }
 
 /// Rebuild `plan` with its children transformed (used when the node itself
@@ -112,9 +286,14 @@ fn descend(
             index,
             left_key,
         },
-        PlanNode::Filter { input, predicate } => PlanNode::Filter {
+        PlanNode::Filter {
+            input,
+            predicate,
+            vectorized,
+        } => PlanNode::Filter {
             input: Box::new(transform(*input, options, decisions, prefix_bounded)),
             predicate,
+            vectorized,
         },
         PlanNode::Project {
             input,
@@ -130,11 +309,13 @@ fn descend(
             group_by,
             aggregates,
             having,
+            vectorized,
         } => PlanNode::Aggregate {
             input: Box::new(transform(*input, options, decisions, false)),
             group_by,
             aggregates,
             having,
+            vectorized,
         },
         PlanNode::Sort { input, keys } => PlanNode::Sort {
             input: Box::new(transform(*input, options, decisions, false)),
@@ -163,22 +344,28 @@ fn descend(
             right,
             left_keys,
             right_keys,
+            vectorized,
+            build_min,
         } => PlanNode::HashJoin {
             left: Box::new(transform(*left, options, decisions, prefix_bounded)),
             right: Box::new(transform(*right, options, decisions, false)),
             left_keys,
             right_keys,
+            vectorized,
+            build_min,
         },
         PlanNode::HashSemiJoin {
             left,
             right,
             left_keys,
             right_keys,
+            build_min,
         } => PlanNode::HashSemiJoin {
             left: Box::new(transform(*left, options, decisions, prefix_bounded)),
             right: Box::new(transform(*right, options, decisions, false)),
             left_keys,
             right_keys,
+            build_min,
         },
         PlanNode::HashAntiJoin {
             left,
@@ -186,12 +373,14 @@ fn descend(
             left_keys,
             right_keys,
             null_aware,
+            build_min,
         } => PlanNode::HashAntiJoin {
             left: Box::new(transform(*left, options, decisions, prefix_bounded)),
             right: Box::new(transform(*right, options, decisions, false)),
             left_keys,
             right_keys,
             null_aware,
+            build_min,
         },
         PlanNode::ScalarSubquery {
             input,
@@ -210,6 +399,7 @@ fn descend(
             params,
             mode,
             workers: _,
+            cache_cap,
         } => {
             // The per-binding evaluations are embarrassingly parallel; fan
             // them out when enough bindings are expected to arrive. The
@@ -242,6 +432,7 @@ fn descend(
                 params,
                 mode,
                 workers,
+                cache_cap,
             }
         }
         already @ PlanNode::Exchange { .. } => already,
@@ -406,7 +597,20 @@ mod tests {
 
     #[test]
     fn blocking_operators_stay_above_the_exchange() {
-        use datastore::exec::SortKey;
+        // DISTINCT has no gather mode; it consumes the gathered stream while
+        // the pipeline below it still parallelizes.
+        let plan = Plan::scan("A", "a").with_estimate(50_000.0).distinct();
+        let mut decisions = Vec::new();
+        let out = parallelize_plan(plan, &options(4, 1024.0), &mut decisions);
+        let PlanNode::Distinct { input: exch } = out.node else {
+            panic!("distinct must stay on top");
+        };
+        assert!(matches!(exch.node, PlanNode::Exchange { .. }));
+    }
+
+    #[test]
+    fn top_k_sorts_are_pushed_into_the_exchange() {
+        use datastore::exec::{GatherMode, SortKey};
         let plan = Plan::scan("A", "a")
             .with_estimate(50_000.0)
             .sort(vec![SortKey {
@@ -416,14 +620,103 @@ mod tests {
             .limit(10);
         let mut decisions = Vec::new();
         let out = parallelize_plan(plan, &options(4, 1024.0), &mut decisions);
-        // limit -> sort -> exchange -> scan
-        let PlanNode::Limit { input: sort, .. } = out.node else {
+        // limit -> exchange[top-k] -> scan: the sort is subsumed.
+        let PlanNode::Limit { input: exch, n: 10 } = out.node else {
             panic!("limit must stay on top");
         };
-        let PlanNode::Sort { input: exch, .. } = sort.node else {
-            panic!("sort must stay above the exchange");
+        let PlanNode::Exchange {
+            gather: GatherMode::TopK { limit: 10, .. },
+            ..
+        } = exch.node
+        else {
+            panic!("the sort must become a top-k exchange, got {:?}", exch.node);
         };
-        assert!(matches!(exch.node, PlanNode::Exchange { .. }));
+        assert!(matches!(
+            decisions.as_slice(),
+            [PlanDecision::Parallel {
+                kind: ParallelKind::TopK,
+                parallelized: true,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn sorts_become_merged_runs_in_the_exchange() {
+        use datastore::exec::{GatherMode, SortKey};
+        let plan = Plan::scan("A", "a")
+            .with_estimate(50_000.0)
+            .sort(vec![SortKey {
+                column: 0,
+                ascending: true,
+            }])
+            .with_estimate(50_000.0);
+        let mut decisions = Vec::new();
+        let out = parallelize_plan(plan, &options(4, 1024.0), &mut decisions);
+        assert!(matches!(
+            out.node,
+            PlanNode::Exchange {
+                gather: GatherMode::MergeSort { .. },
+                ..
+            }
+        ));
+        assert_eq!(out.estimated_rows, Some(50_000.0));
+        assert!(matches!(
+            decisions.as_slice(),
+            [PlanDecision::Parallel {
+                kind: ParallelKind::MergeSort,
+                parallelized: true,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn aggregates_become_partial_merges_in_the_exchange() {
+        use datastore::exec::AggExpr;
+        let plan = Plan::scan("A", "a")
+            .with_estimate(50_000.0)
+            .aggregate(vec![0], vec![AggExpr::count_star("cnt")], None)
+            .with_estimate(60.0);
+        let mut decisions = Vec::new();
+        let out = parallelize_plan(plan, &options(4, 1024.0), &mut decisions);
+        assert!(matches!(
+            out.node,
+            PlanNode::Exchange {
+                gather: GatherMode::MergeAggregate { .. },
+                ..
+            }
+        ));
+        assert_eq!(out.estimated_rows, Some(60.0));
+        assert!(matches!(
+            decisions.as_slice(),
+            [PlanDecision::Parallel {
+                kind: ParallelKind::PartialAggregate,
+                parallelized: true,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn small_drivers_veto_pushdown_with_a_recorded_decision() {
+        use datastore::exec::SortKey;
+        let plan = Plan::scan("A", "a").with_estimate(10.0).sort(vec![SortKey {
+            column: 0,
+            ascending: true,
+        }]);
+        let mut decisions = Vec::new();
+        let out = parallelize_plan(plan, &options(4, 1024.0), &mut decisions);
+        assert_eq!(count_exchanges(&out), 0);
+        assert!(matches!(out.node, PlanNode::Sort { .. }));
+        assert!(matches!(
+            decisions.as_slice(),
+            [PlanDecision::Parallel {
+                kind: ParallelKind::MergeSort,
+                parallelized: false,
+                ..
+            }]
+        ));
     }
 
     #[test]
@@ -435,8 +728,8 @@ mod tests {
         let out = parallelize_plan(plan, &options(4, 1024.0), &mut decisions);
         assert_eq!(count_exchanges(&out), 0);
         assert!(decisions.is_empty(), "nothing to narrate for a shape veto");
-        // …but a blocking sort below the limit consumes everything anyway,
-        // so the pipeline under it still parallelizes.
+        // …but a sort below the limit consumes everything anyway, so the
+        // region parallelizes — as a bounded top-k exchange.
         use datastore::exec::SortKey;
         let plan = Plan::scan("A", "a")
             .with_estimate(100_000.0)
@@ -448,6 +741,13 @@ mod tests {
         let mut decisions = Vec::new();
         let out = parallelize_plan(plan, &options(4, 1024.0), &mut decisions);
         assert_eq!(count_exchanges(&out), 1);
+        assert!(matches!(
+            decisions.as_slice(),
+            [PlanDecision::Parallel {
+                kind: ParallelKind::TopK,
+                ..
+            }]
+        ));
     }
 
     #[test]

@@ -385,7 +385,15 @@ pub(super) fn lower_select(
                 column: column.clone(),
             });
         } else {
-            plan = plan.sort(keys).with_estimate(rows);
+            // A LIMIT above the sort bounds what the sort hands on: a top-k
+            // plan emits at most k rows, so everything downstream (and the
+            // misestimate flagging) should be charged min(k, input), not the
+            // full sort output.
+            let sort_rows = match query.limit {
+                Some(limit) => rows.min(limit as f64),
+                None => rows,
+            };
+            plan = plan.sort(keys).with_estimate(sort_rows);
         }
     }
     if let Some(limit) = query.limit {
@@ -408,9 +416,14 @@ fn set_key_order(plan: Plan) -> Plan {
                 None => plan.with_key_order(),
             };
         }
-        PlanNode::Filter { input, predicate } => PlanNode::Filter {
+        PlanNode::Filter {
+            input,
+            predicate,
+            vectorized,
+        } => PlanNode::Filter {
             input: Box::new(set_key_order(*input)),
             predicate,
+            vectorized,
         },
         PlanNode::Project {
             input,

@@ -1,0 +1,414 @@
+//! The vectorize pass: stamp executor knobs onto the lowered physical plan,
+//! and decide — on the record — which operators run on the typed column
+//! kernels.
+//!
+//! Runs after physical lowering and before parallelization, walking the plan
+//! bottom-up:
+//!
+//! * Filters whose predicate is a flat conjunction of simple comparisons
+//!   (column vs. literal or column vs. column) are marked `vectorized`, so
+//!   the executor compiles them into typed kernels evaluated a batch at a
+//!   time. For a filter sitting directly on a base-table scan the catalog
+//!   knows the column types, so the pass can also reject *honestly*: a
+//!   predicate mixing text and numbers, or touching a boolean/date column,
+//!   stays row-at-a-time — and the recorded [`PlanDecision::Vectorize`]
+//!   says why.
+//! * Aggregates whose every argument is `*` or a plain column accumulate
+//!   through the typed kernels; a computed argument keeps the whole
+//!   aggregation row-at-a-time.
+//! * Hash joins compute probe keys column-major (the key kernel has a
+//!   per-column fallback, so it is always applicable — no decision logged).
+//!
+//! Independent of the vectorized A/B knob, the pass threads two planner
+//! knobs down to the executor: [`PlannerOptions::parallel_build_min`] (the
+//! minimum build-side rows before a parallel plan hash-partitions a join
+//! build across workers, recorded as [`PlanDecision::PartitionedBuild`] when
+//! parallelism is on) and [`PlannerOptions::apply_cache_cap`] (the apply
+//! operator's memo-cache capacity).
+
+use super::cost::PlanDecision;
+use super::PlannerOptions;
+use datastore::exec::stream::render_expr;
+use datastore::exec::{ColumnInfo, Plan, PlanNode, VectorPredicate};
+use datastore::expr::Expr;
+use datastore::{DataType, Database, Value};
+
+/// Apply the vectorize pass (always runs; the vector flags are only set when
+/// `options.use_vectorized`, but the build/cache knobs are stamped either
+/// way).
+pub(super) fn vectorize_plan(
+    db: &Database,
+    plan: Plan,
+    options: &PlannerOptions,
+    decisions: &mut Vec<PlanDecision>,
+) -> Plan {
+    walk(db, plan, options, decisions)
+}
+
+fn walk(
+    db: &Database,
+    plan: Plan,
+    options: &PlannerOptions,
+    decisions: &mut Vec<PlanDecision>,
+) -> Plan {
+    let Plan {
+        node,
+        estimated_rows,
+    } = plan;
+    let node = match node {
+        leaf @ (PlanNode::Scan { .. } | PlanNode::IndexScan { .. } | PlanNode::Values { .. }) => {
+            leaf
+        }
+        PlanNode::Filter {
+            input,
+            predicate,
+            vectorized: _,
+        } => {
+            let input = walk(db, *input, options, decisions);
+            let vectorized = decide_filter(db, &input, &predicate, options, decisions);
+            PlanNode::Filter {
+                input: Box::new(input),
+                predicate,
+                vectorized,
+            }
+        }
+        PlanNode::Project {
+            input,
+            exprs,
+            columns,
+        } => PlanNode::Project {
+            input: Box::new(walk(db, *input, options, decisions)),
+            exprs,
+            columns,
+        },
+        PlanNode::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+        } => PlanNode::NestedLoopJoin {
+            left: Box::new(walk(db, *left, options, decisions)),
+            right: Box::new(walk(db, *right, options, decisions)),
+            predicate,
+        },
+        PlanNode::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            vectorized: _,
+            build_min: _,
+        } => {
+            let left = walk(db, *left, options, decisions);
+            let right = walk(db, *right, options, decisions);
+            record_build(&right, options, decisions);
+            PlanNode::HashJoin {
+                left: Box::new(left),
+                right: Box::new(right),
+                left_keys,
+                right_keys,
+                vectorized: options.use_vectorized,
+                build_min: options.parallel_build_min.max(1),
+            }
+        }
+        PlanNode::HashSemiJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            build_min: _,
+        } => {
+            let left = walk(db, *left, options, decisions);
+            let right = walk(db, *right, options, decisions);
+            record_build(&right, options, decisions);
+            PlanNode::HashSemiJoin {
+                left: Box::new(left),
+                right: Box::new(right),
+                left_keys,
+                right_keys,
+                build_min: options.parallel_build_min.max(1),
+            }
+        }
+        PlanNode::HashAntiJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            null_aware,
+            build_min: _,
+        } => {
+            let left = walk(db, *left, options, decisions);
+            let right = walk(db, *right, options, decisions);
+            record_build(&right, options, decisions);
+            PlanNode::HashAntiJoin {
+                left: Box::new(left),
+                right: Box::new(right),
+                left_keys,
+                right_keys,
+                null_aware,
+                build_min: options.parallel_build_min.max(1),
+            }
+        }
+        PlanNode::IndexNestedLoopJoin {
+            left,
+            table,
+            alias,
+            index,
+            left_key,
+        } => PlanNode::IndexNestedLoopJoin {
+            left: Box::new(walk(db, *left, options, decisions)),
+            table,
+            alias,
+            index,
+            left_key,
+        },
+        PlanNode::Aggregate {
+            input,
+            group_by,
+            aggregates,
+            having,
+            vectorized: _,
+        } => {
+            let input = walk(db, *input, options, decisions);
+            let eligible = aggregates
+                .iter()
+                .all(|a| matches!(&a.arg, None | Some(Expr::Column(_))));
+            let vectorized = eligible && options.use_vectorized;
+            if options.use_vectorized {
+                decisions.push(PlanDecision::Vectorize {
+                    operator: "aggregate".to_string(),
+                    expression: aggregates
+                        .iter()
+                        .map(|a| a.output_name.clone())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    vectorized,
+                    reason: if eligible {
+                        "every aggregate reads a plain column".to_string()
+                    } else {
+                        "an aggregate argument is a computed expression".to_string()
+                    },
+                });
+            }
+            PlanNode::Aggregate {
+                input: Box::new(input),
+                group_by,
+                aggregates,
+                having,
+                vectorized,
+            }
+        }
+        PlanNode::Sort { input, keys } => PlanNode::Sort {
+            input: Box::new(walk(db, *input, options, decisions)),
+            keys,
+        },
+        PlanNode::Limit { input, n } => PlanNode::Limit {
+            input: Box::new(walk(db, *input, options, decisions)),
+            n,
+        },
+        PlanNode::Distinct { input } => PlanNode::Distinct {
+            input: Box::new(walk(db, *input, options, decisions)),
+        },
+        PlanNode::ScalarSubquery {
+            input,
+            subplan,
+            expr,
+            op,
+        } => PlanNode::ScalarSubquery {
+            input: Box::new(walk(db, *input, options, decisions)),
+            subplan: Box::new(walk(db, *subplan, options, decisions)),
+            expr,
+            op,
+        },
+        PlanNode::Apply {
+            input,
+            subplan,
+            params,
+            mode,
+            workers,
+            cache_cap: _,
+        } => PlanNode::Apply {
+            input: Box::new(walk(db, *input, options, decisions)),
+            subplan: Box::new(walk(db, *subplan, options, decisions)),
+            params,
+            mode,
+            workers,
+            cache_cap: options.apply_cache_cap.max(1),
+        },
+        PlanNode::Exchange {
+            input,
+            workers,
+            gather,
+        } => PlanNode::Exchange {
+            input: Box::new(walk(db, *input, options, decisions)),
+            workers,
+            gather,
+        },
+    };
+    Plan {
+        node,
+        estimated_rows,
+    }
+}
+
+/// Decide whether a filter runs on the vector kernels. For scan-adjacent
+/// filters the catalog knows the column types, so the verdict is recorded as
+/// a [`PlanDecision::Vectorize`] (acceptance or an honest rejection);
+/// deeper filters are stamped by predicate shape alone, silently.
+fn decide_filter(
+    db: &Database,
+    input: &Plan,
+    predicate: &Expr,
+    options: &PlannerOptions,
+    decisions: &mut Vec<PlanDecision>,
+) -> bool {
+    let shape_ok = VectorPredicate::compile(predicate).is_some();
+    let Some((columns, types)) = scan_columns(db, &input.node) else {
+        return shape_ok && options.use_vectorized;
+    };
+    let (eligible, reason) = if !shape_ok {
+        (
+            false,
+            "it is not a flat conjunction of simple comparisons".to_string(),
+        )
+    } else {
+        match type_verdict(predicate, &types, &columns) {
+            Ok(()) => (true, "a flat conjunction of typed comparisons".to_string()),
+            Err(why) => (false, why),
+        }
+    };
+    let vectorized = eligible && options.use_vectorized;
+    if options.use_vectorized {
+        decisions.push(PlanDecision::Vectorize {
+            operator: "filter".to_string(),
+            expression: render_expr(predicate, &columns),
+            vectorized,
+            reason,
+        });
+    }
+    vectorized
+}
+
+/// Record whether a join's build side clears the partitioned-build knob.
+/// Only meaningful when the plan may go parallel, and only possible when the
+/// build side has an estimate.
+fn record_build(build: &Plan, options: &PlannerOptions, decisions: &mut Vec<PlanDecision>) {
+    if options.parallelism <= 1 {
+        return;
+    }
+    let Some(est) = build.estimated_rows else {
+        return;
+    };
+    let build_min = options.parallel_build_min.max(1);
+    decisions.push(PlanDecision::PartitionedBuild {
+        target: base_desc(build),
+        estimated_rows: est,
+        build_min,
+        partitioned: est >= build_min as f64,
+    });
+}
+
+/// Base-table description of a build side ("CAST as c"), looking through
+/// filters and projections.
+fn base_desc(plan: &Plan) -> String {
+    match &plan.node {
+        PlanNode::Scan { table, alias } | PlanNode::IndexScan { table, alias, .. } => {
+            if alias == table {
+                table.clone()
+            } else {
+                format!("{table} as {alias}")
+            }
+        }
+        PlanNode::Filter { input, .. }
+        | PlanNode::Project { input, .. }
+        | PlanNode::Distinct { input } => base_desc(input),
+        _ => "the build side".to_string(),
+    }
+}
+
+/// Output columns and types of a base-table access path, when the node is
+/// one and the catalog knows the table.
+fn scan_columns(db: &Database, node: &PlanNode) -> Option<(Vec<ColumnInfo>, Vec<DataType>)> {
+    let (table, alias) = match node {
+        PlanNode::Scan { table, alias } => (table, alias),
+        PlanNode::IndexScan { table, alias, .. } => (table, alias),
+        _ => return None,
+    };
+    let schema = db.catalog().table(table)?;
+    let mut columns = Vec::with_capacity(schema.columns.len());
+    let mut types = Vec::with_capacity(schema.columns.len());
+    for col in &schema.columns {
+        columns.push(ColumnInfo::qualified(alias.clone(), col.name.clone()));
+        types.push(col.data_type);
+    }
+    Some((columns, types))
+}
+
+/// Coarse type families the kernels distinguish.
+#[derive(PartialEq)]
+enum Family {
+    Numeric,
+    Text,
+    Other(&'static str),
+}
+
+fn column_family(ty: DataType) -> Family {
+    match ty {
+        DataType::Integer | DataType::Float => Family::Numeric,
+        DataType::Text => Family::Text,
+        DataType::Boolean => Family::Other("boolean"),
+        DataType::Date => Family::Other("date"),
+    }
+}
+
+fn literal_family(value: &Value) -> Option<Family> {
+    match value {
+        Value::Integer(_) | Value::Float(_) => Some(Family::Numeric),
+        Value::Text(_) => Some(Family::Text),
+        Value::Boolean(_) => Some(Family::Other("boolean")),
+        Value::Date(_) => Some(Family::Other("date")),
+        Value::Null => None,
+    }
+}
+
+/// Check every conjunct of a shape-eligible predicate against the scan's
+/// column types; `Err` carries the narrated rejection.
+fn type_verdict(expr: &Expr, types: &[DataType], columns: &[ColumnInfo]) -> Result<(), String> {
+    match expr {
+        Expr::And(a, b) => {
+            type_verdict(a, types, columns)?;
+            type_verdict(b, types, columns)
+        }
+        Expr::Compare { left, right, .. } => {
+            let sides = match (left.as_ref(), right.as_ref()) {
+                (Expr::Column(i), Expr::Literal(v)) | (Expr::Literal(v), Expr::Column(i)) => {
+                    Some((column_family(types[*i]), literal_family(v)))
+                }
+                (Expr::Column(i), Expr::Column(j)) => {
+                    Some((column_family(types[*i]), Some(column_family(types[*j]))))
+                }
+                _ => None,
+            };
+            let Some((lhs, Some(rhs))) = sides else {
+                // Shape compilation already vetted the term; nothing typed
+                // to check here.
+                return Ok(());
+            };
+            let rendered = render_expr(expr, columns);
+            if let Family::Other(name) = &lhs {
+                return Err(format!(
+                    "`{rendered}` compares {name} values, which the kernels don't cover"
+                ));
+            }
+            if let Family::Other(name) = &rhs {
+                return Err(format!(
+                    "`{rendered}` compares {name} values, which the kernels don't cover"
+                ));
+            }
+            if lhs != rhs {
+                return Err(format!("`{rendered}` mixes text and numbers"));
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}

@@ -138,12 +138,14 @@ pub fn narrate_decisions(decisions: &[PlanDecision]) -> Vec<String> {
                 strategy,
                 on,
                 correlated_on,
+                cache_cap,
             } => {
                 sentences.push(narrate_subquery_decision(
                     construct,
                     *strategy,
                     on.as_deref(),
                     correlated_on,
+                    *cache_cap,
                 ));
             }
             PlanDecision::AccessPath {
@@ -206,7 +208,8 @@ pub fn narrate_decisions(decisions: &[PlanDecision]) -> Vec<String> {
             } => {
                 // An apply fans out per-binding evaluations; a pipeline is
                 // split into scan morsels. Say which actually happened.
-                let is_apply = *kind == crate::planner::ParallelKind::Apply;
+                use crate::planner::ParallelKind as PK;
+                let is_apply = *kind == PK::Apply;
                 let text = if *parallelized && is_apply {
                     format!(
                         "I fanned {} (an estimated {}) out across {} worker{}, since the \
@@ -218,7 +221,7 @@ pub fn narrate_decisions(decisions: &[PlanDecision]) -> Vec<String> {
                         threshold.round() as usize
                     )
                 } else if *parallelized {
-                    format!(
+                    let mut text = format!(
                         "I split {} (an estimated {}) into morsels across {} worker{}, since \
                          it cleared my {}-row bar for going parallel",
                         target,
@@ -226,7 +229,23 @@ pub fn narrate_decisions(decisions: &[PlanDecision]) -> Vec<String> {
                         count_phrase(*workers),
                         if *workers == 1 { "" } else { "s" },
                         threshold.round() as usize
-                    )
+                    );
+                    match kind {
+                        PK::PartialAggregate => text.push_str(
+                            " — each worker aggregates its own morsels and I merge the \
+                             partial results",
+                        ),
+                        PK::MergeSort => text.push_str(
+                            " — each worker sorts its own runs and I merge them back \
+                             together",
+                        ),
+                        PK::TopK => text.push_str(
+                            " — each worker keeps only its own best rows and I merge \
+                             those short runs",
+                        ),
+                        PK::Pipeline | PK::Apply => {}
+                    }
+                    text
                 } else {
                     format!(
                         "I expected only {} from {}, under my {}-row bar for going \
@@ -236,6 +255,56 @@ pub fn narrate_decisions(decisions: &[PlanDecision]) -> Vec<String> {
                             .strip_prefix("the scan of ")
                             .unwrap_or(target.as_str()),
                         threshold.round() as usize
+                    )
+                };
+                sentences.push(finish_sentence(&text));
+            }
+            PlanDecision::Vectorize {
+                operator,
+                expression,
+                vectorized,
+                reason,
+            } => {
+                let text = if *vectorized {
+                    format!(
+                        "I compiled the {} on {} into typed column kernels — {} — so it \
+                         runs a 1,024-value vector at a time",
+                        operator,
+                        quote_sql(expression),
+                        reason
+                    )
+                } else {
+                    format!(
+                        "I kept the {} on {} row-at-a-time: {}",
+                        operator,
+                        quote_sql(expression),
+                        reason
+                    )
+                };
+                sentences.push(finish_sentence(&text));
+            }
+            PlanDecision::PartitionedBuild {
+                target,
+                estimated_rows,
+                build_min,
+                partitioned,
+            } => {
+                let text = if *partitioned {
+                    format!(
+                        "With {} expected on the build side ({}), parallel runs partition \
+                         the hash build across the workers — over my {}-row bar",
+                        rows_phrase(*estimated_rows),
+                        target,
+                        build_min
+                    )
+                } else {
+                    format!(
+                        "The build side ({}, an estimated {}) stays under my {}-row bar \
+                         for a partitioned build, so each parallel run builds its hash \
+                         table in one piece",
+                        target,
+                        rows_phrase(*estimated_rows),
+                        build_min
                     )
                 };
                 sentences.push(finish_sentence(&text));
@@ -252,6 +321,7 @@ fn narrate_subquery_decision(
     strategy: crate::planner::SubqueryStrategy,
     on: Option<&str>,
     correlated_on: &[String],
+    cache_cap: usize,
 ) -> String {
     use crate::planner::SubqueryStrategy as S;
     let quoted = quote_sql(construct);
@@ -286,9 +356,11 @@ fn narrate_subquery_decision(
             } else {
                 format!(
                     "I could not flatten {}, so I re-check it for each row as an apply, \
-                     caching results per distinct value of {}",
+                     caching results per distinct value of {} (keeping at most {} cached \
+                     results)",
                     quoted,
-                    correlated_on.join(", ")
+                    correlated_on.join(", "),
+                    cache_cap
                 )
             }
         }
@@ -309,7 +381,9 @@ fn narrate_join_order(decisions: &[PlanDecision]) -> Vec<String> {
             PlanDecision::Subquery { .. }
             | PlanDecision::Parallel { .. }
             | PlanDecision::AccessPath { .. }
-            | PlanDecision::SortElided { .. } => {}
+            | PlanDecision::SortElided { .. }
+            | PlanDecision::Vectorize { .. }
+            | PlanDecision::PartitionedBuild { .. } => {}
         }
     }
     let (
@@ -551,9 +625,11 @@ fn join_phrase(lexicon: &Lexicon, left: Option<&str>, right: Option<&str>) -> Op
 /// not such a chain.
 fn fold_scan_filters(node: &PlanProfile, lexicon: &Lexicon, analyzed: bool) -> Option<String> {
     let mut conditions = Vec::new();
+    let mut vector_batches = 0u64;
     let mut current = node;
     while current.operator == "filter" {
         conditions.push(current.detail.clone());
+        vector_batches += current.metrics.vector_batches;
         current = current.children.first()?;
     }
     if current.operator != "scan" || conditions.is_empty() {
@@ -581,13 +657,21 @@ fn fold_scan_filters(node: &PlanProfile, lexicon: &Lexicon, analyzed: bool) -> O
                 conditions
             )
         } else {
-            format!(
+            let mut text = format!(
                 "scanned {} {} and kept the {} where {}",
                 count_phrase(scanned),
                 noun,
                 count_phrase(kept),
                 conditions
-            )
+            );
+            if vector_batches > 0 {
+                text.push_str(&format!(
+                    ", evaluated over {} vector{} of up to 1,024 values",
+                    count_phrase(vector_batches as usize),
+                    if vector_batches == 1 { "" } else { "s" }
+                ));
+            }
+            text
         }
     } else {
         format!("will scan the {noun} and keep only rows where {conditions}")
@@ -705,11 +789,19 @@ fn narrate_node(node: &PlanProfile, lexicon: &Lexicon, analyzed: bool, clauses: 
                 if m.rows_in == 0 {
                     format!("found nothing to check against {}", node.detail)
                 } else {
-                    format!(
+                    let mut text = format!(
                         "kept the {} of them where {}",
                         count_phrase(m.rows_out as usize),
                         node.detail
-                    )
+                    );
+                    if m.vector_batches > 0 {
+                        text.push_str(&format!(
+                            ", evaluated over {} vector{} of up to 1,024 values",
+                            count_phrase(m.vector_batches as usize),
+                            if m.vector_batches == 1 { "" } else { "s" }
+                        ));
+                    }
+                    text
                 }
             } else {
                 format!("will keep only rows where {}", node.detail)
@@ -825,11 +917,19 @@ fn narrate_node(node: &PlanProfile, lexicon: &Lexicon, analyzed: bool, clauses: 
         }
         "aggregate" => {
             if analyzed {
-                format!(
+                let mut text = format!(
                     "summarized them into {} group{}",
                     count_phrase(m.rows_out as usize),
                     if m.rows_out == 1 { "" } else { "s" }
-                )
+                );
+                if m.vector_batches > 0 {
+                    text.push_str(&format!(
+                        ", accumulated through the typed kernels over {} vector{}",
+                        count_phrase(m.vector_batches as usize),
+                        if m.vector_batches == 1 { "" } else { "s" }
+                    ));
+                }
+                text
             } else {
                 format!("will summarize them ({})", node.detail)
             }
@@ -860,23 +960,71 @@ fn narrate_node(node: &PlanProfile, lexicon: &Lexicon, analyzed: bool, clauses: 
         }
         "exchange" => {
             let workers = node.workers.unwrap_or(1);
+            let partial_agg = node.tags.iter().any(|t| t == "partial-agg");
+            let merge_sort = node.tags.iter().any(|t| t == "merge-sort");
+            let top_k = node
+                .tags
+                .iter()
+                .find_map(|t| t.strip_prefix("top-k k="))
+                .map(str::to_string);
             if analyzed {
-                format!(
-                    "ran that pipeline across {} worker{} ({}), gathering {} row{} back \
-                     in order",
+                let base = format!(
+                    "ran that pipeline across {} worker{} ({})",
                     count_phrase(workers),
                     if workers == 1 { "" } else { "s" },
                     node.detail,
-                    count_phrase(m.rows_out as usize),
-                    if m.rows_out == 1 { "" } else { "s" }
-                )
+                );
+                if partial_agg {
+                    let mut text = format!(
+                        "{base}, merging the per-morsel partial aggregates into {} \
+                         group{}",
+                        count_phrase(m.rows_out as usize),
+                        if m.rows_out == 1 { "" } else { "s" }
+                    );
+                    if m.vector_batches > 0 {
+                        text.push_str(&format!(
+                            " after accumulating {} vector{} through the typed kernels",
+                            count_phrase(m.vector_batches as usize),
+                            if m.vector_batches == 1 { "" } else { "s" }
+                        ));
+                    }
+                    text
+                } else if merge_sort {
+                    format!(
+                        "{base}, merging their sorted runs into {} ordered row{}",
+                        count_phrase(m.rows_out as usize),
+                        if m.rows_out == 1 { "" } else { "s" }
+                    )
+                } else if let Some(k) = top_k {
+                    format!(
+                        "{base}, each worker keeping only its best {k} rows, merged into \
+                         {} row{}",
+                        count_phrase(m.rows_out as usize),
+                        if m.rows_out == 1 { "" } else { "s" }
+                    )
+                } else {
+                    format!(
+                        "{base}, gathering {} row{} back in order",
+                        count_phrase(m.rows_out as usize),
+                        if m.rows_out == 1 { "" } else { "s" }
+                    )
+                }
             } else {
-                format!(
+                let base = format!(
                     "will run that pipeline across {} worker{}, splitting its scan into \
                      morsels",
                     count_phrase(workers),
                     if workers == 1 { "" } else { "s" }
-                )
+                );
+                if partial_agg {
+                    format!("{base} and merging each worker's partial aggregates")
+                } else if merge_sort {
+                    format!("{base} and merging each worker's sorted run")
+                } else if let Some(k) = top_k {
+                    format!("{base}, each worker keeping only its best {k} rows")
+                } else {
+                    base
+                }
             }
         }
         "project" => {

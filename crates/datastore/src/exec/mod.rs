@@ -23,19 +23,33 @@
 //! Operator trees are owned (`Arc` table handles, no borrowed lifetimes), so
 //! subtrees are `Send` and the [`parallel`] layer can execute pipelines
 //! morsel-by-morsel across worker threads via [`plan::PlanNode::Exchange`] —
-//! deterministically, because output is gathered in morsel order.
+//! deterministically, because output is gathered in morsel order. The
+//! exchange's [`plan::GatherMode`] also parallelizes blocking operators:
+//! per-worker partial aggregates merged in morsel order, per-worker sorted
+//! runs merged above the exchange, and bounded top-k runs for
+//! `ORDER BY … LIMIT k`.
+//!
+//! The [`vector`] module holds the columnar side of the executor: typed
+//! [`vector::ValueVector`] batches with null bitmaps, and the comparison /
+//! hash-key kernels that the filter, hash join, and aggregate operators use
+//! when the planner marks them `[vectorized]` — with a per-row fallback that
+//! keeps results byte-identical when a batch defies the typed layout.
 
 pub mod aggregate;
 pub mod executor;
 pub mod parallel;
 pub mod plan;
 pub mod stream;
+pub mod vector;
 
-pub use aggregate::{Accumulator, AggExpr, AggFunc};
+pub use aggregate::{Accumulator, AggExpr, AggFunc, GroupedAggregator};
 pub use executor::{describe_plan, execute, execute_with_stats, ResultSet};
 pub use parallel::{morsel_size, JoinIndex, MORSEL_MIN, PARALLEL_BUILD_MIN};
-pub use plan::{aggregate_output_columns, ApplyMode, ColumnInfo, Plan, PlanNode, SortKey};
+pub use plan::{
+    aggregate_output_columns, ApplyMode, ColumnInfo, GatherMode, Plan, PlanNode, SortKey,
+};
 pub use stream::{
     open, open_owned, ExecContext, IndexAccess, OpMetrics, PlanProfile, RowSource, APPLY_CACHE_CAP,
     BATCH_SIZE, MISESTIMATE_FACTOR,
 };
+pub use vector::{ValueVector, VectorPredicate};

@@ -48,8 +48,11 @@
 //! identically at any parallelism degree.
 
 use crate::error::StoreError;
-use crate::exec::plan::{ColumnInfo, Plan, PlanNode};
-use crate::exec::stream::{open_in, ExecContext, OpMetrics, OpenEnv, PlanProfile, RowSource};
+use crate::exec::aggregate::{Accumulator, GroupedAggregator};
+use crate::exec::plan::{aggregate_output_columns, ColumnInfo, GatherMode, Plan, PlanNode};
+use crate::exec::stream::{
+    open_in, sort_rows, ExecContext, OpMetrics, OpenEnv, PlanProfile, RowSource,
+};
 use crate::exec::BATCH_SIZE;
 use crate::tuple::Row;
 use crate::value::{GroupKey, Value};
@@ -119,10 +122,16 @@ fn split_chunks(mut rows: Vec<Row>, workers: usize) -> Vec<Vec<Row>> {
 impl JoinIndex {
     /// Build from materialized build-side rows. NULL keys never participate
     /// in SQL equality and are dropped. With `workers > 1` and at least
-    /// [`PARALLEL_BUILD_MIN`] rows the build is partitioned by key hash and
-    /// each partition's table is built by its own thread.
-    pub fn build(rows: Vec<Row>, key_cols: &[usize], workers: usize) -> JoinIndex {
-        if workers <= 1 || rows.len() < PARALLEL_BUILD_MIN {
+    /// `build_min` rows ([`PARALLEL_BUILD_MIN`] by default, a planner knob)
+    /// the build is partitioned by key hash and each partition's table is
+    /// built by its own thread.
+    pub fn build(
+        rows: Vec<Row>,
+        key_cols: &[usize],
+        workers: usize,
+        build_min: usize,
+    ) -> JoinIndex {
+        if workers <= 1 || rows.len() < build_min {
             let mut map: HashMap<Vec<GroupKey>, Vec<Row>> = HashMap::new();
             for row in rows {
                 let key = row.group_key(key_cols);
@@ -222,12 +231,17 @@ pub struct SemiBuild {
 
 impl SemiBuild {
     /// Build the key set from materialized build-side rows. With
-    /// `workers > 1` and at least [`PARALLEL_BUILD_MIN`] rows, keys are
-    /// hash-partitioned and each partition's set is built by its own
-    /// thread.
-    pub fn build(rows: Vec<Row>, key_cols: &[usize], workers: usize) -> SemiBuild {
+    /// `workers > 1` and at least `build_min` rows ([`PARALLEL_BUILD_MIN`]
+    /// by default, a planner knob), keys are hash-partitioned and each
+    /// partition's set is built by its own thread.
+    pub fn build(
+        rows: Vec<Row>,
+        key_cols: &[usize],
+        workers: usize,
+        build_min: usize,
+    ) -> SemiBuild {
         let any_rows = !rows.is_empty();
-        if workers <= 1 || rows.len() < PARALLEL_BUILD_MIN {
+        if workers <= 1 || rows.len() < build_min {
             let mut keys: HashSet<Vec<GroupKey>> = HashSet::new();
             let mut null_key = false;
             for row in rows {
@@ -463,6 +477,18 @@ fn find_driver(plan: &Plan) -> Option<(String, String)> {
     }
 }
 
+/// What one worker ships back for one morsel, shaped by the exchange's
+/// gather mode: plain rows (possibly a sorted and/or truncated run), or
+/// partial aggregate states plus how many of the morsel's batches went
+/// through the vector kernels.
+enum WorkerOutput {
+    Rows(Vec<Row>),
+    Partial {
+        groups: Vec<(Vec<Value>, Vec<Accumulator>)>,
+        vector_batches: u64,
+    },
+}
+
 /// Morsel-driven parallel execution of a pipeline subtree (see the module
 /// docs). A blocking operator from the parent's perspective: the first pull
 /// runs the whole parallel section, later pulls drain the gathered,
@@ -471,6 +497,8 @@ pub(crate) struct ExchangeSource {
     ctx: Arc<ExecContext>,
     input: Arc<Plan>,
     workers: usize,
+    /// How per-morsel outputs are combined above the workers.
+    gather: GatherMode,
     columns: Vec<ColumnInfo>,
     /// Zero-counter profile of the pipeline subtree; worker profiles are
     /// absorbed into a clone of it after the run.
@@ -495,6 +523,7 @@ impl ExchangeSource {
         ctx: &Arc<ExecContext>,
         input: &Plan,
         workers: usize,
+        gather: GatherMode,
         est: Option<f64>,
     ) -> Result<ExchangeSource, StoreError> {
         let driver = find_driver(input);
@@ -507,9 +536,21 @@ impl ExchangeSource {
         // Opening the template validates the subtree and fixes the profile
         // shape every worker's profile will share; it reads no rows. On the
         // pass-through path (no partitionable driver, or one worker) the
-        // same source simply becomes the fallback — no second open.
+        // same source simply becomes the fallback — no second open. The
+        // gather still applies on that path (an aggregating exchange must
+        // aggregate even when it cannot partition), treating the whole
+        // pass-through output as a single run.
         let template_src = open_in(ctx, input, &env, None)?;
-        let columns = template_src.columns().to_vec();
+        let columns = match &gather {
+            // A merging-aggregate exchange emits aggregate output rows, not
+            // the pipeline's input rows.
+            GatherMode::MergeAggregate {
+                group_by,
+                aggregates,
+                ..
+            } => aggregate_output_columns(template_src.columns(), group_by, aggregates),
+            _ => template_src.columns().to_vec(),
+        };
         let template = template_src.profile();
         let fallback = if driver.is_none() || workers <= 1 {
             Some(template_src)
@@ -520,6 +561,7 @@ impl ExchangeSource {
             ctx: Arc::clone(ctx),
             input: Arc::new(input.clone()),
             workers,
+            gather,
             columns,
             template,
             shared,
@@ -552,7 +594,7 @@ impl ExchangeSource {
         let total_morsels = len.div_ceil(morsel);
         let claim = Arc::new(AtomicUsize::new(0));
         let abort = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = mpsc::channel::<(usize, Result<Vec<Row>, StoreError>)>();
+        let (tx, rx) = mpsc::channel::<(usize, Result<WorkerOutput, StoreError>)>();
         let spawned = self.workers.min(total_morsels).max(1);
         let mut handles = Vec::with_capacity(spawned);
         for _ in 0..spawned {
@@ -561,17 +603,20 @@ impl ExchangeSource {
             let shared = Arc::clone(&self.shared);
             let claim = Arc::clone(&claim);
             let abort = Arc::clone(&abort);
+            let gather = self.gather.clone();
             let tx = tx.clone();
             handles.push(thread::spawn(move || {
-                worker_loop(&ctx, &plan, &shared, &claim, &abort, &tx, morsel, len)
+                worker_loop(
+                    &ctx, &plan, &shared, &gather, &claim, &abort, &tx, morsel, len,
+                )
             }));
         }
         drop(tx);
-        let mut outputs: Vec<Option<Vec<Row>>> = (0..total_morsels).map(|_| None).collect();
+        let mut outputs: Vec<Option<WorkerOutput>> = (0..total_morsels).map(|_| None).collect();
         let mut first_err: Option<StoreError> = None;
         for (idx, result) in rx {
             match result {
-                Ok(rows) => outputs[idx] = Some(rows),
+                Ok(output) => outputs[idx] = Some(output),
                 Err(e) => {
                     first_err.get_or_insert(e);
                 }
@@ -586,14 +631,120 @@ impl ExchangeSource {
         if let Some(e) = first_err {
             return Err(e);
         }
-        let mut rows = VecDeque::new();
-        for morsel_rows in outputs.into_iter().flatten() {
-            self.meter.rows_in += morsel_rows.len() as u64;
-            rows.extend(morsel_rows);
-        }
+        let rows = self.assemble(outputs.into_iter().flatten().collect())?;
         self.morsels_run = total_morsels;
         self.spawned = Some(spawned);
         self.absorbed = Some(profile);
+        self.gathered = Some(rows);
+        Ok(())
+    }
+
+    /// Combine per-morsel worker outputs (already in morsel order) into the
+    /// exchange's final output, per the gather mode.
+    fn assemble(&mut self, outputs: Vec<WorkerOutput>) -> Result<VecDeque<Row>, StoreError> {
+        let mut rows = VecDeque::new();
+        match self.gather.clone() {
+            GatherMode::Rows => {
+                for output in outputs {
+                    let WorkerOutput::Rows(morsel_rows) = output else {
+                        unreachable!("row gather always receives rows");
+                    };
+                    self.meter.rows_in += morsel_rows.len() as u64;
+                    rows.extend(morsel_rows);
+                }
+            }
+            GatherMode::MergeAggregate {
+                group_by,
+                aggregates,
+                having,
+                vectorized,
+            } => {
+                // Merging in morsel order reproduces the sequential
+                // first-encounter group order exactly.
+                let mut agg = GroupedAggregator::new(group_by, aggregates, vectorized);
+                for output in outputs {
+                    let WorkerOutput::Partial {
+                        groups,
+                        vector_batches,
+                    } = output
+                    else {
+                        unreachable!("aggregate gather always receives partials");
+                    };
+                    self.meter.rows_in += groups.len() as u64;
+                    self.meter.vector_batches += vector_batches;
+                    agg.merge_partial(groups);
+                }
+                rows.extend(agg.finish(having.as_ref())?);
+            }
+            GatherMode::MergeSort { keys } => {
+                // Each run is already sorted; a stable sort of their
+                // morsel-order concatenation is exactly the sequential
+                // stable sort (and cheap — it mostly merges runs).
+                let mut all = Vec::new();
+                for output in outputs {
+                    let WorkerOutput::Rows(run) = output else {
+                        unreachable!("sort gather always receives runs");
+                    };
+                    self.meter.rows_in += run.len() as u64;
+                    all.extend(run);
+                }
+                sort_rows(&mut all, &keys);
+                rows.extend(all);
+            }
+            GatherMode::TopK { keys, limit } => {
+                // Every row of the global top k is within its own morsel's
+                // top k, so merging the bounded runs loses nothing.
+                let mut all = Vec::new();
+                for output in outputs {
+                    let WorkerOutput::Rows(run) = output else {
+                        unreachable!("top-k gather always receives runs");
+                    };
+                    self.meter.rows_in += run.len() as u64;
+                    all.extend(run);
+                }
+                sort_rows(&mut all, &keys);
+                all.truncate(limit);
+                rows.extend(all);
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Pass-through path for a non-row gather: the pipeline could not be
+    /// partitioned, but the gather still owns the aggregation/sort — run it
+    /// over the whole output as a single morsel.
+    fn run_fallback_gathered(&mut self) -> Result<(), StoreError> {
+        if self.gathered.is_some() {
+            return Ok(());
+        }
+        let inner = self.fallback.as_mut().expect("fallback path");
+        let mut all = Vec::new();
+        while let Some(batch) = inner.next_batch()? {
+            all.push(batch);
+        }
+        let output = match &self.gather {
+            GatherMode::Rows => unreachable!("row gather streams through"),
+            GatherMode::MergeAggregate {
+                group_by,
+                aggregates,
+                vectorized,
+                ..
+            } => {
+                let mut agg =
+                    GroupedAggregator::new(group_by.clone(), aggregates.clone(), *vectorized);
+                for batch in &all {
+                    agg.push_batch(batch)?;
+                }
+                WorkerOutput::Partial {
+                    vector_batches: agg.vector_batches(),
+                    groups: agg.into_partial(),
+                }
+            }
+            GatherMode::MergeSort { .. } | GatherMode::TopK { .. } => {
+                WorkerOutput::Rows(all.into_iter().flatten().collect())
+            }
+        };
+        let rows = self.assemble(vec![output])?;
         self.gathered = Some(rows);
         Ok(())
     }
@@ -608,16 +759,19 @@ impl ExchangeSource {
 }
 
 /// One worker: claim morsels until none remain (or a sibling failed),
-/// running a fresh copy of the pipeline over each. Returns the worker's
+/// running a fresh copy of the pipeline over each and shaping the morsel's
+/// output per the gather mode — plain rows, a per-morsel partial aggregate,
+/// or a sorted (and for top-k, truncated) run. Returns the worker's
 /// accumulated subtree profile.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     ctx: &Arc<ExecContext>,
     plan: &Arc<Plan>,
     shared: &Arc<ExchangeShared>,
+    gather: &GatherMode,
     claim: &AtomicUsize,
     abort: &AtomicBool,
-    tx: &mpsc::Sender<(usize, Result<Vec<Row>, StoreError>)>,
+    tx: &mpsc::Sender<(usize, Result<WorkerOutput, StoreError>)>,
     morsel: usize,
     len: usize,
 ) -> Option<PlanProfile> {
@@ -641,15 +795,55 @@ fn worker_loop(
         };
         let result = (|| {
             let mut src = open_in(ctx, plan, &env, Some((start, end)))?;
-            let mut rows = Vec::new();
-            while let Some(batch) = src.next_batch()? {
-                rows.extend(batch);
-            }
+            let output = match gather {
+                GatherMode::Rows => {
+                    let mut rows = Vec::new();
+                    while let Some(batch) = src.next_batch()? {
+                        rows.extend(batch);
+                    }
+                    WorkerOutput::Rows(rows)
+                }
+                GatherMode::MergeAggregate {
+                    group_by,
+                    aggregates,
+                    vectorized,
+                    ..
+                } => {
+                    // One aggregator per *morsel*, so the gather can merge
+                    // partials in morsel order deterministically.
+                    let mut agg =
+                        GroupedAggregator::new(group_by.clone(), aggregates.clone(), *vectorized);
+                    while let Some(batch) = src.next_batch()? {
+                        agg.push_batch(&batch)?;
+                    }
+                    WorkerOutput::Partial {
+                        vector_batches: agg.vector_batches(),
+                        groups: agg.into_partial(),
+                    }
+                }
+                GatherMode::MergeSort { keys } => {
+                    let mut rows = Vec::new();
+                    while let Some(batch) = src.next_batch()? {
+                        rows.extend(batch);
+                    }
+                    sort_rows(&mut rows, keys);
+                    WorkerOutput::Rows(rows)
+                }
+                GatherMode::TopK { keys, limit } => {
+                    let mut rows = Vec::new();
+                    while let Some(batch) = src.next_batch()? {
+                        rows.extend(batch);
+                    }
+                    sort_rows(&mut rows, keys);
+                    rows.truncate(*limit);
+                    WorkerOutput::Rows(rows)
+                }
+            };
             match &mut profile {
                 None => profile = Some(src.profile()),
                 Some(p) => p.absorb(&src.profile()),
             }
-            Ok(rows)
+            Ok(output)
         })();
         let failed = result.is_err();
         if failed {
@@ -669,21 +863,31 @@ impl RowSource for ExchangeSource {
 
     fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
         let start = Instant::now();
-        if let Some(inner) = self.fallback.as_mut() {
-            // No partitionable driver: pass through, still accounting the
-            // pull as time spent waiting on the child.
-            let result = inner.next_batch();
-            let spent = start.elapsed();
-            self.meter.blocked += spent;
-            self.meter.elapsed += spent;
-            if let Ok(Some(batch)) = &result {
-                self.meter.rows_in += batch.len() as u64;
-                self.meter.rows_out += batch.len() as u64;
-                self.meter.batches += 1;
+        if matches!(self.gather, GatherMode::Rows) {
+            if let Some(inner) = self.fallback.as_mut() {
+                // No partitionable driver: pass through, still accounting
+                // the pull as time spent waiting on the child.
+                let result = inner.next_batch();
+                let spent = start.elapsed();
+                self.meter.blocked += spent;
+                self.meter.elapsed += spent;
+                if let Ok(Some(batch)) = &result {
+                    self.meter.rows_in += batch.len() as u64;
+                    self.meter.rows_out += batch.len() as u64;
+                    self.meter.batches += 1;
+                }
+                return result;
             }
-            return result;
         }
-        if self.gathered.is_none() {
+        if self.fallback.is_some() {
+            // Non-row gather over a pass-through pipeline: the gather still
+            // aggregates/sorts, treating the whole output as one run.
+            if self.gathered.is_none() {
+                let run = self.run_fallback_gathered();
+                self.meter.blocked += start.elapsed();
+                run?;
+            }
+        } else if self.gathered.is_none() {
             let run = self.run();
             // The whole parallel section is time this operator spent waiting
             // on its (threaded) children, not doing its own work.
@@ -737,6 +941,7 @@ impl RowSource for ExchangeSource {
             } else {
                 Some(self.spawned.unwrap_or(self.workers))
             },
+            tags: self.gather.tags(),
             access: None,
             children: vec![child],
         }
@@ -795,8 +1000,8 @@ mod tests {
         let rows: Vec<Row> = (0..10_000)
             .map(|i| Row::new(vec![Value::int(i % 97), Value::int(i)]))
             .collect();
-        let sequential = JoinIndex::build(rows.clone(), &[0], 1);
-        let parallel = JoinIndex::build(rows, &[0], 4);
+        let sequential = JoinIndex::build(rows.clone(), &[0], 1, PARALLEL_BUILD_MIN);
+        let parallel = JoinIndex::build(rows, &[0], 4, PARALLEL_BUILD_MIN);
         assert_eq!(sequential.partitions(), 1);
         assert_eq!(parallel.partitions(), 4);
         assert_eq!(sequential.key_count(), parallel.key_count());
@@ -817,8 +1022,8 @@ mod tests {
             .map(|i| Row::new(vec![Value::int(i % 211)]))
             .collect();
         rows.push(Row::new(vec![Value::Null]));
-        let sequential = SemiBuild::build(rows.clone(), &[0], 1);
-        let parallel = SemiBuild::build(rows, &[0], 4);
+        let sequential = SemiBuild::build(rows.clone(), &[0], 1, PARALLEL_BUILD_MIN);
+        let parallel = SemiBuild::build(rows, &[0], 4, PARALLEL_BUILD_MIN);
         assert_eq!(sequential.key_count(), 211);
         assert_eq!(parallel.key_count(), 211);
         assert!(sequential.any_rows && parallel.any_rows);
@@ -836,7 +1041,7 @@ mod tests {
             Row::new(vec![Value::Null]),
             Row::new(vec![Value::int(1)]),
         ];
-        let index = JoinIndex::build(rows, &[0], 1);
+        let index = JoinIndex::build(rows, &[0], 1, PARALLEL_BUILD_MIN);
         assert_eq!(index.key_count(), 1);
         assert_eq!(
             index.lookup(&[Value::int(1).group_key()]).map(<[Row]>::len),

@@ -104,6 +104,47 @@ pub struct SortKey {
     pub ascending: bool,
 }
 
+/// How a [`PlanNode::Exchange`] reassembles per-morsel worker output.
+///
+/// Every mode gathers in morsel order, so the result is byte-identical to
+/// the single-threaded run at any worker count.
+#[derive(Debug, Clone)]
+pub enum GatherMode {
+    /// Concatenate worker outputs in morsel order (plain pipelines).
+    Rows,
+    /// Parallel GROUP BY: each worker hash-aggregates its morsel locally
+    /// and ships the partial group states; the gather merges them in morsel
+    /// order, reproducing the sequential first-encounter group order.
+    MergeAggregate {
+        group_by: Vec<usize>,
+        aggregates: Vec<AggExpr>,
+        /// HAVING predicate over the merged aggregate output row.
+        having: Option<Expr>,
+        /// Accumulate through the typed vector kernels where possible.
+        vectorized: bool,
+    },
+    /// Parallel ORDER BY: each worker sorts its morsel; the gather merges
+    /// the sorted runs into one total order.
+    MergeSort { keys: Vec<SortKey> },
+    /// Top-k pushdown for `ORDER BY … LIMIT k`: each worker sorts its
+    /// morsel and keeps only its first `limit` rows, so no one ever
+    /// materializes the full sort; the gather merges the bounded runs and
+    /// keeps the global first `limit`.
+    TopK { keys: Vec<SortKey>, limit: usize },
+}
+
+impl GatherMode {
+    /// Tags rendered after the exchange's detail in plan trees.
+    pub fn tags(&self) -> Vec<String> {
+        match self {
+            GatherMode::Rows => Vec::new(),
+            GatherMode::MergeAggregate { .. } => vec!["partial-agg".to_string()],
+            GatherMode::MergeSort { .. } => vec!["merge-sort".to_string()],
+            GatherMode::TopK { limit, .. } => vec![format!("top-k k={limit}")],
+        }
+    }
+}
+
 /// A physical plan node: the operator itself plus the planner's annotations.
 ///
 /// The operator lives in [`PlanNode`]; the wrapper carries the estimated
@@ -154,8 +195,15 @@ pub enum PlanNode {
         columns: Vec<ColumnInfo>,
         rows: Vec<Row>,
     },
-    /// Filter rows by a predicate over the input's output columns.
-    Filter { input: Box<Plan>, predicate: Expr },
+    /// Filter rows by a predicate over the input's output columns. With
+    /// `vectorized`, the predicate is compiled into typed column kernels
+    /// evaluated batch-at-a-time (falling back per batch when a column
+    /// resists transposition); results are identical either way.
+    Filter {
+        input: Box<Plan>,
+        predicate: Expr,
+        vectorized: bool,
+    },
     /// Project/compute output columns.
     Project {
         input: Box<Plan>,
@@ -175,6 +223,11 @@ pub enum PlanNode {
         right: Box<Plan>,
         left_keys: Vec<usize>,
         right_keys: Vec<usize>,
+        /// Compute probe keys batch-at-a-time with the typed kernels.
+        vectorized: bool,
+        /// Minimum build-side rows before a parallel plan partitions the
+        /// hash-table build across workers (planner knob).
+        build_min: usize,
     },
     /// Grouped aggregation. With an empty `group_by`, produces a single row.
     Aggregate {
@@ -184,6 +237,8 @@ pub enum PlanNode {
         /// Optional HAVING predicate evaluated over the aggregate output row
         /// (group-by columns first, then aggregate results).
         having: Option<Expr>,
+        /// Accumulate through the typed vector kernels where possible.
+        vectorized: bool,
     },
     /// Sort by the given keys.
     Sort {
@@ -202,6 +257,8 @@ pub enum PlanNode {
         right: Box<Plan>,
         left_keys: Vec<usize>,
         right_keys: Vec<usize>,
+        /// Minimum build-side rows before a parallel build (planner knob).
+        build_min: usize,
     },
     /// Anti-join: emit each left row with *no* key match on the right side —
     /// a decorrelated `NOT EXISTS` (and, with `null_aware`, `NOT IN`).
@@ -217,6 +274,8 @@ pub enum PlanNode {
         left_keys: Vec<usize>,
         right_keys: Vec<usize>,
         null_aware: bool,
+        /// Minimum build-side rows before a parallel build (planner knob).
+        build_min: usize,
     },
     /// Uncorrelated scalar subquery used as a filter: evaluate `subplan`
     /// exactly once (it must yield at most one row; zero rows is SQL NULL),
@@ -244,14 +303,24 @@ pub enum PlanNode {
         /// distinct bindings of one input batch are embarrassingly
         /// parallel). 1 = evaluate sequentially.
         workers: usize,
+        /// Maximum distinct-binding results kept in the memo cache before
+        /// eviction (planner knob).
+        cache_cap: usize,
     },
     /// Morsel-driven parallel execution of a pipeline: the subtree's driver
     /// scan (its leftmost leaf) is split into row-range morsels, `workers`
     /// threads claim morsels and run their own copy of the pipeline over
     /// them (build sides are built once and shared), and the outputs are
     /// gathered back in morsel order — so the row order is identical to a
-    /// single-threaded run and `ORDER BY` stays deterministic.
-    Exchange { input: Box<Plan>, workers: usize },
+    /// single-threaded run and `ORDER BY` stays deterministic. The
+    /// [`GatherMode`] says how worker output is reassembled: plain
+    /// concatenation, partial-aggregate merging, sorted-run merging, or a
+    /// bounded top-k merge.
+    Exchange {
+        input: Box<Plan>,
+        workers: usize,
+        gather: GatherMode,
+    },
 }
 
 /// What an [`PlanNode::Apply`] operator checks against each subquery result.
@@ -312,6 +381,18 @@ impl ApplyMode {
             },
         }
     }
+}
+
+/// Clone a list of aggregate expressions with parameters substituted.
+fn bind_aggregates(aggregates: &[AggExpr], bindings: &HashMap<u32, Value>) -> Vec<AggExpr> {
+    aggregates
+        .iter()
+        .map(|a| AggExpr {
+            func: a.func,
+            arg: a.arg.as_ref().map(|e| e.substitute_params(bindings)),
+            output_name: a.output_name.clone(),
+        })
+        .collect()
 }
 
 impl From<PlanNode> for Plan {
@@ -407,6 +488,8 @@ impl Plan {
             right: Box::new(right),
             left_keys,
             right_keys,
+            vectorized: false,
+            build_min: crate::exec::parallel::PARALLEL_BUILD_MIN,
         }
         .into()
     }
@@ -423,6 +506,7 @@ impl Plan {
             right: Box::new(right),
             left_keys,
             right_keys,
+            build_min: crate::exec::parallel::PARALLEL_BUILD_MIN,
         }
         .into()
     }
@@ -442,6 +526,7 @@ impl Plan {
             left_keys,
             right_keys,
             null_aware,
+            build_min: crate::exec::parallel::PARALLEL_BUILD_MIN,
         }
         .into()
     }
@@ -467,8 +552,42 @@ impl Plan {
             params,
             mode,
             workers: 1,
+            cache_cap: crate::exec::stream::APPLY_CACHE_CAP,
         }
         .into()
+    }
+
+    /// Set the memo-cache capacity of an `Apply` root (no-op on other
+    /// operators).
+    pub fn with_cache_cap(mut self, cap: usize) -> Plan {
+        if let PlanNode::Apply { cache_cap, .. } = &mut self.node {
+            *cache_cap = cap.max(1);
+        }
+        self
+    }
+
+    /// Mark a `Filter`, `Aggregate`, or `HashJoin` root as vectorized
+    /// (no-op on other operators).
+    pub fn with_vectorized(mut self) -> Plan {
+        match &mut self.node {
+            PlanNode::Filter { vectorized, .. }
+            | PlanNode::Aggregate { vectorized, .. }
+            | PlanNode::HashJoin { vectorized, .. } => *vectorized = true,
+            _ => {}
+        }
+        self
+    }
+
+    /// Set the parallel-build threshold of a hash/semi/anti join root
+    /// (no-op on other operators).
+    pub fn with_build_min(mut self, n: usize) -> Plan {
+        match &mut self.node {
+            PlanNode::HashJoin { build_min, .. }
+            | PlanNode::HashSemiJoin { build_min, .. }
+            | PlanNode::HashAntiJoin { build_min, .. } => *build_min = n.max(1),
+            _ => {}
+        }
+        self
     }
 
     /// Set the worker count of an `Apply` root (no-op on other operators):
@@ -484,10 +603,17 @@ impl Plan {
     /// Wrap this plan in a morsel-driven exchange running it across
     /// `workers` threads (see [`PlanNode::Exchange`]).
     pub fn exchange(self, workers: usize) -> Plan {
+        self.exchange_gather(workers, GatherMode::Rows)
+    }
+
+    /// Wrap this plan in an exchange with an explicit gather mode
+    /// (partial-aggregate merge, merge-sort, or top-k).
+    pub fn exchange_gather(self, workers: usize, gather: GatherMode) -> Plan {
         let est = self.estimated_rows;
         let plan: Plan = PlanNode::Exchange {
             input: Box::new(self),
             workers: workers.max(1),
+            gather,
         }
         .into();
         match est {
@@ -535,9 +661,14 @@ impl Plan {
                 columns: columns.clone(),
                 rows: rows.clone(),
             },
-            PlanNode::Filter { input, predicate } => PlanNode::Filter {
+            PlanNode::Filter {
+                input,
+                predicate,
+                vectorized,
+            } => PlanNode::Filter {
                 input: Box::new(input.bind_params(bindings)),
                 predicate: predicate.substitute_params(bindings),
+                vectorized: *vectorized,
             },
             PlanNode::Project {
                 input,
@@ -565,22 +696,28 @@ impl Plan {
                 right,
                 left_keys,
                 right_keys,
+                vectorized,
+                build_min,
             } => PlanNode::HashJoin {
                 left: Box::new(left.bind_params(bindings)),
                 right: Box::new(right.bind_params(bindings)),
                 left_keys: left_keys.clone(),
                 right_keys: right_keys.clone(),
+                vectorized: *vectorized,
+                build_min: *build_min,
             },
             PlanNode::HashSemiJoin {
                 left,
                 right,
                 left_keys,
                 right_keys,
+                build_min,
             } => PlanNode::HashSemiJoin {
                 left: Box::new(left.bind_params(bindings)),
                 right: Box::new(right.bind_params(bindings)),
                 left_keys: left_keys.clone(),
                 right_keys: right_keys.clone(),
+                build_min: *build_min,
             },
             PlanNode::HashAntiJoin {
                 left,
@@ -588,30 +725,27 @@ impl Plan {
                 left_keys,
                 right_keys,
                 null_aware,
+                build_min,
             } => PlanNode::HashAntiJoin {
                 left: Box::new(left.bind_params(bindings)),
                 right: Box::new(right.bind_params(bindings)),
                 left_keys: left_keys.clone(),
                 right_keys: right_keys.clone(),
                 null_aware: *null_aware,
+                build_min: *build_min,
             },
             PlanNode::Aggregate {
                 input,
                 group_by,
                 aggregates,
                 having,
+                vectorized,
             } => PlanNode::Aggregate {
                 input: Box::new(input.bind_params(bindings)),
                 group_by: group_by.clone(),
-                aggregates: aggregates
-                    .iter()
-                    .map(|a| AggExpr {
-                        func: a.func,
-                        arg: a.arg.as_ref().map(|e| e.substitute_params(bindings)),
-                        output_name: a.output_name.clone(),
-                    })
-                    .collect(),
+                aggregates: bind_aggregates(aggregates, bindings),
                 having: having.as_ref().map(|h| h.substitute_params(bindings)),
+                vectorized: *vectorized,
             },
             PlanNode::Sort { input, keys } => PlanNode::Sort {
                 input: Box::new(input.bind_params(bindings)),
@@ -641,16 +775,41 @@ impl Plan {
                 params,
                 mode,
                 workers,
+                cache_cap,
             } => PlanNode::Apply {
                 input: Box::new(input.bind_params(bindings)),
                 subplan: Box::new(subplan.bind_params(bindings)),
                 params: params.clone(),
                 mode: mode.map_exprs(&|e| e.substitute_params(bindings)),
                 workers: *workers,
+                cache_cap: *cache_cap,
             },
-            PlanNode::Exchange { input, workers } => PlanNode::Exchange {
+            PlanNode::Exchange {
+                input,
+                workers,
+                gather,
+            } => PlanNode::Exchange {
                 input: Box::new(input.bind_params(bindings)),
                 workers: *workers,
+                gather: match gather {
+                    GatherMode::Rows => GatherMode::Rows,
+                    GatherMode::MergeAggregate {
+                        group_by,
+                        aggregates,
+                        having,
+                        vectorized,
+                    } => GatherMode::MergeAggregate {
+                        group_by: group_by.clone(),
+                        aggregates: bind_aggregates(aggregates, bindings),
+                        having: having.as_ref().map(|h| h.substitute_params(bindings)),
+                        vectorized: *vectorized,
+                    },
+                    GatherMode::MergeSort { keys } => GatherMode::MergeSort { keys: keys.clone() },
+                    GatherMode::TopK { keys, limit } => GatherMode::TopK {
+                        keys: keys.clone(),
+                        limit: *limit,
+                    },
+                },
             },
         };
         Plan {
@@ -671,6 +830,7 @@ impl Plan {
             group_by,
             aggregates,
             having,
+            vectorized: false,
         }
         .into()
     }
@@ -680,6 +840,7 @@ impl Plan {
         PlanNode::Filter {
             input: Box::new(self),
             predicate,
+            vectorized: false,
         }
         .into()
     }

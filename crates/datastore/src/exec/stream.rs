@@ -25,9 +25,10 @@
 
 use crate::database::Database;
 use crate::error::StoreError;
-use crate::exec::aggregate::{agg_input, Accumulator, AggExpr};
+use crate::exec::aggregate::{AggExpr, GroupedAggregator};
 use crate::exec::parallel::{ExchangeShared, ExchangeSource, JoinIndex, SemiBuild, SharedBuild};
 use crate::exec::plan::{aggregate_output_columns, ApplyMode, ColumnInfo, Plan, PlanNode, SortKey};
+use crate::exec::vector::{batch_group_keys, gather_selected, VectorPredicate};
 use crate::expr::{CmpOp, Expr};
 use crate::index::IndexBounds;
 use crate::table::Table;
@@ -109,6 +110,10 @@ pub struct OpMetrics {
     /// `blocked`, so time attribution blames the operator that actually
     /// burned the cycles.
     pub blocked: Duration,
+    /// Input batches this operator evaluated through the typed vector
+    /// kernels (zero for row-at-a-time operators); the remainder of its
+    /// input batches fell back to per-row evaluation.
+    pub vector_batches: u64,
 }
 
 impl OpMetrics {
@@ -200,6 +205,9 @@ pub struct PlanProfile {
     /// Worker threads this operator fans work out across (`None` for plain
     /// sequential operators); rendered as `[workers=N]` in plan trees.
     pub workers: Option<usize>,
+    /// Extra bracketed annotations rendered after the detail —
+    /// `[vectorized]`, `[partial-agg]`, `[top-k k=10]` and friends.
+    pub tags: Vec<String>,
     /// Index access-path metadata, when this operator probes one.
     pub access: Option<IndexAccess>,
     /// Child profiles (inputs of this operator).
@@ -229,6 +237,7 @@ impl PlanProfile {
         self.metrics.batches += other.metrics.batches;
         self.metrics.elapsed += other.metrics.elapsed;
         self.metrics.blocked += other.metrics.blocked;
+        self.metrics.vector_batches += other.metrics.vector_batches;
         for (mine, theirs) in self.children.iter_mut().zip(&other.children) {
             mine.absorb(theirs);
         }
@@ -329,6 +338,9 @@ impl PlanProfile {
         if !self.detail.is_empty() {
             out.push_str(": ");
             out.push_str(&self.detail);
+        }
+        for tag in &self.tags {
+            out.push_str(&format!("  [{tag}]"));
         }
         if let Some(workers) = self.workers.filter(|&w| w > 1) {
             out.push_str(&format!("  [workers={workers}]"));
@@ -532,12 +544,20 @@ pub(crate) fn open_in(
             est,
             meter: OpMetrics::default(),
         }),
-        PlanNode::Filter { input, predicate } => {
+        PlanNode::Filter {
+            input,
+            predicate,
+            vectorized,
+        } => {
             let input = open_in(ctx, input, env, driver_range)?;
+            let kernel = vectorized
+                .then(|| VectorPredicate::compile(predicate))
+                .flatten();
             Box::new(FilterSource {
                 detail: render_expr(predicate, input.columns()),
                 input,
                 predicate: predicate.clone(),
+                kernel,
                 est,
                 meter: OpMetrics::default(),
             })
@@ -589,6 +609,8 @@ pub(crate) fn open_in(
             right,
             left_keys,
             right_keys,
+            vectorized,
+            build_min,
         } => {
             let shared = env.alloc_cell();
             let left = open_in(ctx, left, env, driver_range)?;
@@ -619,6 +641,8 @@ pub(crate) fn open_in(
                 right,
                 left_keys: left_keys.clone(),
                 right_keys: right_keys.clone(),
+                vectorized: *vectorized,
+                build_min: *build_min,
                 columns,
                 detail,
                 build: None,
@@ -634,35 +658,35 @@ pub(crate) fn open_in(
             group_by,
             aggregates,
             having,
+            vectorized,
         } => {
+            if *vectorized {
+                // A vectorized aggregate directly over a (possibly
+                // kernel-filtered) base-table scan fuses into one columnar
+                // operator that reads the table in place — no row clones.
+                if let Some(fused) = FusedAggregateScanSource::try_open(
+                    ctx,
+                    input,
+                    group_by,
+                    aggregates,
+                    having,
+                    est,
+                    driver_range,
+                )? {
+                    return Ok(fused);
+                }
+            }
             let input = open_in(ctx, input, env, driver_range)?;
             let columns = aggregate_output_columns(input.columns(), group_by, aggregates);
-            let mut parts = Vec::new();
-            if !group_by.is_empty() {
-                let keys: Vec<String> = group_by
-                    .iter()
-                    .map(|&i| {
-                        input
-                            .columns()
-                            .get(i)
-                            .map(ColumnInfo::to_string)
-                            .unwrap_or_else(|| format!("#{i}"))
-                    })
-                    .collect();
-                parts.push(format!("group by {}", keys.join(", ")));
-            }
-            let aggs: Vec<String> = aggregates.iter().map(|a| a.output_name.clone()).collect();
-            parts.push(aggs.join(", "));
-            if having.is_some() {
-                parts.push("having …".to_string());
-            }
+            let detail = aggregate_detail(input.columns(), group_by, aggregates, having);
             Box::new(AggregateSource {
                 input,
                 group_by: group_by.clone(),
                 aggregates: aggregates.clone(),
                 having: having.clone(),
+                vectorized: *vectorized,
                 columns,
-                detail: parts.join("; "),
+                detail,
                 pending: None,
                 est,
                 meter: OpMetrics::default(),
@@ -718,6 +742,7 @@ pub(crate) fn open_in(
             right,
             left_keys,
             right_keys,
+            build_min,
         } => Box::new(SemiJoinSource::open(
             ctx,
             env,
@@ -728,6 +753,7 @@ pub(crate) fn open_in(
             right_keys,
             false,
             false,
+            *build_min,
             est,
         )?),
         PlanNode::HashAntiJoin {
@@ -736,6 +762,7 @@ pub(crate) fn open_in(
             left_keys,
             right_keys,
             null_aware,
+            build_min,
         } => Box::new(SemiJoinSource::open(
             ctx,
             env,
@@ -746,6 +773,7 @@ pub(crate) fn open_in(
             right_keys,
             true,
             *null_aware,
+            *build_min,
             est,
         )?),
         PlanNode::ScalarSubquery {
@@ -774,15 +802,24 @@ pub(crate) fn open_in(
                 meter: OpMetrics::default(),
             })
         }
-        PlanNode::Exchange { input, workers } => {
-            Box::new(ExchangeSource::open(ctx, input, *workers, est)?)
-        }
+        PlanNode::Exchange {
+            input,
+            workers,
+            gather,
+        } => Box::new(ExchangeSource::open(
+            ctx,
+            input,
+            *workers,
+            gather.clone(),
+            est,
+        )?),
         PlanNode::Apply {
             input,
             subplan,
             params,
             mode,
             workers,
+            cache_cap,
         } => {
             let input = open_in(ctx, input, env, driver_range)?;
             // Open the unbound template once: this validates the subplan and
@@ -813,6 +850,7 @@ pub(crate) fn open_in(
                 params: params.clone(),
                 mode: mode.clone(),
                 workers: (*workers).max(1),
+                cache_cap: (*cache_cap).max(1),
                 detail,
                 sub_profile: sub_template,
                 cache: HashMap::new(),
@@ -911,6 +949,7 @@ impl RowSource for ScanSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            tags: Vec::new(),
             access: None,
             children: Vec::new(),
         }
@@ -1070,6 +1109,7 @@ impl RowSource for IndexScanSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            tags: Vec::new(),
             access: Some(self.access.clone()),
             children: Vec::new(),
         }
@@ -1237,6 +1277,7 @@ impl RowSource for IndexNljSource {
                 ..OpMetrics::default()
             },
             workers: None,
+            tags: Vec::new(),
             access: Some(self.access.clone()),
             children: Vec::new(),
         };
@@ -1247,6 +1288,7 @@ impl RowSource for IndexNljSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            tags: Vec::new(),
             access: None,
             children: vec![self.left.profile(), probe_side],
         }
@@ -1294,6 +1336,7 @@ impl RowSource for ValuesSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            tags: Vec::new(),
             access: None,
             children: Vec::new(),
         }
@@ -1307,6 +1350,11 @@ impl RowSource for ValuesSource {
 struct FilterSource {
     input: Box<dyn RowSource>,
     predicate: Expr,
+    /// Typed-kernel compilation of the predicate, when the planner marked
+    /// this filter vectorized and the expression shape allows it. Batches
+    /// whose columns resist transposition still fall back to row-at-a-time
+    /// evaluation individually.
+    kernel: Option<VectorPredicate>,
     detail: String,
     est: Option<f64>,
     meter: OpMetrics,
@@ -1324,12 +1372,22 @@ impl RowSource for FilterSource {
                 None => break None,
                 Some(batch) => {
                     self.meter.rows_in += batch.len() as u64;
-                    let mut kept = Vec::new();
-                    for row in batch {
-                        if self.predicate.eval_predicate(&row)? {
-                            kept.push(row);
+                    let mask = self.kernel.as_ref().and_then(|k| k.evaluate(&batch));
+                    let kept = match mask {
+                        Some(mask) => {
+                            self.meter.vector_batches += 1;
+                            gather_selected(batch, &mask)
                         }
-                    }
+                        None => {
+                            let mut kept = Vec::new();
+                            for row in batch {
+                                if self.predicate.eval_predicate(&row)? {
+                                    kept.push(row);
+                                }
+                            }
+                            kept
+                        }
+                    };
                     if !kept.is_empty() {
                         self.meter.rows_out += kept.len() as u64;
                         self.meter.batches += 1;
@@ -1351,6 +1409,11 @@ impl RowSource for FilterSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            tags: if self.kernel.is_some() {
+                vec!["vectorized".to_string()]
+            } else {
+                Vec::new()
+            },
             access: None,
             children: vec![self.input.profile()],
         }
@@ -1410,6 +1473,7 @@ impl RowSource for ProjectSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            tags: Vec::new(),
             access: None,
             children: vec![self.input.profile()],
         }
@@ -1503,6 +1567,7 @@ impl RowSource for NestedLoopJoinSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            tags: Vec::new(),
             access: None,
             children: vec![self.left.profile(), self.right.profile()],
         }
@@ -1530,6 +1595,11 @@ struct HashJoinSource {
     right: Box<dyn RowSource>,
     left_keys: Vec<usize>,
     right_keys: Vec<usize>,
+    /// Compute probe keys column-major over each batch.
+    vectorized: bool,
+    /// Minimum build rows before the build is hash-partitioned across the
+    /// enclosing exchange's workers.
+    build_min: usize,
     columns: Vec<ColumnInfo>,
     detail: String,
     /// Hash index over the build (right) side, built on first pull: key →
@@ -1553,6 +1623,7 @@ impl HashJoinSource {
         let meter = &mut self.meter;
         let right_keys = &self.right_keys;
         let build_workers = self.shared.as_ref().map(|(s, _)| s.workers()).unwrap_or(1);
+        let build_min = self.build_min;
         let construct = || -> Result<SharedBuild, StoreError> {
             let mut rows = Vec::new();
             while let Some(batch) = timed_pull(right, &mut meter.blocked)? {
@@ -1563,6 +1634,7 @@ impl HashJoinSource {
                 rows,
                 right_keys,
                 build_workers,
+                build_min,
             ))))
         };
         let (built, waited) = build_or_share(&self.shared, construct)?;
@@ -1589,14 +1661,30 @@ impl RowSource for HashJoinSource {
                 Some(batch) => {
                     self.meter.rows_in += batch.len() as u64;
                     let index = self.build.as_ref().expect("built above");
-                    for lr in &batch {
-                        let key = lr.group_key(&self.left_keys);
-                        if key.contains(&GroupKey::Null) {
-                            continue;
+                    if self.vectorized {
+                        // Probe keys computed column-major over the batch.
+                        let keys = batch_group_keys(&batch, &self.left_keys);
+                        self.meter.vector_batches += 1;
+                        for (lr, key) in batch.iter().zip(&keys) {
+                            if key.contains(&GroupKey::Null) {
+                                continue;
+                            }
+                            if let Some(matches) = index.lookup(key) {
+                                for rr in matches {
+                                    self.pending.push_back(lr.concat(rr));
+                                }
+                            }
                         }
-                        if let Some(matches) = index.lookup(&key) {
-                            for rr in matches {
-                                self.pending.push_back(lr.concat(rr));
+                    } else {
+                        for lr in &batch {
+                            let key = lr.group_key(&self.left_keys);
+                            if key.contains(&GroupKey::Null) {
+                                continue;
+                            }
+                            if let Some(matches) = index.lookup(&key) {
+                                for rr in matches {
+                                    self.pending.push_back(lr.concat(rr));
+                                }
                             }
                         }
                     }
@@ -1616,6 +1704,11 @@ impl RowSource for HashJoinSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            tags: if self.vectorized {
+                vec!["vectorized".to_string()]
+            } else {
+                Vec::new()
+            },
             access: None,
             children: vec![self.left.profile(), self.right.profile()],
         }
@@ -1631,6 +1724,8 @@ struct AggregateSource {
     group_by: Vec<usize>,
     aggregates: Vec<AggExpr>,
     having: Option<Expr>,
+    /// Accumulate column-major when every aggregate argument is a column.
+    vectorized: bool,
     columns: Vec<ColumnInfo>,
     detail: String,
     /// Result rows, computed on first pull.
@@ -1644,62 +1739,18 @@ impl AggregateSource {
         if self.pending.is_some() {
             return Ok(());
         }
-        // Group rows. With no grouping columns there is exactly one group,
-        // even over empty input (per SQL semantics for scalar aggregates).
-        let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
-        let mut group_index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
-        if self.group_by.is_empty() {
-            groups.push((
-                Vec::new(),
-                self.aggregates
-                    .iter()
-                    .map(|a| Accumulator::new(a.func))
-                    .collect(),
-            ));
-            group_index.insert(Vec::new(), 0);
-        }
+        let mut agg = GroupedAggregator::new(
+            self.group_by.clone(),
+            self.aggregates.clone(),
+            self.vectorized,
+        );
         while let Some(batch) = timed_pull(&mut self.input, &mut self.meter.blocked)? {
             self.meter.rows_in += batch.len() as u64;
-            for row in &batch {
-                let key = row.group_key(&self.group_by);
-                let idx = match group_index.get(&key) {
-                    Some(&i) => i,
-                    None => {
-                        let values = self
-                            .group_by
-                            .iter()
-                            .map(|&i| row.get(i).cloned().unwrap_or(Value::Null))
-                            .collect();
-                        groups.push((
-                            values,
-                            self.aggregates
-                                .iter()
-                                .map(|a| Accumulator::new(a.func))
-                                .collect(),
-                        ));
-                        group_index.insert(key, groups.len() - 1);
-                        groups.len() - 1
-                    }
-                };
-                for (agg, acc) in self.aggregates.iter().zip(groups[idx].1.iter_mut()) {
-                    acc.update(&agg_input(agg, row));
-                }
-            }
+            agg.push_batch(&batch)?;
         }
-        let mut out = VecDeque::with_capacity(groups.len());
-        for (group_values, accs) in &groups {
-            let mut values = group_values.clone();
-            values.extend(accs.iter().map(Accumulator::finish));
-            let row = Row::new(values);
-            let keep = match &self.having {
-                None => true,
-                Some(h) => h.eval_predicate(&row)?,
-            };
-            if keep {
-                out.push_back(row);
-            }
-        }
-        self.pending = Some(out);
+        self.meter.vector_batches = agg.vector_batches();
+        let rows = agg.finish(self.having.as_ref())?;
+        self.pending = Some(rows.into());
         Ok(())
     }
 }
@@ -1728,8 +1779,290 @@ impl RowSource for AggregateSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            tags: if self.vectorized {
+                vec!["vectorized".to_string()]
+            } else {
+                Vec::new()
+            },
             access: None,
             children: vec![self.input.profile()],
+        }
+    }
+}
+
+/// Render the aggregate operator's detail line ("group by …; cnt, total").
+fn aggregate_detail(
+    input_columns: &[ColumnInfo],
+    group_by: &[usize],
+    aggregates: &[AggExpr],
+    having: &Option<Expr>,
+) -> String {
+    let mut parts = Vec::new();
+    if !group_by.is_empty() {
+        let keys: Vec<String> = group_by
+            .iter()
+            .map(|&i| {
+                input_columns
+                    .get(i)
+                    .map(ColumnInfo::to_string)
+                    .unwrap_or_else(|| format!("#{i}"))
+            })
+            .collect();
+        parts.push(format!("group by {}", keys.join(", ")));
+    }
+    let aggs: Vec<String> = aggregates.iter().map(|a| a.output_name.clone()).collect();
+    parts.push(aggs.join(", "));
+    if having.is_some() {
+        parts.push("having …".to_string());
+    }
+    parts.join("; ")
+}
+
+// ---------------------------------------------------------------------------
+// Fused columnar scan → filter → aggregate
+// ---------------------------------------------------------------------------
+
+/// The filter half of a fused pipeline: the compiled kernel plus everything
+/// needed to report the operator as if it had run standalone.
+struct FusedFilter {
+    predicate: Expr,
+    kernel: VectorPredicate,
+    detail: String,
+    est: Option<f64>,
+    meter: OpMetrics,
+}
+
+/// A vectorized `aggregate ← [filter ←] scan` pipeline collapsed into one
+/// columnar operator. The generic sources move `Row`s between operators,
+/// which for a base-table scan means cloning every tuple — title strings
+/// and all — only for the aggregate to read two integer columns. This
+/// source instead walks the table's row slice in place, evaluates the
+/// filter kernel over borrowed batches, and gathers just the referenced
+/// columns through the selection vector into the accumulation kernels.
+/// Results, the profile tree, and all per-operator counters are identical
+/// to the unfused pipeline; only the row copies are gone.
+struct FusedAggregateScanSource {
+    table: Arc<Table>,
+    cursor: usize,
+    end: usize,
+    group_by: Vec<usize>,
+    aggregates: Vec<AggExpr>,
+    having: Option<Expr>,
+    filter: Option<FusedFilter>,
+    /// Output columns of the aggregate (group keys then aggregate values).
+    columns: Vec<ColumnInfo>,
+    detail: String,
+    est: Option<f64>,
+    meter: OpMetrics,
+    /// Reporting state for the fused scan leaf.
+    scan_columns: Vec<ColumnInfo>,
+    scan_detail: String,
+    scan_est: Option<f64>,
+    scan_meter: OpMetrics,
+    pending: Option<VecDeque<Row>>,
+}
+
+impl FusedAggregateScanSource {
+    /// Fuse when the input is a base-table scan, optionally under exactly
+    /// one vectorized filter whose predicate compiles, and every aggregate
+    /// argument is a plain column (or `*`) — the shapes where the typed
+    /// kernels can actually engage. Anything else returns `None` and the
+    /// caller builds the generic operator chain.
+    #[allow(clippy::too_many_arguments)]
+    fn try_open(
+        ctx: &Arc<ExecContext>,
+        input: &Plan,
+        group_by: &[usize],
+        aggregates: &[AggExpr],
+        having: &Option<Expr>,
+        est: Option<f64>,
+        driver_range: Option<(usize, usize)>,
+    ) -> Result<Option<Box<dyn RowSource>>, StoreError> {
+        if aggregates
+            .iter()
+            .any(|a| matches!(&a.arg, Some(e) if !matches!(e, Expr::Column(_))))
+        {
+            return Ok(None);
+        }
+        let (filter_parts, scan_plan) = match &input.node {
+            PlanNode::Scan { .. } => (None, input),
+            PlanNode::Filter {
+                input: scan,
+                predicate,
+                vectorized: true,
+            } if matches!(scan.node, PlanNode::Scan { .. }) => {
+                match VectorPredicate::compile(predicate) {
+                    Some(kernel) => (
+                        Some((predicate, kernel, input.estimated_rows)),
+                        scan.as_ref(),
+                    ),
+                    None => return Ok(None),
+                }
+            }
+            _ => return Ok(None),
+        };
+        let PlanNode::Scan { table, alias } = &scan_plan.node else {
+            return Ok(None);
+        };
+        let t = ctx
+            .table(table)
+            .ok_or_else(|| StoreError::UnknownTable {
+                table: table.clone(),
+            })?
+            .clone();
+        let scan_columns: Vec<ColumnInfo> = t
+            .schema()
+            .columns
+            .iter()
+            .map(|c| ColumnInfo::qualified(alias.clone(), c.name.clone()))
+            .collect();
+        let len = t.len();
+        let (cursor, end) = match driver_range {
+            Some((start, stop)) => (start.min(len), stop.min(len)),
+            None => (0, len),
+        };
+        let filter = filter_parts.map(|(predicate, kernel, fest)| FusedFilter {
+            detail: render_expr(predicate, &scan_columns),
+            predicate: predicate.clone(),
+            kernel,
+            est: fest,
+            meter: OpMetrics::default(),
+        });
+        Ok(Some(Box::new(FusedAggregateScanSource {
+            scan_detail: if alias == table {
+                table.clone()
+            } else {
+                format!("{table} as {alias}")
+            },
+            scan_est: scan_plan.estimated_rows,
+            scan_meter: OpMetrics::default(),
+            table: t,
+            cursor,
+            end,
+            columns: aggregate_output_columns(&scan_columns, group_by, aggregates),
+            detail: aggregate_detail(&scan_columns, group_by, aggregates, having),
+            scan_columns,
+            group_by: group_by.to_vec(),
+            aggregates: aggregates.to_vec(),
+            having: having.clone(),
+            filter,
+            est,
+            meter: OpMetrics::default(),
+            pending: None,
+        })))
+    }
+
+    fn compute(&mut self) -> Result<(), StoreError> {
+        if self.pending.is_some() {
+            return Ok(());
+        }
+        let mut agg = GroupedAggregator::new(self.group_by.clone(), self.aggregates.clone(), true);
+        let table = Arc::clone(&self.table);
+        let rows = table.rows();
+        let mut sel: Vec<usize> = Vec::with_capacity(BATCH_SIZE);
+        while self.cursor < self.end {
+            let stop = (self.cursor + BATCH_SIZE).min(self.end);
+            let chunk = &rows[self.cursor..stop];
+            self.cursor = stop;
+            self.scan_meter.rows_in += chunk.len() as u64;
+            self.scan_meter.rows_out += chunk.len() as u64;
+            self.scan_meter.batches += 1;
+            match &mut self.filter {
+                None => {
+                    self.meter.rows_in += chunk.len() as u64;
+                    agg.push_batch(chunk)?;
+                }
+                Some(f) => {
+                    f.meter.rows_in += chunk.len() as u64;
+                    sel.clear();
+                    match f.kernel.evaluate(chunk) {
+                        Some(mask) => {
+                            f.meter.vector_batches += 1;
+                            sel.extend(
+                                mask.iter()
+                                    .enumerate()
+                                    .filter_map(|(i, &keep)| keep.then_some(i)),
+                            );
+                        }
+                        None => {
+                            // This batch resists the kernel (mixed column
+                            // types): evaluate row-at-a-time, still borrowed.
+                            for (i, row) in chunk.iter().enumerate() {
+                                if f.predicate.eval_predicate(row)? {
+                                    sel.push(i);
+                                }
+                            }
+                        }
+                    }
+                    f.meter.rows_out += sel.len() as u64;
+                    if !sel.is_empty() {
+                        f.meter.batches += 1;
+                    }
+                    self.meter.rows_in += sel.len() as u64;
+                    agg.push_selected(chunk, &sel)?;
+                }
+            }
+        }
+        self.meter.vector_batches = agg.vector_batches();
+        let out = agg.finish(self.having.as_ref())?;
+        self.pending = Some(out.into());
+        Ok(())
+    }
+}
+
+impl RowSource for FusedAggregateScanSource {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
+        let start = Instant::now();
+        self.compute()?;
+        let result = drain_pending(
+            self.pending.as_mut().expect("computed above"),
+            &mut self.meter,
+        );
+        self.meter.elapsed += start.elapsed();
+        Ok(result)
+    }
+
+    fn profile(&self) -> PlanProfile {
+        // Report the fused pipeline exactly as its unfused tree would:
+        // aggregate over (filter over) scan, each with its own counters.
+        let mut child = PlanProfile {
+            operator: "scan".to_string(),
+            detail: self.scan_detail.clone(),
+            columns: self.scan_columns.clone(),
+            estimated_rows: self.scan_est,
+            metrics: self.scan_meter,
+            workers: None,
+            tags: Vec::new(),
+            access: None,
+            children: Vec::new(),
+        };
+        if let Some(f) = &self.filter {
+            child = PlanProfile {
+                operator: "filter".to_string(),
+                detail: f.detail.clone(),
+                columns: self.scan_columns.clone(),
+                estimated_rows: f.est,
+                metrics: f.meter,
+                workers: None,
+                tags: vec!["vectorized".to_string()],
+                access: None,
+                children: vec![child],
+            };
+        }
+        PlanProfile {
+            operator: "aggregate".to_string(),
+            detail: self.detail.clone(),
+            columns: self.columns.clone(),
+            estimated_rows: self.est,
+            metrics: self.meter,
+            workers: None,
+            tags: vec!["vectorized".to_string()],
+            access: None,
+            children: vec![child],
         }
     }
 }
@@ -1779,6 +2112,7 @@ impl RowSource for SortSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            tags: Vec::new(),
             access: None,
             children: vec![self.input.profile()],
         }
@@ -1850,6 +2184,7 @@ impl RowSource for LimitSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            tags: Vec::new(),
             access: None,
             children: vec![self.input.profile()],
         }
@@ -1907,6 +2242,7 @@ impl RowSource for DistinctSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            tags: Vec::new(),
             access: None,
             children: vec![self.input.profile()],
         }
@@ -1929,6 +2265,9 @@ struct SemiJoinSource {
     right_keys: Vec<usize>,
     anti: bool,
     null_aware: bool,
+    /// Minimum build rows before the key set is hash-partitioned across the
+    /// enclosing exchange's workers.
+    build_min: usize,
     columns: Vec<ColumnInfo>,
     detail: String,
     /// Key set plus NULL-semantics flags, shared across the workers of an
@@ -1951,6 +2290,7 @@ impl SemiJoinSource {
         right_keys: &[usize],
         anti: bool,
         null_aware: bool,
+        build_min: usize,
         est: Option<f64>,
     ) -> Result<SemiJoinSource, StoreError> {
         let shared = env.alloc_cell();
@@ -1986,6 +2326,7 @@ impl SemiJoinSource {
             right_keys: right_keys.to_vec(),
             anti,
             null_aware,
+            build_min,
             columns,
             detail,
             build: None,
@@ -2003,6 +2344,7 @@ impl SemiJoinSource {
         let right_keys = &self.right_keys;
         let meter = &mut self.meter;
         let build_workers = self.shared.as_ref().map(|(s, _)| s.workers()).unwrap_or(1);
+        let build_min = self.build_min;
         let construct = || -> Result<SharedBuild, StoreError> {
             let mut rows = Vec::new();
             while let Some(batch) = timed_pull(right, &mut meter.blocked)? {
@@ -2013,6 +2355,7 @@ impl SemiJoinSource {
                 rows,
                 right_keys,
                 build_workers,
+                build_min,
             ))))
         };
         let (built, waited) = build_or_share(&self.shared, construct)?;
@@ -2090,6 +2433,7 @@ impl RowSource for SemiJoinSource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            tags: Vec::new(),
             access: None,
             children: vec![self.left.profile(), self.right.profile()],
         }
@@ -2194,6 +2538,7 @@ impl RowSource for ScalarSubquerySource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: None,
+            tags: Vec::new(),
             access: None,
             children: vec![self.input.profile(), self.sub.profile()],
         }
@@ -2230,8 +2575,8 @@ enum SubResult {
 /// The correlated-subquery fallback: for each input row, substitute the
 /// row's correlation values into the subplan, execute it, and keep the row
 /// when `mode` says so. Results are cached per distinct parameter binding,
-/// bounded at [`APPLY_CACHE_CAP`] entries (oldest-first eviction, surfaced
-/// in the cache tally). The distinct uncached bindings of one input batch
+/// bounded at `cache_cap` entries ([`APPLY_CACHE_CAP`] by default;
+/// oldest-first eviction, surfaced in the cache tally). The distinct uncached bindings of one input batch
 /// are independent of each other — with `workers > 1` they are evaluated in
 /// parallel on worker threads.
 struct ApplySource {
@@ -2245,6 +2590,8 @@ struct ApplySource {
     mode: ApplyMode,
     /// Threads for per-binding subquery evaluations (1 = sequential).
     workers: usize,
+    /// Memoization-cache bound (entries), from the planner's knob.
+    cache_cap: usize,
     detail: String,
     /// Template profile of the subplan, accumulating every execution's
     /// counters (same tree shape as each bound execution).
@@ -2391,11 +2738,11 @@ impl ApplySource {
         Ok(row_keys)
     }
 
-    /// Evict oldest cache entries down to [`APPLY_CACHE_CAP`]. Called after
+    /// Evict oldest cache entries down to the configured cache cap. Called after
     /// a batch's verdicts, so entries the current batch needs are never
     /// evicted out from under it.
     fn enforce_cache_cap(&mut self) {
-        while self.cache.len() > APPLY_CACHE_CAP {
+        while self.cache.len() > self.cache_cap {
             let Some(oldest) = self.cache_order.pop_front() else {
                 break;
             };
@@ -2547,6 +2894,7 @@ impl RowSource for ApplySource {
             estimated_rows: self.est,
             metrics: self.meter,
             workers: (self.workers > 1).then_some(self.workers),
+            tags: Vec::new(),
             access: None,
             children: vec![self.input.profile(), sub_profile],
         }

@@ -1,0 +1,690 @@
+//! Columnar batches and typed kernels for the vectorized execution path.
+//!
+//! The row engine evaluates expressions one `Value` at a time, paying an
+//! enum match (and often an allocation) per row on the hottest loops. This
+//! module transposes a batch of rows into per-column [`ValueVector`]s —
+//! typed `i64`/`f64`/`String` arrays with a word-packed [`NullBitmap`] — and
+//! evaluates comparison predicates, conjunctions, and hash keys with tight
+//! typed loops over those arrays instead.
+//!
+//! Vectorization is best-effort by design: a batch whose column mixes types
+//! (or uses a type outside the three vectorized ones) simply refuses to
+//! transpose, and the caller falls back to the per-row `Value` path for that
+//! batch. Results are identical either way — the kernels replicate the SQL
+//! three-valued comparison semantics of [`Value::sql_cmp`] exactly, with
+//! NULL never selected by a WHERE mask.
+
+use crate::expr::{CmpOp, Expr};
+use crate::tuple::Row;
+use crate::value::{GroupKey, Value};
+use std::cmp::Ordering;
+
+/// Word-packed validity companion to a [`ValueVector`]: bit `i` is set when
+/// slot `i` holds SQL NULL.
+#[derive(Debug, Clone, Default)]
+pub struct NullBitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl NullBitmap {
+    /// An all-valid bitmap for `len` slots.
+    pub fn new(len: usize) -> NullBitmap {
+        NullBitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Mark slot `i` as NULL.
+    pub fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// True when slot `i` is NULL.
+    pub fn get(&self, i: usize) -> bool {
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap covers zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when any slot is NULL — lets kernels skip the per-slot null
+    /// check entirely on fully-valid vectors, the common case.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|w| *w != 0)
+    }
+
+    /// Number of NULL slots.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// One column of a batch, transposed into a typed array plus a null bitmap.
+/// NULL slots hold an arbitrary placeholder in the typed array; the bitmap
+/// is authoritative.
+#[derive(Debug, Clone)]
+pub enum ValueVector {
+    Int {
+        values: Vec<i64>,
+        nulls: NullBitmap,
+    },
+    Float {
+        values: Vec<f64>,
+        nulls: NullBitmap,
+    },
+    Text {
+        values: Vec<String>,
+        nulls: NullBitmap,
+    },
+}
+
+impl ValueVector {
+    /// Transpose column `col` of a batch of rows. Returns `None` when the
+    /// column resists typed vectorization for this batch: a mix of types, or
+    /// a type (boolean, date) the vectors do not cover — the caller then
+    /// falls back to the per-row path for the whole batch.
+    pub fn from_rows(rows: &[Row], col: usize) -> Option<ValueVector> {
+        Self::transpose(rows.iter(), rows.len(), col)
+    }
+
+    /// Transpose column `col` of the rows at the selected positions — the
+    /// gather a fused filter hands to the aggregation kernels, compacting
+    /// the batch without materializing the surviving rows.
+    pub fn from_rows_selected(rows: &[Row], col: usize, sel: &[usize]) -> Option<ValueVector> {
+        Self::transpose(sel.iter().map(|&i| &rows[i]), sel.len(), col)
+    }
+
+    fn transpose<'a>(
+        rows: impl Iterator<Item = &'a Row> + Clone,
+        len: usize,
+        col: usize,
+    ) -> Option<ValueVector> {
+        // The first non-NULL value fixes the vector's type.
+        let first = rows
+            .clone()
+            .map(|r| r.get(col).unwrap_or(&Value::Null))
+            .find(|v| !v.is_null());
+        let mut nulls = NullBitmap::new(len);
+        match first {
+            // An all-NULL column vectorizes as integers of nothing but
+            // placeholders; every kernel consults the bitmap first.
+            None => {
+                for i in 0..len {
+                    nulls.set(i);
+                }
+                Some(ValueVector::Int {
+                    values: vec![0; len],
+                    nulls,
+                })
+            }
+            Some(Value::Integer(_)) => {
+                let mut values = Vec::with_capacity(len);
+                for (i, row) in rows.enumerate() {
+                    match row.get(col).unwrap_or(&Value::Null) {
+                        Value::Integer(v) => values.push(*v),
+                        Value::Null => {
+                            nulls.set(i);
+                            values.push(0);
+                        }
+                        _ => return None,
+                    }
+                }
+                Some(ValueVector::Int { values, nulls })
+            }
+            Some(Value::Float(_)) => {
+                let mut values = Vec::with_capacity(len);
+                for (i, row) in rows.enumerate() {
+                    match row.get(col).unwrap_or(&Value::Null) {
+                        Value::Float(v) => values.push(*v),
+                        Value::Null => {
+                            nulls.set(i);
+                            values.push(0.0);
+                        }
+                        _ => return None,
+                    }
+                }
+                Some(ValueVector::Float { values, nulls })
+            }
+            Some(Value::Text(_)) => {
+                let mut values = Vec::with_capacity(len);
+                for (i, row) in rows.enumerate() {
+                    match row.get(col).unwrap_or(&Value::Null) {
+                        Value::Text(v) => values.push(v.clone()),
+                        Value::Null => {
+                            nulls.set(i);
+                            values.push(String::new());
+                        }
+                        _ => return None,
+                    }
+                }
+                Some(ValueVector::Text { values, nulls })
+            }
+            Some(_) => None, // Boolean / Date: no typed kernel.
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        match self {
+            ValueVector::Int { values, .. } => values.len(),
+            ValueVector::Float { values, .. } => values.len(),
+            ValueVector::Text { values, .. } => values.len(),
+        }
+    }
+
+    /// True when the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when slot `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            ValueVector::Int { nulls, .. }
+            | ValueVector::Float { nulls, .. }
+            | ValueVector::Text { nulls, .. } => nulls.get(i),
+        }
+    }
+
+    /// Grouping key of slot `i`, identical to `Value::group_key` of the
+    /// original value.
+    pub fn group_key(&self, i: usize) -> GroupKey {
+        match self {
+            ValueVector::Int { values, nulls } => {
+                if nulls.get(i) {
+                    GroupKey::Null
+                } else {
+                    GroupKey::Integer(values[i])
+                }
+            }
+            ValueVector::Float { values, nulls } => {
+                if nulls.get(i) {
+                    GroupKey::Null
+                } else {
+                    GroupKey::FloatBits(values[i].to_bits())
+                }
+            }
+            ValueVector::Text { values, nulls } => {
+                if nulls.get(i) {
+                    GroupKey::Null
+                } else {
+                    GroupKey::Text(values[i].clone())
+                }
+            }
+        }
+    }
+
+    /// Value of slot `i`, reconstructed (used by slow paths and tests).
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ValueVector::Int { values, nulls } => {
+                if nulls.get(i) {
+                    Value::Null
+                } else {
+                    Value::Integer(values[i])
+                }
+            }
+            ValueVector::Float { values, nulls } => {
+                if nulls.get(i) {
+                    Value::Null
+                } else {
+                    Value::Float(values[i])
+                }
+            }
+            ValueVector::Text { values, nulls } => {
+                if nulls.get(i) {
+                    Value::Null
+                } else {
+                    Value::Text(values[i].clone())
+                }
+            }
+        }
+    }
+}
+
+/// AND a `column <op> literal` comparison into `mask`, with WHERE
+/// semantics: a NULL slot is never selected. Returns `false` (mask left in
+/// an unspecified state) when no typed kernel covers the vector/literal type
+/// pair — the caller must then fall back to row-at-a-time evaluation.
+pub fn and_compare_literal(
+    vec: &ValueVector,
+    op: CmpOp,
+    literal: &Value,
+    mask: &mut [bool],
+) -> bool {
+    match (vec, literal) {
+        (ValueVector::Int { values, nulls }, Value::Integer(b)) => {
+            for (i, v) in values.iter().enumerate() {
+                mask[i] &= !nulls.get(i) && op.holds(v.cmp(b));
+            }
+            true
+        }
+        (ValueVector::Int { values, nulls }, Value::Float(b)) => {
+            for (i, v) in values.iter().enumerate() {
+                mask[i] &= !nulls.get(i) && op.holds(cmp_f64(*v as f64, *b));
+            }
+            true
+        }
+        (ValueVector::Float { values, nulls }, Value::Integer(b)) => {
+            let b = *b as f64;
+            for (i, v) in values.iter().enumerate() {
+                mask[i] &= !nulls.get(i) && op.holds(cmp_f64(*v, b));
+            }
+            true
+        }
+        (ValueVector::Float { values, nulls }, Value::Float(b)) => {
+            for (i, v) in values.iter().enumerate() {
+                mask[i] &= !nulls.get(i) && op.holds(cmp_f64(*v, *b));
+            }
+            true
+        }
+        (ValueVector::Text { values, nulls }, Value::Text(b)) => {
+            for (i, v) in values.iter().enumerate() {
+                mask[i] &= !nulls.get(i) && op.holds(v.as_str().cmp(b.as_str()));
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+/// AND a `column <op> column` comparison into `mask`; same contract as
+/// [`and_compare_literal`].
+pub fn and_compare_columns(
+    left: &ValueVector,
+    op: CmpOp,
+    right: &ValueVector,
+    mask: &mut [bool],
+) -> bool {
+    match (left, right) {
+        (
+            ValueVector::Int {
+                values: a,
+                nulls: an,
+            },
+            ValueVector::Int {
+                values: b,
+                nulls: bn,
+            },
+        ) => {
+            for i in 0..a.len() {
+                mask[i] &= !an.get(i) && !bn.get(i) && op.holds(a[i].cmp(&b[i]));
+            }
+            true
+        }
+        (
+            ValueVector::Text {
+                values: a,
+                nulls: an,
+            },
+            ValueVector::Text {
+                values: b,
+                nulls: bn,
+            },
+        ) => {
+            for i in 0..a.len() {
+                mask[i] &= !an.get(i) && !bn.get(i) && op.holds(a[i].as_str().cmp(b[i].as_str()));
+            }
+            true
+        }
+        // Numeric pairs that are not both integers compare as floats,
+        // exactly like `Value::total_cmp`'s mixed-numeric arms.
+        (
+            ValueVector::Int { .. } | ValueVector::Float { .. },
+            ValueVector::Int { .. } | ValueVector::Float { .. },
+        ) => {
+            for (i, m) in mask.iter_mut().enumerate().take(left.len()) {
+                *m &= !left.is_null(i)
+                    && !right.is_null(i)
+                    && op.holds(cmp_f64(numeric_at(left, i), numeric_at(right, i)));
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+fn numeric_at(vec: &ValueVector, i: usize) -> f64 {
+    match vec {
+        ValueVector::Int { values, .. } => values[i] as f64,
+        ValueVector::Float { values, .. } => values[i],
+        ValueVector::Text { .. } => f64::NAN,
+    }
+}
+
+/// Float comparison matching `Value::total_cmp`: NaN collapses to `Equal`.
+fn cmp_f64(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+}
+
+/// One compiled conjunct of a vectorizable predicate.
+#[derive(Debug, Clone)]
+enum KernelTerm {
+    /// `column <op> literal` (either written order, normalized).
+    CompareLiteral {
+        column: usize,
+        op: CmpOp,
+        literal: Value,
+    },
+    /// `column <op> column`.
+    CompareColumns {
+        left: usize,
+        op: CmpOp,
+        right: usize,
+    },
+}
+
+/// A predicate compiled for vector evaluation: a conjunction of simple
+/// comparisons over typed columns. Compilation looks only at the expression
+/// shape; the per-batch type check happens in [`VectorPredicate::evaluate`],
+/// which falls back (returns `None`) when a referenced column refuses to
+/// transpose or a kernel has no typed arm for the operand types.
+#[derive(Debug, Clone)]
+pub struct VectorPredicate {
+    terms: Vec<KernelTerm>,
+    columns: Vec<usize>,
+}
+
+impl VectorPredicate {
+    /// Compile an expression, or `None` when its shape has no typed kernel
+    /// (anything beyond conjunctions of simple comparisons).
+    pub fn compile(expr: &Expr) -> Option<VectorPredicate> {
+        let mut terms = Vec::new();
+        collect_terms(expr, &mut terms)?;
+        if terms.is_empty() {
+            return None;
+        }
+        let mut columns: Vec<usize> = terms
+            .iter()
+            .flat_map(|t| match t {
+                KernelTerm::CompareLiteral { column, .. } => vec![*column],
+                KernelTerm::CompareColumns { left, right, .. } => vec![*left, *right],
+            })
+            .collect();
+        columns.sort_unstable();
+        columns.dedup();
+        Some(VectorPredicate { terms, columns })
+    }
+
+    /// The column positions the compiled terms read.
+    pub fn referenced_columns(&self) -> &[usize] {
+        &self.columns
+    }
+
+    /// Evaluate the predicate over a batch: `Some(mask)` with one selection
+    /// flag per row (NULL comparisons unselected, per WHERE semantics), or
+    /// `None` when this batch resists vectorization and the caller should
+    /// evaluate row-at-a-time instead.
+    pub fn evaluate(&self, rows: &[Row]) -> Option<Vec<bool>> {
+        let mut vectors: Vec<(usize, ValueVector)> = Vec::with_capacity(self.columns.len());
+        for &c in &self.columns {
+            vectors.push((c, ValueVector::from_rows(rows, c)?));
+        }
+        let vector_of = |col: usize| -> &ValueVector {
+            let idx = vectors
+                .iter()
+                .position(|(c, _)| *c == col)
+                .expect("column transposed");
+            &vectors[idx].1
+        };
+        let mut mask = vec![true; rows.len()];
+        for term in &self.terms {
+            let ok = match term {
+                KernelTerm::CompareLiteral {
+                    column,
+                    op,
+                    literal,
+                } => and_compare_literal(vector_of(*column), *op, literal, &mut mask),
+                KernelTerm::CompareColumns { left, op, right } => {
+                    and_compare_columns(vector_of(*left), *op, vector_of(*right), &mut mask)
+                }
+            };
+            if !ok {
+                return None;
+            }
+        }
+        Some(mask)
+    }
+}
+
+/// And-flatten an expression into kernel terms; `None` when any conjunct is
+/// not a simple comparison.
+fn collect_terms(expr: &Expr, terms: &mut Vec<KernelTerm>) -> Option<()> {
+    match expr {
+        Expr::And(a, b) => {
+            collect_terms(a, terms)?;
+            collect_terms(b, terms)
+        }
+        Expr::Compare { op, left, right } => {
+            match (left.as_ref(), right.as_ref()) {
+                (Expr::Column(c), Expr::Literal(v)) if !v.is_null() => {
+                    terms.push(KernelTerm::CompareLiteral {
+                        column: *c,
+                        op: *op,
+                        literal: v.clone(),
+                    });
+                    Some(())
+                }
+                (Expr::Literal(v), Expr::Column(c)) if !v.is_null() => {
+                    // Flip the operand order, mirroring the operator.
+                    terms.push(KernelTerm::CompareLiteral {
+                        column: *c,
+                        op: flip(*op),
+                        literal: v.clone(),
+                    });
+                    Some(())
+                }
+                (Expr::Column(l), Expr::Column(r)) => {
+                    terms.push(KernelTerm::CompareColumns {
+                        left: *l,
+                        op: *op,
+                        right: *r,
+                    });
+                    Some(())
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Mirror a comparison operator across flipped operands (`5 < x` ⇔ `x > 5`).
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::NotEq => CmpOp::NotEq,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::LtEq => CmpOp::GtEq,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::GtEq => CmpOp::LtEq,
+    }
+}
+
+/// Gather the rows selected by a mask, preserving order.
+pub fn gather_selected(rows: Vec<Row>, mask: &[bool]) -> Vec<Row> {
+    rows.into_iter()
+        .zip(mask)
+        .filter_map(|(row, keep)| keep.then_some(row))
+        .collect()
+}
+
+/// Column-wise hash-key computation for a batch: the grouping key of every
+/// row over `cols`, built in column-major order so each column's `Value`
+/// dispatch happens once per column run instead of per row.
+pub fn batch_group_keys(rows: &[Row], cols: &[usize]) -> Vec<Vec<GroupKey>> {
+    let mut keys: Vec<Vec<GroupKey>> = (0..rows.len())
+        .map(|_| Vec::with_capacity(cols.len()))
+        .collect();
+    for &c in cols {
+        match ValueVector::from_rows(rows, c) {
+            Some(vec) => {
+                for (i, key) in keys.iter_mut().enumerate() {
+                    key.push(vec.group_key(i));
+                }
+            }
+            None => {
+                for (i, key) in keys.iter_mut().enumerate() {
+                    key.push(
+                        rows[i]
+                            .get(c)
+                            .map(|v| v.group_key())
+                            .unwrap_or(GroupKey::Null),
+                    );
+                }
+            }
+        }
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn rows() -> Vec<Row> {
+        vec![
+            Row::new(vec![Value::int(1), Value::text("a"), Value::Float(1.5)]),
+            Row::new(vec![Value::int(2), Value::Null, Value::Float(2.5)]),
+            Row::new(vec![Value::Null, Value::text("c"), Value::Float(3.5)]),
+            Row::new(vec![Value::int(4), Value::text("d"), Value::Float(4.5)]),
+        ]
+    }
+
+    #[test]
+    fn transpose_types_and_nulls() {
+        let rs = rows();
+        let ints = ValueVector::from_rows(&rs, 0).unwrap();
+        assert_eq!(ints.len(), 4);
+        assert!(ints.is_null(2));
+        assert!(!ints.is_null(0));
+        assert_eq!(ints.value(3), Value::int(4));
+        let texts = ValueVector::from_rows(&rs, 1).unwrap();
+        assert!(texts.is_null(1));
+        assert_eq!(texts.group_key(0), Value::text("a").group_key());
+        assert_eq!(texts.group_key(1), GroupKey::Null);
+    }
+
+    #[test]
+    fn mixed_and_unsupported_columns_refuse_to_transpose() {
+        let rs = vec![
+            Row::new(vec![Value::int(1), Value::Boolean(true)]),
+            Row::new(vec![Value::text("x"), Value::Boolean(false)]),
+        ];
+        assert!(ValueVector::from_rows(&rs, 0).is_none(), "mixed types");
+        assert!(ValueVector::from_rows(&rs, 1).is_none(), "booleans");
+    }
+
+    #[test]
+    fn all_null_column_transposes_with_every_slot_null() {
+        let rs = vec![Row::new(vec![Value::Null]), Row::new(vec![Value::Null])];
+        let vec = ValueVector::from_rows(&rs, 0).unwrap();
+        assert!(vec.is_null(0) && vec.is_null(1));
+        assert_eq!(vec.value(0), Value::Null);
+    }
+
+    #[test]
+    fn compare_kernels_match_row_semantics() {
+        let rs = rows();
+        let pred = Expr::col_cmp_value(0, CmpOp::Gt, Value::int(1));
+        let compiled = VectorPredicate::compile(&pred).unwrap();
+        let mask = compiled.evaluate(&rs).unwrap();
+        let expected: Vec<bool> = rs.iter().map(|r| pred.eval_predicate(r).unwrap()).collect();
+        assert_eq!(mask, expected);
+        // NULL never selected.
+        assert!(!mask[2]);
+    }
+
+    #[test]
+    fn flipped_literal_and_conjunction() {
+        let rs = rows();
+        // 2 <= col0 AND col2 < 4.0
+        let pred = Expr::And(
+            Box::new(Expr::Compare {
+                op: CmpOp::LtEq,
+                left: Box::new(Expr::Literal(Value::int(2))),
+                right: Box::new(Expr::Column(0)),
+            }),
+            Box::new(Expr::col_cmp_value(2, CmpOp::Lt, Value::Float(4.0))),
+        );
+        let compiled = VectorPredicate::compile(&pred).unwrap();
+        let mask = compiled.evaluate(&rs).unwrap();
+        let expected: Vec<bool> = rs.iter().map(|r| pred.eval_predicate(r).unwrap()).collect();
+        assert_eq!(mask, expected);
+        assert_eq!(mask, vec![false, true, false, false]);
+    }
+
+    #[test]
+    fn column_column_comparison_and_mixed_numerics() {
+        let rs = vec![
+            Row::new(vec![Value::int(1), Value::Float(1.0)]),
+            Row::new(vec![Value::int(2), Value::Float(1.5)]),
+            Row::new(vec![Value::Null, Value::Float(9.0)]),
+        ];
+        let pred = Expr::col_eq(0, 0);
+        let compiled = VectorPredicate::compile(&pred).unwrap();
+        assert_eq!(
+            compiled.evaluate(&rs).unwrap(),
+            vec![true, true, false],
+            "x = x is false for NULL"
+        );
+        let pred = Expr::Compare {
+            op: CmpOp::Gt,
+            left: Box::new(Expr::Column(0)),
+            right: Box::new(Expr::Column(1)),
+        };
+        let mask = VectorPredicate::compile(&pred)
+            .unwrap()
+            .evaluate(&rs)
+            .unwrap();
+        let expected: Vec<bool> = rs.iter().map(|r| pred.eval_predicate(r).unwrap()).collect();
+        assert_eq!(mask, expected);
+    }
+
+    #[test]
+    fn unsupported_shapes_do_not_compile() {
+        assert!(VectorPredicate::compile(&Expr::Literal(Value::Boolean(true))).is_none());
+        assert!(VectorPredicate::compile(&Expr::Or(
+            Box::new(Expr::col_cmp_value(0, CmpOp::Eq, Value::int(1))),
+            Box::new(Expr::col_cmp_value(0, CmpOp::Eq, Value::int(2))),
+        ))
+        .is_none());
+        assert!(VectorPredicate::compile(&Expr::IsNull(Box::new(Expr::Column(0)))).is_none());
+        // Comparisons against NULL literals stay row-at-a-time.
+        assert!(
+            VectorPredicate::compile(&Expr::col_cmp_value(0, CmpOp::Eq, Value::Null)).is_none()
+        );
+    }
+
+    #[test]
+    fn type_mismatch_falls_back_at_runtime() {
+        let rs = rows();
+        // col0 is integers; comparing against text compiles (shape is fine)
+        // but the kernel has no typed arm, so evaluation falls back.
+        let pred = Expr::col_cmp_value(0, CmpOp::Eq, Value::text("x"));
+        let compiled = VectorPredicate::compile(&pred).unwrap();
+        assert!(compiled.evaluate(&rs).is_none());
+    }
+
+    #[test]
+    fn gather_and_batch_keys() {
+        let rs = rows();
+        let kept = gather_selected(rs.clone(), &[true, false, false, true]);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[1].get(0), Some(&Value::int(4)));
+        let keys = batch_group_keys(&rs, &[0, 1]);
+        for (i, r) in rs.iter().enumerate() {
+            assert_eq!(keys[i], r.group_key(&[0, 1]));
+        }
+    }
+}

@@ -23,8 +23,9 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
-    /// Evaluate the comparison on an ordering result.
-    fn holds(&self, ord: Ordering) -> bool {
+    /// Evaluate the comparison on an ordering result. Public so the
+    /// vectorized kernels can share the row engine's exact semantics.
+    pub fn holds(&self, ord: Ordering) -> bool {
         match self {
             CmpOp::Eq => ord == Ordering::Equal,
             CmpOp::NotEq => ord != Ordering::Equal,

@@ -172,8 +172,8 @@ fn explain_golden_plan_tree_is_stable() {
         e.tree,
         "project: m.title  [est=2]\n\
          └─ index nested-loop join: c.mid = m.id [index=pk_movies]  [est=2]\n\
-         \u{20}\u{20}\u{20}├─ hash join: a.id = c.aid  [est=2]\n\
-         \u{20}\u{20}\u{20}│  ├─ filter: a.name = 'Brad Pitt'  [est=1]\n\
+         \u{20}\u{20}\u{20}├─ hash join: a.id = c.aid  [vectorized]  [est=2]\n\
+         \u{20}\u{20}\u{20}│  ├─ filter: a.name = 'Brad Pitt'  [vectorized]  [est=1]\n\
          \u{20}\u{20}\u{20}│  │  └─ scan: ACTOR as a  [est=6]\n\
          \u{20}\u{20}\u{20}│  └─ scan: CAST as c  [est=12]\n\
          \u{20}\u{20}\u{20}└─ index probe: MOVIES as m [index=pk_movies]\n"
@@ -196,8 +196,8 @@ fn explain_analyze_golden_estimates_and_actuals_are_stable() {
         "project: m.title  [est=2 actual=2 in=2 batches=1]\n\
          └─ index nested-loop join: c.mid = m.id [index=pk_movies]  \
          [est=2 actual=2 in=2 batches=1]\n\
-         \u{20}\u{20}\u{20}├─ hash join: a.id = c.aid  [est=2 actual=2 in=13 batches=1]\n\
-         \u{20}\u{20}\u{20}│  ├─ filter: a.name = 'Brad Pitt'  [est=1 actual=1 in=6 batches=1]\n\
+         \u{20}\u{20}\u{20}├─ hash join: a.id = c.aid  [vectorized]  [est=2 actual=2 in=13 batches=1]\n\
+         \u{20}\u{20}\u{20}│  ├─ filter: a.name = 'Brad Pitt'  [vectorized]  [est=1 actual=1 in=6 batches=1]\n\
          \u{20}\u{20}\u{20}│  │  └─ scan: ACTOR as a  [est=6 actual=6 in=6 batches=1]\n\
          \u{20}\u{20}\u{20}│  └─ scan: CAST as c  [est=12 actual=12 in=12 batches=1]\n\
          \u{20}\u{20}\u{20}└─ index probe: MOVIES as m [index=pk_movies] \
@@ -225,9 +225,9 @@ fn explain_with_indexes_off_keeps_the_all_hash_join_tree() {
     assert_eq!(
         e.tree,
         "project: m.title  [est=2]\n\
-         └─ hash join: c.mid = m.id  [est=2]\n\
-         \u{20}\u{20}\u{20}├─ hash join: a.id = c.aid  [est=2]\n\
-         \u{20}\u{20}\u{20}│  ├─ filter: a.name = 'Brad Pitt'  [est=1]\n\
+         └─ hash join: c.mid = m.id  [vectorized]  [est=2]\n\
+         \u{20}\u{20}\u{20}├─ hash join: a.id = c.aid  [vectorized]  [est=2]\n\
+         \u{20}\u{20}\u{20}│  ├─ filter: a.name = 'Brad Pitt'  [vectorized]  [est=1]\n\
          \u{20}\u{20}\u{20}│  │  └─ scan: ACTOR as a  [est=6]\n\
          \u{20}\u{20}\u{20}│  └─ scan: CAST as c  [est=12]\n\
          \u{20}\u{20}\u{20}└─ scan: MOVIES as m  [est=10]\n"

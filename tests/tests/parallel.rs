@@ -271,7 +271,7 @@ fn explain_golden_parallel_plan_tree() {
         e.tree,
         "exchange: morsels over CAST as c  [workers=2]  [est=300]\n\
          └─ project: c.role  [est=300]\n\
-         \u{20}\u{20}\u{20}└─ filter: c.aid > 0  [est=300]\n\
+         \u{20}\u{20}\u{20}└─ filter: c.aid > 0  [vectorized]  [est=300]\n\
          \u{20}\u{20}\u{20}\u{20}\u{20}\u{20}└─ scan: CAST as c  [est=300]\n",
         "parallel plan tree changed:\n{}",
         e.tree

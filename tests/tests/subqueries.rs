@@ -125,7 +125,7 @@ fn explain_golden_scalar_subquery_tree() {
         "project: m.title  [est=3]\n\
          └─ scalar subquery: m.year = (subquery)  [est=3]\n\
          \u{20}  ├─ scan: MOVIES as m  [est=10]\n\
-         \u{20}  └─ aggregate: max(m2.year)  [est=1]\n\
+         \u{20}  └─ aggregate: max(m2.year)  [vectorized]  [est=1]\n\
          \u{20}     └─ scan: MOVIES as m2  [est=10]\n"
     );
     assert!(mentions(
