@@ -1,0 +1,174 @@
+//! Experiment D-ACC: access-path depth — the shapes PR 7 adds, each as an
+//! A/B pair on the ×100 (1000 movies) and ×1000 (10,000 movies) databases:
+//!
+//! * `apply_q6` — the paper's relational-division Q6, whose doubly-nested
+//!   `NOT EXISTS` runs as a per-movie apply. With indexes on, the
+//!   correlated conjunct `g2.mid = $0` lowers to a parameterized probe of
+//!   GENRE's composite primary key, re-bound per binding; with indexes off
+//!   every evaluation rescans GENRE. The acceptance target is ≥10× at
+//!   ×1000 (the scan baseline sits around 275 ms there).
+//! * `composite` — a two-column probe of a composite ordered index on
+//!   CAST(mid, aid) (point) and its leading-prefix slice vs. scan + filter.
+//! * `index_only` — a key-columns-only projection answered from the
+//!   composite index keys without touching heap rows, vs. the heap scan.
+//! * `dp_vs_greedy` — join-order enumeration cost on Q1–Q9's join graphs:
+//!   the Selinger-style DP over connected subsets vs. the greedy walk.
+//!   Before timing, every pair asserts the DP order is estimated no worse
+//!   than the greedy one (chosen cost ≤ greedy cost, Q1–Q9).
+//!
+//! Every executed A/B pair asserts byte-identical rows before timing — the
+//! access path must never change the answer, only the speed.
+//!
+//! Run with `BENCH_JSON=BENCH_access.json` to emit the `{bench, median_ns}`
+//! summary CI tracks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datastore::exec::execute;
+use datastore::sample::{scaled_movie_database, ScaleConfig};
+use datastore::{Database, IndexDef, IndexKind};
+use sqlparse::parse_query;
+use talkback::planner::cost::{choose_join_order_greedy, choose_join_order_hinted, Estimator};
+use talkback::planner::logical::build_join_graph;
+use talkback::{plan_query_with, PlannerOptions};
+use talkback_bench::PAPER_QUERIES;
+
+const Q6: &str = "select m.title from MOVIES m where not exists ( \
+    select * from GENRE g1 where not exists ( \
+        select * from GENRE g2 where g2.mid = m.id and g2.genre = g1.genre))";
+
+fn options(use_indexes: bool) -> PlannerOptions {
+    PlannerOptions {
+        use_indexes,
+        ..PlannerOptions::sequential()
+    }
+}
+
+fn db_at(scale: usize) -> Database {
+    let mut db = scaled_movie_database(ScaleConfig {
+        movies: 10 * scale,
+        actors: 6 * scale,
+        directors: 2 * scale,
+        ..ScaleConfig::default()
+    });
+    db.create_index(IndexDef {
+        name: "c_cast_mid_aid".into(),
+        table: "CAST".into(),
+        columns: vec!["mid".into(), "aid".into()],
+        kind: IndexKind::Ordered,
+    })
+    .expect("composite cast index builds");
+    db.create_index(IndexDef {
+        name: "c_movies_year_id".into(),
+        table: "MOVIES".into(),
+        columns: vec!["year".into(), "id".into()],
+        kind: IndexKind::Ordered,
+    })
+    .expect("composite movies index builds");
+    db
+}
+
+/// Plan `sql` with indexes on and off, assert identical answers, and time
+/// both plans under `group`.
+fn ab_pair(c: &mut Criterion, db: &Database, group: &str, sql: &str) {
+    let query = parse_query(sql).expect("query parses");
+    let indexed = plan_query_with(db, &query, options(true))
+        .expect("indexed plan")
+        .plan;
+    let scanned = plan_query_with(db, &query, options(false))
+        .expect("scan plan")
+        .plan;
+    assert_eq!(
+        execute(db, &indexed).expect("indexed runs").rows,
+        execute(db, &scanned).expect("scan runs").rows,
+        "indexed and scan plans diverged for {group}"
+    );
+    let mut g = c.benchmark_group(group);
+    g.bench_with_input(BenchmarkId::new("access", "index"), &indexed, |b, p| {
+        b.iter(|| execute(db, p).unwrap())
+    });
+    g.bench_with_input(BenchmarkId::new("access", "scan"), &scanned, |b, p| {
+        b.iter(|| execute(db, p).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_access_depth(c: &mut Criterion) {
+    for scale in [100usize, 1000] {
+        let db = db_at(scale);
+        db.analyze();
+
+        // Q6's apply: parameterized pk_genre probes vs. per-binding rescans.
+        ab_pair(c, &db, &format!("access_apply_q6_x{scale}"), Q6);
+
+        // Composite point probe (both key columns pinned) and leading-prefix
+        // slice, against scan + filter. mid 5·scale casts ~3 credits.
+        let mid = 5 * scale as i64;
+        let composite_point = format!(
+            "select c.role from CAST c where c.mid = {mid} and c.aid = \
+             (select min(c2.aid) from CAST c2 where c2.mid = {mid})"
+        );
+        let composite_prefix = format!("select c.role from CAST c where c.mid = {mid}");
+        ab_pair(
+            c,
+            &db,
+            &format!("access_composite_point_x{scale}"),
+            &composite_point,
+        );
+        ab_pair(
+            c,
+            &db,
+            &format!("access_composite_prefix_x{scale}"),
+            &composite_prefix,
+        );
+
+        // Index-only: both referenced columns live in c_movies_year_id's
+        // key, so the indexed plan never touches a heap row.
+        let index_only =
+            "select m.year, m.id from MOVIES m where m.year >= 2020 order by m.year".to_string();
+        ab_pair(c, &db, &format!("access_index_only_x{scale}"), &index_only);
+    }
+
+    // Join enumeration: DP over connected subsets vs. the greedy walk, on
+    // every paper query's join graph. The DP must never pick an order it
+    // estimates worse than the greedy one.
+    let db = db_at(100);
+    db.analyze();
+    for (id, sql) in PAPER_QUERIES {
+        let query = parse_query(sql).expect("paper query parses");
+        let bound = sqlparse::bind_query(db.catalog(), &query).expect("paper query binds");
+        let graph = build_join_graph(&db, &query, &bound);
+        let estimator = Estimator::new(&db);
+        let (dp, _) = choose_join_order_hinted(&graph, &estimator, true, &[]);
+        let (greedy, _) = choose_join_order_greedy(&graph, &estimator, true);
+        assert!(
+            dp.cost() <= greedy.cost(),
+            "DP order estimated worse than greedy for {id}: {} > {}",
+            dp.cost(),
+            greedy.cost()
+        );
+        if graph.relations.len() < 3 {
+            continue; // enumeration is trivial; nothing worth timing
+        }
+        let mut g = c.benchmark_group(format!("access_enumerate_{id}"));
+        g.bench_with_input(BenchmarkId::new("enumerate", "dp"), &graph, |b, graph| {
+            b.iter(|| {
+                let est = Estimator::new(&db);
+                choose_join_order_hinted(graph, &est, true, &[])
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("enumerate", "greedy"),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    let est = Estimator::new(&db);
+                    choose_join_order_greedy(graph, &est, true)
+                })
+            },
+        );
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_access_depth);
+criterion_main!(benches);

@@ -40,19 +40,19 @@ fn db_at(scale: usize) -> Database {
         directors: 2 * scale,
         ..ScaleConfig::default()
     });
-    db.create_index(IndexDef {
-        name: "idx_movies_year".into(),
-        table: "MOVIES".into(),
-        column: "year".into(),
-        kind: IndexKind::Ordered,
-    })
+    db.create_index(IndexDef::single(
+        "idx_movies_year",
+        "MOVIES",
+        "year",
+        IndexKind::Ordered,
+    ))
     .expect("year index builds");
-    db.create_index(IndexDef {
-        name: "idx_cast_aid".into(),
-        table: "CAST".into(),
-        column: "aid".into(),
-        kind: IndexKind::Ordered,
-    })
+    db.create_index(IndexDef::single(
+        "idx_cast_aid",
+        "CAST",
+        "aid",
+        IndexKind::Ordered,
+    ))
     .expect("cast.aid index builds");
     db
 }

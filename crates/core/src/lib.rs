@@ -201,7 +201,7 @@ impl Talkback {
                 let entries = self.db.create_index(IndexDef {
                     name: ci.name.clone(),
                     table: ci.table.clone(),
-                    column: ci.column.clone(),
+                    columns: ci.columns.clone(),
                     kind,
                 })?;
                 let keys = self
@@ -211,31 +211,43 @@ impl Talkback {
                     .unwrap_or(0);
                 let concept = self.queries.lexicon().concept(&ci.table);
                 let noun = nlg::pluralize(&concept);
+                let key_desc = ci
+                    .columns
+                    .iter()
+                    .map(|c| c.to_lowercase())
+                    .collect::<Vec<_>>()
+                    .join(" then ");
                 Ok(nlg::finish_sentence(&format!(
                     "I built the {} index {} over {}({}): {} {} indexed under {} distinct \
-                     value{}, so I can now look {} up by {} instead of scanning",
+                     key{}, so I can now look {} up by {} instead of scanning",
                     kind.sql(),
                     ci.name,
                     ci.table,
-                    ci.column,
+                    ci.columns.join(", "),
                     nlg::count_phrase(entries),
                     if entries == 1 { &concept } else { &noun },
                     nlg::count_phrase(keys),
                     if keys == 1 { "" } else { "s" },
                     noun,
-                    ci.column.to_lowercase()
+                    key_desc
                 )))
             }
             sqlparse::ast::Statement::DropIndex(di) => {
                 let def = self.db.drop_index(&di.name)?;
                 let noun = nlg::pluralize(&self.queries.lexicon().concept(&def.table));
+                let keys = def
+                    .columns
+                    .iter()
+                    .map(|c| c.to_lowercase())
+                    .collect::<Vec<_>>()
+                    .join(" then ");
                 Ok(nlg::finish_sentence(&format!(
                     "I dropped the index {} from {}({}); lookups by {} go back to scanning \
                      the {}",
                     def.name,
                     def.table,
-                    def.column,
-                    def.column.to_lowercase(),
+                    def.columns_sql(),
+                    keys,
                     noun
                 )))
             }
@@ -347,7 +359,7 @@ mod tests {
         assert_eq!(
             built,
             "I built the ordered index idx_year over MOVIES(year): ten movies indexed \
-             under nine distinct values, so I can now look movies up by year instead of \
+             under nine distinct keys, so I can now look movies up by year instead of \
              scanning."
         );
         assert!(system.database().find_index("idx_year").is_some());

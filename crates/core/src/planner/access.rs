@@ -6,12 +6,20 @@
 //!
 //! The cost model is deliberately small. A full scan touches every row once,
 //! cheaply; an index probe touches only the matching rows but pays pointer
-//! chasing per row, priced at [`INDEX_PROBE_ROW_COST`] scan-rows each. An
-//! index scan therefore wins when
-//! `matching_rows × INDEX_PROBE_ROW_COST < table_rows`, i.e. below a
-//! selectivity of 1/[`INDEX_PROBE_ROW_COST`]. The same coin prices an
+//! chasing per row, priced at `index_scan_ratio` scan-rows each
+//! ([`super::PlannerOptions::index_scan_ratio`], default
+//! [`INDEX_PROBE_ROW_COST`]). An index scan therefore wins when
+//! `matching_rows × index_scan_ratio ≤ table_rows`. The same coin prices an
 //! index-nested-loop join: `outer_rows` probes against building a hash table
-//! over `inner_rows` build rows.
+//! over `inner_rows` build rows, weighed at `inlj_ratio`.
+//!
+//! Composite keys: a probe may pin a leading *prefix* of a composite key
+//! with equalities and optionally add one range on the next key column —
+//! `(mid, genre)` answers `mid = 7`, `mid = 7 AND genre = 'noir'`, and
+//! `mid = 7 AND genre >= 'm'`. Each consumed conjunct leaves the filter
+//! chain. Bounds may also be *correlation parameters* (`col = $k` under an
+//! `Apply`): the probe is planned once and re-bound per outer row, turning
+//! a rescan-per-binding into a point lookup per binding.
 //!
 //! Semantics guard: an access path must return *exactly* the rows the
 //! filter (or hash join) it replaces would have kept. Ordered indexes
@@ -20,56 +28,79 @@
 //! [`datastore::value::GroupKey`], which distinguishes `3` from `3.0`, so
 //! they are only used when the literal's type equals the column's declared
 //! type and the column cannot hold mixed numerics (a Float column may store
-//! Integers via type coercion; such columns never use hash probes).
+//! Integers via type coercion; such columns never use hash probes). A
+//! parameterized bound has no plan-time literal to type-check, so parameters
+//! only ever probe ordered indexes.
 
 use super::cost::{AccessPathKind, Estimator, PlanDecision};
 use super::logical::Relation;
-use datastore::index::IndexBounds;
+use datastore::index::{BoundTerm, Index, IndexBounds, TermBound};
+use datastore::stats::DEFAULT_SELECTIVITY;
 use datastore::{DataType, Database, Value};
 use sqlparse::ast::{BinaryOperator, Expr, Literal};
 
-/// Scan-rows one index-probed row costs: an index scan must be at least
-/// this many times more selective than a full scan to be chosen. 4 means
-/// "use the index below 25% selectivity".
+/// Scan-rows one index-probed row costs — the default for
+/// [`super::PlannerOptions::index_scan_ratio`] and
+/// [`super::PlannerOptions::inlj_ratio`]. 4 means "use the index below 25%
+/// selectivity".
 pub const INDEX_PROBE_ROW_COST: f64 = 4.0;
 
 /// An index access path chosen (or considered) for a base-relation scan.
 #[derive(Debug, Clone)]
 pub(super) struct ScanChoice {
     pub index: String,
-    pub column: String,
+    /// The key columns the bounds constrain, in key order (for narration).
+    pub columns: Vec<String>,
+    /// Every key column of the index, in key order (for the sort-elision
+    /// peephole and the index-only covering check).
+    pub key_columns: Vec<String>,
     pub kind: AccessPathKind,
     pub bounds: IndexBounds,
     /// True when the index is ordered — the prerequisite for the ORDER BY
-    /// elision peephole (a key-ordered scan).
+    /// elision peephole (a key-ordered scan) and for index-only scans.
     pub ordered: bool,
-    /// Position (in `rel.pushed`) of the conjunct the bounds consume.
-    pub conjunct: usize,
-    /// Estimated rows the probe returns.
+    /// Positions (in `rel.pushed`) of the conjuncts the bounds consume.
+    pub consumed_pushed: Vec<usize>,
+    /// Positions (in the caller's correlated-sarg list, which indexes
+    /// `graph.residual`) of the consumed correlated conjuncts.
+    pub consumed_correlated: Vec<usize>,
+    /// True when any bound is a correlation parameter.
+    pub parameterized: bool,
+    /// Estimated rows the probe returns (per binding, when parameterized).
     pub estimated_rows: f64,
 }
 
 /// What access-path selection concluded for one relation scan.
 pub(super) enum ScanPath {
-    /// Probe the index; the consumed conjunct leaves the filter chain.
+    /// Probe the index; the consumed conjuncts leave the filter chain.
     Index(ScanChoice),
     /// Keep the full scan, but remember the rejected candidate so the
     /// decision (and its narration) can own up to it.
     FullScan(ScanChoice),
 }
 
-/// A sargable single-table conjunct: the probed column and its bounds.
-struct Sarg {
-    column: String,
-    bounds: IndexBounds,
-    /// Range probes need an ordered index.
-    needs_range: bool,
-    /// The literal being compared against, for hash-index type checks
-    /// (`None` for BETWEEN, which never uses hash indexes anyway).
-    literal: Option<Value>,
+/// A sargable conjunct against one column of the relation: an equality term
+/// or a range, with the term either a plan-time literal or a correlation
+/// parameter.
+pub(super) struct Sarg {
+    pub column: String,
+    pub shape: SargShape,
+    /// The literal an equality compares against, for hash-index type checks
+    /// (`None` for ranges and parameterized terms).
+    pub literal: Option<Value>,
+    /// Estimated fraction of rows the conjunct keeps.
+    pub selectivity: f64,
 }
 
-fn literal_value(l: &Literal) -> Value {
+pub(super) enum SargShape {
+    Eq(BoundTerm),
+    Range {
+        lo: Option<TermBound>,
+        hi: Option<TermBound>,
+    },
+}
+
+pub(super) fn literal_value(l: &Literal) -> Value {
     match l {
         Literal::Integer(i) => Value::Integer(*i),
         Literal::Float(f) => Value::Float(*f),
@@ -79,48 +110,47 @@ fn literal_value(l: &Literal) -> Value {
     }
 }
 
+/// Build the range shape for `column <op> term` (column on the left).
+pub(super) fn range_shape(op: BinaryOperator, term: BoundTerm) -> Option<SargShape> {
+    Some(match op {
+        BinaryOperator::Eq => SargShape::Eq(term),
+        BinaryOperator::Lt => SargShape::Range {
+            lo: None,
+            hi: Some((term, false)),
+        },
+        BinaryOperator::LtEq => SargShape::Range {
+            lo: None,
+            hi: Some((term, true)),
+        },
+        BinaryOperator::Gt => SargShape::Range {
+            lo: Some((term, false)),
+            hi: None,
+        },
+        BinaryOperator::GtEq => SargShape::Range {
+            lo: Some((term, true)),
+            hi: None,
+        },
+        _ => return None,
+    })
+}
+
 /// Recognize `column <cmp> literal` (either side) and
-/// `column BETWEEN literal AND literal` as index-probe shapes.
-fn as_sarg(conjunct: &Expr) -> Option<Sarg> {
+/// `column BETWEEN literal AND literal` as index-probe shapes, with the
+/// conjunct's estimated selectivity attached.
+fn as_sarg(
+    estimator: &Estimator,
+    stats: &datastore::stats::TableStats,
+    conjunct: &Expr,
+) -> Option<Sarg> {
     if let Some((col, op, lit)) = conjunct.as_selection_predicate() {
         let value = literal_value(lit);
-        let (bounds, needs_range) = match op {
-            BinaryOperator::Eq => (IndexBounds::Point(value.clone()), false),
-            BinaryOperator::Lt => (
-                IndexBounds::Range {
-                    lo: None,
-                    hi: Some((value.clone(), false)),
-                },
-                true,
-            ),
-            BinaryOperator::LtEq => (
-                IndexBounds::Range {
-                    lo: None,
-                    hi: Some((value.clone(), true)),
-                },
-                true,
-            ),
-            BinaryOperator::Gt => (
-                IndexBounds::Range {
-                    lo: Some((value.clone(), false)),
-                    hi: None,
-                },
-                true,
-            ),
-            BinaryOperator::GtEq => (
-                IndexBounds::Range {
-                    lo: Some((value.clone(), true)),
-                    hi: None,
-                },
-                true,
-            ),
-            _ => return None,
-        };
+        let shape = range_shape(op, BoundTerm::Value(value.clone()))?;
+        let literal = matches!(shape, SargShape::Eq(_)).then_some(value);
         return Some(Sarg {
             column: col.column.clone(),
-            bounds,
-            needs_range,
-            literal: Some(value),
+            shape,
+            literal,
+            selectivity: estimator.conjunct_selectivity(stats, conjunct),
         });
     }
     if let Expr::Between {
@@ -135,12 +165,12 @@ fn as_sarg(conjunct: &Expr) -> Option<Sarg> {
         {
             return Some(Sarg {
                 column: c.column.clone(),
-                bounds: IndexBounds::Range {
-                    lo: Some((literal_value(lo), true)),
-                    hi: Some((literal_value(hi), true)),
+                shape: SargShape::Range {
+                    lo: Some((BoundTerm::Value(literal_value(lo)), true)),
+                    hi: Some((BoundTerm::Value(literal_value(hi)), true)),
                 },
-                needs_range: true,
                 literal: None,
+                selectivity: estimator.conjunct_selectivity(stats, conjunct),
             });
         }
     }
@@ -170,59 +200,192 @@ fn probe_is_exact(
     }
 }
 
-/// Pick the access path for one base-relation scan: the most selective
-/// sargable conjunct with a usable index, if any, costed against the full
-/// scan. `None` when no pushed conjunct can use any index (nothing to
-/// decide, nothing to narrate).
+/// Where a sarg came from: a pushed single-table conjunct or a correlated
+/// residual the caller extracted.
+#[derive(Clone, Copy)]
+enum SargSource {
+    Pushed(usize),
+    Correlated(usize),
+}
+
+/// Match one index against the available sargs: pin leading key columns
+/// with equalities, optionally add one range on the next key column, and
+/// estimate the probe's output. `None` when no conjunct constrains the key.
+fn match_index(
+    index: &Index,
+    table: &datastore::Table,
+    sargs: &[(SargSource, &Sarg)],
+    base_rows: f64,
+) -> Option<ScanChoice> {
+    let key = &index.def().columns;
+    let mut used = vec![false; sargs.len()];
+    let mut eq: Vec<BoundTerm> = Vec::new();
+    let mut columns: Vec<String> = Vec::new();
+    let mut consumed: Vec<SargSource> = Vec::new();
+    let mut selectivity = 1.0;
+    for key_col in key {
+        let declared = table.schema().column(key_col).map(|c| c.data_type)?;
+        let found = sargs.iter().enumerate().find(|(i, (_, s))| {
+            !used[*i]
+                && s.column.eq_ignore_ascii_case(key_col)
+                && match &s.shape {
+                    SargShape::Eq(_) => {
+                        probe_is_exact(index.def().kind, declared, s.literal.as_ref())
+                            // Parameters have no plan-time literal to
+                            // type-check against a hash key.
+                            || (index.supports_range()
+                                && matches!(s.shape, SargShape::Eq(BoundTerm::Param(_))))
+                    }
+                    SargShape::Range { .. } => false,
+                }
+        });
+        let Some((i, (source, sarg))) = found else {
+            break;
+        };
+        used[i] = true;
+        let SargShape::Eq(term) = &sarg.shape else {
+            unreachable!("found is filtered to equalities");
+        };
+        eq.push(term.clone());
+        columns.push(key_col.clone());
+        consumed.push(*source);
+        selectivity *= sarg.selectivity;
+    }
+    // One range on the first unpinned key column, ordered indexes only.
+    let mut lo: Option<TermBound> = None;
+    let mut hi: Option<TermBound> = None;
+    if index.supports_range() {
+        if let Some(next_col) = key.get(eq.len()) {
+            let found = sargs.iter().enumerate().find(|(i, (_, s))| {
+                !used[*i]
+                    && s.column.eq_ignore_ascii_case(next_col)
+                    && matches!(s.shape, SargShape::Range { .. })
+            });
+            if let Some((i, (source, sarg))) = found {
+                used[i] = true;
+                let SargShape::Range { lo: l, hi: h } = &sarg.shape else {
+                    unreachable!("found is filtered to ranges");
+                };
+                lo = l.clone();
+                hi = h.clone();
+                columns.push(next_col.clone());
+                consumed.push(*source);
+                selectivity *= sarg.selectivity;
+            }
+        }
+    }
+    if consumed.is_empty() {
+        return None;
+    }
+    let bounds = IndexBounds { eq, lo, hi };
+    // Hash indexes answer full-width exact probes only.
+    if !index.supports_range() && !bounds.is_exact(index.width()) {
+        return None;
+    }
+    let kind = if bounds.is_exact(index.width()) {
+        AccessPathKind::Point
+    } else if bounds.lo.is_some() || bounds.hi.is_some() {
+        AccessPathKind::Range
+    } else {
+        AccessPathKind::Prefix
+    };
+    let parameterized = bounds.has_params();
+    let mut consumed_pushed = Vec::new();
+    let mut consumed_correlated = Vec::new();
+    for source in consumed {
+        match source {
+            SargSource::Pushed(i) => consumed_pushed.push(i),
+            SargSource::Correlated(i) => consumed_correlated.push(i),
+        }
+    }
+    Some(ScanChoice {
+        index: index.def().name.clone(),
+        columns,
+        key_columns: key.clone(),
+        kind,
+        bounds,
+        ordered: index.supports_range(),
+        consumed_pushed,
+        consumed_correlated,
+        parameterized,
+        estimated_rows: base_rows * selectivity,
+    })
+}
+
+/// Pick the access path for one base-relation scan: every index of the
+/// table is matched against the sargable pushed conjuncts plus the caller's
+/// correlated sargs (equality/range against an enclosing scope's column,
+/// probed as a parameter); the most selective match is costed against the
+/// full scan at `index_scan_ratio`. `None` when no conjunct can use any
+/// index (nothing to decide, nothing to narrate).
 pub(super) fn choose_scan_path(
     db: &Database,
     estimator: &Estimator,
     rel: &Relation,
     base_rows: f64,
+    correlated: &[Sarg],
+    index_scan_ratio: f64,
 ) -> Option<ScanPath> {
     let table = db.table(&rel.table)?;
     let stats = db.table_stats(&rel.table)?;
-    let mut best: Option<ScanChoice> = None;
+    let mut sargs: Vec<(SargSource, Sarg)> = Vec::new();
     for (i, conjunct) in rel.pushed.iter().enumerate() {
-        let Some(sarg) = as_sarg(conjunct) else {
-            continue;
-        };
-        let Some(index) = table.index_on(&sarg.column, sarg.needs_range) else {
-            continue;
-        };
-        let Some(declared) = table.schema().column(&sarg.column).map(|c| c.data_type) else {
-            continue;
-        };
-        if !probe_is_exact(index.def().kind, declared, sarg.literal.as_ref()) {
-            continue;
+        if let Some(sarg) = as_sarg(estimator, &stats, conjunct) {
+            sargs.push((SargSource::Pushed(i), sarg));
         }
-        let estimated_rows = base_rows * estimator.conjunct_selectivity(&stats, conjunct);
-        let better = best
-            .as_ref()
-            .map(|b| estimated_rows < b.estimated_rows)
-            .unwrap_or(true);
-        if better {
-            best = Some(ScanChoice {
-                index: index.def().name.clone(),
+    }
+    for (i, sarg) in correlated.iter().enumerate() {
+        sargs.push((
+            SargSource::Correlated(i),
+            Sarg {
                 column: sarg.column.clone(),
-                kind: if sarg.bounds.is_point() {
-                    AccessPathKind::Point
-                } else {
-                    AccessPathKind::Range
+                shape: match &sarg.shape {
+                    SargShape::Eq(t) => SargShape::Eq(t.clone()),
+                    SargShape::Range { lo, hi } => SargShape::Range {
+                        lo: lo.clone(),
+                        hi: hi.clone(),
+                    },
                 },
-                bounds: sarg.bounds,
-                ordered: index.supports_range(),
-                conjunct: i,
-                estimated_rows,
-            });
+                literal: sarg.literal.clone(),
+                selectivity: sarg.selectivity,
+            },
+        ));
+    }
+    if sargs.is_empty() {
+        return None;
+    }
+    let borrowed: Vec<(SargSource, &Sarg)> = sargs.iter().map(|(src, s)| (*src, s)).collect();
+    let mut best: Option<ScanChoice> = None;
+    for index in table.indexes() {
+        let Some(candidate) = match_index(index, table, &borrowed, base_rows) else {
+            continue;
+        };
+        let better = best.as_ref().is_none_or(|b| {
+            candidate.estimated_rows < b.estimated_rows
+                || (candidate.estimated_rows == b.estimated_rows
+                    && candidate.bounds.constrained() > b.bounds.constrained())
+        });
+        if better {
+            best = Some(candidate);
         }
     }
     let choice = best?;
-    if choice.estimated_rows * INDEX_PROBE_ROW_COST <= base_rows {
+    if choice.estimated_rows * index_scan_ratio <= base_rows {
         Some(ScanPath::Index(choice))
     } else {
         Some(ScanPath::FullScan(choice))
     }
+}
+
+/// Estimated selectivity of a correlated sarg: an equality against an
+/// outer value keeps ~1/NDV of the rows; a range falls back to the default.
+pub(super) fn correlated_selectivity(db: &Database, table: &str, column: &str, is_eq: bool) -> f64 {
+    if !is_eq {
+        return DEFAULT_SELECTIVITY;
+    }
+    db.table_stats(table)
+        .and_then(|s| s.column(column).map(|c| c.eq_selectivity()))
+        .unwrap_or(DEFAULT_SELECTIVITY)
 }
 
 /// The decision record for a scan-path choice (chosen or rejected).
@@ -231,16 +394,21 @@ pub(super) fn scan_decision(
     choice: &ScanChoice,
     base_rows: f64,
     chosen: bool,
+    ratio: f64,
+    index_only: bool,
 ) -> PlanDecision {
     PlanDecision::AccessPath {
         alias: rel.alias.clone(),
         table: rel.table.clone(),
         index: choice.index.clone(),
-        column: choice.column.clone(),
+        column: choice.columns.join(", "),
         kind: choice.kind,
         estimated_rows: choice.estimated_rows,
         table_rows: base_rows,
         chosen,
+        ratio,
+        parameterized: choice.parameterized,
+        index_only,
     }
 }
 
@@ -252,9 +420,9 @@ pub(super) struct JoinProbe {
 
 /// Consider an index-nested-loop join for a single-edge join step: the
 /// inner relation must be a bare scan (no pushed predicates — they could
-/// not run below the probe) with an exact point-probe index on its join
-/// column. Returns the candidate; the caller does the costing, because the
-/// outer cardinality lives there.
+/// not run below the probe) with an exact single-column point-probe index
+/// on its join column. Returns the candidate; the caller does the costing,
+/// because the outer cardinality lives there.
 pub(super) fn join_probe_candidate(
     db: &Database,
     rel: &Relation,
@@ -265,6 +433,11 @@ pub(super) fn join_probe_candidate(
     }
     let table = db.table(&rel.table)?;
     let index = table.index_on(join_column, false)?;
+    // The per-row probe is a single-key lookup; a composite index cannot
+    // answer it (its trailing key columns are unconstrained).
+    if index.width() != 1 {
+        return None;
+    }
     let declared = table.schema().column(join_column).map(|c| c.data_type)?;
     // The probe values are inner-typed column values from the outer side
     // (the join-graph edge guaranteed equal declared types). Ordered indexes
@@ -277,12 +450,13 @@ pub(super) fn join_probe_candidate(
     }
     Some(JoinProbe {
         index: index.def().name.clone(),
-        column: index.def().column.clone(),
+        column: index.def().columns[0].clone(),
     })
 }
 
 /// True when probing the inner index once per outer row is estimated
-/// cheaper than building a hash table over the inner rows.
-pub(super) fn prefer_index_join(outer_rows: f64, inner_rows: f64) -> bool {
-    outer_rows * INDEX_PROBE_ROW_COST <= inner_rows
+/// cheaper than building a hash table over the inner rows, at the planner's
+/// `inlj_ratio`.
+pub(super) fn prefer_index_join(outer_rows: f64, inner_rows: f64, inlj_ratio: f64) -> bool {
+    outer_rows * inlj_ratio <= inner_rows
 }

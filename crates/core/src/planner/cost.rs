@@ -3,12 +3,26 @@
 //! The [`Estimator`] bridges the planner to `datastore`'s statistics layer:
 //! per-relation cardinalities after pushed predicates (equality via 1/NDV,
 //! ranges via histograms) and per-step join cardinalities via the classic
-//! |L|·|R| / max(ndv_l, ndv_r) formula. [`choose_join_order`] runs a greedy
-//! left-deep enumeration over the join graph — start from the smallest
-//! estimated relation, repeatedly join the connected relation with the
-//! smallest estimated output — and records every choice (and every rejected
+//! |L|·|R| / max(ndv_l, ndv_r) formula. [`choose_join_order`] enumerates
+//! left-deep join orders by dynamic programming over connected subsets
+//! (Selinger-style, cross products deferred until nothing connects): every
+//! subset of relations keeps its cheapest order by C_out, so the chosen
+//! order is optimal within that space. Beyond [`DP_MAX_RELATIONS`] relations
+//! the enumerator falls back to the greedy walk
+//! ([`choose_join_order_greedy`]) — start from the smallest estimated
+//! relation, repeatedly join the connected relation with the smallest
+//! estimated output. Either way it records every choice (and every rejected
 //! alternative) as a [`PlanDecision`], so the optimizer can later *say why*
 //! it ordered the joins the way it did.
+//!
+//! Semi-/anti-join interleaving: relations that are the probe side of a
+//! decorrelatable `EXISTS` / `IN` predicate will be reduced downstream by
+//! the semi-join, and the enumerator can account for that through
+//! per-relation selectivity *hints* (computed from
+//! [`datastore::stats::semi_join_selectivity`] by the subquery pass). Hints
+//! scale the relation's filtered estimate consistently through both the DP
+//! ranking and the recorded per-step numbers, so the chosen-vs-written
+//! comparison stays an apples-to-apples one.
 
 use super::logical::{JoinGraph, Relation};
 use datastore::stats::{join_cardinality, TableStats, DEFAULT_SELECTIVITY};
@@ -81,6 +95,8 @@ pub enum PlanDecision {
         written: Vec<String>,
         chosen_cost: f64,
         written_cost: f64,
+        /// Which enumerator produced the chosen order.
+        method: JoinEnumeration,
     },
     /// How a subquery predicate was lowered, so EXPLAIN can say *why* ("I
     /// turned `EXISTS (…)` into a semi-join on m.id = c.mid").
@@ -108,7 +124,8 @@ pub enum PlanDecision {
         table: String,
         /// The index considered.
         index: String,
-        /// The indexed column.
+        /// The constrained key column(s), comma-joined for composites
+        /// ("mid, genre").
         column: String,
         kind: AccessPathKind,
         /// For point/range probes: estimated matching rows. For a
@@ -120,6 +137,17 @@ pub enum PlanDecision {
         table_rows: f64,
         /// True when the index path was chosen over the scan / hash join.
         chosen: bool,
+        /// The planner's probe-cost ratio the estimate was weighed against
+        /// ([`super::PlannerOptions::index_scan_ratio`] for scans,
+        /// [`super::PlannerOptions::inlj_ratio`] for nested-loop probes): the
+        /// index wins when `estimated_rows × ratio ≤ table_rows`.
+        ratio: f64,
+        /// True when a probe bound is a correlation parameter — the bound
+        /// resolves per `Apply` binding rather than at plan time.
+        parameterized: bool,
+        /// True when the scan answers every referenced column from the index
+        /// key itself, never touching the heap rows.
+        index_only: bool,
     },
     /// An `ORDER BY` sort skipped because a key-ordered index scan already
     /// delivers the rows in the requested order.
@@ -128,6 +156,9 @@ pub enum PlanDecision {
         table: String,
         index: String,
         column: String,
+        /// The requested direction: `false` means the scan walks the index
+        /// backwards to serve `ORDER BY … DESC`.
+        ascending: bool,
     },
     /// Whether a pipeline (or an apply's per-binding evaluations) was split
     /// across worker threads — and, when it was not, why: the cost-aware
@@ -182,12 +213,27 @@ pub enum PlanDecision {
 /// How an index access path probes its index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessPathKind {
-    /// A single-key lookup (`column = literal`).
+    /// A full-key lookup (`column = literal`, every key column pinned).
     Point,
-    /// A key-range read (`column >= literal`, `BETWEEN`, …).
+    /// A key-range read (`column >= literal`, `BETWEEN`, …), possibly under
+    /// a pinned equality prefix of a composite key.
     Range,
+    /// An equality on a leading prefix of a composite key, trailing key
+    /// columns left free.
+    Prefix,
     /// Probed once per outer row by an index-nested-loop join.
     NestedLoopProbe,
+}
+
+/// Which join-order enumerator produced a plan's order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinEnumeration {
+    /// Dynamic programming over connected subsets — optimal by C_out within
+    /// the left-deep, cross-products-deferred space.
+    Dynamic,
+    /// The greedy smallest-next-output walk (wide joins past
+    /// [`DP_MAX_RELATIONS`]).
+    Greedy,
 }
 
 /// The shapes of parallel work the planner can choose.
@@ -236,10 +282,13 @@ impl JoinOrder {
             .collect()
     }
 
-    /// Total estimated intermediate rows: the sum of every join step's
-    /// output estimate (the enumerator's cost metric, C_out).
+    /// Total estimated intermediate rows: the sum of every step's output
+    /// estimate, the starting scan included (the enumerator's cost metric,
+    /// C_out). Counting the first step keeps a filtered start strictly
+    /// cheaper than an unfiltered one even when every later join produces
+    /// identical outputs.
     pub fn cost(&self) -> f64 {
-        self.steps[1..].iter().map(|s| s.estimated_rows).sum()
+        self.steps.iter().map(|s| s.estimated_rows).sum()
     }
 }
 
@@ -506,12 +555,101 @@ fn simulate_order(
     JoinOrder { steps }
 }
 
+/// Relation-count ceiling for the DP enumerator: 2^n subsets stay cheap up
+/// to here; wider joins fall back to the greedy walk.
+pub const DP_MAX_RELATIONS: usize = 12;
+
+/// The candidate pool for extending a partial join: relations reachable
+/// through an edge from the joined set, or — only when nothing connects —
+/// every remaining relation (deferred cross products).
+fn extension_pool(graph: &JoinGraph, joined: &[bool]) -> Vec<usize> {
+    let remaining: Vec<usize> = (0..joined.len()).filter(|&r| !joined[r]).collect();
+    let connected: Vec<usize> = remaining
+        .iter()
+        .copied()
+        .filter(|&r| !graph.connecting_edges(joined, r).is_empty())
+        .collect();
+    if connected.is_empty() {
+        remaining
+    } else {
+        connected
+    }
+}
+
 /// Choose a left-deep join order. With `reorder` disabled (or a single
-/// relation) the written FROM order is kept, still with per-step estimates;
-/// otherwise a greedy enumeration starts from the smallest estimated
-/// relation and keeps joining the connected relation with the smallest
-/// estimated output, recording every decision.
+/// relation) the written FROM order is kept, still with per-step estimates.
+/// Otherwise a dynamic program over connected subsets finds the C_out-
+/// cheapest order (greedy fallback past [`DP_MAX_RELATIONS`] relations),
+/// recording every decision. No semi-join hints; see
+/// [`choose_join_order_hinted`].
 pub fn choose_join_order(
+    graph: &JoinGraph,
+    est: &Estimator,
+    reorder: bool,
+) -> (JoinOrder, Vec<PlanDecision>) {
+    choose_join_order_hinted(graph, est, reorder, &[])
+}
+
+/// [`choose_join_order`] with per-relation semi-join selectivity hints
+/// (`hints[rel] ∈ (0, 1]`, empty for none): a relation that a downstream
+/// semi-/anti-join will thin out is costed at its reduced cardinality, so
+/// the enumerator can interleave that knowledge into the order.
+pub fn choose_join_order_hinted(
+    graph: &JoinGraph,
+    est: &Estimator,
+    reorder: bool,
+    hints: &[f64],
+) -> (JoinOrder, Vec<PlanDecision>) {
+    let n = graph.relations.len();
+    let mut filtered: Vec<f64> = graph
+        .relations
+        .iter()
+        .map(|r| est.relation_rows(r))
+        .collect();
+    for (rows, hint) in filtered.iter_mut().zip(hints) {
+        *rows *= hint.clamp(0.0, 1.0);
+    }
+    let written_order: Vec<usize> = (0..n).collect();
+    if !reorder || n <= 1 {
+        return (
+            simulate_order(graph, est, &filtered, &written_order),
+            Vec::new(),
+        );
+    }
+
+    let (order, method) = match dp_join_order(graph, est, &filtered) {
+        Some(order) => (order, JoinEnumeration::Dynamic),
+        None => (
+            greedy_join_order(graph, est, &filtered),
+            JoinEnumeration::Greedy,
+        ),
+    };
+    let chosen = simulate_order(graph, est, &filtered, &order);
+    let written = simulate_order(graph, est, &filtered, &written_order);
+    if written.cost() < chosen.cost() {
+        // The enumerator lost to the written order (possible only on the
+        // greedy path, or when the written order uses an early cross product
+        // the deferred-cross-product space excludes). Keep the written order
+        // — never ship a plan estimated to be worse than doing nothing — and
+        // record decisions that describe it honestly.
+        let decisions = decisions_for_written_order(graph, &written, &filtered, method);
+        return (written, decisions);
+    }
+    let mut decisions = decisions_for_chosen_order(graph, est, &filtered, &chosen);
+    decisions.push(PlanDecision::OrderComparison {
+        chosen: chosen.aliases(graph),
+        written: written.aliases(graph),
+        chosen_cost: chosen.cost(),
+        written_cost: written.cost(),
+        method,
+    });
+    (chosen, decisions)
+}
+
+/// The greedy left-deep enumerator, kept callable on its own so the DP's
+/// advantage can be measured head-to-head (and used as the fallback for
+/// joins too wide for the subset table).
+pub fn choose_join_order_greedy(
     graph: &JoinGraph,
     est: &Estimator,
     reorder: bool,
@@ -529,90 +667,162 @@ pub fn choose_join_order(
             Vec::new(),
         );
     }
-
-    let mut decisions = Vec::new();
-    let mut joined = vec![false; n];
-    let mut steps: Vec<JoinStep> = Vec::with_capacity(n);
-
-    // Start from the smallest estimated relation (ties go to FROM order).
-    let start = (0..n)
-        .min_by(|&a, &b| filtered[a].total_cmp(&filtered[b]))
-        .expect("at least one relation");
-    joined[start] = true;
-    steps.push(JoinStep {
-        rel: start,
-        estimated_rows: filtered[start],
-        edges: Vec::new(),
-    });
-    decisions.push(start_decision(graph, start, &filtered));
-    let mut current = filtered[start];
-
-    while steps.len() < n {
-        let remaining: Vec<usize> = (0..n).filter(|&r| !joined[r]).collect();
-        let connected: Vec<usize> = remaining
-            .iter()
-            .copied()
-            .filter(|&r| !graph.connecting_edges(&joined, r).is_empty())
-            .collect();
-        // Prefer relations reachable through a join edge; only fall back to
-        // a cross product when nothing connects.
-        let pool = if connected.is_empty() {
-            remaining
-        } else {
-            connected
-        };
-        let scored: Vec<(usize, f64, Vec<usize>)> = pool
-            .iter()
-            .map(|&r| {
-                let (rows, edges) = est.join_step(graph, &filtered, &joined, current, r);
-                (r, rows, edges)
-            })
-            .collect();
-        let (pick, rows, edges) = scored
-            .iter()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(r, rows, edges)| (*r, *rows, edges.clone()))
-            .expect("pool is non-empty");
-        decisions.push(PlanDecision::Join {
-            alias: graph.relations[pick].alias.clone(),
-            table: graph.relations[pick].table.clone(),
-            estimated_rows: rows,
-            cross_product: edges.is_empty(),
-            rejected: scored
-                .iter()
-                .filter(|(r, _, _)| *r != pick)
-                .map(|(r, rows, _)| Alternative {
-                    alias: graph.relations[*r].alias.clone(),
-                    estimated_rows: *rows,
-                })
-                .collect(),
-        });
-        joined[pick] = true;
-        current = rows;
-        steps.push(JoinStep {
-            rel: pick,
-            estimated_rows: rows,
-            edges,
-        });
-    }
-
-    let chosen = JoinOrder { steps };
+    let order = greedy_join_order(graph, est, &filtered);
+    let chosen = simulate_order(graph, est, &filtered, &order);
     let written = simulate_order(graph, est, &filtered, &written_order);
     if written.cost() < chosen.cost() {
-        // The greedy walk lost to the written order (a greedy trap: the
-        // smallest start can force a later blowup). Keep the written order —
-        // never ship a plan estimated to be worse than doing nothing — and
-        // record decisions that describe it honestly.
-        let decisions = decisions_for_written_order(graph, &written, &filtered);
+        let decisions =
+            decisions_for_written_order(graph, &written, &filtered, JoinEnumeration::Greedy);
         return (written, decisions);
     }
+    let mut decisions = decisions_for_chosen_order(graph, est, &filtered, &chosen);
     decisions.push(PlanDecision::OrderComparison {
         chosen: chosen.aliases(graph),
         written: written.aliases(graph),
         chosen_cost: chosen.cost(),
         written_cost: written.cost(),
+        method: JoinEnumeration::Greedy,
     });
     (chosen, decisions)
+}
+
+/// One cheapest-so-far partial order per relation subset.
+#[derive(Clone)]
+struct DpEntry {
+    /// Total intermediate rows of this order (C_out).
+    cost: f64,
+    /// Output rows of the subset's last join.
+    rows: f64,
+    /// The relations, in join order.
+    order: Vec<usize>,
+}
+
+/// Selinger-style dynamic programming over relation subsets: every subset
+/// keeps its cheapest left-deep order, extended only through connecting
+/// edges while any exist (cross products deferred, as in the greedy walk —
+/// so the greedy order is always inside this space and the DP result can
+/// only be at least as cheap). `None` past [`DP_MAX_RELATIONS`].
+fn dp_join_order(graph: &JoinGraph, est: &Estimator, filtered: &[f64]) -> Option<Vec<usize>> {
+    let n = graph.relations.len();
+    if n > DP_MAX_RELATIONS {
+        return None;
+    }
+    let full: usize = (1 << n) - 1;
+    let mut best: Vec<Option<DpEntry>> = vec![None; 1 << n];
+    for (r, &rows) in filtered.iter().enumerate() {
+        best[1 << r] = Some(DpEntry {
+            cost: rows,
+            rows,
+            order: vec![r],
+        });
+    }
+    // Subsets in ascending numeric order: every proper subset of `mask`
+    // is numerically smaller, so each entry is final before it is extended.
+    for mask in 1..full {
+        let Some(entry) = best[mask].clone() else {
+            continue;
+        };
+        let joined: Vec<bool> = (0..n).map(|r| mask & (1 << r) != 0).collect();
+        for r in extension_pool(graph, &joined) {
+            let (rows, _) = est.join_step(graph, filtered, &joined, entry.rows, r);
+            let cost = entry.cost + rows;
+            let next = mask | (1 << r);
+            // Exact cost ties break on the alias sequence, not on which
+            // order the DP happened to reach first — the reach order tracks
+            // relation indices, i.e. the written FROM order, and the chosen
+            // plan must not depend on that.
+            let replace = match best[next].as_ref() {
+                None => true,
+                Some(b) => {
+                    cost < b.cost
+                        || (cost == b.cost && alias_seq_less(graph, &entry.order, r, &b.order))
+                }
+            };
+            if replace {
+                let mut order = entry.order.clone();
+                order.push(r);
+                best[next] = Some(DpEntry { cost, rows, order });
+            }
+        }
+    }
+    best[full].take().map(|e| e.order)
+}
+
+/// True when `prefix + [last]`, read as alias names, sorts strictly before
+/// `incumbent` — the FROM-order-invariant tie-break for equal-cost DP
+/// entries.
+fn alias_seq_less(graph: &JoinGraph, prefix: &[usize], last: usize, incumbent: &[usize]) -> bool {
+    let candidate = prefix.iter().chain(std::iter::once(&last));
+    let lhs = candidate.map(|&r| graph.relations[r].alias.as_str());
+    let rhs = incumbent.iter().map(|&r| graph.relations[r].alias.as_str());
+    lhs.cmp(rhs) == std::cmp::Ordering::Less
+}
+
+/// The greedy walk: start from the smallest filtered estimate, repeatedly
+/// take the connected relation with the smallest join output.
+fn greedy_join_order(graph: &JoinGraph, est: &Estimator, filtered: &[f64]) -> Vec<usize> {
+    let n = graph.relations.len();
+    let start = (0..n)
+        .min_by(|&a, &b| filtered[a].total_cmp(&filtered[b]))
+        .expect("at least one relation");
+    let mut joined = vec![false; n];
+    joined[start] = true;
+    let mut order = vec![start];
+    let mut current = filtered[start];
+    while order.len() < n {
+        let (pick, rows) = extension_pool(graph, &joined)
+            .into_iter()
+            .map(|r| {
+                let (rows, _) = est.join_step(graph, filtered, &joined, current, r);
+                (r, rows)
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("pool is non-empty");
+        joined[pick] = true;
+        current = rows;
+        order.push(pick);
+    }
+    order
+}
+
+/// Replay a chosen order step by step, scoring the same candidate pool the
+/// enumerator saw, so every [`PlanDecision::Join`] lists what was rejected
+/// at that step and why the pick won.
+fn decisions_for_chosen_order(
+    graph: &JoinGraph,
+    est: &Estimator,
+    filtered: &[f64],
+    chosen: &JoinOrder,
+) -> Vec<PlanDecision> {
+    let n = graph.relations.len();
+    let start = chosen.steps[0].rel;
+    let mut decisions = vec![start_decision(graph, start, filtered)];
+    let mut joined = vec![false; n];
+    joined[start] = true;
+    let mut current = filtered[start];
+    for step in &chosen.steps[1..] {
+        let rejected: Vec<Alternative> = extension_pool(graph, &joined)
+            .into_iter()
+            .filter(|&r| r != step.rel)
+            .map(|r| {
+                let (rows, _) = est.join_step(graph, filtered, &joined, current, r);
+                Alternative {
+                    alias: graph.relations[r].alias.clone(),
+                    estimated_rows: rows,
+                }
+            })
+            .collect();
+        decisions.push(PlanDecision::Join {
+            alias: graph.relations[step.rel].alias.clone(),
+            table: graph.relations[step.rel].table.clone(),
+            estimated_rows: step.estimated_rows,
+            cross_product: step.edges.is_empty(),
+            rejected,
+        });
+        joined[step.rel] = true;
+        current = step.estimated_rows;
+    }
+    decisions
 }
 
 /// The [`PlanDecision::Start`] record for a join tree rooted at `start`,
@@ -640,6 +850,7 @@ fn decisions_for_written_order(
     graph: &JoinGraph,
     order: &JoinOrder,
     filtered: &[f64],
+    method: JoinEnumeration,
 ) -> Vec<PlanDecision> {
     let start = order.steps[0].rel;
     let mut decisions = vec![start_decision(graph, start, filtered)];
@@ -658,6 +869,7 @@ fn decisions_for_written_order(
         written: aliases,
         chosen_cost: order.cost(),
         written_cost: order.cost(),
+        method,
     });
     decisions
 }

@@ -15,10 +15,11 @@
 //!    clause into a join graph over the FROM relations: equi-join edges,
 //!    pushed single-table predicates, and residual predicates.
 //! 2. **[`cost`]** bridges to `datastore`'s statistics (NDV, histograms,
-//!    min/max cached per table) and greedily enumerates a left-deep join
-//!    order — smallest estimated relation first, then whichever connected
-//!    relation keeps the estimated intermediate result smallest — recording
-//!    every choice and rejected alternative as a [`PlanDecision`].
+//!    min/max cached per table) and enumerates a left-deep join order by
+//!    dynamic programming over connected subsets (greedy fallback for very
+//!    wide joins), with semi-join selectivity hints for relations an
+//!    `EXISTS`/`IN` will thin out downstream — recording every choice and
+//!    rejected alternative as a [`PlanDecision`].
 //! 3. **[`subquery`]** classifies each WHERE/HAVING conjunct containing a
 //!    subquery (uncorrelated scalar, `[NOT] IN`, `[NOT] EXISTS`, correlated
 //!    comparison, quantified comparison) and picks its execution strategy —
@@ -39,7 +40,10 @@ pub mod subquery;
 pub mod vectorize;
 
 pub use access::INDEX_PROBE_ROW_COST;
-pub use cost::{AccessPathKind, Alternative, ParallelKind, PlanDecision, SubqueryStrategy};
+pub use cost::{
+    AccessPathKind, Alternative, JoinEnumeration, ParallelKind, PlanDecision, SubqueryStrategy,
+    DP_MAX_RELATIONS,
+};
 pub use parallel::PARALLEL_ROW_THRESHOLD;
 pub use physical::lower_expr;
 
@@ -96,6 +100,16 @@ pub struct PlannerOptions {
     /// Entry bound of the `Apply` operator's per-binding memoization cache.
     /// Defaults to [`datastore::exec::APPLY_CACHE_CAP`].
     pub apply_cache_cap: usize,
+    /// Scan-rows one index-probed row is priced at: an index scan wins a
+    /// base-relation access when `matching_rows × index_scan_ratio ≤
+    /// table_rows`. Defaults to [`INDEX_PROBE_ROW_COST`]; raise it to make
+    /// the planner warier of indexes, lower it to make probes cheaper.
+    pub index_scan_ratio: f64,
+    /// The same coin for index-nested-loop joins: probing the inner index
+    /// once per outer row wins when `outer_rows × inlj_ratio ≤ inner_rows`
+    /// (vs. building a hash table over the inner side). Defaults to
+    /// [`INDEX_PROBE_ROW_COST`].
+    pub inlj_ratio: f64,
 }
 
 impl Default for PlannerOptions {
@@ -112,6 +126,8 @@ impl Default for PlannerOptions {
             use_vectorized: true,
             parallel_build_min: datastore::exec::PARALLEL_BUILD_MIN,
             apply_cache_cap: datastore::exec::APPLY_CACHE_CAP,
+            index_scan_ratio: INDEX_PROBE_ROW_COST,
+            inlj_ratio: INDEX_PROBE_ROW_COST,
         }
     }
 }
@@ -166,7 +182,11 @@ pub fn plan_query_with(
     let (stripped, where_subs, having_subs) = subquery::split_subqueries(&effective);
     let graph = logical::build_join_graph(db, &stripped, &bound);
     let estimator = cost::Estimator::new(db);
-    let (order, mut decisions) = cost::choose_join_order(&graph, &estimator, options.reorder_joins);
+    // Relations a decorrelatable EXISTS/IN will thin out downstream enter
+    // the enumeration at their semi-join-reduced cardinality.
+    let hints = subquery::semi_join_hints(db, &estimator, &graph, &bound, &where_subs);
+    let (order, mut decisions) =
+        cost::choose_join_order_hinted(&graph, &estimator, options.reorder_joins, &hints);
     let subctx = subquery::SubqueryContext::new(db, options);
     let scopes = subquery::ScopeChain::root(&subctx);
     let (plan, _columns) = physical::lower_select(
@@ -369,6 +389,7 @@ mod tests {
                 written_cost,
                 chosen,
                 written,
+                ..
             }) => {
                 assert!(chosen_cost <= written_cost);
                 assert_ne!(chosen, written);
@@ -507,6 +528,47 @@ mod tests {
     }
 
     #[test]
+    fn dp_order_is_never_estimated_worse_than_greedy() {
+        // The DP searches a space that contains every greedy walk, so on the
+        // same graph and estimates its chosen order can never cost more than
+        // the greedy pick — checked head-to-head on the multi-relation join
+        // graphs of the paper's queries.
+        let db = movie_database();
+        let queries = [
+            "select m.title from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
+            "select a.name, m.title from MOVIES m, CAST c, ACTOR a, DIRECTED r, DIRECTOR d, \
+             GENRE g where m.id = c.mid and c.aid = a.id and m.id = r.mid and r.did = d.id \
+             and m.id = g.mid and d.name = 'G. Loucas' and g.genre = 'action'",
+            "select a1.name, a2.name from MOVIES m, CAST c1, ACTOR a1, CAST c2, ACTOR a2 \
+             where m.id = c1.mid and c1.aid = a1.id and m.id = c2.mid and c2.aid = a2.id \
+             and a1.id > a2.id",
+            "select m.title from MOVIES m, CAST c where m.id = c.mid and c.role = m.title",
+            "select m.id, m.title, count(*) from MOVIES m, CAST c where m.id = c.mid \
+             group by m.id, m.title",
+            "select a.id, a.name from MOVIES m, CAST c, ACTOR a \
+             where m.id = c.mid and c.aid = a.id group by a.id, a.name",
+            "select m1.year from MOVIES m1, MOVIES m2 \
+             where m1.title = m2.title and m1.id <> m2.id",
+        ];
+        for sql in queries {
+            let q = parse_query(sql).unwrap();
+            let bound = sqlparse::bind_query(db.catalog(), &q).unwrap();
+            let graph = logical::build_join_graph(&db, &q, &bound);
+            assert!(graph.relations.len() > 1, "graph degenerate for {sql}");
+            let estimator = cost::Estimator::new(&db);
+            let (dp, _) = cost::choose_join_order_hinted(&graph, &estimator, true, &[]);
+            let (greedy, _) = cost::choose_join_order_greedy(&graph, &estimator, true);
+            assert!(
+                dp.cost() <= greedy.cost(),
+                "DP lost to greedy for {sql}: {} > {}",
+                dp.cost(),
+                greedy.cost()
+            );
+        }
+    }
+
+    #[test]
     fn point_predicate_on_the_pk_becomes_an_index_scan() {
         let db = movie_database();
         let q = parse_query("select m.title from MOVIES m where m.id = 4").unwrap();
@@ -607,12 +669,12 @@ mod tests {
     fn order_by_on_an_index_range_scan_elides_the_sort() {
         use datastore::{IndexDef, IndexKind};
         let mut db = movie_database();
-        db.create_index(IndexDef {
-            name: "idx_year".into(),
-            table: "MOVIES".into(),
-            column: "year".into(),
-            kind: IndexKind::Ordered,
-        })
+        db.create_index(IndexDef::single(
+            "idx_year",
+            "MOVIES",
+            "year",
+            IndexKind::Ordered,
+        ))
         .unwrap();
         let q = parse_query(
             "select m.title, m.year from MOVIES m where m.year >= 2005 order by m.year",
@@ -643,14 +705,35 @@ mod tests {
         assert!(operator_names(&baseline.plan).contains(&"sort"));
         assert_eq!(rs.rows, execute(&db, &baseline.plan).unwrap().rows);
         assert_eq!(rs.rows[0].get(1).unwrap().to_string(), "2005");
-        // A descending order keeps its sort (a key-ordered scan would
-        // reverse ties too).
+        // A descending order elides too: the scan walks the index backwards,
+        // and ties still come back in row-position order like the stable
+        // sort would leave them.
         let desc = parse_query(
             "select m.title, m.year from MOVIES m where m.year >= 2005 order by m.year desc",
         )
         .unwrap();
         let planned = plan_query(&db, &desc).unwrap();
-        assert!(operator_names(&planned.plan).contains(&"sort"));
+        assert!(!operator_names(&planned.plan).contains(&"sort"));
+        assert!(planned.decisions.iter().any(|d| matches!(
+            d,
+            PlanDecision::SortElided {
+                index,
+                ascending: false,
+                ..
+            } if index == "idx_year"
+        )));
+        let rs = execute(&db, &planned.plan).unwrap();
+        let baseline = plan_query_with(
+            &db,
+            &desc,
+            PlannerOptions {
+                use_indexes: false,
+                ..PlannerOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(operator_names(&baseline.plan).contains(&"sort"));
+        assert_eq!(rs.rows, execute(&db, &baseline.plan).unwrap().rows);
     }
 
     #[test]

@@ -452,7 +452,7 @@ fn is_pipeline_subtree(plan: &Plan) -> bool {
         // A key-ordered index scan exists to *preserve* an order a sort was
         // elided for; morsel gathering would destroy it, so it is not
         // pipeline material. Position-ordered index scans partition fine.
-        PlanNode::IndexScan { key_order, .. } => !key_order,
+        PlanNode::IndexScan { order, .. } => *order == datastore::index::ProbeOrder::Position,
         PlanNode::IndexNestedLoopJoin { left, .. } => is_pipeline_subtree(left),
         PlanNode::Filter { input, .. } | PlanNode::Project { input, .. } => {
             is_pipeline_subtree(input)
@@ -484,7 +484,7 @@ fn driver_scan(plan: &Plan) -> Option<(String, f64)> {
         | PlanNode::IndexScan {
             table,
             alias,
-            key_order: false,
+            order: datastore::index::ProbeOrder::Position,
             ..
         } => {
             let desc = if alias.eq_ignore_ascii_case(table) {

@@ -11,11 +11,12 @@
 
 use super::access::{self, ScanPath};
 use super::cost::{AccessPathKind, Estimator, JoinOrder, PlanDecision};
-use super::logical::{ref_alias, JoinGraph};
+use super::logical::{ref_alias, JoinGraph, Relation};
 use super::subquery::ScopeChain;
 use crate::error::TalkbackError;
 use datastore::exec::{AggExpr, AggFunc, ColumnInfo, Plan, PlanNode};
 use datastore::expr::{ArithOp, CmpOp, Expr as PExpr};
+use datastore::index::BoundTerm;
 use datastore::stats::DEFAULT_SELECTIVITY;
 use datastore::{Database, Value};
 use sqlparse::ast::{
@@ -23,6 +24,7 @@ use sqlparse::ast::{
     UnaryOperator,
 };
 use sqlparse::bind::BoundQuery;
+use std::collections::{HashMap, HashSet};
 
 fn resolve_column(
     columns: &[ColumnInfo],
@@ -63,10 +65,21 @@ pub(super) fn lower_select(
     project: bool,
 ) -> Result<(Plan, Vec<ColumnInfo>), TalkbackError> {
     let use_indexes = scopes.ctx().options.use_indexes;
+    let index_scan_ratio = scopes.ctx().options.index_scan_ratio;
     // Access paths chosen per relation, for the ORDER BY elision peephole:
-    // (alias, index, column, plan-tree setter applies) — only ordered-index
-    // scans qualify.
+    // (alias, index, sort column the scan's key order satisfies) — only
+    // ordered-index scans with at most one unconstrained key column qualify.
     let mut ordered_scans: Vec<(String, String, String)> = Vec::new();
+    // Indices into `graph.residual` of correlated conjuncts an index probe
+    // consumed as parameterized bounds — the probe enforces them exactly, so
+    // the residual filter (and its selectivity charge) must not re-apply.
+    let mut consumed_residuals: Vec<usize> = Vec::new();
+    // Column references per alias for the index-only covering check. `None`
+    // means some reference cannot be attributed (a top-level `*`, an
+    // unresolvable name), so no scan may drop heap columns.
+    let referenced = (use_indexes && project)
+        .then(|| referenced_columns(query, graph, bound, where_subs, having_subs))
+        .flatten();
 
     // 1. Scans with pushed predicates (one filter operator per conjunct, so
     //    instrumentation can blame an individual condition), estimates
@@ -90,65 +103,114 @@ pub(super) fn lower_select(
             .collect())
     };
     let scan_with_pushdown = |rel_idx: usize,
-                              ordered_scans: &mut Vec<(String, String, String)>|
+                              ordered_scans: &mut Vec<(String, String, String)>,
+                              consumed_residuals: &mut Vec<usize>|
      -> Result<(Plan, Vec<ColumnInfo>), TalkbackError> {
         let rel = &graph.relations[rel_idx];
         let columns = relation_columns(rel_idx)?;
         // The same trace the enumerator costed with annotates the
         // operators.
         let (base_rows, trace) = estimator.relation_row_trace(rel);
+        // Correlated residuals (`g.mid = m.id` under an Apply) become
+        // parameterized sargs: the probe is planned once with `$k` bounds
+        // and re-bound per enclosing row.
+        let (corr_idx, corr_sargs): (Vec<usize>, Vec<access::Sarg>) = if use_indexes {
+            correlated_sargs(db, graph, rel, bound, scopes)
+                .into_iter()
+                .unzip()
+        } else {
+            (Vec::new(), Vec::new())
+        };
         let path = if use_indexes {
-            access::choose_scan_path(db, estimator, rel, base_rows)
+            access::choose_scan_path(db, estimator, rel, base_rows, &corr_sargs, index_scan_ratio)
         } else {
             None
         };
-        let (mut plan, mut rows, consumed) = match path {
+        let (mut plan, columns, mut rows, consumed, probed) = match path {
             Some(ScanPath::Index(choice)) => {
-                scopes
-                    .ctx()
-                    .record_decision(access::scan_decision(rel, &choice, base_rows, true));
-                if choice.ordered {
-                    ordered_scans.push((
-                        rel.alias.clone(),
-                        choice.index.clone(),
-                        choice.column.clone(),
-                    ));
+                // Index-only: every reference to this relation above the
+                // scan is answerable from the key columns alone.
+                let index_only = choice.ordered
+                    && referenced
+                        .as_ref()
+                        .is_some_and(|refs| covers(refs, rel, &choice.key_columns));
+                scopes.ctx().record_decision(access::scan_decision(
+                    rel,
+                    &choice,
+                    base_rows,
+                    true,
+                    index_scan_ratio,
+                    index_only,
+                ));
+                // The scan satisfies an ORDER BY on its first unpinned key
+                // column: with the leading columns pinned by equalities,
+                // key order breaks ties in row-position order, exactly like
+                // the stable sort it would replace.
+                if choice.ordered && choice.bounds.eq.len() + 1 >= choice.key_columns.len() {
+                    let sort_col = choice.key_columns
+                        [choice.bounds.eq.len().min(choice.key_columns.len() - 1)]
+                    .clone();
+                    ordered_scans.push((rel.alias.clone(), choice.index.clone(), sort_col));
                 }
-                let plan = Plan::index_scan(
+                for &c in &choice.consumed_correlated {
+                    consumed_residuals.push(corr_idx[c]);
+                }
+                let mut plan = Plan::index_scan(
                     rel.table.clone(),
                     rel.alias.clone(),
                     choice.index,
                     choice.bounds,
                 )
                 .with_estimate(choice.estimated_rows);
-                (plan, choice.estimated_rows, Some(choice.conjunct))
+                let columns = if index_only {
+                    plan = plan.with_index_only();
+                    choice
+                        .key_columns
+                        .iter()
+                        .map(|k| ColumnInfo::qualified(rel.alias.clone(), k.clone()))
+                        .collect()
+                } else {
+                    columns
+                };
+                (
+                    plan,
+                    columns,
+                    choice.estimated_rows,
+                    choice.consumed_pushed,
+                    true,
+                )
             }
             Some(ScanPath::FullScan(choice)) => {
-                scopes
-                    .ctx()
-                    .record_decision(access::scan_decision(rel, &choice, base_rows, false));
+                scopes.ctx().record_decision(access::scan_decision(
+                    rel,
+                    &choice,
+                    base_rows,
+                    false,
+                    index_scan_ratio,
+                    false,
+                ));
                 let plan =
                     Plan::scan(rel.table.clone(), rel.alias.clone()).with_estimate(base_rows);
-                (plan, base_rows, None)
+                (plan, columns, base_rows, Vec::new(), false)
             }
             None => {
                 let plan =
                     Plan::scan(rel.table.clone(), rel.alias.clone()).with_estimate(base_rows);
-                (plan, base_rows, None)
+                (plan, columns, base_rows, Vec::new(), false)
             }
         };
         let stats = db.table_stats(&rel.table);
         for (i, conjunct) in rel.pushed.iter().enumerate() {
-            if consumed == Some(i) {
+            if consumed.contains(&i) {
                 continue; // This conjunct became the index bounds.
             }
             // Progressive estimates: on the full-scan path these are the
             // enumerator's own trace numbers; below an index probe the
             // remaining conjuncts scale the probe's output instead.
-            rows = match (consumed, &stats) {
-                (None, _) => trace[i],
-                (Some(_), Some(stats)) => rows * estimator.conjunct_selectivity(stats, conjunct),
-                (Some(_), None) => rows,
+            rows = match (probed, &stats) {
+                (false, _) => trace[i],
+                (true, Some(stats)) => rows * estimator.conjunct_selectivity(stats, conjunct),
+                (true, None) => rows,
             };
             plan = plan
                 .filter(lower_expr_scoped(conjunct, &columns, bound, Some(scopes))?)
@@ -162,7 +224,11 @@ pub(super) fn lower_select(
     //    back to a cross product and lets the residual filters sort it out.
     //    A single-edge step whose inner side has a point index may become an
     //    index-nested-loop join instead, when the outer side is tiny.
-    let (mut plan, mut columns) = scan_with_pushdown(order.steps[0].rel, &mut ordered_scans)?;
+    let (mut plan, mut columns) = scan_with_pushdown(
+        order.steps[0].rel,
+        &mut ordered_scans,
+        &mut consumed_residuals,
+    )?;
     let mut rows = order.steps[0].estimated_rows;
     let mut unresolved_edges: Vec<Expr> = Vec::new();
     for step in &order.steps[1..] {
@@ -179,7 +245,8 @@ pub(super) fn lower_select(
                 (access::join_probe_candidate(db, rel, near_col), left_pos)
             {
                 let inner_rows = estimator.relation_rows(rel);
-                let chosen = access::prefer_index_join(rows, inner_rows);
+                let inlj_ratio = scopes.ctx().options.inlj_ratio;
+                let chosen = access::prefer_index_join(rows, inner_rows, inlj_ratio);
                 scopes.ctx().record_decision(PlanDecision::AccessPath {
                     alias: rel.alias.clone(),
                     table: rel.table.clone(),
@@ -189,6 +256,9 @@ pub(super) fn lower_select(
                     estimated_rows: rows,
                     table_rows: inner_rows,
                     chosen,
+                    ratio: inlj_ratio,
+                    parameterized: false,
+                    index_only: false,
                 });
                 if chosen {
                     let right_columns = relation_columns(step.rel)?;
@@ -206,7 +276,8 @@ pub(super) fn lower_select(
                 }
             }
         }
-        let (right_plan, right_columns) = scan_with_pushdown(step.rel, &mut ordered_scans)?;
+        let (right_plan, right_columns) =
+            scan_with_pushdown(step.rel, &mut ordered_scans, &mut consumed_residuals)?;
         let mut left_keys = Vec::new();
         let mut right_keys = Vec::new();
         for &ei in &step.edges {
@@ -251,7 +322,18 @@ pub(super) fn lower_select(
     // 3. Residual predicates (cross-variable non-equi conjuncts, mixed-type
     //    equalities, correlated filters that lower to parameters, …) above
     //    the joins.
-    for conjunct in graph.residual.iter().chain(&unresolved_edges) {
+    for (i, conjunct) in graph.residual.iter().enumerate() {
+        if consumed_residuals.contains(&i) {
+            // A parameterized index probe enforces this conjunct exactly;
+            // neither the filter nor its selectivity charge re-applies.
+            continue;
+        }
+        rows *= DEFAULT_SELECTIVITY;
+        plan = plan
+            .filter(lower_expr_scoped(conjunct, &columns, bound, Some(scopes))?)
+            .with_estimate(rows);
+    }
+    for conjunct in &unresolved_edges {
         rows *= DEFAULT_SELECTIVITY;
         plan = plan
             .filter(lower_expr_scoped(conjunct, &columns, bound, Some(scopes))?)
@@ -354,18 +436,18 @@ pub(super) fn lower_select(
                 item.expr
             )));
         }
-        // Peephole: a single-table query ordered ascending by the very
-        // column an ordered-index scan probes already arrives in that
-        // order — ask the scan for key-ordered output and skip the sort.
-        // (Ascending only: a key-ordered scan breaks ties in table position
-        // order, exactly like the stable sort it replaces; descending would
-        // reverse the ties too.)
+        // Peephole: a single-table query ordered by the very column an
+        // ordered-index scan probes already arrives in that order — ask the
+        // scan for key-ordered output (ascending or descending) and skip
+        // the sort. Safe in both directions: key order breaks ties in
+        // row-position order, exactly like the stable sort it replaces, and
+        // `ordered_scans` only lists scans whose single unpinned key column
+        // is the sort column.
         let elidable = graph.relations.len() == 1
             && where_subs.is_empty()
             && !query.is_aggregate()
             && having_subs.is_empty()
-            && keys.len() == 1
-            && keys[0].ascending;
+            && keys.len() == 1;
         let ordered_source = elidable
             .then(|| {
                 let sorted_on = &output_columns[keys[0].column];
@@ -377,12 +459,13 @@ pub(super) fn lower_select(
             })
             .flatten();
         if let Some((alias, index, column)) = ordered_source {
-            plan = set_key_order(plan);
+            plan = set_key_order(plan, keys[0].ascending);
             scopes.ctx().record_decision(PlanDecision::SortElided {
                 alias: alias.clone(),
                 table: graph.relations[0].table.clone(),
                 index: index.clone(),
                 column: column.clone(),
+                ascending: keys[0].ascending,
             });
         } else {
             // A LIMIT above the sort bounds what the sort hands on: a top-k
@@ -404,16 +487,22 @@ pub(super) fn lower_select(
 }
 
 /// Switch the index scan at the bottom of a single-table operator chain to
-/// key-ordered output (the ORDER BY elision peephole). Only called on plans
-/// whose spine is filter/project/distinct over the scan.
-fn set_key_order(plan: Plan) -> Plan {
+/// key-ordered output in the requested direction (the ORDER BY elision
+/// peephole). Only called on plans whose spine is filter/project/distinct
+/// over the scan.
+fn set_key_order(plan: Plan, ascending: bool) -> Plan {
     let est = plan.estimated_rows;
     let node = match plan.node {
         scan @ PlanNode::IndexScan { .. } => {
             let plan: Plan = scan.into();
+            let plan = if ascending {
+                plan.with_key_order()
+            } else {
+                plan.with_key_order_desc()
+            };
             return match est {
-                Some(e) => plan.with_key_order().with_estimate(e),
-                None => plan.with_key_order(),
+                Some(e) => plan.with_estimate(e),
+                None => plan,
             };
         }
         PlanNode::Filter {
@@ -421,7 +510,7 @@ fn set_key_order(plan: Plan) -> Plan {
             predicate,
             vectorized,
         } => PlanNode::Filter {
-            input: Box::new(set_key_order(*input)),
+            input: Box::new(set_key_order(*input, ascending)),
             predicate,
             vectorized,
         },
@@ -430,18 +519,235 @@ fn set_key_order(plan: Plan) -> Plan {
             exprs,
             columns,
         } => PlanNode::Project {
-            input: Box::new(set_key_order(*input)),
+            input: Box::new(set_key_order(*input, ascending)),
             exprs,
             columns,
         },
         PlanNode::Distinct { input } => PlanNode::Distinct {
-            input: Box::new(set_key_order(*input)),
+            input: Box::new(set_key_order(*input, ascending)),
         },
         other => other, // Unreachable given the peephole's preconditions.
     };
     Plan {
         node,
         estimated_rows: est,
+    }
+}
+
+/// Sargable correlated residuals for one relation: comparison conjuncts
+/// `local.col <op> outer.col` between a column local to `rel` and a column
+/// of an enclosing scope (Q6's `g2.mid = m.id` under an Apply). The outer
+/// side becomes a correlation parameter — the probe is planned once with a
+/// `$k` bound and re-bound per enclosing row — turning a rescan per binding
+/// into an index lookup per binding. Returns `(residual index, sarg)`
+/// pairs; a consumed sarg's residual filter is dropped, because the probe
+/// enforces the predicate exactly (NULL bindings match nothing, like SQL
+/// `=`).
+fn correlated_sargs(
+    db: &Database,
+    graph: &JoinGraph,
+    rel: &Relation,
+    bound: &BoundQuery,
+    scopes: &ScopeChain,
+) -> Vec<(usize, access::Sarg)> {
+    let mut out = Vec::new();
+    for (i, conjunct) in graph.residual.iter().enumerate() {
+        let Expr::BinaryOp { left, op, right } = conjunct else {
+            continue;
+        };
+        let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) else {
+            continue;
+        };
+        let alias_of = |c: &ColumnRef| {
+            c.qualifier
+                .clone()
+                .or_else(|| bound.qualifier_of(c).map(str::to_string))
+        };
+        let (Some(a_alias), Some(b_alias)) = (alias_of(a), alias_of(b)) else {
+            continue;
+        };
+        let local_side = |alias: &str| alias.eq_ignore_ascii_case(&rel.alias);
+        let in_block = |alias: &str| {
+            graph
+                .relations
+                .iter()
+                .any(|r| r.alias.eq_ignore_ascii_case(alias))
+        };
+        // Exactly one side local to `rel`, the other outside this block
+        // entirely (a same-block residual is not a correlation).
+        let (local, outer, outer_alias, op) = if local_side(&a_alias) && !in_block(&b_alias) {
+            (a, b, b_alias, *op)
+        } else if local_side(&b_alias) && !in_block(&a_alias) {
+            (b, a, a_alias, sqlparse::ast::flip(*op))
+        } else {
+            continue;
+        };
+        // An unconsumed sarg's filter lowers to the same memoized parameter,
+        // so resolving here never binds a value nothing reads.
+        let Some(param) = scopes.resolve_param(Some(&outer_alias), &outer.column) else {
+            continue;
+        };
+        let Some(shape) = access::range_shape(op, BoundTerm::Param(param)) else {
+            continue;
+        };
+        let is_eq = matches!(shape, access::SargShape::Eq(_));
+        out.push((
+            i,
+            access::Sarg {
+                column: local.column.clone(),
+                shape,
+                literal: None,
+                selectivity: access::correlated_selectivity(db, &rel.table, &local.column, is_eq),
+            },
+        ));
+    }
+    out
+}
+
+/// Column references attributed per relation alias (lower-cased), for the
+/// index-only covering check: everything the plan touches *above* a scan —
+/// projection, ORDER/GROUP BY, HAVING, every filter conjunct, join edges,
+/// and subquery bodies (whose correlated references resolve against this
+/// block's columns at attachment time). `None` when some reference cannot
+/// be attributed — a top-level `*` or an unresolvable name — in which case
+/// no scan may drop heap columns. Over-collection is harmless (it only
+/// blocks the optimization); under-collection would be unsound.
+fn referenced_columns(
+    query: &SelectStatement,
+    graph: &JoinGraph,
+    bound: &BoundQuery,
+    where_subs: &[Expr],
+    having_subs: &[Expr],
+) -> Option<HashMap<String, HashSet<String>>> {
+    let mut refs = RefCollector {
+        bound,
+        map: HashMap::new(),
+        fatal: false,
+    };
+    for item in &query.projection {
+        match item {
+            // `*` needs every column of every relation.
+            SelectItem::Wildcard => refs.fatal = true,
+            SelectItem::QualifiedWildcard(q) => refs.wildcard(q),
+            SelectItem::Expr { expr, .. } => refs.expr(expr),
+        }
+    }
+    if let Some(w) = &query.selection {
+        refs.expr(w);
+    }
+    for g in &query.group_by {
+        refs.expr(g);
+    }
+    if let Some(h) = &query.having {
+        refs.expr(h);
+    }
+    for o in &query.order_by {
+        refs.expr(&o.expr);
+    }
+    for e in where_subs.iter().chain(having_subs) {
+        refs.expr(e);
+    }
+    for edge in &graph.edges {
+        refs.edge(&graph.relations[edge.left_rel].alias, &edge.left_column);
+        refs.edge(&graph.relations[edge.right_rel].alias, &edge.right_column);
+    }
+    for rel in &graph.relations {
+        for conjunct in &rel.pushed {
+            refs.expr(conjunct);
+        }
+    }
+    for conjunct in &graph.residual {
+        refs.expr(conjunct);
+    }
+    (!refs.fatal).then_some(refs.map)
+}
+
+/// True when every collected reference to `rel` is one of the index's key
+/// columns — the covering condition for an index-only scan.
+fn covers(refs: &HashMap<String, HashSet<String>>, rel: &Relation, key_columns: &[String]) -> bool {
+    match refs.get(&rel.alias.to_lowercase()) {
+        None => true, // Nothing above the scan touches this relation.
+        Some(cols) => {
+            !cols.contains("*")
+                && cols
+                    .iter()
+                    .all(|c| key_columns.iter().any(|k| k.eq_ignore_ascii_case(c)))
+        }
+    }
+}
+
+struct RefCollector<'a> {
+    bound: &'a BoundQuery,
+    map: HashMap<String, HashSet<String>>,
+    fatal: bool,
+}
+
+impl RefCollector<'_> {
+    fn add(&mut self, c: &ColumnRef) {
+        // References qualified by a subquery's own alias land in map entries
+        // no block relation matches — harmless. A sub-local unqualified name
+        // that happens to resolve against this block is attributed here:
+        // over-collection, still sound.
+        match c
+            .qualifier
+            .clone()
+            .or_else(|| self.bound.qualifier_of(c).map(str::to_string))
+        {
+            Some(q) => self.edge(&q, &c.column),
+            None => self.fatal = true,
+        }
+    }
+
+    fn edge(&mut self, alias: &str, column: &str) {
+        self.map
+            .entry(alias.to_lowercase())
+            .or_default()
+            .insert(column.to_lowercase());
+    }
+
+    /// `alias.*` needs every column of that relation.
+    fn wildcard(&mut self, alias: &str) {
+        self.map
+            .entry(alias.to_lowercase())
+            .or_default()
+            .insert("*".into());
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        for c in e.column_refs() {
+            self.add(c);
+        }
+        // `walk` stops at subquery boundaries; descend into the bodies by
+        // hand — their correlated references read this block's columns.
+        for s in e.subqueries() {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &SelectStatement) {
+        let own = s.tuple_variables();
+        for item in &s.projection {
+            match item {
+                // A subquery's `*` expands over its own FROM only.
+                SelectItem::Wildcard => {}
+                SelectItem::QualifiedWildcard(q)
+                    if own.iter().any(|v| v.eq_ignore_ascii_case(q)) => {}
+                SelectItem::QualifiedWildcard(q) => self.wildcard(q),
+                SelectItem::Expr { expr, .. } => self.expr(expr),
+            }
+        }
+        if let Some(w) = &s.selection {
+            self.expr(w);
+        }
+        for g in &s.group_by {
+            self.expr(g);
+        }
+        if let Some(h) = &s.having {
+            self.expr(h);
+        }
+        for o in &s.order_by {
+            self.expr(&o.expr);
+        }
     }
 }
 

@@ -163,6 +163,186 @@ impl<'a> ScopeChain<'a> {
     }
 }
 
+/// Floor for semi-/anti-join hints: even a "keeps almost nothing" estimate
+/// must leave a sliver, or the enumerator would treat the relation as free
+/// and degenerate estimates would hide real join costs.
+const MIN_HINT: f64 = 0.05;
+
+/// Per-relation cardinality hints for the join enumerator: a relation that a
+/// decorrelatable-looking `EXISTS`/`IN` conjunct will thin out downstream
+/// enters the enumeration at its semi-join-reduced cardinality, so orders
+/// that shrink it early rank accordingly. Hints only scale the enumerator's
+/// filtered estimates — they never change which plans are legal, only how
+/// they are ranked, and the same scaling is applied to the written order, so
+/// the `chosen_cost <= written_cost` invariant holds on one common metric.
+pub(super) fn semi_join_hints(
+    db: &Database,
+    estimator: &Estimator,
+    graph: &super::logical::JoinGraph,
+    bound: &BoundQuery,
+    where_subs: &[Expr],
+) -> Vec<f64> {
+    let mut hints = vec![1.0_f64; graph.relations.len()];
+    if graph.relations.len() <= 1 {
+        return hints;
+    }
+    for conjunct in where_subs {
+        match conjunct {
+            Expr::Exists { subquery, negated } => {
+                for (rel, sel) in exists_hint_terms(db, estimator, graph, subquery) {
+                    apply_hint(&mut hints, rel, sel, *negated);
+                }
+            }
+            Expr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => {
+                if let Some((rel, sel)) = in_hint_term(db, estimator, graph, bound, expr, subquery)
+                {
+                    apply_hint(&mut hints, rel, sel, *negated);
+                }
+            }
+            _ => {}
+        }
+    }
+    hints
+}
+
+fn apply_hint(hints: &mut [f64], rel: usize, selectivity: f64, negated: bool) {
+    let s = if negated {
+        // NOT EXISTS / NOT IN keep the complement; floor it so a "matches
+        // everything" estimate does not zero the relation out entirely.
+        (1.0 - selectivity).max(MIN_HINT)
+    } else {
+        selectivity.max(MIN_HINT)
+    };
+    hints[rel] = (hints[rel] * s).max(MIN_HINT);
+}
+
+/// The `(relation index, semi-join selectivity)` terms contributed by an
+/// `EXISTS` subquery's top-level correlation equalities `inner.x = outer.y`.
+fn exists_hint_terms(
+    db: &Database,
+    estimator: &Estimator,
+    graph: &super::logical::JoinGraph,
+    sub: &SelectStatement,
+) -> Vec<(usize, f64)> {
+    let locals: HashSet<String> = sub
+        .tuple_variables()
+        .iter()
+        .map(|v| v.to_lowercase())
+        .collect();
+    let mut out = Vec::new();
+    for conjunct in sub.where_conjuncts() {
+        let Expr::BinaryOp { left, op, right } = conjunct else {
+            continue;
+        };
+        if *op != BinaryOperator::Eq {
+            continue;
+        }
+        let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) else {
+            continue;
+        };
+        let qual = |c: &ColumnRef| c.qualifier.as_deref().map(str::to_lowercase);
+        let (Some(a_q), Some(b_q)) = (qual(a), qual(b)) else {
+            continue;
+        };
+        let (inner, inner_alias, outer, outer_alias) = if locals.contains(&a_q) {
+            (a, a_q, b, b_q)
+        } else if locals.contains(&b_q) {
+            (b, b_q, a, a_q)
+        } else {
+            continue;
+        };
+        let Some(rel_idx) = graph
+            .relations
+            .iter()
+            .position(|r| r.alias.eq_ignore_ascii_case(&outer_alias))
+        else {
+            continue;
+        };
+        let Some(build_table) = sub
+            .from
+            .iter()
+            .find(|t| {
+                t.alias
+                    .as_deref()
+                    .unwrap_or(&t.table)
+                    .eq_ignore_ascii_case(&inner_alias)
+            })
+            .map(|t| t.table.clone())
+        else {
+            continue;
+        };
+        let rel = &graph.relations[rel_idx];
+        let probe_rows = estimator.relation_rows(rel);
+        let probe_ndv = estimator.table_column_ndv(&rel.table, &outer.column, probe_rows);
+        let build_rows = db
+            .table_stats(&build_table)
+            .map(|s| s.row_count as f64)
+            .unwrap_or(1.0);
+        let build_ndv = estimator.table_column_ndv(&build_table, &inner.column, build_rows);
+        out.push((rel_idx, semi_join_selectivity(probe_ndv, build_ndv)));
+    }
+    out
+}
+
+/// The `(relation index, semi-join selectivity)` term of an `IN (subquery)`
+/// whose probe is a plain column and whose build side projects one column.
+fn in_hint_term(
+    db: &Database,
+    estimator: &Estimator,
+    graph: &super::logical::JoinGraph,
+    bound: &BoundQuery,
+    probe: &Expr,
+    sub: &SelectStatement,
+) -> Option<(usize, f64)> {
+    let Expr::Column(c) = probe else {
+        return None;
+    };
+    let alias = c
+        .qualifier
+        .clone()
+        .or_else(|| bound.qualifier_of(c).map(str::to_string))?;
+    let rel_idx = graph
+        .relations
+        .iter()
+        .position(|r| r.alias.eq_ignore_ascii_case(&alias))?;
+    let [SelectItem::Expr {
+        expr: Expr::Column(inner),
+        ..
+    }] = sub.projection.as_slice()
+    else {
+        return None;
+    };
+    let inner_alias = inner.qualifier.clone().unwrap_or_else(|| {
+        sub.from
+            .first()
+            .map(|t| t.table.clone())
+            .unwrap_or_default()
+    });
+    let build_table = sub
+        .from
+        .iter()
+        .find(|t| {
+            t.alias
+                .as_deref()
+                .unwrap_or(&t.table)
+                .eq_ignore_ascii_case(&inner_alias)
+        })
+        .map(|t| t.table.clone())?;
+    let rel = &graph.relations[rel_idx];
+    let probe_rows = estimator.relation_rows(rel);
+    let probe_ndv = estimator.table_column_ndv(&rel.table, &c.column, probe_rows);
+    let build_rows = db
+        .table_stats(&build_table)
+        .map(|s| s.row_count as f64)
+        .unwrap_or(1.0);
+    let build_ndv = estimator.table_column_ndv(&build_table, &inner.column, build_rows);
+    Some((rel_idx, semi_join_selectivity(probe_ndv, build_ndv)))
+}
+
 /// Split a statement's WHERE and HAVING into the subquery-free remainder
 /// (what the join graph and plain lowering see) and the conjuncts containing
 /// subqueries, which the subquery pass attaches as dedicated operators.
@@ -251,8 +431,13 @@ impl<'c> SubqueryContext<'c> {
         }
         let (stripped, where_subs, having_subs) = split_subqueries(&effective);
         let graph = build_join_graph(self.db, &stripped, &bound);
-        let (order, _) =
-            super::cost::choose_join_order(&graph, estimator, self.options.reorder_joins);
+        let hints = semi_join_hints(self.db, estimator, &graph, &bound, &where_subs);
+        let (order, _) = super::cost::choose_join_order_hinted(
+            &graph,
+            estimator,
+            self.options.reorder_joins,
+            &hints,
+        );
         let (plan, columns) = lower_select(
             self.db,
             &stripped,

@@ -330,6 +330,24 @@ fn base_desc(plan: &Plan) -> String {
 fn scan_columns(db: &Database, node: &PlanNode) -> Option<(Vec<ColumnInfo>, Vec<DataType>)> {
     let (table, alias) = match node {
         PlanNode::Scan { table, alias } => (table, alias),
+        // An index-only scan emits the index key columns, not the schema.
+        PlanNode::IndexScan {
+            table,
+            alias,
+            index,
+            index_only: true,
+            ..
+        } => {
+            let schema = db.catalog().table(table)?;
+            let key = &db.table(table)?.index(index)?.def().columns;
+            let mut columns = Vec::with_capacity(key.len());
+            let mut types = Vec::with_capacity(key.len());
+            for name in key {
+                columns.push(ColumnInfo::qualified(alias.clone(), name.clone()));
+                types.push(schema.column(name)?.data_type);
+            }
+            return Some((columns, types));
+        }
         PlanNode::IndexScan { table, alias, .. } => (table, alias),
         _ => return None,
     };

@@ -30,14 +30,16 @@ pub fn translate_statement(
         ))),
         Statement::CreateIndex(ci) => {
             let noun = nlg::pluralize(&concept(catalog, lexicon, &ci.table));
+            let keys: Vec<String> = ci.columns.iter().map(|c| c.to_lowercase()).collect();
+            let key_phrase = join_with_and(&keys);
             Some(finish_sentence(&format!(
                 "Build {} index named {} over the {} of the {}, so lookups by {} can jump \
                  straight to the matching rows instead of scanning every one",
                 if ci.hash { "a hash" } else { "an ordered" },
                 ci.name,
-                ci.column.to_lowercase(),
+                key_phrase,
                 noun,
-                ci.column.to_lowercase()
+                keys.join(" then ")
             )))
         }
         Statement::DropIndex(di) => Some(finish_sentence(&format!(
@@ -194,6 +196,12 @@ mod tests {
         );
         let text = translate("create index h_name on ACTOR (name) using hash");
         assert!(text.starts_with("Build a hash index named h_name over the name of the actors"));
+        let text = translate("create index g_mid_genre on GENRE (mid, genre)");
+        assert!(
+            text.contains("over the mid and genre of the genres"),
+            "{text}"
+        );
+        assert!(text.contains("lookups by mid then genre"), "{text}");
         let text = translate("drop index idx_year");
         assert_eq!(
             text,

@@ -156,12 +156,15 @@ pub fn narrate_decisions(decisions: &[PlanDecision]) -> Vec<String> {
                 estimated_rows,
                 table_rows,
                 chosen,
+                ratio,
+                parameterized,
+                index_only,
                 ..
             } => {
                 use crate::planner::AccessPathKind as K;
                 let est = rows_phrase(*estimated_rows);
                 let total = rows_phrase(*table_rows);
-                let text = match (kind, chosen) {
+                let mut text = match (kind, chosen) {
                     (K::Point, true) => format!(
                         "I looked {table} up by {column} through the index {index} \
                          (expecting {est}) instead of scanning all {total}"
@@ -170,9 +173,15 @@ pub fn narrate_decisions(decisions: &[PlanDecision]) -> Vec<String> {
                         "I read just the matching {column} range of {table} through the \
                          index {index} — an estimated {est} of its {total}"
                     ),
-                    (K::Point | K::Range, false) => format!(
+                    (K::Prefix, true) => format!(
+                        "I pinned the leading {column} of {table}'s composite index \
+                         {index} and read just that slice — an estimated {est} of its \
+                         {total}"
+                    ),
+                    (K::Point | K::Range | K::Prefix, false) => format!(
                         "{table} has an index on {column}, but the filter keeps an \
-                         estimated {est} of its {total}, so I scanned the whole table"
+                         estimated {est} of its {total} (a probe pays its way below one \
+                         row in {ratio:.0}), so I scanned the whole table"
                     ),
                     (K::NestedLoopProbe, true) => format!(
                         "I probed {table}'s index on {column} ({index}) once per outer \
@@ -185,17 +194,35 @@ pub fn narrate_decisions(decisions: &[PlanDecision]) -> Vec<String> {
                          table over its {total}, so I hash-joined"
                     ),
                 };
+                if *parameterized && *chosen {
+                    text.push_str(
+                        ", re-binding the probe to each enclosing row's value instead \
+                         of rescanning per row",
+                    );
+                }
+                if *index_only && *chosen {
+                    text.push_str(
+                        ", answering from the index keys alone without touching a \
+                         stored row",
+                    );
+                }
                 sentences.push(finish_sentence(&text));
             }
             PlanDecision::SortElided {
                 table,
                 index,
                 column,
+                ascending,
                 ..
             } => {
+                let direction = if *ascending {
+                    String::new()
+                } else {
+                    " (walking it backwards for the descending order)".to_string()
+                };
                 sentences.push(finish_sentence(&format!(
                     "The index {index} already returns the {table} rows in {column} \
-                     order, so I skipped the sort"
+                     order{direction}, so I skipped the sort"
                 )));
             }
             PlanDecision::Parallel {
@@ -435,18 +462,30 @@ fn narrate_join_order(decisions: &[PlanDecision]) -> Vec<String> {
         written,
         chosen_cost,
         written_cost,
+        method,
     }) = comparison
     {
+        // Say how hard the enumerator looked: dynamic programming covers
+        // every connected join order; the greedy fallback takes over past
+        // `DP_MAX_RELATIONS` relations.
+        let searched = match method {
+            crate::planner::JoinEnumeration::Dynamic => {
+                "after weighing every join order over the connected relations"
+            }
+            crate::planner::JoinEnumeration::Greedy => {
+                "picking the cheapest next relation at each step"
+            }
+        };
         if chosen == written {
-            text.push_str(
-                ", keeping the order the query was written in — it was already the \
-                     cheapest I could find",
-            );
+            text.push_str(&format!(
+                ", keeping the order the query was written in — {searched}, it was \
+                 already the cheapest I could find",
+            ));
         } else {
             let ratio = written_cost.max(1.0) / chosen_cost.max(1.0);
             if ratio >= 1.5 {
                 text.push_str(&format!(
-                    ", because that order was expected to produce ~{}× fewer \
+                    ", because {searched}, that one was expected to produce ~{}× fewer \
                      intermediate rows than the order the query was written in",
                     if ratio >= 10.0 {
                         format!("{ratio:.0}")
@@ -455,10 +494,10 @@ fn narrate_join_order(decisions: &[PlanDecision]) -> Vec<String> {
                     }
                 ));
             } else {
-                text.push_str(
-                    ", an order expected to be at least as cheap as the one the query \
-                     was written in",
-                );
+                text.push_str(&format!(
+                    ", an order expected ({searched}) to be at least as cheap as the \
+                     one the query was written in",
+                ));
             }
         }
     }
@@ -1257,7 +1296,8 @@ mod tests {
         assert!(
             e.narration.contains(
                 "MOVIES has an index on id, but the filter keeps an estimated ten rows of \
-                 its ten rows, so I scanned the whole table."
+                 its ten rows (a probe pays its way below one row in 4), so I scanned the \
+                 whole table."
             ),
             "rejection narration missing from: {}",
             e.narration
@@ -1268,12 +1308,12 @@ mod tests {
     fn sort_elision_is_narrated() {
         use datastore::{IndexDef, IndexKind};
         let mut db = movie_database();
-        db.create_index(IndexDef {
-            name: "idx_year".into(),
-            table: "MOVIES".into(),
-            column: "year".into(),
-            kind: IndexKind::Ordered,
-        })
+        db.create_index(IndexDef::single(
+            "idx_year",
+            "MOVIES",
+            "year",
+            IndexKind::Ordered,
+        ))
         .unwrap();
         let e = explain_plan(
             &db,

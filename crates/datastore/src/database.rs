@@ -63,28 +63,39 @@ impl Database {
         &mut self.catalog
     }
 
-    /// Create a table from a schema. A single-column primary key gets an
-    /// automatic ordered index (`pk_<table>`), so point lookups and
-    /// index-nested-loop joins on the key work without a `CREATE INDEX`.
+    /// Create a table from a schema. A primary key — single-column or
+    /// composite — gets an automatic ordered index (`pk_<table>`), so point
+    /// lookups, prefix probes and index-nested-loop joins on the key work
+    /// without a `CREATE INDEX`.
     pub fn create_table(&mut self, schema: TableSchema) -> Result<(), StoreError> {
         self.catalog.add_table(schema.clone())?;
         let mut table = Table::new(schema.clone());
         // A PK naming a non-existent column has always been silently inert
         // (`primary_key_indices` skips it); keep that, and keep this
         // function infallible past `add_table`, by only indexing keys that
-        // resolve. On a fresh table with a resolving column the build
+        // all resolve. On a fresh table with resolving columns the build
         // cannot fail.
-        if let [pk_column] = schema.primary_key.as_slice() {
-            if schema.column_index(pk_column).is_some() {
-                table
-                    .create_index(IndexDef {
-                        name: format!("pk_{}", schema.name.to_lowercase()),
-                        table: schema.name.clone(),
-                        column: pk_column.clone(),
-                        kind: IndexKind::Ordered,
-                    })
-                    .expect("auto PK index on a fresh table cannot clash");
-            }
+        let pk_positions: Vec<Option<usize>> = schema
+            .primary_key
+            .iter()
+            .map(|c| schema.column_index(c))
+            .collect();
+        let distinct = pk_positions
+            .iter()
+            .filter_map(|p| *p)
+            .collect::<std::collections::BTreeSet<_>>();
+        if !schema.primary_key.is_empty()
+            && pk_positions.iter().all(Option::is_some)
+            && distinct.len() == schema.primary_key.len()
+        {
+            table
+                .create_index(IndexDef {
+                    name: format!("pk_{}", schema.name.to_lowercase()),
+                    table: schema.name.clone(),
+                    columns: schema.primary_key.clone(),
+                    kind: IndexKind::Ordered,
+                })
+                .expect("auto PK index on a fresh table cannot clash");
         }
         self.tables.insert(Self::key(&schema.name), Arc::new(table));
         Ok(())
@@ -621,10 +632,39 @@ mod tests {
         let db = movie_db();
         let movies = db.table("MOVIES").unwrap();
         let pk = movies.index("pk_movies").expect("auto PK index");
-        assert_eq!(pk.def().column, "id");
+        assert_eq!(pk.def().columns, vec!["id".to_string()]);
         assert!(pk.supports_range());
         // CAST has no primary key in this fixture, so no auto index.
         assert!(db.table("CAST").unwrap().indexes().is_empty());
+    }
+
+    #[test]
+    fn composite_pk_builds_a_composite_index() {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "G",
+                vec![
+                    ColumnDef::new("mid", DataType::Integer),
+                    ColumnDef::new("genre", DataType::Text),
+                ],
+            )
+            .with_primary_key(&["mid", "genre"]),
+        )
+        .unwrap();
+        db.insert("G", vec![Value::int(1), Value::text("drama")])
+            .unwrap();
+        db.insert("G", vec![Value::int(1), Value::text("noir")])
+            .unwrap();
+        let pk = db.table("G").unwrap().index("pk_g").expect("auto PK index");
+        assert_eq!(
+            pk.def().columns,
+            vec!["mid".to_string(), "genre".to_string()]
+        );
+        assert_eq!(pk.width(), 2);
+        use crate::index::{BoundTerm, IndexBounds, ProbeOrder};
+        let prefix = IndexBounds::prefix(vec![BoundTerm::Value(Value::int(1))]);
+        assert_eq!(pk.probe(&prefix, ProbeOrder::Position).unwrap(), vec![0, 1]);
     }
 
     #[test]
@@ -652,12 +692,12 @@ mod tests {
                 .unwrap();
         }
         let entries = db
-            .create_index(IndexDef {
-                name: "idx_title".into(),
-                table: "MOVIES".into(),
-                column: "title".into(),
-                kind: IndexKind::Hash,
-            })
+            .create_index(IndexDef::single(
+                "idx_title",
+                "MOVIES",
+                "title",
+                IndexKind::Hash,
+            ))
             .unwrap();
         assert_eq!(entries, 10);
         let (owner, idx) = db.find_index("idx_title").unwrap();
@@ -667,12 +707,12 @@ mod tests {
         // Database-wide name uniqueness: the same name on another table is
         // rejected and rolled back.
         let err = db
-            .create_index(IndexDef {
-                name: "IDX_TITLE".into(),
-                table: "ACTOR".into(),
-                column: "name".into(),
-                kind: IndexKind::Hash,
-            })
+            .create_index(IndexDef::single(
+                "IDX_TITLE",
+                "ACTOR",
+                "name",
+                IndexKind::Hash,
+            ))
             .unwrap_err();
         assert!(matches!(err, StoreError::IndexExists { .. }));
         assert!(db.table("ACTOR").unwrap().index("idx_title").is_none());
@@ -709,13 +749,8 @@ mod tests {
             StoreError::UnknownIndex { .. }
         ));
         assert!(matches!(
-            db.create_index(IndexDef {
-                name: "x".into(),
-                table: "NOPE".into(),
-                column: "id".into(),
-                kind: IndexKind::Hash,
-            })
-            .unwrap_err(),
+            db.create_index(IndexDef::single("x", "NOPE", "id", IndexKind::Hash))
+                .unwrap_err(),
             StoreError::UnknownTable { .. }
         ));
     }

@@ -450,13 +450,13 @@ fn find_driver(plan: &Plan) -> Option<(String, String)> {
         PlanNode::IndexScan {
             table,
             alias,
-            key_order,
+            order,
             ..
         } => {
-            if *key_order {
-                None
-            } else {
+            if *order == crate::index::ProbeOrder::Position {
                 Some((table.clone(), alias.clone()))
+            } else {
+                None
             }
         }
         PlanNode::Filter { input, .. }
@@ -1119,21 +1119,13 @@ mod tests {
     fn exchange_partitions_index_scans_by_position_range() {
         use crate::index::{IndexBounds, IndexDef, IndexKind};
         let mut db = big_db(6000);
-        db.create_index(IndexDef {
-            name: "idx_v".into(),
-            table: "T".into(),
-            column: "v".into(),
-            kind: IndexKind::Ordered,
-        })
-        .unwrap();
+        db.create_index(IndexDef::single("idx_v", "T", "v", IndexKind::Ordered))
+            .unwrap();
         let scan = Plan::index_scan(
             "T",
             "t",
             "idx_v",
-            IndexBounds::Range {
-                lo: Some((Value::int(2), true)),
-                hi: None,
-            },
+            IndexBounds::range(Some((Value::int(2), true)), None),
         );
         let sequential = scan.clone();
         let parallel = scan.exchange(4);
@@ -1152,10 +1144,7 @@ mod tests {
             "T",
             "t",
             "idx_v",
-            IndexBounds::Range {
-                lo: Some((Value::int(2), true)),
-                hi: None,
-            },
+            IndexBounds::range(Some((Value::int(2), true)), None),
         )
         .with_key_order();
         let (rows_keyed, profile) = execute_with_stats(&db, &keyed.clone()).unwrap();

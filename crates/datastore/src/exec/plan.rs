@@ -15,7 +15,7 @@
 
 use crate::exec::aggregate::AggExpr;
 use crate::expr::{CmpOp, Expr};
-use crate::index::IndexBounds;
+use crate::index::{IndexBounds, ProbeOrder};
 use crate::tuple::Row;
 use crate::value::Value;
 use std::collections::HashMap;
@@ -166,17 +166,22 @@ pub enum PlanNode {
     /// qualified with `alias`.
     Scan { table: String, alias: String },
     /// Index-backed access path: probe `index` with `bounds` and read only
-    /// the matching rows. Output columns are the table's (no index-only
-    /// scans yet). With `key_order` rows come back ascending by the indexed
-    /// key — what an `ORDER BY`-eliding plan wants; without it they come
-    /// back in table position order, byte-identical to the equivalent
-    /// filtered full scan.
+    /// the matching rows. The bounds may carry correlation parameters that
+    /// [`Plan::bind_params`] resolves per `Apply` binding — the probe stays
+    /// symbolic until the outer row arrives. With `order` other than
+    /// [`ProbeOrder::Position`] rows come back sorted by the indexed key
+    /// (ascending or descending) — what an `ORDER BY`-eliding plan wants;
+    /// in position order they are byte-identical to the equivalent filtered
+    /// full scan. With `index_only`, rows are synthesized from the index
+    /// keys alone (output columns are the key columns, not the table's) and
+    /// the heap is never touched.
     IndexScan {
         table: String,
         alias: String,
         index: String,
         bounds: IndexBounds,
-        key_order: bool,
+        order: ProbeOrder,
+        index_only: bool,
     },
     /// Index-nested-loop join: for each left row, probe `index` on the
     /// stored table with the value at `left_key` and emit the concatenated
@@ -432,17 +437,37 @@ impl Plan {
             alias: alias.into(),
             index: index.into(),
             bounds,
-            key_order: false,
+            order: ProbeOrder::Position,
+            index_only: false,
         }
         .into()
     }
 
     /// Switch an `IndexScan` root to key-ordered output (no-op on other
     /// operators): the planner's way of marking a scan whose order already
-    /// satisfies the query's `ORDER BY`.
+    /// satisfies the query's `ORDER BY`. Descending covers
+    /// `ORDER BY … DESC` via a reverse key walk.
     pub fn with_key_order(mut self) -> Plan {
-        if let PlanNode::IndexScan { key_order, .. } = &mut self.node {
-            *key_order = true;
+        if let PlanNode::IndexScan { order, .. } = &mut self.node {
+            *order = ProbeOrder::KeyAsc;
+        }
+        self
+    }
+
+    /// Like [`Plan::with_key_order`], but descending.
+    pub fn with_key_order_desc(mut self) -> Plan {
+        if let PlanNode::IndexScan { order, .. } = &mut self.node {
+            *order = ProbeOrder::KeyDesc;
+        }
+        self
+    }
+
+    /// Switch an `IndexScan` root to index-only mode: answer from the index
+    /// keys without touching heap rows (no-op on other operators). The
+    /// scan's output columns become the index key columns.
+    pub fn with_index_only(mut self) -> Plan {
+        if let PlanNode::IndexScan { index_only, .. } = &mut self.node {
+            *index_only = true;
         }
         self
     }
@@ -636,13 +661,17 @@ impl Plan {
                 alias,
                 index,
                 bounds,
-                key_order,
+                order,
+                index_only,
             } => PlanNode::IndexScan {
                 table: table.clone(),
                 alias: alias.clone(),
                 index: index.clone(),
-                bounds: bounds.clone(),
-                key_order: *key_order,
+                // The probe itself may be parameterized: an Apply binding
+                // turns `mid = $0` into a concrete point probe here.
+                bounds: bounds.bind(bindings),
+                order: *order,
+                index_only: *index_only,
             },
             PlanNode::IndexNestedLoopJoin {
                 left,

@@ -30,7 +30,7 @@ use crate::exec::parallel::{ExchangeShared, ExchangeSource, JoinIndex, SemiBuild
 use crate::exec::plan::{aggregate_output_columns, ApplyMode, ColumnInfo, Plan, PlanNode, SortKey};
 use crate::exec::vector::{batch_group_keys, gather_selected, VectorPredicate};
 use crate::expr::{CmpOp, Expr};
-use crate::index::IndexBounds;
+use crate::index::{IndexBounds, ProbeOrder};
 use crate::table::Table;
 use crate::tuple::Row;
 use crate::value::{GroupKey, Value};
@@ -176,13 +176,25 @@ pub struct IndexAccess {
     pub alias: String,
     /// Index name.
     pub index: String,
-    /// True for a point probe, false for a range probe.
+    /// True for an exact (point) probe that pins every key column, false
+    /// for a prefix or range probe.
     pub point: bool,
-    /// Rendered probe predicate ("m.id = 5") for index scans; `None` for
-    /// the per-row probe side of an index nested-loop join.
+    /// Rendered probe predicate ("m.id = 5", "c.mid = $0") for index
+    /// scans; `None` for the per-row probe side of an index nested-loop
+    /// join.
     pub predicate: Option<String>,
-    /// True when the scan emits rows ascending by key (an elided sort).
-    pub key_order: bool,
+    /// The order rows come back in; `KeyAsc`/`KeyDesc` mean an elided sort.
+    pub order: ProbeOrder,
+    /// True when the scan answered from the index keys alone, never
+    /// touching heap rows.
+    pub index_only: bool,
+}
+
+impl IndexAccess {
+    /// True when the scan emits rows sorted by key (an elided sort).
+    pub fn key_order(&self) -> bool {
+        self.order != ProbeOrder::Position
+    }
 }
 
 /// A snapshot of one operator (and its subtree) after — or before —
@@ -494,7 +506,8 @@ pub(crate) fn open_in(
             alias,
             index,
             bounds,
-            key_order,
+            order,
+            index_only,
         } => {
             let t = ctx
                 .table(table)
@@ -508,7 +521,8 @@ pub(crate) fn open_in(
                 alias.clone(),
                 index,
                 bounds.clone(),
-                *key_order,
+                *order,
+                *index_only,
                 est,
                 driver_range,
             )?)
@@ -964,19 +978,25 @@ impl RowSource for ScanSource {
 /// matching rows. Matching positions are resolved lazily on the first pull
 /// (opening a plan must read no data), in table position order by default —
 /// so the output is byte-identical to the equivalent filtered full scan —
-/// or ascending by key when the planner elided a sort.
+/// or sorted by key (either direction) when the planner elided a sort. In
+/// index-only mode the rows are synthesized from the index keys and the
+/// heap is never read.
 struct IndexScanSource {
     table: Arc<Table>,
     /// Position of the probed index within the table's index list (stable
     /// for the lifetime of this snapshot).
     index_pos: usize,
     bounds: IndexBounds,
-    key_order: bool,
+    order: ProbeOrder,
+    index_only: bool,
     columns: Vec<ColumnInfo>,
     detail: String,
     access: IndexAccess,
-    /// Matching row positions, resolved on first pull.
+    /// Matching heap row positions, resolved on first pull (heap mode).
     positions: Option<Vec<usize>>,
+    /// Rows synthesized from index keys, resolved on first pull
+    /// (index-only mode).
+    index_rows: Option<Vec<Row>>,
     cursor: usize,
     /// Morsel restriction over table row positions, when this scan drives an
     /// exchange pipeline.
@@ -993,7 +1013,8 @@ impl IndexScanSource {
         alias: String,
         index: &str,
         bounds: IndexBounds,
-        key_order: bool,
+        order: ProbeOrder,
+        index_only: bool,
         est: Option<f64>,
         driver_range: Option<(usize, usize)>,
     ) -> Result<IndexScanSource, StoreError> {
@@ -1005,51 +1026,86 @@ impl IndexScanSource {
                 index: index.to_string(),
             })?;
         let idx = &table.indexes()[index_pos];
-        if !bounds.is_point() && !idx.supports_range() {
+        let exact = bounds.is_exact(idx.width());
+        if !exact && !idx.supports_range() {
             return Err(StoreError::Eval {
                 message: format!(
-                    "index {} is a hash index and cannot answer a range probe",
+                    "index {} is a hash index and cannot answer a range or prefix probe",
                     idx.def().name
                 ),
             });
         }
-        let columns: Vec<ColumnInfo> = table
-            .schema()
-            .columns
-            .iter()
-            .map(|c| ColumnInfo::qualified(alias.clone(), c.name.clone()))
-            .collect();
+        if index_only && !idx.supports_range() {
+            return Err(StoreError::Eval {
+                message: format!(
+                    "index {} is a hash index and cannot answer an index-only scan",
+                    idx.def().name
+                ),
+            });
+        }
+        let columns: Vec<ColumnInfo> = if index_only {
+            idx.def()
+                .columns
+                .iter()
+                .map(|c| ColumnInfo::qualified(alias.clone(), c.clone()))
+                .collect()
+        } else {
+            table
+                .schema()
+                .columns
+                .iter()
+                .map(|c| ColumnInfo::qualified(alias.clone(), c.name.clone()))
+                .collect()
+        };
         let base = if alias == table_name {
             table_name.clone()
         } else {
             format!("{table_name} as {alias}")
         };
-        let probed = format!("{}.{}", alias, idx.def().column);
-        let predicate = bounds.describe(&probed);
+        let qualified: Vec<String> = idx
+            .def()
+            .columns
+            .iter()
+            .map(|c| format!("{alias}.{c}"))
+            .collect();
+        let predicate = bounds.describe(&qualified);
+        let mode = if exact {
+            "point"
+        } else if bounds.lo.is_none() && bounds.hi.is_none() && !bounds.eq.is_empty() {
+            "prefix"
+        } else {
+            "range"
+        };
+        let order_tag = match order {
+            ProbeOrder::Position => "",
+            ProbeOrder::KeyAsc => ", key order",
+            ProbeOrder::KeyDesc => ", key order desc",
+        };
         let detail = format!(
-            "{base} [index={} {} {}{}]",
+            "{base} [index={} {mode} {predicate}{order_tag}]{}",
             idx.def().name,
-            if bounds.is_point() { "point" } else { "range" },
-            predicate,
-            if key_order { ", key order" } else { "" },
+            if index_only { " [index-only]" } else { "" },
         );
         let access = IndexAccess {
             table: table_name,
             alias,
             index: idx.def().name.clone(),
-            point: bounds.is_point(),
+            point: exact,
             predicate: Some(predicate),
-            key_order,
+            order,
+            index_only,
         };
         Ok(IndexScanSource {
             table,
             index_pos,
             bounds,
-            key_order,
+            order,
+            index_only,
             columns,
             detail,
             access,
             positions: None,
+            index_rows: None,
             cursor: 0,
             driver_range,
             est,
@@ -1058,18 +1114,40 @@ impl IndexScanSource {
     }
 
     fn resolve(&mut self) -> Result<(), StoreError> {
-        if self.positions.is_some() {
+        if self.positions.is_some() || self.index_rows.is_some() {
             return Ok(());
         }
         let index = &self.table.indexes()[self.index_pos];
-        let mut positions = index.probe(&self.bounds, self.key_order)?;
-        if let Some((start, end)) = self.driver_range {
+        let in_range = |p: usize| match self.driver_range {
             // Morsel restriction: keep only matches inside this morsel's row
             // range (the relative order of survivors is unchanged).
-            positions.retain(|&p| p >= start && p < end);
+            Some((start, end)) => p >= start && p < end,
+            None => true,
+        };
+        if self.index_only {
+            let entries = index.probe_entries(&self.bounds, self.order)?;
+            self.index_rows = Some(
+                entries
+                    .into_iter()
+                    .filter(|(p, _)| in_range(*p))
+                    .map(|(_, values)| Row::new(values))
+                    .collect(),
+            );
+        } else {
+            let mut positions = index.probe(&self.bounds, self.order)?;
+            positions.retain(|&p| in_range(p));
+            self.positions = Some(positions);
         }
-        self.positions = Some(positions);
         Ok(())
+    }
+
+    fn remaining(&self) -> usize {
+        let total = match (&self.positions, &self.index_rows) {
+            (Some(p), _) => p.len(),
+            (_, Some(r)) => r.len(),
+            _ => 0,
+        };
+        total.saturating_sub(self.cursor)
     }
 }
 
@@ -1081,16 +1159,21 @@ impl RowSource for IndexScanSource {
     fn next_batch(&mut self) -> Result<Option<Vec<Row>>, StoreError> {
         let start = Instant::now();
         self.resolve()?;
-        let positions = self.positions.as_ref().expect("resolved above");
-        let result = if self.cursor >= positions.len() {
+        let result = if self.remaining() == 0 {
             None
         } else {
-            let end = (self.cursor + BATCH_SIZE).min(positions.len());
-            let rows = self.table.rows();
-            let batch: Vec<Row> = positions[self.cursor..end]
-                .iter()
-                .map(|&p| rows[p].clone())
-                .collect();
+            let take = self.remaining().min(BATCH_SIZE);
+            let end = self.cursor + take;
+            let batch: Vec<Row> = if let Some(positions) = &self.positions {
+                let rows = self.table.rows();
+                positions[self.cursor..end]
+                    .iter()
+                    .map(|&p| rows[p].clone())
+                    .collect()
+            } else {
+                let rows = self.index_rows.as_ref().expect("resolved above");
+                rows[self.cursor..end].to_vec()
+            };
             self.cursor = end;
             self.meter.rows_in += batch.len() as u64;
             self.meter.rows_out += batch.len() as u64;
@@ -1165,6 +1248,14 @@ impl IndexNljSource {
                 index: index.to_string(),
             })?;
         let idx = &table.indexes()[index_pos];
+        if idx.width() != 1 {
+            return Err(StoreError::Eval {
+                message: format!(
+                    "index {} is a composite index and cannot drive a single-key nested-loop probe",
+                    idx.def().name
+                ),
+            });
+        }
         let inner_columns: Vec<ColumnInfo> = table
             .schema()
             .columns
@@ -1181,7 +1272,7 @@ impl IndexNljSource {
         let detail = format!(
             "{left_col} = {}.{} [index={}]",
             alias,
-            idx.def().column,
+            idx.def().columns[0],
             idx.def().name
         );
         let inner_desc = if alias == table_name {
@@ -1195,7 +1286,8 @@ impl IndexNljSource {
             index: idx.def().name.clone(),
             point: true,
             predicate: None,
-            key_order: false,
+            order: ProbeOrder::Position,
+            index_only: false,
         };
         Ok(IndexNljSource {
             left,
@@ -2934,20 +3026,10 @@ mod tests {
     fn indexed_db() -> Database {
         use crate::index::{IndexDef, IndexKind};
         let mut db = db();
-        db.create_index(IndexDef {
-            name: "idx_v".into(),
-            table: "T".into(),
-            column: "v".into(),
-            kind: IndexKind::Ordered,
-        })
-        .unwrap();
-        db.create_index(IndexDef {
-            name: "h_id".into(),
-            table: "T".into(),
-            column: "id".into(),
-            kind: IndexKind::Hash,
-        })
-        .unwrap();
+        db.create_index(IndexDef::single("idx_v", "T", "v", IndexKind::Ordered))
+            .unwrap();
+        db.create_index(IndexDef::single("h_id", "T", "id", IndexKind::Hash))
+            .unwrap();
         db
     }
 
@@ -2955,7 +3037,7 @@ mod tests {
     fn index_scan_matches_filtered_scan_byte_for_byte() {
         let db = indexed_db();
         let filtered = scan("T", "t").filter(Expr::col_cmp_value(1, CmpOp::Eq, Value::int(3)));
-        let point = Plan::index_scan("T", "t", "idx_v", IndexBounds::Point(Value::int(3)));
+        let point = Plan::index_scan("T", "t", "idx_v", IndexBounds::point(Value::int(3)));
         assert_eq!(run_plan(&db, &filtered), run_plan(&db, &point));
 
         let range_filter = scan("T", "t").filter(Expr::And(
@@ -2966,15 +3048,12 @@ mod tests {
             "T",
             "t",
             "idx_v",
-            IndexBounds::Range {
-                lo: Some((Value::int(2), true)),
-                hi: Some((Value::int(5), false)),
-            },
+            IndexBounds::range(Some((Value::int(2), true)), Some((Value::int(5), false))),
         );
         assert_eq!(run_plan(&db, &range_filter), run_plan(&db, &range));
 
         // The hash index answers points (and counts only matching reads)…
-        let hash_point = Plan::index_scan("T", "t", "h_id", IndexBounds::Point(Value::int(42)));
+        let hash_point = Plan::index_scan("T", "t", "h_id", IndexBounds::point(Value::int(42)));
         let mut src = open(&db, &hash_point).unwrap();
         let rows = {
             let mut out = Vec::new();
@@ -2997,14 +3076,11 @@ mod tests {
             "T",
             "t",
             "h_id",
-            IndexBounds::Range {
-                lo: Some((Value::int(0), true)),
-                hi: None,
-            },
+            IndexBounds::range(Some((Value::int(0), true)), None),
         );
         assert!(open(&db, &hash_range).is_err());
         // Unknown index names fail at open time too.
-        let missing = Plan::index_scan("T", "t", "nope", IndexBounds::Point(Value::int(1)));
+        let missing = Plan::index_scan("T", "t", "nope", IndexBounds::point(Value::int(1)));
         let err = match open(&db, &missing) {
             Err(e) => e,
             Ok(_) => panic!("opening a scan over a missing index must fail"),
@@ -3027,10 +3103,7 @@ mod tests {
             "T",
             "t",
             "idx_v",
-            IndexBounds::Range {
-                lo: Some((Value::int(7), true)),
-                hi: None,
-            },
+            IndexBounds::range(Some((Value::int(7), true)), None),
         )
         .with_key_order();
         assert_eq!(run_plan(&db, &sorted), run_plan(&db, &keyed));
@@ -3079,13 +3152,8 @@ mod tests {
             vec![ColumnDef::nullable("k", DataType::Integer)],
         ))
         .unwrap();
-        db.create_index(IndexDef {
-            name: "idx_k".into(),
-            table: "K".into(),
-            column: "k".into(),
-            kind: IndexKind::Ordered,
-        })
-        .unwrap();
+        db.create_index(IndexDef::single("idx_k", "K", "k", IndexKind::Ordered))
+            .unwrap();
         db.insert("K", vec![Value::int(1)]).unwrap();
         db.insert("K", vec![Value::Null]).unwrap();
         let outer = Plan::values(

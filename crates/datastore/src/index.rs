@@ -4,12 +4,25 @@
 //! Two physical shapes cover the paper's workload:
 //!
 //! * an **ordered index** ([`IndexKind::Ordered`]): a B-tree-style map from
-//!   key value to row positions, supporting point probes *and* range probes
+//!   key to row positions, supporting point probes *and* range probes
 //!   (`year >= 2000`, `id BETWEEN 3 AND 7`), and able to stream rows in key
-//!   order (which lets the planner skip an `ORDER BY` sort);
-//! * a **hash index** ([`IndexKind::Hash`]): key → row positions, point
-//!   probes only, with the same exact-`GroupKey` equality the hash join
+//!   order — ascending or descending — which lets the planner skip an
+//!   `ORDER BY` sort;
+//! * a **hash index** ([`IndexKind::Hash`]): key → row positions, exact
+//!   point probes only, with the same `GroupKey` equality the hash join
 //!   uses.
+//!
+//! Indexes may span **multiple columns** (`CREATE INDEX … ON t (a, b)`).
+//! An ordered composite index is keyed lexicographically, so it answers an
+//! equality on any *leading prefix* of its columns, optionally followed by a
+//! range on the next column — the classic B-tree prefix rule. A hash index
+//! answers only exact probes on all of its columns.
+//!
+//! Probe bounds ([`IndexBounds`]) carry either literal values or
+//! **parameter placeholders** ([`BoundTerm::Param`]): a correlated subplan
+//! under `Apply` keeps its probe symbolic at plan time and resolves it per
+//! outer-row binding through [`IndexBounds::bind`] — turning "re-scan the
+//! table per binding" into "one point probe per binding".
 //!
 //! Indexes live on the [`crate::table::Table`] (next to the primary-key
 //! index) and are maintained on every insert; deletes and updates rebuild
@@ -22,6 +35,11 @@
 //! key order return positions in **table position order**, so an index scan
 //! yields exactly the rows (and row order) of the equivalent filtered full
 //! scan — the property the `use_indexes` A/B tests pin down byte for byte.
+//! A row whose *leading* key column is NULL is not indexed (no probe
+//! constrains nothing, and every probe constrains the leading column, so no
+//! probe can want it); NULLs in trailing key columns *are* stored, because a
+//! prefix probe that leaves those columns unconstrained must still return
+//! their rows.
 
 use crate::error::StoreError;
 use crate::tuple::Row;
@@ -33,9 +51,10 @@ use std::fmt;
 /// The physical shape of a secondary index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IndexKind {
-    /// Ordered (B-tree-style): point and range probes, key-ordered scans.
+    /// Ordered (B-tree-style): point, prefix and range probes, key-ordered
+    /// scans in either direction.
     Ordered,
-    /// Hash: point probes only.
+    /// Hash: exact point probes only.
     Hash,
 }
 
@@ -56,10 +75,31 @@ pub struct IndexDef {
     pub name: String,
     /// Indexed table.
     pub table: String,
-    /// Indexed column (single-column indexes for now; multi-column is a
-    /// ROADMAP follow-on).
-    pub column: String,
+    /// Indexed key columns, leading column first.
+    pub columns: Vec<String>,
     pub kind: IndexKind,
+}
+
+impl IndexDef {
+    /// Convenience constructor for the common single-column case.
+    pub fn single(
+        name: impl Into<String>,
+        table: impl Into<String>,
+        column: impl Into<String>,
+        kind: IndexKind,
+    ) -> IndexDef {
+        IndexDef {
+            name: name.into(),
+            table: table.into(),
+            columns: vec![column.into()],
+            kind,
+        }
+    }
+
+    /// The key columns joined for display: `"a, b"`.
+    pub fn columns_sql(&self) -> String {
+        self.columns.join(", ")
+    }
 }
 
 impl fmt::Display for IndexDef {
@@ -69,15 +109,15 @@ impl fmt::Display for IndexDef {
             "{} ON {}({}) [{}]",
             self.name,
             self.table,
-            self.column,
+            self.columns_sql(),
             self.kind.sql()
         )
     }
 }
 
-/// Key wrapper giving [`Value`] the total order the ordered index sorts by
-/// (NULLs are never stored, so the `total_cmp` order over non-NULL values is
-/// exactly SQL's comparison order, including Integer-vs-Float).
+/// Key wrapper giving [`Value`] the total order the ordered index sorts by.
+/// NULL sorts first (`total_cmp` rank 0), below every real value, so range
+/// probes with a lower bound never sweep over NULL entries.
 #[derive(Debug, Clone)]
 struct OrdKey(Value);
 
@@ -98,83 +138,216 @@ impl Ord for OrdKey {
     }
 }
 
-/// One bound of a range probe: the key value and whether it is inclusive.
-pub type Bound = (Value, bool);
+/// A composite index key: the values of the key columns, compared
+/// lexicographically with SQL's total order per column. A shorter key
+/// that is a prefix of a longer one sorts first, which is what lets a
+/// prefix probe seek with a short key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct CompositeKey(Vec<OrdKey>);
 
-/// The probe a plan's `IndexScan` performs, carried in the plan tree.
+/// One term of an index probe: a literal value known at plan time, or a
+/// correlation parameter resolved per outer-row binding by
+/// [`IndexBounds::bind`].
 #[derive(Debug, Clone, PartialEq)]
-pub enum IndexBounds {
-    /// `column = value`.
-    Point(Value),
-    /// `column` within `[lo, hi]` with per-bound inclusivity; an open side
-    /// is unbounded (`year >= 2000` has no `hi`).
-    Range {
-        lo: Option<Bound>,
-        hi: Option<Bound>,
-    },
+pub enum BoundTerm {
+    /// A concrete key value.
+    Value(Value),
+    /// A correlation parameter (`$k`), bound before execution.
+    Param(u32),
 }
 
-impl IndexBounds {
-    /// Compact SQL-flavoured rendering ("= 5", ">= 2000 AND <= 2005").
-    pub fn describe(&self, column: &str) -> String {
+impl BoundTerm {
+    /// The concrete value, when already resolved.
+    pub fn value(&self) -> Option<&Value> {
         match self {
-            IndexBounds::Point(v) => format!("{} = {}", column, v.sql_literal()),
-            IndexBounds::Range { lo, hi } => {
-                let mut parts = Vec::new();
-                if let Some((v, inclusive)) = lo {
-                    parts.push(format!(
-                        "{} {} {}",
-                        column,
-                        if *inclusive { ">=" } else { ">" },
-                        v.sql_literal()
-                    ));
-                }
-                if let Some((v, inclusive)) = hi {
-                    parts.push(format!(
-                        "{} {} {}",
-                        column,
-                        if *inclusive { "<=" } else { "<" },
-                        v.sql_literal()
-                    ));
-                }
-                if parts.is_empty() {
-                    format!("{column} unbounded")
-                } else {
-                    parts.join(" AND ")
-                }
-            }
+            BoundTerm::Value(v) => Some(v),
+            BoundTerm::Param(_) => None,
         }
     }
 
-    /// True for a point probe.
-    pub fn is_point(&self) -> bool {
-        matches!(self, IndexBounds::Point(_))
+    /// SQL-flavoured rendering: the literal, or `$k` for a parameter.
+    pub fn render(&self) -> String {
+        match self {
+            BoundTerm::Value(v) => v.sql_literal(),
+            BoundTerm::Param(id) => format!("${id}"),
+        }
     }
+
+    fn bind(&self, params: &HashMap<u32, Value>) -> BoundTerm {
+        match self {
+            BoundTerm::Param(id) => match params.get(id) {
+                Some(v) => BoundTerm::Value(v.clone()),
+                None => self.clone(),
+            },
+            BoundTerm::Value(_) => self.clone(),
+        }
+    }
+}
+
+/// One bound of a range probe: the key value and whether it is inclusive.
+pub type Bound = (Value, bool);
+
+/// One (possibly parameterized) bound of a range probe.
+pub type TermBound = (BoundTerm, bool);
+
+/// The probe a plan's `IndexScan` performs, carried in the plan tree: an
+/// equality on a leading prefix of the key columns, optionally followed by
+/// a range on the next column. `eq = [5], lo/hi = None` over a one-column
+/// index is the classic point probe; `eq = [], lo = (2000, true)` is
+/// `year >= 2000`; `eq = [7], lo = ('m', true)` over `(mid, name)` is
+/// `mid = 7 AND name >= 'm'`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexBounds {
+    /// Equality terms on the leading key columns, in key order.
+    pub eq: Vec<BoundTerm>,
+    /// Lower range bound on the key column right after the equalities.
+    pub lo: Option<TermBound>,
+    /// Upper range bound on the same column.
+    pub hi: Option<TermBound>,
+}
+
+impl IndexBounds {
+    /// `column = value` on a single-column index.
+    pub fn point(value: Value) -> IndexBounds {
+        IndexBounds {
+            eq: vec![BoundTerm::Value(value)],
+            lo: None,
+            hi: None,
+        }
+    }
+
+    /// A range on the leading key column with per-bound inclusivity; an
+    /// open side is unbounded (`year >= 2000` has no `hi`).
+    pub fn range(lo: Option<Bound>, hi: Option<Bound>) -> IndexBounds {
+        let lift = |b: Option<Bound>| b.map(|(v, inc)| (BoundTerm::Value(v), inc));
+        IndexBounds {
+            eq: Vec::new(),
+            lo: lift(lo),
+            hi: lift(hi),
+        }
+    }
+
+    /// Equalities on a leading prefix of the key columns.
+    pub fn prefix(eq: Vec<BoundTerm>) -> IndexBounds {
+        IndexBounds {
+            eq,
+            lo: None,
+            hi: None,
+        }
+    }
+
+    /// Number of key columns this probe constrains.
+    pub fn constrained(&self) -> usize {
+        self.eq.len() + usize::from(self.lo.is_some() || self.hi.is_some())
+    }
+
+    /// True when the probe pins every one of `width` key columns with an
+    /// equality — a single-key point lookup.
+    pub fn is_exact(&self, width: usize) -> bool {
+        self.lo.is_none() && self.hi.is_none() && self.eq.len() == width
+    }
+
+    /// True when the probe needs an ordered structure: any range side, or a
+    /// prefix equality that leaves trailing key columns free.
+    pub fn needs_range(&self, width: usize) -> bool {
+        !self.is_exact(width)
+    }
+
+    /// True when any term is an unresolved parameter.
+    pub fn has_params(&self) -> bool {
+        self.eq.iter().any(|t| matches!(t, BoundTerm::Param(_)))
+            || matches!(self.lo, Some((BoundTerm::Param(_), _)))
+            || matches!(self.hi, Some((BoundTerm::Param(_), _)))
+    }
+
+    /// The bounds with every parameter that `params` carries substituted by
+    /// its value (the `bind_params` step of an `Apply` binding).
+    pub fn bind(&self, params: &HashMap<u32, Value>) -> IndexBounds {
+        IndexBounds {
+            eq: self.eq.iter().map(|t| t.bind(params)).collect(),
+            lo: self.lo.as_ref().map(|(t, inc)| (t.bind(params), *inc)),
+            hi: self.hi.as_ref().map(|(t, inc)| (t.bind(params), *inc)),
+        }
+    }
+
+    /// Compact SQL-flavoured rendering against the (qualified) names of the
+    /// constrained key columns: `"m.id = 6"`, `"c.mid = $0 AND c.aid >= 3"`.
+    pub fn describe(&self, columns: &[String]) -> String {
+        let name = |i: usize| {
+            columns
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| format!("key#{i}"))
+        };
+        let mut parts = Vec::new();
+        for (i, term) in self.eq.iter().enumerate() {
+            parts.push(format!("{} = {}", name(i), term.render()));
+        }
+        let range_col = name(self.eq.len());
+        if let Some((t, inclusive)) = &self.lo {
+            parts.push(format!(
+                "{} {} {}",
+                range_col,
+                if *inclusive { ">=" } else { ">" },
+                t.render()
+            ));
+        }
+        if let Some((t, inclusive)) = &self.hi {
+            parts.push(format!(
+                "{} {} {}",
+                range_col,
+                if *inclusive { "<=" } else { "<" },
+                t.render()
+            ));
+        }
+        if parts.is_empty() {
+            format!("{} unbounded", name(0))
+        } else {
+            parts.join(" AND ")
+        }
+    }
+}
+
+/// The order an index probe returns row positions in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOrder {
+    /// Table position order — exactly the rows (and row order) of the
+    /// equivalent filtered full scan.
+    Position,
+    /// Ascending key order, ties in insertion order — what an
+    /// `ORDER BY col` elision wants.
+    KeyAsc,
+    /// Descending key order, ties in insertion order — what an
+    /// `ORDER BY col DESC` elision wants (a stable descending sort keeps
+    /// equal keys in their original order).
+    KeyDesc,
 }
 
 /// The stored structure of one index.
 #[derive(Debug, Clone)]
 enum IndexStore {
-    Ordered(BTreeMap<OrdKey, Vec<usize>>),
-    Hash(HashMap<GroupKey, Vec<usize>>),
+    Ordered(BTreeMap<CompositeKey, Vec<usize>>),
+    Hash(HashMap<Vec<GroupKey>, Vec<usize>>),
 }
 
-/// A secondary index over one column of a table: key value → row positions
-/// (in insertion order). NULL values are not indexed — no SQL comparison
-/// matches them, so a probe can never want them.
+/// A secondary index over one or more columns of a table: key → row
+/// positions (in insertion order). Rows whose leading key column is NULL
+/// are not indexed; NULLs in trailing columns are stored so prefix probes
+/// stay exact.
 #[derive(Debug, Clone)]
 pub struct Index {
     def: IndexDef,
     store: IndexStore,
-    /// Position of the indexed column in the table's rows.
-    column_pos: usize,
-    /// Number of indexed (non-NULL) entries.
+    /// Positions of the key columns in the table's rows, leading first.
+    column_pos: Vec<usize>,
+    /// Number of indexed rows.
     entries: usize,
 }
 
 impl Index {
-    /// Build an index over `column_pos` of the given rows.
-    pub fn build(def: IndexDef, rows: &[Row], column_pos: usize) -> Index {
+    /// Build an index over the given key column positions of the rows.
+    pub fn build(def: IndexDef, rows: &[Row], column_pos: Vec<usize>) -> Index {
+        debug_assert_eq!(def.columns.len(), column_pos.len());
         let mut index = Index {
             store: match def.kind {
                 IndexKind::Ordered => IndexStore::Ordered(BTreeMap::new()),
@@ -195,12 +368,17 @@ impl Index {
         &self.def
     }
 
-    /// Position of the indexed column in the table's rows.
-    pub fn column_pos(&self) -> usize {
-        self.column_pos
+    /// Positions of the key columns in the table's rows, leading first.
+    pub fn column_pos(&self) -> &[usize] {
+        &self.column_pos
     }
 
-    /// Number of indexed (non-NULL) entries.
+    /// Number of key columns.
+    pub fn width(&self) -> usize {
+        self.column_pos.len()
+    }
+
+    /// Number of indexed rows.
     pub fn len(&self) -> usize {
         self.entries
     }
@@ -218,107 +396,272 @@ impl Index {
         }
     }
 
-    /// True when this index can answer range probes (ordered only).
+    /// True when this index can answer range and prefix probes (ordered
+    /// only — a hash index needs every key column pinned exactly).
     pub fn supports_range(&self) -> bool {
         self.def.kind == IndexKind::Ordered
     }
 
     /// Register one row (maintenance on insert).
     pub(crate) fn insert(&mut self, row: &Row, pos: usize) {
-        let Some(value) = row.get(self.column_pos) else {
-            return;
-        };
-        if value.is_null() {
+        let values: Vec<Value> = self
+            .column_pos
+            .iter()
+            .map(|&i| row.get(i).cloned().unwrap_or(Value::Null))
+            .collect();
+        // No probe can match a NULL leading key (every probe constrains the
+        // leading column, and no SQL comparison is true against NULL), so
+        // the row is dead weight — skip it, like the single-column index
+        // always has.
+        if values.first().is_none_or(Value::is_null) {
             return;
         }
         match &mut self.store {
             IndexStore::Ordered(map) => {
-                map.entry(OrdKey(value.clone())).or_default().push(pos);
+                let key = CompositeKey(values.into_iter().map(OrdKey).collect());
+                map.entry(key).or_default().push(pos);
             }
             IndexStore::Hash(map) => {
-                map.entry(value.group_key()).or_default().push(pos);
+                let key: Vec<GroupKey> = values.iter().map(Value::group_key).collect();
+                map.entry(key).or_default().push(pos);
             }
         }
         self.entries += 1;
     }
 
-    /// Row positions with `column = value`, in insertion order. A NULL probe
-    /// matches nothing (SQL equality is never true against NULL).
+    /// Row positions with the leading key column equal to `value`, in
+    /// insertion order — the per-row probe of an index nested-loop join
+    /// (single-column indexes only). A NULL probe matches nothing.
     pub fn probe_point(&self, value: &Value) -> &[usize] {
-        if value.is_null() {
+        if value.is_null() || self.width() != 1 {
             return &[];
         }
         match &self.store {
             IndexStore::Ordered(map) => map
-                .get(&OrdKey(value.clone()))
+                .get(&CompositeKey(vec![OrdKey(value.clone())]))
                 .map(Vec::as_slice)
                 .unwrap_or(&[]),
             IndexStore::Hash(map) => map
-                .get(&value.group_key())
+                .get(&vec![value.group_key()])
                 .map(Vec::as_slice)
                 .unwrap_or(&[]),
         }
     }
 
-    /// Row positions matching the bounds. With `key_order` the positions
-    /// come back ascending by key (ties in insertion order) — the order an
-    /// `ORDER BY`-eliding scan wants; without it they come back in table
-    /// position order, matching a filtered full scan row for row.
-    ///
-    /// Range bounds on a hash index are an error (the planner never asks,
-    /// but hand-built plans could).
-    pub fn probe(&self, bounds: &IndexBounds, key_order: bool) -> Result<Vec<usize>, StoreError> {
-        let mut out = match (bounds, &self.store) {
-            (IndexBounds::Point(v), _) => self.probe_point(v).to_vec(),
-            (IndexBounds::Range { lo, hi }, IndexStore::Ordered(map)) => {
-                // NULL bounds make the comparison UNKNOWN for every row.
-                if lo.as_ref().map(|(v, _)| v.is_null()) == Some(true)
-                    || hi.as_ref().map(|(v, _)| v.is_null()) == Some(true)
-                {
-                    return Ok(Vec::new());
-                }
-                use std::ops::Bound as B;
-                let to_bound = |b: &Option<Bound>| match b {
-                    None => B::Unbounded,
-                    Some((v, true)) => B::Included(OrdKey(v.clone())),
-                    Some((v, false)) => B::Excluded(OrdKey(v.clone())),
-                };
-                // A logarithmic seek to the first qualifying key, then a
-                // walk over just the matches — the whole point of an
-                // ordered index. (Equal bounds in the wrong order would
-                // panic inside `range`; an empty result is the right
-                // answer there.)
-                let (start, end) = (to_bound(lo), to_bound(hi));
-                let empty = match (&start, &end) {
-                    // start > end panics in `range`; start == end with both
-                    // bounds excluded does too. Both mean "no rows".
-                    (B::Excluded(a), B::Excluded(b)) => a >= b,
-                    (B::Included(a) | B::Excluded(a), B::Included(b) | B::Excluded(b)) => a > b,
-                    _ => false,
-                };
-                if empty {
-                    return Ok(Vec::new());
-                }
-                let mut positions = Vec::new();
-                for (_, rows) in map.range((start, end)) {
-                    positions.extend_from_slice(rows);
-                }
-                positions
-            }
-            (IndexBounds::Range { .. }, IndexStore::Hash(_)) => {
-                return Err(StoreError::Eval {
+    /// Resolve the probe terms to concrete values. `Ok(None)` means the
+    /// probe provably matches nothing (a NULL term); an unresolved
+    /// parameter is an execution error — the plan should have been bound.
+    fn resolve(&self, bounds: &IndexBounds) -> Result<Option<ResolvedBounds>, StoreError> {
+        if bounds.eq.len() > self.width()
+            || (bounds.eq.len() == self.width() && (bounds.lo.is_some() || bounds.hi.is_some()))
+        {
+            return Err(StoreError::Eval {
+                message: format!(
+                    "probe of index {} constrains more key columns than it has ({})",
+                    self.def.name,
+                    self.width()
+                ),
+            });
+        }
+        let value = |t: &BoundTerm| -> Result<Value, StoreError> {
+            match t {
+                BoundTerm::Value(v) => Ok(v.clone()),
+                BoundTerm::Param(id) => Err(StoreError::Eval {
                     message: format!(
-                        "range probe against hash index {} (hash indexes answer point probes only)",
+                        "unbound parameter ${id} in probe of index {} (the plan was \
+                         executed without binding its correlation parameters)",
                         self.def.name
                     ),
-                })
+                }),
             }
         };
-        if !key_order {
+        let mut eq = Vec::with_capacity(bounds.eq.len());
+        for t in &bounds.eq {
+            let v = value(t)?;
+            if v.is_null() {
+                return Ok(None);
+            }
+            eq.push(v);
+        }
+        let side = |b: &Option<TermBound>| -> Result<Option<(Value, bool)>, StoreError> {
+            match b {
+                None => Ok(None),
+                Some((t, inc)) => Ok(Some((value(t)?, *inc))),
+            }
+        };
+        let lo = side(&bounds.lo)?;
+        let hi = side(&bounds.hi)?;
+        if lo.as_ref().map(|(v, _)| v.is_null()) == Some(true)
+            || hi.as_ref().map(|(v, _)| v.is_null()) == Some(true)
+        {
+            return Ok(None);
+        }
+        Ok(Some(ResolvedBounds { eq, lo, hi }))
+    }
+
+    /// The ordered store's key groups matching the resolved bounds, in
+    /// ascending key order.
+    fn ordered_groups<'a>(
+        map: &'a BTreeMap<CompositeKey, Vec<usize>>,
+        resolved: &ResolvedBounds,
+        width: usize,
+    ) -> Vec<(&'a CompositeKey, &'a Vec<usize>)> {
+        let prefix: Vec<OrdKey> = resolved.eq.iter().cloned().map(OrdKey).collect();
+        if resolved.eq.len() == width {
+            // Exact point lookup.
+            let key = CompositeKey(prefix);
+            return map.get_key_value(&key).into_iter().collect();
+        }
+        // Seek to the first key that can match: the prefix extended with
+        // the lower range value when there is one. An exclusive lower
+        // bound still seeks inclusively (keys equal on the range column
+        // but longer sort after it) and filters below.
+        let mut start = prefix.clone();
+        if let Some((v, _)) = &resolved.lo {
+            start.push(OrdKey(v.clone()));
+        }
+        let start = CompositeKey(start);
+        let mut groups = Vec::new();
+        for (key, positions) in map.range(start..) {
+            // Stop once the key leaves the equality prefix.
+            if key.0.len() < prefix.len() || key.0[..prefix.len()] != prefix[..] {
+                break;
+            }
+            if resolved.lo.is_some() || resolved.hi.is_some() {
+                let kv = &key.0[prefix.len()].0;
+                // NULL in the range column: the comparison is UNKNOWN,
+                // never a match. NULL sorts first, so this only skips
+                // leading entries of an unbounded-lo walk.
+                if kv.is_null() {
+                    continue;
+                }
+                if let Some((lo, inclusive)) = &resolved.lo {
+                    match kv.total_cmp(lo) {
+                        Ordering::Less => continue,
+                        Ordering::Equal if !inclusive => continue,
+                        _ => {}
+                    }
+                }
+                if let Some((hi, inclusive)) = &resolved.hi {
+                    match kv.total_cmp(hi) {
+                        Ordering::Greater => break,
+                        Ordering::Equal if !inclusive => break,
+                        _ => {}
+                    }
+                }
+            }
+            groups.push((key, positions));
+        }
+        groups
+    }
+
+    /// Row positions matching the bounds, in the requested order:
+    /// [`ProbeOrder::Position`] matches a filtered full scan row for row;
+    /// `KeyAsc` / `KeyDesc` come back sorted by key (ties in insertion
+    /// order), the orders an `ORDER BY`-eliding scan wants.
+    ///
+    /// Range or prefix bounds on a hash index are an error (the planner
+    /// never asks, but hand-built plans could), as is probing a plan whose
+    /// parameters were never bound.
+    pub fn probe(&self, bounds: &IndexBounds, order: ProbeOrder) -> Result<Vec<usize>, StoreError> {
+        let Some(resolved) = self.resolve(bounds)? else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::new();
+        match &self.store {
+            IndexStore::Hash(map) => {
+                if !bounds.is_exact(self.width()) {
+                    return Err(StoreError::Eval {
+                        message: format!(
+                            "range or prefix probe against hash index {} (hash indexes \
+                             answer exact point probes only)",
+                            self.def.name
+                        ),
+                    });
+                }
+                let key: Vec<GroupKey> = resolved.eq.iter().map(Value::group_key).collect();
+                if let Some(positions) = map.get(&key) {
+                    out.extend_from_slice(positions);
+                }
+            }
+            IndexStore::Ordered(map) => {
+                let groups = Self::ordered_groups(map, &resolved, self.width());
+                match order {
+                    ProbeOrder::Position | ProbeOrder::KeyAsc => {
+                        for (_, positions) in &groups {
+                            out.extend_from_slice(positions);
+                        }
+                    }
+                    ProbeOrder::KeyDesc => {
+                        for (_, positions) in groups.iter().rev() {
+                            out.extend_from_slice(positions);
+                        }
+                    }
+                }
+            }
+        }
+        if order == ProbeOrder::Position {
             out.sort_unstable();
         }
         Ok(out)
     }
+
+    /// Matching `(row position, key values)` pairs, in the requested order —
+    /// the **index-only** access path: when a query touches nothing but the
+    /// key columns, these pairs answer it without ever reading a heap row.
+    /// Ordered indexes only (a hash key does not retain the original
+    /// values).
+    pub fn probe_entries(
+        &self,
+        bounds: &IndexBounds,
+        order: ProbeOrder,
+    ) -> Result<Vec<(usize, Vec<Value>)>, StoreError> {
+        let IndexStore::Ordered(map) = &self.store else {
+            return Err(StoreError::Eval {
+                message: format!(
+                    "index-only probe against hash index {} (hash keys do not retain \
+                     their column values)",
+                    self.def.name
+                ),
+            });
+        };
+        let Some(resolved) = self.resolve(bounds)? else {
+            return Ok(Vec::new());
+        };
+        let groups = Self::ordered_groups(map, &resolved, self.width());
+        let mut out = Vec::new();
+        let emit = |out: &mut Vec<(usize, Vec<Value>)>, key: &CompositeKey, positions: &[usize]| {
+            for &pos in positions {
+                out.push((pos, key.0.iter().map(|k| k.0.clone()).collect()));
+            }
+        };
+        match order {
+            ProbeOrder::Position => {
+                for (key, positions) in &groups {
+                    emit(&mut out, key, positions);
+                }
+                out.sort_unstable_by_key(|(pos, _)| *pos);
+            }
+            ProbeOrder::KeyAsc => {
+                for (key, positions) in &groups {
+                    emit(&mut out, key, positions);
+                }
+            }
+            ProbeOrder::KeyDesc => {
+                for (key, positions) in groups.iter().rev() {
+                    emit(&mut out, key, positions);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Probe terms with every parameter resolved and no NULLs.
+struct ResolvedBounds {
+    eq: Vec<Value>,
+    lo: Option<(Value, bool)>,
+    hi: Option<(Value, bool)>,
 }
 
 #[cfg(test)]
@@ -336,14 +679,9 @@ mod tests {
 
     fn ordered() -> Index {
         Index::build(
-            IndexDef {
-                name: "idx_year".into(),
-                table: "MOVIES".into(),
-                column: "year".into(),
-                kind: IndexKind::Ordered,
-            },
+            IndexDef::single("idx_year", "MOVIES", "year", IndexKind::Ordered),
             &rows(),
-            0,
+            vec![0],
         )
     }
 
@@ -361,80 +699,83 @@ mod tests {
     #[test]
     fn range_probe_in_position_and_key_order() {
         let idx = ordered();
-        let bounds = IndexBounds::Range {
-            lo: Some((Value::int(2001), true)),
-            hi: Some((Value::int(2004), true)),
-        };
+        let bounds = IndexBounds::range(
+            Some((Value::int(2001), true)),
+            Some((Value::int(2004), true)),
+        );
         // Position order: the filtered-scan row order.
-        assert_eq!(idx.probe(&bounds, false).unwrap(), vec![0, 1, 2]);
+        assert_eq!(
+            idx.probe(&bounds, ProbeOrder::Position).unwrap(),
+            vec![0, 1, 2]
+        );
         // Key order: 2001 first, then the two 2004s in insertion order.
-        assert_eq!(idx.probe(&bounds, true).unwrap(), vec![1, 0, 2]);
+        assert_eq!(
+            idx.probe(&bounds, ProbeOrder::KeyAsc).unwrap(),
+            vec![1, 0, 2]
+        );
+        // Descending: the 2004s first (still in insertion order), then 2001.
+        assert_eq!(
+            idx.probe(&bounds, ProbeOrder::KeyDesc).unwrap(),
+            vec![0, 2, 1]
+        );
     }
 
     #[test]
     fn open_and_exclusive_bounds() {
         let idx = ordered();
-        let gt = IndexBounds::Range {
-            lo: Some((Value::int(2004), false)),
-            hi: None,
-        };
-        assert_eq!(idx.probe(&gt, false).unwrap(), vec![4]);
-        let le = IndexBounds::Range {
-            lo: None,
-            hi: Some((Value::int(2001), true)),
-        };
-        assert_eq!(idx.probe(&le, false).unwrap(), vec![1, 3]);
-        let null_bound = IndexBounds::Range {
-            lo: Some((Value::Null, true)),
-            hi: None,
-        };
-        assert!(idx.probe(&null_bound, false).unwrap().is_empty());
+        let gt = IndexBounds::range(Some((Value::int(2004), false)), None);
+        assert_eq!(idx.probe(&gt, ProbeOrder::Position).unwrap(), vec![4]);
+        let le = IndexBounds::range(None, Some((Value::int(2001), true)));
+        assert_eq!(idx.probe(&le, ProbeOrder::Position).unwrap(), vec![1, 3]);
+        let null_bound = IndexBounds::range(Some((Value::Null, true)), None);
+        assert!(idx
+            .probe(&null_bound, ProbeOrder::Position)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn inverted_and_degenerate_ranges_are_empty_not_panics() {
         let idx = ordered();
         // BETWEEN 2004 AND 2001, as a user could write it.
-        let inverted = IndexBounds::Range {
-            lo: Some((Value::int(2004), true)),
-            hi: Some((Value::int(2001), true)),
-        };
-        assert!(idx.probe(&inverted, false).unwrap().is_empty());
+        let inverted = IndexBounds::range(
+            Some((Value::int(2004), true)),
+            Some((Value::int(2001), true)),
+        );
+        assert!(idx
+            .probe(&inverted, ProbeOrder::Position)
+            .unwrap()
+            .is_empty());
         // x > 2004 AND x < 2004 collapses to an empty exclusive range.
-        let hollow = IndexBounds::Range {
-            lo: Some((Value::int(2004), false)),
-            hi: Some((Value::int(2004), false)),
-        };
-        assert!(idx.probe(&hollow, false).unwrap().is_empty());
+        let hollow = IndexBounds::range(
+            Some((Value::int(2004), false)),
+            Some((Value::int(2004), false)),
+        );
+        assert!(idx.probe(&hollow, ProbeOrder::Position).unwrap().is_empty());
         // x >= 2004 AND x <= 2004 is a point in range clothing.
-        let pinched = IndexBounds::Range {
-            lo: Some((Value::int(2004), true)),
-            hi: Some((Value::int(2004), true)),
-        };
-        assert_eq!(idx.probe(&pinched, false).unwrap(), vec![0, 2]);
+        let pinched = IndexBounds::range(
+            Some((Value::int(2004), true)),
+            Some((Value::int(2004), true)),
+        );
+        assert_eq!(
+            idx.probe(&pinched, ProbeOrder::Position).unwrap(),
+            vec![0, 2]
+        );
     }
 
     #[test]
     fn hash_index_points_only() {
         let idx = Index::build(
-            IndexDef {
-                name: "h".into(),
-                table: "T".into(),
-                column: "c".into(),
-                kind: IndexKind::Hash,
-            },
+            IndexDef::single("h", "T", "c", IndexKind::Hash),
             &rows(),
-            0,
+            vec![0],
         );
         assert_eq!(idx.probe_point(&Value::int(2004)), &[0, 2]);
         assert!(!idx.supports_range());
         let err = idx
             .probe(
-                &IndexBounds::Range {
-                    lo: Some((Value::int(0), true)),
-                    hi: None,
-                },
-                false,
+                &IndexBounds::range(Some((Value::int(0), true)), None),
+                ProbeOrder::Position,
             )
             .unwrap_err();
         assert!(matches!(err, StoreError::Eval { .. }));
@@ -447,37 +788,204 @@ mod tests {
             Row::new(vec![Value::Float(4.5)]),
         ];
         let idx = Index::build(
-            IndexDef {
-                name: "f".into(),
-                table: "T".into(),
-                column: "x".into(),
-                kind: IndexKind::Ordered,
-            },
+            IndexDef::single("f", "T", "x", IndexKind::Ordered),
             &rows,
-            0,
+            vec![0],
         );
         // SQL says 3 = 3.0; the ordered index agrees via total_cmp.
         assert_eq!(idx.probe_point(&Value::int(3)), &[0]);
-        let bounds = IndexBounds::Range {
-            lo: Some((Value::int(3), false)),
-            hi: None,
-        };
-        assert_eq!(idx.probe(&bounds, false).unwrap(), vec![1]);
+        let bounds = IndexBounds::range(Some((Value::int(3), false)), None);
+        assert_eq!(idx.probe(&bounds, ProbeOrder::Position).unwrap(), vec![1]);
     }
 
     #[test]
     fn bounds_describe_reads_like_sql() {
         assert_eq!(
-            IndexBounds::Point(Value::int(5)).describe("m.id"),
+            IndexBounds::point(Value::int(5)).describe(&["m.id".into()]),
             "m.id = 5"
         );
         assert_eq!(
-            IndexBounds::Range {
-                lo: Some((Value::int(2000), true)),
-                hi: Some((Value::int(2005), false)),
-            }
-            .describe("m.year"),
+            IndexBounds::range(
+                Some((Value::int(2000), true)),
+                Some((Value::int(2005), false)),
+            )
+            .describe(&["m.year".into()]),
             "m.year >= 2000 AND m.year < 2005"
         );
+        assert_eq!(
+            IndexBounds {
+                eq: vec![BoundTerm::Param(0), BoundTerm::Value(Value::text("x"))],
+                lo: None,
+                hi: None,
+            }
+            .describe(&["g.mid".into(), "g.genre".into()]),
+            "g.mid = $0 AND g.genre = 'x'"
+        );
+    }
+
+    fn composite_rows() -> Vec<Row> {
+        // (mid, genre) pairs, out of order, with a trailing-NULL and a
+        // leading-NULL row.
+        [
+            (Some(2), Some("drama")),
+            (Some(1), Some("comedy")),
+            (Some(2), Some("comedy")),
+            (Some(1), None),
+            (None, Some("drama")),
+            (Some(3), Some("noir")),
+        ]
+        .iter()
+        .map(|(mid, genre)| {
+            Row::new(vec![
+                mid.map(Value::int).unwrap_or(Value::Null),
+                genre.map(Value::text).unwrap_or(Value::Null),
+            ])
+        })
+        .collect()
+    }
+
+    fn composite() -> Index {
+        Index::build(
+            IndexDef {
+                name: "idx_mid_genre".into(),
+                table: "GENRE".into(),
+                columns: vec!["mid".into(), "genre".into()],
+                kind: IndexKind::Ordered,
+            },
+            &composite_rows(),
+            vec![0, 1],
+        )
+    }
+
+    #[test]
+    fn composite_exact_probe_pins_every_column() {
+        let idx = composite();
+        assert_eq!(idx.len(), 5, "the leading-NULL row is not indexed");
+        let bounds = IndexBounds {
+            eq: vec![
+                BoundTerm::Value(Value::int(2)),
+                BoundTerm::Value(Value::text("comedy")),
+            ],
+            lo: None,
+            hi: None,
+        };
+        assert!(bounds.is_exact(2));
+        assert_eq!(idx.probe(&bounds, ProbeOrder::Position).unwrap(), vec![2]);
+        // A NULL equality term matches nothing.
+        let null_eq = IndexBounds {
+            eq: vec![
+                BoundTerm::Value(Value::int(1)),
+                BoundTerm::Value(Value::Null),
+            ],
+            lo: None,
+            hi: None,
+        };
+        assert!(idx
+            .probe(&null_eq, ProbeOrder::Position)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn composite_prefix_probe_keeps_trailing_null_rows() {
+        let idx = composite();
+        // mid = 1 must return the (1, NULL) row a filtered scan would.
+        let bounds = IndexBounds::prefix(vec![BoundTerm::Value(Value::int(1))]);
+        assert_eq!(
+            idx.probe(&bounds, ProbeOrder::Position).unwrap(),
+            vec![1, 3]
+        );
+        // Key order: NULL genre sorts first.
+        assert_eq!(idx.probe(&bounds, ProbeOrder::KeyAsc).unwrap(), vec![3, 1]);
+        assert_eq!(idx.probe(&bounds, ProbeOrder::KeyDesc).unwrap(), vec![1, 3]);
+    }
+
+    #[test]
+    fn composite_prefix_plus_range_excludes_null_range_column() {
+        let idx = composite();
+        // mid = 1 AND genre >= 'a': the (1, NULL) row must NOT match.
+        let bounds = IndexBounds {
+            eq: vec![BoundTerm::Value(Value::int(1))],
+            lo: Some((BoundTerm::Value(Value::text("a")), true)),
+            hi: None,
+        };
+        assert_eq!(idx.probe(&bounds, ProbeOrder::Position).unwrap(), vec![1]);
+        // mid = 2 AND genre < 'd': comedy only.
+        let bounds = IndexBounds {
+            eq: vec![BoundTerm::Value(Value::int(2))],
+            lo: None,
+            hi: Some((BoundTerm::Value(Value::text("d")), false)),
+        };
+        assert_eq!(idx.probe(&bounds, ProbeOrder::Position).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn parameterized_probe_binds_then_probes() {
+        let idx = composite();
+        let bounds = IndexBounds::prefix(vec![BoundTerm::Param(0)]);
+        assert!(bounds.has_params());
+        // Probing before binding is an execution error, not a wrong answer.
+        assert!(matches!(
+            idx.probe(&bounds, ProbeOrder::Position).unwrap_err(),
+            StoreError::Eval { .. }
+        ));
+        let bound = bounds.bind(&HashMap::from([(0, Value::int(2))]));
+        assert!(!bound.has_params());
+        assert_eq!(idx.probe(&bound, ProbeOrder::Position).unwrap(), vec![0, 2]);
+        // A NULL binding matches nothing, like any NULL equality.
+        let null_bound = bounds.bind(&HashMap::from([(0, Value::Null)]));
+        assert!(idx
+            .probe(&null_bound, ProbeOrder::Position)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn index_only_probe_returns_key_values() {
+        let idx = composite();
+        let bounds = IndexBounds::prefix(vec![BoundTerm::Value(Value::int(2))]);
+        let entries = idx.probe_entries(&bounds, ProbeOrder::Position).unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                (0, vec![Value::int(2), Value::text("drama")]),
+                (2, vec![Value::int(2), Value::text("comedy")]),
+            ]
+        );
+        let entries = idx.probe_entries(&bounds, ProbeOrder::KeyAsc).unwrap();
+        assert_eq!(entries[0].0, 2, "comedy sorts before drama");
+        // A trailing NULL is reconstructible from the key.
+        let one = IndexBounds::prefix(vec![BoundTerm::Value(Value::int(1))]);
+        let entries = idx.probe_entries(&one, ProbeOrder::Position).unwrap();
+        assert_eq!(entries[1], (3, vec![Value::int(1), Value::Null]));
+        // Hash indexes cannot answer index-only probes.
+        let hash = Index::build(
+            IndexDef::single("h", "T", "c", IndexKind::Hash),
+            &rows(),
+            vec![0],
+        );
+        assert!(hash
+            .probe_entries(&IndexBounds::point(Value::int(2004)), ProbeOrder::Position)
+            .is_err());
+    }
+
+    #[test]
+    fn probe_wider_than_the_index_is_an_error() {
+        let idx = ordered();
+        let too_wide = IndexBounds {
+            eq: vec![
+                BoundTerm::Value(Value::int(2004)),
+                BoundTerm::Value(Value::int(1)),
+            ],
+            lo: None,
+            hi: None,
+        };
+        assert!(idx.probe(&too_wide, ProbeOrder::Position).is_err());
+        let eq_plus_range = IndexBounds {
+            eq: vec![BoundTerm::Value(Value::int(2004))],
+            lo: Some((BoundTerm::Value(Value::int(1)), true)),
+            hi: None,
+        };
+        assert!(idx.probe(&eq_plus_range, ProbeOrder::Position).is_err());
     }
 }

@@ -204,25 +204,45 @@ impl Table {
         self.indexes = defs
             .into_iter()
             .filter_map(|def| {
-                let pos = self.schema.column_index(&def.column)?;
+                let pos = self.key_positions(&def)?;
                 Some(Index::build(def, &self.rows, pos))
             })
             .collect();
     }
 
+    /// Positions of an index's key columns in this table's rows.
+    fn key_positions(&self, def: &IndexDef) -> Option<Vec<usize>> {
+        def.columns
+            .iter()
+            .map(|c| self.schema.column_index(c))
+            .collect()
+    }
+
     // -- secondary indexes --------------------------------------------------
 
-    /// Create a secondary index over one column, building it from the
-    /// current rows. Fails when the column does not exist or an index with
-    /// the same (case-insensitive) name already exists on this table.
+    /// Create a secondary index over one or more columns, building it from
+    /// the current rows. Fails when a column does not exist or an index
+    /// with the same (case-insensitive) name already exists on this table.
     pub fn create_index(&mut self, def: IndexDef) -> Result<&Index, StoreError> {
-        let column_pos =
-            self.schema
-                .column_index(&def.column)
-                .ok_or_else(|| StoreError::UnknownColumn {
-                    table: self.schema.name.clone(),
-                    column: def.column.clone(),
-                })?;
+        let mut column_pos = Vec::with_capacity(def.columns.len());
+        for column in &def.columns {
+            let pos =
+                self.schema
+                    .column_index(column)
+                    .ok_or_else(|| StoreError::UnknownColumn {
+                        table: self.schema.name.clone(),
+                        column: column.clone(),
+                    })?;
+            if column_pos.contains(&pos) {
+                return Err(StoreError::Eval {
+                    message: format!(
+                        "index {} repeats column {} (each key column may appear once)",
+                        def.name, column
+                    ),
+                });
+            }
+            column_pos.push(pos);
+        }
         if self.index(&def.name).is_some() {
             return Err(StoreError::IndexExists {
                 index: def.name.clone(),
@@ -259,20 +279,33 @@ impl Table {
         &self.indexes
     }
 
-    /// The best index over a column for the given need: an ordered index if
-    /// `need_range` (or if one exists anyway — ordered answers points too),
-    /// otherwise any index on the column. Creation order breaks ties.
+    /// The best index whose *leading* key column is `column` for the given
+    /// need: an ordered index if `need_range` (or if one exists anyway —
+    /// ordered answers points too, and a composite ordered index answers a
+    /// leading-column probe as a prefix), otherwise a single-column hash
+    /// index. Narrower indexes win ties (fewer irrelevant key columns to
+    /// sweep); creation order breaks the rest.
     pub fn index_on(&self, column: &str, need_range: bool) -> Option<&Index> {
-        let on_column = |i: &&Index| i.def().column.eq_ignore_ascii_case(column);
+        let leads_with = |i: &&Index| {
+            i.def()
+                .columns
+                .first()
+                .is_some_and(|c| c.eq_ignore_ascii_case(column))
+        };
         self.indexes
             .iter()
-            .filter(on_column)
-            .find(|i| i.supports_range())
+            .filter(leads_with)
+            .filter(|i| i.supports_range())
+            .min_by_key(|i| i.width())
             .or_else(|| {
                 if need_range {
                     None
                 } else {
-                    self.indexes.iter().find(on_column)
+                    // A single-column exact probe is all a hash index can do.
+                    self.indexes
+                        .iter()
+                        .filter(leads_with)
+                        .find(|i| i.width() == 1)
                 }
             })
     }
@@ -398,14 +431,14 @@ mod tests {
 
     #[test]
     fn secondary_indexes_are_maintained_on_writes() {
-        use crate::index::{IndexBounds, IndexDef, IndexKind};
+        use crate::index::{IndexBounds, IndexDef, IndexKind, ProbeOrder};
         let mut t = movies();
-        t.create_index(IndexDef {
-            name: "idx_year".into(),
-            table: "MOVIES".into(),
-            column: "year".into(),
-            kind: IndexKind::Ordered,
-        })
+        t.create_index(IndexDef::single(
+            "idx_year",
+            "MOVIES",
+            "year",
+            IndexKind::Ordered,
+        ))
         .unwrap();
         for i in 0..5 {
             t.insert_values(vec![
@@ -430,35 +463,42 @@ mod tests {
         assert_eq!(idx.probe_point(&Value::int(2001)), &[3]);
         assert_eq!(
             idx.probe(
-                &IndexBounds::Range {
-                    lo: None,
-                    hi: Some((Value::int(1999), true)),
-                },
-                false
+                &IndexBounds::range(None, Some((Value::int(1999), true))),
+                ProbeOrder::Position
             )
             .unwrap(),
             vec![0]
         );
         // Duplicate names are rejected; unknown columns are rejected.
         assert!(matches!(
-            t.create_index(IndexDef {
-                name: "idx_year".into(),
-                table: "MOVIES".into(),
-                column: "year".into(),
-                kind: IndexKind::Hash,
-            })
+            t.create_index(IndexDef::single(
+                "idx_year",
+                "MOVIES",
+                "year",
+                IndexKind::Hash
+            ))
             .unwrap_err(),
             StoreError::IndexExists { .. }
         ));
         assert!(matches!(
-            t.create_index(IndexDef {
-                name: "idx_nope".into(),
-                table: "MOVIES".into(),
-                column: "nope".into(),
-                kind: IndexKind::Hash,
-            })
+            t.create_index(IndexDef::single(
+                "idx_nope",
+                "MOVIES",
+                "nope",
+                IndexKind::Hash
+            ))
             .unwrap_err(),
             StoreError::UnknownColumn { .. }
+        ));
+        assert!(matches!(
+            t.create_index(IndexDef {
+                name: "idx_dup".into(),
+                table: "MOVIES".into(),
+                columns: vec!["year".into(), "year".into()],
+                kind: IndexKind::Ordered,
+            })
+            .unwrap_err(),
+            StoreError::Eval { .. }
         ));
         // Drop removes it.
         t.drop_index("idx_year").unwrap();
@@ -473,12 +513,12 @@ mod tests {
     fn index_on_prefers_ordered_when_ranges_are_needed() {
         use crate::index::{IndexDef, IndexKind};
         let mut t = movies();
-        t.create_index(IndexDef {
-            name: "h_year".into(),
-            table: "MOVIES".into(),
-            column: "year".into(),
-            kind: IndexKind::Hash,
-        })
+        t.create_index(IndexDef::single(
+            "h_year",
+            "MOVIES",
+            "year",
+            IndexKind::Hash,
+        ))
         .unwrap();
         assert!(
             t.index_on("year", true).is_none(),
@@ -486,17 +526,37 @@ mod tests {
         );
         assert_eq!(t.index_on("year", false).unwrap().def().name, "h_year");
         t.create_index(IndexDef {
-            name: "o_year".into(),
+            name: "c_year_id".into(),
             table: "MOVIES".into(),
-            column: "year".into(),
+            columns: vec!["year".into(), "id".into()],
             kind: IndexKind::Ordered,
         })
         .unwrap();
-        assert_eq!(t.index_on("year", true).unwrap().def().name, "o_year");
+        assert_eq!(
+            t.index_on("year", true).unwrap().def().name,
+            "c_year_id",
+            "a composite ordered index answers a leading-column range as a prefix"
+        );
+        t.create_index(IndexDef::single(
+            "o_year",
+            "MOVIES",
+            "year",
+            IndexKind::Ordered,
+        ))
+        .unwrap();
+        assert_eq!(
+            t.index_on("year", true).unwrap().def().name,
+            "o_year",
+            "the narrower ordered index wins"
+        );
         assert_eq!(
             t.index_on("YEAR", false).unwrap().def().name,
             "o_year",
             "ordered preferred even for points (it answers both)"
+        );
+        assert!(
+            t.index_on("id", false).is_none(),
+            "a non-leading key column cannot anchor a probe"
         );
     }
 

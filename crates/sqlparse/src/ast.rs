@@ -647,8 +647,10 @@ pub struct CreateViewStatement {
 pub struct CreateIndexStatement {
     pub name: String,
     pub table: String,
-    /// The indexed column (single-column indexes in this dialect).
-    pub column: String,
+    /// The key columns, in declaration order. A single entry is a plain
+    /// single-column index; more build a composite index ordered
+    /// lexicographically by the listed columns.
+    pub columns: Vec<String>,
     /// True for `USING HASH`; the default is an ordered (B-tree-style)
     /// index, which answers both point and range probes.
     pub hash: bool,

@@ -318,7 +318,7 @@ impl fmt::Display for CreateIndexStatement {
             "CREATE INDEX {} ON {} ({}){}",
             self.name,
             self.table,
-            self.column,
+            self.columns.join(", "),
             if self.hash { " USING HASH" } else { "" }
         )
     }

@@ -368,17 +368,17 @@ impl Parser {
         Ok(Statement::CreateView(CreateViewStatement { name, query }))
     }
 
-    /// `CREATE INDEX name ON table (column) [USING HASH]` — the CREATE and
-    /// INDEX keywords are already consumed.
+    /// `CREATE INDEX name ON table (column, …) [USING HASH]` — the CREATE
+    /// and INDEX keywords are already consumed. Multiple columns build a
+    /// composite index ordered by the listed columns.
     fn parse_create_index(&mut self) -> Result<Statement, ParseError> {
         let name = self.parse_identifier()?;
         self.expect_keyword(Keyword::On)?;
         let table = self.parse_identifier()?;
         self.expect_token(&Token::LParen)?;
-        let column = self.parse_identifier()?;
-        if self.eat_token(&Token::Comma) {
-            return Err(self
-                .error("multi-column indexes are not supported yet; index one column at a time"));
+        let mut columns = vec![self.parse_identifier()?];
+        while self.eat_token(&Token::Comma) {
+            columns.push(self.parse_identifier()?);
         }
         self.expect_token(&Token::RParen)?;
         let hash = if self.eat_keyword(Keyword::Using) {
@@ -389,10 +389,14 @@ impl Parser {
         } else {
             false
         };
+        if hash && columns.len() > 1 {
+            return Err(self
+                .error("a hash index takes exactly one key column (composite keys are ordered)"));
+        }
         Ok(Statement::CreateIndex(CreateIndexStatement {
             name,
             table,
-            column,
+            columns,
             hash,
         }))
     }
@@ -954,7 +958,7 @@ mod tests {
             Statement::CreateIndex(ci) => {
                 assert_eq!(ci.name, "idx_year");
                 assert_eq!(ci.table, "MOVIES");
-                assert_eq!(ci.column, "year");
+                assert_eq!(ci.columns, vec!["year".to_string()]);
                 assert!(!ci.hash);
             }
             other => panic!("expected CREATE INDEX, got {other:?}"),
@@ -969,6 +973,17 @@ mod tests {
         }
         assert_eq!(parse_statement(&s.to_string()).unwrap(), s);
 
+        // A composite key parses in declaration order and round-trips.
+        let s = parse_statement("create index g_mid_genre on GENRE (mid, genre)").unwrap();
+        match &s {
+            Statement::CreateIndex(ci) => {
+                assert_eq!(ci.columns, vec!["mid".to_string(), "genre".to_string()]);
+                assert!(!ci.hash);
+            }
+            other => panic!("expected CREATE INDEX, got {other:?}"),
+        }
+        assert_eq!(parse_statement(&s.to_string()).unwrap(), s);
+
         let s = parse_statement("drop index idx_year;").unwrap();
         match &s {
             Statement::DropIndex(di) => assert_eq!(di.name, "idx_year"),
@@ -976,9 +991,9 @@ mod tests {
         }
         assert_eq!(parse_statement(&s.to_string()).unwrap(), s);
 
-        // Multi-column indexes and unknown USING methods are named errors.
-        let err = parse_statement("create index i on T (a, b)").unwrap_err();
-        assert!(err.message.contains("multi-column"));
+        // Composite hash keys and unknown USING methods are named errors.
+        let err = parse_statement("create index i on T (a, b) using hash").unwrap_err();
+        assert!(err.message.contains("exactly one key column"));
         let err = parse_statement("create index i on T (a) using btree").unwrap_err();
         assert!(err.message.contains("USING expects HASH"));
         // CREATE VIEW still parses after the CREATE dispatch split.

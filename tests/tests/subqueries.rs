@@ -43,7 +43,10 @@ fn explain_golden_semi_join_tree() {
 fn explain_golden_apply_and_anti_join_tree_for_q6() {
     // The outer NOT EXISTS is correlated through its nested block → apply;
     // the inner NOT EXISTS decorrelates against g1 → anti-join; the
-    // reference to m two levels up becomes the parameter $0.
+    // reference to m two levels up becomes the parameter $0 — and the
+    // correlated conjunct `g2.mid = $0` is lowered into a parameterized
+    // probe of GENRE's composite primary key, re-bound per apply binding
+    // instead of rescanning GENRE per row.
     let system = Talkback::new(movie_database());
     let e = system.explain_plan(&format!("explain {Q6}")).unwrap();
     assert_eq!(
@@ -51,11 +54,18 @@ fn explain_golden_apply_and_anti_join_tree_for_q6() {
         "project: m.title  [est=3]\n\
          └─ apply: NOT EXISTS(…) correlated on m.id  [est=3]\n\
          \u{20}  ├─ scan: MOVIES as m  [est=10]\n\
-         \u{20}  └─ project: g1.mid, g1.genre  [est=2]\n\
-         \u{20}     └─ anti join: g1.genre = g2.genre  [est=2]\n\
+         \u{20}  └─ project: g1.mid, g1.genre  [est=9]\n\
+         \u{20}     └─ anti join: g1.genre = g2.genre  [est=9]\n\
          \u{20}        ├─ scan: GENRE as g1  [est=14]\n\
-         \u{20}        └─ filter: g2.mid = $0  [est=5]\n\
-         \u{20}           └─ scan: GENRE as g2  [est=14]\n"
+         \u{20}        └─ index scan: GENRE as g2 [index=pk_genre prefix g2.mid = $0]  [est=1]\n"
+    );
+    assert!(
+        mentions(
+            &e.narration,
+            "re-binding the probe to each enclosing row's value"
+        ),
+        "parameterized-probe decision missing from: {}",
+        e.narration
     );
 }
 
