@@ -19,8 +19,9 @@
 //!   ASCII tree plus a natural-language narration of what the executor did;
 //! * [`pipeline`] — §2.1: the simulated speech-in / speech-out accessibility
 //!   loop;
-//! * [`metrics`] — expressiveness/effectiveness proxies used by the
-//!   benchmark harness;
+//! * [`narrative_metrics`] — expressiveness/effectiveness proxies used by
+//!   the benchmark harness (narrative quality, not engine counters — those
+//!   live in [`datastore::obs`] and answer to `SHOW METRICS`);
 //! * [`Talkback`] — a facade bundling all of the above for one database.
 //!
 //! ## Execution architecture: streaming + instrumentation
@@ -86,23 +87,29 @@
 
 pub mod content;
 pub mod error;
-pub mod metrics;
+pub mod narrative_metrics;
 pub mod pipeline;
 pub mod planner;
 pub mod query;
 
+/// Former name of [`narrative_metrics`], kept so `talkback::metrics` paths
+/// still compile. The module holds *narrative* quality proxies; engine
+/// metrics live in [`datastore::obs`].
+pub use narrative_metrics as metrics;
+
 pub use content::{ContentConfig, ContentTranslator, UserProfile};
 pub use error::TalkbackError;
-pub use metrics::{narrative_metrics, NarrativeMetrics};
+pub use narrative_metrics::{narrative_metrics, NarrativeMetrics};
 pub use pipeline::{Recognition, SpeechRecognizer, SpokenChunk, TextToSpeech};
 pub use planner::{
     plan_query, plan_query_with, ParallelKind, PlanDecision, PlannedQuery, PlannerOptions,
 };
 pub use query::explain::{explain_result, ResultExplanation};
 pub use query::plan_explain::{explain_plan, explain_plan_with, PlanExplanation};
+pub use query::show::{execute_show, ShowReport};
 pub use query::{QueryTranslation, QueryTranslator};
 
-use datastore::exec::{execute, ResultSet};
+use datastore::exec::{execute_with_stats, ResultSet};
 use datastore::Database;
 
 /// The facade: one database plus the content and query translators,
@@ -179,11 +186,46 @@ impl Talkback {
         query::plan_explain::explain_plan_with(&self.db, self.queries.lexicon(), sql, options)
     }
 
-    /// Execute a query and return its answer.
+    /// Execute a query and return its answer. The statement is timed phase
+    /// by phase (parse → plan → execute) and recorded into the database's
+    /// observability registry, so `SHOW QUERY LOG` / `SHOW PROFILE` can talk
+    /// about it afterwards.
     pub fn run_query(&self, sql: &str) -> Result<ResultSet, TalkbackError> {
+        use std::time::Instant;
+        let options = PlannerOptions::default();
+        let t0 = Instant::now();
         let query = sqlparse::parse_query(sql)?;
-        let planned = plan_query(&self.db, &query)?;
-        Ok(execute(&self.db, &planned.plan)?)
+        let t1 = Instant::now();
+        let planned = plan_query_with(&self.db, &query, options)?;
+        let t2 = Instant::now();
+        let (result, profile) = execute_with_stats(&self.db, &planned.plan)?;
+        let t3 = Instant::now();
+        self.db.obs().record_statement(
+            sql,
+            &profile,
+            datastore::obs::StatementPhases {
+                parse: t1 - t0,
+                plan: t2 - t1,
+                execute: t3 - t2,
+            },
+            result.len() as u64,
+            options.misestimate_factor,
+        );
+        Ok(result)
+    }
+
+    /// Execute a `SHOW` introspection statement against the observability
+    /// registry and answer both ways: a tabular report and the same facts in
+    /// the system's own voice.
+    pub fn execute_show(&self, sql: &str) -> Result<query::show::ShowReport, TalkbackError> {
+        match sqlparse::parse_statement(sql)? {
+            sqlparse::ast::Statement::Show(show) => {
+                Ok(query::show::execute_show(&self.db, &show.kind))
+            }
+            _ => Err(TalkbackError::Unsupported(
+                "execute_show handles SHOW statements".into(),
+            )),
+        }
     }
 
     /// Execute an index DDL statement (`CREATE INDEX` / `DROP INDEX`) and

@@ -1,4 +1,5 @@
-//! Expressiveness and effectiveness proxies.
+//! Expressiveness and effectiveness proxies for generated *narratives* —
+//! not engine metrics.
 //!
 //! The paper asks that generated text be *expressive* ("accurate in
 //! capturing the underlying queries or data") and *effective* ("allowing
@@ -6,6 +7,11 @@
 //! can only be approximated; this module computes the measurable proxies the
 //! benchmark harness reports: how many query elements the narrative covers,
 //! how long it is, and how repetitive it is.
+//!
+//! This module used to be called `metrics`; it was renamed so the name
+//! doesn't shadow the engine-wide observability registry
+//! ([`datastore::obs`]), which is what `SHOW METRICS` reads. The old path
+//! `talkback::metrics` still works as a re-export.
 
 use sqlparse::ast::{Expr, Literal, SelectStatement};
 

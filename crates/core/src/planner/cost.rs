@@ -210,6 +210,24 @@ pub enum PlanDecision {
     },
 }
 
+impl PlanDecision {
+    /// Stable snake_case kind label, used as the key when the observability
+    /// registry counts planner decisions (`SHOW METRICS`).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            PlanDecision::Start { .. } => "start",
+            PlanDecision::Join { .. } => "join",
+            PlanDecision::OrderComparison { .. } => "order_comparison",
+            PlanDecision::Subquery { .. } => "subquery",
+            PlanDecision::AccessPath { .. } => "access_path",
+            PlanDecision::SortElided { .. } => "sort_elided",
+            PlanDecision::Parallel { .. } => "parallel",
+            PlanDecision::Vectorize { .. } => "vectorize",
+            PlanDecision::PartitionedBuild { .. } => "partitioned_build",
+        }
+    }
+}
+
 /// How an index access path probes its index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessPathKind {

@@ -212,6 +212,11 @@ pub fn plan_query_with(
     // top-k below them when profitable) and fan out qualifying applies,
     // recording each choice (including the choice not to).
     let plan = parallel::parallelize_plan(plan, &options, &mut decisions);
+    // Count every recorded choice by kind, so SHOW METRICS can report how
+    // often the optimizer reordered, decorrelated, parallelized, ….
+    for decision in &decisions {
+        db.obs().record_decision(decision.kind_name());
+    }
     Ok(PlannedQuery {
         plan,
         effective_query: effective,

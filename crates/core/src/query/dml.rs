@@ -18,8 +18,9 @@ pub fn translate_statement(
     query_narrative: Option<&str>,
 ) -> Option<String> {
     match statement {
-        // SELECTs go to the query translator, EXPLAINs to the plan explainer.
-        Statement::Select(_) | Statement::Explain(_) => None,
+        // SELECTs go to the query translator, EXPLAINs to the plan
+        // explainer, SHOWs to the introspection reporter (`query::show`).
+        Statement::Select(_) | Statement::Explain(_) | Statement::Show(_) => None,
         Statement::Insert(i) => Some(translate_insert(catalog, lexicon, i)),
         Statement::Update(u) => Some(translate_update(catalog, lexicon, u)),
         Statement::Delete(d) => Some(translate_delete(catalog, lexicon, d)),

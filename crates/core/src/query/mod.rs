@@ -11,6 +11,7 @@ pub mod explain;
 pub mod phrases;
 pub mod plan_explain;
 pub mod procedural;
+pub mod show;
 pub mod special;
 pub mod spj;
 

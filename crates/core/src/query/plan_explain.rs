@@ -569,33 +569,31 @@ fn parallel_speedup_sentences(profile: &PlanProfile) -> Vec<String> {
         let Some(speedup) = p.parallel_speedup() else {
             return;
         };
-        let work_ms = p
-            .children
-            .iter()
-            .map(|c| c.metrics.elapsed.as_secs_f64())
-            .sum::<f64>()
-            * 1e3;
-        let wall_ms = p.metrics.blocked.as_secs_f64() * 1e3;
+        let work: std::time::Duration = p.children.iter().map(|c| c.metrics.elapsed).sum();
+        let wall = p.metrics.blocked;
         // Name the hungriest operator inside the parallel section by its own
         // (non-blocked) time, so the blame lands on real work.
-        let mut hungriest: Option<(String, f64)> = None;
+        let mut hungriest: Option<(String, std::time::Duration)> = None;
         for child in &p.children {
             child.walk(&mut |inner| {
-                let own = inner.metrics.self_elapsed().as_secs_f64() * 1e3;
+                let own = inner.metrics.self_elapsed();
                 if hungriest.as_ref().map(|(_, t)| own > *t).unwrap_or(true) {
                     hungriest = Some((inner.operator.clone(), own));
                 }
             });
         }
         let mut text = format!(
-            "The parallel section did {work_ms:.1} ms of operator work in {wall_ms:.1} ms \
+            "The parallel section did {} of operator work in {} \
              of wall time across {} worker{} (a {speedup:.1}× speedup)",
+            datastore::format_duration(work),
+            datastore::format_duration(wall),
             count_phrase(workers),
             if workers == 1 { "" } else { "s" },
         );
-        if let Some((op, own_ms)) = hungriest.filter(|(_, t)| *t > 0.0) {
+        if let Some((op, own)) = hungriest.filter(|(_, t)| !t.is_zero()) {
             text.push_str(&format!(
-                ", most of it in the {op} ({own_ms:.1} ms of its own time)"
+                ", most of it in the {op} ({} of its own time)",
+                datastore::format_duration(own)
             ));
         }
         sentences.push(finish_sentence(&text));

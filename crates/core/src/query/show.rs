@@ -1,0 +1,486 @@
+//! `SHOW` introspection — the engine talking about *itself*.
+//!
+//! The paper wants a DBMS that initiates the conversation; the
+//! observability registry ([`datastore::obs`]) is its memory, and this
+//! module is the voice reading from it. Each `SHOW` topic answers twice:
+//! once as a table (for tools), once in the system's first person (for
+//! people) — "Since startup I have run 412 queries; the slowest, 38 ms,
+//! scanned CAST twice."
+
+use datastore::exec::{ColumnInfo, ResultSet};
+use datastore::obs::{Counter, JournalEntry, MisestimateStat, ObsRegistry, Phase, Span};
+use datastore::{format_duration, Database, Row, Value};
+use nlg::{count_phrase, finish_sentence, join_sentences, quote_sql};
+use sqlparse::ast::ShowKind;
+
+/// One `SHOW` answer, both ways.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShowReport {
+    /// The facts as an aligned text table.
+    pub table: String,
+    /// The same facts in the system's own voice.
+    pub narration: String,
+}
+
+/// Answer a `SHOW` statement from the database's observability registry.
+pub fn execute_show(db: &Database, kind: &ShowKind) -> ShowReport {
+    let obs = db.obs();
+    match kind {
+        ShowKind::Metrics => show_metrics(obs),
+        ShowKind::QueryLog { limit } => show_query_log(obs, limit.map(|n| n as usize)),
+        ShowKind::Profile => show_profile(obs),
+        ShowKind::Misestimates => show_misestimates(obs),
+    }
+}
+
+fn table_of(columns: &[&str], rows: Vec<Vec<Value>>) -> String {
+    ResultSet {
+        columns: columns
+            .iter()
+            .map(|c| ColumnInfo::unqualified(*c))
+            .collect(),
+        rows: rows.into_iter().map(Row::new).collect(),
+    }
+    .to_text_table()
+}
+
+// ---------------------------------------------------------------------------
+// SHOW METRICS
+// ---------------------------------------------------------------------------
+
+fn show_metrics(obs: &ObsRegistry) -> ShowReport {
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for counter in Counter::ALL {
+        rows.push(vec![
+            Value::text("counter"),
+            Value::text(counter.name()),
+            Value::text(obs.counter(counter).to_string()),
+        ]);
+    }
+    for (kind, count) in obs.decisions() {
+        rows.push(vec![
+            Value::text("decision"),
+            Value::text(kind),
+            Value::text(count.to_string()),
+        ]);
+    }
+    for (name, value) in obs.gauges() {
+        rows.push(vec![
+            Value::text("gauge"),
+            Value::text(name),
+            Value::text(value.to_string()),
+        ]);
+    }
+    for phase in Phase::ALL {
+        let summary = obs.latency_summary(phase);
+        let value = if summary.count == 0 {
+            "no samples".to_string()
+        } else {
+            format!(
+                "count={} p50≤{} p99≤{} max≤{}",
+                summary.count,
+                format_duration(summary.p50),
+                format_duration(summary.p99),
+                format_duration(summary.max),
+            )
+        };
+        rows.push(vec![
+            Value::text("latency"),
+            Value::text(phase.name()),
+            Value::text(value),
+        ]);
+    }
+    let table = table_of(&["kind", "metric", "value"], rows);
+
+    let queries = obs.counter(Counter::QueriesExecuted);
+    let mut sentences = Vec::new();
+    if queries == 0 {
+        sentences.push(
+            "I have not executed any queries since startup, so my counters are all at zero; \
+             ask me something and I will start keeping score."
+                .to_string(),
+        );
+    } else {
+        let total = obs.latency_summary(Phase::Total);
+        let mut first = format!(
+            "Since startup I have executed {} quer{}, scanning {} row{} to return {}",
+            count_phrase(queries as usize),
+            if queries == 1 { "y" } else { "ies" },
+            count_phrase(obs.counter(Counter::RowsScanned) as usize),
+            if obs.counter(Counter::RowsScanned) == 1 {
+                ""
+            } else {
+                "s"
+            },
+            count_phrase(obs.counter(Counter::RowsEmitted) as usize),
+        );
+        if total.count > 0 {
+            first.push_str(&format!(
+                "; my median statement finishes within {} and my slowest took up to {}",
+                format_duration(total.p50),
+                format_duration(total.max)
+            ));
+        }
+        sentences.push(finish_sentence(&first));
+
+        let probes = obs.counter(Counter::IndexProbes);
+        if probes > 0 {
+            let empty = obs.counter(Counter::EmptyIndexProbes);
+            sentences.push(finish_sentence(&format!(
+                "My indexes answered {} probe{}{}",
+                count_phrase(probes as usize),
+                if probes == 1 { "" } else { "s" },
+                if empty > 0 {
+                    format!(", {} of which found nothing", count_phrase(empty as usize))
+                } else {
+                    String::new()
+                }
+            )));
+        }
+        let workers = obs.counter(Counter::WorkersSpawned);
+        if workers > 0 {
+            sentences.push(finish_sentence(&format!(
+                "I spread work across {} worker thread{} claiming {} morsel{}",
+                count_phrase(workers as usize),
+                if workers == 1 { "" } else { "s" },
+                count_phrase(obs.counter(Counter::MorselsClaimed) as usize),
+                if obs.counter(Counter::MorselsClaimed) == 1 {
+                    ""
+                } else {
+                    "s"
+                },
+            )));
+        }
+        let decisions = obs.decisions();
+        let decision_total: u64 = decisions.values().sum();
+        if decision_total > 0 {
+            let busiest = decisions
+                .iter()
+                .max_by_key(|(_, &n)| n)
+                .map(|(k, _)| k.replace('_', " "))
+                .unwrap_or_default();
+            sentences.push(finish_sentence(&format!(
+                "My planner recorded {} decision{}, most often about {busiest}",
+                count_phrase(decision_total as usize),
+                if decision_total == 1 { "" } else { "s" },
+            )));
+        }
+    }
+    ShowReport {
+        table,
+        narration: join_sentences(&sentences),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SHOW QUERY LOG
+// ---------------------------------------------------------------------------
+
+fn show_query_log(obs: &ObsRegistry, limit: Option<usize>) -> ShowReport {
+    let entries = obs.journal().tail(limit);
+    let rows = entries
+        .iter()
+        .map(|e| {
+            vec![
+                Value::int(e.seq as i64),
+                Value::text(&e.sql),
+                Value::int(e.result_rows as i64),
+                Value::text(format_duration(e.total)),
+                Value::text(format!("{:016x}", e.plan_hash)),
+                Value::text(match &e.worst_misestimate {
+                    Some((detail, factor)) => format!("{factor:.0}× on {detail}"),
+                    None => "-".to_string(),
+                }),
+            ]
+        })
+        .collect();
+    let table = table_of(
+        &[
+            "seq",
+            "statement",
+            "rows",
+            "time",
+            "plan_hash",
+            "worst_misestimate",
+        ],
+        rows,
+    );
+
+    let narration = if entries.is_empty() {
+        "My query log is empty — I have not executed any statements since startup.".to_string()
+    } else {
+        let recorded = obs.journal().recorded();
+        let mut sentences = vec![finish_sentence(&format!(
+            "I remember the last {} statement{}{}",
+            count_phrase(entries.len()),
+            if entries.len() == 1 { "" } else { "s" },
+            if recorded > entries.len() as u64 {
+                format!(
+                    " of the {} I have executed; my journal keeps {} and the rest have aged out",
+                    count_phrase(recorded as usize),
+                    count_phrase(obs.journal().capacity())
+                )
+            } else {
+                String::new()
+            }
+        ))];
+        if let Some(slowest) = entries.iter().max_by_key(|e| e.total) {
+            let mut sentence = format!(
+                "The slowest of them, {}, was {} — it returned {}",
+                format_duration(slowest.total),
+                quote_sql(&slowest.sql),
+                count_phrase(slowest.result_rows as usize),
+            );
+            sentence.push_str(&format!(
+                " row{}",
+                if slowest.result_rows == 1 { "" } else { "s" }
+            ));
+            if let Some((detail, factor)) = &slowest.worst_misestimate {
+                sentence.push_str(&format!(", and I misjudged its {detail} by {factor:.0}×"));
+            }
+            sentences.push(finish_sentence(&sentence));
+        }
+        join_sentences(&sentences)
+    };
+    ShowReport { table, narration }
+}
+
+// ---------------------------------------------------------------------------
+// SHOW PROFILE
+// ---------------------------------------------------------------------------
+
+fn show_profile(obs: &ObsRegistry) -> ShowReport {
+    let Some(entry) = obs.journal().last() else {
+        return ShowReport {
+            table: table_of(&["span", "time", "rows"], Vec::new()),
+            narration: "I have nothing to profile yet — run a query first and ask me again."
+                .to_string(),
+        };
+    };
+    let rows = entry
+        .span
+        .flatten()
+        .into_iter()
+        .map(|(depth, span)| {
+            let label = if span.detail.is_empty() {
+                span.name.clone()
+            } else {
+                format!("{}: {}", span.name, span.detail)
+            };
+            vec![
+                Value::text(format!("{}{}", "  ".repeat(depth), label)),
+                Value::text(format_duration(span.elapsed)),
+                Value::text(match span.rows {
+                    Some(n) => n.to_string(),
+                    None => "-".to_string(),
+                }),
+            ]
+        })
+        .collect();
+    let table = table_of(&["span", "time", "rows"], rows);
+    ShowReport {
+        table,
+        narration: profile_narration(&entry),
+    }
+}
+
+fn profile_narration(entry: &JournalEntry) -> String {
+    let phase = |name: &str| {
+        entry
+            .span
+            .children
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.elapsed)
+            .unwrap_or_default()
+    };
+    let mut sentences = vec![finish_sentence(&format!(
+        "My last statement was {}; it took {} end to end — {} parsing, {} planning, \
+         and {} executing — and returned {} row{}",
+        quote_sql(&entry.sql),
+        format_duration(entry.total),
+        format_duration(phase("parse")),
+        format_duration(phase("plan")),
+        format_duration(phase("execute")),
+        count_phrase(entry.result_rows as usize),
+        if entry.result_rows == 1 { "" } else { "s" },
+    ))];
+    // Blame the operator that burned the most inclusive time under execute.
+    let hungriest = entry
+        .span
+        .children
+        .iter()
+        .find(|s| s.name == "execute")
+        .and_then(|s| s.children.first())
+        .map(|root| {
+            let mut worst: (&Span, std::time::Duration) = (root, root.elapsed);
+            for (_, span) in root.flatten() {
+                if span.elapsed > worst.1 {
+                    worst = (span, span.elapsed);
+                }
+            }
+            worst.0
+        });
+    if let Some(op) = hungriest {
+        sentences.push(finish_sentence(&format!(
+            "Inside the plan, the {} did the heaviest lifting at {}",
+            if op.detail.is_empty() {
+                op.name.clone()
+            } else {
+                format!("{} on {}", op.name, op.detail)
+            },
+            format_duration(op.elapsed)
+        )));
+    }
+    if let Some((detail, factor)) = &entry.worst_misestimate {
+        sentences.push(finish_sentence(&format!(
+            "I should own up: I misestimated the {detail} by {factor:.0}×"
+        )));
+    }
+    join_sentences(&sentences)
+}
+
+// ---------------------------------------------------------------------------
+// SHOW MISESTIMATES
+// ---------------------------------------------------------------------------
+
+fn show_misestimates(obs: &ObsRegistry) -> ShowReport {
+    let ledger = obs.misestimates();
+    let rows = ledger
+        .iter()
+        .map(|((table, shape), stat)| {
+            vec![
+                Value::text(table),
+                Value::text(shape),
+                Value::int(stat.count as i64),
+                Value::text(format!("{:.0}×", stat.avg_factor())),
+                Value::text(format!("{:.0}×", stat.max_factor)),
+                Value::int(stat.last_estimated as i64),
+                Value::int(stat.last_actual as i64),
+            ]
+        })
+        .collect();
+    let table = table_of(
+        &[
+            "table",
+            "shape",
+            "count",
+            "avg_error",
+            "max_error",
+            "last_est",
+            "last_actual",
+        ],
+        rows,
+    );
+
+    let narration = if ledger.is_empty() {
+        "My cardinality estimates have held up so far — no operator has strayed past the \
+         flagging threshold."
+            .to_string()
+    } else {
+        let flagged: u64 = ledger.values().map(|s| s.count).sum();
+        let ((worst_table, worst_shape), worst) = ledger
+            .iter()
+            .max_by(|a, b| {
+                a.1.avg_factor()
+                    .partial_cmp(&b.1.avg_factor())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(k, v)| (k.clone(), *v))
+            .expect("non-empty ledger");
+        let sentences = vec![
+            finish_sentence(&format!(
+                "I have caught my own estimates out {} time{} across {} predicate shape{}",
+                count_phrase(flagged as usize),
+                if flagged == 1 { "" } else { "s" },
+                count_phrase(ledger.len()),
+                if ledger.len() == 1 { "" } else { "s" },
+            )),
+            misestimate_sentence(&worst_table, &worst_shape, &worst),
+        ];
+        join_sentences(&sentences)
+    };
+    ShowReport { table, narration }
+}
+
+fn misestimate_sentence(table: &str, shape: &str, stat: &MisestimateStat) -> String {
+    finish_sentence(&format!(
+        "Queries like {} have misestimated {table} by {:.0}× on average (worst {:.0}×); \
+         last time I expected {} row{} and saw {}",
+        quote_sql(shape),
+        stat.avg_factor(),
+        stat.max_factor,
+        count_phrase(stat.last_estimated as usize),
+        if stat.last_estimated == 1 { "" } else { "s" },
+        count_phrase(stat.last_actual as usize),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Talkback;
+    use datastore::sample::movie_database;
+
+    fn parse_kind(sql: &str) -> ShowKind {
+        match sqlparse::parse_statement(sql).unwrap() {
+            sqlparse::ast::Statement::Show(s) => s.kind,
+            other => panic!("expected SHOW, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_before_any_query_admit_an_empty_score() {
+        let system = Talkback::new(movie_database());
+        let report = execute_show(system.database(), &parse_kind("show metrics"));
+        assert!(report.narration.contains("not executed any queries"));
+        assert!(report.table.contains("queries_executed"));
+        assert!(report.table.contains("no samples"));
+    }
+
+    #[test]
+    fn query_log_remembers_statements_in_order() {
+        let system = Talkback::new(movie_database());
+        system.run_query("select m.title from MOVIES m").unwrap();
+        system
+            .run_query("select m.title from MOVIES m where m.year > 2000")
+            .unwrap();
+        let report = system.execute_show("show query log").unwrap();
+        assert!(report.table.contains("select m.title from MOVIES m"));
+        assert!(report
+            .narration
+            .contains("I remember the last two statements"));
+        let limited = system.execute_show("show query log limit 1").unwrap();
+        assert!(!limited.table.contains("where m.year > 2000\n"));
+        assert!(limited.narration.contains("one statement"));
+    }
+
+    #[test]
+    fn profile_names_the_phases_of_the_last_statement() {
+        let system = Talkback::new(movie_database());
+        let empty = system.execute_show("show profile").unwrap();
+        assert!(empty.narration.contains("nothing to profile"));
+        system
+            .run_query("select m.title from MOVIES m where m.year > 2000")
+            .unwrap();
+        let report = system.execute_show("show profile").unwrap();
+        assert!(report.table.contains("statement"));
+        assert!(report.table.contains("  parse"));
+        assert!(report.table.contains("  execute"));
+        assert!(report.narration.contains("My last statement was"));
+        assert!(report.narration.contains("parsing"));
+    }
+
+    #[test]
+    fn misestimates_start_clean() {
+        let system = Talkback::new(movie_database());
+        let report = system.execute_show("show misestimates").unwrap();
+        assert!(report.narration.contains("held up so far"));
+    }
+
+    #[test]
+    fn show_requires_a_show_statement() {
+        let system = Talkback::new(movie_database());
+        assert!(system.execute_show("select * from MOVIES m").is_err());
+    }
+}

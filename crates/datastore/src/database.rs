@@ -4,6 +4,7 @@
 use crate::catalog::Catalog;
 use crate::error::StoreError;
 use crate::index::{Index, IndexDef, IndexKind};
+use crate::obs::ObsRegistry;
 use crate::schema::{ForeignKey, TableSchema};
 use crate::stats::TableStats;
 use crate::table::Table;
@@ -29,6 +30,11 @@ pub struct Database {
     /// invalidated whenever the table is written. Interior mutability so
     /// planning (`&Database`) can fill the cache.
     stats: RwLock<BTreeMap<String, Arc<TableStats>>>,
+    /// Engine-wide observability: counters, latency histograms, the query
+    /// journal, and the misestimate ledger. Behind an `Arc` so executor
+    /// snapshots ([`crate::exec::ExecContext`]) and worker threads report
+    /// into the same registry the database answers `SHOW METRICS` from.
+    obs: Arc<ObsRegistry>,
 }
 
 impl Clone for Database {
@@ -39,6 +45,9 @@ impl Clone for Database {
             // Statistics describe the data, which is cloned unchanged; the
             // Arc entries are shared rather than recollected.
             stats: RwLock::new(self.stats.read().expect("stats lock").clone()),
+            // Clones share one engine-wide registry: a clone is a snapshot
+            // of the data, not a new engine.
+            obs: Arc::clone(&self.obs),
         }
     }
 }
@@ -51,6 +60,12 @@ impl Database {
 
     fn key(name: &str) -> String {
         name.to_ascii_uppercase()
+    }
+
+    /// The engine-wide observability registry (counters, latency
+    /// histograms, query journal, misestimate ledger).
+    pub fn obs(&self) -> &Arc<ObsRegistry> {
+        &self.obs
     }
 
     /// Schema-level view of the database.

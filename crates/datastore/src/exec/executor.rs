@@ -11,6 +11,7 @@ use crate::database::Database;
 use crate::error::StoreError;
 use crate::exec::plan::{ColumnInfo, Plan};
 use crate::exec::stream::{open, PlanProfile};
+use crate::obs::Counter;
 use crate::tuple::Row;
 use crate::value::Value;
 
@@ -88,6 +89,8 @@ pub fn execute(db: &Database, plan: &Plan) -> Result<ResultSet, StoreError> {
     while let Some(batch) = source.next_batch()? {
         rows.extend(batch);
     }
+    db.obs().incr(Counter::QueriesExecuted);
+    db.obs().add(Counter::RowsEmitted, rows.len() as u64);
     Ok(ResultSet { columns, rows })
 }
 
@@ -103,6 +106,8 @@ pub fn execute_with_stats(
     while let Some(batch) = source.next_batch()? {
         rows.extend(batch);
     }
+    db.obs().incr(Counter::QueriesExecuted);
+    db.obs().add(Counter::RowsEmitted, rows.len() as u64);
     let profile = source.profile();
     Ok((ResultSet { columns, rows }, profile))
 }

@@ -54,6 +54,7 @@ use crate::exec::stream::{
     open_in, sort_rows, ExecContext, OpMetrics, OpenEnv, PlanProfile, RowSource,
 };
 use crate::exec::BATCH_SIZE;
+use crate::obs::Counter;
 use crate::tuple::Row;
 use crate::value::{GroupKey, Value};
 use std::cell::Cell;
@@ -596,6 +597,12 @@ impl ExchangeSource {
         let abort = Arc::new(AtomicBool::new(false));
         let (tx, rx) = mpsc::channel::<(usize, Result<WorkerOutput, StoreError>)>();
         let spawned = self.workers.min(total_morsels).max(1);
+        // Totals once per run rather than per-claim: workers over-claim a
+        // sentinel index past the end, which would inflate a per-claim count.
+        self.ctx.obs().add(Counter::WorkersSpawned, spawned as u64);
+        self.ctx
+            .obs()
+            .add(Counter::MorselsClaimed, total_morsels as u64);
         let mut handles = Vec::with_capacity(spawned);
         for _ in 0..spawned {
             let ctx = Arc::clone(&self.ctx);

@@ -31,6 +31,7 @@ use crate::exec::plan::{aggregate_output_columns, ApplyMode, ColumnInfo, Plan, P
 use crate::exec::vector::{batch_group_keys, gather_selected, VectorPredicate};
 use crate::expr::{CmpOp, Expr};
 use crate::index::{IndexBounds, ProbeOrder};
+use crate::obs::{Counter, ObsRegistry};
 use crate::table::Table;
 use crate::tuple::Row;
 use crate::value::{GroupKey, Value};
@@ -55,6 +56,10 @@ pub const APPLY_CACHE_CAP: usize = 1024;
 #[derive(Debug, Clone)]
 pub struct ExecContext {
     tables: BTreeMap<String, Arc<Table>>,
+    /// The owning database's observability registry — carried alongside the
+    /// table snapshot so operators (including ones shipped to worker
+    /// threads) report into the same engine-wide counters.
+    obs: Arc<ObsRegistry>,
 }
 
 impl ExecContext {
@@ -63,12 +68,18 @@ impl ExecContext {
     pub fn new(db: &Database) -> ExecContext {
         ExecContext {
             tables: db.table_arcs(),
+            obs: Arc::clone(db.obs()),
         }
     }
 
     /// Table handle by (case-insensitive) name.
     pub fn table(&self, name: &str) -> Option<&Arc<Table>> {
         self.tables.get(&name.to_ascii_uppercase())
+    }
+
+    /// The engine-wide observability registry this snapshot reports into.
+    pub fn obs(&self) -> &Arc<ObsRegistry> {
+        &self.obs
     }
 }
 
@@ -499,6 +510,7 @@ pub(crate) fn open_in(
                 alias.clone(),
                 est,
                 driver_range,
+                Arc::clone(ctx.obs()),
             ))
         }
         PlanNode::IndexScan {
@@ -525,6 +537,7 @@ pub(crate) fn open_in(
                 *index_only,
                 est,
                 driver_range,
+                Arc::clone(ctx.obs()),
             )?)
         }
         PlanNode::IndexNestedLoopJoin {
@@ -549,6 +562,7 @@ pub(crate) fn open_in(
                 index,
                 *left_key,
                 est,
+                Arc::clone(ctx.obs()),
             )?)
         }
         PlanNode::Values { columns, rows } => Box::new(ValuesSource {
@@ -665,6 +679,7 @@ pub(crate) fn open_in(
                 done: false,
                 est,
                 meter: OpMetrics::default(),
+                obs: Arc::clone(ctx.obs()),
             })
         }
         PlanNode::Aggregate {
@@ -894,6 +909,7 @@ struct ScanSource {
     end: usize,
     est: Option<f64>,
     meter: OpMetrics,
+    obs: Arc<ObsRegistry>,
 }
 
 impl ScanSource {
@@ -903,6 +919,7 @@ impl ScanSource {
         alias: String,
         est: Option<f64>,
         range: Option<(usize, usize)>,
+        obs: Arc<ObsRegistry>,
     ) -> ScanSource {
         let columns = table
             .schema()
@@ -924,6 +941,7 @@ impl ScanSource {
             end,
             est,
             meter: OpMetrics::default(),
+            obs,
         }
     }
 }
@@ -945,6 +963,7 @@ impl RowSource for ScanSource {
             self.meter.rows_in += batch.len() as u64;
             self.meter.rows_out += batch.len() as u64;
             self.meter.batches += 1;
+            self.obs.add(Counter::RowsScanned, batch.len() as u64);
             Some(batch)
         };
         self.meter.elapsed += start.elapsed();
@@ -1003,6 +1022,7 @@ struct IndexScanSource {
     driver_range: Option<(usize, usize)>,
     est: Option<f64>,
     meter: OpMetrics,
+    obs: Arc<ObsRegistry>,
 }
 
 impl IndexScanSource {
@@ -1017,6 +1037,7 @@ impl IndexScanSource {
         index_only: bool,
         est: Option<f64>,
         driver_range: Option<(usize, usize)>,
+        obs: Arc<ObsRegistry>,
     ) -> Result<IndexScanSource, StoreError> {
         let index_pos = table
             .indexes()
@@ -1110,6 +1131,7 @@ impl IndexScanSource {
             driver_range,
             est,
             meter: OpMetrics::default(),
+            obs,
         })
     }
 
@@ -1137,6 +1159,15 @@ impl IndexScanSource {
             let mut positions = index.probe(&self.bounds, self.order)?;
             positions.retain(|&p| in_range(p));
             self.positions = Some(positions);
+        }
+        self.obs.incr(Counter::IndexProbes);
+        let matched = match (&self.positions, &self.index_rows) {
+            (Some(p), _) => p.len(),
+            (_, Some(r)) => r.len(),
+            _ => 0,
+        };
+        if matched == 0 {
+            self.obs.incr(Counter::EmptyIndexProbes);
         }
         Ok(())
     }
@@ -1178,6 +1209,7 @@ impl RowSource for IndexScanSource {
             self.meter.rows_in += batch.len() as u64;
             self.meter.rows_out += batch.len() as u64;
             self.meter.batches += 1;
+            self.obs.add(Counter::RowsScanned, batch.len() as u64);
             Some(batch)
         };
         self.meter.elapsed += start.elapsed();
@@ -1228,9 +1260,11 @@ struct IndexNljSource {
     matches: u64,
     est: Option<f64>,
     meter: OpMetrics,
+    obs: Arc<ObsRegistry>,
 }
 
 impl IndexNljSource {
+    #[allow(clippy::too_many_arguments)]
     fn open(
         left: Box<dyn RowSource>,
         table: Arc<Table>,
@@ -1239,6 +1273,7 @@ impl IndexNljSource {
         index: &str,
         left_key: usize,
         est: Option<f64>,
+        obs: Arc<ObsRegistry>,
     ) -> Result<IndexNljSource, StoreError> {
         let index_pos = table
             .indexes()
@@ -1305,6 +1340,7 @@ impl IndexNljSource {
             matches: 0,
             est,
             meter: OpMetrics::default(),
+            obs,
         })
     }
 }
@@ -1323,17 +1359,26 @@ impl RowSource for IndexNljSource {
                     self.meter.rows_in += batch.len() as u64;
                     let index = &self.table.indexes()[self.index_pos];
                     let rows = self.table.rows();
+                    let mut probes = 0u64;
+                    let mut empty = 0u64;
                     for lr in &batch {
                         let probe = lr.get(self.left_key).cloned().unwrap_or(Value::Null);
                         if probe.is_null() {
                             continue; // SQL equality never matches NULL.
                         }
-                        self.probes += 1;
-                        for &pos in index.probe_point(&probe) {
+                        probes += 1;
+                        let positions = index.probe_point(&probe);
+                        if positions.is_empty() {
+                            empty += 1;
+                        }
+                        for &pos in positions {
                             self.matches += 1;
                             self.pending.push_back(lr.concat(&rows[pos]));
                         }
                     }
+                    self.probes += probes;
+                    self.obs.add(Counter::IndexProbes, probes);
+                    self.obs.add(Counter::EmptyIndexProbes, empty);
                 }
             }
         }
@@ -1704,6 +1749,7 @@ struct HashJoinSource {
     done: bool,
     est: Option<f64>,
     meter: OpMetrics,
+    obs: Arc<ObsRegistry>,
 }
 
 impl HashJoinSource {
@@ -1716,12 +1762,16 @@ impl HashJoinSource {
         let right_keys = &self.right_keys;
         let build_workers = self.shared.as_ref().map(|(s, _)| s.workers()).unwrap_or(1);
         let build_min = self.build_min;
+        let obs = Arc::clone(&self.obs);
         let construct = || -> Result<SharedBuild, StoreError> {
             let mut rows = Vec::new();
             while let Some(batch) = timed_pull(right, &mut meter.blocked)? {
                 meter.rows_in += batch.len() as u64;
                 rows.extend(batch);
             }
+            // Counted inside the build closure: under an exchange the build
+            // runs once across workers, and so must the counter.
+            obs.add(Counter::HashBuildRows, rows.len() as u64);
             Ok(SharedBuild::Join(Arc::new(JoinIndex::build(
                 rows,
                 right_keys,
@@ -1952,6 +2002,7 @@ struct FusedAggregateScanSource {
     scan_est: Option<f64>,
     scan_meter: OpMetrics,
     pending: Option<VecDeque<Row>>,
+    obs: Arc<ObsRegistry>,
 }
 
 impl FusedAggregateScanSource {
@@ -2041,6 +2092,7 @@ impl FusedAggregateScanSource {
             est,
             meter: OpMetrics::default(),
             pending: None,
+            obs: Arc::clone(ctx.obs()),
         })))
     }
 
@@ -2059,6 +2111,7 @@ impl FusedAggregateScanSource {
             self.scan_meter.rows_in += chunk.len() as u64;
             self.scan_meter.rows_out += chunk.len() as u64;
             self.scan_meter.batches += 1;
+            self.obs.add(Counter::RowsScanned, chunk.len() as u64);
             match &mut self.filter {
                 None => {
                     self.meter.rows_in += chunk.len() as u64;
@@ -2368,6 +2421,7 @@ struct SemiJoinSource {
     shared: Option<(Arc<ExchangeShared>, usize)>,
     est: Option<f64>,
     meter: OpMetrics,
+    obs: Arc<ObsRegistry>,
 }
 
 impl SemiJoinSource {
@@ -2425,6 +2479,7 @@ impl SemiJoinSource {
             shared,
             est,
             meter: OpMetrics::default(),
+            obs: Arc::clone(ctx.obs()),
         })
     }
 
@@ -2437,12 +2492,14 @@ impl SemiJoinSource {
         let meter = &mut self.meter;
         let build_workers = self.shared.as_ref().map(|(s, _)| s.workers()).unwrap_or(1);
         let build_min = self.build_min;
+        let obs = Arc::clone(&self.obs);
         let construct = || -> Result<SharedBuild, StoreError> {
             let mut rows = Vec::new();
             while let Some(batch) = timed_pull(right, &mut meter.blocked)? {
                 meter.rows_in += batch.len() as u64;
                 rows.extend(batch);
             }
+            obs.add(Counter::HashBuildRows, rows.len() as u64);
             Ok(SharedBuild::Keys(Arc::new(SemiBuild::build(
                 rows,
                 right_keys,
@@ -2766,20 +2823,26 @@ impl ApplySource {
         let mut row_keys: Vec<Vec<GroupKey>> = Vec::with_capacity(batch.len());
         let mut fresh: Vec<(Vec<GroupKey>, Row)> = Vec::new();
         let mut scheduled: HashSet<Vec<GroupKey>> = HashSet::new();
+        let mut hits = 0u64;
         for row in batch {
             let key = row.group_key(&self.param_cols);
             if self.cache.contains_key(&key) || scheduled.contains(&key) {
                 self.cache_hits += 1;
+                hits += 1;
             } else {
                 scheduled.insert(key.clone());
                 fresh.push((key.clone(), row.clone()));
             }
             row_keys.push(key);
         }
+        self.ctx.obs().add(Counter::ApplyCacheHits, hits);
         if fresh.is_empty() {
             return Ok(row_keys);
         }
         self.evaluations += fresh.len() as u64;
+        self.ctx
+            .obs()
+            .add(Counter::ApplyEvaluations, fresh.len() as u64);
         let (ctx, subplan, params, mode) = (&self.ctx, &self.subplan, &self.params, &self.mode);
         let results: Vec<(Vec<GroupKey>, SubResult, PlanProfile)> =
             if self.workers > 1 && fresh.len() > 1 {
@@ -2834,6 +2897,7 @@ impl ApplySource {
     /// a batch's verdicts, so entries the current batch needs are never
     /// evicted out from under it.
     fn enforce_cache_cap(&mut self) {
+        let before = self.evictions;
         while self.cache.len() > self.cache_cap {
             let Some(oldest) = self.cache_order.pop_front() else {
                 break;
@@ -2841,6 +2905,9 @@ impl ApplySource {
             self.cache.remove(&oldest);
             self.evictions += 1;
         }
+        self.ctx
+            .obs()
+            .add(Counter::ApplyCacheEvictions, self.evictions - before);
     }
 
     /// Three-valued verdict for one input row against its cached subquery

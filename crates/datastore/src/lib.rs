@@ -15,7 +15,10 @@
 //! * the sample databases the paper's examples are written against
 //!   ([`sample`]): the Figure 1 movie schema and the §3.1 EMP/DEPT schema,
 //! * derived data (samples, histograms) that §2.1 lists as further
-//!   translation targets ([`stats`]), and
+//!   translation targets ([`stats`]),
+//! * engine-wide observability — the metrics registry, query journal,
+//!   trace spans, and misestimate ledger the `SHOW` introspection
+//!   statements read ([`obs`]), and
 //! * CSV import/export for fixtures ([`csvio`]).
 //!
 //! Higher layers (`schemagraph`, `templates`, `nlg`, `talkback`) build the
@@ -28,6 +31,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod index;
+pub mod obs;
 pub mod sample;
 pub mod schema;
 pub mod stats;
@@ -39,6 +43,7 @@ pub use catalog::Catalog;
 pub use database::Database;
 pub use error::StoreError;
 pub use index::{Index, IndexBounds, IndexDef, IndexKind};
+pub use obs::{format_duration, ObsRegistry};
 pub use schema::{ColumnDef, ForeignKey, TableSchema};
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;

@@ -1,0 +1,952 @@
+//! Engine-wide observability: the metrics registry, query journal, trace
+//! spans, and misestimate ledger.
+//!
+//! The paper's thesis is a DBMS that *initiates* the conversation — but a
+//! system can only talk about what it remembers. Until now every
+//! [`OpMetrics`](crate::exec::OpMetrics) tree died with its statement;
+//! this module is the engine's memory across statements:
+//!
+//! * [`ObsRegistry`] — a thread-safe registry of monotonic counters
+//!   (incremented from the executor, planner, and index layers), sampled
+//!   gauges, and log2-bucketed latency histograms per statement phase.
+//!   Every hot-path increment is gated on one relaxed atomic load, so a
+//!   disabled registry costs a branch and nothing else.
+//! * [`Journal`] — a bounded ring buffer of executed statements: SQL text,
+//!   plan-shape hash, phase timings as a [`Span`] tree (parse → plan →
+//!   execute, with per-operator child spans from the executed profile),
+//!   and est-vs-actual row counts.
+//! * the **misestimate ledger** — worst-offender cardinality errors keyed
+//!   by `(table, predicate shape)`, the exact feedback the ROADMAP's
+//!   adaptive-optimizer item wants to mine.
+//!
+//! The SQL surface (`SHOW METRICS`, `SHOW QUERY LOG`, `SHOW PROFILE`,
+//! `SHOW MISESTIMATES`) lives in the `talkback` crate; this module only
+//! collects and snapshots.
+
+use crate::exec::stream::PlanProfile;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Duration formatting
+// ---------------------------------------------------------------------------
+
+/// Render a duration with the µs/ms/s thresholds every narration and plan
+/// rendering in the workspace shares: sub-millisecond times in whole
+/// microseconds, sub-second times in milliseconds with one decimal, and
+/// everything else in seconds with two.
+pub fn format_duration(d: Duration) -> String {
+    let micros = d.as_micros();
+    if micros < 1_000 {
+        format!("{micros} µs")
+    } else if micros < 1_000_000 {
+        format!("{:.1} ms", micros as f64 / 1_000.0)
+    } else {
+        format!("{:.2} s", d.as_secs_f64())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// Monotonic engine counters, one atomic slot each. Incremented per batch
+/// (or per build / per probe) from the executor, planner, and index layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Counter {
+    QueriesExecuted,
+    RowsScanned,
+    RowsEmitted,
+    IndexProbes,
+    EmptyIndexProbes,
+    HashBuildRows,
+    ApplyEvaluations,
+    ApplyCacheHits,
+    ApplyCacheEvictions,
+    MorselsClaimed,
+    WorkersSpawned,
+}
+
+impl Counter {
+    /// Every counter, in display order.
+    pub const ALL: [Counter; 11] = [
+        Counter::QueriesExecuted,
+        Counter::RowsScanned,
+        Counter::RowsEmitted,
+        Counter::IndexProbes,
+        Counter::EmptyIndexProbes,
+        Counter::HashBuildRows,
+        Counter::ApplyEvaluations,
+        Counter::ApplyCacheHits,
+        Counter::ApplyCacheEvictions,
+        Counter::MorselsClaimed,
+        Counter::WorkersSpawned,
+    ];
+
+    /// Stable snake_case name, used as the metric key in `SHOW METRICS`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::QueriesExecuted => "queries_executed",
+            Counter::RowsScanned => "rows_scanned",
+            Counter::RowsEmitted => "rows_emitted",
+            Counter::IndexProbes => "index_probes",
+            Counter::EmptyIndexProbes => "index_probes_empty",
+            Counter::HashBuildRows => "hash_build_rows",
+            Counter::ApplyEvaluations => "apply_evaluations",
+            Counter::ApplyCacheHits => "apply_cache_hits",
+            Counter::ApplyCacheEvictions => "apply_cache_evictions",
+            Counter::MorselsClaimed => "morsels_claimed",
+            Counter::WorkersSpawned => "workers_spawned",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latency histograms
+// ---------------------------------------------------------------------------
+
+/// Statement phases a latency histogram is kept for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Phase {
+    Parse,
+    Plan,
+    Execute,
+    Total,
+}
+
+impl Phase {
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; 4] = [Phase::Parse, Phase::Plan, Phase::Execute, Phase::Total];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::Plan => "plan",
+            Phase::Execute => "execute",
+            Phase::Total => "total",
+        }
+    }
+}
+
+/// Number of log2 buckets: bucket `i` holds samples in `[2^(i-1), 2^i)`
+/// microseconds (bucket 0 holds sub-microsecond samples), so 40 buckets
+/// cover everything up to ~6 days per statement.
+pub const HIST_BUCKETS: usize = 40;
+
+/// A log2-bucketed latency histogram over microseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn record(&self, d: Duration) {
+        let micros = d.as_micros() as u64;
+        // Bits needed to write the sample: 0 µs → bucket 0, 1 µs → 1,
+        // 2–3 µs → 2, 4–7 µs → 3, …
+        let bucket = (64 - micros.leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current bucket counts.
+    pub fn snapshot(&self) -> [u64; HIST_BUCKETS] {
+        let mut out = [0u64; HIST_BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// A read-only view of one phase's histogram with its common summaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Upper bound of the median sample's bucket.
+    pub p50: Duration,
+    /// Upper bound of the 99th-percentile sample's bucket.
+    pub p99: Duration,
+    /// Upper bound of the largest occupied bucket.
+    pub max: Duration,
+}
+
+/// Upper bound (exclusive) of histogram bucket `i`, as a duration.
+fn bucket_upper(i: usize) -> Duration {
+    Duration::from_micros(1u64 << i.min(62))
+}
+
+fn summarize(buckets: &[u64; HIST_BUCKETS]) -> HistogramSummary {
+    let count: u64 = buckets.iter().sum();
+    let rank = |q: f64| -> Duration {
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &b) in buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return bucket_upper(i);
+            }
+        }
+        Duration::ZERO
+    };
+    let max = buckets
+        .iter()
+        .rposition(|&b| b > 0)
+        .map(bucket_upper)
+        .unwrap_or(Duration::ZERO);
+    HistogramSummary {
+        count,
+        p50: rank(0.5),
+        p99: rank(0.99),
+        max,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans
+// ---------------------------------------------------------------------------
+
+/// One timed node of a statement's trace: a phase (parse, plan, execute) or
+/// an executed operator, with nested children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Phase or operator name ("execute", "hash join", …).
+    pub name: String,
+    /// Operator detail, empty for phases.
+    pub detail: String,
+    /// Wall-clock time, inclusive of children.
+    pub elapsed: Duration,
+    /// Rows produced, when the span is an operator.
+    pub rows: Option<u64>,
+    /// Nested child spans.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// A leaf phase span.
+    pub fn phase(name: &str, elapsed: Duration) -> Span {
+        Span {
+            name: name.to_string(),
+            detail: String::new(),
+            elapsed,
+            rows: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// Convert an executed operator profile into a span subtree.
+    pub fn from_profile(profile: &PlanProfile) -> Span {
+        Span {
+            name: profile.operator.clone(),
+            detail: profile.detail.clone(),
+            elapsed: profile.metrics.elapsed,
+            rows: Some(profile.metrics.rows_out),
+            children: profile.children.iter().map(Span::from_profile).collect(),
+        }
+    }
+
+    /// Depth-first flatten into `(depth, span)` pairs, for tabular output.
+    pub fn flatten(&self) -> Vec<(usize, &Span)> {
+        let mut out = Vec::new();
+        self.flatten_into(0, &mut out);
+        out
+    }
+
+    fn flatten_into<'a>(&'a self, depth: usize, out: &mut Vec<(usize, &'a Span)>) {
+        out.push((depth, self));
+        for c in &self.children {
+            c.flatten_into(depth + 1, out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan-shape hashing and predicate normalization
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// A stable hash over a plan's *shape* — operator names, normalized details,
+/// and tree structure, but not literals or row counts — so two runs of the
+/// same query template land on the same hash.
+pub fn plan_shape_hash(profile: &PlanProfile) -> u64 {
+    let mut hash = FNV_OFFSET;
+    hash_shape(profile, &mut hash);
+    hash
+}
+
+fn hash_shape(p: &PlanProfile, hash: &mut u64) {
+    fnv(hash, p.operator.as_bytes());
+    fnv(hash, normalize_predicate(&p.detail).as_bytes());
+    fnv(hash, b"(");
+    for c in &p.children {
+        hash_shape(c, hash);
+    }
+    fnv(hash, b")");
+}
+
+/// Normalize a rendered predicate to its *shape*: literal numbers and quoted
+/// strings become `?`, so `a.name = 'Brad Pitt'` and `a.name = 'G. Loucas'`
+/// share one ledger key. Identifiers (which may contain digits) survive.
+pub fn normalize_predicate(detail: &str) -> String {
+    let mut out = String::with_capacity(detail.len());
+    let mut chars = detail.chars().peekable();
+    let mut prev_ident = false;
+    while let Some(c) = chars.next() {
+        if c == '\'' {
+            // Quoted string literal ('' is the embedded-quote escape).
+            while let Some(n) = chars.next() {
+                if n == '\'' {
+                    if chars.peek() == Some(&'\'') {
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            out.push('?');
+            prev_ident = false;
+        } else if c.is_ascii_digit() && !prev_ident {
+            while chars
+                .peek()
+                .is_some_and(|n| n.is_ascii_digit() || *n == '.')
+            {
+                chars.next();
+            }
+            out.push('?');
+        } else {
+            prev_ident = c.is_alphanumeric() || c == '_' || c == '.';
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Query journal
+// ---------------------------------------------------------------------------
+
+/// Default journal capacity (statements retained).
+pub const JOURNAL_CAP: usize = 256;
+
+/// One remembered statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Monotonic statement number (never reused, survives eviction).
+    pub seq: u64,
+    /// The SQL text as the user wrote it.
+    pub sql: String,
+    /// Stable hash of the executed plan's shape.
+    pub plan_hash: u64,
+    /// Rows the statement returned.
+    pub result_rows: u64,
+    /// End-to-end wall-clock time.
+    pub total: Duration,
+    /// Phase + operator trace of the statement.
+    pub span: Span,
+    /// The single worst est-vs-actual error in the plan, as
+    /// `(operator detail, factor)`, when one crossed the flagging threshold.
+    pub worst_misestimate: Option<(String, f64)>,
+}
+
+struct JournalInner {
+    entries: VecDeque<JournalEntry>,
+    next_seq: u64,
+}
+
+/// Bounded FIFO ring buffer of [`JournalEntry`]s. Pushing beyond the
+/// capacity evicts the oldest entry; sequence numbers are assigned under the
+/// same lock, so concurrent writers never lose, duplicate, or reorder a
+/// sequence number.
+pub struct Journal {
+    cap: usize,
+    inner: Mutex<JournalInner>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("cap", &self.cap)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl Journal {
+    /// Empty journal retaining at most `cap` statements.
+    pub fn new(cap: usize) -> Journal {
+        Journal {
+            cap: cap.max(1),
+            inner: Mutex::new(JournalInner {
+                entries: VecDeque::new(),
+                next_seq: 1,
+            }),
+        }
+    }
+
+    /// Maximum entries retained.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Entries currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("journal lock").entries.len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Statements recorded over the journal's lifetime, including evicted
+    /// ones.
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().expect("journal lock").next_seq - 1
+    }
+
+    /// Append an entry (its `seq` is assigned here), evicting the oldest
+    /// entry when full. Returns the assigned sequence number.
+    pub fn push(&self, mut entry: JournalEntry) -> u64 {
+        let mut inner = self.inner.lock().expect("journal lock");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        entry.seq = seq;
+        inner.entries.push_back(entry);
+        while inner.entries.len() > self.cap {
+            inner.entries.pop_front();
+        }
+        seq
+    }
+
+    /// The most recent `limit` entries (all retained entries if `None`),
+    /// newest last.
+    pub fn tail(&self, limit: Option<usize>) -> Vec<JournalEntry> {
+        let inner = self.inner.lock().expect("journal lock");
+        let n = limit
+            .unwrap_or(inner.entries.len())
+            .min(inner.entries.len());
+        inner
+            .entries
+            .iter()
+            .skip(inner.entries.len() - n)
+            .cloned()
+            .collect()
+    }
+
+    /// The most recent entry.
+    pub fn last(&self) -> Option<JournalEntry> {
+        self.inner
+            .lock()
+            .expect("journal lock")
+            .entries
+            .back()
+            .cloned()
+    }
+
+    /// The slowest retained entry.
+    pub fn slowest(&self) -> Option<JournalEntry> {
+        self.inner
+            .lock()
+            .expect("journal lock")
+            .entries
+            .iter()
+            .max_by_key(|e| e.total)
+            .cloned()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Misestimate ledger
+// ---------------------------------------------------------------------------
+
+/// Accumulated est-vs-actual error for one `(table, predicate shape)` key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MisestimateStat {
+    /// Flagged occurrences.
+    pub count: u64,
+    /// Sum of error factors, for the average.
+    pub sum_factor: f64,
+    /// Worst error factor seen.
+    pub max_factor: f64,
+    /// Most recent estimated rows.
+    pub last_estimated: u64,
+    /// Most recent actual rows.
+    pub last_actual: u64,
+}
+
+impl MisestimateStat {
+    /// Mean error factor across flagged occurrences.
+    pub fn avg_factor(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_factor / self.count as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The registry
+// ---------------------------------------------------------------------------
+
+/// Phase durations of one executed statement, as measured by the caller.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatementPhases {
+    /// Time in the SQL parser.
+    pub parse: Duration,
+    /// Time in the planner (flatten, bind, join order, lowering).
+    pub plan: Duration,
+    /// Time pulling the operator tree to completion.
+    pub execute: Duration,
+}
+
+impl StatementPhases {
+    /// Sum of the phases — the statement's end-to-end time.
+    pub fn total(&self) -> Duration {
+        self.parse + self.plan + self.execute
+    }
+}
+
+/// The engine-wide observability registry: one per [`Database`]
+/// (shared — not reset — by clones, like the table snapshots themselves).
+///
+/// [`Database`]: crate::database::Database
+#[derive(Debug)]
+pub struct ObsRegistry {
+    enabled: AtomicBool,
+    counters: [AtomicU64; Counter::ALL.len()],
+    latency: [LatencyHistogram; Phase::ALL.len()],
+    decisions: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, u64>>,
+    journal: Journal,
+    misestimates: Mutex<BTreeMap<(String, String), MisestimateStat>>,
+}
+
+impl Default for ObsRegistry {
+    fn default() -> ObsRegistry {
+        ObsRegistry::new(JOURNAL_CAP)
+    }
+}
+
+impl ObsRegistry {
+    /// Enabled registry with a journal retaining `journal_cap` statements.
+    pub fn new(journal_cap: usize) -> ObsRegistry {
+        ObsRegistry {
+            enabled: AtomicBool::new(true),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency: std::array::from_fn(|_| LatencyHistogram::default()),
+            decisions: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            journal: Journal::new(journal_cap),
+            misestimates: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Whether instrumentation is collected. Off, every hot-path hook is a
+    /// single relaxed load and a branch.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn collection on or off (the A/B knob the `observability` bench
+    /// measures overhead with).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Add `n` to a counter.
+    #[inline]
+    pub fn add(&self, counter: Counter, n: u64) {
+        if !self.enabled() || n == 0 {
+            return;
+        }
+        self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn incr(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// Record one planner decision by kind ("join order", "access path", …).
+    pub fn record_decision(&self, kind: &str) {
+        if !self.enabled() {
+            return;
+        }
+        let mut decisions = self.decisions.lock().expect("decisions lock");
+        *decisions.entry(kind.to_string()).or_insert(0) += 1;
+    }
+
+    /// Planner decision counts by kind.
+    pub fn decisions(&self) -> BTreeMap<String, u64> {
+        self.decisions.lock().expect("decisions lock").clone()
+    }
+
+    /// Set a sampled gauge.
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut gauges = self.gauges.lock().expect("gauges lock");
+        gauges.insert(name.to_string(), value);
+    }
+
+    /// Current gauge values.
+    pub fn gauges(&self) -> BTreeMap<String, u64> {
+        self.gauges.lock().expect("gauges lock").clone()
+    }
+
+    /// Record a phase latency sample.
+    pub fn record_latency(&self, phase: Phase, d: Duration) {
+        if !self.enabled() {
+            return;
+        }
+        self.latency[phase as usize].record(d);
+    }
+
+    /// Summary of one phase's latency histogram.
+    pub fn latency_summary(&self, phase: Phase) -> HistogramSummary {
+        summarize(&self.latency[phase as usize].snapshot())
+    }
+
+    /// Raw bucket counts of one phase's histogram.
+    pub fn latency_buckets(&self, phase: Phase) -> [u64; HIST_BUCKETS] {
+        self.latency[phase as usize].snapshot()
+    }
+
+    /// The query journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Snapshot of the misestimate ledger.
+    pub fn misestimates(&self) -> BTreeMap<(String, String), MisestimateStat> {
+        self.misestimates.lock().expect("misestimates lock").clone()
+    }
+
+    /// The ledger entry with the highest average error factor.
+    pub fn worst_misestimate(&self) -> Option<((String, String), MisestimateStat)> {
+        self.misestimates
+            .lock()
+            .expect("misestimates lock")
+            .iter()
+            .max_by(|a, b| {
+                a.1.avg_factor()
+                    .partial_cmp(&b.1.avg_factor())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(k, v)| (k.clone(), *v))
+    }
+
+    /// Record one executed statement: phase latencies into the histograms, a
+    /// journal entry with the full span tree, and every flagged est-vs-actual
+    /// error into the misestimate ledger. `flag_factor` is the caller's
+    /// misestimate threshold (`PlannerOptions::misestimate_factor`). No-op
+    /// when the registry is disabled.
+    pub fn record_statement(
+        &self,
+        sql: &str,
+        profile: &PlanProfile,
+        phases: StatementPhases,
+        result_rows: u64,
+        flag_factor: f64,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let total = phases.total();
+        self.record_latency(Phase::Parse, phases.parse);
+        self.record_latency(Phase::Plan, phases.plan);
+        self.record_latency(Phase::Execute, phases.execute);
+        self.record_latency(Phase::Total, total);
+
+        let mut execute_span = Span::phase("execute", phases.execute);
+        execute_span.children.push(Span::from_profile(profile));
+        let span = Span {
+            name: "statement".to_string(),
+            detail: String::new(),
+            elapsed: total,
+            rows: Some(result_rows),
+            children: vec![
+                Span::phase("parse", phases.parse),
+                Span::phase("plan", phases.plan),
+                execute_span,
+            ],
+        };
+
+        let worst = self.absorb_misestimates(profile, flag_factor);
+        self.journal.push(JournalEntry {
+            seq: 0, // assigned by the journal
+            sql: sql.trim().to_string(),
+            plan_hash: plan_shape_hash(profile),
+            result_rows,
+            total,
+            span,
+            worst_misestimate: worst,
+        });
+        self.set_gauge("journal_entries", self.journal.len() as u64);
+    }
+
+    /// Walk an executed profile, fold every flagged misestimate into the
+    /// ledger, and return the worst one as `(detail, factor)`.
+    fn absorb_misestimates(
+        &self,
+        profile: &PlanProfile,
+        flag_factor: f64,
+    ) -> Option<(String, f64)> {
+        let mut worst: Option<(String, f64)> = None;
+        let mut ledger = self.misestimates.lock().expect("misestimates lock");
+        profile.walk(&mut |node| {
+            let Some(factor) = node.misestimate_with(flag_factor) else {
+                return;
+            };
+            let detail = if node.detail.is_empty() {
+                node.operator.clone()
+            } else {
+                format!("{}: {}", node.operator, node.detail)
+            };
+            if worst.as_ref().is_none_or(|(_, f)| factor > *f) {
+                worst = Some((detail, factor));
+            }
+            let table = misestimate_table(node).unwrap_or_else(|| "(none)".to_string());
+            let shape = if node.detail.is_empty() {
+                node.operator.clone()
+            } else {
+                format!("{} {}", node.operator, normalize_predicate(&node.detail))
+            };
+            let est = node.estimated_rows.unwrap_or(0.0).round().max(0.0) as u64;
+            let stat = ledger.entry((table, shape)).or_insert(MisestimateStat {
+                count: 0,
+                sum_factor: 0.0,
+                max_factor: 0.0,
+                last_estimated: 0,
+                last_actual: 0,
+            });
+            stat.count += 1;
+            stat.sum_factor += factor;
+            stat.max_factor = stat.max_factor.max(factor);
+            stat.last_estimated = est;
+            stat.last_actual = node.metrics.rows_out;
+        });
+        worst
+    }
+}
+
+/// The table a misestimated operator is best attributed to: its own index
+/// access, or the leftmost scan underneath it.
+fn misestimate_table(node: &PlanProfile) -> Option<String> {
+    if let Some(access) = &node.access {
+        return Some(access.table.clone());
+    }
+    if node.operator == "scan" {
+        // Detail is "TABLE" or "TABLE as alias".
+        return Some(
+            node.detail
+                .split_whitespace()
+                .next()
+                .unwrap_or(&node.detail)
+                .to_string(),
+        );
+    }
+    node.children.iter().find_map(misestimate_table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(sql: &str) -> JournalEntry {
+        JournalEntry {
+            seq: 0,
+            sql: sql.to_string(),
+            plan_hash: 7,
+            result_rows: 1,
+            total: Duration::from_micros(10),
+            span: Span::phase("statement", Duration::from_micros(10)),
+            worst_misestimate: None,
+        }
+    }
+
+    #[test]
+    fn format_duration_thresholds() {
+        assert_eq!(format_duration(Duration::from_micros(17)), "17 µs");
+        assert_eq!(format_duration(Duration::from_micros(999)), "999 µs");
+        assert_eq!(format_duration(Duration::from_micros(1_000)), "1.0 ms");
+        assert_eq!(format_duration(Duration::from_micros(38_400)), "38.4 ms");
+        assert_eq!(format_duration(Duration::from_millis(3_190)), "3.19 s");
+    }
+
+    #[test]
+    fn counters_gate_on_enabled() {
+        let reg = ObsRegistry::default();
+        reg.add(Counter::RowsScanned, 5);
+        assert_eq!(reg.counter(Counter::RowsScanned), 5);
+        reg.set_enabled(false);
+        reg.add(Counter::RowsScanned, 5);
+        reg.record_decision("join order");
+        reg.record_latency(Phase::Total, Duration::from_micros(10));
+        assert_eq!(reg.counter(Counter::RowsScanned), 5);
+        assert!(reg.decisions().is_empty());
+        assert_eq!(reg.latency_summary(Phase::Total).count, 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_summary() {
+        let reg = ObsRegistry::default();
+        for micros in [1u64, 3, 3, 100, 900] {
+            reg.record_latency(Phase::Execute, Duration::from_micros(micros));
+        }
+        let summary = reg.latency_summary(Phase::Execute);
+        assert_eq!(summary.count, 5);
+        // Median sample (3 µs) lands in bucket [2, 4): upper bound 4 µs.
+        assert_eq!(summary.p50, Duration::from_micros(4));
+        // Largest sample (900 µs) lands in bucket [512, 1024).
+        assert_eq!(summary.max, Duration::from_micros(1024));
+    }
+
+    #[test]
+    fn journal_evicts_fifo_and_keeps_seq() {
+        let journal = Journal::new(3);
+        for i in 0..5 {
+            journal.push(entry(&format!("q{i}")));
+        }
+        assert_eq!(journal.len(), 3);
+        assert_eq!(journal.recorded(), 5);
+        let tail = journal.tail(None);
+        let seqs: Vec<u64> = tail.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5]);
+        assert_eq!(tail[0].sql, "q2");
+        assert_eq!(journal.tail(Some(2)).len(), 2);
+        assert_eq!(journal.last().unwrap().sql, "q4");
+    }
+
+    #[test]
+    fn normalize_predicate_replaces_literals_only() {
+        assert_eq!(normalize_predicate("a.name = 'Brad Pitt'"), "a.name = ?");
+        assert_eq!(normalize_predicate("m.year > 2000"), "m.year > ?");
+        assert_eq!(
+            normalize_predicate("a1.id > a2.id AND x = 'it''s'"),
+            "a1.id > a2.id AND x = ?"
+        );
+        // Identifiers containing digits survive; the probe parameter too.
+        assert_eq!(normalize_predicate("g2.mid = $0"), "g2.mid = $?");
+    }
+
+    #[test]
+    fn seeded_random_journal_inserts_stay_bounded_and_fifo() {
+        // Deterministic xorshift; no external RNG crates in this build.
+        let mut state = 0x9e37_79b9u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let cap = 1 + (next() % 64) as usize;
+        let journal = Journal::new(cap);
+        let total = 2_000 + (next() % 1_000);
+        for i in 0..total {
+            journal.push(entry(&format!("q{i}")));
+            assert!(journal.len() <= cap, "journal exceeded its capacity");
+        }
+        let tail = journal.tail(None);
+        assert_eq!(tail.len(), cap);
+        // FIFO eviction: the retained entries are exactly the newest `cap`,
+        // in insertion order.
+        for (offset, e) in tail.iter().enumerate() {
+            assert_eq!(e.seq, total - cap as u64 + 1 + offset as u64);
+            assert_eq!(e.sql, format!("q{}", e.seq - 1));
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_or_duplicate() {
+        use std::collections::HashSet;
+        use std::sync::Arc;
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 200;
+        let journal = Arc::new(Journal::new(THREADS * PER_THREAD));
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let journal = Arc::clone(&journal);
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        journal.push(entry(&format!("t{t}-{i}")));
+                    }
+                });
+            }
+        });
+        assert_eq!(journal.len(), THREADS * PER_THREAD);
+        assert_eq!(journal.recorded(), (THREADS * PER_THREAD) as u64);
+        let tail = journal.tail(None);
+        let seqs: HashSet<u64> = tail.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs.len(), THREADS * PER_THREAD, "duplicated sequence");
+        assert_eq!(*seqs.iter().min().unwrap(), 1);
+        assert_eq!(*seqs.iter().max().unwrap(), (THREADS * PER_THREAD) as u64);
+        // Every statement arrived exactly once.
+        let sqls: HashSet<&str> = tail.iter().map(|e| e.sql.as_str()).collect();
+        assert_eq!(sqls.len(), THREADS * PER_THREAD, "lost or duplicated entry");
+        // And the retained order is seq order (FIFO).
+        let ordered: Vec<u64> = tail.iter().map(|e| e.seq).collect();
+        let mut sorted = ordered.clone();
+        sorted.sort_unstable();
+        assert_eq!(ordered, sorted);
+    }
+
+    #[test]
+    fn concurrent_writers_with_eviction_keep_the_newest() {
+        use std::sync::Arc;
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 200;
+        let cap = 100;
+        let journal = Arc::new(Journal::new(cap));
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let journal = Arc::clone(&journal);
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        journal.push(entry(&format!("t{t}-{i}")));
+                    }
+                });
+            }
+        });
+        let total = (THREADS * PER_THREAD) as u64;
+        assert_eq!(journal.len(), cap);
+        assert_eq!(journal.recorded(), total);
+        let seqs: Vec<u64> = journal.tail(None).iter().map(|e| e.seq).collect();
+        // Exactly the newest `cap` sequence numbers survive, in order.
+        let expected: Vec<u64> = (total - cap as u64 + 1..=total).collect();
+        assert_eq!(seqs, expected);
+    }
+}

@@ -26,6 +26,9 @@ pub enum Statement {
     /// `EXPLAIN [ANALYZE] <select>` — ask the system to describe (and with
     /// ANALYZE, run and instrument) the query's plan instead of answering it.
     Explain(ExplainStatement),
+    /// `SHOW METRICS | QUERY LOG | PROFILE | MISESTIMATES` — ask the engine
+    /// to introspect its own observability state and talk about it.
+    Show(ShowStatement),
 }
 
 impl Statement {
@@ -44,6 +47,31 @@ impl Statement {
             _ => None,
         }
     }
+}
+
+/// A `SHOW <topic>` introspection request against the engine's
+/// observability state (metrics registry, query journal, span trees,
+/// misestimate ledger).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShowStatement {
+    /// Which slice of observability state to report.
+    pub kind: ShowKind,
+}
+
+/// The observability topics `SHOW` can report on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShowKind {
+    /// `SHOW METRICS` — engine-wide counters, gauges, and latency summaries.
+    Metrics,
+    /// `SHOW QUERY LOG [LIMIT n]` — the most recent journal entries.
+    QueryLog {
+        /// Optional cap on the number of entries reported.
+        limit: Option<u64>,
+    },
+    /// `SHOW PROFILE` — the last statement's trace-span tree.
+    Profile,
+    /// `SHOW MISESTIMATES` — the est-vs-actual misestimate ledger.
+    Misestimates,
 }
 
 /// An `EXPLAIN [ANALYZE]` request wrapping a query.

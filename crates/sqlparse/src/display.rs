@@ -20,6 +20,19 @@ impl fmt::Display for Statement {
             Statement::CreateIndex(s) => write!(f, "{s}"),
             Statement::DropIndex(s) => write!(f, "{s}"),
             Statement::Explain(s) => write!(f, "{s}"),
+            Statement::Show(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Display for ShowStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ShowKind::Metrics => write!(f, "SHOW METRICS"),
+            ShowKind::QueryLog { limit: None } => write!(f, "SHOW QUERY LOG"),
+            ShowKind::QueryLog { limit: Some(n) } => write!(f, "SHOW QUERY LOG LIMIT {n}"),
+            ShowKind::Profile => write!(f, "SHOW PROFILE"),
+            ShowKind::Misestimates => write!(f, "SHOW MISESTIMATES"),
         }
     }
 }

@@ -53,6 +53,12 @@ pub enum Keyword {
     Union,
     Explain,
     Analyze,
+    Show,
+    Metrics,
+    Query,
+    Log,
+    Profile,
+    Misestimates,
     Count,
     Sum,
     Avg,
@@ -110,6 +116,12 @@ impl Keyword {
             "UNION" => Keyword::Union,
             "EXPLAIN" => Keyword::Explain,
             "ANALYZE" => Keyword::Analyze,
+            "SHOW" => Keyword::Show,
+            "METRICS" => Keyword::Metrics,
+            "QUERY" => Keyword::Query,
+            "LOG" => Keyword::Log,
+            "PROFILE" => Keyword::Profile,
+            "MISESTIMATES" => Keyword::Misestimates,
             "COUNT" => Keyword::Count,
             "SUM" => Keyword::Sum,
             "AVG" => Keyword::Avg,

@@ -141,8 +141,52 @@ impl Parser {
                 let query = self.parse_select()?;
                 Ok(Statement::Explain(ExplainStatement { analyze, query }))
             }
+            Some(Token::Keyword(Keyword::Show, _)) => self.parse_show(),
             other => Err(self.error(format!("expected a statement, found {other:?}"))),
         }
+    }
+
+    fn parse_show(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword(Keyword::Show)?;
+        let kind = match self.peek() {
+            Some(Token::Keyword(Keyword::Metrics, _)) => {
+                self.pos += 1;
+                ShowKind::Metrics
+            }
+            Some(Token::Keyword(Keyword::Query, _)) => {
+                self.pos += 1;
+                self.expect_keyword(Keyword::Log)?;
+                let limit = if self.eat_keyword(Keyword::Limit) {
+                    match self.advance() {
+                        Some(Token::Number(n)) => Some(n.parse::<u64>().map_err(|_| {
+                            self.error("SHOW QUERY LOG LIMIT expects a non-negative integer")
+                        })?),
+                        other => {
+                            return Err(
+                                self.error(format!("LIMIT expects a number, found {other:?}"))
+                            )
+                        }
+                    }
+                } else {
+                    None
+                };
+                ShowKind::QueryLog { limit }
+            }
+            Some(Token::Keyword(Keyword::Profile, _)) => {
+                self.pos += 1;
+                ShowKind::Profile
+            }
+            Some(Token::Keyword(Keyword::Misestimates, _)) => {
+                self.pos += 1;
+                ShowKind::Misestimates
+            }
+            other => {
+                return Err(self.error(format!(
+                    "SHOW expects METRICS, QUERY LOG, PROFILE, or MISESTIMATES, found {other:?}"
+                )))
+            }
+        };
+        Ok(Statement::Show(ShowStatement { kind }))
     }
 
     fn parse_select(&mut self) -> Result<SelectStatement, ParseError> {
@@ -779,6 +823,38 @@ mod tests {
         assert!(rendered.starts_with("EXPLAIN ANALYZE SELECT"));
         let again = parse_statement(&rendered).unwrap();
         assert_eq!(stmt, again);
+    }
+
+    #[test]
+    fn parses_show_statements_and_round_trips() {
+        let cases = [
+            ("show metrics", ShowKind::Metrics),
+            ("SHOW QUERY LOG", ShowKind::QueryLog { limit: None }),
+            (
+                "show query log limit 5",
+                ShowKind::QueryLog { limit: Some(5) },
+            ),
+            ("Show Profile", ShowKind::Profile),
+            ("show misestimates", ShowKind::Misestimates),
+        ];
+        for (sql, kind) in cases {
+            let stmt = parse_statement(sql).unwrap();
+            assert_eq!(stmt, Statement::Show(ShowStatement { kind }), "{sql}");
+            // Round trip through display.
+            let again = parse_statement(&stmt.to_string()).unwrap();
+            assert_eq!(stmt, again, "{sql}");
+        }
+    }
+
+    #[test]
+    fn show_rejects_unknown_topics_but_keywords_stay_usable_as_names() {
+        let err = parse_statement("show tables").unwrap_err();
+        assert!(err.message.contains("SHOW expects"));
+        assert!(parse_statement("show query limit 3").is_err());
+        // The new keywords must stay non-reserved: `log` and `profile` are
+        // plausible column/alias names.
+        let q = parse_query("select p.log from PROFILE p where p.query = 1").unwrap();
+        assert_eq!(q.tuple_variables(), vec!["p"]);
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! The engine talking back about *itself*: run a few statements, then ask
+//! `SHOW METRICS`, `SHOW QUERY LOG`, `SHOW PROFILE`, and
+//! `SHOW MISESTIMATES` — each answers with a table and in the system's
+//! own voice.
+//!
+//! Run with `cargo run --bin show_introspection`.
+
+use datastore::sample::movie_database;
+use talkback::Talkback;
+
+fn main() -> Result<(), talkback::TalkbackError> {
+    let system = Talkback::new(movie_database());
+
+    // A small session for the engine to remember.
+    system.run_query(
+        "select m.title from MOVIES m, CAST c, ACTOR a \
+         where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'",
+    )?;
+    system.run_query("select m.title, m.year from MOVIES m where m.year >= 2000")?;
+    system.run_query("select g.genre, count(*) from GENRE g group by g.genre")?;
+
+    for show in [
+        "show metrics",
+        "show query log",
+        "show profile",
+        "show misestimates",
+    ] {
+        let report = system.execute_show(show)?;
+        println!("talkback> {show}");
+        println!("{}", report.table);
+        println!("{}\n", report.narration);
+    }
+
+    Ok(())
+}

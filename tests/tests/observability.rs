@@ -1,0 +1,314 @@
+//! End-to-end tests of the observability subsystem: executor counters
+//! accumulate across statements, the query journal remembers what ran, and
+//! the four `SHOW` statements answer with golden-pinned tables and
+//! narrations. Durations are the one unstable ingredient, so the goldens
+//! normalize every `N µs` / `N.N ms` / `N.NN s` token to `<t>` first.
+
+use datastore::obs::Counter;
+use datastore::sample::movie_database;
+use datastore::{ColumnDef, Database, TableSchema, Value};
+use talkback::Talkback;
+
+const Q1: &str = "select m.title from MOVIES m, CAST c, ACTOR a \
+     where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'";
+
+/// Replace every duration token (`412 µs`, `3.8 ms`, `1.20 s`) with `<t>`
+/// so golden comparisons survive timing noise. Hand-written — the workspace
+/// has no regex crate.
+fn normalize_durations(text: &str) -> String {
+    let mut out = String::new();
+    let mut rest = text;
+    'outer: while !rest.is_empty() {
+        let digits = rest.chars().take_while(|c| c.is_ascii_digit()).count();
+        if digits > 0 {
+            // Candidate number: digits, optionally a fraction.
+            let mut len = digits;
+            let after = &rest[len..];
+            if let Some(frac) = after.strip_prefix('.') {
+                let frac_digits = frac.chars().take_while(|c| c.is_ascii_digit()).count();
+                if frac_digits > 0 {
+                    len += 1 + frac_digits;
+                }
+            }
+            for unit in [" µs", " ms", " s"] {
+                if let Some(tail) = rest[len..].strip_prefix(unit) {
+                    // The unit must end at a word boundary ("1 s." yes,
+                    // "1 scan" no).
+                    if !tail.chars().next().is_some_and(char::is_alphanumeric) {
+                        out.push_str("<t>");
+                        rest = tail;
+                        continue 'outer;
+                    }
+                }
+            }
+            out.push_str(&rest[..len]);
+            rest = &rest[len..];
+        } else {
+            let c = rest.chars().next().unwrap();
+            out.push(c);
+            rest = &rest[c.len_utf8()..];
+        }
+    }
+    out
+}
+
+#[test]
+fn duration_normalizer_catches_each_unit() {
+    assert_eq!(
+        normalize_durations("parse 412 µs, plan 3.8 ms, run 1.20 s done"),
+        "parse <t>, plan <t>, run <t> done"
+    );
+    assert_eq!(
+        normalize_durations("6 scans in 2 batches"),
+        "6 scans in 2 batches"
+    );
+}
+
+#[test]
+fn counters_accumulate_across_statements() {
+    let system = Talkback::new(movie_database());
+    let obs = system.database().obs();
+    assert_eq!(obs.counter(Counter::QueriesExecuted), 0);
+
+    system.run_query(Q1).unwrap();
+    assert_eq!(obs.counter(Counter::QueriesExecuted), 1);
+    // Q1 scans ACTOR (6) and CAST (12) and probes MOVIES by PK.
+    assert!(obs.counter(Counter::RowsScanned) >= 18);
+    assert_eq!(obs.counter(Counter::RowsEmitted), 2);
+    assert!(obs.counter(Counter::IndexProbes) >= 1);
+
+    let scanned = obs.counter(Counter::RowsScanned);
+    system.run_query("select m.title from MOVIES m").unwrap();
+    assert_eq!(obs.counter(Counter::QueriesExecuted), 2);
+    assert!(obs.counter(Counter::RowsScanned) > scanned);
+
+    // The planner reported its choices too.
+    let decisions = obs.decisions();
+    assert!(decisions.get("start").copied().unwrap_or(0) >= 1);
+    assert!(decisions.get("access_path").copied().unwrap_or(0) >= 1);
+}
+
+#[test]
+fn disabled_registry_freezes_every_surface() {
+    let system = Talkback::new(movie_database());
+    let obs = system.database().obs();
+    obs.set_enabled(false);
+    system.run_query(Q1).unwrap();
+    assert_eq!(obs.counter(Counter::QueriesExecuted), 0);
+    assert_eq!(obs.counter(Counter::RowsScanned), 0);
+    assert!(obs.journal().is_empty());
+    assert!(obs.decisions().is_empty());
+
+    obs.set_enabled(true);
+    system.run_query(Q1).unwrap();
+    assert_eq!(obs.counter(Counter::QueriesExecuted), 1);
+    assert_eq!(obs.journal().len(), 1);
+}
+
+#[test]
+fn clones_share_one_registry() {
+    let system = Talkback::new(movie_database());
+    let clone = system.clone();
+    clone.run_query(Q1).unwrap();
+    // The clone's execution is visible through the original — one engine,
+    // one memory.
+    assert_eq!(system.database().obs().counter(Counter::QueriesExecuted), 1);
+}
+
+#[test]
+fn show_metrics_golden_table_and_narration() {
+    let system = Talkback::new(movie_database());
+    system.run_query(Q1).unwrap();
+    system.run_query("select m.title from MOVIES m").unwrap();
+    let report = system.execute_show("show metrics").unwrap();
+
+    let table = normalize_durations(&report.table);
+    // Golden rows: columns are whitespace-padded, so compare token-wise.
+    let row = |kind: &str, metric: &str| -> Vec<String> {
+        table
+            .lines()
+            .map(|l| l.split_whitespace().map(str::to_string).collect::<Vec<_>>())
+            .find(|t| t.first().is_some_and(|k| k == kind) && t.get(1).is_some_and(|m| m == metric))
+            .unwrap_or_else(|| panic!("no {kind}/{metric} row in:\n{table}"))
+    };
+    // Two deterministic statements: Q1 (2 rows) and the full scan (10).
+    assert_eq!(row("counter", "queries_executed")[2], "2");
+    assert_eq!(row("counter", "rows_emitted")[2], "12");
+    assert_eq!(row("counter", "index_probes")[2], "2");
+    assert_eq!(row("counter", "hash_build_rows")[2], "12");
+    assert_eq!(row("decision", "start")[2], "1");
+    assert_eq!(row("gauge", "journal_entries")[2], "2");
+    assert_eq!(
+        row("latency", "total")[2..],
+        ["count=2", "p50≤<t>", "p99≤<t>", "max≤<t>"]
+    );
+
+    let narration = normalize_durations(&report.narration);
+    assert!(
+        narration.starts_with("Since startup I have executed two queries"),
+        "{narration}"
+    );
+    assert!(narration.contains("to return twelve"), "{narration}");
+    assert!(
+        narration.contains("my median statement finishes within <t>"),
+        "{narration}"
+    );
+    assert!(narration.contains("My indexes answered"), "{narration}");
+    assert!(narration.contains("My planner recorded"), "{narration}");
+}
+
+#[test]
+fn show_query_log_golden_table_and_narration() {
+    let system = Talkback::new(movie_database());
+    system.run_query("select m.title from MOVIES m").unwrap();
+    system.run_query(Q1).unwrap();
+    let report = system.execute_show("show query log").unwrap();
+
+    let table = normalize_durations(&report.table);
+    let lines: Vec<&str> = table.lines().collect();
+    assert_eq!(lines.len(), 3, "{table}");
+    assert!(lines[0].starts_with("seq  statement"), "{}", lines[0]);
+    assert!(lines[1].starts_with("1    select m.title from MOVIES m "));
+    assert!(lines[1].contains(" 10    <t>"), "{}", lines[1]);
+    assert!(lines[2].starts_with("2    select m.title from MOVIES m, CAST c, ACTOR a"));
+    assert!(lines[2].contains(" 2     <t>"), "{}", lines[2]);
+
+    let narration = normalize_durations(&report.narration);
+    assert!(
+        narration.starts_with("I remember the last two statements."),
+        "{narration}"
+    );
+    assert!(
+        narration.contains("The slowest of them, <t>, was"),
+        "{narration}"
+    );
+
+    // LIMIT keeps the newest entries.
+    let limited = system.execute_show("show query log limit 1").unwrap();
+    let table = normalize_durations(&limited.table);
+    assert_eq!(table.lines().count(), 2, "{table}");
+    assert!(table.lines().nth(1).unwrap().starts_with('2'), "{table}");
+}
+
+#[test]
+fn show_profile_golden_span_tree() {
+    let system = Talkback::new(movie_database());
+    system.run_query(Q1).unwrap();
+    let report = system.execute_show("show profile").unwrap();
+
+    // Span column only — times vary, structure must not. Normalizing first
+    // turns the time column into `<t>`, a clean place to cut.
+    let table = normalize_durations(&report.table);
+    let spans: Vec<String> = table
+        .lines()
+        .skip(1)
+        .map(|l| {
+            let cut = l.find("  <t>").unwrap_or(l.len());
+            l[..cut].trim_end().to_string()
+        })
+        .collect();
+    let spans: Vec<&str> = spans.iter().map(String::as_str).collect();
+    assert_eq!(
+        spans,
+        [
+            "statement",
+            "  parse",
+            "  plan",
+            "  execute",
+            "    project: m.title",
+            "      index nested-loop join: c.mid = m.id [index=pk_movies]",
+            "        hash join: a.id = c.aid",
+            "          filter: a.name = 'Brad Pitt'",
+            "            scan: ACTOR as a",
+            "          scan: CAST as c",
+            "        index probe: MOVIES as m [index=pk_movies] (2 probes, 2 matches)",
+        ],
+        "{}",
+        report.table
+    );
+
+    let narration = normalize_durations(&report.narration);
+    assert!(
+        narration.starts_with("My last statement was"),
+        "{narration}"
+    );
+    assert!(
+        narration.contains("took <t> end to end — <t> parsing, <t> planning, and <t> executing"),
+        "{narration}"
+    );
+    assert!(narration.contains("returned two rows."), "{narration}");
+    assert!(
+        narration.contains("did the heaviest lifting at <t>"),
+        "{narration}"
+    );
+}
+
+/// A table where the uniform-NDV assumption is badly wrong: 99 rows share
+/// one genre and a single row holds another, so `genre = 'noir'` is
+/// estimated at ~50 rows but returns 1 — a flagged misestimate.
+fn skewed_database() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "FILMS",
+            vec![
+                ColumnDef::new("id", DataType::Integer),
+                ColumnDef::new("genre", DataType::Text),
+            ],
+        )
+        .with_primary_key(&["id"]),
+    )
+    .unwrap();
+    for i in 0..100 {
+        let genre = if i == 0 { "noir" } else { "action" };
+        db.insert("FILMS", vec![Value::int(i), Value::text(genre)])
+            .unwrap();
+    }
+    db
+}
+use datastore::DataType;
+
+#[test]
+fn show_misestimates_ledger_and_narration() {
+    let system = Talkback::new(skewed_database());
+    system
+        .run_query("select f.id from FILMS f where f.genre = 'noir'")
+        .unwrap();
+
+    let report = system.execute_show("show misestimates").unwrap();
+    let row = report
+        .table
+        .lines()
+        .find(|l| l.contains("FILMS"))
+        .expect("a FILMS ledger row");
+    // The predicate shape is normalized: the literal became `?`.
+    assert!(row.contains("f.genre = ?"), "{row}");
+    assert!(row.contains("50×"), "{row}");
+
+    // The 50× error is charged to both the filter and the project above it.
+    assert!(
+        report
+            .narration
+            .contains("I have caught my own estimates out two times across two predicate shapes."),
+        "{}",
+        report.narration
+    );
+    assert!(
+        report
+            .narration
+            .contains("have misestimated FILMS by 50× on average"),
+        "{}",
+        report.narration
+    );
+    assert!(
+        report
+            .narration
+            .contains("last time I expected 50 rows and saw one."),
+        "{}",
+        report.narration
+    );
+
+    // The journal entry carries the same confession.
+    let log = system.execute_show("show query log").unwrap();
+    assert!(log.table.contains("50× on"), "{}", log.table);
+}
