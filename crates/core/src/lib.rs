@@ -109,8 +109,12 @@ pub use query::plan_explain::{explain_plan, explain_plan_with, PlanExplanation};
 pub use query::show::{execute_show, ShowReport};
 pub use query::{QueryTranslation, QueryTranslator};
 
-use datastore::exec::{execute_with_stats, ResultSet};
-use datastore::Database;
+use datastore::exec::{execute_with_stats, Plan, ResultSet};
+use datastore::fingerprint::{fnv, FNV_OFFSET};
+use datastore::obs::Counter;
+use datastore::{Database, ParamKind, Value};
+use sqlparse::{Literal, NormalizedStatement, SelectStatement};
+use std::collections::HashMap;
 
 /// The facade: one database plus the content and query translators,
 /// providing the "talk back" operations of the paper in one place.
@@ -190,16 +194,82 @@ impl Talkback {
     /// by phase (parse → plan → execute) and recorded into the database's
     /// observability registry, so `SHOW QUERY LOG` / `SHOW PROFILE` can talk
     /// about it afterwards.
+    ///
+    /// Two adaptive layers run by default (both are
+    /// [`PlannerOptions`] A/B knobs):
+    ///
+    /// * **Plan cache** — the statement text is literal-normalized and
+    ///   hashed; a repeat of a cached shape re-binds the new literals into
+    ///   the cached physical template and skips lexing, parsing, and
+    ///   planning entirely. Templates are invalidated by DDL, stats
+    ///   refresh, and absorbed feedback through the database's adaptive
+    ///   epoch.
+    /// * **Cardinality feedback** — after execution, per-filter est-vs.-
+    ///   actual deltas that cleared the misestimate threshold are folded
+    ///   into the feedback store, so the *next* plan of that predicate
+    ///   shape starts from the observed selectivity (and says so).
     pub fn run_query(&self, sql: &str) -> Result<ResultSet, TalkbackError> {
+        self.run_query_with(sql, PlannerOptions::default())
+    }
+
+    /// [`Talkback::run_query`] with explicit planner options — the A/B entry
+    /// point for pinning the feedback, plan-cache, and parallelism knobs.
+    pub fn run_query_with(
+        &self,
+        sql: &str,
+        options: PlannerOptions,
+    ) -> Result<ResultSet, TalkbackError> {
         use std::time::Instant;
-        let options = PlannerOptions::default();
         let t0 = Instant::now();
+        let adaptive = self.db.adaptive();
+        // The cache key is computed from the raw text alone; planning state
+        // is only consulted on a miss.
+        let normalized = if options.use_plan_cache {
+            sqlparse::normalize_statement(sql)
+        } else {
+            None
+        };
+        let epoch = adaptive.epoch();
+        if let Some(n) = &normalized {
+            let key = plan_cache_key(&n.text, &options);
+            if let Some(kinds) = param_kinds(&n.literals) {
+                if let Some(template) = adaptive.plan_cache().lookup(key, epoch, &kinds) {
+                    self.db.obs().incr(Counter::PlanCacheHits);
+                    let plan = template.bind_params(&literal_bindings(&n.literals));
+                    let t2 = Instant::now();
+                    let (result, profile) = execute_with_stats(&self.db, &plan)?;
+                    let t3 = Instant::now();
+                    if options.use_feedback {
+                        adaptive.absorb(&profile, options.misestimate_factor);
+                    }
+                    self.db.obs().record_statement(
+                        sql,
+                        &profile,
+                        datastore::obs::StatementPhases {
+                            parse: std::time::Duration::ZERO,
+                            plan: t2 - t0,
+                            execute: t3 - t2,
+                        },
+                        result.len() as u64,
+                        options.misestimate_factor,
+                    );
+                    return Ok(result);
+                }
+                self.db.obs().incr(Counter::PlanCacheMisses);
+            }
+        }
         let query = sqlparse::parse_query(sql)?;
         let t1 = Instant::now();
         let planned = plan_query_with(&self.db, &query, options)?;
         let t2 = Instant::now();
+        if let Some(n) = &normalized {
+            self.try_cache_plan(&query, n, &planned.plan, options, epoch);
+        }
         let (result, profile) = execute_with_stats(&self.db, &planned.plan)?;
         let t3 = Instant::now();
+        if options.use_feedback {
+            adaptive.absorb(&profile, options.misestimate_factor);
+        }
         self.db.obs().record_statement(
             sql,
             &profile,
@@ -212,6 +282,50 @@ impl Talkback {
             options.misestimate_factor,
         );
         Ok(result)
+    }
+
+    /// Try to install a literal-normalized template for a just-planned
+    /// statement. The template is trusted only when (a) the AST lifts
+    /// exactly the literals the text scanner extracted, in the same order —
+    /// so future text-extracted literals bind positionally — and (b)
+    /// re-planning the parameterized statement and re-binding the original
+    /// literals reproduces the fresh plan byte-for-byte, estimates and all.
+    /// Any divergence means the plan depends on a literal's *value* (a
+    /// range bound steering the histogram, a hash-index type check, …) and
+    /// the statement silently stays uncached.
+    fn try_cache_plan(
+        &self,
+        query: &SelectStatement,
+        normalized: &NormalizedStatement,
+        fresh: &Plan,
+        options: PlannerOptions,
+        epoch: u64,
+    ) {
+        let Some((template_stmt, lits)) = sqlparse::parameterize_select(query) else {
+            return;
+        };
+        if lits != normalized.literals {
+            return;
+        }
+        let Some(kinds) = param_kinds(&lits) else {
+            return;
+        };
+        let Ok(template) = planner::plan_query_silent(&self.db, &template_stmt, options) else {
+            return;
+        };
+        let rebound = template.plan.bind_params(&literal_bindings(&lits));
+        if format!("{rebound:?}") != format!("{fresh:?}") {
+            return;
+        }
+        let evicted = self.db.adaptive().plan_cache().insert(
+            plan_cache_key(&normalized.text, &options),
+            template.plan,
+            kinds,
+            epoch,
+        );
+        if evicted > 0 {
+            self.db.obs().add(Counter::PlanCacheEvictions, evicted);
+        }
     }
 
     /// Execute a `SHOW` introspection statement against the observability
@@ -360,6 +474,73 @@ impl Talkback {
         let chunks = tts.synthesize(&narrative);
         Ok((recognition, narrative, chunks))
     }
+}
+
+/// The plan-cache key: FNV-1a over the literal-normalized statement text
+/// plus every planner knob that can change the chosen plan — the same text
+/// planned under different options must not share a template.
+fn plan_cache_key(text: &str, options: &PlannerOptions) -> u64 {
+    let mut hash = FNV_OFFSET;
+    fnv(&mut hash, text.as_bytes());
+    fnv(
+        &mut hash,
+        &[
+            options.reorder_joins as u8,
+            options.decorrelate_subqueries as u8,
+            options.use_indexes as u8,
+            options.use_vectorized as u8,
+            options.use_feedback as u8,
+        ],
+    );
+    fnv(&mut hash, &(options.parallelism as u64).to_le_bytes());
+    fnv(
+        &mut hash,
+        &options.parallel_row_threshold.to_bits().to_le_bytes(),
+    );
+    fnv(
+        &mut hash,
+        &options.misestimate_factor.to_bits().to_le_bytes(),
+    );
+    fnv(
+        &mut hash,
+        &(options.parallel_build_min as u64).to_le_bytes(),
+    );
+    fnv(&mut hash, &(options.apply_cache_cap as u64).to_le_bytes());
+    fnv(&mut hash, &options.index_scan_ratio.to_bits().to_le_bytes());
+    fnv(&mut hash, &options.inlj_ratio.to_bits().to_le_bytes());
+    hash
+}
+
+/// The cached template's parameter signature. `None` for literal kinds the
+/// text scanner never extracts (defensive; it only produces these three).
+fn param_kinds(literals: &[Literal]) -> Option<Vec<ParamKind>> {
+    literals
+        .iter()
+        .map(|l| match l {
+            Literal::Integer(_) => Some(ParamKind::Integer),
+            Literal::Float(_) => Some(ParamKind::Float),
+            Literal::String(_) => Some(ParamKind::Text),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Positional `$i → value` bindings for a template's extracted literals.
+fn literal_bindings(literals: &[Literal]) -> HashMap<u32, Value> {
+    literals
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let value = match l {
+                Literal::Integer(v) => Value::Integer(*v),
+                Literal::Float(v) => Value::Float(*v),
+                Literal::String(s) => Value::Text(s.clone()),
+                Literal::Boolean(b) => Value::Boolean(*b),
+                Literal::Null => Value::Null,
+            };
+            (i as u32, value)
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -136,9 +136,12 @@ pub(super) fn range_shape(op: BinaryOperator, term: BoundTerm) -> Option<SargSha
 
 /// Recognize `column <cmp> literal` (either side) and
 /// `column BETWEEN literal AND literal` as index-probe shapes, with the
-/// conjunct's estimated selectivity attached.
+/// conjunct's estimated selectivity attached. Selectivity goes through the
+/// feedback override, so a shape the engine has already caught misestimated
+/// can flip the scan-vs-probe verdict on its next plan.
 fn as_sarg(
     estimator: &Estimator,
+    rel: &Relation,
     stats: &datastore::stats::TableStats,
     conjunct: &Expr,
 ) -> Option<Sarg> {
@@ -150,8 +153,28 @@ fn as_sarg(
             column: col.column.clone(),
             shape,
             literal,
-            selectivity: estimator.conjunct_selectivity(stats, conjunct),
+            selectivity: estimator.effective_conjunct_selectivity(rel, stats, conjunct),
         });
+    }
+    // A plan-cache parameter probes like the equality literal it stands for
+    // (same 1/NDV selectivity); with no plan-time value to type-check,
+    // `match_index` will admit it on ordered indexes only.
+    if let Expr::BinaryOp {
+        left,
+        op: BinaryOperator::Eq,
+        right,
+    } = conjunct
+    {
+        if let (Expr::Column(c), Expr::Param(n)) | (Expr::Param(n), Expr::Column(c)) =
+            (left.as_ref(), right.as_ref())
+        {
+            return Some(Sarg {
+                column: c.column.clone(),
+                shape: SargShape::Eq(BoundTerm::Param(*n)),
+                literal: None,
+                selectivity: estimator.effective_conjunct_selectivity(rel, stats, conjunct),
+            });
+        }
     }
     if let Expr::Between {
         expr,
@@ -170,7 +193,7 @@ fn as_sarg(
                     hi: Some((BoundTerm::Value(literal_value(hi)), true)),
                 },
                 literal: None,
-                selectivity: estimator.conjunct_selectivity(stats, conjunct),
+                selectivity: estimator.effective_conjunct_selectivity(rel, stats, conjunct),
             });
         }
     }
@@ -330,7 +353,7 @@ pub(super) fn choose_scan_path(
     let stats = db.table_stats(&rel.table)?;
     let mut sargs: Vec<(SargSource, Sarg)> = Vec::new();
     for (i, conjunct) in rel.pushed.iter().enumerate() {
-        if let Some(sarg) = as_sarg(estimator, &stats, conjunct) {
+        if let Some(sarg) = as_sarg(estimator, rel, &stats, conjunct) {
             sargs.push((SargSource::Pushed(i), sarg));
         }
     }

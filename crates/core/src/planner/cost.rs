@@ -25,6 +25,7 @@
 //! comparison stays an apples-to-apples one.
 
 use super::logical::{JoinGraph, Relation};
+use datastore::adaptive::AdaptiveState;
 use datastore::stats::{join_cardinality, TableStats, DEFAULT_SELECTIVITY};
 use datastore::Database;
 use sqlparse::ast::{BinaryOperator, Expr, Literal, UnaryOperator};
@@ -196,6 +197,26 @@ pub enum PlanDecision {
         /// Why — the eligibility verdict in plain words.
         reason: String,
     },
+    /// A histogram estimate overridden by observed cardinality feedback: a
+    /// previous run of this predicate shape was flagged as a misestimate, the
+    /// executor's actual row count was absorbed, and this plan was costed
+    /// with the observed selectivity instead — so the narration can say
+    /// "last time I expected 10 rows here and saw 4,200, so this time I
+    /// planned differently".
+    Feedback {
+        /// Tuple variable of the corrected relation.
+        alias: String,
+        /// The relation the corrected filter reads.
+        table: String,
+        /// The literal-normalized predicate shape ("m.year = ?").
+        shape: String,
+        /// Rows the optimizer expected the last time this shape was flagged.
+        expected: u64,
+        /// Rows the executor actually produced that time.
+        actual: u64,
+        /// The observed selectivity this plan was costed with.
+        selectivity: f64,
+    },
     /// Whether a hash (semi-/anti-)join's build side qualifies for the
     /// hash-partitioned parallel build, per the planner's `build_min` knob.
     PartitionedBuild {
@@ -223,6 +244,7 @@ impl PlanDecision {
             PlanDecision::SortElided { .. } => "sort_elided",
             PlanDecision::Parallel { .. } => "parallel",
             PlanDecision::Vectorize { .. } => "vectorize",
+            PlanDecision::Feedback { .. } => "feedback",
             PlanDecision::PartitionedBuild { .. } => "partitioned_build",
         }
     }
@@ -317,6 +339,13 @@ impl JoinOrder {
 pub struct Estimator<'a> {
     db: &'a Database,
     stats: std::cell::RefCell<std::collections::HashMap<String, Option<Arc<TableStats>>>>,
+    /// Cardinality-feedback store consulted *before* histogram estimation
+    /// (`None` when the feedback loop is disabled).
+    feedback: Option<Arc<AdaptiveState>>,
+    /// Overrides actually applied, deduplicated by `(table, shape)` — the
+    /// enumerator, the decision replay, and the physical layer all walk the
+    /// same relations, and one correction should narrate once.
+    overrides: std::cell::RefCell<Vec<PlanDecision>>,
 }
 
 impl<'a> Estimator<'a> {
@@ -324,7 +353,64 @@ impl<'a> Estimator<'a> {
         Estimator {
             db,
             stats: std::cell::RefCell::new(std::collections::HashMap::new()),
+            feedback: None,
+            overrides: std::cell::RefCell::new(Vec::new()),
         }
+    }
+
+    /// An estimator that consults the database's cardinality-feedback store
+    /// before trusting histograms: a predicate shape whose last execution
+    /// was flagged as misestimated is costed at its *observed* selectivity.
+    pub fn with_feedback(db: &'a Database) -> Estimator<'a> {
+        Estimator {
+            feedback: Some(Arc::clone(db.adaptive())),
+            ..Estimator::new(db)
+        }
+    }
+
+    /// The [`PlanDecision::Feedback`] records for every override this
+    /// estimator applied, in first-use order. Draining resets the list.
+    pub fn take_feedback_decisions(&self) -> Vec<PlanDecision> {
+        std::mem::take(&mut *self.overrides.borrow_mut())
+    }
+
+    /// The observed selectivity for one pushed conjunct, when the feedback
+    /// store has an entry for its `(table, shape)` key; records the
+    /// correction (once per key) for narration.
+    fn feedback_selectivity(&self, rel: &Relation, conjunct: &Expr) -> Option<f64> {
+        let adaptive = self.feedback.as_ref()?;
+        let shape = conjunct_shape(self.db, rel, conjunct)?;
+        let entry = adaptive.feedback_for(&rel.table, &shape)?;
+        let mut overrides = self.overrides.borrow_mut();
+        let seen = overrides.iter().any(|d| {
+            matches!(d, PlanDecision::Feedback { table, shape: s, .. }
+                     if *table == rel.table && *s == shape)
+        });
+        if !seen {
+            overrides.push(PlanDecision::Feedback {
+                alias: rel.alias.clone(),
+                table: rel.table.clone(),
+                shape,
+                expected: entry.last_estimated,
+                actual: entry.last_actual,
+                selectivity: entry.selectivity,
+            });
+        }
+        Some(entry.selectivity)
+    }
+
+    /// Selectivity of one pushed conjunct with the feedback override applied
+    /// when one exists, falling back to histogram estimation. The single
+    /// source for both the enumerator's traces and the physical layer's
+    /// post-probe filter estimates, so the two always agree.
+    pub fn effective_conjunct_selectivity(
+        &self,
+        rel: &Relation,
+        stats: &TableStats,
+        conjunct: &Expr,
+    ) -> f64 {
+        self.feedback_selectivity(rel, conjunct)
+            .unwrap_or_else(|| self.conjunct_selectivity(stats, conjunct))
     }
 
     /// Memoized per-table statistics lookup.
@@ -350,7 +436,7 @@ impl<'a> Estimator<'a> {
                     .pushed
                     .iter()
                     .map(|conjunct| {
-                        rows *= self.conjunct_selectivity(&stats, conjunct);
+                        rows *= self.effective_conjunct_selectivity(rel, &stats, conjunct);
                         rows
                     })
                     .collect();
@@ -501,6 +587,24 @@ fn selectivity(stats: &TableStats, expr: &Expr) -> f64 {
 /// Selectivity of a `column <op> literal` comparison (either operand
 /// order), from the column's NDV and histogram.
 fn comparison_selectivity(stats: &TableStats, expr: &Expr) -> f64 {
+    // A plan-cache parameter stands for an equality literal whose value the
+    // estimate never consults — the same 1/NDV the literal would get, so a
+    // parameterized template plans identically to its fresh counterpart.
+    if let Expr::BinaryOp {
+        left,
+        op: BinaryOperator::Eq,
+        right,
+    } = expr
+    {
+        if let (Expr::Column(c), Expr::Param(_)) | (Expr::Param(_), Expr::Column(c)) =
+            (left.as_ref(), right.as_ref())
+        {
+            return stats
+                .column(&c.column)
+                .map(|cs| cs.eq_selectivity())
+                .unwrap_or(DEFAULT_SELECTIVITY);
+        }
+    }
     let Some((col, op, lit)) = expr.as_selection_predicate() else {
         return DEFAULT_SELECTIVITY;
     };
@@ -539,6 +643,154 @@ fn literal_as_f64(l: &Literal) -> Option<f64> {
         Literal::Float(f) => Some(*f),
         _ => None,
     }
+}
+
+/// The feedback-store key shape of a pushed conjunct, built at plan time to
+/// match byte-for-byte what the executor's rendered filter detail normalizes
+/// to: `feedback_shape(render_expr(lowered))`. Columns render in the
+/// executor's qualified `alias.name` form (schema spelling), literals and
+/// plan parameters as `?`, operators and structure exactly as
+/// `datastore::exec::stream::render_expr` prints the lowered expression.
+/// `None` for shapes the builder does not cover — the lookup then simply
+/// misses, which is always safe.
+fn conjunct_shape(db: &Database, rel: &Relation, conjunct: &Expr) -> Option<String> {
+    let table = db.table(&rel.table)?;
+    let mut out = String::new();
+    shape_into(&rel.alias, table.schema(), conjunct, &mut out)?;
+    Some(out)
+}
+
+fn shape_into(
+    alias: &str,
+    schema: &datastore::TableSchema,
+    expr: &Expr,
+    out: &mut String,
+) -> Option<()> {
+    match expr {
+        Expr::Column(c) => {
+            // Pushed conjuncts are single-table, so the reference resolves
+            // by name against this relation's schema; the executor renders
+            // it with the schema's spelling under the scan's alias.
+            let col = schema
+                .columns
+                .iter()
+                .find(|col| col.name.eq_ignore_ascii_case(&c.column))?;
+            out.push_str(alias);
+            out.push('.');
+            out.push_str(&col.name);
+        }
+        // Number and string literals normalize to `?`; booleans and NULL
+        // render as words the normalizer keeps, so bail rather than guess.
+        Expr::Literal(Literal::Integer(_) | Literal::Float(_) | Literal::String(_))
+        | Expr::Param(_) => out.push('?'),
+        Expr::Literal(_) => return None,
+        Expr::BinaryOp { left, op, right } => match op {
+            BinaryOperator::And => {
+                shape_into(alias, schema, left, out)?;
+                out.push_str(" AND ");
+                shape_into(alias, schema, right, out)?;
+            }
+            BinaryOperator::Or => {
+                out.push('(');
+                shape_into(alias, schema, left, out)?;
+                out.push_str(" OR ");
+                shape_into(alias, schema, right, out)?;
+                out.push(')');
+            }
+            other => {
+                shape_into(alias, schema, left, out)?;
+                out.push(' ');
+                out.push_str(other.sql());
+                out.push(' ');
+                shape_into(alias, schema, right, out)?;
+            }
+        },
+        Expr::UnaryOp {
+            op: UnaryOperator::Not,
+            expr,
+        } => {
+            out.push_str("NOT (");
+            shape_into(alias, schema, expr, out)?;
+            out.push(')');
+        }
+        Expr::IsNull { expr, negated } => {
+            if *negated {
+                out.push_str("NOT (");
+                shape_into(alias, schema, expr, out)?;
+                out.push_str(" IS NULL)");
+            } else {
+                shape_into(alias, schema, expr, out)?;
+                out.push_str(" IS NULL");
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            if *negated {
+                out.push_str("NOT (");
+            }
+            shape_into(alias, schema, expr, out)?;
+            out.push_str(" IN (");
+            for (i, item) in list.iter().enumerate() {
+                if !matches!(
+                    item,
+                    Expr::Literal(Literal::Integer(_) | Literal::Float(_) | Literal::String(_))
+                ) {
+                    return None;
+                }
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push('?');
+            }
+            out.push(')');
+            if *negated {
+                out.push(')');
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            // Lowered as two comparisons ANDed together; rendered the same.
+            if *negated {
+                out.push_str("NOT (");
+            }
+            shape_into(alias, schema, expr, out)?;
+            out.push_str(" >= ");
+            shape_into(alias, schema, low, out)?;
+            out.push_str(" AND ");
+            shape_into(alias, schema, expr, out)?;
+            out.push_str(" <= ");
+            shape_into(alias, schema, high, out)?;
+            if *negated {
+                out.push(')');
+            }
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            if !matches!(pattern.as_ref(), Expr::Literal(Literal::String(_))) {
+                return None;
+            }
+            if *negated {
+                out.push_str("NOT (");
+            }
+            shape_into(alias, schema, expr, out)?;
+            out.push_str(" LIKE ?");
+            if *negated {
+                out.push(')');
+            }
+        }
+        _ => return None,
+    }
+    Some(())
 }
 
 /// Simulate a fixed left-deep order, producing its per-step estimates.

@@ -110,6 +110,18 @@ pub struct PlannerOptions {
     /// (vs. building a hash table over the inner side). Defaults to
     /// [`INDEX_PROBE_ROW_COST`].
     pub inlj_ratio: f64,
+    /// Consult the cardinality-feedback store before histogram estimation
+    /// (on by default): a predicate shape whose last execution misestimated
+    /// by ≥ `misestimate_factor` plans with its *observed* selectivity
+    /// instead, recording a [`PlanDecision::Feedback`]. Off restores purely
+    /// statistical estimates — the A/B baseline.
+    pub use_feedback: bool,
+    /// Cache literal-normalized physical plans per database (on by default):
+    /// repeated statements that differ only in equality literals skip
+    /// lexing, parsing, and planning entirely, re-binding the new literals
+    /// into the cached template. Invalidated by DDL, stats refresh, and
+    /// feedback absorption through the database's adaptive epoch.
+    pub use_plan_cache: bool,
 }
 
 impl Default for PlannerOptions {
@@ -128,6 +140,8 @@ impl Default for PlannerOptions {
             apply_cache_cap: datastore::exec::APPLY_CACHE_CAP,
             index_scan_ratio: INDEX_PROBE_ROW_COST,
             inlj_ratio: INDEX_PROBE_ROW_COST,
+            use_feedback: true,
+            use_plan_cache: true,
         }
     }
 }
@@ -170,6 +184,26 @@ pub fn plan_query_with(
     query: &SelectStatement,
     options: PlannerOptions,
 ) -> Result<PlannedQuery, TalkbackError> {
+    plan_query_impl(db, query, options, true)
+}
+
+/// [`plan_query_with`] without recording anything into the observability
+/// registry — for internal re-planning (plan-cache template verification),
+/// which must not double-count the user's one statement.
+pub(crate) fn plan_query_silent(
+    db: &Database,
+    query: &SelectStatement,
+    options: PlannerOptions,
+) -> Result<PlannedQuery, TalkbackError> {
+    plan_query_impl(db, query, options, false)
+}
+
+fn plan_query_impl(
+    db: &Database,
+    query: &SelectStatement,
+    options: PlannerOptions,
+    record: bool,
+) -> Result<PlannedQuery, TalkbackError> {
     let effective = flatten_in_subqueries(query).unwrap_or_else(|| query.clone());
     let bound = bind_query(db.catalog(), &effective)?;
     if bound.tables.is_empty() {
@@ -181,7 +215,11 @@ pub fn plan_query_with(
     // subquery pass attaches them as dedicated operators during lowering.
     let (stripped, where_subs, having_subs) = subquery::split_subqueries(&effective);
     let graph = logical::build_join_graph(db, &stripped, &bound);
-    let estimator = cost::Estimator::new(db);
+    let estimator = if options.use_feedback {
+        cost::Estimator::with_feedback(db)
+    } else {
+        cost::Estimator::new(db)
+    };
     // Relations a decorrelatable EXISTS/IN will thin out downstream enter
     // the enumeration at their semi-join-reduced cardinality.
     let hints = subquery::semi_join_hints(db, &estimator, &graph, &bound, &where_subs);
@@ -212,10 +250,27 @@ pub fn plan_query_with(
     // top-k below them when profitable) and fan out qualifying applies,
     // recording each choice (including the choice not to).
     let plan = parallel::parallelize_plan(plan, &options, &mut decisions);
+    // Feedback overrides precede every other choice temporally — they
+    // changed the estimates the enumeration ran on — so they lead the
+    // decision list; each is also counted and marked on the misestimate
+    // ledger so `SHOW MISESTIMATES` can report the correction.
+    let overrides = estimator.take_feedback_decisions();
+    if record {
+        for decision in &overrides {
+            if let PlanDecision::Feedback { table, shape, .. } = decision {
+                db.obs().mark_corrected(table, shape);
+                db.obs()
+                    .incr(datastore::obs::Counter::FeedbackOverridesApplied);
+            }
+        }
+    }
+    decisions.splice(0..0, overrides);
     // Count every recorded choice by kind, so SHOW METRICS can report how
     // often the optimizer reordered, decorrelated, parallelized, ….
-    for decision in &decisions {
-        db.obs().record_decision(decision.kind_name());
+    if record {
+        for decision in &decisions {
+            db.obs().record_decision(decision.kind_name());
+        }
     }
     Ok(PlannedQuery {
         plan,

@@ -209,7 +209,9 @@ pub(super) fn lower_select(
             // remaining conjuncts scale the probe's output instead.
             rows = match (probed, &stats) {
                 (false, _) => trace[i],
-                (true, Some(stats)) => rows * estimator.conjunct_selectivity(stats, conjunct),
+                (true, Some(stats)) => {
+                    rows * estimator.effective_conjunct_selectivity(rel, stats, conjunct)
+                }
                 (true, None) => rows,
             };
             plan = plan
@@ -966,6 +968,7 @@ pub(super) fn lower_having_operand(
 ) -> Result<PExpr, TalkbackError> {
     match expr {
         Expr::Literal(l) => Ok(PExpr::Literal(literal_value(l))),
+        Expr::Param(n) => Ok(PExpr::Param(*n)),
         Expr::Aggregate {
             func,
             arg,
@@ -1056,6 +1059,10 @@ pub(super) fn lower_expr_scoped(
             }
         },
         Expr::Literal(l) => Ok(PExpr::Literal(literal_value(l))),
+        // A plan-cache placeholder lowers to the same parameter space the
+        // Apply machinery uses; `bind_params` substitutes the statement's
+        // literals before execution.
+        Expr::Param(n) => Ok(PExpr::Param(*n)),
         Expr::BinaryOp { left, op, right } => {
             let l = lower_expr(left, columns, bound)?;
             let r = lower_expr(right, columns, bound)?;

@@ -404,6 +404,13 @@ fn type_verdict(expr: &Expr, types: &[DataType], columns: &[ColumnInfo]) -> Resu
                 (Expr::Column(i), Expr::Column(j)) => {
                     Some((column_family(types[*i]), Some(column_family(types[*j]))))
                 }
+                // A plan-cache parameter always binds a literal of its
+                // column's family (the cache key pins the kind), so only
+                // the column side can disqualify — mirror it onto both
+                // sides so the verdict matches the bound counterpart's.
+                (Expr::Column(i), Expr::Param(_)) | (Expr::Param(_), Expr::Column(i)) => {
+                    Some((column_family(types[*i]), Some(column_family(types[*i]))))
+                }
                 _ => None,
             };
             let Some((lhs, Some(rhs))) = sides else {

@@ -86,6 +86,12 @@ pub fn explain_plan_with(
     let flag = options.misestimate_factor;
     if analyze {
         let (result, profile) = execute_with_stats(db, &planned.plan)?;
+        // ANALYZE runs carry real row counts, so they feed the cardinality
+        // loop just like ordinary executions: the next plan of a flagged
+        // shape starts from the observed selectivity.
+        if options.use_feedback {
+            db.adaptive().absorb(&profile, flag);
+        }
         let mut sentences = decision_sentences;
         sentences.push(narrate_profile_with(
             &profile,
@@ -133,6 +139,25 @@ pub fn narrate_decisions(decisions: &[PlanDecision]) -> Vec<String> {
     let mut sentences = narrate_join_order(decisions);
     for d in decisions {
         match d {
+            PlanDecision::Feedback {
+                table,
+                shape,
+                expected,
+                actual,
+                selectivity,
+                ..
+            } => {
+                sentences.push(finish_sentence(&format!(
+                    "Last time I expected {} from {}'s filter on {} and saw {}, so this \
+                     time I planned with the observed selectivity ({:.3}) instead of the \
+                     statistics",
+                    rows_phrase(*expected as f64),
+                    table,
+                    quote_sql(shape),
+                    rows_phrase(*actual as f64),
+                    selectivity
+                )));
+            }
             PlanDecision::Subquery {
                 construct,
                 strategy,
@@ -410,6 +435,7 @@ fn narrate_join_order(decisions: &[PlanDecision]) -> Vec<String> {
             | PlanDecision::AccessPath { .. }
             | PlanDecision::SortElided { .. }
             | PlanDecision::Vectorize { .. }
+            | PlanDecision::Feedback { .. }
             | PlanDecision::PartitionedBuild { .. } => {}
         }
     }
@@ -1380,6 +1406,74 @@ mod tests {
         let e = explain_plan(&db, &Lexicon::movie_domain(), Q1).unwrap();
         assert!(!e.analyzed);
         assert!(e.tree.contains("scan"));
+    }
+
+    /// The adaptive-planning golden: the first `EXPLAIN ANALYZE` flags the
+    /// 50× miss in its tree, and the second run's narration quotes the
+    /// correction it learned from it, selectivity and all.
+    #[test]
+    fn feedback_correction_narration_is_golden() {
+        use datastore::{ColumnDef, DataType, Database, TableSchema, Value};
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "FILMS",
+                vec![
+                    ColumnDef::new("id", DataType::Integer),
+                    ColumnDef::new("genre", DataType::Text),
+                ],
+            )
+            .with_primary_key(&["id"]),
+        )
+        .unwrap();
+        for i in 0..100 {
+            let genre = if i == 0 { "noir" } else { "action" };
+            db.insert("FILMS", vec![Value::int(i), Value::text(genre)])
+                .unwrap();
+        }
+        let options = crate::planner::PlannerOptions {
+            parallelism: 1,
+            ..crate::planner::PlannerOptions::default()
+        };
+        let sql = "explain analyze select f.id from FILMS f where f.genre = 'noir'";
+
+        // First run: the uniform-NDV estimate (100 rows / 2 genres = 50) is
+        // 50× off, and the tree owns up to it.
+        let first = explain_plan_with(&db, &Lexicon::movie_domain(), sql, options).unwrap();
+        assert_eq!(
+            first.tree,
+            "project: f.id  [est=50 actual=1 in=1 batches=1]  <-- est off by 50x\n\
+             └─ filter: f.genre = 'noir'  [vectorized]  [est=50 actual=1 in=100 batches=1]  \
+             <-- est off by 50x\n\
+             \u{20}  └─ scan: FILMS as f  [est=100 actual=100 in=100 batches=1]\n"
+        );
+
+        // Second run: the planner consults the absorbed feedback before the
+        // histogram, estimates one row, and narrates the correction.
+        let second = explain_plan_with(&db, &Lexicon::movie_domain(), sql, options).unwrap();
+        assert!(
+            second
+                .decisions
+                .iter()
+                .any(|d| matches!(d, PlanDecision::Feedback { .. })),
+            "second plan should carry a Feedback decision"
+        );
+        assert!(
+            second.narration.starts_with(
+                "Last time I expected 50 rows from FILMS's filter on `f.genre = ?` and saw \
+                 one row, so this time I planned with the observed selectivity (0.010) \
+                 instead of the statistics."
+            ),
+            "correction narration missing from: {}",
+            second.narration
+        );
+        assert!(
+            second
+                .tree
+                .contains("filter: f.genre = 'noir'  [vectorized]  [est=1 actual=1"),
+            "corrected estimate missing from tree:\n{}",
+            second.tree
+        );
     }
 
     #[test]

@@ -357,6 +357,7 @@ fn show_misestimates(obs: &ObsRegistry) -> ShowReport {
                 Value::text(format!("{:.0}×", stat.max_factor)),
                 Value::int(stat.last_estimated as i64),
                 Value::int(stat.last_actual as i64),
+                Value::text(if stat.corrected { "yes" } else { "-" }),
             ]
         })
         .collect();
@@ -369,6 +370,7 @@ fn show_misestimates(obs: &ObsRegistry) -> ShowReport {
             "max_error",
             "last_est",
             "last_actual",
+            "corrected",
         ],
         rows,
     );
@@ -388,7 +390,7 @@ fn show_misestimates(obs: &ObsRegistry) -> ShowReport {
             })
             .map(|(k, v)| (k.clone(), *v))
             .expect("non-empty ledger");
-        let sentences = vec![
+        let mut sentences = vec![
             finish_sentence(&format!(
                 "I have caught my own estimates out {} time{} across {} predicate shape{}",
                 count_phrase(flagged as usize),
@@ -398,6 +400,14 @@ fn show_misestimates(obs: &ObsRegistry) -> ShowReport {
             )),
             misestimate_sentence(&worst_table, &worst_shape, &worst),
         ];
+        let corrected = ledger.values().filter(|s| s.corrected).count();
+        if corrected > 0 {
+            sentences.push(finish_sentence(&format!(
+                "I have since replanned {} of those shapes from the observed counts \
+                 instead of the statistics",
+                count_phrase(corrected),
+            )));
+        }
         join_sentences(&sentences)
     };
     ShowReport { table, narration }

@@ -1,0 +1,334 @@
+//! Adaptive planning state: the cardinality-feedback store and the plan
+//! cache, with the epoch counter that invalidates both.
+//!
+//! The paper's thesis is a DBMS that talks back; the misestimate ledger
+//! ([`crate::obs`]) already *records* where the optimizer was wrong. This
+//! module is the part that *learns*: after each execution the est-vs-actual
+//! deltas of flagged filters are folded into a per-database
+//! [`FeedbackStore`] keyed by the same `(table, literal-normalized predicate
+//! shape)` scheme the ledger uses, and the planner consults those observed
+//! selectivities before trusting its histograms — so a badly misestimated
+//! query plans differently (and explains why) on its next run.
+//!
+//! The [`PlanCache`] makes the second run cheaper as well as better: a
+//! bounded map from a literal-normalized statement fingerprint to a physical
+//! [`Plan`] template with `Expr::Param` placeholders, re-bound with the
+//! statement's literals at lookup. Both structures are invalidated by one
+//! epoch counter, bumped on DDL, statistics invalidation, and feedback
+//! absorption — anything that could make a cached decision stale.
+
+use crate::exec::plan::Plan;
+use crate::exec::stream::PlanProfile;
+use crate::fingerprint::{feedback_shape, profile_table};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default plan-cache capacity (templates retained).
+pub const PLAN_CACHE_CAP: usize = 64;
+
+/// What the engine learned about one `(table, predicate shape)` key: the
+/// filter's observed selectivity, and the last est-vs-actual pair for
+/// narration ("last time I expected 10 rows here and saw 4,200").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeedbackEntry {
+    /// Observed rows-out / rows-in of the flagged filter, clamped to [0, 1].
+    pub selectivity: f64,
+    /// Estimated rows the last time the filter was flagged.
+    pub last_estimated: u64,
+    /// Actual rows the last time the filter was flagged.
+    pub last_actual: u64,
+    /// Times this shape has been absorbed.
+    pub observations: u64,
+}
+
+/// The kind of an extracted statement literal. Cached templates record the
+/// kinds of their parameter slots; a lookup whose literals disagree in kind
+/// misses (the plan may be type-dependent even when it is value-independent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// Integer literal.
+    Integer,
+    /// Float literal.
+    Float,
+    /// Quoted string literal.
+    Text,
+}
+
+/// One cached plan template.
+#[derive(Debug, Clone)]
+struct CachedPlan {
+    template: Plan,
+    kinds: Vec<ParamKind>,
+    epoch: u64,
+}
+
+#[derive(Debug, Default)]
+struct PlanCacheInner {
+    entries: HashMap<u64, CachedPlan>,
+    /// Keys in least-recently-used-first order.
+    order: VecDeque<u64>,
+}
+
+/// Bounded LRU map from literal-normalized statement fingerprint to plan
+/// template. Entries from an older epoch are dropped on lookup.
+#[derive(Debug)]
+pub struct PlanCache {
+    cap: usize,
+    inner: Mutex<PlanCacheInner>,
+}
+
+impl PlanCache {
+    fn new(cap: usize) -> PlanCache {
+        PlanCache {
+            cap: cap.max(1),
+            inner: Mutex::new(PlanCacheInner::default()),
+        }
+    }
+
+    /// Maximum templates retained.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Templates currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache lock").entries.len()
+    }
+
+    /// True when no template is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up a template. Hits require the current epoch and literal kinds
+    /// matching the template's parameter slots; a stale-epoch entry is
+    /// removed on the spot. A hit refreshes the entry's LRU position.
+    pub fn lookup(&self, key: u64, epoch: u64, kinds: &[ParamKind]) -> Option<Plan> {
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        match inner.entries.get(&key) {
+            Some(entry) if entry.epoch != epoch => {
+                inner.entries.remove(&key);
+                inner.order.retain(|k| *k != key);
+                None
+            }
+            Some(entry) if entry.kinds != kinds => None,
+            Some(entry) => {
+                let template = entry.template.clone();
+                inner.order.retain(|k| *k != key);
+                inner.order.push_back(key);
+                Some(template)
+            }
+            None => None,
+        }
+    }
+
+    /// Insert a template, evicting the least-recently-used entry when full.
+    /// Returns the number of evictions (0 or 1).
+    pub fn insert(&self, key: u64, template: Plan, kinds: Vec<ParamKind>, epoch: u64) -> u64 {
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        if inner
+            .entries
+            .insert(
+                key,
+                CachedPlan {
+                    template,
+                    kinds,
+                    epoch,
+                },
+            )
+            .is_none()
+        {
+            inner.order.push_back(key);
+        } else {
+            inner.order.retain(|k| *k != key);
+            inner.order.push_back(key);
+        }
+        let mut evicted = 0;
+        while inner.entries.len() > self.cap {
+            if let Some(old) = inner.order.pop_front() {
+                inner.entries.remove(&old);
+                evicted += 1;
+            } else {
+                break;
+            }
+        }
+        evicted
+    }
+
+    /// Drop every template.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        inner.entries.clear();
+        inner.order.clear();
+    }
+}
+
+/// A feedback note: one override the planner applied, kept for narration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackNote {
+    /// Table the corrected filter reads.
+    pub table: String,
+    /// Literal-normalized predicate shape (feedback-store key form).
+    pub shape: String,
+    /// What the optimizer expected last time.
+    pub expected: u64,
+    /// What the executor actually saw.
+    pub actual: u64,
+}
+
+/// Per-database adaptive state: epoch counter, feedback store, plan cache.
+/// Shared by clones (like the obs registry) — a clone is a snapshot of the
+/// data, not a new engine that must relearn everything.
+#[derive(Debug)]
+pub struct AdaptiveState {
+    epoch: AtomicU64,
+    feedback: Mutex<BTreeMap<(String, String), FeedbackEntry>>,
+    cache: PlanCache,
+}
+
+impl Default for AdaptiveState {
+    fn default() -> AdaptiveState {
+        AdaptiveState::new(PLAN_CACHE_CAP)
+    }
+}
+
+impl AdaptiveState {
+    /// Fresh state with a plan cache retaining `cache_cap` templates.
+    pub fn new(cache_cap: usize) -> AdaptiveState {
+        AdaptiveState {
+            epoch: AtomicU64::new(0),
+            feedback: Mutex::new(BTreeMap::new()),
+            cache: PlanCache::new(cache_cap),
+        }
+    }
+
+    /// The current schema/stats/feedback epoch. Cached plans are only valid
+    /// within the epoch they were planned in.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Bump the epoch: something (DDL, a write, absorbed feedback) changed
+    /// what the planner would decide, so cached templates are now suspect.
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// The plan cache.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// What the engine learned about one `(table, shape)` key, if anything.
+    pub fn feedback_for(&self, table: &str, shape: &str) -> Option<FeedbackEntry> {
+        self.feedback
+            .lock()
+            .expect("feedback lock")
+            .get(&(table.to_string(), shape.to_string()))
+            .copied()
+    }
+
+    /// Snapshot of the whole feedback store (tests, introspection).
+    pub fn feedback(&self) -> BTreeMap<(String, String), FeedbackEntry> {
+        self.feedback.lock().expect("feedback lock").clone()
+    }
+
+    /// Fold an executed profile's flagged filter misestimates into the
+    /// feedback store, keyed like the obs misestimate ledger (table +
+    /// literal-normalized predicate shape, with plan parameters collapsed).
+    /// Returns the number of entries absorbed; when any were, the epoch is
+    /// bumped so stale cached plans (planned without this knowledge) die.
+    pub fn absorb(&self, profile: &PlanProfile, flag_factor: f64) -> usize {
+        let mut absorbed = 0;
+        let mut store = self.feedback.lock().expect("feedback lock");
+        profile.walk(&mut |node| {
+            // Only filters: the planner's override point is per-pushed-conjunct
+            // selectivity, and a filter's in/out rows measure exactly that.
+            if node.operator != "filter" || node.detail.is_empty() {
+                return;
+            }
+            if node.misestimate_with(flag_factor).is_none() {
+                return;
+            }
+            let Some(child) = node.children.first() else {
+                return;
+            };
+            let rows_in = child.metrics.rows_out;
+            let rows_out = node.metrics.rows_out;
+            let selectivity = if rows_in == 0 {
+                0.0
+            } else {
+                (rows_out as f64 / rows_in as f64).clamp(0.0, 1.0)
+            };
+            let table = profile_table(node).unwrap_or_else(|| "(none)".to_string());
+            let shape = feedback_shape(&node.detail);
+            let est = node.estimated_rows.unwrap_or(0.0).round().max(0.0) as u64;
+            let entry = store.entry((table, shape)).or_insert(FeedbackEntry {
+                selectivity: 0.0,
+                last_estimated: 0,
+                last_actual: 0,
+                observations: 0,
+            });
+            entry.selectivity = selectivity;
+            entry.last_estimated = est;
+            entry.last_actual = rows_out;
+            entry.observations += 1;
+            absorbed += 1;
+        });
+        drop(store);
+        if absorbed > 0 {
+            self.bump_epoch();
+        }
+        absorbed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> Plan {
+        Plan::scan("MOVIES", "m")
+    }
+
+    #[test]
+    fn cache_hits_require_matching_epoch_and_kinds() {
+        let state = AdaptiveState::new(4);
+        let epoch = state.epoch();
+        state
+            .plan_cache()
+            .insert(1, plan(), vec![ParamKind::Integer], epoch);
+        assert!(state
+            .plan_cache()
+            .lookup(1, epoch, &[ParamKind::Integer])
+            .is_some());
+        // Kind mismatch misses without evicting.
+        assert!(state
+            .plan_cache()
+            .lookup(1, epoch, &[ParamKind::Text])
+            .is_none());
+        assert_eq!(state.plan_cache().len(), 1);
+        // Epoch bump turns the entry stale; the lookup removes it.
+        state.bump_epoch();
+        assert!(state
+            .plan_cache()
+            .lookup(1, state.epoch(), &[ParamKind::Integer])
+            .is_none());
+        assert!(state.plan_cache().is_empty());
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let state = AdaptiveState::new(2);
+        let epoch = state.epoch();
+        assert_eq!(state.plan_cache().insert(1, plan(), vec![], epoch), 0);
+        assert_eq!(state.plan_cache().insert(2, plan(), vec![], epoch), 0);
+        // Touch 1 so 2 becomes the LRU victim.
+        state.plan_cache().lookup(1, epoch, &[]);
+        assert_eq!(state.plan_cache().insert(3, plan(), vec![], epoch), 1);
+        assert!(state.plan_cache().lookup(2, epoch, &[]).is_none());
+        assert!(state.plan_cache().lookup(1, epoch, &[]).is_some());
+        assert!(state.plan_cache().lookup(3, epoch, &[]).is_some());
+    }
+}

@@ -1,6 +1,7 @@
 //! A database instance: a catalog plus table contents, with foreign-key
 //! enforcement on insert.
 
+use crate::adaptive::AdaptiveState;
 use crate::catalog::Catalog;
 use crate::error::StoreError;
 use crate::index::{Index, IndexDef, IndexKind};
@@ -35,6 +36,11 @@ pub struct Database {
     /// snapshots ([`crate::exec::ExecContext`]) and worker threads report
     /// into the same registry the database answers `SHOW METRICS` from.
     obs: Arc<ObsRegistry>,
+    /// Adaptive planning state: the cardinality-feedback store, the plan
+    /// cache, and the epoch counter that invalidates both. Behind an `Arc`
+    /// for the same reason as `obs` — what the engine learned belongs to the
+    /// engine, not to any one data snapshot.
+    adaptive: Arc<AdaptiveState>,
 }
 
 impl Clone for Database {
@@ -48,6 +54,7 @@ impl Clone for Database {
             // Clones share one engine-wide registry: a clone is a snapshot
             // of the data, not a new engine.
             obs: Arc::clone(&self.obs),
+            adaptive: Arc::clone(&self.adaptive),
         }
     }
 }
@@ -66,6 +73,12 @@ impl Database {
     /// histograms, query journal, misestimate ledger).
     pub fn obs(&self) -> &Arc<ObsRegistry> {
         &self.obs
+    }
+
+    /// The adaptive planning state (cardinality feedback, plan cache, and
+    /// the invalidation epoch).
+    pub fn adaptive(&self) -> &Arc<AdaptiveState> {
+        &self.adaptive
     }
 
     /// Schema-level view of the database.
@@ -113,6 +126,7 @@ impl Database {
                 .expect("auto PK index on a fresh table cannot clash");
         }
         self.tables.insert(Self::key(&schema.name), Arc::new(table));
+        self.adaptive.bump_epoch();
         Ok(())
     }
 
@@ -138,7 +152,10 @@ impl Database {
         }
         let arc = self.tables.get_mut(&key).expect("checked above");
         let table = Arc::make_mut(arc);
-        Ok(table.create_index(def)?.len())
+        let entries = table.create_index(def)?.len();
+        // DDL changes the access paths available to the planner.
+        self.adaptive.bump_epoch();
+        Ok(entries)
     }
 
     /// Drop a secondary index by name (`DROP INDEX`), wherever it lives.
@@ -151,7 +168,11 @@ impl Database {
             .ok_or_else(|| StoreError::UnknownIndex {
                 index: name.to_string(),
             })?;
-        Arc::make_mut(self.tables.get_mut(&owner).expect("owner exists")).drop_index(name)
+        let def =
+            Arc::make_mut(self.tables.get_mut(&owner).expect("owner exists")).drop_index(name)?;
+        // DDL changes the access paths available to the planner.
+        self.adaptive.bump_epoch();
+        Ok(def)
     }
 
     /// The secondary index `name` lives on, with its table (for DDL
@@ -257,11 +278,14 @@ impl Database {
     }
 
     /// Drop the cached statistics of one table (called on every write).
+    /// Also advances the adaptive epoch: plans cached against the old
+    /// statistics may no longer be the plans the optimizer would pick.
     fn invalidate_stats(&self, table: &str) {
         self.stats
             .write()
             .expect("stats lock")
             .remove(&Self::key(table));
+        self.adaptive.bump_epoch();
     }
 
     /// All tables in name order.

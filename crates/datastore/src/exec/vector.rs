@@ -367,6 +367,9 @@ fn cmp_f64(a: f64, b: f64) -> Ordering {
 }
 
 /// One compiled conjunct of a vectorizable predicate.
+// Every term is a comparison by construction; a shared `Compare` prefix is
+// the point, not a naming accident.
+#[allow(clippy::enum_variant_names)]
 #[derive(Debug, Clone)]
 enum KernelTerm {
     /// `column <op> literal` (either written order, normalized).
@@ -381,6 +384,11 @@ enum KernelTerm {
         op: CmpOp,
         right: usize,
     },
+    /// `column <op> $n` — a plan-cache template term. The shape is
+    /// kernel-eligible (the parameter binds to a literal before execution),
+    /// but an unbound template can never evaluate, so this term always
+    /// falls back.
+    CompareParam { column: usize },
 }
 
 /// A predicate compiled for vector evaluation: a conjunction of simple
@@ -408,6 +416,7 @@ impl VectorPredicate {
             .flat_map(|t| match t {
                 KernelTerm::CompareLiteral { column, .. } => vec![*column],
                 KernelTerm::CompareColumns { left, right, .. } => vec![*left, *right],
+                KernelTerm::CompareParam { column } => vec![*column],
             })
             .collect();
         columns.sort_unstable();
@@ -447,6 +456,8 @@ impl VectorPredicate {
                 KernelTerm::CompareColumns { left, op, right } => {
                     and_compare_columns(vector_of(*left), *op, vector_of(*right), &mut mask)
                 }
+                // Unbound templates cannot evaluate; row-at-a-time fallback.
+                KernelTerm::CompareParam { .. } => false,
             };
             if !ok {
                 return None;
@@ -489,6 +500,14 @@ fn collect_terms(expr: &Expr, terms: &mut Vec<KernelTerm>) -> Option<()> {
                         op: *op,
                         right: *r,
                     });
+                    Some(())
+                }
+                // A plan-cache parameter compares like the literal it will
+                // be bound to, so the shape is eligible — the vectorize
+                // decision must match between a template and its bound
+                // counterpart for templates to be cacheable at all.
+                (Expr::Column(c), Expr::Param(_)) | (Expr::Param(_), Expr::Column(c)) => {
+                    terms.push(KernelTerm::CompareParam { column: *c });
                     Some(())
                 }
                 _ => None,

@@ -24,12 +24,14 @@
 //! Higher layers (`schemagraph`, `templates`, `nlg`, `talkback`) build the
 //! paper's actual contribution on top of this crate.
 
+pub mod adaptive;
 pub mod catalog;
 pub mod csvio;
 pub mod database;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod fingerprint;
 pub mod index;
 pub mod obs;
 pub mod sample;
@@ -39,6 +41,7 @@ pub mod table;
 pub mod tuple;
 pub mod value;
 
+pub use adaptive::{AdaptiveState, FeedbackEntry, FeedbackNote, ParamKind, PlanCache};
 pub use catalog::Catalog;
 pub use database::Database;
 pub use error::StoreError;

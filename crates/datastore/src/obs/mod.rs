@@ -68,11 +68,15 @@ pub enum Counter {
     ApplyCacheEvictions,
     MorselsClaimed,
     WorkersSpawned,
+    PlanCacheHits,
+    PlanCacheMisses,
+    PlanCacheEvictions,
+    FeedbackOverridesApplied,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 15] = [
         Counter::QueriesExecuted,
         Counter::RowsScanned,
         Counter::RowsEmitted,
@@ -84,6 +88,10 @@ impl Counter {
         Counter::ApplyCacheEvictions,
         Counter::MorselsClaimed,
         Counter::WorkersSpawned,
+        Counter::PlanCacheHits,
+        Counter::PlanCacheMisses,
+        Counter::PlanCacheEvictions,
+        Counter::FeedbackOverridesApplied,
     ];
 
     /// Stable snake_case name, used as the metric key in `SHOW METRICS`.
@@ -100,6 +108,10 @@ impl Counter {
             Counter::ApplyCacheEvictions => "apply_cache_evictions",
             Counter::MorselsClaimed => "morsels_claimed",
             Counter::WorkersSpawned => "workers_spawned",
+            Counter::PlanCacheHits => "plan_cache_hits",
+            Counter::PlanCacheMisses => "plan_cache_misses",
+            Counter::PlanCacheEvictions => "plan_cache_evictions",
+            Counter::FeedbackOverridesApplied => "feedback_overrides_applied",
         }
     }
 }
@@ -280,71 +292,11 @@ impl Span {
 // Plan-shape hashing and predicate normalization
 // ---------------------------------------------------------------------------
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-fn fnv(hash: &mut u64, bytes: &[u8]) {
-    for &b in bytes {
-        *hash ^= b as u64;
-        *hash = hash.wrapping_mul(FNV_PRIME);
-    }
-}
-
-/// A stable hash over a plan's *shape* — operator names, normalized details,
-/// and tree structure, but not literals or row counts — so two runs of the
-/// same query template land on the same hash.
-pub fn plan_shape_hash(profile: &PlanProfile) -> u64 {
-    let mut hash = FNV_OFFSET;
-    hash_shape(profile, &mut hash);
-    hash
-}
-
-fn hash_shape(p: &PlanProfile, hash: &mut u64) {
-    fnv(hash, p.operator.as_bytes());
-    fnv(hash, normalize_predicate(&p.detail).as_bytes());
-    fnv(hash, b"(");
-    for c in &p.children {
-        hash_shape(c, hash);
-    }
-    fnv(hash, b")");
-}
-
-/// Normalize a rendered predicate to its *shape*: literal numbers and quoted
-/// strings become `?`, so `a.name = 'Brad Pitt'` and `a.name = 'G. Loucas'`
-/// share one ledger key. Identifiers (which may contain digits) survive.
-pub fn normalize_predicate(detail: &str) -> String {
-    let mut out = String::with_capacity(detail.len());
-    let mut chars = detail.chars().peekable();
-    let mut prev_ident = false;
-    while let Some(c) = chars.next() {
-        if c == '\'' {
-            // Quoted string literal ('' is the embedded-quote escape).
-            while let Some(n) = chars.next() {
-                if n == '\'' {
-                    if chars.peek() == Some(&'\'') {
-                        chars.next();
-                    } else {
-                        break;
-                    }
-                }
-            }
-            out.push('?');
-            prev_ident = false;
-        } else if c.is_ascii_digit() && !prev_ident {
-            while chars
-                .peek()
-                .is_some_and(|n| n.is_ascii_digit() || *n == '.')
-            {
-                chars.next();
-            }
-            out.push('?');
-        } else {
-            prev_ident = c.is_alphanumeric() || c == '_' || c == '.';
-            out.push(c);
-        }
-    }
-    out
-}
+// The hashing and normalization rules moved to [`crate::fingerprint`] so the
+// feedback store and plan cache key state the same way the ledger does;
+// re-exported here because this module is where callers historically found
+// them.
+pub use crate::fingerprint::{normalize_predicate, plan_shape_hash};
 
 // ---------------------------------------------------------------------------
 // Query journal
@@ -497,6 +449,9 @@ pub struct MisestimateStat {
     pub last_estimated: u64,
     /// Most recent actual rows.
     pub last_actual: u64,
+    /// True once the planner has applied a cardinality-feedback override for
+    /// this shape — the ledger entry has been acted on, not just recorded.
+    pub corrected: bool,
 }
 
 impl MisestimateStat {
@@ -739,7 +694,8 @@ impl ObsRegistry {
             if worst.as_ref().is_none_or(|(_, f)| factor > *f) {
                 worst = Some((detail, factor));
             }
-            let table = misestimate_table(node).unwrap_or_else(|| "(none)".to_string());
+            let table =
+                crate::fingerprint::profile_table(node).unwrap_or_else(|| "(none)".to_string());
             let shape = if node.detail.is_empty() {
                 node.operator.clone()
             } else {
@@ -752,6 +708,7 @@ impl ObsRegistry {
                 max_factor: 0.0,
                 last_estimated: 0,
                 last_actual: 0,
+                corrected: false,
             });
             stat.count += 1;
             stat.sum_factor += factor;
@@ -761,25 +718,26 @@ impl ObsRegistry {
         });
         worst
     }
-}
 
-/// The table a misestimated operator is best attributed to: its own index
-/// access, or the leftmost scan underneath it.
-fn misestimate_table(node: &PlanProfile) -> Option<String> {
-    if let Some(access) = &node.access {
-        return Some(access.table.clone());
+    /// Mark every ledger entry for `table` whose shape matches the given
+    /// feedback-store key as corrected: the planner has applied a
+    /// cardinality-feedback override learned from it. Ledger keys prefix the
+    /// operator name (`filter a.x = ?`) and keep plan parameters (`$?`)
+    /// distinct, while the feedback store stores the bare collapsed
+    /// predicate, so matching strips the `filter ` prefix and goes through
+    /// [`crate::fingerprint::collapse_params`].
+    pub fn mark_corrected(&self, table: &str, feedback_shape: &str) {
+        if !self.enabled() {
+            return;
+        }
+        let mut ledger = self.misestimates.lock().expect("misestimates lock");
+        for ((t, shape), stat) in ledger.iter_mut() {
+            let predicate = shape.strip_prefix("filter ").unwrap_or(shape);
+            if t == table && crate::fingerprint::collapse_params(predicate) == feedback_shape {
+                stat.corrected = true;
+            }
+        }
     }
-    if node.operator == "scan" {
-        // Detail is "TABLE" or "TABLE as alias".
-        return Some(
-            node.detail
-                .split_whitespace()
-                .next()
-                .unwrap_or(&node.detail)
-                .to_string(),
-        );
-    }
-    node.children.iter().find_map(misestimate_table)
 }
 
 #[cfg(test)]

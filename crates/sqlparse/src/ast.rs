@@ -387,6 +387,11 @@ pub enum Expr {
     Column(ColumnRef),
     /// Literal.
     Literal(Literal),
+    /// A plan parameter `$n`: the placeholder a literal becomes when a
+    /// statement is parameterized for the plan cache. Never produced by the
+    /// parser — only by [`crate::param::parameterize_select`] — and rendered
+    /// `$n` so parameterized templates stay printable.
+    Param(u32),
     /// Binary operation.
     BinaryOp {
         left: Box<Expr>,
@@ -535,7 +540,7 @@ impl Expr {
     pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a Expr)) {
         f(self);
         match self {
-            Expr::Column(_) | Expr::Literal(_) => {}
+            Expr::Column(_) | Expr::Literal(_) | Expr::Param(_) => {}
             Expr::BinaryOp { left, right, .. } => {
                 left.walk(f);
                 right.walk(f);

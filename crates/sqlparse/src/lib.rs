@@ -19,6 +19,7 @@ pub mod bind;
 pub mod display;
 pub mod error;
 pub mod lexer;
+pub mod param;
 pub mod parser;
 pub mod rewrite;
 
@@ -28,6 +29,7 @@ pub use ast::{
 };
 pub use bind::{bind_query, bind_subquery, join_edges, BoundQuery, BoundTable, JoinEdge};
 pub use error::{BindError, ParseError};
+pub use param::{normalize_statement, parameterize_select, NormalizedStatement};
 pub use parser::{parse_query, parse_statement};
 pub use rewrite::{
     detect_division, equivalent_modulo_commutativity, flatten_in_subqueries, normalize,

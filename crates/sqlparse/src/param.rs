@@ -1,0 +1,318 @@
+//! Literal normalization and parameterization for the plan cache.
+//!
+//! Two cooperating views of the same statement:
+//!
+//! * [`normalize_statement`] works on the raw SQL *text*, before any lexing
+//!   the engine would otherwise do: every string/number literal becomes `?`
+//!   and is collected in order. The normalized text is what the plan cache
+//!   hashes, so `WHERE id = 4` and `WHERE id = 7` share a key — and on a
+//!   cache hit the engine never lexes, parses, or plans at all.
+//! * [`parameterize_select`] works on the parsed *AST*: literals compared to
+//!   a column with `=` become [`Expr::Param`] placeholders, numbered in the
+//!   same clause order the text scanner sees them, and the extracted
+//!   literals are returned for re-binding.
+//!
+//! A statement is only cacheable when the two literal sequences agree
+//! element-for-element: then `$i` in the template corresponds exactly to the
+//! `i`-th `?` of the normalized text, and future literals extracted from the
+//! text can be bound positionally. Any literal the AST pass cannot lift into
+//! a parameter (a range bound, a LIKE pattern, an IN-list member, a
+//! projected constant) makes the sequences diverge and the statement is
+//! planned fresh every time — equality is the one comparison whose
+//! selectivity estimate does not depend on the literal's value, so it is the
+//! one position where re-binding a different value provably yields the same
+//! plan.
+
+use crate::ast::{BinaryOperator, Expr, Literal, SelectItem, SelectStatement};
+
+/// A statement with its literals lifted out at the text level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizedStatement {
+    /// The SQL text with literals replaced by `?` and whitespace collapsed.
+    pub text: String,
+    /// The extracted literals, in textual order.
+    pub literals: Vec<Literal>,
+}
+
+fn is_ident_part(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Normalize a statement's text: replace every string and number literal
+/// with `?`, collect them in order, and collapse whitespace runs.
+///
+/// Returns `None` when the statement is not a plain `SELECT` (DML, DDL,
+/// `EXPLAIN` and `SHOW` are never cached), when a string is unterminated, or
+/// when a numeric token is malformed — any doubt means "plan it fresh".
+/// The row count after `LIMIT` is kept verbatim: it is part of the plan, not
+/// a bindable value.
+pub fn normalize_statement(sql: &str) -> Option<NormalizedStatement> {
+    let trimmed = sql.trim();
+    let first_word: String = trimmed.chars().take_while(|c| is_ident_part(*c)).collect();
+    if !first_word.eq_ignore_ascii_case("SELECT") {
+        return None;
+    }
+
+    let mut text = String::with_capacity(trimmed.len());
+    let mut literals = Vec::new();
+    let mut chars = trimmed.chars().peekable();
+    // The last identifier-like word scanned, uppercased; a number directly
+    // after `LIMIT` is kept verbatim instead of extracted.
+    let mut last_word = String::new();
+    // The previous significant character, to tell `g2` (identifier) apart
+    // from ` 2` (literal).
+    let mut prev: Option<char> = None;
+
+    while let Some(c) = chars.next() {
+        if c == '\'' {
+            // String literal with '' as the escape for a single quote.
+            let mut value = String::new();
+            loop {
+                match chars.next() {
+                    Some('\'') => {
+                        if chars.peek() == Some(&'\'') {
+                            chars.next();
+                            value.push('\'');
+                        } else {
+                            break;
+                        }
+                    }
+                    Some(ch) => value.push(ch),
+                    None => return None,
+                }
+            }
+            literals.push(Literal::String(value));
+            text.push('?');
+            prev = Some('?');
+            last_word.clear();
+        } else if c.is_ascii_digit() && !prev.map(is_ident_part).unwrap_or(false) {
+            let mut number = String::new();
+            number.push(c);
+            while chars.peek().map(|p| p.is_ascii_digit()).unwrap_or(false) {
+                number.push(chars.next().expect("peeked digit"));
+            }
+            let mut is_float = false;
+            if chars.peek() == Some(&'.') {
+                is_float = true;
+                number.push(chars.next().expect("peeked dot"));
+                while chars.peek().map(|p| p.is_ascii_digit()).unwrap_or(false) {
+                    number.push(chars.next().expect("peeked digit"));
+                }
+            }
+            // `123abc`, `1e5`: not a token this scanner understands.
+            if chars.peek().map(|p| is_ident_part(*p)).unwrap_or(false) {
+                return None;
+            }
+            if last_word == "LIMIT" {
+                text.push_str(&number);
+            } else if is_float {
+                literals.push(Literal::Float(number.parse().ok()?));
+                text.push('?');
+            } else {
+                literals.push(Literal::Integer(number.parse().ok()?));
+                text.push('?');
+            }
+            prev = Some('?');
+            last_word.clear();
+        } else if c.is_whitespace() {
+            if !text.ends_with(' ') && !text.is_empty() {
+                text.push(' ');
+            }
+            // Whitespace does not reset `last_word`: `LIMIT   10` still
+            // protects the 10.
+            prev = Some(' ');
+        } else if is_ident_part(c) {
+            let mut word = String::new();
+            word.push(c);
+            while chars.peek().map(|p| is_ident_part(*p)).unwrap_or(false) {
+                word.push(chars.next().expect("peeked ident char"));
+            }
+            text.push_str(&word);
+            last_word = word.to_ascii_uppercase();
+            prev = word.chars().last();
+        } else {
+            text.push(c);
+            prev = Some(c);
+            last_word.clear();
+        }
+    }
+
+    Some(NormalizedStatement {
+        text: text.trim_end().to_string(),
+        literals,
+    })
+}
+
+fn extractable(lit: &Literal) -> bool {
+    matches!(
+        lit,
+        Literal::Integer(_) | Literal::Float(_) | Literal::String(_)
+    )
+}
+
+fn param_expr(expr: &mut Expr, out: &mut Vec<Literal>, ok: &mut bool) {
+    match expr {
+        Expr::Column(_) | Expr::Literal(_) | Expr::Param(_) => {}
+        Expr::BinaryOp { left, op, right } => {
+            if *op == BinaryOperator::Eq {
+                match (left.as_mut(), right.as_mut()) {
+                    (Expr::Column(_), Expr::Literal(lit)) if extractable(lit) => {
+                        out.push(lit.clone());
+                        **right = Expr::Param(out.len() as u32 - 1);
+                        return;
+                    }
+                    (Expr::Literal(lit), Expr::Column(_)) if extractable(lit) => {
+                        out.push(lit.clone());
+                        **left = Expr::Param(out.len() as u32 - 1);
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            param_expr(left, out, ok);
+            param_expr(right, out, ok);
+        }
+        Expr::UnaryOp { expr, .. } => param_expr(expr, out, ok),
+        Expr::Aggregate { arg, .. } => {
+            if let Some(a) = arg {
+                param_expr(a, out, ok);
+            }
+        }
+        Expr::IsNull { expr, .. } => param_expr(expr, out, ok),
+        Expr::InList { expr, list, .. } => {
+            param_expr(expr, out, ok);
+            for e in list {
+                param_expr(e, out, ok);
+            }
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            param_expr(expr, out, ok);
+            param_expr(low, out, ok);
+            param_expr(high, out, ok);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            param_expr(expr, out, ok);
+            param_expr(pattern, out, ok);
+        }
+        // Subqueries carry their own parameter numbering (the decorrelation
+        // pass starts at $0 per statement); mixing the two spaces would
+        // collide, so a statement with any subquery is not parameterizable.
+        Expr::InSubquery { .. }
+        | Expr::Exists { .. }
+        | Expr::QuantifiedComparison { .. }
+        | Expr::ScalarSubquery(_) => *ok = false,
+    }
+}
+
+/// Replace every `column = literal` (or `literal = column`) comparison with
+/// a numbered [`Expr::Param`], returning the rewritten statement and the
+/// extracted literals in clause order (projection, WHERE, GROUP BY, HAVING,
+/// ORDER BY — the order the clauses appear in the text).
+///
+/// Returns `None` when the statement contains any subquery: the
+/// decorrelation pass owns the `$n` parameter space there.
+pub fn parameterize_select(stmt: &SelectStatement) -> Option<(SelectStatement, Vec<Literal>)> {
+    let mut rewritten = stmt.clone();
+    let mut literals = Vec::new();
+    let mut ok = true;
+    for item in &mut rewritten.projection {
+        if let SelectItem::Expr { expr, .. } = item {
+            param_expr(expr, &mut literals, &mut ok);
+        }
+    }
+    if let Some(w) = &mut rewritten.selection {
+        param_expr(w, &mut literals, &mut ok);
+    }
+    for g in &mut rewritten.group_by {
+        param_expr(g, &mut literals, &mut ok);
+    }
+    if let Some(h) = &mut rewritten.having {
+        param_expr(h, &mut literals, &mut ok);
+    }
+    for o in &mut rewritten.order_by {
+        param_expr(&mut o.expr, &mut literals, &mut ok);
+    }
+    if !ok {
+        return None;
+    }
+    Some((rewritten, literals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn normalizes_point_lookup_text() {
+        let n = normalize_statement("SELECT  title FROM movies  WHERE id =  42").unwrap();
+        assert_eq!(n.text, "SELECT title FROM movies WHERE id = ?");
+        assert_eq!(n.literals, vec![Literal::Integer(42)]);
+        // A different literal yields the same normalized text.
+        let m = normalize_statement("SELECT  title FROM movies  WHERE id =  7").unwrap();
+        assert_eq!(m.text, n.text);
+    }
+
+    #[test]
+    fn string_escapes_and_floats_extract() {
+        let n =
+            normalize_statement("SELECT * FROM t WHERE name = 'it''s' AND score = 1.5").unwrap();
+        assert_eq!(n.text, "SELECT * FROM t WHERE name = ? AND score = ?");
+        assert_eq!(
+            n.literals,
+            vec![Literal::String("it's".into()), Literal::Float(1.5)]
+        );
+    }
+
+    #[test]
+    fn limit_count_stays_verbatim_and_identifiers_keep_digits() {
+        let n =
+            normalize_statement("SELECT g2.mid FROM gen g2 WHERE g2.year = 1968 LIMIT 10").unwrap();
+        assert_eq!(
+            n.text,
+            "SELECT g2.mid FROM gen g2 WHERE g2.year = ? LIMIT 10"
+        );
+        assert_eq!(n.literals, vec![Literal::Integer(1968)]);
+    }
+
+    #[test]
+    fn non_select_statements_are_not_normalized() {
+        assert!(normalize_statement("INSERT INTO t VALUES (1)").is_none());
+        assert!(normalize_statement("SHOW METRICS").is_none());
+        assert!(normalize_statement("EXPLAIN SELECT 1").is_none());
+    }
+
+    #[test]
+    fn parameterization_matches_text_extraction_for_equalities() {
+        let sql = "SELECT m.title FROM movies m WHERE m.year = 1968 AND m.genre = 'Drama'";
+        let stmt = parse_query(sql).unwrap();
+        let (template, lits) = parameterize_select(&stmt).unwrap();
+        assert_eq!(
+            lits,
+            normalize_statement(sql).unwrap().literals,
+            "text and AST must lift the same literals in the same order"
+        );
+        let printed = template.to_string();
+        assert!(printed.contains("m.year = $0"), "got: {printed}");
+        assert!(printed.contains("m.genre = $1"), "got: {printed}");
+    }
+
+    #[test]
+    fn range_literals_stay_in_place_so_sequences_diverge() {
+        let sql = "SELECT * FROM movies m WHERE m.year > 1968 AND m.genre = 'Drama'";
+        let stmt = parse_query(sql).unwrap();
+        let (_, lits) = parameterize_select(&stmt).unwrap();
+        // AST lifts only the equality; the text scanner sees both.
+        assert_eq!(lits, vec![Literal::String("Drama".into())]);
+        assert_ne!(lits, normalize_statement(sql).unwrap().literals);
+    }
+
+    #[test]
+    fn subqueries_are_never_parameterized() {
+        let sql = "SELECT * FROM movies m WHERE m.mid IN (SELECT g.mid FROM genres g)";
+        let stmt = parse_query(sql).unwrap();
+        assert!(parameterize_select(&stmt).is_none());
+    }
+}
