@@ -1,0 +1,222 @@
+//! Experiment E-DOCTOR: what the database doctor costs and what it buys.
+//!
+//! * `advisor_mine_256/{snapshot,mine,recommendations}` — against a ledger
+//!   fed by a 256-statement journal (32 shapes × 8 runs): taking the
+//!   workload snapshot, mining it for issues, and producing fully costed
+//!   what-if recommendations. Mining is pure aggregation; recommendations
+//!   re-plan offending statements against hypothetical indexes, so the gap
+//!   between the two is the price of what-if planning.
+//! * `advisor_statements_x1000/{show_workload,advise,checkup}` — the three
+//!   doctor statements end to end on the ×1000 movie database after the
+//!   Q6-flavored workload. These are the interactive paths; they must stay
+//!   interactive.
+//!
+//! Acceptance gates run before any timing lands in the JSON:
+//! 1. On the ×1000 database the advisor's top prescription is the composite
+//!    `CAST (aid, mid)` index, with a what-if cost below 80% of the base.
+//! 2. Actually building that index makes the evidence query ≥10× faster
+//!    (median, with retry for machine noise) — the advice is real, not
+//!    just internally consistent.
+//!
+//! Run with `BENCH_JSON=BENCH_advisor.json` to emit the `{bench,
+//! median_ns}` summary CI tracks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datastore::obs::doctor::mine;
+use datastore::sample::{scaled_movie_database, ScaleConfig};
+use std::time::Duration;
+use talkback::{recommendations, PlannerOptions, Talkback};
+
+fn sequential() -> PlannerOptions {
+    PlannerOptions {
+        parallelism: 1,
+        ..PlannerOptions::default()
+    }
+}
+
+/// The ×1000 doctor database after the lopsided Q6-flavored workload: the
+/// same point-and-range probe over the 30,000-row CAST fact table, twenty
+/// times with shifting literals — every run a full scan.
+fn doctor_system() -> Talkback {
+    let db = scaled_movie_database(ScaleConfig {
+        movies: 1000,
+        directors: 120,
+        actors: 600,
+        cast_per_movie: 30,
+        genres_per_movie: 2,
+        seed: 42,
+    });
+    let system = Talkback::new(db);
+    for i in 0..20 {
+        system
+            .run_query_with(
+                &format!(
+                    "select c.role from CAST c where c.aid = {} and c.mid > {}",
+                    10 + i,
+                    100 + i
+                ),
+                sequential(),
+            )
+            .unwrap();
+    }
+    system
+}
+
+/// A smaller database whose ledger has been fed 256 statements across 32
+/// distinct shapes — the mining workload.
+fn mining_system() -> Talkback {
+    let db = scaled_movie_database(ScaleConfig {
+        movies: 150,
+        directors: 20,
+        actors: 80,
+        cast_per_movie: 4,
+        genres_per_movie: 2,
+        seed: 11,
+    });
+    let system = Talkback::new(db);
+    system.execute_show("set journal capacity 256").unwrap();
+    let shapes: [&dyn Fn(usize) -> String; 4] = [
+        &|i| {
+            format!(
+                "select c.role from CAST c where c.aid = {} and c.mid > {}",
+                i,
+                i * 2
+            )
+        },
+        &|i| format!("select m.title from MOVIES m where m.year > {}", 1950 + i),
+        &|i| format!("select g.genre from GENRE g where g.mid = {}", i),
+        &|i| {
+            format!(
+                "select m.title from MOVIES m, CAST c where m.id = c.mid and c.aid = {}",
+                i
+            )
+        },
+    ];
+    // 32 shapes: 4 grammar shapes × 8 table-qualifying literal families,
+    // each run 8 times = 256 journaled statements.
+    for family in 0..8 {
+        for (s, shape) in shapes.iter().enumerate() {
+            let sql = shape(family * 4 + s + 1);
+            for _ in 0..8 {
+                system.run_query_with(&sql, sequential()).unwrap();
+            }
+        }
+    }
+    assert!(system.database().obs().journal().recorded() >= 256);
+    assert_eq!(system.database().obs().journal().len(), 256);
+    system
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Gate 1: the ×1000 workload yields the composite CAST prescription with a
+/// what-if cost well under the base cost.
+fn assert_composite_prescription(system: &Talkback) {
+    let recs = recommendations(system.database(), sequential());
+    let top = recs.first().expect("the ×1000 workload must yield advice");
+    assert_eq!(top.table, "CAST", "top advice targets the fact table");
+    assert_eq!(
+        top.columns,
+        ["aid", "mid"],
+        "top advice is the composite point-and-range index"
+    );
+    assert!(
+        top.what_if_cost < top.base_cost * 0.8,
+        "what-if cost {:.0} must beat 80% of base {:.0}",
+        top.what_if_cost,
+        top.base_cost
+    );
+    eprintln!(
+        "prescription: {} (cost {:.0} -> {:.0}, est {:.0}×)",
+        top.create_sql, top.base_cost, top.what_if_cost, top.estimated_speedup
+    );
+}
+
+/// Gate 2: taking the advice is a ≥10× measured win on the evidence query.
+fn assert_measured_speedup() {
+    let mut system = doctor_system();
+    let top = recommendations(system.database(), sequential())
+        .into_iter()
+        .next()
+        .expect("advice");
+    for attempt in 1..=3 {
+        let samples = 9 * attempt;
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = std::time::Instant::now();
+            system
+                .run_query_with(&top.evidence_sql, sequential())
+                .unwrap();
+            times.push(t.elapsed());
+        }
+        let before = median(&mut times);
+        if attempt == 1 {
+            system.execute_ddl(&top.create_sql).unwrap();
+        }
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = std::time::Instant::now();
+            system
+                .run_query_with(&top.evidence_sql, sequential())
+                .unwrap();
+            times.push(t.elapsed());
+        }
+        let after = median(&mut times);
+        let ratio = before.as_secs_f64() / after.as_secs_f64().max(1e-9);
+        eprintln!(
+            "advice payoff: before={before:?} after={after:?} ratio={ratio:.1}× \
+             (attempt {attempt}, {samples} samples each)"
+        );
+        if ratio >= 10.0 {
+            return;
+        }
+        assert!(
+            attempt < 3,
+            "the prescribed index buys only {ratio:.1}× \
+             (before={before:?}, after={after:?}); the acceptance bar is 10×"
+        );
+    }
+}
+
+fn bench_advisor(c: &mut Criterion) {
+    let heavy = doctor_system();
+    assert_composite_prescription(&heavy);
+    assert_measured_speedup();
+
+    let miner = mining_system();
+    let mut group = c.benchmark_group("advisor_mine_256");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    group.bench_function(BenchmarkId::new("ledger", "snapshot"), |b| {
+        b.iter(|| miner.database().obs().workload().snapshot())
+    });
+    group.bench_function(BenchmarkId::new("ledger", "mine"), |b| {
+        let stats = miner.database().obs().workload().snapshot();
+        b.iter(|| mine(&stats))
+    });
+    group.bench_function(BenchmarkId::new("ledger", "recommendations"), |b| {
+        b.iter(|| recommendations(miner.database(), sequential()))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("advisor_statements_x1000");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    for statement in ["show workload", "advise", "checkup"] {
+        let id = statement.replace(' ', "_");
+        group.bench_function(BenchmarkId::new("statement", id), |b| {
+            b.iter(|| heavy.execute_show(statement).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_advisor);
+criterion_main!(benches);

@@ -104,6 +104,7 @@ pub use pipeline::{Recognition, SpeechRecognizer, SpokenChunk, TextToSpeech};
 pub use planner::{
     plan_query, plan_query_with, ParallelKind, PlanDecision, PlannedQuery, PlannerOptions,
 };
+pub use query::advise::{recommendations, Recommendation};
 pub use query::explain::{explain_result, ResultExplanation};
 pub use query::plan_explain::{explain_plan, explain_plan_with, PlanExplanation};
 pub use query::show::{execute_show, ShowReport};
@@ -112,7 +113,7 @@ pub use query::{QueryTranslation, QueryTranslator};
 use datastore::exec::{execute_with_stats, Plan, ResultSet};
 use datastore::fingerprint::{fnv, FNV_OFFSET};
 use datastore::obs::Counter;
-use datastore::{Database, ParamKind, Value};
+use datastore::{CacheStatus, Database, ParamKind, StatementMeta, Value};
 use sqlparse::{Literal, NormalizedStatement, SelectStatement};
 use std::collections::HashMap;
 
@@ -230,10 +231,13 @@ impl Talkback {
             None
         };
         let epoch = adaptive.epoch();
+        let mut cache_status = CacheStatus::Off;
         if let Some(n) = &normalized {
             let key = plan_cache_key(&n.text, &options);
             if let Some(kinds) = param_kinds(&n.literals) {
-                if let Some(template) = adaptive.plan_cache().lookup(key, epoch, &kinds) {
+                let (cached, status) = adaptive.plan_cache().lookup_detailed(key, epoch, &kinds);
+                cache_status = status;
+                if let Some(template) = cached {
                     self.db.obs().incr(Counter::PlanCacheHits);
                     let plan = template.bind_params(&literal_bindings(&n.literals));
                     let t2 = Instant::now();
@@ -252,6 +256,10 @@ impl Talkback {
                         },
                         result.len() as u64,
                         options.misestimate_factor,
+                        StatementMeta {
+                            cache: cache_status,
+                            epoch,
+                        },
                     );
                     return Ok(result);
                 }
@@ -280,6 +288,10 @@ impl Talkback {
             },
             result.len() as u64,
             options.misestimate_factor,
+            StatementMeta {
+                cache: cache_status,
+                epoch,
+            },
         );
         Ok(result)
     }
@@ -328,7 +340,8 @@ impl Talkback {
         }
     }
 
-    /// Execute a `SHOW` introspection statement against the observability
+    /// Execute an introspection or doctor statement — `SHOW …`, `ADVISE`,
+    /// `CHECKUP`, or `SET <knob> <value>` — against the observability
     /// registry and answer both ways: a tabular report and the same facts in
     /// the system's own voice.
     pub fn execute_show(&self, sql: &str) -> Result<query::show::ShowReport, TalkbackError> {
@@ -336,8 +349,13 @@ impl Talkback {
             sqlparse::ast::Statement::Show(show) => {
                 Ok(query::show::execute_show(&self.db, &show.kind))
             }
+            sqlparse::ast::Statement::Advise(advise) => {
+                Ok(query::advise::execute_advise(&self.db, advise.limit))
+            }
+            sqlparse::ast::Statement::Checkup => Ok(query::advise::execute_checkup(&self.db)),
+            sqlparse::ast::Statement::Set(set) => query::show::execute_set(&self.db, &set),
             _ => Err(TalkbackError::Unsupported(
-                "execute_show handles SHOW statements".into(),
+                "execute_show handles SHOW, ADVISE, CHECKUP, and SET statements".into(),
             )),
         }
     }

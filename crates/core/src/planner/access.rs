@@ -379,7 +379,13 @@ pub(super) fn choose_scan_path(
     }
     let borrowed: Vec<(SargSource, &Sarg)> = sargs.iter().map(|(src, s)| (*src, s)).collect();
     let mut best: Option<ScanChoice> = None;
-    for index in table.indexes() {
+    // What-if indexes (the advisor's hypotheticals) compete on equal terms:
+    // match_index reads only the index's definition, never its entries.
+    for index in table
+        .indexes()
+        .iter()
+        .chain(estimator.hypothetical_for(&rel.table))
+    {
         let Some(candidate) = match_index(index, table, &borrowed, base_rows) else {
             continue;
         };
@@ -448,6 +454,7 @@ pub(super) struct JoinProbe {
 /// because the outer cardinality lives there.
 pub(super) fn join_probe_candidate(
     db: &Database,
+    estimator: &Estimator,
     rel: &Relation,
     join_column: &str,
 ) -> Option<JoinProbe> {
@@ -455,7 +462,15 @@ pub(super) fn join_probe_candidate(
         return None;
     }
     let table = db.table(&rel.table)?;
-    let index = table.index_on(join_column, false)?;
+    // A what-if index on the join column counts too — the advisor's
+    // re-planning pass must see the INLJ the real index would unlock.
+    let index = table.index_on(join_column, false).or_else(|| {
+        estimator.hypothetical_for(&rel.table).find(|ix| {
+            ix.width() == 1
+                && ix.def().columns[0].eq_ignore_ascii_case(join_column)
+                && ix.supports_range()
+        })
+    })?;
     // The per-row probe is a single-key lookup; a composite index cannot
     // answer it (its trailing key columns are unconstrained).
     if index.width() != 1 {

@@ -26,6 +26,7 @@
 
 use super::logical::{JoinGraph, Relation};
 use datastore::adaptive::AdaptiveState;
+use datastore::index::Index;
 use datastore::stats::{join_cardinality, TableStats, DEFAULT_SELECTIVITY};
 use datastore::Database;
 use sqlparse::ast::{BinaryOperator, Expr, Literal, UnaryOperator};
@@ -346,6 +347,11 @@ pub struct Estimator<'a> {
     /// enumerator, the decision replay, and the physical layer all walk the
     /// same relations, and one correction should narrate once.
     overrides: std::cell::RefCell<Vec<PlanDecision>>,
+    /// What-if indexes the advisor is costing: metadata-only [`Index`]es
+    /// (built over zero rows) that access-path selection considers alongside
+    /// each table's real indexes. Plans chosen under them must never be
+    /// executed or cached — the index has no entries.
+    hypothetical: Vec<Index>,
 }
 
 impl<'a> Estimator<'a> {
@@ -355,6 +361,7 @@ impl<'a> Estimator<'a> {
             stats: std::cell::RefCell::new(std::collections::HashMap::new()),
             feedback: None,
             overrides: std::cell::RefCell::new(Vec::new()),
+            hypothetical: Vec::new(),
         }
     }
 
@@ -366,6 +373,19 @@ impl<'a> Estimator<'a> {
             feedback: Some(Arc::clone(db.adaptive())),
             ..Estimator::new(db)
         }
+    }
+
+    /// Add what-if indexes for access-path selection to consider. The
+    /// advisor's re-planning pass uses this; normal planning leaves it empty.
+    pub fn add_hypothetical(&mut self, indexes: Vec<Index>) {
+        self.hypothetical.extend(indexes);
+    }
+
+    /// The what-if indexes declared on `table`, if any.
+    pub fn hypothetical_for<'s>(&'s self, table: &'s str) -> impl Iterator<Item = &'s Index> + 's {
+        self.hypothetical
+            .iter()
+            .filter(move |ix| ix.def().table.eq_ignore_ascii_case(table))
     }
 
     /// The [`PlanDecision::Feedback`] records for every override this

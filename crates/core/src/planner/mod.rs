@@ -184,7 +184,7 @@ pub fn plan_query_with(
     query: &SelectStatement,
     options: PlannerOptions,
 ) -> Result<PlannedQuery, TalkbackError> {
-    plan_query_impl(db, query, options, true)
+    plan_query_impl(db, query, options, true, Vec::new())
 }
 
 /// [`plan_query_with`] without recording anything into the observability
@@ -195,7 +195,20 @@ pub(crate) fn plan_query_silent(
     query: &SelectStatement,
     options: PlannerOptions,
 ) -> Result<PlannedQuery, TalkbackError> {
-    plan_query_impl(db, query, options, false)
+    plan_query_impl(db, query, options, false, Vec::new())
+}
+
+/// What-if planning for the advisor: plan silently with metadata-only
+/// `hypothetical` indexes competing in access-path selection. The resulting
+/// plan is for *costing only* — a chosen hypothetical index has no entries,
+/// so executing the plan would return nothing.
+pub(crate) fn plan_query_what_if(
+    db: &Database,
+    query: &SelectStatement,
+    options: PlannerOptions,
+    hypothetical: Vec<datastore::Index>,
+) -> Result<PlannedQuery, TalkbackError> {
+    plan_query_impl(db, query, options, false, hypothetical)
 }
 
 fn plan_query_impl(
@@ -203,6 +216,7 @@ fn plan_query_impl(
     query: &SelectStatement,
     options: PlannerOptions,
     record: bool,
+    hypothetical: Vec<datastore::Index>,
 ) -> Result<PlannedQuery, TalkbackError> {
     let effective = flatten_in_subqueries(query).unwrap_or_else(|| query.clone());
     let bound = bind_query(db.catalog(), &effective)?;
@@ -215,11 +229,13 @@ fn plan_query_impl(
     // subquery pass attaches them as dedicated operators during lowering.
     let (stripped, where_subs, having_subs) = subquery::split_subqueries(&effective);
     let graph = logical::build_join_graph(db, &stripped, &bound);
-    let estimator = if options.use_feedback {
+    let mut estimator = if options.use_feedback {
         cost::Estimator::with_feedback(db)
     } else {
         cost::Estimator::new(db)
     };
+    estimator.add_hypothetical(hypothetical);
+    let estimator = estimator;
     // Relations a decorrelatable EXISTS/IN will thin out downstream enter
     // the enumeration at their semi-join-reduced cardinality.
     let hints = subquery::semi_join_hints(db, &estimator, &graph, &bound, &where_subs);

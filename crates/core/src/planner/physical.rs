@@ -243,9 +243,10 @@ pub(super) fn lower_select(
             let left_pos = columns
                 .iter()
                 .position(|c| c.matches(Some(far_alias), far_col));
-            if let (Some(probe), Some(left_key)) =
-                (access::join_probe_candidate(db, rel, near_col), left_pos)
-            {
+            if let (Some(probe), Some(left_key)) = (
+                access::join_probe_candidate(db, estimator, rel, near_col),
+                left_pos,
+            ) {
                 let inner_rows = estimator.relation_rows(rel);
                 let inlj_ratio = scopes.ctx().options.inlj_ratio;
                 let chosen = access::prefer_index_join(rows, inner_rows, inlj_ratio);

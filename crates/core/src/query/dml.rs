@@ -19,8 +19,14 @@ pub fn translate_statement(
 ) -> Option<String> {
     match statement {
         // SELECTs go to the query translator, EXPLAINs to the plan
-        // explainer, SHOWs to the introspection reporter (`query::show`).
-        Statement::Select(_) | Statement::Explain(_) | Statement::Show(_) => None,
+        // explainer, and the introspection family (SHOW / ADVISE / CHECKUP /
+        // SET) to the reporters in `query::show` and `query::advise`.
+        Statement::Select(_)
+        | Statement::Explain(_)
+        | Statement::Show(_)
+        | Statement::Advise(_)
+        | Statement::Checkup
+        | Statement::Set(_) => None,
         Statement::Insert(i) => Some(translate_insert(catalog, lexicon, i)),
         Statement::Update(u) => Some(translate_update(catalog, lexicon, u)),
         Statement::Delete(d) => Some(translate_delete(catalog, lexicon, d)),

@@ -6,6 +6,7 @@
 //! guaranteed-coverage fallback §3.3.5 discusses), so callers can always
 //! show something faithful even when the fluent strategy declines.
 
+pub mod advise;
 pub mod dml;
 pub mod explain;
 pub mod phrases;

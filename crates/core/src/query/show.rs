@@ -7,11 +7,13 @@
 //! people) — "Since startup I have run 412 queries; the slowest, 38 ms,
 //! scanned CAST twice."
 
+use crate::error::TalkbackError;
 use datastore::exec::{ColumnInfo, ResultSet};
+use datastore::obs::doctor::mine;
 use datastore::obs::{Counter, JournalEntry, MisestimateStat, ObsRegistry, Phase, Span};
 use datastore::{format_duration, Database, Row, Value};
 use nlg::{count_phrase, finish_sentence, join_sentences, quote_sql};
-use sqlparse::ast::ShowKind;
+use sqlparse::ast::{SetStatement, ShowKind};
 
 /// One `SHOW` answer, both ways.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,10 +32,45 @@ pub fn execute_show(db: &Database, kind: &ShowKind) -> ShowReport {
         ShowKind::QueryLog { limit } => show_query_log(obs, limit.map(|n| n as usize)),
         ShowKind::Profile => show_profile(obs),
         ShowKind::Misestimates => show_misestimates(obs),
+        ShowKind::Workload => show_workload(obs),
     }
 }
 
-fn table_of(columns: &[&str], rows: Vec<Vec<Value>>) -> String {
+/// Apply a `SET <knob> <value>` tuning statement and confirm it in the
+/// system's voice. The only knob so far is `journal capacity`, the query
+/// journal's ring-buffer size.
+pub fn execute_set(db: &Database, set: &SetStatement) -> Result<ShowReport, TalkbackError> {
+    match set.name.as_str() {
+        "journal_capacity" => {
+            let obs = db.obs();
+            let before = obs.journal().capacity();
+            obs.journal().set_capacity(set.value as usize);
+            let after = obs.journal().capacity();
+            let table = table_of(
+                &["knob", "value"],
+                vec![vec![
+                    Value::text("journal_capacity"),
+                    Value::int(after as i64),
+                ]],
+            );
+            let narration = finish_sentence(&format!(
+                "I will keep my last {} statement{} in the journal from now on (it held {} \
+                 before); entries beyond that age out, but my workload ledger keeps the \
+                 aggregates either way",
+                count_phrase(after),
+                if after == 1 { "" } else { "s" },
+                count_phrase(before),
+            ));
+            Ok(ShowReport { table, narration })
+        }
+        other => Err(TalkbackError::Unsupported(format!(
+            "I do not know the knob '{}'; the one I can tune is JOURNAL CAPACITY",
+            other.replace('_', " ")
+        ))),
+    }
+}
+
+pub(crate) fn table_of(columns: &[&str], rows: Vec<Vec<Value>>) -> String {
     ResultSet {
         columns: columns
             .iter()
@@ -77,9 +114,10 @@ fn show_metrics(obs: &ObsRegistry) -> ShowReport {
             "no samples".to_string()
         } else {
             format!(
-                "count={} p50≤{} p99≤{} max≤{}",
+                "count={} p50≈{} p95≈{} p99≈{} max≤{}",
                 summary.count,
                 format_duration(summary.p50),
+                format_duration(summary.p95),
                 format_duration(summary.p99),
                 format_duration(summary.max),
             )
@@ -187,6 +225,7 @@ fn show_query_log(obs: &ObsRegistry, limit: Option<usize>) -> ShowReport {
                 Value::int(e.result_rows as i64),
                 Value::text(format_duration(e.total)),
                 Value::text(format!("{:016x}", e.plan_hash)),
+                Value::text(e.cache.label()),
                 Value::text(match &e.worst_misestimate {
                     Some((detail, factor)) => format!("{factor:.0}× on {detail}"),
                     None => "-".to_string(),
@@ -201,6 +240,7 @@ fn show_query_log(obs: &ObsRegistry, limit: Option<usize>) -> ShowReport {
             "rows",
             "time",
             "plan_hash",
+            "cache",
             "worst_misestimate",
         ],
         rows,
@@ -224,6 +264,18 @@ fn show_query_log(obs: &ObsRegistry, limit: Option<usize>) -> ShowReport {
                 String::new()
             }
         ))];
+        let hits = entries
+            .iter()
+            .filter(|e| e.cache == datastore::CacheStatus::Hit)
+            .count();
+        if hits > 0 {
+            sentences.push(finish_sentence(&format!(
+                "{} of {} came straight from my plan cache, skipping parsing and planning \
+                 entirely",
+                nlg::capitalize_first(&count_phrase(hits)),
+                if entries.len() == 1 { "it" } else { "them" },
+            )));
+        }
         if let Some(slowest) = entries.iter().max_by_key(|e| e.total) {
             let mut sentence = format!(
                 "The slowest of them, {}, was {} — it returned {}",
@@ -250,12 +302,23 @@ fn show_query_log(obs: &ObsRegistry, limit: Option<usize>) -> ShowReport {
 // ---------------------------------------------------------------------------
 
 fn show_profile(obs: &ObsRegistry) -> ShowReport {
+    const COLUMNS: [&str; 6] = ["span", "time", "rows", "p50", "p95", "p99"];
     let Some(entry) = obs.journal().last() else {
         return ShowReport {
-            table: table_of(&["span", "time", "rows"], Vec::new()),
+            table: table_of(&COLUMNS, Vec::new()),
             narration: "I have nothing to profile yet — run a query first and ask me again."
                 .to_string(),
         };
+    };
+    // Phase spans get the cross-statement percentile columns from the
+    // registry's log2 histograms (interpolated within buckets); operator
+    // spans have no histogram and show "-".
+    let phase_for = |depth: usize, name: &str| match (depth, name) {
+        (0, "statement") => Some(Phase::Total),
+        (1, "parse") => Some(Phase::Parse),
+        (1, "plan") => Some(Phase::Plan),
+        (1, "execute") => Some(Phase::Execute),
+        _ => None,
     };
     let rows = entry
         .span
@@ -267,6 +330,13 @@ fn show_profile(obs: &ObsRegistry) -> ShowReport {
             } else {
                 format!("{}: {}", span.name, span.detail)
             };
+            let summary = phase_for(depth, &span.name).map(|p| obs.latency_summary(p));
+            let pct = |f: fn(&datastore::obs::HistogramSummary) -> std::time::Duration| {
+                summary
+                    .as_ref()
+                    .map(|s| format!("≈{}", format_duration(f(s))))
+                    .unwrap_or_else(|| "-".to_string())
+            };
             vec![
                 Value::text(format!("{}{}", "  ".repeat(depth), label)),
                 Value::text(format_duration(span.elapsed)),
@@ -274,14 +344,31 @@ fn show_profile(obs: &ObsRegistry) -> ShowReport {
                     Some(n) => n.to_string(),
                     None => "-".to_string(),
                 }),
+                Value::text(pct(|s| s.p50)),
+                Value::text(pct(|s| s.p95)),
+                Value::text(pct(|s| s.p99)),
             ]
         })
         .collect();
-    let table = table_of(&["span", "time", "rows"], rows);
-    ShowReport {
-        table,
-        narration: profile_narration(&entry),
+    let table = table_of(&COLUMNS, rows);
+    let mut narration = profile_narration(&entry);
+    let total = obs.latency_summary(Phase::Total);
+    if total.count > 1 {
+        narration = join_sentences(&[
+            narration,
+            finish_sentence(&format!(
+                "For perspective, across the {} statement{} I have run, the typical one \
+                 finishes in about {}, one in twenty needs more than {}, and one in a \
+                 hundred more than {}",
+                count_phrase(total.count as usize),
+                if total.count == 1 { "" } else { "s" },
+                format_duration(total.p50),
+                format_duration(total.p95),
+                format_duration(total.p99),
+            )),
+        ]);
     }
+    ShowReport { table, narration }
 }
 
 fn profile_narration(entry: &JournalEntry) -> String {
@@ -406,6 +493,82 @@ fn show_misestimates(obs: &ObsRegistry) -> ShowReport {
                 "I have since replanned {} of those shapes from the observed counts \
                  instead of the statistics",
                 count_phrase(corrected),
+            )));
+        }
+        join_sentences(&sentences)
+    };
+    ShowReport { table, narration }
+}
+
+// ---------------------------------------------------------------------------
+// SHOW WORKLOAD
+// ---------------------------------------------------------------------------
+
+fn show_workload(obs: &ObsRegistry) -> ShowReport {
+    const COLUMNS: [&str; 9] = [
+        "statement",
+        "runs",
+        "mean",
+        "p95",
+        "total",
+        "scanned",
+        "emitted",
+        "access",
+        "cache_hits",
+    ];
+    let stats = obs.workload().snapshot();
+    let rows = stats
+        .iter()
+        .map(|s| {
+            vec![
+                Value::text(&s.normalized_sql),
+                Value::int(s.executions as i64),
+                Value::text(format_duration(s.mean_total())),
+                Value::text(format_duration(s.p95())),
+                Value::text(format_duration(s.total_time)),
+                Value::int(s.rows_scanned as i64),
+                Value::int(s.rows_emitted as i64),
+                Value::text(s.access_summary()),
+                Value::int(s.cache_hits as i64),
+            ]
+        })
+        .collect();
+    let table = table_of(&COLUMNS, rows);
+
+    let narration = if stats.is_empty() {
+        "My workload ledger is empty — run some statements and ask me again.".to_string()
+    } else {
+        let executions: u64 = stats.iter().map(|s| s.executions).sum();
+        let heaviest = &stats[0];
+        let mut sentences = vec![
+            finish_sentence(&format!(
+                "I have been watching {} distinct statement shape{} across {} execution{}",
+                count_phrase(stats.len()),
+                if stats.len() == 1 { "" } else { "s" },
+                count_phrase(executions as usize),
+                if executions == 1 { "" } else { "s" },
+            )),
+            finish_sentence(&format!(
+                "The one costing me the most is {} — {} run{} totalling {} ({} mean, \
+                 {} p95), scanning {} row{} to emit {}",
+                quote_sql(&heaviest.normalized_sql),
+                count_phrase(heaviest.executions as usize),
+                if heaviest.executions == 1 { "" } else { "s" },
+                format_duration(heaviest.total_time),
+                format_duration(heaviest.mean_total()),
+                format_duration(heaviest.p95()),
+                count_phrase(heaviest.rows_scanned as usize),
+                if heaviest.rows_scanned == 1 { "" } else { "s" },
+                count_phrase(heaviest.rows_emitted as usize),
+            )),
+        ];
+        let issues = mine(&stats);
+        if !issues.is_empty() {
+            sentences.push(finish_sentence(&format!(
+                "My miner sees {} pattern{} worth fixing in there — say ADVISE and I will \
+                 lay out the remedies",
+                count_phrase(issues.len()),
+                if issues.len() == 1 { "" } else { "s" },
             )));
         }
         join_sentences(&sentences)

@@ -20,12 +20,48 @@
 use crate::exec::plan::Plan;
 use crate::exec::stream::PlanProfile;
 use crate::fingerprint::{feedback_shape, profile_table};
+use crate::obs::CacheStatus;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Default plan-cache capacity (templates retained).
 pub const PLAN_CACHE_CAP: usize = 64;
+
+/// Why the epoch moved. The doctor's `CHECKUP` narrates the last movement
+/// ("your schema changed", "writes invalidated my statistics", "I absorbed
+/// feedback"), so every bump site declares itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochCause {
+    /// DDL: a table or index was created or dropped.
+    Schema,
+    /// A write invalidated table statistics.
+    Write,
+    /// Absorbed cardinality feedback changed what the planner would decide.
+    Feedback,
+    /// An unattributed bump (tests, legacy call sites).
+    Other,
+}
+
+impl EpochCause {
+    /// Every cause, in display order.
+    pub const ALL: [EpochCause; 4] = [
+        EpochCause::Schema,
+        EpochCause::Write,
+        EpochCause::Feedback,
+        EpochCause::Other,
+    ];
+
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EpochCause::Schema => "schema change",
+            EpochCause::Write => "write",
+            EpochCause::Feedback => "feedback",
+            EpochCause::Other => "other",
+        }
+    }
+}
 
 /// What the engine learned about one `(table, predicate shape)` key: the
 /// filter's observed selectivity, and the last est-vs-actual pair for
@@ -105,21 +141,34 @@ impl PlanCache {
     /// matching the template's parameter slots; a stale-epoch entry is
     /// removed on the spot. A hit refreshes the entry's LRU position.
     pub fn lookup(&self, key: u64, epoch: u64, kinds: &[ParamKind]) -> Option<Plan> {
+        self.lookup_detailed(key, epoch, kinds).0
+    }
+
+    /// [`PlanCache::lookup`], also reporting *why* a miss missed: a
+    /// [`CacheStatus::Stale`] entry was planned in an older epoch (and is
+    /// evicted here), a [`CacheStatus::Miss`] was never cached or cached with
+    /// different literal kinds. The journal's `cache` column audits this.
+    pub fn lookup_detailed(
+        &self,
+        key: u64,
+        epoch: u64,
+        kinds: &[ParamKind],
+    ) -> (Option<Plan>, CacheStatus) {
         let mut inner = self.inner.lock().expect("plan cache lock");
         match inner.entries.get(&key) {
             Some(entry) if entry.epoch != epoch => {
                 inner.entries.remove(&key);
                 inner.order.retain(|k| *k != key);
-                None
+                (None, CacheStatus::Stale)
             }
-            Some(entry) if entry.kinds != kinds => None,
+            Some(entry) if entry.kinds != kinds => (None, CacheStatus::Miss),
             Some(entry) => {
                 let template = entry.template.clone();
                 inner.order.retain(|k| *k != key);
                 inner.order.push_back(key);
-                Some(template)
+                (Some(template), CacheStatus::Hit)
             }
-            None => None,
+            None => (None, CacheStatus::Miss),
         }
     }
 
@@ -177,6 +226,10 @@ pub struct FeedbackNote {
     pub actual: u64,
 }
 
+/// Last epoch movement (`(epoch reached, cause)`) and per-cause counts, for
+/// the doctor's narration.
+type EpochLog = (Option<(u64, EpochCause)>, [u64; EpochCause::ALL.len()]);
+
 /// Per-database adaptive state: epoch counter, feedback store, plan cache.
 /// Shared by clones (like the obs registry) — a clone is a snapshot of the
 /// data, not a new engine that must relearn everything.
@@ -185,6 +238,7 @@ pub struct AdaptiveState {
     epoch: AtomicU64,
     feedback: Mutex<BTreeMap<(String, String), FeedbackEntry>>,
     cache: PlanCache,
+    epoch_log: Mutex<EpochLog>,
 }
 
 impl Default for AdaptiveState {
@@ -200,6 +254,7 @@ impl AdaptiveState {
             epoch: AtomicU64::new(0),
             feedback: Mutex::new(BTreeMap::new()),
             cache: PlanCache::new(cache_cap),
+            epoch_log: Mutex::new((None, [0; EpochCause::ALL.len()])),
         }
     }
 
@@ -212,7 +267,26 @@ impl AdaptiveState {
     /// Bump the epoch: something (DDL, a write, absorbed feedback) changed
     /// what the planner would decide, so cached templates are now suspect.
     pub fn bump_epoch(&self) {
-        self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.bump_epoch_for(EpochCause::Other);
+    }
+
+    /// [`AdaptiveState::bump_epoch`] with provenance: the cause is recorded
+    /// so `CHECKUP` can say *why* cached plans died.
+    pub fn bump_epoch_for(&self, cause: EpochCause) {
+        let reached = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        let mut log = self.epoch_log.lock().expect("epoch log lock");
+        log.0 = Some((reached, cause));
+        log.1[cause as usize] += 1;
+    }
+
+    /// The last epoch movement, as `(epoch reached, cause)`.
+    pub fn last_epoch_change(&self) -> Option<(u64, EpochCause)> {
+        self.epoch_log.lock().expect("epoch log lock").0
+    }
+
+    /// Epoch bumps by cause, in [`EpochCause::ALL`] order.
+    pub fn epoch_cause_counts(&self) -> [u64; EpochCause::ALL.len()] {
+        self.epoch_log.lock().expect("epoch log lock").1
     }
 
     /// The plan cache.
@@ -278,7 +352,7 @@ impl AdaptiveState {
         });
         drop(store);
         if absorbed > 0 {
-            self.bump_epoch();
+            self.bump_epoch_for(EpochCause::Feedback);
         }
         absorbed
     }

@@ -1,7 +1,7 @@
 //! A database instance: a catalog plus table contents, with foreign-key
 //! enforcement on insert.
 
-use crate::adaptive::AdaptiveState;
+use crate::adaptive::{AdaptiveState, EpochCause};
 use crate::catalog::Catalog;
 use crate::error::StoreError;
 use crate::index::{Index, IndexDef, IndexKind};
@@ -126,7 +126,7 @@ impl Database {
                 .expect("auto PK index on a fresh table cannot clash");
         }
         self.tables.insert(Self::key(&schema.name), Arc::new(table));
-        self.adaptive.bump_epoch();
+        self.adaptive.bump_epoch_for(EpochCause::Schema);
         Ok(())
     }
 
@@ -154,7 +154,7 @@ impl Database {
         let table = Arc::make_mut(arc);
         let entries = table.create_index(def)?.len();
         // DDL changes the access paths available to the planner.
-        self.adaptive.bump_epoch();
+        self.adaptive.bump_epoch_for(EpochCause::Schema);
         Ok(entries)
     }
 
@@ -171,7 +171,7 @@ impl Database {
         let def =
             Arc::make_mut(self.tables.get_mut(&owner).expect("owner exists")).drop_index(name)?;
         // DDL changes the access paths available to the planner.
-        self.adaptive.bump_epoch();
+        self.adaptive.bump_epoch_for(EpochCause::Schema);
         Ok(def)
     }
 
@@ -285,7 +285,7 @@ impl Database {
             .write()
             .expect("stats lock")
             .remove(&Self::key(table));
-        self.adaptive.bump_epoch();
+        self.adaptive.bump_epoch_for(EpochCause::Write);
     }
 
     /// All tables in name order.

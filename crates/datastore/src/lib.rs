@@ -41,12 +41,12 @@ pub mod table;
 pub mod tuple;
 pub mod value;
 
-pub use adaptive::{AdaptiveState, FeedbackEntry, FeedbackNote, ParamKind, PlanCache};
+pub use adaptive::{AdaptiveState, EpochCause, FeedbackEntry, FeedbackNote, ParamKind, PlanCache};
 pub use catalog::Catalog;
 pub use database::Database;
 pub use error::StoreError;
 pub use index::{Index, IndexBounds, IndexDef, IndexKind};
-pub use obs::{format_duration, ObsRegistry};
+pub use obs::{format_duration, CacheStatus, ObsRegistry, StatementMeta};
 pub use schema::{ColumnDef, ForeignKey, TableSchema};
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;

@@ -19,13 +19,19 @@
 //!   by `(table, predicate shape)`, the exact feedback the ROADMAP's
 //!   adaptive-optimizer item wants to mine.
 //!
+//! The [`doctor`] submodule builds on all three: a cumulative workload
+//! ledger keyed by literal-normalized statement shape, the pattern miner
+//! behind `ADVISE`, and the regression sentinel behind `CHECKUP`.
+//!
 //! The SQL surface (`SHOW METRICS`, `SHOW QUERY LOG`, `SHOW PROFILE`,
-//! `SHOW MISESTIMATES`) lives in the `talkback` crate; this module only
-//! collects and snapshots.
+//! `SHOW MISESTIMATES`, `SHOW WORKLOAD`, `ADVISE`, `CHECKUP`) lives in the
+//! `talkback` crate; this module only collects and snapshots.
+
+pub mod doctor;
 
 use crate::exec::stream::PlanProfile;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -184,13 +190,18 @@ impl LatencyHistogram {
 }
 
 /// A read-only view of one phase's histogram with its common summaries.
+/// Percentiles are interpolated linearly within their log2 bucket (see
+/// [`bucket_quantile`]), so they approximate the sample rather than quoting
+/// a power-of-two ceiling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistogramSummary {
     /// Samples recorded.
     pub count: u64,
-    /// Upper bound of the median sample's bucket.
+    /// Interpolated median.
     pub p50: Duration,
-    /// Upper bound of the 99th-percentile sample's bucket.
+    /// Interpolated 95th percentile.
+    pub p95: Duration,
+    /// Interpolated 99th percentile.
     pub p99: Duration,
     /// Upper bound of the largest occupied bucket.
     pub max: Duration,
@@ -201,22 +212,45 @@ fn bucket_upper(i: usize) -> Duration {
     Duration::from_micros(1u64 << i.min(62))
 }
 
+/// Lower bound (inclusive) of histogram bucket `i`, as a duration.
+fn bucket_lower(i: usize) -> Duration {
+    if i == 0 {
+        Duration::ZERO
+    } else {
+        Duration::from_micros(1u64 << (i - 1).min(62))
+    }
+}
+
+/// The `q`-quantile of a log2-bucketed histogram, interpolated linearly
+/// within the bucket the target rank lands in: with `r` ranks of the bucket
+/// consumed out of its `n` samples, the result is `lower + (r/n) × (upper −
+/// lower)`. Exact bucket boundaries (every rank of the bucket consumed)
+/// therefore quote the bucket's upper bound, matching the pre-interpolation
+/// summaries.
+pub fn bucket_quantile(buckets: &[u64; HIST_BUCKETS], q: f64) -> Duration {
+    let count: u64 = buckets.iter().sum();
+    if count == 0 {
+        return Duration::ZERO;
+    }
+    let target = ((count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &b) in buckets.iter().enumerate() {
+        if b == 0 {
+            continue;
+        }
+        if seen + b >= target {
+            let frac = (target - seen) as f64 / b as f64;
+            let lower = bucket_lower(i).as_secs_f64();
+            let upper = bucket_upper(i).as_secs_f64();
+            return Duration::from_secs_f64(lower + frac * (upper - lower));
+        }
+        seen += b;
+    }
+    Duration::ZERO
+}
+
 fn summarize(buckets: &[u64; HIST_BUCKETS]) -> HistogramSummary {
     let count: u64 = buckets.iter().sum();
-    let rank = |q: f64| -> Duration {
-        if count == 0 {
-            return Duration::ZERO;
-        }
-        let target = ((count as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, &b) in buckets.iter().enumerate() {
-            seen += b;
-            if seen >= target {
-                return bucket_upper(i);
-            }
-        }
-        Duration::ZERO
-    };
     let max = buckets
         .iter()
         .rposition(|&b| b > 0)
@@ -224,8 +258,9 @@ fn summarize(buckets: &[u64; HIST_BUCKETS]) -> HistogramSummary {
         .unwrap_or(Duration::ZERO);
     HistogramSummary {
         count,
-        p50: rank(0.5),
-        p99: rank(0.99),
+        p50: bucket_quantile(buckets, 0.5),
+        p95: bucket_quantile(buckets, 0.95),
+        p99: bucket_quantile(buckets, 0.99),
         max,
     }
 }
@@ -305,6 +340,43 @@ pub use crate::fingerprint::{normalize_predicate, plan_shape_hash};
 /// Default journal capacity (statements retained).
 pub const JOURNAL_CAP: usize = 256;
 
+/// How the plan cache treated one statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheStatus {
+    /// A cached template was re-bound and executed.
+    Hit,
+    /// No template existed; the statement was planned from scratch.
+    Miss,
+    /// A template existed but its epoch was stale; re-planned.
+    Stale,
+    /// The plan cache was not consulted (caching off, or not a query).
+    #[default]
+    Off,
+}
+
+impl CacheStatus {
+    /// Stable lowercase label for tables and narration.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Stale => "stale",
+            CacheStatus::Off => "-",
+        }
+    }
+}
+
+/// Caller-supplied context for one recorded statement: facts the profile
+/// itself cannot carry (how the plan cache treated it, which adaptive epoch
+/// it ran in).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatementMeta {
+    /// How the plan cache treated the statement.
+    pub cache: CacheStatus,
+    /// The adaptive epoch the statement executed in.
+    pub epoch: u64,
+}
+
 /// One remembered statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JournalEntry {
@@ -323,6 +395,8 @@ pub struct JournalEntry {
     /// The single worst est-vs-actual error in the plan, as
     /// `(operator detail, factor)`, when one crossed the flagging threshold.
     pub worst_misestimate: Option<(String, f64)>,
+    /// How the plan cache treated the statement.
+    pub cache: CacheStatus,
 }
 
 struct JournalInner {
@@ -333,16 +407,17 @@ struct JournalInner {
 /// Bounded FIFO ring buffer of [`JournalEntry`]s. Pushing beyond the
 /// capacity evicts the oldest entry; sequence numbers are assigned under the
 /// same lock, so concurrent writers never lose, duplicate, or reorder a
-/// sequence number.
+/// sequence number. The capacity is adjustable at runtime (`SET JOURNAL
+/// CAPACITY n`); shrinking trims the oldest entries immediately.
 pub struct Journal {
-    cap: usize,
+    cap: AtomicUsize,
     inner: Mutex<JournalInner>,
 }
 
 impl std::fmt::Debug for Journal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Journal")
-            .field("cap", &self.cap)
+            .field("cap", &self.capacity())
             .field("len", &self.len())
             .finish()
     }
@@ -352,7 +427,7 @@ impl Journal {
     /// Empty journal retaining at most `cap` statements.
     pub fn new(cap: usize) -> Journal {
         Journal {
-            cap: cap.max(1),
+            cap: AtomicUsize::new(cap.max(1)),
             inner: Mutex::new(JournalInner {
                 entries: VecDeque::new(),
                 next_seq: 1,
@@ -362,7 +437,19 @@ impl Journal {
 
     /// Maximum entries retained.
     pub fn capacity(&self) -> usize {
-        self.cap
+        self.cap.load(Ordering::Acquire)
+    }
+
+    /// Change the capacity (clamped to at least 1). Shrinking evicts the
+    /// oldest entries on the spot, under the same lock pushes take, so a
+    /// concurrent push never resurrects a trimmed entry.
+    pub fn set_capacity(&self, cap: usize) {
+        let cap = cap.max(1);
+        let mut inner = self.inner.lock().expect("journal lock");
+        self.cap.store(cap, Ordering::Release);
+        while inner.entries.len() > cap {
+            inner.entries.pop_front();
+        }
     }
 
     /// Entries currently retained.
@@ -385,11 +472,12 @@ impl Journal {
     /// entry when full. Returns the assigned sequence number.
     pub fn push(&self, mut entry: JournalEntry) -> u64 {
         let mut inner = self.inner.lock().expect("journal lock");
+        let cap = self.capacity();
         let seq = inner.next_seq;
         inner.next_seq += 1;
         entry.seq = seq;
         inner.entries.push_back(entry);
-        while inner.entries.len() > self.cap {
+        while inner.entries.len() > cap {
             inner.entries.pop_front();
         }
         seq
@@ -500,6 +588,7 @@ pub struct ObsRegistry {
     gauges: Mutex<BTreeMap<String, u64>>,
     journal: Journal,
     misestimates: Mutex<BTreeMap<(String, String), MisestimateStat>>,
+    workload: doctor::WorkloadLedger,
 }
 
 impl Default for ObsRegistry {
@@ -519,6 +608,7 @@ impl ObsRegistry {
             gauges: Mutex::new(BTreeMap::new()),
             journal: Journal::new(journal_cap),
             misestimates: Mutex::new(BTreeMap::new()),
+            workload: doctor::WorkloadLedger::default(),
         }
     }
 
@@ -605,6 +695,12 @@ impl ObsRegistry {
         &self.journal
     }
 
+    /// The cumulative workload ledger (the doctor's memory). Unlike the
+    /// journal ring buffer, its aggregates survive eviction.
+    pub fn workload(&self) -> &doctor::WorkloadLedger {
+        &self.workload
+    }
+
     /// Snapshot of the misestimate ledger.
     pub fn misestimates(&self) -> BTreeMap<(String, String), MisestimateStat> {
         self.misestimates.lock().expect("misestimates lock").clone()
@@ -625,10 +721,12 @@ impl ObsRegistry {
     }
 
     /// Record one executed statement: phase latencies into the histograms, a
-    /// journal entry with the full span tree, and every flagged est-vs-actual
-    /// error into the misestimate ledger. `flag_factor` is the caller's
-    /// misestimate threshold (`PlannerOptions::misestimate_factor`). No-op
-    /// when the registry is disabled.
+    /// journal entry with the full span tree, every flagged est-vs-actual
+    /// error into the misestimate ledger, and the statement's workload facts
+    /// into the doctor's ledger. `flag_factor` is the caller's misestimate
+    /// threshold (`PlannerOptions::misestimate_factor`); `meta` carries the
+    /// plan-cache outcome and adaptive epoch. No-op when the registry is
+    /// disabled.
     pub fn record_statement(
         &self,
         sql: &str,
@@ -636,6 +734,7 @@ impl ObsRegistry {
         phases: StatementPhases,
         result_rows: u64,
         flag_factor: f64,
+        meta: StatementMeta,
     ) {
         if !self.enabled() {
             return;
@@ -661,14 +760,25 @@ impl ObsRegistry {
         };
 
         let worst = self.absorb_misestimates(profile, flag_factor);
+        let plan_hash = plan_shape_hash(profile);
+        self.workload.observe(&doctor::WorkloadSample::collect(
+            sql,
+            profile,
+            phases,
+            result_rows,
+            plan_hash,
+            worst.as_ref().map(|(_, f)| *f),
+            meta,
+        ));
         self.journal.push(JournalEntry {
             seq: 0, // assigned by the journal
             sql: sql.trim().to_string(),
-            plan_hash: plan_shape_hash(profile),
+            plan_hash,
             result_rows,
             total,
             span,
             worst_misestimate: worst,
+            cache: meta.cache,
         });
         self.set_gauge("journal_entries", self.journal.len() as u64);
     }
@@ -753,6 +863,7 @@ mod tests {
             total: Duration::from_micros(10),
             span: Span::phase("statement", Duration::from_micros(10)),
             worst_misestimate: None,
+            cache: CacheStatus::Off,
         }
     }
 

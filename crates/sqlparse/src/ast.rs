@@ -26,9 +26,19 @@ pub enum Statement {
     /// `EXPLAIN [ANALYZE] <select>` — ask the system to describe (and with
     /// ANALYZE, run and instrument) the query's plan instead of answering it.
     Explain(ExplainStatement),
-    /// `SHOW METRICS | QUERY LOG | PROFILE | MISESTIMATES` — ask the engine
-    /// to introspect its own observability state and talk about it.
+    /// `SHOW METRICS | QUERY LOG | PROFILE | MISESTIMATES | WORKLOAD` — ask
+    /// the engine to introspect its own observability state and talk about
+    /// it.
     Show(ShowStatement),
+    /// `ADVISE [LIMIT n]` — ask the database doctor to mine the workload
+    /// ledger and recommend (costed, justified) physical-design changes.
+    Advise(AdviseStatement),
+    /// `CHECKUP` — ask the doctor for a health report: workload totals, the
+    /// regression sentinel's findings, and epoch/cache hygiene.
+    Checkup,
+    /// `SET <knob> [=] <value>` — adjust an engine knob at runtime
+    /// (currently `SET JOURNAL CAPACITY n`).
+    Set(SetStatement),
 }
 
 impl Statement {
@@ -72,6 +82,26 @@ pub enum ShowKind {
     Profile,
     /// `SHOW MISESTIMATES` — the est-vs-actual misestimate ledger.
     Misestimates,
+    /// `SHOW WORKLOAD` — the doctor's cumulative per-shape workload ledger.
+    Workload,
+}
+
+/// An `ADVISE [LIMIT n]` request: mine the workload and recommend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdviseStatement {
+    /// Optional cap on the number of recommendations reported.
+    pub limit: Option<u64>,
+}
+
+/// A `SET <knob> [=] <value>` request. The knob name is the lowercased,
+/// underscore-joined word sequence (`SET JOURNAL CAPACITY 64` →
+/// `journal_capacity`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetStatement {
+    /// Normalized knob name (`journal_capacity`).
+    pub name: String,
+    /// The integer value assigned.
+    pub value: u64,
 }
 
 /// An `EXPLAIN [ANALYZE]` request wrapping a query.

@@ -21,6 +21,9 @@ impl fmt::Display for Statement {
             Statement::DropIndex(s) => write!(f, "{s}"),
             Statement::Explain(s) => write!(f, "{s}"),
             Statement::Show(s) => write!(f, "{s}"),
+            Statement::Advise(s) => write!(f, "{s}"),
+            Statement::Checkup => write!(f, "CHECKUP"),
+            Statement::Set(s) => write!(f, "{s}"),
         }
     }
 }
@@ -33,7 +36,28 @@ impl fmt::Display for ShowStatement {
             ShowKind::QueryLog { limit: Some(n) } => write!(f, "SHOW QUERY LOG LIMIT {n}"),
             ShowKind::Profile => write!(f, "SHOW PROFILE"),
             ShowKind::Misestimates => write!(f, "SHOW MISESTIMATES"),
+            ShowKind::Workload => write!(f, "SHOW WORKLOAD"),
         }
+    }
+}
+
+impl fmt::Display for AdviseStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.limit {
+            None => write!(f, "ADVISE"),
+            Some(n) => write!(f, "ADVISE LIMIT {n}"),
+        }
+    }
+}
+
+impl fmt::Display for SetStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SET {} {}",
+            self.name.replace('_', " ").to_ascii_uppercase(),
+            self.value
+        )
     }
 }
 

@@ -59,6 +59,11 @@ pub enum Keyword {
     Log,
     Profile,
     Misestimates,
+    Workload,
+    Advise,
+    Checkup,
+    Journal,
+    Capacity,
     Count,
     Sum,
     Avg,
@@ -122,6 +127,11 @@ impl Keyword {
             "LOG" => Keyword::Log,
             "PROFILE" => Keyword::Profile,
             "MISESTIMATES" => Keyword::Misestimates,
+            "WORKLOAD" => Keyword::Workload,
+            "ADVISE" => Keyword::Advise,
+            "CHECKUP" => Keyword::Checkup,
+            "JOURNAL" => Keyword::Journal,
+            "CAPACITY" => Keyword::Capacity,
             "COUNT" => Keyword::Count,
             "SUM" => Keyword::Sum,
             "AVG" => Keyword::Avg,

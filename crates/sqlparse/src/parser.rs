@@ -142,8 +142,66 @@ impl Parser {
                 Ok(Statement::Explain(ExplainStatement { analyze, query }))
             }
             Some(Token::Keyword(Keyword::Show, _)) => self.parse_show(),
+            Some(Token::Keyword(Keyword::Advise, _)) => {
+                self.pos += 1;
+                let limit = if self.eat_keyword(Keyword::Limit) {
+                    match self.advance() {
+                        Some(Token::Number(n)) => Some(n.parse::<u64>().map_err(|_| {
+                            self.error("ADVISE LIMIT expects a non-negative integer")
+                        })?),
+                        other => {
+                            return Err(
+                                self.error(format!("LIMIT expects a number, found {other:?}"))
+                            )
+                        }
+                    }
+                } else {
+                    None
+                };
+                Ok(Statement::Advise(AdviseStatement { limit }))
+            }
+            Some(Token::Keyword(Keyword::Checkup, _)) => {
+                self.pos += 1;
+                Ok(Statement::Checkup)
+            }
+            Some(Token::Keyword(Keyword::Set, _)) => self.parse_set(),
             other => Err(self.error(format!("expected a statement, found {other:?}"))),
         }
+    }
+
+    /// `SET <word>+ [=] <integer>`: the knob name is every word before the
+    /// value, lowercased and underscore-joined (`SET JOURNAL CAPACITY 64` →
+    /// `journal_capacity = 64`).
+    fn parse_set(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword(Keyword::Set)?;
+        let mut words = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Keyword(_, spelling)) => {
+                    words.push(spelling.to_ascii_lowercase());
+                    self.pos += 1;
+                }
+                Some(Token::Identifier(word)) => {
+                    words.push(word.to_ascii_lowercase());
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        if words.is_empty() {
+            return Err(self.error("SET expects a knob name"));
+        }
+        self.eat_token(&Token::Eq);
+        let value = match self.advance() {
+            Some(Token::Number(n)) => n
+                .parse::<u64>()
+                .map_err(|_| self.error("SET expects a non-negative integer value"))?,
+            other => return Err(self.error(format!("SET expects a number, found {other:?}"))),
+        };
+        Ok(Statement::Set(SetStatement {
+            name: words.join("_"),
+            value,
+        }))
     }
 
     fn parse_show(&mut self) -> Result<Statement, ParseError> {
@@ -180,9 +238,14 @@ impl Parser {
                 self.pos += 1;
                 ShowKind::Misestimates
             }
+            Some(Token::Keyword(Keyword::Workload, _)) => {
+                self.pos += 1;
+                ShowKind::Workload
+            }
             other => {
                 return Err(self.error(format!(
-                    "SHOW expects METRICS, QUERY LOG, PROFILE, or MISESTIMATES, found {other:?}"
+                    "SHOW expects METRICS, QUERY LOG, PROFILE, MISESTIMATES, or WORKLOAD, \
+                     found {other:?}"
                 )))
             }
         };
@@ -836,6 +899,7 @@ mod tests {
             ),
             ("Show Profile", ShowKind::Profile),
             ("show misestimates", ShowKind::Misestimates),
+            ("show workload", ShowKind::Workload),
         ];
         for (sql, kind) in cases {
             let stmt = parse_statement(sql).unwrap();
@@ -844,6 +908,43 @@ mod tests {
             let again = parse_statement(&stmt.to_string()).unwrap();
             assert_eq!(stmt, again, "{sql}");
         }
+    }
+
+    #[test]
+    fn parses_doctor_statements_and_round_trips() {
+        let cases = [
+            ("advise", Statement::Advise(AdviseStatement { limit: None })),
+            (
+                "ADVISE LIMIT 3",
+                Statement::Advise(AdviseStatement { limit: Some(3) }),
+            ),
+            ("checkup", Statement::Checkup),
+            (
+                "set journal capacity 64",
+                Statement::Set(SetStatement {
+                    name: "journal_capacity".to_string(),
+                    value: 64,
+                }),
+            ),
+            (
+                "SET JOURNAL CAPACITY = 8",
+                Statement::Set(SetStatement {
+                    name: "journal_capacity".to_string(),
+                    value: 8,
+                }),
+            ),
+        ];
+        for (sql, expected) in cases {
+            let stmt = parse_statement(sql).unwrap();
+            assert_eq!(stmt, expected, "{sql}");
+            let again = parse_statement(&stmt.to_string()).unwrap();
+            assert_eq!(stmt, again, "{sql}");
+        }
+        assert!(parse_statement("set 5").is_err());
+        assert!(parse_statement("set journal capacity").is_err());
+        // The new keywords stay usable as identifiers.
+        let q = parse_query("select w.advise from WORKLOAD w where w.checkup = 1").unwrap();
+        assert_eq!(q.tuple_variables(), vec!["w"]);
     }
 
     #[test]

@@ -14,6 +14,45 @@ pub fn mentions(haystack: &str, needle: &str) -> bool {
     haystack.to_lowercase().contains(&needle.to_lowercase())
 }
 
+/// Replace every duration token (`412 µs`, `3.8 ms`, `1.20 s`) with `<t>`
+/// so golden comparisons survive timing noise. Hand-written — the workspace
+/// has no regex crate.
+pub fn normalize_durations(text: &str) -> String {
+    let mut out = String::new();
+    let mut rest = text;
+    'outer: while !rest.is_empty() {
+        let digits = rest.chars().take_while(|c| c.is_ascii_digit()).count();
+        if digits > 0 {
+            let mut len = digits;
+            let after = &rest[len..];
+            if let Some(frac) = after.strip_prefix('.') {
+                let frac_digits = frac.chars().take_while(|c| c.is_ascii_digit()).count();
+                if frac_digits > 0 {
+                    len += 1 + frac_digits;
+                }
+            }
+            for unit in [" µs", " ms", " s"] {
+                if let Some(tail) = rest[len..].strip_prefix(unit) {
+                    // The unit must end at a word boundary ("1 s." yes,
+                    // "1 scan" no).
+                    if !tail.chars().next().is_some_and(char::is_alphanumeric) {
+                        out.push_str("<t>");
+                        rest = tail;
+                        continue 'outer;
+                    }
+                }
+            }
+            out.push_str(&rest[..len]);
+            rest = &rest[len..];
+        } else {
+            let c = rest.chars().next().unwrap();
+            out.push(c);
+            rest = &rest[c.len_utf8()..];
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

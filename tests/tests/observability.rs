@@ -138,9 +138,11 @@ fn show_metrics_golden_table_and_narration() {
     assert_eq!(row("counter", "hash_build_rows")[2], "12");
     assert_eq!(row("decision", "start")[2], "1");
     assert_eq!(row("gauge", "journal_entries")[2], "2");
+    // Percentiles are interpolated within their log2 bucket (`≈`); only the
+    // max is still quoted as a bucket ceiling (`≤`).
     assert_eq!(
         row("latency", "total")[2..],
-        ["count=2", "p50≤<t>", "p99≤<t>", "max≤<t>"]
+        ["count=2", "p50≈<t>", "p95≈<t>", "p99≈<t>", "max≤<t>"]
     );
 
     let narration = normalize_durations(&report.narration);
